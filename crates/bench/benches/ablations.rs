@@ -1,0 +1,109 @@
+//! Ablation benches for the design choices DESIGN.md calls out. Each
+//! group prints the *simulated CPT* under both settings through criterion
+//! labels (the measured host time tracks simulated work):
+//!
+//! * `l1bypass` — vector memory via L2 directly (paper) vs through L1;
+//! * `xor` — XOR-interleaved L2 sets (paper) vs modulo placement;
+//! * `cam_ports` — CAM port count p ∈ {1, 2, 4, 8};
+//! * `mvl` — maximum vector length ∈ {16, 64, 256};
+//! * `lanes` — lockstepped lane count ∈ {2, 4, 8}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vagg_bench::quick::{cell, simulate_with};
+use vagg_core::Algorithm;
+use vagg_datagen::Distribution;
+use vagg_sim::SimConfig;
+
+fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    g
+}
+
+fn ablate_l1_bypass(c: &mut Criterion) {
+    let mut g = group(c, "ablation_l1bypass");
+    let ds = cell(Distribution::Uniform, 78_125);
+    for bypass in [true, false] {
+        let mut cfg = SimConfig::paper();
+        cfg.mem.l1_bypass_vector = bypass;
+        let run = simulate_with(Algorithm::Monotable, &cfg, &ds);
+        eprintln!("[ablation] l1_bypass_vector={bypass}: {:.2} simulated CPT", run.cpt);
+        g.bench_with_input(BenchmarkId::from_parameter(bypass), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate_with(Algorithm::Monotable, cfg, &ds).cpt))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_xor(c: &mut Criterion) {
+    let mut g = group(c, "ablation_xor");
+    // Polytable's MVL-stride diagonal access is the pathological pattern
+    // XOR placement exists to fix (§II-A).
+    let ds = cell(Distribution::Sequential, 1_220);
+    for xor in [true, false] {
+        let mut cfg = SimConfig::paper();
+        cfg.mem.xor_l2 = xor;
+        let run = simulate_with(Algorithm::Polytable, &cfg, &ds);
+        eprintln!("[ablation] xor_l2={xor}: {:.2} simulated CPT", run.cpt);
+        g.bench_with_input(BenchmarkId::from_parameter(xor), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate_with(Algorithm::Polytable, cfg, &ds).cpt))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_cam_ports(c: &mut Criterion) {
+    let mut g = group(c, "ablation_cam_ports");
+    let ds = cell(Distribution::Uniform, 76);
+    for ports in [1usize, 2, 4, 8] {
+        let cfg = SimConfig::paper().with_cam_ports(ports);
+        let run = simulate_with(Algorithm::Monotable, &cfg, &ds);
+        eprintln!("[ablation] cam_ports={ports}: {:.2} simulated CPT", run.cpt);
+        g.bench_with_input(BenchmarkId::from_parameter(ports), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate_with(Algorithm::Monotable, cfg, &ds).cpt))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_mvl(c: &mut Criterion) {
+    let mut g = group(c, "ablation_mvl");
+    let ds = cell(Distribution::Zipf, 1_220);
+    for mvl in [16usize, 64, 256] {
+        let cfg = SimConfig::paper().with_mvl(mvl);
+        let run = simulate_with(Algorithm::Monotable, &cfg, &ds);
+        eprintln!("[ablation] mvl={mvl}: {:.2} simulated CPT", run.cpt);
+        g.bench_with_input(BenchmarkId::from_parameter(mvl), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate_with(Algorithm::Monotable, cfg, &ds).cpt))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_lanes(c: &mut Criterion) {
+    let mut g = group(c, "ablation_lanes");
+    let ds = cell(Distribution::Uniform, 1_220);
+    for lanes in [2usize, 4, 8] {
+        let cfg = SimConfig::paper().with_lanes(lanes).with_cam_ports(lanes);
+        let run = simulate_with(Algorithm::Monotable, &cfg, &ds);
+        eprintln!("[ablation] lanes={lanes}: {:.2} simulated CPT", run.cpt);
+        g.bench_with_input(BenchmarkId::from_parameter(lanes), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate_with(Algorithm::Monotable, cfg, &ds).cpt))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_l1_bypass,
+    ablate_xor,
+    ablate_cam_ports,
+    ablate_mvl,
+    ablate_lanes
+);
+criterion_main!(benches);

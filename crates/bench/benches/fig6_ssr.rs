@@ -1,0 +1,30 @@
+//! Criterion bench regenerating Figure 6 / Table IV (standard sorted reduce) on a reduced grid
+//! (see the `repro fig6` command for the full-scale series).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vagg_bench::quick::{cell, simulate, BENCH_CARDS};
+use vagg_core::Algorithm;
+use vagg_datagen::Distribution;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    for dist in [Distribution::Uniform, Distribution::Sorted] {
+        for card in BENCH_CARDS {
+            let ds = cell(dist, card);
+            g.bench_with_input(
+                BenchmarkId::new(dist.name(), card),
+                &ds,
+                |b, ds| b.iter(|| black_box(simulate(Algorithm::StandardSortedReduce, ds).cpt)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the ISA emulation layer itself: the CAM-backed
+//! irregular instructions (VPI/VLU/VGAsum) across input regimes and port
+//! counts, plus the regular reduction/compress primitives. These measure
+//! the *host-side* cost of the functional+timing emulation — the layer's
+//! fitness for running full-grid sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vagg_isa::exec::{compress, reduce, RedOp};
+use vagg_isa::irregular::{vga_sum, vlu, vpi};
+
+fn keys(regime: &str, vl: usize) -> Vec<u64> {
+    match regime {
+        "distinct" => (0..vl as u64).collect(),
+        "sorted" => vec![7; vl],
+        "low-card" => (0..vl as u64).map(|i| (i * 2654435761) % 8).collect(),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_cam(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cam");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    let vl = 64;
+    for regime in ["distinct", "sorted", "low-card"] {
+        let ks = keys(regime, vl);
+        let vs = vec![1u64; vl];
+        g.bench_with_input(BenchmarkId::new("vpi", regime), &ks, |b, ks| {
+            b.iter(|| black_box(vpi(ks, vl, 4).cycles))
+        });
+        g.bench_with_input(BenchmarkId::new("vlu", regime), &ks, |b, ks| {
+            b.iter(|| black_box(vlu(ks, vl, 4).cycles))
+        });
+        g.bench_with_input(BenchmarkId::new("vgasum", regime), &ks, |b, ks| {
+            b.iter(|| black_box(vga_sum(ks, &vs, vl, 4).cycles))
+        });
+    }
+    for ports in [1usize, 2, 4, 8] {
+        let ks = keys("low-card", vl);
+        g.bench_with_input(BenchmarkId::new("vpi-ports", ports), &ports, |b, &p| {
+            b.iter(|| black_box(vpi(&ks, vl, p).cycles))
+        });
+    }
+    g.finish();
+}
+
+fn bench_regular(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regular");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    let v: Vec<u64> = (0..64).collect();
+    let mask: Vec<bool> = (0..64).map(|i| i % 3 != 0).collect();
+    g.bench_function("reduce-sum", |b| {
+        b.iter(|| black_box(reduce(RedOp::Sum, &v, 64, None)))
+    });
+    g.bench_function("reduce-masked", |b| {
+        b.iter(|| black_box(reduce(RedOp::Max, &v, 64, Some(&mask))))
+    });
+    g.bench_function("compress", |b| {
+        let mut dst = vec![0u64; 64];
+        b.iter(|| black_box(compress(&mut dst, &v, &mask, 64)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cam, bench_regular);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! The §VI-A comparison, measured: simulated multicore scalar aggregation
+//! (Ye et al. independent tables, private machine per core, serial merge)
+//! against the single vector unit, at the thread counts the paper's
+//! "would require — at minimum — eight cores" argument names.
+//!
+//! Criterion measures host time of the simulation; the printed simulated
+//! CPT values are the architectural result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vagg_bench::quick::{cell, simulate};
+use vagg_core::{multicore_scalar_aggregate, Algorithm};
+use vagg_datagen::Distribution;
+use vagg_sim::SimConfig;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let ds = cell(Distribution::Uniform, 76);
+    let cfg = SimConfig::paper();
+    let mut g = c.benchmark_group("multicore_thread_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for threads in [1usize, 2, 4, 8] {
+        let run = multicore_scalar_aggregate(&cfg, &ds.g, &ds.v, threads, false);
+        eprintln!(
+            "[multicore] uniform c=76 threads={threads}: {:.2} simulated CPT \
+             ({:.2} parallel + {:.2} merge)",
+            run.cpt,
+            run.parallel_cycles as f64 / ds.len() as f64,
+            run.merge_cycles as f64 / ds.len() as f64,
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    black_box(multicore_scalar_aggregate(
+                        &cfg,
+                        black_box(&ds.g),
+                        black_box(&ds.v),
+                        t,
+                        false,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_vector_vs_eight_cores(c: &mut Criterion) {
+    // The paper's headline comparison: one vector unit vs eight cores.
+    let ds = cell(Distribution::Uniform, 76);
+    let cfg = SimConfig::paper();
+    let vector = simulate(Algorithm::Monotable, &ds);
+    let cores8 = multicore_scalar_aggregate(&cfg, &ds.g, &ds.v, 8, false);
+    eprintln!(
+        "[multicore] one vector unit: {:.2} simulated CPT; eight cores: \
+         {:.2} simulated CPT",
+        vector.cpt, cores8.cpt
+    );
+    let mut g = c.benchmark_group("vector_vs_eight_cores");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.bench_function("monotable_one_vector_unit", |b| {
+        b.iter(|| black_box(simulate(Algorithm::Monotable, black_box(&ds))))
+    });
+    g.bench_function("scalar_eight_cores", |b| {
+        b.iter(|| {
+            black_box(multicore_scalar_aggregate(
+                &cfg,
+                black_box(&ds.g),
+                black_box(&ds.v),
+                8,
+                false,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_vector_vs_eight_cores);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! The §VI-B comparison, measured: monotable (VGAsum/VLU) and partially
+//! sorted monotable against the best-effort AVX-512-CDI-style retry loop
+//! and memory-side scatter-add, on the cells where the paper's argument
+//! makes predictions:
+//!
+//! * `hhitter` low cardinality — skew serialises the CDI retry loop;
+//! * `uniform` low cardinality — CDI retries stay low but still re-issue
+//!   memory traffic;
+//! * `uniform` high-normal — scatter-add has no partial-sort answer to
+//!   the locality cliff, PSM does.
+//!
+//! Criterion measures host time of the simulation; the printed simulated
+//! CPT values are the architectural result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vagg_bench::quick::{cell, simulate};
+use vagg_core::Algorithm;
+use vagg_datagen::Distribution;
+
+const CONTENDERS: [Algorithm; 4] = [
+    Algorithm::Monotable,
+    Algorithm::PartiallySortedMonotable,
+    Algorithm::CdiMonotable,
+    Algorithm::ScatterAddMonotable,
+];
+
+fn bench_cell(c: &mut Criterion, name: &str, dist: Distribution, card: u64) {
+    let mut g = c.benchmark_group(name);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    let ds = cell(dist, card);
+    for alg in CONTENDERS {
+        let run = simulate(alg, &ds);
+        eprintln!(
+            "[related_work] {name} {}: {:.2} simulated CPT",
+            alg.short_name(),
+            run.cpt
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(alg.short_name()),
+            &alg,
+            |b, &alg| b.iter(|| black_box(simulate(alg, &ds).cpt)),
+        );
+    }
+    g.finish();
+}
+
+fn skewed_low(c: &mut Criterion) {
+    bench_cell(c, "related_hhitter_low", Distribution::HeavyHitter, 76);
+}
+
+fn uniform_low(c: &mut Criterion) {
+    bench_cell(c, "related_uniform_low", Distribution::Uniform, 76);
+}
+
+fn uniform_high_normal(c: &mut Criterion) {
+    bench_cell(c, "related_uniform_hn", Distribution::Uniform, 78_125);
+}
+
+criterion_group!(benches, skewed_low, uniform_low, uniform_high_normal);
+criterion_main!(benches);

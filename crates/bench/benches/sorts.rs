@@ -1,0 +1,81 @@
+//! Criterion benches for the simulated sorts — the §V-A comparison
+//! (evasion radix vs VSR), the bitonic-mergesort comparator behind the
+//! §IV-A sort choice, and the single-pass partial sort that powers
+//! partially sorted monotable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vagg_sim::Machine;
+use vagg_sort::{bitonic_sort, quicksort, radix_sort, vsr_partial_pass, vsr_sort, SortArrays};
+
+fn dataset(n: usize, c: u64) -> (Vec<u32>, Vec<u32>) {
+    let keys = (0..n)
+        .map(|i| ((i as u64).wrapping_mul(2654435761) % c) as u32)
+        .collect();
+    let vals = (0..n).map(|i| (i % 10) as u32).collect();
+    (keys, vals)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sorts");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    let n = 10_000;
+    for card in [256u64, 100_000] {
+        let (keys, vals) = dataset(n, card);
+        let max = keys.iter().copied().max().unwrap();
+        g.bench_with_input(BenchmarkId::new("radix", card), &card, |b, _| {
+            b.iter(|| {
+                let mut m = Machine::paper();
+                let a = SortArrays::stage(&mut m, &keys, &vals);
+                black_box(radix_sort(&mut m, &a, max));
+                black_box(m.cycles())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bitonic", card), &card, |b, _| {
+            b.iter(|| {
+                let mut m = Machine::paper();
+                let a = SortArrays::stage(&mut m, &keys, &vals);
+                bitonic_sort(&mut m, &a);
+                black_box(m.cycles())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("quicksort", card), &card, |b, _| {
+            b.iter(|| {
+                let mut m = Machine::paper();
+                let a = SortArrays::stage(&mut m, &keys, &vals);
+                quicksort(&mut m, &a);
+                black_box(m.cycles())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("vsr", card), &card, |b, _| {
+            b.iter(|| {
+                let mut m = Machine::paper();
+                let a = SortArrays::stage(&mut m, &keys, &vals);
+                black_box(vsr_sort(&mut m, &a, max));
+                black_box(m.cycles())
+            })
+        });
+        if card > 1_000 {
+            g.bench_with_input(
+                BenchmarkId::new("vsr-partial-top8", card),
+                &card,
+                |b, _| {
+                    b.iter(|| {
+                        let mut m = Machine::paper();
+                        let a = SortArrays::stage(&mut m, &keys, &vals);
+                        let bits = 32 - max.leading_zeros();
+                        black_box(vsr_partial_pass(&mut m, &a, bits - 8, bits, max));
+                        black_box(m.cycles())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

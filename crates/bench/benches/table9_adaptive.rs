@@ -1,0 +1,52 @@
+//! Criterion bench for Table IX: the adaptive implementation (ideal and
+//! realistic selection) against the best fixed algorithm, on a reduced
+//! grid (see `repro table9` for the full-scale table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vagg_bench::quick::{cell, simulate, BENCH_CARDS};
+use vagg_core::{run_adaptive, AdaptiveMode, Algorithm};
+use vagg_datagen::Distribution;
+use vagg_sim::SimConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table9");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    let cfg = SimConfig::paper();
+    for dist in [Distribution::Uniform, Distribution::Sequential] {
+        for card in BENCH_CARDS {
+            let ds = cell(dist, card);
+            g.bench_with_input(
+                BenchmarkId::new(format!("adaptive-realistic/{}", dist.name()), card),
+                &ds,
+                |b, ds| {
+                    b.iter(|| {
+                        black_box(run_adaptive(&cfg, ds, AdaptiveMode::Realistic).cpt)
+                    })
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("adaptive-ideal/{}", dist.name()), card),
+                &ds,
+                |b, ds| {
+                    b.iter(|| {
+                        black_box(run_adaptive(&cfg, ds, AdaptiveMode::Ideal).cpt)
+                    })
+                },
+            );
+            // Fixed-choice anchor for comparison.
+            g.bench_with_input(
+                BenchmarkId::new(format!("fixed-monotable/{}", dist.name()), card),
+                &ds,
+                |b, ds| b.iter(|| black_box(simulate(Algorithm::Monotable, ds).cpt)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

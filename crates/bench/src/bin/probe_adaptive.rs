@@ -1,0 +1,32 @@
+use vagg_core::{run_adaptive, run_algorithm, AdaptiveMode, Algorithm};
+use vagg_datagen::{DatasetSpec, Distribution};
+use vagg_sim::SimConfig;
+
+fn main() {
+    let cfg = SimConfig::paper();
+    let n = 20_000;
+    let cells: Vec<_> = Distribution::ALL
+        .iter()
+        .flat_map(|&d| [76u64, 9_765, 78_125].map(|c| (d, c)))
+        .collect();
+    let mut adaptive = 0.0;
+    let mut fixed: Vec<(Algorithm, f64)> =
+        Algorithm::VECTORISED.iter().map(|&a| (a, 0.0)).collect();
+    for &(d, c) in &cells {
+        let ds = DatasetSpec::paper(d, c).with_rows(n).with_seed(3).generate();
+        let scalar = run_algorithm(Algorithm::Scalar, &cfg, &ds).cpt;
+        let ad = scalar / run_adaptive(&cfg, &ds, AdaptiveMode::Realistic).cpt;
+        adaptive += ad;
+        print!("{:>10} c={:<7} adaptive {:.2}", d.name(), c, ad);
+        for (alg, total) in fixed.iter_mut() {
+            let s = scalar / run_algorithm(*alg, &cfg, &ds).cpt;
+            *total += s;
+            print!("  {} {:.2}", alg.short_name(), s);
+        }
+        println!();
+    }
+    println!("\nTOTALS: adaptive {:.3}", adaptive / cells.len() as f64);
+    for (alg, total) in fixed {
+        println!("  {:<6} {:.3}", alg.short_name(), total / cells.len() as f64);
+    }
+}

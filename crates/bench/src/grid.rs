@@ -1,0 +1,333 @@
+//! The experimental grid runner: produces the figure series and speedup
+//! tables of the paper's evaluation (§III–§V).
+//!
+//! A [`GridRunner`] sweeps distributions × cardinalities for a chosen row
+//! count, runs algorithms on freshly generated datasets, and renders:
+//!
+//! * **figure series** (Figures 4, 6, 9, 12, 16, 17): cycles-per-tuple per
+//!   dataset, as CSV — one column per distribution, one row per
+//!   cardinality;
+//! * **speedup tables** (Tables IV–VIII): average speedup (and standard
+//!   deviation) over the scalar baseline per cardinality division;
+//! * **Table IX**: the best algorithm per cell plus the ideal/realistic
+//!   adaptive averages.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use vagg_core::{run_adaptive, run_algorithm, AdaptiveMode, Algorithm};
+use vagg_datagen::{DatasetSpec, Distribution, Division, CARDINALITIES};
+use vagg_sim::SimConfig;
+
+/// One (distribution, cardinality) cell key.
+pub type Cell = (Distribution, u64);
+
+/// CPT results for one algorithm across the grid.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Cycles per tuple, keyed by cell.
+    pub cpt: BTreeMap<Cell, f64>,
+}
+
+/// Sweeps the experimental grid.
+#[derive(Debug, Clone)]
+pub struct GridRunner {
+    /// Simulator configuration.
+    pub cfg: SimConfig,
+    /// Rows per dataset (the paper uses 10,000,000; scaled runs use less).
+    pub rows: usize,
+    /// Cardinalities to sweep (default: all 22).
+    pub cards: Vec<u64>,
+    /// Distributions to sweep (default: all 5).
+    pub dists: Vec<Distribution>,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl GridRunner {
+    /// A runner over the full grid at `rows` rows per dataset.
+    pub fn new(rows: usize) -> Self {
+        Self {
+            cfg: SimConfig::paper(),
+            rows,
+            cards: CARDINALITIES.to_vec(),
+            dists: Distribution::ALL.to_vec(),
+            seed: 0,
+        }
+    }
+
+    /// Restricts the sweep to cardinalities that do not exceed `max`.
+    /// Useful for scaled-down runs where `c >> n` cells are degenerate.
+    pub fn clamp_cards(mut self, max: u64) -> Self {
+        self.cards.retain(|&c| c <= max);
+        self
+    }
+
+    /// Every cell in sweep order.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut v = Vec::new();
+        for &d in &self.dists {
+            for &c in &self.cards {
+                v.push((d, c));
+            }
+        }
+        v
+    }
+
+    fn dataset(&self, cell: Cell) -> vagg_datagen::Dataset {
+        DatasetSpec::paper(cell.0, cell.1)
+            .with_rows(self.rows)
+            .with_seed(self.seed)
+            .generate()
+    }
+
+    /// Runs one algorithm over the whole grid.
+    pub fn run_series(&self, alg: Algorithm) -> Series {
+        self.run_series_with(alg, |_, _| {})
+    }
+
+    /// Like [`GridRunner::run_series`] but with a progress callback
+    /// `(done, total)`.
+    pub fn run_series_with(
+        &self,
+        alg: Algorithm,
+        mut progress: impl FnMut(usize, usize),
+    ) -> Series {
+        let cells = self.cells();
+        let total = cells.len();
+        let mut out = Series::default();
+        for (i, cell) in cells.into_iter().enumerate() {
+            let ds = self.dataset(cell);
+            let run = run_algorithm(alg, &self.cfg, &ds);
+            debug_assert_eq!(run.result, vagg_core::reference(&ds.g, &ds.v));
+            out.cpt.insert(cell, run.cpt);
+            progress(i + 1, total);
+        }
+        out
+    }
+
+    /// Runs the adaptive implementation over the whole grid.
+    pub fn run_adaptive_series(&self, mode: AdaptiveMode) -> Series {
+        let mut out = Series::default();
+        for cell in self.cells() {
+            let ds = self.dataset(cell);
+            let run = run_adaptive(&self.cfg, &ds, mode);
+            out.cpt.insert(cell, run.cpt);
+        }
+        out
+    }
+
+    /// Composes the adaptive series from already-measured per-algorithm
+    /// series without re-simulating anything.
+    ///
+    /// The adaptive implementation's cycle cost *is* the cost of whatever
+    /// algorithm the §V-D planner selects (selection reads metadata the
+    /// algorithms compute anyway — see [`vagg_core::adaptive`]), so given
+    /// each candidate's CPT for a cell the adaptive CPT is a lookup. Only
+    /// dataset *generation* is repeated here, to recover the planner's
+    /// runtime cardinality estimate.
+    ///
+    /// Returns `None` if a cell's selected algorithm is missing from
+    /// `series`.
+    pub fn adaptive_series_from(
+        &self,
+        mode: AdaptiveMode,
+        series: &[(Algorithm, Series)],
+    ) -> Option<Series> {
+        use vagg_core::{select_algorithm, PlannerInputs};
+        let mut out = Series::default();
+        for cell in self.cells() {
+            let ds = self.dataset(cell);
+            let inputs = PlannerInputs {
+                presorted: ds.spec.distribution.is_presorted(),
+                cardinality: ds.max_group_key() as u64 + 1,
+                rows: ds.len(),
+                mvl: self.cfg.mvl,
+            };
+            let oracle = match mode {
+                AdaptiveMode::Ideal => Some(ds.spec.distribution),
+                AdaptiveMode::Realistic => None,
+            };
+            let alg = select_algorithm(&inputs, oracle, mode);
+            let cpt = series.iter().find(|(a, _)| *a == alg)?.1.cpt.get(&cell)?;
+            out.cpt.insert(cell, *cpt);
+        }
+        Some(out)
+    }
+
+    /// Renders a figure series as CSV (`cardinality, <dist...>`).
+    pub fn series_csv(&self, s: &Series) -> String {
+        let mut out = String::from("cardinality");
+        for d in &self.dists {
+            write!(out, ",{}", d.name()).unwrap();
+        }
+        out.push('\n');
+        for &c in &self.cards {
+            write!(out, "{c}").unwrap();
+            for &d in &self.dists {
+                match s.cpt.get(&(d, c)) {
+                    Some(v) => write!(out, ",{v:.3}").unwrap(),
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-division average speedup (and standard deviation) of `alg`
+    /// over `base`, in the paper's table layout.
+    pub fn speedup_table(&self, base: &Series, alg: &Series) -> SpeedupTable {
+        let mut table = SpeedupTable::default();
+        for &d in &self.dists {
+            let mut row = Vec::new();
+            for div in Division::ALL {
+                let speedups: Vec<f64> = self
+                    .cards
+                    .iter()
+                    .filter(|&&c| Division::of_cardinality(c) == div)
+                    .filter_map(|&c| {
+                        let b = base.cpt.get(&(d, c))?;
+                        let a = alg.cpt.get(&(d, c))?;
+                        Some(b / a)
+                    })
+                    .collect();
+                row.push(stats(&speedups));
+            }
+            table.rows.push((d, row));
+        }
+        table
+    }
+}
+
+/// Mean/stdev per division for one distribution row.
+#[derive(Debug, Clone, Default)]
+pub struct SpeedupTable {
+    /// One row per distribution: (distribution, per-division (mean,
+    /// stdev); `None` when the division had no swept cardinalities).
+    pub rows: Vec<(Distribution, Vec<Option<(f64, f64)>>)>,
+}
+
+impl SpeedupTable {
+    /// Markdown rendering in the paper's layout.
+    pub fn to_markdown(&self, caption: &str) -> String {
+        let mut out = format!("**{caption}**\n\n");
+        out.push_str("| dataset | low | low-normal | high-normal | high |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for (d, cells) in &self.rows {
+            write!(out, "| {} |", d.name()).unwrap();
+            for cell in cells {
+                match cell {
+                    Some((m, s)) => write!(out, " {m:.1}x ({s:.1}) |").unwrap(),
+                    None => out.push_str(" — |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The (distribution, division) cell, if swept.
+    pub fn cell(&self, d: Distribution, div: Division) -> Option<(f64, f64)> {
+        let idx = Division::ALL.iter().position(|&x| x == div)?;
+        self.rows.iter().find(|(x, _)| *x == d)?.1[idx]
+    }
+}
+
+fn stats(xs: &[f64]) -> Option<(f64, f64)> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var =
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    Some((mean, var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_runner() -> GridRunner {
+        let mut r = GridRunner::new(640);
+        r.cards = vec![4, 19];
+        r.dists = vec![Distribution::Uniform, Distribution::Sorted];
+        r
+    }
+
+    #[test]
+    fn series_covers_all_cells() {
+        let r = tiny_runner();
+        let s = r.run_series(Algorithm::Monotable);
+        assert_eq!(s.cpt.len(), 4);
+        assert!(s.cpt.values().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let r = tiny_runner();
+        let s = r.run_series(Algorithm::Scalar);
+        let csv = r.series_csv(&s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cardinality,uniform,sorted");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("4,"));
+    }
+
+    #[test]
+    fn speedup_table_structure() {
+        let r = tiny_runner();
+        let base = r.run_series(Algorithm::Scalar);
+        let s = r.run_series(Algorithm::Monotable);
+        let t = r.speedup_table(&base, &s);
+        assert_eq!(t.rows.len(), 2);
+        // Only the `low` division was swept.
+        let low = t.cell(Distribution::Uniform, Division::Low).unwrap();
+        assert!(low.0 > 0.0);
+        assert!(t.cell(Distribution::Uniform, Division::High).is_none());
+        let md = t.to_markdown("test");
+        assert!(md.contains("| uniform |"));
+    }
+
+    #[test]
+    fn clamp_cards_filters() {
+        let r = GridRunner::new(100).clamp_cards(1000);
+        assert!(r.cards.iter().all(|&c| c <= 1000));
+        assert_eq!(r.cards.len(), 8);
+    }
+
+    #[test]
+    fn adaptive_series_runs() {
+        let r = tiny_runner();
+        let s = r.run_adaptive_series(AdaptiveMode::Realistic);
+        assert_eq!(s.cpt.len(), 4);
+    }
+
+    #[test]
+    fn adaptive_series_from_matches_resimulation() {
+        let r = tiny_runner();
+        let series: Vec<(Algorithm, Series)> = Algorithm::VECTORISED
+            .into_iter()
+            .map(|a| (a, r.run_series(a)))
+            .collect();
+        for mode in [AdaptiveMode::Ideal, AdaptiveMode::Realistic] {
+            let composed = r.adaptive_series_from(mode, &series).unwrap();
+            let resim = r.run_adaptive_series(mode);
+            assert_eq!(composed.cpt, resim.cpt, "{mode:?}");
+        }
+        // Missing candidate series → None, not a panic.
+        let only_mono: Vec<(Algorithm, Series)> = series
+            .iter()
+            .filter(|(a, _)| *a == Algorithm::Monotable)
+            .cloned()
+            .collect();
+        // The tiny grid's cells may all select monotable; force a cell
+        // that cannot: a presorted low-cardinality dataset picks
+        // polytable or ssr, so composing from monotable alone fails.
+        let mut sorted_runner = tiny_runner();
+        sorted_runner.dists = vec![Distribution::Sorted];
+        sorted_runner.cards = vec![4];
+        assert!(sorted_runner
+            .adaptive_series_from(AdaptiveMode::Realistic, &only_mono)
+            .is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! SVG renderings of the figure series — dependency-free line charts in
+//! the paper's visual layout (CPT on a linear y-axis capped as in the
+//! paper, cardinalities along x, one line per distribution).
+
+use crate::grid::{GridRunner, Series};
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 860.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 60.0;
+const MARGIN_B: f64 = 70.0;
+const MARGIN_T: f64 = 30.0;
+const MARGIN_R: f64 = 20.0;
+
+/// Line colours per distribution index (the paper's five datasets).
+const COLOURS: [&str; 5] = ["#c0392b", "#27ae60", "#2980b9", "#8e44ad", "#e67e22"];
+
+/// Renders one figure series as a standalone SVG. `y_cap` bounds the
+/// y-axis (the paper clips its figures at 135 CPT so polytable's collapse
+/// does not flatten every other line).
+pub fn series_svg(runner: &GridRunner, series: &Series, title: &str, y_cap: f64) -> String {
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let nx = runner.cards.len().max(2);
+
+    let x_of = |i: usize| MARGIN_L + plot_w * i as f64 / (nx - 1) as f64;
+    let y_of = |v: f64| {
+        let c = v.min(y_cap);
+        MARGIN_T + plot_h * (1.0 - c / y_cap)
+    };
+
+    let mut svg = String::new();
+    write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+    )
+    .unwrap();
+    svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    write!(
+        svg,
+        r#"<text x="{}" y="18" font-family="sans-serif" font-size="14" text-anchor="middle">{title}</text>"#,
+        WIDTH / 2.0
+    )
+    .unwrap();
+
+    // Axes + gridlines.
+    for k in 0..=9 {
+        let v = y_cap * k as f64 / 9.0;
+        let y = y_of(v);
+        write!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#eee"/>"##,
+            WIDTH - MARGIN_R
+        )
+        .unwrap();
+        write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10" text-anchor="end">{v:.0}</text>"#,
+            MARGIN_L - 6.0,
+            y + 3.0
+        )
+        .unwrap();
+    }
+    for (i, &c) in runner.cards.iter().enumerate() {
+        let x = x_of(i);
+        write!(
+            svg,
+            r#"<text x="{x:.1}" y="{:.1}" font-family="sans-serif" font-size="9" text-anchor="end" transform="rotate(-60 {x:.1} {:.1})">{c}</text>"#,
+            HEIGHT - MARGIN_B + 14.0,
+            HEIGHT - MARGIN_B + 14.0
+        )
+        .unwrap();
+    }
+    write!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12" text-anchor="middle">maximum cardinality</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 8.0
+    )
+    .unwrap();
+    write!(
+        svg,
+        r#"<text x="14" y="{:.1}" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 {:.1})">cycles per tuple</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0
+    )
+    .unwrap();
+
+    // One polyline per distribution + legend.
+    for (di, &dist) in runner.dists.iter().enumerate() {
+        let colour = COLOURS[di % COLOURS.len()];
+        let mut points = String::new();
+        for (i, &c) in runner.cards.iter().enumerate() {
+            if let Some(&v) = series.cpt.get(&(dist, c)) {
+                write!(points, "{:.1},{:.1} ", x_of(i), y_of(v)).unwrap();
+            }
+        }
+        write!(
+            svg,
+            r#"<polyline fill="none" stroke="{colour}" stroke-width="2" points="{points}"/>"#
+        )
+        .unwrap();
+        let lx = MARGIN_L + 10.0 + 130.0 * di as f64;
+        write!(
+            svg,
+            r#"<rect x="{lx:.1}" y="{:.1}" width="12" height="3" fill="{colour}"/><text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11">{}</text>"#,
+            MARGIN_T + 4.0,
+            lx + 16.0,
+            MARGIN_T + 8.0,
+            dist.name()
+        )
+        .unwrap();
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vagg_core::Algorithm;
+    use vagg_datagen::Distribution;
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let mut r = GridRunner::new(640);
+        r.cards = vec![4, 19, 76];
+        r.dists = vec![Distribution::Uniform, Distribution::Sorted];
+        let s = r.run_series(Algorithm::Monotable);
+        let svg = series_svg(&r, &s, "test figure", 135.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("uniform"));
+        assert!(svg.contains("cycles per tuple"));
+        // Every plotted point is inside the canvas.
+        for cap in svg.split("points=\"").skip(1) {
+            let pts = cap.split('"').next().unwrap();
+            for pair in pts.split_whitespace() {
+                let (x, y) = pair.split_once(',').unwrap();
+                let (x, y): (f64, f64) = (x.parse().unwrap(), y.parse().unwrap());
+                assert!((0.0..=WIDTH).contains(&x));
+                assert!((0.0..=HEIGHT).contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn y_cap_clips_outliers() {
+        let mut r = GridRunner::new(640);
+        r.cards = vec![4, 19];
+        r.dists = vec![Distribution::Uniform];
+        let mut s = Series::default();
+        s.cpt.insert((Distribution::Uniform, 4), 10.0);
+        s.cpt.insert((Distribution::Uniform, 19), 10_000.0); // off the chart
+        let svg = series_svg(&r, &s, "clip", 135.0);
+        // The clipped point must sit at the top of the plot area, not
+        // outside the canvas.
+        assert!(svg.contains(&format!("{:.1}", MARGIN_T)));
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared helpers for the criterion benches: reduced-scale dataset cells
+//! and a one-call "simulate this algorithm on this cell" wrapper.
+//!
+//! Criterion measures *host* wall time of the simulator here; the
+//! simulated cycle counts that regenerate the paper's numbers come from
+//! the `repro` binary. Benchmarking the simulator itself still pins the
+//! relative cost of each algorithm (more simulated work = more host work)
+//! and guards against performance regressions in the models.
+
+use vagg_core::{run_algorithm, AggRun, Algorithm};
+use vagg_datagen::{Dataset, DatasetSpec, Distribution};
+use vagg_sim::SimConfig;
+
+/// Default row count for bench cells: large enough to exercise the cache
+/// hierarchy transitions, small enough for quick iterations.
+pub const BENCH_ROWS: usize = 20_000;
+
+/// A representative low / high-normal cardinality pair.
+pub const BENCH_CARDS: [u64; 2] = [76, 78_125];
+
+/// Generates one bench dataset.
+pub fn cell(dist: Distribution, card: u64) -> Dataset {
+    DatasetSpec::paper(dist, card)
+        .with_rows(BENCH_ROWS)
+        .with_seed(7)
+        .generate()
+}
+
+/// Runs an algorithm on a dataset under the paper configuration.
+pub fn simulate(alg: Algorithm, ds: &Dataset) -> AggRun {
+    run_algorithm(alg, &SimConfig::paper(), ds)
+}
+
+/// Runs an algorithm under a custom configuration.
+pub fn simulate_with(alg: Algorithm, cfg: &SimConfig, ds: &Dataset) -> AggRun {
+    run_algorithm(alg, cfg, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_cells_simulate() {
+        let ds = cell(Distribution::Uniform, 76);
+        let run = simulate(Algorithm::Monotable, &ds);
+        assert_eq!(run.result, vagg_core::reference(&ds.g, &ds.v));
+    }
+}

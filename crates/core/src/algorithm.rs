@@ -1,0 +1,196 @@
+//! The unified algorithm catalogue and single-run driver.
+
+use crate::input::StagedInput;
+use crate::result::AggResult;
+use crate::sorted_reduce::SortKind;
+use vagg_datagen::Dataset;
+use vagg_sim::{Machine, SimConfig};
+
+/// The six implementations the paper evaluates, plus the two related-work
+/// comparators of §VI-B (measured here rather than argued).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The scalar baseline (§III-B).
+    Scalar,
+    /// Standard sorted reduce — radix sort + segmented reductions (§IV-A).
+    StandardSortedReduce,
+    /// Polytable — MVL-replicated tables (§IV-B).
+    Polytable,
+    /// Advanced sorted reduce — VSR sort + segmented reductions (§V-A).
+    AdvancedSortedReduce,
+    /// Monotable — single table via VGAsum/VLU (§V-B).
+    Monotable,
+    /// Partially sorted monotable (§V-C).
+    PartiallySortedMonotable,
+    /// AVX-512-CDI-style best-effort retry loop (related work, §VI-B).
+    CdiMonotable,
+    /// Memory-side scatter-add (Ahn et al., HPCA 2005; related work).
+    ScatterAddMonotable,
+}
+
+impl Algorithm {
+    /// All algorithms: the paper's six in presentation order, then the
+    /// two related-work comparators.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::Scalar,
+        Algorithm::StandardSortedReduce,
+        Algorithm::Polytable,
+        Algorithm::AdvancedSortedReduce,
+        Algorithm::Monotable,
+        Algorithm::PartiallySortedMonotable,
+        Algorithm::CdiMonotable,
+        Algorithm::ScatterAddMonotable,
+    ];
+
+    /// The algorithms the paper itself evaluates (Figures 4–17).
+    pub const PAPER: [Algorithm; 6] = [
+        Algorithm::Scalar,
+        Algorithm::StandardSortedReduce,
+        Algorithm::Polytable,
+        Algorithm::AdvancedSortedReduce,
+        Algorithm::Monotable,
+        Algorithm::PartiallySortedMonotable,
+    ];
+
+    /// The five vectorised algorithms (everything but the baseline).
+    pub const VECTORISED: [Algorithm; 5] = [
+        Algorithm::StandardSortedReduce,
+        Algorithm::Polytable,
+        Algorithm::AdvancedSortedReduce,
+        Algorithm::Monotable,
+        Algorithm::PartiallySortedMonotable,
+    ];
+
+    /// Full name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Scalar => "scalar",
+            Algorithm::StandardSortedReduce => "standard sorted reduce",
+            Algorithm::Polytable => "polytable",
+            Algorithm::AdvancedSortedReduce => "advanced sorted reduce",
+            Algorithm::Monotable => "monotable",
+            Algorithm::PartiallySortedMonotable => "partially sorted monotable",
+            Algorithm::CdiMonotable => "cdi monotable",
+            Algorithm::ScatterAddMonotable => "scatter-add monotable",
+        }
+    }
+
+    /// Short name as used in the paper's Table IX.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Algorithm::Scalar => "scalar",
+            Algorithm::StandardSortedReduce => "ssr",
+            Algorithm::Polytable => "poly",
+            Algorithm::AdvancedSortedReduce => "asr",
+            Algorithm::Monotable => "mono",
+            Algorithm::PartiallySortedMonotable => "psm",
+            Algorithm::CdiMonotable => "cdi",
+            Algorithm::ScatterAddMonotable => "sam",
+        }
+    }
+
+    /// Parses a short name.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        Self::ALL.iter().copied().find(|a| a.short_name() == s)
+    }
+
+    /// Executes this algorithm on a staged input in an existing machine.
+    pub fn execute(self, m: &mut Machine, input: &StagedInput) -> (AggResult, usize) {
+        let (out, rows) = match self {
+            Algorithm::Scalar => crate::scalar::scalar_aggregate(m, input),
+            Algorithm::StandardSortedReduce => {
+                crate::sorted_reduce::sorted_reduce_aggregate(m, input, SortKind::Radix)
+            }
+            Algorithm::Polytable => crate::polytable::polytable_aggregate(m, input),
+            Algorithm::AdvancedSortedReduce => {
+                crate::sorted_reduce::sorted_reduce_aggregate(m, input, SortKind::Vsr)
+            }
+            Algorithm::Monotable => crate::monotable::monotable_aggregate(m, input),
+            Algorithm::PartiallySortedMonotable => crate::psm::psm_aggregate(m, input),
+            Algorithm::CdiMonotable => {
+                crate::related_work::cdi_monotable_aggregate(m, input)
+            }
+            Algorithm::ScatterAddMonotable => {
+                crate::related_work::scatter_add_monotable_aggregate(m, input)
+            }
+        };
+        (out.read(m, rows), rows)
+    }
+}
+
+/// One measured run: the result plus the paper's metric.
+#[derive(Debug, Clone)]
+pub struct AggRun {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// The aggregation output.
+    pub result: AggResult,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Cycles per tuple — the paper's reporting metric.
+    pub cpt: f64,
+    /// Dynamic instruction mix of the run (which instruction classes the
+    /// algorithm actually executed, and at what average vector length).
+    pub mix: vagg_sim::OpMix,
+}
+
+/// Runs `algorithm` on `dataset` in a fresh machine with `cfg`.
+pub fn run_algorithm(algorithm: Algorithm, cfg: &SimConfig, ds: &Dataset) -> AggRun {
+    let mut m = Machine::new(cfg.clone());
+    let input = StagedInput::stage(&mut m, ds);
+    let (result, _rows) = algorithm.execute(&mut m, &input);
+    let cycles = m.cycles();
+    AggRun {
+        algorithm,
+        result,
+        cycles,
+        cpt: cycles as f64 / ds.len() as f64,
+        mix: m.mix(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::reference;
+    use vagg_datagen::{DatasetSpec, Distribution};
+
+    #[test]
+    fn names_roundtrip() {
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(a.short_name()), Some(a));
+        }
+        assert_eq!(Algorithm::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_algorithm_matches_reference_on_every_distribution() {
+        let cfg = SimConfig::paper();
+        for dist in Distribution::ALL {
+            let ds = DatasetSpec::paper(dist, 61).with_rows(600).with_seed(3).generate();
+            let expect = reference(&ds.g, &ds.v);
+            for alg in Algorithm::ALL {
+                let run = run_algorithm(alg, &cfg, &ds);
+                assert_eq!(
+                    run.result,
+                    expect,
+                    "{} wrong on {}",
+                    alg.name(),
+                    dist.name()
+                );
+                assert!(run.cycles > 0);
+                assert!(run.cpt > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cpt_is_cycles_over_n() {
+        let cfg = SimConfig::paper();
+        let ds = DatasetSpec::paper(Distribution::Uniform, 10)
+            .with_rows(256)
+            .generate();
+        let run = run_algorithm(Algorithm::Monotable, &cfg, &ds);
+        assert!((run.cpt - run.cycles as f64 / 256.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Vectorised output compaction — step 4 of the table-based algorithms.
+//!
+//! Scans the global `count`/`sum` tables, drops groups with `count == 0`
+//! (absent groups with NULL results), and emits the packed three-column
+//! result. This is the step the paper says vectorises "directly using
+//! typical SIMD instructions" (§IV-B): a `!= 0` comparison produces a mask,
+//! `compress` packs the survivors, `popcount` advances the output cursor.
+
+use crate::input::OutputTable;
+use vagg_isa::{CmpOp, Mreg, Vreg};
+use vagg_sim::Machine;
+
+const VC: Vreg = Vreg(8); // counts
+const VS: Vreg = Vreg(9); // sums
+const VK: Vreg = Vreg(10); // group keys (iota + base)
+const VPK: Vreg = Vreg(11); // packed
+const M1: Mreg = Mreg(1);
+
+/// Compacts `cells` table entries into `out`; returns the row count.
+pub fn compact_tables(
+    m: &mut Machine,
+    count_tbl: u64,
+    sum_tbl: u64,
+    cells: usize,
+    out: &OutputTable,
+) -> usize {
+    assert!(out.capacity >= 1);
+    let mvl = m.mvl();
+    let mut rows = 0usize;
+    for base in (0..cells).step_by(mvl) {
+        let vl = (cells - base).min(mvl);
+        m.set_vl(vl);
+        let t = m.s_op(0); // loop control
+        m.vload_unit(VC, count_tbl + 4 * base as u64, 4, t);
+        m.vcmp_vs(CmpOp::Nez, M1, VC, 0, None);
+        let (k, kt) = m.mpopcnt(M1);
+        m.s_op(kt); // branch on the popcount
+        if k == 0 {
+            continue;
+        }
+        // Group keys for this chunk.
+        m.viota(VK, None);
+        m.vbinop_vs(vagg_isa::BinOp::Add, VK, VK, base as u64, None);
+        let o = 4 * rows as u64;
+        m.vcompress(VPK, VK, M1);
+        m.vstore_unit(VPK, out.groups + o, 4, 0);
+        m.vcompress(VPK, VC, M1);
+        m.vstore_unit(VPK, out.counts + o, 4, 0);
+        m.vload_unit(VS, sum_tbl + 4 * base as u64, 4, t);
+        m.vcompress(VPK, VS, M1);
+        m.vstore_unit(VPK, out.sums + o, 4, 0);
+        rows += k;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::OutputTable;
+
+    #[test]
+    fn drops_absent_groups() {
+        let mut m = Machine::paper();
+        let cells = 10usize;
+        let count = m.space_mut().alloc(4 * cells as u64, 64);
+        let sum = m.space_mut().alloc(4 * cells as u64, 64);
+        m.space_mut().write_slice_u32(count, &[0, 2, 0, 0, 1, 0, 3, 0, 0, 4]);
+        m.space_mut().write_slice_u32(sum, &[0, 20, 0, 0, 10, 0, 30, 0, 0, 40]);
+        let out = OutputTable::alloc(&mut m, cells);
+        let rows = compact_tables(&mut m, count, sum, cells, &out);
+        assert_eq!(rows, 4);
+        let r = out.read(&m, rows);
+        assert_eq!(r.groups, vec![1, 4, 6, 9]);
+        assert_eq!(r.counts, vec![2, 1, 3, 4]);
+        assert_eq!(r.sums, vec![20, 10, 30, 40]);
+    }
+
+    #[test]
+    fn spans_multiple_chunks() {
+        let mut m = Machine::paper();
+        let cells = 200usize;
+        let count = m.space_mut().alloc(4 * cells as u64, 64);
+        let sum = m.space_mut().alloc(4 * cells as u64, 64);
+        // Every third group present.
+        let counts: Vec<u32> =
+            (0..cells as u32).map(|k| if k % 3 == 0 { k + 1 } else { 0 }).collect();
+        let sums: Vec<u32> = counts.iter().map(|&c| c * 2).collect();
+        m.space_mut().write_slice_u32(count, &counts);
+        m.space_mut().write_slice_u32(sum, &sums);
+        let out = OutputTable::alloc(&mut m, cells);
+        let rows = compact_tables(&mut m, count, sum, cells, &out);
+        assert_eq!(rows, (cells + 2) / 3);
+        let r = out.read(&m, rows);
+        assert!(r.groups.iter().all(|&g| g % 3 == 0));
+        assert!(r.groups.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn all_empty_emits_nothing() {
+        let mut m = Machine::paper();
+        let count = m.space_mut().alloc(400, 64);
+        let sum = m.space_mut().alloc(400, 64);
+        let out = OutputTable::alloc(&mut m, 100);
+        assert_eq!(compact_tables(&mut m, count, sum, 100, &out), 0);
+    }
+
+    #[test]
+    fn all_present_keeps_everything() {
+        let mut m = Machine::paper();
+        let cells = 64usize;
+        let count = m.space_mut().alloc(256, 64);
+        let sum = m.space_mut().alloc(256, 64);
+        m.space_mut().write_slice_u32(count, &vec![1u32; cells]);
+        m.space_mut().write_slice_u32(sum, &vec![9u32; cells]);
+        let out = OutputTable::alloc(&mut m, cells);
+        let rows = compact_tables(&mut m, count, sum, cells, &out);
+        assert_eq!(rows, cells);
+        let r = out.read(&m, rows);
+        assert_eq!(r.groups, (0..cells as u32).collect::<Vec<_>>());
+    }
+}

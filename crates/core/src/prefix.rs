@@ -1,0 +1,131 @@
+//! Grouped prefix sums — the §VI-B observation that the VGAx instructions
+//! generalise beyond aggregation: *"Since the VGAx instructions generate a
+//! running cumulative for each group in a vector register, this could have
+//! uses beyond aggregation, e.g. a customised prefix sum operation."*
+//!
+//! [`grouped_prefix_sum`] computes, for every row `i`, the running sum of
+//! `v` over all rows `j ≤ i` with `g[j] == g[i]` — SQL's
+//! `SUM(v) OVER (PARTITION BY g ORDER BY rownum)` window function — in a
+//! single streaming pass: per MVL chunk, one `VGAsum` produces the
+//! in-register running sums and a carry table holds each group's running
+//! total from earlier chunks (gathered per element and added).
+
+use crate::input::StagedInput;
+use vagg_isa::{BinOp, Mreg, RedOp, Vreg};
+use vagg_sim::Machine;
+
+const VG: Vreg = Vreg(0); // group keys
+const VV: Vreg = Vreg(1); // values
+const VA: Vreg = Vreg(2); // in-register running sums
+const VCARRY: Vreg = Vreg(3); // per-element carry-in from earlier chunks
+const VOUT: Vreg = Vreg(4); // final per-row output
+const VT: Vreg = Vreg(5); // carry-table update
+const VZ: Vreg = Vreg(6); // zero
+const M0: Mreg = Mreg(0); // VLU mask
+
+/// Computes the grouped running sum into a fresh output column; returns
+/// its simulated address. `maxg` bounds the carry table (use the max-scan
+/// step of any aggregation, or dataset metadata).
+pub fn grouped_prefix_sum(m: &mut Machine, input: &StagedInput, maxg: u32) -> u64 {
+    let mvl = m.mvl();
+    let n = input.n;
+    let cells = maxg as usize + 1;
+    let carry_tbl = m.space_mut().alloc(4 * cells as u64, 64);
+    let out = m.space_mut().alloc(4 * n as u64, 64);
+
+    // Clear the carry table.
+    m.set_vl(mvl);
+    m.vset(VZ, 0, None);
+    let mut t = 0;
+    for i in (0..cells).step_by(mvl) {
+        let vl = (cells - i).min(mvl);
+        if vl != m.vl() {
+            m.set_vl(vl);
+        }
+        t = m.vstore_unit(VZ, carry_tbl + 4 * i as u64, 4, t);
+    }
+
+    for start in (0..n).step_by(mvl) {
+        let vl = (n - start).min(mvl);
+        m.set_vl(vl);
+        let lt = m.s_op(0);
+        m.vload_unit(VG, input.g + 4 * start as u64, 4, lt);
+        m.vload_unit(VV, input.v + 4 * start as u64, 4, lt);
+        // In-register running sums (inclusive) + carry-in per element.
+        m.vga(RedOp::Sum, VA, VG, VV);
+        m.vgather(VCARRY, carry_tbl, VG, 4, None, 0); // reads may repeat
+        m.vbinop_vv(BinOp::Add, VOUT, VA, VCARRY, None);
+        m.vstore_unit(VOUT, out + 4 * start as u64, 4, 0);
+        // Carry out: at each group's last instance, VOUT already holds the
+        // group's running total including this chunk.
+        m.vlu(M0, VG);
+        m.vbinop_vv(BinOp::Add, VT, VOUT, VZ, Some(M0));
+        m.vscatter(VT, carry_tbl, VG, 4, Some(M0), 0);
+    }
+    out
+}
+
+/// Host-side oracle.
+pub fn reference_prefix_sum(g: &[u32], v: &[u32]) -> Vec<u32> {
+    let mut running = std::collections::HashMap::new();
+    g.iter()
+        .zip(v)
+        .map(|(&k, &x)| {
+            let e = running.entry(k).or_insert(0u32);
+            *e += x;
+            *e
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(g: Vec<u32>, v: Vec<u32>) {
+        let mut m = Machine::paper();
+        let input = StagedInput::stage_raw(&mut m, &g, &v, false);
+        let maxg = g.iter().copied().max().unwrap();
+        let out = grouped_prefix_sum(&mut m, &input, maxg);
+        let got = m.space().read_slice_u32(out, g.len());
+        assert_eq!(got, reference_prefix_sum(&g, &v));
+    }
+
+    #[test]
+    fn figure13_running_sums() {
+        // The Figure 13 example *is* a grouped prefix sum.
+        let g = vec![7, 5, 5, 5, 11, 9, 9, 11];
+        let v = vec![6, 3, 4, 9, 15, 2, 3, 4];
+        let mut m = Machine::paper();
+        let input = StagedInput::stage_raw(&mut m, &g, &v, false);
+        let out = grouped_prefix_sum(&mut m, &input, 11);
+        assert_eq!(
+            m.space().read_slice_u32(out, 8),
+            vec![6, 3, 7, 16, 15, 2, 5, 19]
+        );
+    }
+
+    #[test]
+    fn carries_across_chunks() {
+        // Group 5 spans many chunks; carries must accumulate.
+        let n = 500;
+        let g: Vec<u32> = (0..n).map(|i| (i % 7) as u32).collect();
+        let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
+        run(g, v);
+    }
+
+    #[test]
+    fn single_group() {
+        run(vec![0; 200], (0..200).map(|i| i % 5).collect());
+    }
+
+    #[test]
+    fn all_distinct_groups() {
+        run((0..150).collect(), vec![3; 150]);
+    }
+
+    #[test]
+    fn ragged_tail() {
+        run(vec![1; 65], vec![1; 65]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Partially sorted monotable — confrontation technique #3 (§V-C).
+//!
+//! Monotable's only weakness is losing table locality at high cardinality.
+//! Full sorting would restore it but costs multiple VSR passes. The paper's
+//! insight: repeated group keys only need to land *close enough together*
+//! that nothing in between evicts their table lines — so a **single** VSR
+//! pass over just the top bits of the key suffices.
+//!
+//! The number of sorted bits follows §V-C: none at all for `low`/
+//! `low-normal` cardinalities (the Ξ cases — behaviour identical to
+//! monotable), 8 bits for `high-normal`, growing to 11 for the largest
+//! `high` cardinality. The rule implemented here keeps each partition's
+//! table footprint within a fraction of the L2: sort `max(8, key_bits −
+//! 13)` top bits once the tables outgrow the cache.
+
+use crate::input::{vector_max_scan, OutputTable, StagedInput};
+use crate::monotable::monotable_on;
+use vagg_sim::Machine;
+use vagg_sort::vsr_partial_pass;
+
+/// Group-table cells (per table) that comfortably keep their locality in
+/// the 256 KB L2 alongside the streamed input: 2^13 = 8,192 groups × 8 B
+/// of table data = 64 KB.
+const RESIDENT_BITS: u32 = 13;
+
+/// Decides how many top bits to partially sort for a maximum group key
+/// `maxg`. Returns `None` when no partial sort is needed (the paper's Ξ
+/// cases).
+pub fn partial_sort_bits(maxg: u32) -> Option<(u32, u32)> {
+    let key_bits = 32 - maxg.leading_zeros(); // bits needed for maxg
+    if key_bits <= RESIDENT_BITS + 1 {
+        // Tables are (near-)cache-resident — the paper's Ξ cases: no
+        // partial sort anywhere in `low`/`low-normal` (c ≤ 9,765 needs at
+        // most 14 key bits).
+        return None;
+    }
+    let to_sort = (key_bits - RESIDENT_BITS).max(8).min(key_bits);
+    Some((key_bits - to_sort, key_bits))
+}
+
+/// Runs partially sorted monotable; returns the output table and row
+/// count.
+pub fn psm_aggregate(m: &mut Machine, input: &StagedInput) -> (OutputTable, usize) {
+    let (maxg, tok) = if input.presorted {
+        crate::input::presorted_max(m, input)
+    } else {
+        vector_max_scan(m, input)
+    };
+
+    // Presorted inputs already have perfect locality (Ξ), and
+    // cache-resident tables need no help.
+    let bits = if input.presorted { None } else { partial_sort_bits(maxg) };
+    psm_on(m, input, maxg, tok, bits)
+}
+
+/// Runs partially sorted monotable with an explicit number of top bits to
+/// sort, overriding the §V-C rule — the knob behind the partial-sort-bits
+/// ablation (DESIGN.md §5).
+///
+/// `to_sort = 0` degenerates to plain monotable. Values larger than the
+/// key width are clamped (a full sort of the key).
+pub fn psm_aggregate_with_bits(
+    m: &mut Machine,
+    input: &StagedInput,
+    to_sort: u32,
+) -> (OutputTable, usize) {
+    let (maxg, tok) = if input.presorted {
+        crate::input::presorted_max(m, input)
+    } else {
+        vector_max_scan(m, input)
+    };
+    let key_bits = 32 - maxg.leading_zeros();
+    let bits = (to_sort > 0 && key_bits > 0)
+        .then(|| (key_bits - to_sort.min(key_bits), key_bits));
+    psm_on(m, input, maxg, tok, bits)
+}
+
+fn psm_on(
+    m: &mut Machine,
+    input: &StagedInput,
+    maxg: u32,
+    tok: vagg_sim::Tok,
+    bits: Option<(u32, u32)>,
+) -> (OutputTable, usize) {
+    match bits {
+        None => monotable_on(m, input.g, input.v, input.n, maxg, tok),
+        Some((lo, hi)) => {
+            let arrays = input.sort_arrays();
+            vsr_partial_pass(m, &arrays, lo, hi, maxg);
+            let (pg, pv) = arrays.result_buffers(1);
+            monotable_on(m, pg, pv, input.n, maxg, tok)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::reference;
+
+    fn run(g: Vec<u32>, v: Vec<u32>, presorted: bool) -> (crate::result::AggResult, u64) {
+        let mut m = Machine::paper();
+        let st = StagedInput::stage_raw(&mut m, &g, &v, presorted);
+        let (out, rows) = psm_aggregate(&mut m, &st);
+        let r = out.read(&m, rows);
+        r.validate(g.len()).unwrap();
+        assert_eq!(r, reference(&g, &v));
+        (r, m.cycles())
+    }
+
+    #[test]
+    fn bit_selection_follows_the_paper() {
+        // Low/low-normal cardinalities: no partial sort (Ξ).
+        assert_eq!(partial_sort_bits(151), None);
+        assert_eq!(partial_sort_bits(8191), None); // 13 bits, resident
+        assert_eq!(partial_sort_bits(9_764), None); // all of low-normal
+        // high-normal (~15-19 key bits): 8 top bits.
+        assert_eq!(partial_sort_bits(19_530), Some((7, 15)));
+        assert_eq!(partial_sort_bits(312_499), Some((11, 19)));
+        // largest high cardinality (24 key bits): 11 top bits.
+        assert_eq!(partial_sort_bits(9_999_999), Some((13, 24)));
+        // Intermediate high: grows gradually (9, 10...).
+        assert_eq!(partial_sort_bits(2_499_999), Some((13, 22)));
+    }
+
+    #[test]
+    fn low_cardinality_matches_monotable_exactly() {
+        // The Ξ equivalence: same cycles, same result as monotable.
+        let n = 2000usize;
+        let g: Vec<u32> =
+            (0..n).map(|i| ((i as u64 * 2654435761) % 100) as u32).collect();
+        let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
+
+        let (_, psm_cycles) = run(g.clone(), v.clone(), false);
+
+        let mut m = Machine::paper();
+        let st = StagedInput::stage_raw(&mut m, &g, &v, false);
+        crate::monotable::monotable_aggregate(&mut m, &st);
+        assert_eq!(psm_cycles, m.cycles(), "Ξ case must be bit-identical");
+    }
+
+    #[test]
+    fn high_cardinality_correct_with_partial_sort() {
+        let n = 3000usize;
+        let g: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 2_000_000) as u32)
+            .collect();
+        let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
+        run(g, v, false);
+    }
+
+    #[test]
+    fn presorted_high_cardinality_skips_partial_sort() {
+        let n = 2000usize;
+        let mut g: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 1_000_000) as u32)
+            .collect();
+        g.sort_unstable();
+        let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
+
+        let (_, psm_cycles) = run(g.clone(), v.clone(), true);
+
+        let mut m = Machine::paper();
+        let st = StagedInput::stage_raw(&mut m, &g, &v, true);
+        crate::monotable::monotable_aggregate(&mut m, &st);
+        assert_eq!(psm_cycles, m.cycles());
+    }
+
+    #[test]
+    fn explicit_bits_zero_is_monotable_and_results_stay_correct() {
+        let n = 3000usize;
+        let g: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 500_000) as u32)
+            .collect();
+        let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
+
+        // to_sort = 0 must be cycle-identical to plain monotable.
+        let mut m0 = Machine::paper();
+        let st0 = StagedInput::stage_raw(&mut m0, &g, &v, false);
+        let (out0, rows0) = psm_aggregate_with_bits(&mut m0, &st0, 0);
+        assert_eq!(out0.read(&m0, rows0), reference(&g, &v));
+        let mut m1 = Machine::paper();
+        let st1 = StagedInput::stage_raw(&mut m1, &g, &v, false);
+        crate::monotable::monotable_aggregate(&mut m1, &st1);
+        assert_eq!(m0.cycles(), m1.cycles());
+
+        // Every bit width produces correct results, including clamped
+        // over-wide requests (full one-pass sort).
+        for bits in [2u32, 8, 11, 14, 40] {
+            let mut m = Machine::paper();
+            let st = StagedInput::stage_raw(&mut m, &g, &v, false);
+            let (out, rows) = psm_aggregate_with_bits(&mut m, &st, bits);
+            assert_eq!(out.read(&m, rows), reference(&g, &v), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn partial_sort_improves_locality_at_high_cardinality() {
+        // The Figure 17 effect: on a uniform high-cardinality input big
+        // enough to thrash, PSM beats plain monotable. Table footprint
+        // (2 × 400 KB) exceeds the 256 KB L2 while n >> c keeps the
+        // mandatory table-clearing cost amortised, as in the paper.
+        let n = 100_000usize;
+        let c = 100_000u64;
+        let g: Vec<u32> =
+            (0..n).map(|i| ((i as u64).wrapping_mul(2654435761) % c) as u32).collect();
+        let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
+
+        let (_, psm_cycles) = run(g.clone(), v.clone(), false);
+
+        let mut m = Machine::paper();
+        let st = StagedInput::stage_raw(&mut m, &g, &v, false);
+        crate::monotable::monotable_aggregate(&mut m, &st);
+        let mono = m.cycles();
+        assert!(
+            psm_cycles < mono,
+            "PSM ({psm_cycles}) should beat monotable ({mono}) at c=100k"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Query result representation and the reference oracle.
+//!
+//! The paper's query is `SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g`
+//! (Figure 2): a three-column output table. All simulated algorithms emit
+//! their output ordered by group key, so results compare directly.
+
+use std::collections::HashMap;
+
+/// The aggregation output: parallel columns ordered by group key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggResult {
+    /// Group keys present in the input, ascending.
+    pub groups: Vec<u32>,
+    /// `COUNT(*)` per group.
+    pub counts: Vec<u32>,
+    /// `SUM(v)` per group.
+    pub sums: Vec<u32>,
+}
+
+impl AggResult {
+    /// Number of output rows (distinct groups).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Internal consistency: columns equal length, groups strictly
+    /// ascending, counts positive, total count = `n`.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        if self.counts.len() != self.groups.len()
+            || self.sums.len() != self.groups.len()
+        {
+            return Err("column length mismatch".into());
+        }
+        if self.groups.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("groups not strictly ascending".into());
+        }
+        if self.counts.iter().any(|&c| c == 0) {
+            return Err("zero count for an emitted group".into());
+        }
+        let total: u64 = self.counts.iter().map(|&c| c as u64).sum();
+        if total != n as u64 {
+            return Err(format!("counts total {total}, expected {n}"));
+        }
+        Ok(())
+    }
+}
+
+/// Host-side oracle: hash aggregation, then order by group.
+pub fn reference(g: &[u32], v: &[u32]) -> AggResult {
+    assert_eq!(g.len(), v.len());
+    let mut map: HashMap<u32, (u32, u32)> = HashMap::new();
+    for (&k, &x) in g.iter().zip(v) {
+        let e = map.entry(k).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += x;
+    }
+    let mut rows: Vec<(u32, u32, u32)> =
+        map.into_iter().map(|(k, (c, s))| (k, c, s)).collect();
+    rows.sort_unstable_by_key(|r| r.0);
+    AggResult {
+        groups: rows.iter().map(|r| r.0).collect(),
+        counts: rows.iter().map(|r| r.1).collect(),
+        sums: rows.iter().map(|r| r.2).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_figure2_style() {
+        let g = [1u32, 3, 3, 0, 0, 5, 2, 4];
+        let v = [0u32, 5, 2, 4, 1, 3, 3, 0];
+        let r = reference(&g, &v);
+        assert_eq!(r.groups, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(r.counts, vec![2, 1, 1, 2, 1, 1]);
+        assert_eq!(r.sums, vec![5, 0, 3, 7, 0, 3]);
+        r.validate(8).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_shapes() {
+        let mut r = reference(&[1, 2], &[1, 1]);
+        r.counts[0] = 0;
+        assert!(r.validate(2).is_err());
+
+        let mut r = reference(&[1, 2], &[1, 1]);
+        r.groups = vec![2, 1];
+        assert!(r.validate(2).is_err());
+
+        let r = reference(&[1, 2], &[1, 1]);
+        assert!(r.validate(3).is_err());
+        assert!(r.validate(2).is_ok());
+    }
+
+    #[test]
+    fn single_group() {
+        let r = reference(&[7; 100], &[2; 100]);
+        assert_eq!(r.groups, vec![7]);
+        assert_eq!(r.counts, vec![100]);
+        assert_eq!(r.sums, vec![200]);
+    }
+}

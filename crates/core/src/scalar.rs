@@ -1,0 +1,180 @@
+//! The scalar baseline (§III-B) — no vector instructions at all.
+//!
+//! Four steps: (1) find the maximum group key `maxg`; (2) clear `maxg + 1`
+//! cells of the `count` and `sum` tables; (3) the Figure 3 loop —
+//! `count[g[i]]++; sum[g[i]] += v[i];` (4) compress the tables, dropping
+//! absent groups.
+//!
+//! Micro-op accounting mirrors what an x86-64 compiler emits for the inner
+//! loop: per tuple, two column loads, two table read-modify-writes (each an
+//! address computation, load, ALU op, store) and loop control.
+
+use crate::input::{OutputTable, StagedInput};
+use vagg_sim::{Machine, Tok};
+
+/// Runs the baseline; returns the output table and emitted row count.
+pub fn scalar_aggregate(m: &mut Machine, input: &StagedInput) -> (OutputTable, usize) {
+    // Step 1: scalar max scan (skippable only by presorted metadata).
+    let (maxg, mut tok) = if input.presorted {
+        crate::input::presorted_max(m, input)
+    } else {
+        scalar_max_scan(m, input)
+    };
+    let cells = maxg as usize + 1;
+
+    // Step 2: clear the bookkeeping tables.
+    let count_tbl = m.space_mut().alloc(4 * cells as u64, 64);
+    let sum_tbl = m.space_mut().alloc(4 * cells as u64, 64);
+    for i in 0..cells {
+        let t1 = m.s_store_u32(count_tbl + 4 * i as u64, 0, tok);
+        let t2 = m.s_store_u32(sum_tbl + 4 * i as u64, 0, tok);
+        tok = m.s_op(t1.max(t2)); // induction + branch
+    }
+
+    // Step 3: the Figure 3 loop.
+    for i in 0..input.n {
+        let it = m.s_op(0); // induction variable
+        let (g, gt) = m.s_load_u32(input.g + 4 * i as u64, it);
+        let (v, vt) = m.s_load_u32(input.v + 4 * i as u64, it);
+        // count[g]++ : address op, load, add, store (store address is
+        // ready as soon as the lea resolves; only the data waits on the
+        // add).
+        let at = m.s_op(gt);
+        let caddr = count_tbl + 4 * g as u64;
+        let (c, ct) = m.s_load_u32(caddr, at);
+        let adt = m.s_op(ct);
+        m.s_store_u32_split(caddr, c + 1, at, adt);
+        // sum[g] += v.
+        let saddr = sum_tbl + 4 * g as u64;
+        let (s, st) = m.s_load_u32(saddr, at);
+        let sdt = m.s_op(st.max(vt));
+        m.s_store_u32_split(saddr, s + v, at, sdt);
+    }
+
+    // Step 4: compress away absent groups.
+    let out = OutputTable::alloc(m, cells);
+    let mut rows = 0usize;
+    for k in 0..cells {
+        let it = m.s_op(0);
+        let (c, ct) = m.s_load_u32(count_tbl + 4 * k as u64, it);
+        let bt = m.s_op(ct); // test + branch
+        if c != 0 {
+            let (s, st) = m.s_load_u32(sum_tbl + 4 * k as u64, bt);
+            let o = 4 * rows as u64;
+            m.s_store_u32(out.groups + o, k as u32, bt);
+            m.s_store_u32(out.counts + o, c, ct);
+            m.s_store_u32(out.sums + o, s, st);
+            rows += 1;
+        }
+    }
+    (out, rows)
+}
+
+/// Step 1 in scalar form: a load + compare + conditional-move per element.
+pub fn scalar_max_scan(m: &mut Machine, input: &StagedInput) -> (u32, Tok) {
+    let mut maxg = 0u32;
+    let mut tok = 0;
+    for i in 0..input.n {
+        let it = m.s_op(0);
+        let (g, gt) = m.s_load_u32(input.g + 4 * i as u64, it);
+        tok = m.s_op(gt.max(tok)); // cmp + cmov chain on the running max
+        maxg = maxg.max(g);
+    }
+    (maxg, tok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::reference;
+
+    fn run(g: Vec<u32>, v: Vec<u32>) -> (crate::result::AggResult, u64) {
+        let mut m = Machine::paper();
+        let st = StagedInput::stage_raw(&mut m, &g, &v, false);
+        let (out, rows) = scalar_aggregate(&mut m, &st);
+        let r = out.read(&m, rows);
+        r.validate(g.len()).unwrap();
+        assert_eq!(r, reference(&g, &v));
+        (r, m.cycles())
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        run(vec![1, 3, 3, 0, 0, 5, 2, 4], vec![0, 5, 2, 4, 1, 3, 3, 0]);
+    }
+
+    #[test]
+    fn matches_reference_with_gaps() {
+        // Sparse keys leave NULL rows that step 4 must drop.
+        run(vec![100, 7, 100, 950], vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn matches_reference_larger() {
+        let n = 3000u32;
+        let g: Vec<u32> = (0..n).map(|i| (i * 7919) % 113).collect();
+        let v: Vec<u32> = (0..n).map(|i| i % 10).collect();
+        run(g, v);
+    }
+
+    #[test]
+    fn single_group_input() {
+        let (r, _) = run(vec![5; 64], vec![1; 64]);
+        assert_eq!(r.groups, vec![5]);
+        assert_eq!(r.counts, vec![64]);
+    }
+
+    #[test]
+    fn presorted_skips_max_scan() {
+        // Column larger than the L2 so the scan cannot pay for itself by
+        // warming the cache for the main loop.
+        let n = 150_000;
+        let g: Vec<u32> = (0..n).map(|i| i / 10).collect();
+        let v = vec![1u32; n as usize];
+        let mut m1 = Machine::paper();
+        let st = StagedInput::stage_raw(&mut m1, &g, &v, true);
+        let (out, rows) = scalar_aggregate(&mut m1, &st);
+        assert_eq!(out.read(&m1, rows), reference(&g, &v));
+
+        let mut m2 = Machine::paper();
+        let st = StagedInput::stage_raw(&mut m2, &g, &v, false);
+        scalar_aggregate(&mut m2, &st);
+        assert!(m1.cycles() < m2.cycles(), "metadata should save the scan");
+    }
+
+    #[test]
+    fn scalar_max_scan_is_correct() {
+        let mut m = Machine::paper();
+        let g = vec![4u32, 99, 12, 0];
+        let st = StagedInput::stage_raw(&mut m, &g, &[0, 0, 0, 0], false);
+        let (maxg, _) = scalar_max_scan(&mut m, &st);
+        assert_eq!(maxg, 99);
+    }
+
+    #[test]
+    fn cpt_grows_when_tables_exceed_cache() {
+        // The Figure 4 shape: uniform CPT jumps once tables spill the L1.
+        let n = 20_000usize;
+        let v: Vec<u32> = vec![1; n];
+        let small: Vec<u32> =
+            (0..n).map(|i| ((i as u64 * 2654435761) % 64) as u32).collect();
+        let large: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 100_000) as u32)
+            .collect();
+
+        let mut m1 = Machine::paper();
+        let st1 = StagedInput::stage_raw(&mut m1, &small, &v, false);
+        scalar_aggregate(&mut m1, &st1);
+        let cpt_small = m1.cycles() as f64 / n as f64;
+
+        let mut m2 = Machine::paper();
+        let st2 = StagedInput::stage_raw(&mut m2, &large, &v, false);
+        scalar_aggregate(&mut m2, &st2);
+        let cpt_large = m2.cycles() as f64 / n as f64;
+
+        assert!(
+            cpt_large > cpt_small * 1.5,
+            "expected cache cliff: {cpt_small:.1} vs {cpt_large:.1}"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Sorted reduce — evasion technique #1 (§IV-A) and confrontation
+//! technique #1 (§V-A).
+//!
+//! Three steps: (1) sort `g` with `v` as payload (skipped when the DBMS
+//! knows the input is presorted); (2) scan for runs of repeated keys by
+//! comparing `g[i]` with `g[i+1]` into masks — the distances between set
+//! bits are the run lengths, i.e. the `COUNT(*)` column; (3) load and
+//! reduce each run's segment of `v` with vector sum reductions, stripmining
+//! runs longer than MVL.
+//!
+//! *Standard* sorted reduce sorts with the evasion radix sort;
+//! *advanced* sorted reduce swaps in VSR sort and keeps everything else
+//! equal — exactly the paper's §V-A comparison.
+
+use crate::input::{vector_max_scan, OutputTable, StagedInput};
+use vagg_isa::{BinOp, CmpOp, Mreg, RedOp, Vreg};
+use vagg_sim::Machine;
+use vagg_sort::{radix_sort, vsr_sort};
+
+/// Which sorting algorithm powers step 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortKind {
+    /// Evasion radix sort (replicated histograms, strided input).
+    Radix,
+    /// VSR sort (VPI/VLU; single histogram, unit-stride input).
+    Vsr,
+}
+
+const VK: Vreg = Vreg(8); // keys
+const VN: Vreg = Vreg(9); // shifted keys (g[i+1])
+const VI: Vreg = Vreg(10); // iota
+const VB: Vreg = Vreg(11); // packed boundary indices
+const VV: Vreg = Vreg(12); // value segments
+const M1: Mreg = Mreg(1);
+
+/// Runs sorted reduce; returns the output table and row count.
+pub fn sorted_reduce_aggregate(
+    m: &mut Machine,
+    input: &StagedInput,
+    kind: SortKind,
+) -> (OutputTable, usize) {
+    // Step 0/1: max key + sort (both skipped where metadata allows).
+    let (sorted_g, sorted_v) = if input.presorted {
+        (input.g, input.v)
+    } else {
+        let (maxg, _tok) = vector_max_scan(m, input);
+        let arrays = input.sort_arrays();
+        let passes = match kind {
+            SortKind::Radix => radix_sort(m, &arrays, maxg),
+            SortKind::Vsr => vsr_sort(m, &arrays, maxg),
+        };
+        arrays.result_buffers(passes)
+    };
+    reduce_sorted_runs(m, sorted_g, sorted_v, input.n)
+}
+
+/// Steps 2–3 on an already-sorted column pair.
+pub fn reduce_sorted_runs(
+    m: &mut Machine,
+    g: u64,
+    v: u64,
+    n: usize,
+) -> (OutputTable, usize) {
+    let mvl = m.mvl();
+
+    // Step 2: boundary detection. A boundary is the *last* index of a run:
+    // position i < n-1 with g[i] != g[i+1], plus the final index n-1.
+    let bounds = m.space_mut().alloc(4 * (n as u64 + 1), 64);
+    let mut nb = 0usize;
+    let cmp_len = n.saturating_sub(1);
+    for start in (0..cmp_len).step_by(mvl) {
+        let vl = (cmp_len - start).min(mvl);
+        m.set_vl(vl);
+        let lt = m.s_op(0);
+        m.vload_unit(VK, g + 4 * start as u64, 4, lt);
+        m.vload_unit(VN, g + 4 * (start as u64 + 1), 4, lt);
+        m.vcmp_vv(CmpOp::Ne, M1, VK, VN, None);
+        let (k, kt) = m.mpopcnt(M1);
+        m.s_op(kt);
+        if k == 0 {
+            continue;
+        }
+        m.viota(VI, None);
+        m.vbinop_vs(BinOp::Add, VI, VI, start as u64, None);
+        m.vcompress(VB, VI, M1);
+        m.vstore_unit(VB, bounds + 4 * nb as u64, 4, 0);
+        nb += k;
+    }
+    // The final run always ends at n-1.
+    m.s_store_u32(bounds + 4 * nb as u64, n as u32 - 1, 0);
+    nb += 1;
+
+    // Step 3: segmented reductions over `v`, one output row per run.
+    let out = OutputTable::alloc(m, nb);
+    let mut prev_end: i64 = -1;
+    for r in 0..nb {
+        let it = m.s_op(0);
+        let (end, et) = m.s_load_u32(bounds + 4 * r as u64, it);
+        let run_start = (prev_end + 1) as usize;
+        let run_len = end as usize - run_start + 1;
+        // The run's group key.
+        let (key, ktok) = m.s_load_u32(g + 4 * end as u64, et);
+        // Stripmined segment reduction.
+        let mut total: u64 = 0;
+        let mut ttok = et;
+        let mut pos = run_start;
+        let mut left = run_len;
+        while left > 0 {
+            let vl = left.min(mvl);
+            m.set_vl(vl);
+            // Segment loads depend only on the boundary value; the scalar
+            // accumulate chains separately.
+            m.vload_unit(VV, v + 4 * pos as u64, 4, et);
+            let (s, st) = m.vred(RedOp::Sum, VV, None);
+            ttok = m.s_op(st.max(ttok)); // scalar accumulate
+            total += s;
+            pos += vl;
+            left -= vl;
+        }
+        let o = 4 * r as u64;
+        m.s_store_u32(out.groups + o, key, ktok);
+        m.s_store_u32(out.counts + o, run_len as u32, et);
+        m.s_store_u32(out.sums + o, total as u32, ttok);
+        prev_end = end as i64;
+    }
+    (out, nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::reference;
+
+    fn run(
+        g: Vec<u32>,
+        v: Vec<u32>,
+        presorted: bool,
+        kind: SortKind,
+    ) -> (crate::result::AggResult, u64) {
+        let mut m = Machine::paper();
+        let st = StagedInput::stage_raw(&mut m, &g, &v, presorted);
+        let (out, rows) = sorted_reduce_aggregate(&mut m, &st, kind);
+        let r = out.read(&m, rows);
+        r.validate(g.len()).unwrap();
+        assert_eq!(r, reference(&g, &v));
+        (r, m.cycles())
+    }
+
+    #[test]
+    fn presorted_input_reduces_directly() {
+        let g: Vec<u32> = (0..500).map(|i| i / 7).collect();
+        let v: Vec<u32> = (0..500).map(|i| i % 10).collect();
+        run(g.clone(), v.clone(), true, SortKind::Radix);
+        run(g, v, true, SortKind::Vsr);
+    }
+
+    #[test]
+    fn unsorted_input_sorts_first_radix() {
+        let n = 1000u32;
+        let g: Vec<u32> = (0..n).map(|i| (i * 7919) % 37).collect();
+        let v: Vec<u32> = (0..n).map(|i| i % 10).collect();
+        run(g, v, false, SortKind::Radix);
+    }
+
+    #[test]
+    fn unsorted_input_sorts_first_vsr() {
+        let n = 1000u32;
+        let g: Vec<u32> = (0..n).map(|i| (i * 7919) % 37).collect();
+        let v: Vec<u32> = (0..n).map(|i| i % 10).collect();
+        run(g, v, false, SortKind::Vsr);
+    }
+
+    #[test]
+    fn single_run_spanning_everything() {
+        run(vec![4; 300], (0..300).map(|i| i % 10).collect(), true, SortKind::Vsr);
+    }
+
+    #[test]
+    fn runs_of_length_one() {
+        // High cardinality: every run is a single tuple.
+        let g: Vec<u32> = (0..200).collect();
+        let v: Vec<u32> = (0..200).map(|i| i % 10).collect();
+        run(g, v, true, SortKind::Radix);
+    }
+
+    #[test]
+    fn run_longer_than_mvl_is_stripmined() {
+        let mut g = vec![1u32; 150]; // run of 150 > MVL=64
+        g.extend(vec![2u32; 20]);
+        let v: Vec<u32> = (0..170).map(|i| i % 10).collect();
+        run(g, v, true, SortKind::Vsr);
+    }
+
+    #[test]
+    fn single_tuple_input() {
+        run(vec![9], vec![5], true, SortKind::Radix);
+        run(vec![9], vec![5], false, SortKind::Vsr);
+    }
+
+    #[test]
+    fn boundary_exactly_at_chunk_edge() {
+        // Run boundary at index 63/64 exercises the chunk seam.
+        let mut g = vec![1u32; 64];
+        g.extend(vec![2u32; 64]);
+        let v = vec![1u32; 128];
+        let (r, _) = run(g, v, true, SortKind::Vsr);
+        assert_eq!(r.counts, vec![64, 64]);
+    }
+
+    #[test]
+    fn advanced_beats_standard_on_unsorted_input() {
+        // Table VI vs Table IV: VSR sort strictly improves on radix.
+        let n = 2000usize;
+        let g: Vec<u32> =
+            (0..n).map(|i| ((i as u64 * 2654435761) % 500) as u32).collect();
+        let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
+        let (_, std_cycles) = run(g.clone(), v.clone(), false, SortKind::Radix);
+        let (_, adv_cycles) = run(g, v, false, SortKind::Vsr);
+        assert!(
+            adv_cycles < std_cycles,
+            "advanced ({adv_cycles}) should beat standard ({std_cycles})"
+        );
+    }
+
+    #[test]
+    fn presorted_skips_sorting_cost() {
+        let g: Vec<u32> = (0..2000).map(|i| i / 3).collect();
+        let v: Vec<u32> = (0..2000).map(|i| i % 10).collect();
+        let (_, with_meta) = run(g.clone(), v.clone(), true, SortKind::Radix);
+        let (_, without) = run(g, v, false, SortKind::Radix);
+        assert!(with_meta < without);
+    }
+}

@@ -1,0 +1,407 @@
+//! The five group-key distributions of the paper (§III-A).
+//!
+//! Each generator produces the group column `g` of the input relation. The
+//! paper's definitions:
+//!
+//! 1. **uniform** — pseudo-random in `[0, c)` with equal probability.
+//! 2. **sorted** — a presorted uniform distribution.
+//! 3. **sequential** — the repeating sequence `{0, 1, ..., c-1, 0, 1, ...}`.
+//! 4. **hhitter** — like uniform, but 50% of the rows are one heavy-hitting
+//!    value.
+//! 5. **zipf** — pseudo-random in `[0, c)` with Zipfian probability.
+//!
+//! `c` is a *maximum possible* cardinality, not a guaranteed one (only
+//! `sequential` guarantees it, provided `n >= c`).
+
+use crate::rng::Xoshiro256StarStar;
+use crate::zipf::Zipf;
+
+/// Identifies a group-key distribution.
+///
+/// The first five are the paper's (§III-A). [`Distribution::MovingCluster`]
+/// and [`Distribution::SelfSimilar`] are the remaining two distributions of
+/// the Cieslewicz & Ross suite the paper derives its five from (VLDB 2007);
+/// they extend the evaluation beyond the published grid and are excluded
+/// from [`Distribution::ALL`] (the paper grid) but included in
+/// [`Distribution::EXTENDED`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Distribution {
+    /// 50% heavy-hitter, remainder uniform.
+    HeavyHitter,
+    /// Repeating `0..c` sequence.
+    Sequential,
+    /// Presorted uniform.
+    Sorted,
+    /// Uniform in `[0, c)`.
+    Uniform,
+    /// Zipfian in `[0, c)` with exponent 1.
+    Zipf,
+    /// Uniform within a window of the key domain that slides linearly
+    /// across `[0, c)` as the input is generated (Cieslewicz & Ross):
+    /// strong *temporal* locality without global order.
+    MovingCluster,
+    /// Self-similar "80–20 rule" (Gray et al.): 80% of the rows fall in
+    /// the first 20% of the key domain, recursively.
+    SelfSimilar,
+}
+
+impl Distribution {
+    /// The paper's five distributions, in the paper's (alphabetical) plot
+    /// order. This is the published evaluation grid.
+    pub const ALL: [Distribution; 5] = [
+        Distribution::HeavyHitter,
+        Distribution::Sequential,
+        Distribution::Sorted,
+        Distribution::Uniform,
+        Distribution::Zipf,
+    ];
+
+    /// The paper's five plus the two remaining Cieslewicz & Ross
+    /// distributions — the grid used by the extension experiments.
+    pub const EXTENDED: [Distribution; 7] = [
+        Distribution::HeavyHitter,
+        Distribution::Sequential,
+        Distribution::Sorted,
+        Distribution::Uniform,
+        Distribution::Zipf,
+        Distribution::MovingCluster,
+        Distribution::SelfSimilar,
+    ];
+
+    /// The name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Distribution::HeavyHitter => "hhitter",
+            Distribution::Sequential => "sequential",
+            Distribution::Sorted => "sorted",
+            Distribution::Uniform => "uniform",
+            Distribution::Zipf => "zipf",
+            Distribution::MovingCluster => "mcluster",
+            Distribution::SelfSimilar => "selfsim",
+        }
+    }
+
+    /// Parses a figure-style name (as printed by [`Distribution::name`]).
+    pub fn parse(s: &str) -> Option<Distribution> {
+        Self::EXTENDED.iter().copied().find(|d| d.name() == s)
+    }
+
+    /// Whether the application is assumed to know the data is presorted
+    /// (§III-A: sorted datasets skip any sorting phase).
+    pub fn is_presorted(self) -> bool {
+        matches!(self, Distribution::Sorted)
+    }
+
+    /// Generates the group column: `n` keys drawn per the distribution with
+    /// maximum cardinality `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0` or `n == 0`.
+    pub fn generate(self, n: usize, c: u64, seed: u64) -> Vec<u32> {
+        assert!(c > 0, "cardinality must be positive");
+        assert!(n > 0, "row count must be positive");
+        assert!(c <= u32::MAX as u64 + 1, "keys are 32-bit in the paper");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        match self {
+            Distribution::Uniform => (0..n)
+                .map(|_| rng.next_below(c) as u32)
+                .collect(),
+            Distribution::Sorted => {
+                let mut g: Vec<u32> =
+                    (0..n).map(|_| rng.next_below(c) as u32).collect();
+                g.sort_unstable();
+                g
+            }
+            Distribution::Sequential => {
+                (0..n).map(|i| (i as u64 % c) as u32).collect()
+            }
+            Distribution::HeavyHitter => {
+                let heavy = rng.next_below(c) as u32;
+                (0..n)
+                    .map(|_| {
+                        if rng.next_below(2) == 0 {
+                            heavy
+                        } else {
+                            rng.next_below(c) as u32
+                        }
+                    })
+                    .collect()
+            }
+            Distribution::Zipf => {
+                let z = Zipf::new(c, 1.0);
+                // Scatter ranks over the key domain so the hot key is not
+                // always 0: apply a fixed affine permutation of [0, c).
+                let mult = pick_coprime(c);
+                (0..n)
+                    .map(|_| {
+                        let rank = z.sample(&mut rng);
+                        ((rank.wrapping_mul(mult)) % c) as u32
+                    })
+                    .collect()
+            }
+            Distribution::MovingCluster => {
+                // Keys are uniform within a window of `W` values that
+                // slides linearly across the domain as the input is
+                // generated (Cieslewicz & Ross use W = 1024).
+                let w = c.min(MOVING_CLUSTER_WINDOW);
+                let span = c - w; // window start range [0, span]
+                (0..n)
+                    .map(|i| {
+                        let start = if n > 1 {
+                            // Linear slide; u128 avoids overflow at
+                            // c = 2^32, n = 10M.
+                            (span as u128 * i as u128 / (n - 1) as u128)
+                                as u64
+                        } else {
+                            0
+                        };
+                        (start + rng.next_below(w)) as u32
+                    })
+                    .collect()
+            }
+            Distribution::SelfSimilar => {
+                // Gray et al.: floor(c * u^(log h / log(1-h))), h = 0.2
+                // puts 80% of rows in the first 20% of the domain,
+                // recursively at every scale.
+                let exp = SELF_SIMILAR_H.ln() / (1.0 - SELF_SIMILAR_H).ln();
+                (0..n)
+                    .map(|_| {
+                        // next_f64 is in [0, 1); map to (0, 1] so powf
+                        // never sees 0 (0^exp = 0 is fine, but 1-u keeps
+                        // the classic Gray formulation).
+                        let u = 1.0 - rng.next_f64();
+                        let k = (c as f64 * u.powf(exp)) as u64;
+                        k.min(c - 1) as u32
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Window width for [`Distribution::MovingCluster`] (Cieslewicz & Ross).
+pub const MOVING_CLUSTER_WINDOW: u64 = 1024;
+
+/// Skew parameter for [`Distribution::SelfSimilar`]: h = 0.2 is the
+/// "80–20 rule" of Gray et al.
+pub const SELF_SIMILAR_H: f64 = 0.2;
+
+/// Picks a multiplier coprime with `c` for the Zipf rank→key permutation.
+fn pick_coprime(c: u64) -> u64 {
+    if c <= 2 {
+        return 1;
+    }
+    let mut m = (c / 2) | 1; // odd, near the middle of the domain
+    while gcd(m, c) != 1 {
+        m += 2;
+    }
+    m % c
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Generates the value column: uniform in `[0, 9]` (§III-A), independent of
+/// the group column.
+pub fn generate_values(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ VALUE_SEED_MIX);
+    (0..n).map(|_| rng.next_below(10) as u32).collect()
+}
+
+/// Mixed into the seed so the value column stream is independent of the
+/// group column stream even when both use the same base seed.
+const VALUE_SEED_MIX: u64 = 0xA5A5_5A5A_0F0F_F0F0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn cardinality(g: &[u32]) -> usize {
+        g.iter().copied().collect::<HashSet<_>>().len()
+    }
+
+    #[test]
+    fn uniform_respects_domain() {
+        let g = Distribution::Uniform.generate(10_000, 100, 1);
+        assert!(g.iter().all(|&k| (k as u64) < 100));
+        assert!(cardinality(&g) > 90);
+    }
+
+    #[test]
+    fn sorted_is_sorted_and_uniformish() {
+        let g = Distribution::Sorted.generate(10_000, 100, 2);
+        assert!(g.windows(2).all(|w| w[0] <= w[1]));
+        assert!(cardinality(&g) > 90);
+    }
+
+    #[test]
+    fn sequential_is_exact() {
+        let g = Distribution::Sequential.generate(10, 4, 3);
+        assert_eq!(g, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+        assert_eq!(cardinality(&g), 4);
+    }
+
+    #[test]
+    fn sequential_guarantees_cardinality() {
+        let g = Distribution::Sequential.generate(10_000, 152, 4);
+        assert_eq!(cardinality(&g), 152);
+    }
+
+    #[test]
+    fn hhitter_has_a_heavy_value() {
+        let g = Distribution::HeavyHitter.generate(10_000, 1000, 5);
+        let mut counts = std::collections::HashMap::new();
+        for &k in &g {
+            *counts.entry(k).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        // ~50% of rows are the heavy hitter.
+        assert!(
+            (4_000..6_000).contains(&max),
+            "heavy hitter frequency {max} outside expected band"
+        );
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_domain() {
+        let g = Distribution::Zipf.generate(20_000, 1000, 6);
+        assert!(g.iter().all(|&k| (k as u64) < 1000));
+        let mut counts = std::collections::HashMap::new();
+        for &k in &g {
+            *counts.entry(k).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        // Rank-0 probability with s=1, c=1000 is 1/H(1000) ≈ 13%.
+        assert!(max > 1_500, "zipf not skewed enough: max count {max}");
+    }
+
+    #[test]
+    fn moving_cluster_slides_a_window() {
+        let n = 10_000;
+        let c = 100_000;
+        let g = Distribution::MovingCluster.generate(n, c, 11);
+        assert!(g.iter().all(|&k| (k as u64) < c));
+        // Every key lies inside the analytic window for its position.
+        let w = MOVING_CLUSTER_WINDOW;
+        let span = c - w;
+        for (i, &k) in g.iter().enumerate() {
+            let start = span as u128 * i as u128 / (n - 1) as u128;
+            let start = start as u64;
+            assert!(
+                (start..start + w).contains(&(k as u64)),
+                "row {i}: key {k} outside window [{start}, {})",
+                start + w
+            );
+        }
+        // The window actually moves: early and late keys are far apart.
+        assert!(g[n - 1] as u64 > c / 2, "window never reached the top");
+        assert!((g[0] as u64) < w, "window did not start at the bottom");
+    }
+
+    #[test]
+    fn moving_cluster_degenerates_to_uniform_for_small_domains() {
+        // c <= window: the window covers the whole domain.
+        let g = Distribution::MovingCluster.generate(5_000, 64, 12);
+        assert!(g.iter().all(|&k| k < 64));
+        assert_eq!(cardinality(&g), 64);
+    }
+
+    #[test]
+    fn self_similar_obeys_the_80_20_rule() {
+        let n = 50_000;
+        let c = 100_000u64;
+        let g = Distribution::SelfSimilar.generate(n, c, 13);
+        assert!(g.iter().all(|&k| (k as u64) < c));
+        let in_first_fifth =
+            g.iter().filter(|&&k| (k as u64) < c / 5).count();
+        let frac = in_first_fifth as f64 / n as f64;
+        assert!(
+            (0.75..0.85).contains(&frac),
+            "first 20% of domain holds {frac:.3} of rows, expected ~0.8"
+        );
+        // Recursive: first 4% holds ~64%.
+        let in_first_25th =
+            g.iter().filter(|&&k| (k as u64) < c / 25).count();
+        let frac2 = in_first_25th as f64 / n as f64;
+        assert!(
+            (0.58..0.70).contains(&frac2),
+            "first 4% of domain holds {frac2:.3} of rows, expected ~0.64"
+        );
+    }
+
+    #[test]
+    fn extended_distributions_are_deterministic_and_seeded() {
+        for d in [Distribution::MovingCluster, Distribution::SelfSimilar] {
+            let a = d.generate(5_000, 10_000, 21);
+            let b = d.generate(5_000, 10_000, 21);
+            assert_eq!(a, b, "{} not deterministic", d.name());
+            let c = d.generate(5_000, 10_000, 22);
+            assert_ne!(a, c, "{} ignored the seed", d.name());
+        }
+    }
+
+    #[test]
+    fn extended_contains_all() {
+        for d in Distribution::ALL {
+            assert!(Distribution::EXTENDED.contains(&d));
+        }
+        assert_eq!(Distribution::EXTENDED.len(), 7);
+        assert!(!Distribution::ALL
+            .contains(&Distribution::MovingCluster));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for d in Distribution::ALL {
+            let a = d.generate(5_000, 77, 42);
+            let b = d.generate(5_000, 77, 42);
+            assert_eq!(a, b, "{} not deterministic", d.name());
+        }
+    }
+
+    #[test]
+    fn seeds_change_random_distributions() {
+        for d in [
+            Distribution::Uniform,
+            Distribution::Sorted,
+            Distribution::HeavyHitter,
+            Distribution::Zipf,
+        ] {
+            let a = d.generate(5_000, 1000, 1);
+            let b = d.generate(5_000, 1000, 2);
+            assert_ne!(a, b, "{} ignored the seed", d.name());
+        }
+    }
+
+    #[test]
+    fn values_are_digits() {
+        let v = generate_values(10_000, 9);
+        assert!(v.iter().all(|&x| x < 10));
+        // All ten values occur.
+        assert_eq!(cardinality(&v), 10);
+    }
+
+    #[test]
+    fn name_parse_roundtrip() {
+        for d in Distribution::EXTENDED {
+            assert_eq!(Distribution::parse(d.name()), Some(d));
+        }
+        assert_eq!(Distribution::parse("nope"), None);
+    }
+
+    #[test]
+    fn cardinality_one_is_supported() {
+        for d in Distribution::EXTENDED {
+            let g = d.generate(100, 1, 8);
+            assert!(g.iter().all(|&k| k == 0), "{} broke c=1", d.name());
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # vagg-datagen
+//!
+//! Workload synthesis for the ISCA 2016 paper *"Future Vector Microprocessor
+//! Extensions for Data Aggregations"* (Hayes et al.).
+//!
+//! The paper evaluates `SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g` over a
+//! two-column relation stored column-wise. This crate generates the 110
+//! input datasets of the experimental grid: five group-key distributions
+//! ([`Distribution`]) crossed with twenty-two maximum cardinalities
+//! ([`CARDINALITIES`]), with a uniform `[0, 9]` value column.
+//!
+//! All generation is deterministic given a seed ([`rng`] implements
+//! xoshiro256** seeded via SplitMix64), so simulated cycle counts are exactly
+//! reproducible.
+//!
+//! ```
+//! use vagg_datagen::{DatasetSpec, Distribution};
+//!
+//! let ds = DatasetSpec::paper(Distribution::Zipf, 1_220)
+//!     .with_rows(10_000)
+//!     .generate();
+//! assert_eq!(ds.len(), 10_000);
+//! assert!(ds.actual_cardinality() <= 1_220);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod rng;
+pub mod spec;
+pub mod zipf;
+
+pub use dist::{generate_values, Distribution, MOVING_CLUSTER_WINDOW, SELF_SIMILAR_H};
+pub use spec::{Dataset, DatasetSpec, Division, CARDINALITIES, PAPER_ROWS};

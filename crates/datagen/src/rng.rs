@@ -1,0 +1,165 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The 110 datasets of the paper (5 distributions × 22 cardinalities) must be
+//! bit-identical across runs and platforms so that simulated cycle counts are
+//! reproducible. We therefore implement our own small PRNGs instead of
+//! depending on an external crate whose stream might change between versions:
+//!
+//! * [`SplitMix64`] — used for seeding (Steele et al., "Fast splittable
+//!   pseudorandom number generators", OOPSLA 2014).
+//! * [`Xoshiro256StarStar`] — the main generator (Blackman & Vigna,
+//!   "Scrambled linear pseudorandom number generators", 2018). Passes BigCrush
+//!   and is more than adequate for workload synthesis.
+
+/// SplitMix64 generator, primarily used to expand a single `u64` seed into
+/// the 256-bit state required by [`Xoshiro256StarStar`].
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** 1.0 — the workhorse generator for all dataset synthesis.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator by expanding `seed` with [`SplitMix64`].
+    ///
+    /// A zero seed is valid: SplitMix64 never yields the all-zero state.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a `f64` uniformly distributed in `[0, 1)` with 53 bits of
+    /// precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed integer in `[0, bound)` using
+    /// Lemire's multiply-shift rejection method (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires a non-zero bound");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            // threshold = 2^64 mod bound
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vectors() {
+        // Reference outputs for seed 1234567 from the public-domain C code.
+        let mut sm = SplitMix64::new(1234567);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        // Determinism: same seed, same stream.
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(a, sm2.next_u64());
+        assert_eq!(b, sm2.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_across_instances() {
+        let mut r1 = Xoshiro256StarStar::seed_from_u64(42);
+        let mut r2 = Xoshiro256StarStar::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_different_seeds_diverge() {
+        let mut r1 = Xoshiro256StarStar::seed_from_u64(1);
+        let mut r2 = Xoshiro256StarStar::seed_from_u64(2);
+        let same = (0..64).filter(|_| r1.next_u64() == r2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_is_in_range() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(7);
+        for bound in [1u64, 2, 3, 10, 1000, u32::MAX as u64] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_all_small_values() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.next_below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(11);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero bound")]
+    fn next_below_zero_panics() {
+        Xoshiro256StarStar::seed_from_u64(0).next_below(0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Dataset specifications: the paper's 22 cardinalities, four cardinality
+//! divisions, and the 110-dataset experimental grid (§III-A).
+
+use crate::dist::{generate_values, Distribution};
+
+/// The paper's 22 maximum cardinalities, ascending: 4, 9, 19, ..., 10,000,000
+/// (each ~half the next, i.e. 10,000,000 / 2^k rounded down, plus the 4).
+pub const CARDINALITIES: [u64; 22] = [
+    4, 9, 19, 38, 76, 152, 305, 610, 1_220, 2_441, 4_882, 9_765, 19_531,
+    39_062, 78_125, 156_250, 312_500, 625_000, 1_250_000, 2_500_000,
+    5_000_000, 10_000_000,
+];
+
+/// The paper's row count (n = 10,000,000).
+pub const PAPER_ROWS: usize = 10_000_000;
+
+/// The paper's four cardinality divisions (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Division {
+    /// `[4, 152]` — e.g. gender of a person.
+    Low,
+    /// `[305, 9,765]` — e.g. date of birth of a client.
+    LowNormal,
+    /// `[19,531, 312,500]` — e.g. a zip or postal code.
+    HighNormal,
+    /// `[625,000, 10,000,000]` — e.g. a passport number.
+    High,
+}
+
+impl Division {
+    /// All four divisions in ascending cardinality order.
+    pub const ALL: [Division; 4] = [
+        Division::Low,
+        Division::LowNormal,
+        Division::HighNormal,
+        Division::High,
+    ];
+
+    /// The division a maximum cardinality belongs to.
+    pub fn of_cardinality(c: u64) -> Division {
+        match c {
+            0..=152 => Division::Low,
+            153..=9_765 => Division::LowNormal,
+            9_766..=312_500 => Division::HighNormal,
+            _ => Division::High,
+        }
+    }
+
+    /// The name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Division::Low => "low",
+            Division::LowNormal => "low-normal",
+            Division::HighNormal => "high-normal",
+            Division::High => "high",
+        }
+    }
+
+    /// The cardinalities of the experimental grid falling in this division.
+    pub fn cardinalities(self) -> impl Iterator<Item = u64> {
+        CARDINALITIES
+            .into_iter()
+            .filter(move |&c| Division::of_cardinality(c) == self)
+    }
+}
+
+/// Identifies one dataset of the experimental grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DatasetSpec {
+    /// Group-key distribution.
+    pub distribution: Distribution,
+    /// Maximum cardinality `c` (upper bound of the key domain).
+    pub max_cardinality: u64,
+    /// Number of rows `n`.
+    pub rows: usize,
+    /// Base seed; the grid uses a per-cell seed derived from this.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Creates a spec with the paper's row count.
+    pub fn paper(distribution: Distribution, max_cardinality: u64) -> Self {
+        Self {
+            distribution,
+            max_cardinality,
+            rows: PAPER_ROWS,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different row count (for scaled-down runs).
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Returns a copy with a different base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The cardinality division this dataset belongs to.
+    pub fn division(&self) -> Division {
+        Division::of_cardinality(self.max_cardinality)
+    }
+
+    /// Generates the dataset (group column + value column).
+    pub fn generate(&self) -> Dataset {
+        let cell_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.max_cardinality)
+            .wrapping_add((self.distribution as u64) << 32);
+        let g = self.distribution.generate(
+            self.rows,
+            self.max_cardinality,
+            cell_seed,
+        );
+        let v = generate_values(self.rows, cell_seed);
+        Dataset { spec: *self, g, v }
+    }
+
+    /// The full 110-dataset grid (5 distributions × 22 cardinalities) at a
+    /// given row count.
+    pub fn grid(rows: usize, seed: u64) -> Vec<DatasetSpec> {
+        let mut out = Vec::with_capacity(110);
+        for d in Distribution::ALL {
+            for c in CARDINALITIES {
+                out.push(
+                    DatasetSpec::paper(d, c).with_rows(rows).with_seed(seed),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// A generated dataset: the two input columns of the relation `r`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The spec that generated this data.
+    pub spec: DatasetSpec,
+    /// Group-key column (32-bit as in the paper).
+    pub g: Vec<u32>,
+    /// Value column, uniform in `[0, 9]`.
+    pub v: Vec<u32>,
+}
+
+impl Dataset {
+    /// The exact maximum group key present (step 1 of the scalar baseline).
+    pub fn max_group_key(&self) -> u32 {
+        self.g.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The *actual* cardinality (distinct keys present), which for all
+    /// distributions except `sequential` may be below `max_cardinality`.
+    pub fn actual_cardinality(&self) -> usize {
+        let maxg = self.max_group_key() as usize;
+        let mut seen = vec![false; maxg + 1];
+        let mut count = 0usize;
+        for &k in &self.g {
+            if !seen[k as usize] {
+                seen[k as usize] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.g.len()
+    }
+
+    /// Whether the dataset is empty (it never is, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.g.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_two_cardinalities_ascending() {
+        assert_eq!(CARDINALITIES.len(), 22);
+        assert!(CARDINALITIES.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(CARDINALITIES[0], 4);
+        assert_eq!(CARDINALITIES[21], 10_000_000);
+    }
+
+    #[test]
+    fn cardinalities_follow_halving_ladder() {
+        // Each entry (from the top) is floor(previous / 2) except the lowest.
+        for w in CARDINALITIES.windows(2).skip(1) {
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!(
+                (1.9..2.2).contains(&ratio),
+                "ratio {ratio} between {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn divisions_match_paper_boundaries() {
+        assert_eq!(Division::of_cardinality(4), Division::Low);
+        assert_eq!(Division::of_cardinality(152), Division::Low);
+        assert_eq!(Division::of_cardinality(305), Division::LowNormal);
+        assert_eq!(Division::of_cardinality(9_765), Division::LowNormal);
+        assert_eq!(Division::of_cardinality(19_531), Division::HighNormal);
+        assert_eq!(Division::of_cardinality(312_500), Division::HighNormal);
+        assert_eq!(Division::of_cardinality(625_000), Division::High);
+        assert_eq!(Division::of_cardinality(10_000_000), Division::High);
+    }
+
+    #[test]
+    fn division_partition_covers_grid() {
+        let total: usize =
+            Division::ALL.iter().map(|d| d.cardinalities().count()).sum();
+        assert_eq!(total, 22);
+        // Per the paper: low has 6 (4..152), low-normal 6, high-normal 5,
+        // high 5.
+        assert_eq!(Division::Low.cardinalities().count(), 6);
+        assert_eq!(Division::LowNormal.cardinalities().count(), 6);
+        assert_eq!(Division::HighNormal.cardinalities().count(), 5);
+        assert_eq!(Division::High.cardinalities().count(), 5);
+    }
+
+    #[test]
+    fn grid_is_110_datasets() {
+        let grid = DatasetSpec::grid(1000, 0);
+        assert_eq!(grid.len(), 110);
+    }
+
+    #[test]
+    fn generate_matches_spec() {
+        let spec = DatasetSpec::paper(Distribution::Uniform, 76)
+            .with_rows(5_000)
+            .with_seed(1);
+        let ds = spec.generate();
+        assert_eq!(ds.len(), 5_000);
+        assert!(ds.g.iter().all(|&k| (k as u64) < 76));
+        assert!(ds.v.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn sequential_actual_cardinality_is_exact() {
+        let ds = DatasetSpec::paper(Distribution::Sequential, 152)
+            .with_rows(10_000)
+            .generate();
+        assert_eq!(ds.actual_cardinality(), 152);
+    }
+
+    #[test]
+    fn zipf_actual_cardinality_below_max() {
+        // With a strongly skewed draw over a huge domain and few rows, many
+        // keys never occur.
+        let ds = DatasetSpec::paper(Distribution::Zipf, 1_000_000)
+            .with_rows(10_000)
+            .generate();
+        assert!(ds.actual_cardinality() < 10_000);
+    }
+
+    #[test]
+    fn max_group_key_is_max() {
+        let ds = DatasetSpec::paper(Distribution::Uniform, 1000)
+            .with_rows(5_000)
+            .with_seed(3)
+            .generate();
+        assert_eq!(
+            ds.max_group_key(),
+            ds.g.iter().copied().max().unwrap()
+        );
+    }
+
+    #[test]
+    fn different_cells_get_different_data() {
+        let a = DatasetSpec::paper(Distribution::Uniform, 76)
+            .with_rows(1000)
+            .generate();
+        let b = DatasetSpec::paper(Distribution::Uniform, 152)
+            .with_rows(1000)
+            .generate();
+        assert_ne!(a.g, b.g);
+    }
+}

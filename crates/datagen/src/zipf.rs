@@ -1,0 +1,173 @@
+//! Zipfian sampling.
+//!
+//! The paper's `zipf` dataset draws group keys from `[0, c)` with Zipfian
+//! probability (rank `k` has probability proportional to `1 / (k+1)^s`). We
+//! use the classic skew `s = 1.0` (as in Cieslewicz & Ross, VLDB 2007, whose
+//! datasets the paper mirrors).
+//!
+//! Sampling uses rejection-inversion (Hörmann & Derflinger, "Rejection-
+//! inversion to generate variates from monotone discrete distributions",
+//! TOMACS 1996) — O(1) per sample for any domain size, which matters because
+//! the paper's largest domain is 10,000,000 values.
+
+use crate::rng::Xoshiro256StarStar;
+
+/// A Zipf distribution over `{0, 1, ..., n-1}` with exponent `s > 0`.
+///
+/// Rank 0 is the most probable value.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants for rejection-inversion.
+    h_x1: f64,
+    h_n: f64,
+    s_const: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` values with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0` or `s` is not finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        let h_x1 = Self::h_static(1.5, s) - 1.0;
+        let h_n = Self::h_static(n as f64 + 0.5, s);
+        let s_const = 2.0
+            - Self::h_inv_static(Self::h_static(2.5, s) - (2.0f64).powf(-s), s);
+        Self {
+            n,
+            s,
+            h_x1,
+            h_n,
+            s_const,
+        }
+    }
+
+    /// Number of values in the domain.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    // H(x) = integral of 1/x^s: (x^(1-s) - 1)/(1-s), with the s == 1 limit
+    // ln(x). Using the shifted form keeps precision for s close to 1.
+    fn h_static(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        Self::h_static(x, self.s)
+    }
+
+    fn h_inv_static(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - s)).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        Self::h_inv_static(x, self.s)
+    }
+
+    /// Draws one sample; the result is in `[0, n)` and rank 0 is the most
+    /// frequent.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        loop {
+            let u = self.h_n + rng.next_f64() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = x.round().clamp(1.0, self.n as f64);
+            // Accept if k is close enough to x, or by the exact test.
+            if k - x <= self.s_const || u >= self.h(k + 0.5) - k.powf(-self.s) {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(n: u64, s: f64, samples: usize, seed: u64) -> Vec<usize> {
+        let z = Zipf::new(n, s);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut h = vec![0usize; n as usize];
+        for _ in 0..samples {
+            h[z.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_frequent() {
+        let h = histogram(1000, 1.0, 100_000, 5);
+        let max = h.iter().copied().max().unwrap();
+        assert_eq!(h[0], max);
+    }
+
+    #[test]
+    fn frequencies_roughly_harmonic() {
+        // With s=1, p(k) ∝ 1/(k+1); check ratio of rank 0 to rank 9 ≈ 10.
+        let h = histogram(10_000, 1.0, 400_000, 7);
+        let ratio = h[0] as f64 / h[9] as f64;
+        assert!(
+            (5.0..20.0).contains(&ratio),
+            "expected ~10x ratio, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = histogram(50, 1.0, 10_000, 11);
+        let b = histogram(50, 1.0, 10_000, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_domain_works() {
+        let h = histogram(1, 1.0, 100, 13);
+        assert_eq!(h[0], 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_domain_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_exponent_panics() {
+        Zipf::new(10, 0.0);
+    }
+
+    #[test]
+    fn non_unit_exponent() {
+        let h = histogram(100, 1.5, 100_000, 17);
+        assert!(h[0] > h[10]);
+        assert!(h[0] > h[50]);
+    }
+}

@@ -1,0 +1,183 @@
+//! A named-table catalogue with a SQL entry point — the outermost layer
+//! of the mini column-store.
+//!
+//! ```
+//! use vagg_db::{Database, Table};
+//!
+//! let mut db = Database::new();
+//! db.register(
+//!     Table::new("people")
+//!         .with_column("age", vec![4, 3, 4, 5, 3])
+//!         .with_column("earnings", vec![24, 11, 24, 10, 15]),
+//! );
+//! let out = db.execute_sql(
+//!     "SELECT age, COUNT(*), SUM(earnings) FROM people GROUP BY age",
+//! )?;
+//! assert_eq!(out.rows.len(), 3);
+//! # Ok::<(), vagg_db::SqlError>(())
+//! ```
+
+use crate::engine::{Engine, QueryOutput};
+use crate::sql::{parse, ParseSqlError};
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a SQL statement failed to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The statement did not parse.
+    Parse(ParseSqlError),
+    /// The `FROM` table is not registered.
+    UnknownTable(String),
+    /// The engine rejected the planned query (unknown column, empty
+    /// table...).
+    Plan(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "parse error: {e}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            SqlError::Plan(e) => write!(f, "planning error: {e}"),
+        }
+    }
+}
+
+impl Error for SqlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SqlError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseSqlError> for SqlError {
+    fn from(e: ParseSqlError) -> Self {
+        SqlError::Parse(e)
+    }
+}
+
+/// A catalogue of tables plus an [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    engine: Engine,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database with the paper's machine configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A database with a custom engine (e.g. a different `SimConfig`).
+    pub fn with_engine(engine: Engine) -> Self {
+        Self { engine, tables: BTreeMap::new() }
+    }
+
+    /// Registers a table under its own name, replacing any previous table
+    /// with that name (the replaced table is returned).
+    pub fn register(&mut self, table: Table) -> Option<Table> {
+        self.tables.insert(table.name().to_string(), table)
+    }
+
+    /// Looks up a registered table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Parses and executes one SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Parse`] for malformed statements, the other variants
+    /// for catalogue or planning problems.
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryOutput, SqlError> {
+        let parsed = parse(sql)?;
+        let table = self
+            .tables
+            .get(&parsed.table)
+            .ok_or_else(|| SqlError::UnknownTable(parsed.table.clone()))?;
+        self.engine
+            .execute(table, &parsed.query)
+            .map_err(SqlError::Plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register(
+            Table::new("r")
+                .with_column("g", vec![1, 3, 3, 0, 0, 5, 2, 4])
+                .with_column("v", vec![0, 5, 2, 4, 1, 3, 3, 0]),
+        );
+        db
+    }
+
+    #[test]
+    fn executes_the_paper_query() {
+        let out = db()
+            .execute_sql("SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")
+            .unwrap();
+        assert_eq!(out.rows.len(), 6);
+        let r3 = out.rows.iter().find(|r| r.group == 3).unwrap();
+        assert_eq!(r3.values, vec![2.0, 7.0]);
+    }
+
+    #[test]
+    fn where_clause_flows_through() {
+        let out = db()
+            .execute_sql("SELECT g, COUNT(*), SUM(v) FROM r WHERE g <> 0 GROUP BY g")
+            .unwrap();
+        assert!(out.rows.iter().all(|r| r.group != 0));
+        assert!(out.report.plan.contains("VectorFilter"));
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let e = db()
+            .execute_sql("SELECT g, SUM(v) FROM nope GROUP BY g")
+            .unwrap_err();
+        assert_eq!(e, SqlError::UnknownTable("nope".into()));
+    }
+
+    #[test]
+    fn unknown_column_becomes_a_plan_error() {
+        let e = db()
+            .execute_sql("SELECT g, SUM(missing) FROM r GROUP BY g")
+            .unwrap_err();
+        assert!(matches!(e, SqlError::Plan(_)));
+        assert!(e.to_string().contains("unknown column"));
+    }
+
+    #[test]
+    fn parse_errors_carry_the_source() {
+        let e = db()
+            .execute_sql("SELECT g, SUM(v) FROM r GROUP BY h")
+            .unwrap_err();
+        assert!(matches!(e, SqlError::Parse(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn register_replaces_and_returns_previous() {
+        let mut d = db();
+        let old = d.register(Table::new("r").with_column("g", vec![1]));
+        assert!(old.is_some());
+        assert_eq!(d.table("r").unwrap().rows(), 1);
+        assert_eq!(d.table_names(), vec!["r"]);
+    }
+}

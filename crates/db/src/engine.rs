@@ -1,0 +1,850 @@
+//! The execution engine: plans and runs [`AggregateQuery`]s on the
+//! simulated vector machine, choosing the aggregation algorithm with the
+//! paper's §V-D adaptive policy.
+
+use crate::filter::vector_filter;
+use crate::query::{AggFn, AggregateQuery, OrderKey};
+use crate::table::Table;
+use vagg_core::input::vector_max_scan;
+use vagg_core::{
+    minmax_aggregate, select_algorithm, AdaptiveMode, Algorithm, PlannerInputs,
+    StagedInput,
+};
+use vagg_sim::{Machine, SimConfig};
+
+/// One output row of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The group key (the fused composite key for multi-column GROUP BY).
+    pub group: u32,
+    /// The key decomposed per grouping column, primary first (one entry
+    /// for single-column queries).
+    pub group_parts: Vec<u32>,
+    /// One value per requested aggregate, in query order. `AVG` is an
+    /// `f64`; everything else is integral.
+    pub values: Vec<f64>,
+}
+
+/// Query output plus the execution report.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Result rows ordered by group key.
+    pub rows: Vec<Row>,
+    /// What the planner decided and what it cost.
+    pub report: ExecutionReport,
+}
+
+/// Planner decision + measured cost.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The algorithm the adaptive policy selected.
+    pub algorithm: Algorithm,
+    /// Rows surviving the WHERE clause (= input rows when no filter).
+    pub rows_aggregated: usize,
+    /// Total simulated cycles (filter + aggregation).
+    pub cycles: u64,
+    /// Simulated cycles per *input* tuple.
+    pub cpt: f64,
+    /// Human-readable plan description.
+    pub plan: String,
+}
+
+/// How the planner estimates cardinality (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CardinalityEstimation {
+    /// The exact vectorised max-key scan of the whole column (the
+    /// paper's default).
+    #[default]
+    ExactScan,
+    /// The sampled scan the paper sketches ("could be replaced with
+    /// sampling and some additional checks"): read one chunk in every
+    /// `stride`, inflate the estimate by the planner margin.
+    Sampled {
+        /// Read one MVL-wide chunk out of every `stride` chunks.
+        stride: usize,
+    },
+}
+
+/// The engine: owns the machine configuration and planner options.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    cfg: SimConfig,
+    estimation: CardinalityEstimation,
+}
+
+impl Engine {
+    /// An engine with the paper's machine configuration.
+    pub fn new() -> Self {
+        Self { cfg: SimConfig::paper(), estimation: CardinalityEstimation::ExactScan }
+    }
+
+    /// An engine with a custom configuration.
+    pub fn with_config(cfg: SimConfig) -> Self {
+        Self { cfg, estimation: CardinalityEstimation::ExactScan }
+    }
+
+    /// Selects how the planner estimates cardinality.
+    pub fn with_estimation(mut self, estimation: CardinalityEstimation) -> Self {
+        self.estimation = estimation;
+        self
+    }
+
+    /// Plans and executes a query against a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first planning problem found
+    /// (unknown columns, empty aggregate list, empty table).
+    pub fn execute(
+        &self,
+        table: &Table,
+        query: &AggregateQuery,
+    ) -> Result<QueryOutput, String> {
+        let g = table
+            .column(&query.group_by)
+            .ok_or_else(|| format!("unknown column {:?}", query.group_by))?;
+        let v = table
+            .column(&query.value)
+            .ok_or_else(|| format!("unknown column {:?}", query.value))?;
+        if query.aggregates.is_empty() {
+            return Err("no aggregates requested".into());
+        }
+        if table.rows() == 0 {
+            return Err("empty table".into());
+        }
+        let presorted = table
+            .meta(&query.group_by)
+            .map(|m| m.sorted)
+            .unwrap_or(false)
+            // Fused composite keys have no sortedness guarantee even when
+            // the primary column does.
+            && query.group_by_rest.is_empty();
+
+        let mut m = Machine::new(self.cfg.clone());
+        let n = table.rows();
+        let mut plan = Vec::new();
+
+        // Composite GROUP BY: fuse the grouping columns into one key per
+        // row on the machine; the fused column then flows through the
+        // unchanged single-key pipeline. `rest_domains` drives readback
+        // decomposition.
+        let (g_fused, rest_domains): (Option<Vec<u32>>, Vec<u32>) =
+            if query.group_by_rest.is_empty() {
+                (None, Vec::new())
+            } else {
+                let mut cols: Vec<&[u32]> = vec![g];
+                for name in &query.group_by_rest {
+                    cols.push(table.column(name).ok_or_else(|| {
+                        format!("unknown column {name:?}")
+                    })?);
+                }
+                plan.push(format!(
+                    "FuseKeys({})",
+                    query.group_columns().join("×")
+                ));
+                let (fused, domains) = fuse_group_columns(&mut m, &cols)?;
+                (Some(fused), domains)
+            };
+        let g: &[u32] = g_fused.as_deref().unwrap_or(g);
+
+        // WHERE: vectorised selection into fresh compacted columns.
+        let (input, rows_aggregated) = if let Some((col, pred)) = &query.filter {
+            let w = table
+                .column(col)
+                .ok_or_else(|| format!("unknown column {col:?}"))?;
+            let ws = m.space_mut().alloc_slice_u32(w);
+            let gs = m.space_mut().alloc_slice_u32(g);
+            let vs = m.space_mut().alloc_slice_u32(v);
+            let gd = m.space_mut().alloc(4 * n as u64, 64);
+            let vd = m.space_mut().alloc(4 * n as u64, 64);
+            plan.push(format!("VectorFilter({col} {})", pred.sql()));
+            let kept =
+                vector_filter(&mut m, ws, n, *pred, &[(gs, gd), (vs, vd)]);
+            if kept == 0 {
+                return Ok(QueryOutput {
+                    rows: Vec::new(),
+                    report: ExecutionReport {
+                        algorithm: Algorithm::Monotable,
+                        rows_aggregated: 0,
+                        cycles: m.cycles(),
+                        cpt: m.cycles() as f64 / n as f64,
+                        plan: plan.join(" -> "),
+                    },
+                });
+            }
+            // Filtering destroys sortedness guarantees? No: compaction
+            // preserves relative order, so a sorted column stays sorted.
+            let staged = StagedInput {
+                g: gd,
+                v: vd,
+                aux_g: m.space_mut().alloc(4 * kept as u64, 64),
+                aux_v: m.space_mut().alloc(4 * kept as u64, 64),
+                n: kept,
+                presorted,
+            };
+            (staged, kept)
+        } else {
+            (StagedInput::stage_raw(&mut m, g, v, presorted), n)
+        };
+
+        // Plan: cardinality estimate (exact or sampled, §III-A) feeds the
+        // §V-D policy. The scan here is the engine's planning cost;
+        // algorithms still run their own metadata step, exactly as the
+        // paper charges it.
+        let cardinality = if presorted {
+            let (maxg, _tok) = vagg_core::input::presorted_max(&mut m, &input);
+            maxg as u64 + 1
+        } else {
+            match self.estimation {
+                CardinalityEstimation::ExactScan => {
+                    let (maxg, _tok) = vector_max_scan(&mut m, &input);
+                    maxg as u64 + 1
+                }
+                CardinalityEstimation::Sampled { stride } => {
+                    let (est, _tok) =
+                        vagg_core::sampling::sampled_max_scan(&mut m, &input, stride);
+                    est.planning_cardinality()
+                }
+            }
+        };
+        let algorithm = select_algorithm(
+            &PlannerInputs {
+                presorted,
+                cardinality,
+                rows: input.n,
+                mvl: m.mvl(),
+            },
+            None,
+            AdaptiveMode::Realistic,
+        );
+        plan.push(format!(
+            "AdaptiveAggregate[{}](cardinality≈{cardinality})",
+            algorithm.short_name()
+        ));
+
+        // Execute.
+        let (mut base, mut mm) = if query.needs_minmax() {
+            plan.push("VGAx(min/max) kernel".into());
+            let r = minmax_aggregate(&mut m, &input);
+            (r.base, Some((r.mins, r.maxs)))
+        } else {
+            let (result, _) = algorithm.execute(&mut m, &input);
+            (result, None)
+        };
+
+        // HAVING: vectorised selection over the output table, compacting
+        // every output column behind the aggregate's mask.
+        if let Some(h) = &query.having {
+            plan.push(format!(
+                "VectorHaving({} {})",
+                h.agg.sql(&query.value),
+                h.pred.sql()
+            ));
+            (base, mm) = apply_having(&mut m, h, base, mm)?;
+        }
+
+        // ORDER BY: stable vectorised radix sort of the output rows by
+        // the requested key (complement key for DESC), then LIMIT.
+        if let Some(ob) = &query.order_by {
+            plan.push(format!(
+                "VectorOrderBy[radix]({}{}{})",
+                match ob.key {
+                    OrderKey::Group => query.group_by.clone(),
+                    OrderKey::Agg(a) => a.sql(&query.value),
+                },
+                if ob.desc { " DESC" } else { "" },
+                ob.limit.map(|k| format!(" LIMIT {k}")).unwrap_or_default()
+            ));
+            (base, mm) = apply_order_by(&mut m, ob, base, mm)?;
+        }
+
+        let rows = assemble_rows(
+            query,
+            &base,
+            mm.as_ref().map(|(a, b)| (&a[..], &b[..])),
+            &rest_domains,
+        );
+
+        let cycles = m.cycles();
+        Ok(QueryOutput {
+            rows,
+            report: ExecutionReport {
+                algorithm,
+                rows_aggregated,
+                cycles,
+                cpt: cycles as f64 / n as f64,
+                plan: plan.join(" -> "),
+            },
+        })
+    }
+}
+
+type Columns = (vagg_core::AggResult, Option<(Vec<u32>, Vec<u32>)>);
+
+// The integral column a HAVING / ORDER BY key refers to.
+fn agg_column<'a>(
+    agg: AggFn,
+    base: &'a vagg_core::AggResult,
+    mm: &'a Option<(Vec<u32>, Vec<u32>)>,
+) -> Result<&'a [u32], String> {
+    match agg {
+        AggFn::Count => Ok(&base.counts),
+        AggFn::Sum => Ok(&base.sums),
+        AggFn::Min => Ok(&mm.as_ref().expect("minmax kernel ran").0),
+        AggFn::Max => Ok(&mm.as_ref().expect("minmax kernel ran").1),
+        AggFn::Avg => Err(
+            "HAVING/ORDER BY on AVG is unsupported: AVG is computed on \
+             readback, not materialised as a machine column"
+                .into(),
+        ),
+    }
+}
+
+// HAVING: stage the output columns back onto the machine and run the
+// same vectorised select/compress kernel the WHERE clause uses, with the
+// aggregate column as the predicate source.
+fn apply_having(
+    m: &mut Machine,
+    h: &crate::query::Having,
+    base: vagg_core::AggResult,
+    mm: Option<(Vec<u32>, Vec<u32>)>,
+) -> Result<Columns, String> {
+    let n = base.len();
+    if n == 0 {
+        return Ok((base, mm));
+    }
+    let pred_col = agg_column(h.agg, &base, &mm)?.to_vec();
+
+    let stage = |m: &mut Machine, col: &[u32]| {
+        let src = m.space_mut().alloc_slice_u32(col);
+        let dst = m.space_mut().alloc(4 * col.len() as u64, 64);
+        (src, dst)
+    };
+    let ps = stage(m, &pred_col);
+    let gs = stage(m, &base.groups);
+    let cs = stage(m, &base.counts);
+    let ss = stage(m, &base.sums);
+    let mms = mm.as_ref().map(|(mins, maxs)| (stage(m, mins), stage(m, maxs)));
+
+    let mut cols = vec![gs, cs, ss];
+    if let Some((mins, maxs)) = mms {
+        cols.push(mins);
+        cols.push(maxs);
+    }
+    let kept = vector_filter(m, ps.0, n, h.pred, &cols);
+
+    let read = |m: &Machine, (_, dst): (u64, u64)| m.space().read_slice_u32(dst, kept);
+    let base = vagg_core::AggResult {
+        groups: read(m, cols[0]),
+        counts: read(m, cols[1]),
+        sums: read(m, cols[2]),
+    };
+    let mm = (cols.len() == 5).then(|| (read(m, cols[3]), read(m, cols[4])));
+    Ok((base, mm))
+}
+
+// ORDER BY: a stable vectorised LSD radix sort over (key, row-index)
+// pairs; the returned permutation is applied to every output column and
+// LIMIT truncates. DESC sorts the complement key so the same ascending
+// kernel serves both directions.
+fn apply_order_by(
+    m: &mut Machine,
+    ob: &crate::query::OrderBy,
+    base: vagg_core::AggResult,
+    mm: Option<(Vec<u32>, Vec<u32>)>,
+) -> Result<Columns, String> {
+    let n = base.len();
+    let keep = ob.limit.unwrap_or(n).min(n);
+    let (mut base, mut mm) = (base, mm);
+    if n > 1 {
+        let mut keys: Vec<u32> = match ob.key {
+            OrderKey::Group => base.groups.clone(),
+            OrderKey::Agg(a) => agg_column(a, &base, &mm)?.to_vec(),
+        };
+        if ob.desc {
+            for k in &mut keys {
+                *k = u32::MAX - *k;
+            }
+        }
+        let idx: Vec<u32> = (0..n as u32).collect();
+        let arrays = vagg_sort::SortArrays::stage(m, &keys, &idx);
+        let max_key = keys.iter().copied().max().unwrap_or(0);
+        let passes = vagg_sort::radix_sort(m, &arrays, max_key);
+        let (_, perm) = arrays.read_result(m, passes);
+
+        let permute =
+            |col: &[u32]| perm.iter().map(|&i| col[i as usize]).collect::<Vec<u32>>();
+        base = vagg_core::AggResult {
+            groups: permute(&base.groups),
+            counts: permute(&base.counts),
+            sums: permute(&base.sums),
+        };
+        mm = mm.map(|(mins, maxs)| (permute(&mins), permute(&maxs)));
+    }
+    base.groups.truncate(keep);
+    base.counts.truncate(keep);
+    base.sums.truncate(keep);
+    if let Some((mins, maxs)) = &mut mm {
+        mins.truncate(keep);
+        maxs.truncate(keep);
+    }
+    Ok((base, mm))
+}
+
+// Fuses the grouping columns into one key per row on the machine:
+// key = ((g₀·d₁ + g₁)·d₂ + g₂)… where dᵢ is column i's key domain
+// (maxᵢ + 1, measured by the vectorised max scan — a planning step
+// charged to the query like the §III-A metadata scan). Returns the
+// fused host column and the rest columns' domains.
+fn fuse_group_columns(
+    m: &mut Machine,
+    cols: &[&[u32]],
+) -> Result<(Vec<u32>, Vec<u32>), String> {
+    use vagg_isa::{BinOp, Vreg};
+    const VK: Vreg = Vreg(12); // running fused keys
+    const VN: Vreg = Vreg(13); // next column's keys
+
+    let n = cols[0].len();
+    if cols.iter().any(|c| c.len() != n) {
+        return Err("grouping columns differ in length".into());
+    }
+
+    // Stage the columns and measure each domain with the machine's
+    // vectorised max scan.
+    let mut staged = Vec::with_capacity(cols.len());
+    let mut domains: Vec<u64> = Vec::with_capacity(cols.len());
+    for col in cols {
+        let addr = m.space_mut().alloc_slice_u32(col);
+        let input = StagedInput {
+            g: addr,
+            v: addr,
+            aux_g: addr,
+            aux_v: addr,
+            n,
+            presorted: false,
+        };
+        let (maxk, _tok) = vector_max_scan(m, &input);
+        staged.push(addr);
+        domains.push(maxk as u64 + 1);
+    }
+    let total: u64 = domains.iter().product();
+    if total > u32::MAX as u64 + 1 {
+        return Err(format!(
+            "composite key domain {total} exceeds the 32-bit key space; \
+             drop a grouping column or pre-filter"
+        ));
+    }
+
+    // Fuse chunk by chunk: k = ((c₀·d₁) + c₁)·d₂ + c₂ …
+    let fused = m.space_mut().alloc(4 * n as u64, 64);
+    let mvl = m.mvl();
+    for start in (0..n).step_by(mvl) {
+        let vl = (n - start).min(mvl);
+        m.set_vl(vl);
+        let t = m.s_op(0);
+        m.vload_unit(VK, staged[0] + 4 * start as u64, 4, t);
+        for (i, &addr) in staged.iter().enumerate().skip(1) {
+            m.vbinop_vs(BinOp::Mul, VK, VK, domains[i], None);
+            m.vload_unit(VN, addr + 4 * start as u64, 4, t);
+            m.vbinop_vv(BinOp::Add, VK, VK, VN, None);
+        }
+        m.vstore_unit(VK, fused + 4 * start as u64, 4, t);
+    }
+    let fused_host = m.space().read_slice_u32(fused, n);
+    let rest = domains[1..].iter().map(|&d| d as u32).collect();
+    Ok((fused_host, rest))
+}
+
+// Splits a fused composite key back into its per-column parts
+// (primary part first). `rest_domains` are d₁… in fusion order.
+fn decompose_key(key: u32, rest_domains: &[u32]) -> Vec<u32> {
+    let mut parts = vec![0u32; rest_domains.len() + 1];
+    let mut k = key;
+    for (i, &d) in rest_domains.iter().enumerate().rev() {
+        parts[i + 1] = k % d;
+        k /= d;
+    }
+    parts[0] = k;
+    parts
+}
+
+fn assemble_rows(
+    query: &AggregateQuery,
+    base: &vagg_core::AggResult,
+    minmax: Option<(&[u32], &[u32])>,
+    rest_domains: &[u32],
+) -> Vec<Row> {
+    (0..base.len())
+        .map(|i| {
+            let values = query
+                .aggregates
+                .iter()
+                .map(|agg| match agg {
+                    AggFn::Count => base.counts[i] as f64,
+                    AggFn::Sum => base.sums[i] as f64,
+                    AggFn::Avg => base.sums[i] as f64 / base.counts[i] as f64,
+                    AggFn::Min => {
+                        minmax.expect("minmax kernel ran").0[i] as f64
+                    }
+                    AggFn::Max => {
+                        minmax.expect("minmax kernel ran").1[i] as f64
+                    }
+                })
+                .collect();
+            Row {
+                group: base.groups[i],
+                group_parts: decompose_key(base.groups[i], rest_domains),
+                values,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Predicate;
+
+    #[test]
+    fn composite_group_by_matches_host_oracle() {
+        // GROUP BY (a, b): fuse on the machine, decompose on readback.
+        let a = vec![1u32, 2, 1, 2, 1, 1];
+        let b = vec![0u32, 0, 1, 1, 0, 1];
+        let v = vec![10u32, 20, 30, 40, 50, 60];
+        let t = Table::new("r")
+            .with_column("a", a.clone())
+            .with_column("b", b.clone())
+            .with_column("v", v.clone());
+        let q = AggregateQuery::paper("a", "v").with_group_by_also("b");
+        let out = Engine::new().execute(&t, &q).unwrap();
+
+        let mut expect: std::collections::BTreeMap<(u32, u32), (u32, u32)> =
+            std::collections::BTreeMap::new();
+        for i in 0..a.len() {
+            let e = expect.entry((a[i], b[i])).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += v[i];
+        }
+        assert_eq!(out.rows.len(), expect.len());
+        for r in &out.rows {
+            assert_eq!(r.group_parts.len(), 2);
+            let key = (r.group_parts[0], r.group_parts[1]);
+            let (count, sum) = expect[&key];
+            assert_eq!(r.values[0] as u32, count, "count of {key:?}");
+            assert_eq!(r.values[1] as u32, sum, "sum of {key:?}");
+        }
+        assert!(out.report.plan.contains("FuseKeys(a×b)"));
+    }
+
+    #[test]
+    fn three_column_group_by() {
+        let t = Table::new("r")
+            .with_column("a", vec![0, 1, 0, 1])
+            .with_column("b", vec![2, 2, 3, 3])
+            .with_column("c", vec![5, 5, 5, 6])
+            .with_column("v", vec![1, 2, 3, 4]);
+        let q = AggregateQuery::paper("a", "v")
+            .with_group_by_also("b")
+            .with_group_by_also("c");
+        let out = Engine::new().execute(&t, &q).unwrap();
+        // All four rows are distinct (a, b, c) triples.
+        assert_eq!(out.rows.len(), 4);
+        let parts: Vec<Vec<u32>> =
+            out.rows.iter().map(|r| r.group_parts.clone()).collect();
+        assert!(parts.contains(&vec![0, 2, 5]));
+        assert!(parts.contains(&vec![1, 3, 6]));
+        for r in &out.rows {
+            assert_eq!(r.values[0], 1.0);
+        }
+    }
+
+    #[test]
+    fn composite_group_by_with_filter() {
+        let t = Table::new("r")
+            .with_column("a", vec![1, 1, 2, 2, 1])
+            .with_column("b", vec![0, 1, 0, 1, 0])
+            .with_column("v", vec![5, 6, 7, 8, 9]);
+        let q = AggregateQuery::paper("a", "v")
+            .with_group_by_also("b")
+            .with_filter("v", Predicate::NotEqual(7));
+        let out = Engine::new().execute(&t, &q).unwrap();
+        // (2, 0) is filtered out entirely.
+        assert!(!out
+            .rows
+            .iter()
+            .any(|r| r.group_parts == vec![2, 0]));
+        let r10 = out
+            .rows
+            .iter()
+            .find(|r| r.group_parts == vec![1, 0])
+            .unwrap();
+        assert_eq!(r10.values[0], 2.0); // rows 0 and 4
+        assert_eq!(r10.values[1], 14.0);
+    }
+
+    #[test]
+    fn composite_key_domain_overflow_is_an_error() {
+        let t = Table::new("r")
+            .with_column("a", vec![0, 100_000])
+            .with_column("b", vec![0, 100_000])
+            .with_column("v", vec![1, 2]);
+        let q = AggregateQuery::paper("a", "v").with_group_by_also("b");
+        let err = Engine::new().execute(&t, &q).unwrap_err();
+        assert!(err.contains("32-bit key space"), "{err}");
+    }
+
+    #[test]
+    fn single_column_rows_have_one_part() {
+        let t = people();
+        let out = Engine::new()
+            .execute(&t, &AggregateQuery::paper("g", "v"))
+            .unwrap();
+        for r in &out.rows {
+            assert_eq!(r.group_parts, vec![r.group]);
+        }
+    }
+
+    #[test]
+    fn decompose_key_roundtrips() {
+        let rest = [7u32, 13];
+        for g0 in 0..4u32 {
+            for g1 in 0..7 {
+                for g2 in 0..13 {
+                    let key = (g0 * 7 + g1) * 13 + g2;
+                    assert_eq!(
+                        decompose_key(key, &rest),
+                        vec![g0, g1, g2]
+                    );
+                }
+            }
+        }
+        assert_eq!(decompose_key(42, &[]), vec![42]);
+    }
+
+    fn people() -> Table {
+        Table::new("r")
+            .with_column("g", vec![1, 3, 3, 0, 0, 5, 2, 4])
+            .with_column("v", vec![0, 5, 2, 4, 1, 3, 3, 0])
+    }
+
+    #[test]
+    fn paper_query_end_to_end() {
+        let out = Engine::new()
+            .execute(&people(), &AggregateQuery::paper("g", "v"))
+            .unwrap();
+        assert_eq!(out.rows.len(), 6);
+        // Group 3: COUNT 2, SUM 7.
+        let r3 = out.rows.iter().find(|r| r.group == 3).unwrap();
+        assert_eq!(r3.values, vec![2.0, 7.0]);
+        assert!(out.report.cycles > 0);
+        assert!(out.report.plan.contains("AdaptiveAggregate"));
+    }
+
+    #[test]
+    fn filter_then_aggregate() {
+        let q = AggregateQuery::paper("g", "v")
+            .with_filter("g", Predicate::NotEqual(0));
+        let out = Engine::new().execute(&people(), &q).unwrap();
+        assert_eq!(out.report.rows_aggregated, 6);
+        assert!(out.rows.iter().all(|r| r.group != 0));
+        assert!(out.report.plan.contains("VectorFilter"));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let q = AggregateQuery::paper("g", "v")
+            .with_aggregate(AggFn::Min)
+            .with_aggregate(AggFn::Max)
+            .with_aggregate(AggFn::Avg);
+        let out = Engine::new().execute(&people(), &q).unwrap();
+        let r0 = out.rows.iter().find(|r| r.group == 0).unwrap();
+        // count, sum, min, max, avg of values {4, 1}.
+        assert_eq!(r0.values, vec![2.0, 5.0, 1.0, 4.0, 2.5]);
+    }
+
+    #[test]
+    fn having_filters_output_groups() {
+        // people(): group 0 {4,1}, 3 {5,2} have COUNT 2; others COUNT 1.
+        let q = AggregateQuery::paper("g", "v")
+            .with_having(AggFn::Count, Predicate::GreaterThan(1));
+        let out = Engine::new().execute(&people(), &q).unwrap();
+        let groups: Vec<u32> = out.rows.iter().map(|r| r.group).collect();
+        assert_eq!(groups, vec![0, 3]);
+        assert!(out.report.plan.contains("VectorHaving(COUNT(*) > 1)"));
+    }
+
+    #[test]
+    fn having_on_sum_with_minmax_columns_in_flight() {
+        // HAVING must compact the min/max columns too.
+        let q = AggregateQuery::paper("g", "v")
+            .with_aggregate(AggFn::Min)
+            .with_aggregate(AggFn::Max)
+            .with_having(AggFn::Sum, Predicate::GreaterThan(3));
+        let out = Engine::new().execute(&people(), &q).unwrap();
+        // Sums per group: 0→5, 1→0, 2→3, 3→7, 4→0, 5→3 → keep {0, 3}.
+        let groups: Vec<u32> = out.rows.iter().map(|r| r.group).collect();
+        assert_eq!(groups, vec![0, 3]);
+        let r0 = &out.rows[0];
+        assert_eq!(r0.values, vec![2.0, 5.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn having_removing_everything_yields_empty_output() {
+        let q = AggregateQuery::paper("g", "v")
+            .with_having(AggFn::Count, Predicate::GreaterThan(100));
+        let out = Engine::new().execute(&people(), &q).unwrap();
+        assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn having_on_avg_is_a_plan_error() {
+        let q = AggregateQuery::paper("g", "v")
+            .with_having(AggFn::Avg, Predicate::GreaterThan(1));
+        let e = Engine::new().execute(&people(), &q).unwrap_err();
+        assert!(e.contains("AVG"), "{e}");
+    }
+
+    #[test]
+    fn order_by_aggregate_desc_with_limit() {
+        // Top-2 groups by SUM(v): 3 (7), 0 (5).
+        let q = AggregateQuery::paper("g", "v")
+            .with_order_by(crate::query::OrderKey::Agg(AggFn::Sum), true)
+            .with_limit(2);
+        let out = Engine::new().execute(&people(), &q).unwrap();
+        let groups: Vec<u32> = out.rows.iter().map(|r| r.group).collect();
+        assert_eq!(groups, vec![3, 0]);
+        assert!(out.report.plan.contains("VectorOrderBy"));
+    }
+
+    #[test]
+    fn order_by_is_stable_on_ties() {
+        // Groups 2 and 5 both sum to 3; radix sort is stable, so the
+        // lower group key (already in group order) comes first.
+        let q = AggregateQuery::paper("g", "v")
+            .with_order_by(crate::query::OrderKey::Agg(AggFn::Sum), false);
+        let out = Engine::new().execute(&people(), &q).unwrap();
+        let sums: Vec<f64> = out.rows.iter().map(|r| r.values[1]).collect();
+        let mut sorted = sums.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sums, sorted);
+        let pos2 = out.rows.iter().position(|r| r.group == 2).unwrap();
+        let pos5 = out.rows.iter().position(|r| r.group == 5).unwrap();
+        assert!(pos2 < pos5, "stability: group 2 before 5 on equal sums");
+    }
+
+    #[test]
+    fn bare_limit_truncates_group_order() {
+        let q = AggregateQuery::paper("g", "v").with_limit(3);
+        let out = Engine::new().execute(&people(), &q).unwrap();
+        let groups: Vec<u32> = out.rows.iter().map(|r| r.group).collect();
+        assert_eq!(groups, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn full_sql_pipeline_via_database() {
+        use crate::database::Database;
+        let mut db = Database::new();
+        db.register(people());
+        let out = db
+            .execute_sql(
+                "SELECT g, COUNT(*), SUM(v) FROM r WHERE v > 0 GROUP BY g \
+                 HAVING SUM(v) > 2 ORDER BY SUM(v) DESC LIMIT 2",
+            )
+            .unwrap();
+        // After WHERE v > 0: group sums 0→5, 2→3, 3→7, 5→3; HAVING > 2
+        // keeps all of those; top-2 by sum: 3 (7), 0 (5).
+        let groups: Vec<u32> = out.rows.iter().map(|r| r.group).collect();
+        assert_eq!(groups, vec![3, 0]);
+    }
+
+    #[test]
+    fn sorted_metadata_drives_the_planner() {
+        // Sorted, low cardinality, long runs (128 per group) → polytable
+        // per Table IX.
+        let n = 512usize;
+        let t = Table::new("r")
+            .with_column("g", (0..n).map(|i| (i / 128) as u32).collect())
+            .with_column("v", (0..n).map(|i| (i % 10) as u32).collect());
+        let out = Engine::new()
+            .execute(&t, &AggregateQuery::paper("g", "v"))
+            .unwrap();
+        assert_eq!(out.report.algorithm, Algorithm::Polytable);
+    }
+
+    #[test]
+    fn short_runs_steer_the_planner_away_from_polytable() {
+        // Sorted but nearly-unique keys: run locality is absent, so the
+        // run-length-aware policy falls back to monotable.
+        let n = 512usize;
+        let t = Table::new("r")
+            .with_column("g", (0..n).map(|i| (i / 2) as u32).collect())
+            .with_column("v", (0..n).map(|i| (i % 10) as u32).collect());
+        let out = Engine::new()
+            .execute(&t, &AggregateQuery::paper("g", "v"))
+            .unwrap();
+        assert_eq!(out.report.algorithm, Algorithm::Monotable);
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let e = Engine::new()
+            .execute(&people(), &AggregateQuery::paper("nope", "v"))
+            .unwrap_err();
+        assert!(e.contains("unknown column"));
+    }
+
+    #[test]
+    fn filter_that_drops_everything() {
+        let t = Table::new("r")
+            .with_column("g", vec![1, 1])
+            .with_column("v", vec![2, 2]);
+        let q = AggregateQuery::paper("g", "v")
+            .with_filter("v", Predicate::NotEqual(2));
+        let out = Engine::new().execute(&t, &q).unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.report.rows_aggregated, 0);
+    }
+
+    #[test]
+    fn sampled_estimation_plans_cheaper_and_answers_identically() {
+        let n = 64 * 400;
+        let g: Vec<u32> = (0..n).map(|i| ((i as u64 * 2654435761) % 500) as u32).collect();
+        let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
+        let t = Table::new("r").with_column("g", g).with_column("v", v);
+        let q = AggregateQuery::paper("g", "v");
+
+        let exact = Engine::new().execute(&t, &q).unwrap();
+        let sampled = Engine::new()
+            .with_estimation(CardinalityEstimation::Sampled { stride: 8 })
+            .execute(&t, &q)
+            .unwrap();
+        assert_eq!(exact.rows, sampled.rows);
+        assert_eq!(exact.report.algorithm, sampled.report.algorithm);
+        assert!(
+            sampled.report.cycles < exact.report.cycles,
+            "sampled planning ({}) should cost less than exact ({})",
+            sampled.report.cycles,
+            exact.report.cycles
+        );
+    }
+
+    #[test]
+    fn matches_oracle_on_random_data() {
+        let n = 2000;
+        let g: Vec<u32> = (0..n).map(|i| (i * 7919) % 97).collect();
+        let v: Vec<u32> = (0..n).map(|i| i % 10).collect();
+        let t = Table::new("r")
+            .with_column("g", g.clone())
+            .with_column("v", v.clone());
+        let out = Engine::new()
+            .execute(&t, &AggregateQuery::paper("g", "v"))
+            .unwrap();
+        let expect = vagg_core::reference(&g, &v);
+        assert_eq!(out.rows.len(), expect.len());
+        for (row, i) in out.rows.iter().zip(0..) {
+            assert_eq!(row.group, expect.groups[i]);
+            assert_eq!(row.values[0] as u32, expect.counts[i]);
+            assert_eq!(row.values[1] as u32, expect.sums[i]);
+        }
+    }
+}

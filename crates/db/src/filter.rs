@@ -1,0 +1,247 @@
+//! Vectorised selection (the WHERE clause).
+//!
+//! Selections are the other classic vectorisable DBMS operator (Zhou &
+//! Ross, SIGMOD'02 — cited by the paper as prior SIMD-DBMS work). The
+//! kernel is regular DLP: load a chunk, compare against the constant into
+//! a mask, `compress` the survivors of every projected column, advance the
+//! output cursor by `popcount`.
+//!
+//! Table III's comparison class offers only `not equal` and `not equal to
+//! zero` (the paper needed nothing more for run detection). Inequality
+//! predicates are still expressible by composing with the arithmetic
+//! class's `maximum`:
+//!
+//! * `x > t  ⟺  max(x, t) ≠ t`
+//! * `x < t  ⟺  max(x, t) ≠ x`
+//!
+//! so WHERE/HAVING range selections cost one extra vector op per chunk
+//! rather than new comparison hardware. An *equality* selection would
+//! need a mask-complement instruction — a natural ISA extension, left as
+//! future work exactly as the paper leaves its instruction set minimal.
+
+use vagg_isa::{BinOp, CmpOp, Mreg, Vreg};
+use vagg_sim::{Machine, Tok};
+
+/// Predicates expressible in the Table III comparison class (plus the
+/// `maximum` compositions described in the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predicate {
+    /// `column != constant`.
+    NotEqual(u32),
+    /// `column != 0`.
+    NonZero,
+    /// `column > constant`, composed as `max(x, t) ≠ t`.
+    GreaterThan(u32),
+    /// `column < constant`, composed as `max(x, t) ≠ x`.
+    LessThan(u32),
+}
+
+impl Predicate {
+    /// Evaluates the predicate host-side (the oracle semantics).
+    pub fn matches(self, x: u32) -> bool {
+        match self {
+            Predicate::NotEqual(k) => x != k,
+            Predicate::NonZero => x != 0,
+            Predicate::GreaterThan(t) => x > t,
+            Predicate::LessThan(t) => x < t,
+        }
+    }
+
+    /// SQL spelling of the comparison, e.g. `<> 3`.
+    pub fn sql(self) -> String {
+        match self {
+            Predicate::NotEqual(k) => format!("<> {k}"),
+            Predicate::NonZero => "<> 0".into(),
+            Predicate::GreaterThan(t) => format!("> {t}"),
+            Predicate::LessThan(t) => format!("< {t}"),
+        }
+    }
+}
+
+const VDATA: Vreg = Vreg(13);
+const VPACK: Vreg = Vreg(14);
+const VMAXT: Vreg = Vreg(12);
+const M2: Mreg = Mreg(2);
+
+/// Applies `pred` to the column at `src` (length `n`), compacting the
+/// survivors of each `(src, dst)` column pair. Returns the surviving row
+/// count.
+pub fn vector_filter(
+    m: &mut Machine,
+    src: u64,
+    n: usize,
+    pred: Predicate,
+    columns: &[(u64, u64)],
+) -> usize {
+    let mvl = m.mvl();
+    let mut out_rows = 0usize;
+    for start in (0..n).step_by(mvl) {
+        let vl = (n - start).min(mvl);
+        m.set_vl(vl);
+        let lt: Tok = m.s_op(0);
+        m.vload_unit(VDATA, src + 4 * start as u64, 4, lt);
+        match pred {
+            Predicate::NotEqual(k) => {
+                m.vcmp_vs(CmpOp::Ne, M2, VDATA, k as u64, None);
+            }
+            Predicate::NonZero => {
+                m.vcmp_vs(CmpOp::Nez, M2, VDATA, 0, None);
+            }
+            Predicate::GreaterThan(t) => {
+                // x > t ⟺ max(x, t) ≠ t.
+                m.vbinop_vs(BinOp::Max, VMAXT, VDATA, t as u64, None);
+                m.vcmp_vs(CmpOp::Ne, M2, VMAXT, t as u64, None);
+            }
+            Predicate::LessThan(t) => {
+                // x < t ⟺ max(x, t) ≠ x.
+                m.vbinop_vs(BinOp::Max, VMAXT, VDATA, t as u64, None);
+                m.vcmp_vv(CmpOp::Ne, M2, VMAXT, VDATA, None);
+            }
+        }
+        let (k, kt) = m.mpopcnt(M2);
+        m.s_op(kt);
+        if k == 0 {
+            continue;
+        }
+        for &(csrc, cdst) in columns {
+            m.vload_unit(VDATA, csrc + 4 * start as u64, 4, lt);
+            m.vcompress(VPACK, VDATA, M2);
+            m.vstore_unit(VPACK, cdst + 4 * out_rows as u64, 4, 0);
+        }
+        out_rows += k;
+    }
+    out_rows
+}
+
+/// Host-side oracle for [`vector_filter`].
+pub fn reference_filter(pred: Predicate, column: &[u32]) -> Vec<bool> {
+    column.iter().map(|&x| pred.matches(x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_not_equal() {
+        let mut m = Machine::paper();
+        let g = vec![1u32, 2, 1, 3, 1, 4];
+        let v = vec![10u32, 20, 30, 40, 50, 60];
+        let gs = m.space_mut().alloc_slice_u32(&g);
+        let vs = m.space_mut().alloc_slice_u32(&v);
+        let gd = m.space_mut().alloc(4 * 6, 64);
+        let vd = m.space_mut().alloc(4 * 6, 64);
+        let rows = vector_filter(
+            &mut m,
+            gs,
+            6,
+            Predicate::NotEqual(1),
+            &[(gs, gd), (vs, vd)],
+        );
+        assert_eq!(rows, 3);
+        assert_eq!(m.space().read_slice_u32(gd, 3), vec![2, 3, 4]);
+        assert_eq!(m.space().read_slice_u32(vd, 3), vec![20, 40, 60]);
+    }
+
+    #[test]
+    fn filters_nonzero() {
+        let mut m = Machine::paper();
+        let g = vec![0u32, 5, 0, 6];
+        let gs = m.space_mut().alloc_slice_u32(&g);
+        let gd = m.space_mut().alloc(16, 64);
+        let rows =
+            vector_filter(&mut m, gs, 4, Predicate::NonZero, &[(gs, gd)]);
+        assert_eq!(rows, 2);
+        assert_eq!(m.space().read_slice_u32(gd, 2), vec![5, 6]);
+    }
+
+    #[test]
+    fn filter_spans_chunks() {
+        let mut m = Machine::paper();
+        let n = 300usize;
+        let g: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
+        let gs = m.space_mut().alloc_slice_u32(&g);
+        let gd = m.space_mut().alloc(4 * n as u64, 64);
+        let rows =
+            vector_filter(&mut m, gs, n, Predicate::NotEqual(0), &[(gs, gd)]);
+        let expect: Vec<u32> = g.iter().copied().filter(|&x| x != 0).collect();
+        assert_eq!(rows, expect.len());
+        assert_eq!(m.space().read_slice_u32(gd, rows), expect);
+    }
+
+    #[test]
+    fn all_rows_filtered_out() {
+        let mut m = Machine::paper();
+        let g = vec![7u32; 100];
+        let gs = m.space_mut().alloc_slice_u32(&g);
+        let gd = m.space_mut().alloc(400, 64);
+        let rows =
+            vector_filter(&mut m, gs, 100, Predicate::NotEqual(7), &[(gs, gd)]);
+        assert_eq!(rows, 0);
+    }
+
+    #[test]
+    fn filters_greater_and_less_than() {
+        let mut m = Machine::paper();
+        let g: Vec<u32> = vec![0, 5, 10, 15, 20, 25, 30];
+        let gs = m.space_mut().alloc_slice_u32(&g);
+        let gd = m.space_mut().alloc(4 * 7, 64);
+
+        let rows = vector_filter(
+            &mut m,
+            gs,
+            7,
+            Predicate::GreaterThan(15),
+            &[(gs, gd)],
+        );
+        assert_eq!(rows, 3);
+        assert_eq!(m.space().read_slice_u32(gd, 3), vec![20, 25, 30]);
+
+        let rows =
+            vector_filter(&mut m, gs, 7, Predicate::LessThan(15), &[(gs, gd)]);
+        assert_eq!(rows, 3);
+        assert_eq!(m.space().read_slice_u32(gd, 3), vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn comparison_boundaries_are_strict() {
+        // The composed predicates must be strict inequalities: the
+        // threshold itself never matches.
+        let mut m = Machine::paper();
+        let g = vec![15u32, 15, 15];
+        let gs = m.space_mut().alloc_slice_u32(&g);
+        let gd = m.space_mut().alloc(12, 64);
+        for pred in [Predicate::GreaterThan(15), Predicate::LessThan(15)] {
+            let rows = vector_filter(&mut m, gs, 3, pred, &[(gs, gd)]);
+            assert_eq!(rows, 0, "{pred:?}");
+        }
+        // Edge thresholds: > u32::MAX matches nothing, < 0 matches nothing.
+        for pred in
+            [Predicate::GreaterThan(u32::MAX), Predicate::LessThan(0)]
+        {
+            let rows = vector_filter(&mut m, gs, 3, pred, &[(gs, gd)]);
+            assert_eq!(rows, 0, "{pred:?}");
+        }
+    }
+
+    #[test]
+    fn predicate_sql_spelling() {
+        assert_eq!(Predicate::NotEqual(3).sql(), "<> 3");
+        assert_eq!(Predicate::NonZero.sql(), "<> 0");
+        assert_eq!(Predicate::GreaterThan(9).sql(), "> 9");
+        assert_eq!(Predicate::LessThan(2).sql(), "< 2");
+    }
+
+    #[test]
+    fn oracle_agrees() {
+        let col = vec![3u32, 0, 3, 9];
+        assert_eq!(
+            reference_filter(Predicate::NotEqual(3), &col),
+            vec![false, true, false, true]
+        );
+        assert_eq!(
+            reference_filter(Predicate::NonZero, &col),
+            vec![true, false, true, true]
+        );
+    }
+}

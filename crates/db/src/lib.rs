@@ -1,0 +1,50 @@
+//! # vagg-db
+//!
+//! A miniature column-store query engine running on the simulated vector
+//! machine — the DBMS context the paper's aggregation work targets
+//! (§III-A emulates exactly this storage model). It composes the pieces
+//! of the reproduction into the system a database developer would use:
+//!
+//! * [`Table`] — named `u32` columns stored contiguously, with the
+//!   sortedness metadata real systems track;
+//! * [`AggregateQuery`] — `SELECT g, COUNT/SUM/MIN/MAX/AVG(v) FROM t
+//!   [WHERE ...] GROUP BY g[, h, ...]` (composite keys are fused on the
+//!   machine and decomposed on readback);
+//! * [`filter`] — vectorised selection using Table III's comparison +
+//!   compress + popcount instructions;
+//! * [`Engine`] — plans with the paper's §V-D adaptive policy (DBMS
+//!   sortedness metadata + cardinality from the max-key scan) and executes
+//!   on a fresh [`vagg_sim::Machine`], reporting the simulated cost;
+//! * [`sql`] / [`Database`] — a SQL front end for exactly the Figure 2
+//!   query family, so the paper's motivating statement is runnable text.
+//!
+//! ```
+//! use vagg_db::{AggregateQuery, Engine, Table};
+//!
+//! let t = Table::new("people")
+//!     .with_column("age", vec![4, 3, 4, 5, 3])
+//!     .with_column("earnings", vec![24, 11, 24, 10, 15]);
+//! let out = Engine::new()
+//!     .execute(&t, &AggregateQuery::paper("age", "earnings"))
+//!     .unwrap();
+//! assert_eq!(out.rows.len(), 3);
+//! println!("{}", out.report.plan);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod engine;
+pub mod filter;
+pub mod query;
+pub mod sql;
+pub mod table;
+
+pub use database::{Database, SqlError};
+pub use engine::{
+    CardinalityEstimation, Engine, ExecutionReport, QueryOutput, Row,
+};
+pub use filter::{reference_filter, vector_filter, Predicate};
+pub use query::{AggFn, AggregateQuery, Having, OrderBy, OrderKey};
+pub use sql::{parse, ParseSqlError, SqlQuery};
+pub use table::{ColumnMeta, ParseCsvError, Table};

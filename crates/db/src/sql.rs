@@ -1,0 +1,807 @@
+//! A SQL front end for the aggregation query family of Figure 2.
+//!
+//! The paper motivates its work with SQL (`SELECT g, COUNT(*), SUM(v)
+//! FROM r GROUP BY g`) and the TPC-H queries it dominates; this module
+//! closes the loop by parsing exactly that query family into an
+//! [`AggregateQuery`]:
+//!
+//! ```text
+//! SELECT <group>, <agg> [, <agg>...]
+//! FROM <table>
+//! [WHERE <column> <cmp> <number>]
+//! GROUP BY <group>
+//! [HAVING <agg> <cmp> <number>]
+//! [ORDER BY <group | agg> [ASC | DESC]]
+//! [LIMIT <k>]
+//! ```
+//!
+//! where `<agg>` is `COUNT(*)`, `SUM(col)`, `MIN(col)`, `MAX(col)` or
+//! `AVG(col)` and `<cmp>` is `<>` / `!=` (native in the ISA's comparison
+//! class, Table III) or `>` / `<` (composed with the arithmetic class's
+//! `maximum` — see [`crate::filter`]). `=`, `<=` and `>=` remain
+//! unsupported: they would need a mask-complement instruction.
+//!
+//! ```
+//! use vagg_db::sql::parse;
+//!
+//! let q = parse("SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")?;
+//! assert_eq!(q.table, "r");
+//! assert_eq!(q.query.sql("r"), "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g");
+//! # Ok::<(), vagg_db::sql::ParseSqlError>(())
+//! ```
+
+use crate::filter::Predicate;
+use crate::query::{AggFn, AggregateQuery, Having, OrderBy, OrderKey};
+use std::error::Error;
+use std::fmt;
+
+/// A parsed statement: the target table plus the structured query.
+#[derive(Debug, Clone)]
+pub struct SqlQuery {
+    /// The `FROM` table name.
+    pub table: String,
+    /// The structured query the engine executes.
+    pub query: AggregateQuery,
+}
+
+/// Why a statement failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseSqlError {
+    /// A character the lexer does not recognise.
+    UnexpectedChar(char),
+    /// The statement ended where more input was required.
+    UnexpectedEnd(&'static str),
+    /// A token other than the expected one appeared.
+    Expected {
+        /// What the grammar required here.
+        expected: &'static str,
+        /// What was found instead.
+        found: String,
+    },
+    /// An aggregate function name that is not COUNT/SUM/MIN/MAX/AVG.
+    UnknownAggregate(String),
+    /// Aggregates referencing different value columns (unsupported).
+    MixedValueColumns(String, String),
+    /// The `GROUP BY` column differs from the first selected column.
+    GroupByMismatch {
+        /// The first column of the SELECT list.
+        selected: String,
+        /// The column named in GROUP BY.
+        grouped: String,
+    },
+    /// A comparison the ISA cannot express (`=`, `<=`, `>=`).
+    UnsupportedComparison(String),
+    /// Input remained after a complete statement.
+    TrailingInput(String),
+    /// The SELECT list has no aggregate functions.
+    NoAggregates,
+}
+
+impl fmt::Display for ParseSqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSqlError::UnexpectedChar(c) => {
+                write!(f, "unexpected character {c:?}")
+            }
+            ParseSqlError::UnexpectedEnd(what) => {
+                write!(f, "unexpected end of statement, expected {what}")
+            }
+            ParseSqlError::Expected { expected, found } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+            ParseSqlError::UnknownAggregate(name) => {
+                write!(
+                    f,
+                    "unknown aggregate {name:?} (supported: COUNT, SUM, MIN, MAX, AVG)"
+                )
+            }
+            ParseSqlError::MixedValueColumns(a, b) => {
+                write!(f, "aggregates reference different value columns {a:?} and {b:?}")
+            }
+            ParseSqlError::GroupByMismatch { selected, grouped } => {
+                write!(
+                    f,
+                    "GROUP BY column {grouped:?} does not match selected column {selected:?}"
+                )
+            }
+            ParseSqlError::UnsupportedComparison(op) => {
+                write!(
+                    f,
+                    "unsupported comparison {op:?}: the vector ISA expresses \
+                     <>, !=, > and < (Table III comparisons plus a maximum \
+                     composition); = / <= / >= would need a mask-complement \
+                     instruction"
+                )
+            }
+            ParseSqlError::TrailingInput(tok) => {
+                write!(f, "unexpected input after statement: {tok:?}")
+            }
+            ParseSqlError::NoAggregates => {
+                write!(f, "the SELECT list names no aggregate functions")
+            }
+        }
+    }
+}
+
+impl Error for ParseSqlError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Number(u64),
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    NotEqual,
+    Greater,
+    Less,
+    Semicolon,
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => s.clone(),
+            Token::Number(n) => n.to_string(),
+            Token::Comma => ",".into(),
+            Token::LParen => "(".into(),
+            Token::RParen => ")".into(),
+            Token::Star => "*".into(),
+            Token::NotEqual => "<>".into(),
+            Token::Greater => ">".into(),
+            Token::Less => "<".into(),
+            Token::Semicolon => ";".into(),
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseSqlError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            ';' => {
+                chars.next();
+                out.push(Token::Semicolon);
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        out.push(Token::NotEqual);
+                    }
+                    Some('=') => {
+                        return Err(ParseSqlError::UnsupportedComparison(
+                            "<=".into(),
+                        ));
+                    }
+                    _ => out.push(Token::Less),
+                }
+            }
+            '>' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        return Err(ParseSqlError::UnsupportedComparison(
+                            ">=".into(),
+                        ));
+                    }
+                    _ => out.push(Token::Greater),
+                }
+            }
+            '!' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        out.push(Token::NotEqual);
+                    }
+                    _ => return Err(ParseSqlError::UnexpectedChar('!')),
+                }
+            }
+            '=' => {
+                return Err(ParseSqlError::UnsupportedComparison(c.to_string()))
+            }
+            '0'..='9' => {
+                let mut n = 0u64;
+                while let Some(&d) = chars.peek() {
+                    match d {
+                        '0'..='9' => {
+                            n = n * 10 + (d as u64 - '0' as u64);
+                            chars.next();
+                        }
+                        '_' => {
+                            chars.next();
+                        }
+                        _ => break,
+                    }
+                }
+                out.push(Token::Number(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&a) = chars.peek() {
+                    if a.is_alphanumeric() || a == '_' {
+                        s.push(a);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => return Err(ParseSqlError::UnexpectedChar(other)),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self, expected: &'static str) -> Result<Token, ParseSqlError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or(ParseSqlError::UnexpectedEnd(expected))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn ident(&mut self, expected: &'static str) -> Result<String, ParseSqlError> {
+        match self.next(expected)? {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseSqlError::Expected {
+                expected,
+                found: other.describe(),
+            }),
+        }
+    }
+
+    fn keyword(&mut self, kw: &'static str) -> Result<(), ParseSqlError> {
+        let s = self.ident(kw)?;
+        if s.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(ParseSqlError::Expected { expected: kw, found: s })
+        }
+    }
+
+    fn expect(&mut self, tok: Token, expected: &'static str) -> Result<(), ParseSqlError> {
+        let t = self.next(expected)?;
+        if t == tok {
+            Ok(())
+        } else {
+            Err(ParseSqlError::Expected { expected, found: t.describe() })
+        }
+    }
+
+    fn peek_is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// One parsed SELECT-list aggregate: the function and its column
+/// (`None` for `COUNT(*)`).
+fn parse_aggregate(p: &mut Parser, name: &str) -> Result<(AggFn, Option<String>), ParseSqlError> {
+    let fun = match name.to_ascii_uppercase().as_str() {
+        "COUNT" => AggFn::Count,
+        "SUM" => AggFn::Sum,
+        "MIN" => AggFn::Min,
+        "MAX" => AggFn::Max,
+        "AVG" => AggFn::Avg,
+        other => return Err(ParseSqlError::UnknownAggregate(other.into())),
+    };
+    p.expect(Token::LParen, "(")?;
+    let col = match p.next("aggregate argument")? {
+        Token::Star if fun == AggFn::Count => None,
+        Token::Ident(c) if fun != AggFn::Count => Some(c),
+        Token::Star => {
+            return Err(ParseSqlError::Expected {
+                expected: "a column name (only COUNT takes *)",
+                found: "*".into(),
+            })
+        }
+        other => {
+            return Err(ParseSqlError::Expected {
+                expected: "aggregate argument",
+                found: other.describe(),
+            })
+        }
+    };
+    p.expect(Token::RParen, ")")?;
+    Ok((fun, col))
+}
+
+/// Parses one statement of the supported grammar.
+///
+/// # Errors
+///
+/// Returns [`ParseSqlError`] describing the first problem found: lexical
+/// errors, grammar violations, unsupported comparisons, aggregate
+/// inconsistencies, or trailing input.
+pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
+    let mut p = Parser { tokens: tokenize(sql)?, pos: 0 };
+
+    p.keyword("SELECT")?;
+    // Grouping columns: plain identifiers before the first aggregate
+    // call (aggregates are recognised by their parenthesis).
+    let group_col = p.ident("the grouping column")?;
+    p.expect(Token::Comma, ",")?;
+    let mut group_rest: Vec<String> = Vec::new();
+
+    // Aggregate list.
+    let mut aggregates: Vec<AggFn> = Vec::new();
+    let mut value_col: Option<String> = None;
+    loop {
+        let name = p.ident("a grouping column or aggregate function")?;
+        if aggregates.is_empty() && p.peek() != Some(&Token::LParen) {
+            group_rest.push(name);
+            p.expect(Token::Comma, ",")?;
+            continue;
+        }
+        let (fun, col) = parse_aggregate(&mut p, &name)?;
+        if let Some(col) = col {
+            match &value_col {
+                None => value_col = Some(col),
+                Some(prev) if *prev != col => {
+                    return Err(ParseSqlError::MixedValueColumns(prev.clone(), col))
+                }
+                Some(_) => {}
+            }
+        }
+        if !aggregates.contains(&fun) {
+            aggregates.push(fun);
+        }
+        match p.peek() {
+            Some(Token::Comma) => {
+                p.pos += 1;
+            }
+            _ => break,
+        }
+    }
+    if aggregates.is_empty() {
+        return Err(ParseSqlError::NoAggregates);
+    }
+
+    p.keyword("FROM")?;
+    let table = p.ident("the table name")?;
+
+    // Optional WHERE <col> <cmp> <num>.
+    let mut filter: Option<(String, Predicate)> = None;
+    if p.peek_is_keyword("WHERE") {
+        p.pos += 1;
+        let col = p.ident("the filtered column")?;
+        filter = Some((col, parse_predicate(&mut p)?));
+    }
+
+    p.keyword("GROUP")?;
+    p.keyword("BY")?;
+    let mut grouped_cols = vec![p.ident("the GROUP BY column")?];
+    while p.peek() == Some(&Token::Comma) {
+        p.pos += 1;
+        grouped_cols.push(p.ident("a GROUP BY column")?);
+    }
+    let mut selected_cols = vec![group_col.clone()];
+    selected_cols.extend(group_rest.iter().cloned());
+    if grouped_cols != selected_cols {
+        return Err(ParseSqlError::GroupByMismatch {
+            selected: selected_cols.join(", "),
+            grouped: grouped_cols.join(", "),
+        });
+    }
+
+    // Optional HAVING <agg>(col|*) <cmp> <num>.
+    let mut having: Option<Having> = None;
+    if p.peek_is_keyword("HAVING") {
+        p.pos += 1;
+        let name = p.ident("an aggregate function")?;
+        let (fun, col) = parse_aggregate(&mut p, &name)?;
+        if let (Some(prev), Some(col)) = (&value_col, &col) {
+            if prev != col {
+                return Err(ParseSqlError::MixedValueColumns(
+                    prev.clone(),
+                    col.clone(),
+                ));
+            }
+        }
+        if value_col.is_none() {
+            value_col = col;
+        }
+        if !aggregates.contains(&fun) {
+            aggregates.push(fun);
+        }
+        having = Some(Having { agg: fun, pred: parse_predicate(&mut p)? });
+    }
+
+    // Optional ORDER BY <col | agg> [ASC | DESC] [LIMIT k].
+    let mut order_by: Option<OrderBy> = None;
+    if p.peek_is_keyword("ORDER") {
+        p.pos += 1;
+        p.keyword("BY")?;
+        let name = p.ident("an ORDER BY key")?;
+        let key = if p.peek() == Some(&Token::LParen) {
+            let (fun, col) = parse_aggregate(&mut p, &name)?;
+            if let (Some(prev), Some(col)) = (&value_col, &col) {
+                if prev != col {
+                    return Err(ParseSqlError::MixedValueColumns(
+                        prev.clone(),
+                        col.clone(),
+                    ));
+                }
+            }
+            if value_col.is_none() {
+                value_col = col;
+            }
+            if !aggregates.contains(&fun) {
+                aggregates.push(fun);
+            }
+            OrderKey::Agg(fun)
+        } else if name == group_col {
+            OrderKey::Group
+        } else {
+            return Err(ParseSqlError::Expected {
+                expected: "the grouping column or an aggregate",
+                found: name,
+            });
+        };
+        let desc = if p.peek_is_keyword("DESC") {
+            p.pos += 1;
+            true
+        } else {
+            if p.peek_is_keyword("ASC") {
+                p.pos += 1;
+            }
+            false
+        };
+        order_by = Some(OrderBy { key, desc, limit: None });
+    }
+
+    // Optional LIMIT k (defaults to ascending group order without an
+    // explicit ORDER BY, as the engine's natural output order).
+    if p.peek_is_keyword("LIMIT") {
+        p.pos += 1;
+        let k = match p.next("a row count")? {
+            Token::Number(k) => k as usize,
+            other => {
+                return Err(ParseSqlError::Expected {
+                    expected: "a row count",
+                    found: other.describe(),
+                })
+            }
+        };
+        order_by
+            .get_or_insert(OrderBy {
+                key: OrderKey::Group,
+                desc: false,
+                limit: None,
+            })
+            .limit = Some(k);
+    }
+
+    // Optional trailing semicolon, then end.
+    if p.peek() == Some(&Token::Semicolon) {
+        p.pos += 1;
+    }
+    if let Some(t) = p.peek() {
+        return Err(ParseSqlError::TrailingInput(t.describe()));
+    }
+
+    // COUNT(*)-only queries have no value column; grouping column works
+    // as a placeholder since SUM is not requested.
+    let value = value_col.unwrap_or_else(|| group_col.clone());
+    Ok(SqlQuery {
+        table,
+        query: AggregateQuery {
+            group_by: group_col,
+            group_by_rest: group_rest,
+            value,
+            aggregates,
+            filter,
+            having,
+            order_by,
+        },
+    })
+}
+
+// `<cmp> <number>` — the comparison vocabulary the ISA can express
+// (see [`crate::filter`]: `<>`/`!=` natively, `>`/`<` composed with
+// `maximum`).
+fn parse_predicate(p: &mut Parser) -> Result<Predicate, ParseSqlError> {
+    let op = p.next("a comparison operator")?;
+    let k = match p.next("a comparison constant")? {
+        Token::Number(k) => k as u32,
+        other => {
+            return Err(ParseSqlError::Expected {
+                expected: "a comparison constant",
+                found: other.describe(),
+            })
+        }
+    };
+    match op {
+        Token::NotEqual if k == 0 => Ok(Predicate::NonZero),
+        Token::NotEqual => Ok(Predicate::NotEqual(k)),
+        Token::Greater => Ok(Predicate::GreaterThan(k)),
+        Token::Less => Ok(Predicate::LessThan(k)),
+        other => Err(ParseSqlError::Expected {
+            expected: "a comparison (<>, !=, >, <)",
+            found: other.describe(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_query() {
+        let q = parse("SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g").unwrap();
+        assert_eq!(q.table, "r");
+        assert_eq!(q.query.group_by, "g");
+        assert_eq!(q.query.value, "v");
+        assert_eq!(q.query.aggregates, vec![AggFn::Count, AggFn::Sum]);
+        assert!(q.query.filter.is_none());
+    }
+
+    #[test]
+    fn parses_composite_group_by() {
+        let q = parse(
+            "SELECT city, age, COUNT(*), SUM(earnings) FROM people \
+             GROUP BY city, age",
+        )
+        .unwrap();
+        assert_eq!(q.query.group_by, "city");
+        assert_eq!(q.query.group_by_rest, vec!["age".to_string()]);
+        assert_eq!(q.query.value, "earnings");
+    }
+
+    #[test]
+    fn parses_three_grouping_columns() {
+        let q = parse("SELECT a, b, c, COUNT(*) FROM r GROUP BY a, b, c").unwrap();
+        assert_eq!(q.query.group_columns(), vec!["a", "b", "c"]);
+        assert_eq!(q.query.aggregates, vec![AggFn::Count]);
+    }
+
+    #[test]
+    fn composite_group_by_list_must_match_select_list() {
+        let err =
+            parse("SELECT a, b, COUNT(*) FROM r GROUP BY a").unwrap_err();
+        assert!(matches!(err, ParseSqlError::GroupByMismatch { .. }));
+        let err =
+            parse("SELECT a, b, COUNT(*) FROM r GROUP BY b, a").unwrap_err();
+        assert!(matches!(err, ParseSqlError::GroupByMismatch { .. }));
+    }
+
+    #[test]
+    fn case_insensitive_keywords_and_semicolon() {
+        let q = parse("select age, count(*), avg(earnings) from people group by age;")
+            .unwrap();
+        assert_eq!(q.table, "people");
+        assert_eq!(q.query.aggregates, vec![AggFn::Count, AggFn::Avg]);
+        assert_eq!(q.query.value, "earnings");
+    }
+
+    #[test]
+    fn where_clause_not_equal() {
+        let q = parse("SELECT g, SUM(v) FROM r WHERE w <> 9 GROUP BY g").unwrap();
+        assert_eq!(q.query.filter, Some(("w".into(), Predicate::NotEqual(9))));
+    }
+
+    #[test]
+    fn where_clause_nonzero_uses_the_dedicated_compare() {
+        let q = parse("SELECT g, SUM(v) FROM r WHERE v != 0 GROUP BY g").unwrap();
+        assert_eq!(q.query.filter, Some(("v".into(), Predicate::NonZero)));
+    }
+
+    #[test]
+    fn where_clause_range_comparisons() {
+        let q = parse("SELECT g, SUM(v) FROM r WHERE w > 100 GROUP BY g").unwrap();
+        assert_eq!(q.query.filter, Some(("w".into(), Predicate::GreaterThan(100))));
+        let q = parse("SELECT g, SUM(v) FROM r WHERE w < 5 GROUP BY g").unwrap();
+        assert_eq!(q.query.filter, Some(("w".into(), Predicate::LessThan(5))));
+    }
+
+    #[test]
+    fn having_clause() {
+        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g HAVING COUNT(*) > 3")
+            .unwrap();
+        let h = q.query.having.unwrap();
+        assert_eq!(h.agg, AggFn::Count);
+        assert_eq!(h.pred, Predicate::GreaterThan(3));
+        // COUNT was pulled into the aggregate list so the engine
+        // materialises it.
+        assert!(q.query.aggregates.contains(&AggFn::Count));
+    }
+
+    #[test]
+    fn having_rejects_mismatched_value_column() {
+        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g HAVING SUM(w) > 3")
+            .unwrap_err();
+        assert_eq!(e, ParseSqlError::MixedValueColumns("v".into(), "w".into()));
+    }
+
+    #[test]
+    fn order_by_group_and_aggregate() {
+        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g ORDER BY g").unwrap();
+        let ob = q.query.order_by.unwrap();
+        assert_eq!(ob.key, OrderKey::Group);
+        assert!(!ob.desc);
+        assert_eq!(ob.limit, None);
+
+        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g ORDER BY SUM(v) DESC LIMIT 10")
+            .unwrap();
+        let ob = q.query.order_by.unwrap();
+        assert_eq!(ob.key, OrderKey::Agg(AggFn::Sum));
+        assert!(ob.desc);
+        assert_eq!(ob.limit, Some(10));
+    }
+
+    #[test]
+    fn order_by_asc_is_accepted_and_default() {
+        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g ORDER BY g ASC")
+            .unwrap();
+        assert!(!q.query.order_by.unwrap().desc);
+    }
+
+    #[test]
+    fn bare_limit_defaults_to_group_order() {
+        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g LIMIT 3").unwrap();
+        let ob = q.query.order_by.unwrap();
+        assert_eq!(ob.key, OrderKey::Group);
+        assert_eq!(ob.limit, Some(3));
+    }
+
+    #[test]
+    fn order_by_unknown_key_is_an_error() {
+        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g ORDER BY other")
+            .unwrap_err();
+        assert!(matches!(e, ParseSqlError::Expected { .. }));
+    }
+
+    #[test]
+    fn full_tail_roundtrips_through_sql_rendering() {
+        let text = "SELECT g, COUNT(*), SUM(v) FROM r WHERE w > 2 GROUP BY g \
+                    HAVING COUNT(*) <> 1 ORDER BY SUM(v) DESC LIMIT 5";
+        let q = parse(text).unwrap();
+        assert_eq!(q.query.sql("r"), text);
+    }
+
+    #[test]
+    fn le_and_ge_are_rejected_with_guidance() {
+        for bad in ["<=", ">="] {
+            let e = parse(&format!("SELECT g, SUM(v) FROM r WHERE w {bad} 1 GROUP BY g"))
+                .unwrap_err();
+            assert_eq!(e, ParseSqlError::UnsupportedComparison(bad.into()));
+        }
+    }
+
+    #[test]
+    fn all_five_aggregates() {
+        let q = parse(
+            "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM r GROUP BY g",
+        )
+        .unwrap();
+        assert_eq!(q.query.aggregates.len(), 5);
+        assert!(q.query.needs_minmax());
+    }
+
+    #[test]
+    fn count_star_only_query() {
+        let q = parse("SELECT g, COUNT(*) FROM r GROUP BY g").unwrap();
+        assert_eq!(q.query.aggregates, vec![AggFn::Count]);
+    }
+
+    #[test]
+    fn numbers_allow_underscores() {
+        let q = parse("SELECT g, SUM(v) FROM r WHERE w <> 10_000 GROUP BY g").unwrap();
+        assert_eq!(
+            q.query.filter,
+            Some(("w".into(), Predicate::NotEqual(10_000)))
+        );
+    }
+
+    #[test]
+    fn rejects_equality_with_a_helpful_message() {
+        let e = parse("SELECT g, SUM(v) FROM r WHERE w = 3 GROUP BY g").unwrap_err();
+        assert!(matches!(e, ParseSqlError::UnsupportedComparison(_)));
+        assert!(e.to_string().contains("Table III"));
+    }
+
+    #[test]
+    fn rejects_mismatched_group_by() {
+        let e = parse("SELECT g, SUM(v) FROM r GROUP BY h").unwrap_err();
+        assert!(matches!(e, ParseSqlError::GroupByMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_mixed_value_columns() {
+        let e = parse("SELECT g, SUM(v), MIN(w) FROM r GROUP BY g").unwrap_err();
+        assert_eq!(
+            e,
+            ParseSqlError::MixedValueColumns("v".into(), "w".into())
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_aggregate() {
+        let e = parse("SELECT g, MEDIAN(v) FROM r GROUP BY g").unwrap_err();
+        assert_eq!(e, ParseSqlError::UnknownAggregate("MEDIAN".into()));
+    }
+
+    #[test]
+    fn rejects_sum_star() {
+        let e = parse("SELECT g, SUM(*) FROM r GROUP BY g").unwrap_err();
+        assert!(matches!(e, ParseSqlError::Expected { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_input() {
+        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g extra").unwrap_err();
+        assert_eq!(e, ParseSqlError::TrailingInput("extra".into()));
+        // ...including after a complete tail clause.
+        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g LIMIT 5 extra")
+            .unwrap_err();
+        assert_eq!(e, ParseSqlError::TrailingInput("extra".into()));
+    }
+
+    #[test]
+    fn rejects_truncated_statement() {
+        let e = parse("SELECT g, SUM(v) FROM").unwrap_err();
+        assert_eq!(e, ParseSqlError::UnexpectedEnd("the table name"));
+    }
+
+    #[test]
+    fn rejects_garbage_characters() {
+        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g #").unwrap_err();
+        assert_eq!(e, ParseSqlError::UnexpectedChar('#'));
+    }
+
+    #[test]
+    fn duplicate_aggregates_are_deduplicated() {
+        let q = parse("SELECT g, SUM(v), SUM(v), COUNT(*) FROM r GROUP BY g").unwrap();
+        assert_eq!(q.query.aggregates, vec![AggFn::Sum, AggFn::Count]);
+    }
+
+    #[test]
+    fn roundtrips_through_sql_rendering() {
+        let text = "SELECT g, COUNT(*), SUM(v) FROM r WHERE w <> 9 GROUP BY g";
+        let q = parse(text).unwrap();
+        assert_eq!(q.query.sql(&q.table), text);
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<ParseSqlError>();
+    }
+}

@@ -1,0 +1,239 @@
+//! The CAM (content-addressable memory) structure that implements the
+//! irregular-DLP instructions (paper Figure 11 / Figure 14).
+//!
+//! The hardware holds one entry per MVL element: `{valid, key, last_idx,
+//! accumulator}`. An input vector is processed from the least- to the
+//! most-significant element; each element takes two cycles (lookup +
+//! write-back). To reduce latency the CAM has `p` ports: a *slice* of up to
+//! `p` adjacent elements can be processed in parallel **provided the slice
+//! contains no two equal keys** (a conflict would require same-cycle
+//! read-after-write on one entry). This port model is what makes sorted
+//! inputs pay the maximum latency (every adjacent pair conflicts) while
+//! high-cardinality inputs approach `2 * ceil(VL / p)` cycles — exactly the
+//! behaviour the paper reports in §V-B.
+
+/// One CAM entry (Figure 11: `valid`, `key`, `last idx`, `count`/`sum`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    key: u64,
+    last_idx: usize,
+    acc: u64,
+}
+
+/// Software model of the MVL-entry CAM with `p` ports.
+///
+/// The same structure backs VPI, VLU and the VGAx family; only the update
+/// rule differs (increment vs. sum/min/max with a value operand) and whether
+/// the output is taken before or after the update.
+#[derive(Debug, Clone)]
+pub struct Cam {
+    entries: Vec<Entry>,
+    ports: usize,
+    /// Cycles consumed by operations since construction or [`Cam::reset`].
+    cycles: u64,
+}
+
+impl Cam {
+    /// Creates a CAM with capacity for `mvl` distinct keys and `p` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`.
+    pub fn new(mvl: usize, ports: usize) -> Self {
+        assert!(ports > 0, "CAM needs at least one port");
+        Self {
+            entries: Vec::with_capacity(mvl),
+            ports,
+            cycles: 0,
+        }
+    }
+
+    /// Number of ports `p`.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Clears all valid bits and the cycle counter (done at instruction
+    /// issue; the CAM is not architectural state).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.cycles = 0;
+    }
+
+    fn lookup(&mut self, key: u64) -> Option<&mut Entry> {
+        self.entries.iter_mut().find(|e| e.key == key)
+    }
+
+    /// Runs one instruction pass over `keys[..vl]`, applying `update` to the
+    /// accumulator of the matching entry (`None` accumulator = first
+    /// instance) and collecting per-element outputs.
+    ///
+    /// `update` returns `(stored, emitted)`: the new accumulator value and
+    /// the value placed in the output vector for this element.
+    ///
+    /// Returns the output vector; the per-element *last-instance* mask is
+    /// available afterwards via [`Cam::last_unique_mask`].
+    pub fn run<F>(&mut self, keys: &[u64], vl: usize, mut update: F) -> Vec<u64>
+    where
+        F: FnMut(Option<u64>, usize) -> (u64, u64),
+    {
+        self.reset();
+        let mut out = vec![0u64; keys.len()];
+        // Timing: greedy slicing into groups of up to `ports` adjacent
+        // elements with pairwise-distinct keys; 2 cycles per slice.
+        let mut slice_len = 0usize;
+        let mut slice_keys: Vec<u64> = Vec::with_capacity(self.ports);
+        for i in 0..vl {
+            let k = keys[i];
+            if slice_len == self.ports || slice_keys.contains(&k) {
+                self.cycles += 2;
+                slice_len = 0;
+                slice_keys.clear();
+            }
+            slice_len += 1;
+            slice_keys.push(k);
+
+            // Functional update.
+            match self.lookup(k) {
+                Some(e) => {
+                    let (stored, emitted) = update(Some(e.acc), i);
+                    e.acc = stored;
+                    e.last_idx = i;
+                    out[i] = emitted;
+                }
+                None => {
+                    let (stored, emitted) = update(None, i);
+                    self.entries.push(Entry {
+                        key: k,
+                        last_idx: i,
+                        acc: stored,
+                    });
+                    out[i] = emitted;
+                }
+            }
+        }
+        if slice_len > 0 {
+            self.cycles += 2;
+        }
+        out
+    }
+
+    /// Converts the `last_idx` fields of all valid entries into the VLU
+    /// bitmask (paper Figure 10b): bit `i` is set iff element `i` was the
+    /// final instance of its key.
+    pub fn last_unique_mask(&self, len: usize) -> Vec<bool> {
+        let mut m = vec![false; len];
+        for e in &self.entries {
+            m[e.last_idx] = true;
+        }
+        m
+    }
+
+    /// Number of distinct keys currently held.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Cycle count for one CAM-class instruction over `keys[..vl]` with `ports`
+/// ports, without performing the functional work.
+pub fn cam_cycles(keys: &[u64], vl: usize, ports: usize) -> u64 {
+    assert!(ports > 0);
+    let mut cycles = 0u64;
+    let mut slice: Vec<u64> = Vec::with_capacity(ports);
+    for &k in keys.iter().take(vl) {
+        if slice.len() == ports || slice.contains(&k) {
+            cycles += 2;
+            slice.clear();
+        }
+        slice.push(k);
+    }
+    if !slice.is_empty() {
+        cycles += 2;
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_distinct_uses_full_ports() {
+        let keys: Vec<u64> = (0..8).collect();
+        assert_eq!(cam_cycles(&keys, 8, 4), 4); // two slices of 4
+        assert_eq!(cam_cycles(&keys, 8, 8), 2); // one slice
+        assert_eq!(cam_cycles(&keys, 8, 1), 16); // fully serial
+    }
+
+    #[test]
+    fn equal_run_pays_maximum_latency() {
+        let keys = vec![5u64; 8];
+        // Every adjacent pair conflicts: one element per slice.
+        assert_eq!(cam_cycles(&keys, 8, 4), 16);
+    }
+
+    #[test]
+    fn figure11_input_slicing() {
+        // Figure 11's input: 7 5 5 5 11 9 9 11 with p implicit; with p = 4
+        // slices are [7 5] [5] [5 11 9] [9 11] → 4 slices → 8 cycles.
+        let keys = [7u64, 5, 5, 5, 11, 9, 9, 11];
+        assert_eq!(cam_cycles(&keys, 8, 4), 8);
+    }
+
+    #[test]
+    fn vl_truncates_processing() {
+        let keys = vec![5u64; 8];
+        assert_eq!(cam_cycles(&keys, 2, 4), 4);
+        assert_eq!(cam_cycles(&keys, 0, 4), 0);
+    }
+
+    #[test]
+    fn run_tracks_occupancy_and_cycles() {
+        let keys = [7u64, 5, 5, 5, 11, 9, 9, 11];
+        let mut cam = Cam::new(8, 4);
+        let out = cam.run(&keys, 8, |prev, _| {
+            let n = prev.map_or(0, |c| c + 1);
+            (n, n)
+        });
+        // VPI semantics check (Figure 10a): 0 0 1 2 0 0 1 1.
+        assert_eq!(out, vec![0, 0, 1, 2, 0, 0, 1, 1]);
+        assert_eq!(cam.occupancy(), 4); // keys {7, 5, 11, 9}
+        assert_eq!(cam.cycles(), cam_cycles(&keys, 8, 4));
+    }
+
+    #[test]
+    fn last_unique_mask_matches_figure_10b() {
+        let keys = [7u64, 5, 5, 5, 11, 9, 9, 11];
+        let mut cam = Cam::new(8, 4);
+        cam.run(&keys, 8, |prev, _| {
+            let n = prev.map_or(0, |c| c + 1);
+            (n, n)
+        });
+        assert_eq!(
+            cam.last_unique_mask(8),
+            vec![true, false, false, true, false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut cam = Cam::new(4, 2);
+        cam.run(&[1, 2, 3], 3, |p, _| (p.unwrap_or(0), 0));
+        assert!(cam.occupancy() > 0);
+        cam.reset();
+        assert_eq!(cam.occupancy(), 0);
+        assert_eq!(cam.cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_panics() {
+        Cam::new(8, 0);
+    }
+}

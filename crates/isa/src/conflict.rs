@@ -1,0 +1,254 @@
+//! Best-effort conflict detection in the style of Intel AVX-512-CDI —
+//! the related-work alternative the paper critiques in §VI-B.
+//!
+//! The paper argues (without measuring) that atomic vector operations
+//! [Kumar et al., ISCA'08] and AVX512-CDI operate *best-effort*: the
+//! processor executes whichever elements of a gather-modify-scatter do not
+//! conflict, and the programmer loops until the coupled mask register is
+//! empty. For low-cardinality or skewed inputs the retry count approaches
+//! `VL` and every retry re-issues the memory traffic. This module provides
+//! the instruction semantics needed to *quantify* that argument inside the
+//! same simulation framework:
+//!
+//! * [`vconflict`] — `VPCONFLICTD`-style: each output element carries a
+//!   bitmask of earlier elements holding the same key;
+//! * [`vtestnm_vs`] — `VPTESTNM`-style: mask bit `i` set iff
+//!   `a[i] & s == 0`;
+//! * [`MaskLogic`] — the mask-register AND / ANDNOT / OR / XOR used to
+//!   peel retired elements off the pending mask.
+//!
+//! Unlike VPI/VLU/VGAx these are **not** CAM-backed: `vconflict` is
+//! modelled as an ordinary element-wise vector instruction
+//! (`VL / lanes` occupancy). That is *generous* to the CDI baseline —
+//! a real all-to-all comparator network would not be cheaper than the
+//! paper's CAM — so any measured deficit of the retry loop is a lower
+//! bound.
+//!
+//! The conflict bitmask limits the vector length to 64 elements (one bit
+//! per prior element in a 64-bit lane), exactly like AVX-512-CDI limits it
+//! to the 16 dword lanes of a ZMM register. The paper's configuration
+//! (`MVL = 64`) sits precisely on this boundary.
+
+/// Mask-register logical operations (two-operand, one-cycle mask class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaskLogic {
+    /// `d = a & b`.
+    And,
+    /// `d = a & !b` (peel retired elements off a pending mask).
+    AndNot,
+    /// `d = a | b`.
+    Or,
+    /// `d = a ^ b`.
+    Xor,
+}
+
+impl MaskLogic {
+    /// Assembly-style mnemonic (used by the instruction trace).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MaskLogic::And => "kand",
+            MaskLogic::AndNot => "kandn",
+            MaskLogic::Or => "kor",
+            MaskLogic::Xor => "kxor",
+        }
+    }
+
+    /// Applies the operation to one bit pair.
+    pub fn apply(self, a: bool, b: bool) -> bool {
+        match self {
+            MaskLogic::And => a && b,
+            MaskLogic::AndNot => a && !b,
+            MaskLogic::Or => a || b,
+            MaskLogic::Xor => a ^ b,
+        }
+    }
+}
+
+/// `vconflict` — for each element `i`, a bitmask with bit `j` set iff
+/// `j < i` and `keys[j] == keys[i]` (AVX-512 `VPCONFLICTD` semantics).
+///
+/// Elements at and beyond `vl` produce `0`.
+///
+/// # Panics
+///
+/// Panics if `vl > 64`: the result bitmask has one bit per prior element
+/// and must fit the 64-bit element width, mirroring the real instruction's
+/// per-register lane-count limit.
+pub fn vconflict(keys: &[u64], vl: usize) -> Vec<u64> {
+    assert!(vl <= 64, "vconflict limited to 64 elements (bitmask width)");
+    let mut out = vec![0u64; keys.len()];
+    for i in 0..vl.min(keys.len()) {
+        let mut bits = 0u64;
+        for j in 0..i {
+            if keys[j] == keys[i] {
+                bits |= 1 << j;
+            }
+        }
+        out[i] = bits;
+    }
+    out
+}
+
+/// `vtestnm` (vector-scalar form) — output mask bit `i` is set iff
+/// `a[i] & s == 0`, for the first `vl` elements (`false` beyond).
+///
+/// Combined with [`vconflict`] and a pending mask moved to a scalar via
+/// `kmov`, this computes the retry loop's "ready" set: an element is ready
+/// when none of its earlier duplicates are still pending.
+pub fn vtestnm_vs(a: &[u64], s: u64, vl: usize) -> Vec<bool> {
+    let mut out = vec![false; a.len()];
+    for i in 0..vl.min(a.len()) {
+        out[i] = a[i] & s == 0;
+    }
+    out
+}
+
+/// Packs the first `vl` mask bits into a scalar (`kmov` to a GPR).
+///
+/// # Panics
+///
+/// Panics if `vl > 64`.
+pub fn mask_to_bits(mask: &[bool], vl: usize) -> u64 {
+    assert!(vl <= 64, "mask_to_bits limited to 64 elements");
+    let mut bits = 0u64;
+    for (i, &b) in mask.iter().enumerate().take(vl) {
+        if b {
+            bits |= 1 << i;
+        }
+    }
+    bits
+}
+
+/// Element-wise mask logic over the first `vl` bits (`false` beyond).
+pub fn mask_logic(op: MaskLogic, a: &[bool], b: &[bool], vl: usize) -> Vec<bool> {
+    let mut out = vec![false; a.len()];
+    for i in 0..vl.min(a.len()).min(b.len()) {
+        out[i] = op.apply(a[i], b[i]);
+    }
+    out
+}
+
+/// The number of retry iterations Intel's histogram loop needs for one
+/// register: the maximum duplicate multiplicity of any key in
+/// `keys[..vl]`.
+///
+/// Useful for tests and for reasoning about the worst case (`vl`
+/// iterations when all keys are equal, 1 iteration when all distinct).
+pub fn retry_iterations(keys: &[u64], vl: usize) -> usize {
+    let mut iters = 0;
+    for i in 0..vl.min(keys.len()) {
+        let dup = keys[..i].iter().filter(|&&k| k == keys[i]).count();
+        iters = iters.max(dup + 1);
+    }
+    iters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEYS: [u64; 8] = [7, 5, 5, 5, 11, 9, 9, 11];
+
+    #[test]
+    fn vconflict_flags_prior_duplicates() {
+        let c = vconflict(&KEYS, 8);
+        assert_eq!(c[0], 0); // 7: nothing earlier
+        assert_eq!(c[1], 0); // 5: first instance
+        assert_eq!(c[2], 0b10); // 5: duplicates element 1
+        assert_eq!(c[3], 0b110); // 5: duplicates elements 1, 2
+        assert_eq!(c[4], 0); // 11: first instance
+        assert_eq!(c[5], 0); // 9: first instance
+        assert_eq!(c[6], 0b10_0000); // 9: duplicates element 5
+        assert_eq!(c[7], 0b1_0000); // 11: duplicates element 4
+    }
+
+    #[test]
+    fn vconflict_respects_vl() {
+        let c = vconflict(&KEYS, 3);
+        assert_eq!(&c[3..], &[0, 0, 0, 0, 0]);
+        assert_eq!(c[2], 0b10);
+    }
+
+    #[test]
+    fn all_distinct_keys_have_zero_conflicts() {
+        let keys: Vec<u64> = (0..64).collect();
+        assert!(vconflict(&keys, 64).iter().all(|&b| b == 0));
+        assert_eq!(retry_iterations(&keys, 64), 1);
+    }
+
+    #[test]
+    fn single_group_needs_vl_retries() {
+        let keys = [3u64; 64];
+        assert_eq!(retry_iterations(&keys, 64), 64);
+        // Element 63 conflicts with all 63 predecessors.
+        let c = vconflict(&keys, 64);
+        assert_eq!(c[63], u64::MAX >> 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 64")]
+    fn vconflict_rejects_oversized_vl() {
+        vconflict(&[0; 128], 65);
+    }
+
+    #[test]
+    fn retry_loop_converges_exactly_like_intels_example() {
+        // Simulate the documented kmov/vptestnm/kandn loop and check that
+        // each key's instances retire once each, earliest-first.
+        let conflicts = vconflict(&KEYS, 8);
+        let mut pending = vec![true; 8];
+        let mut retired = Vec::new();
+        let mut rounds = 0;
+        while pending.iter().any(|&b| b) {
+            rounds += 1;
+            let bits = mask_to_bits(&pending, 8);
+            let test = vtestnm_vs(&conflicts, bits, 8);
+            let ready = mask_logic(MaskLogic::And, &pending, &test, 8);
+            assert!(ready.iter().any(|&b| b), "forward progress");
+            for (i, &r) in ready.iter().enumerate() {
+                if r {
+                    retired.push(i);
+                }
+            }
+            pending = mask_logic(MaskLogic::AndNot, &pending, &ready, 8);
+        }
+        assert_eq!(rounds, retry_iterations(&KEYS, 8));
+        assert_eq!(rounds, 3); // key 5 appears three times
+        retired.sort_unstable();
+        assert_eq!(retired, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mask_helpers_roundtrip() {
+        let m = [true, false, true, true, false, false, false, true];
+        assert_eq!(mask_to_bits(&m, 8), 0b1000_1101);
+        assert_eq!(mask_to_bits(&m, 3), 0b101);
+        let a = [true, true, false, false];
+        let b = [true, false, true, false];
+        assert_eq!(
+            mask_logic(MaskLogic::And, &a, &b, 4),
+            [true, false, false, false]
+        );
+        assert_eq!(
+            mask_logic(MaskLogic::AndNot, &a, &b, 4),
+            [false, true, false, false]
+        );
+        assert_eq!(
+            mask_logic(MaskLogic::Or, &a, &b, 4),
+            [true, true, true, false]
+        );
+        assert_eq!(
+            mask_logic(MaskLogic::Xor, &a, &b, 4),
+            [false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn vtestnm_matches_bitwise_semantics() {
+        let a = [0b01u64, 0b10, 0b11, 0b00];
+        assert_eq!(vtestnm_vs(&a, 0b01, 4), [false, true, false, true]);
+        assert_eq!(vtestnm_vs(&a, 0, 4), [true, true, true, true]);
+        // Beyond VL: false.
+        assert_eq!(vtestnm_vs(&a, 0, 2), [true, true, false, false]);
+    }
+}

@@ -1,0 +1,413 @@
+//! Functional semantics of the regular (non-memory) vector instructions of
+//! Table III: initialisation, arithmetic, bitwise, comparison, mask,
+//! permutative and reduction classes.
+//!
+//! These are pure slice-level operations; `vagg-sim`'s `Machine` combines
+//! them with register-file plumbing and cycle accounting. Elements are
+//! unsigned 64-bit with wrapping arithmetic (the paper's workloads use
+//! 32-bit unsigned keys/values, which embed losslessly).
+//!
+//! Masking follows classic vector-ISA merge semantics: masked-off element
+//! positions of the destination are left unchanged.
+
+/// Binary arithmetic/bitwise operations (Table III, `arithmetic` +
+/// `bitwise` classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Element-wise maximum.
+    Max,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Logical shift left (`a << (b & 63)`).
+    Shl,
+    /// Logical shift right (`a >> (b & 63)`).
+    Shr,
+}
+
+impl BinOp {
+    /// Applies the operation to one element pair.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            BinOp::Max => a.max(b),
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::And => a & b,
+            BinOp::Shl => a << (b & 63),
+            BinOp::Shr => a >> (b & 63),
+        }
+    }
+
+    /// Assembly-style mnemonic (used by the instruction trace).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Max => "vmax",
+            BinOp::Add => "vadd",
+            BinOp::Sub => "vsub",
+            BinOp::Mul => "vmul",
+            BinOp::And => "vand",
+            BinOp::Shl => "vshl",
+            BinOp::Shr => "vshr",
+        }
+    }
+}
+
+/// Comparison predicates (Table III, `comparison` class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `a != b` (vector-vector).
+    Ne,
+    /// `a != 0` (vector-zero).
+    Nez,
+}
+
+impl CmpOp {
+    /// Assembly-style mnemonic (used by the instruction trace).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Ne => "vcmpne",
+            CmpOp::Nez => "vcmpnez",
+        }
+    }
+}
+
+/// Reduction operations (Table III, `reduction` class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RedOp {
+    /// Maximum of all active elements.
+    Max,
+    /// Minimum of all active elements.
+    Min,
+    /// Wrapping sum of all active elements.
+    Sum,
+}
+
+impl RedOp {
+    /// Identity element for the reduction.
+    pub fn identity(self) -> u64 {
+        match self {
+            RedOp::Max => u64::MIN,
+            RedOp::Min => u64::MAX,
+            RedOp::Sum => 0,
+        }
+    }
+
+    /// Combines an accumulator with one element.
+    pub fn fold(self, acc: u64, x: u64) -> u64 {
+        match self {
+            RedOp::Max => acc.max(x),
+            RedOp::Min => acc.min(x),
+            RedOp::Sum => acc.wrapping_add(x),
+        }
+    }
+
+    /// Assembly-style mnemonic of the reduction (used by the trace).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            RedOp::Max => "vredmax",
+            RedOp::Min => "vredmin",
+            RedOp::Sum => "vredsum",
+        }
+    }
+
+    /// Mnemonic of the VGAx instruction using this operation.
+    pub fn vga_mnemonic(self) -> &'static str {
+        match self {
+            RedOp::Max => "vgamax",
+            RedOp::Min => "vgamin",
+            RedOp::Sum => "vgasum",
+        }
+    }
+}
+
+fn active(mask: Option<&[bool]>, i: usize) -> bool {
+    mask.map_or(true, |m| m[i])
+}
+
+/// `set all`: broadcasts `value` to the first `vl` active elements of `dst`.
+pub fn set_all(dst: &mut [u64], value: u64, vl: usize, mask: Option<&[bool]>) {
+    for i in 0..vl {
+        if active(mask, i) {
+            dst[i] = value;
+        }
+    }
+}
+
+/// `clear all`: zeroes the first `vl` active elements of `dst`.
+pub fn clear_all(dst: &mut [u64], vl: usize, mask: Option<&[bool]>) {
+    set_all(dst, 0, vl, mask);
+}
+
+/// `iota` (CRAY-1): writes `0, 1, 2, ...` into the active positions.
+///
+/// The classic semantics index by element position, which is what VSR sort
+/// and the aggregation kernels rely on.
+pub fn iota(dst: &mut [u64], vl: usize, mask: Option<&[bool]>) {
+    for i in 0..vl {
+        if active(mask, i) {
+            dst[i] = i as u64;
+        }
+    }
+}
+
+/// Element-wise vector-vector operation with merge masking.
+pub fn binop_vv(
+    op: BinOp,
+    dst: &mut [u64],
+    a: &[u64],
+    b: &[u64],
+    vl: usize,
+    mask: Option<&[bool]>,
+) {
+    for i in 0..vl {
+        if active(mask, i) {
+            dst[i] = op.apply(a[i], b[i]);
+        }
+    }
+}
+
+/// Element-wise vector-scalar operation with merge masking.
+pub fn binop_vs(
+    op: BinOp,
+    dst: &mut [u64],
+    a: &[u64],
+    s: u64,
+    vl: usize,
+    mask: Option<&[bool]>,
+) {
+    for i in 0..vl {
+        if active(mask, i) {
+            dst[i] = op.apply(a[i], s);
+        }
+    }
+}
+
+/// Vector-vector comparison producing a mask. Inactive positions are
+/// cleared.
+pub fn compare_vv(
+    op: CmpOp,
+    dst: &mut [bool],
+    a: &[u64],
+    b: &[u64],
+    vl: usize,
+    mask: Option<&[bool]>,
+) {
+    for (i, d) in dst.iter_mut().enumerate() {
+        *d = i < vl
+            && active(mask, i)
+            && match op {
+                CmpOp::Ne => a[i] != b[i],
+                CmpOp::Nez => a[i] != 0,
+            };
+    }
+}
+
+/// Vector-scalar comparison producing a mask.
+pub fn compare_vs(
+    op: CmpOp,
+    dst: &mut [bool],
+    a: &[u64],
+    s: u64,
+    vl: usize,
+    mask: Option<&[bool]>,
+) {
+    for (i, d) in dst.iter_mut().enumerate() {
+        *d = i < vl
+            && active(mask, i)
+            && match op {
+                CmpOp::Ne => a[i] != s,
+                CmpOp::Nez => a[i] != 0,
+            };
+    }
+}
+
+/// `compress`: packs the mask-selected elements of `src` into the low end of
+/// `dst`, preserving order. Returns the number of elements written (the new
+/// natural vector length).
+pub fn compress(dst: &mut [u64], src: &[u64], mask: &[bool], vl: usize) -> usize {
+    let mut j = 0;
+    for i in 0..vl {
+        if mask[i] {
+            dst[j] = src[i];
+            j += 1;
+        }
+    }
+    j
+}
+
+/// `expand`: the inverse of [`compress`] — distributes the low elements of
+/// `src` into the mask-selected positions of `dst`. Returns the number of
+/// elements consumed from `src`.
+pub fn expand(dst: &mut [u64], src: &[u64], mask: &[bool], vl: usize) -> usize {
+    let mut j = 0;
+    for i in 0..vl {
+        if mask[i] {
+            dst[i] = src[j];
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Reduction of the first `vl` active elements to a scalar.
+pub fn reduce(op: RedOp, a: &[u64], vl: usize, mask: Option<&[bool]>) -> u64 {
+    let mut acc = op.identity();
+    for (i, &x) in a.iter().enumerate().take(vl) {
+        if active(mask, i) {
+            acc = op.fold(acc, x);
+        }
+    }
+    acc
+}
+
+/// Mask popcount (Table III, `mask` class).
+pub fn mask_popcount(mask: &[bool], vl: usize) -> usize {
+    mask.iter().take(vl).filter(|&&b| b).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_sum_reduction() {
+        // Figure 5 of the paper: sum of 1..=8 is 36.
+        let v: Vec<u64> = (1..=8).collect();
+        assert_eq!(reduce(RedOp::Sum, &v, 8, None), 36);
+    }
+
+    #[test]
+    fn iota_matches_cray_semantics() {
+        let mut d = vec![99u64; 8];
+        iota(&mut d, 5, None);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 99, 99, 99]);
+    }
+
+    #[test]
+    fn iota_masked_keeps_old_values() {
+        let mut d = vec![7u64; 4];
+        let m = [true, false, true, false];
+        iota(&mut d, 4, Some(&m));
+        assert_eq!(d, vec![0, 7, 2, 7]);
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut d = vec![1u64; 4];
+        set_all(&mut d, 9, 3, None);
+        assert_eq!(d, vec![9, 9, 9, 1]);
+        clear_all(&mut d, 2, None);
+        assert_eq!(d, vec![0, 0, 9, 1]);
+    }
+
+    #[test]
+    fn binop_vv_masked_merge() {
+        let a = [10u64, 20, 30, 40];
+        let b = [1u64, 2, 3, 4];
+        let mut d = vec![0u64; 4];
+        let m = [true, false, true, false];
+        binop_vv(BinOp::Add, &mut d, &a, &b, 4, Some(&m));
+        assert_eq!(d, vec![11, 0, 33, 0]);
+    }
+
+    #[test]
+    fn binop_vs_applies_scalar() {
+        let a = [1u64, 2, 3, 4];
+        let mut d = vec![0u64; 4];
+        binop_vs(BinOp::Mul, &mut d, &a, 10, 4, None);
+        assert_eq!(d, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn all_binops() {
+        assert_eq!(BinOp::Max.apply(3, 5), 5);
+        assert_eq!(BinOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(BinOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(BinOp::Mul.apply(3, 5), 15);
+        assert_eq!(BinOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(BinOp::Shl.apply(1, 4), 16);
+        assert_eq!(BinOp::Shr.apply(16, 4), 1);
+    }
+
+    #[test]
+    fn shift_amount_wraps_at_64() {
+        // Matches x86 semantics: shift count is taken modulo 64.
+        assert_eq!(BinOp::Shl.apply(1, 64), 1);
+        assert_eq!(BinOp::Shr.apply(2, 65), 1);
+    }
+
+    #[test]
+    fn compare_ne_and_nez() {
+        let a = [1u64, 2, 0, 4];
+        let b = [1u64, 0, 0, 4];
+        let mut m = vec![false; 4];
+        compare_vv(CmpOp::Ne, &mut m, &a, &b, 4, None);
+        assert_eq!(m, vec![false, true, false, false]);
+        compare_vv(CmpOp::Nez, &mut m, &a, &b, 4, None);
+        assert_eq!(m, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn compare_clears_beyond_vl() {
+        let a = [1u64, 2, 3, 4];
+        let b = [0u64; 4];
+        let mut m = vec![true; 4];
+        compare_vv(CmpOp::Ne, &mut m, &a, &b, 2, None);
+        assert_eq!(m, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn compare_vs_against_scalar() {
+        let a = [5u64, 6, 5, 7];
+        let mut m = vec![false; 4];
+        compare_vs(CmpOp::Ne, &mut m, &a, 5, 4, None);
+        assert_eq!(m, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn compress_then_expand_roundtrip() {
+        let src = [10u64, 11, 12, 13, 14, 15];
+        let mask = [true, false, true, true, false, true];
+        let mut packed = vec![0u64; 6];
+        let k = compress(&mut packed, &src, &mask, 6);
+        assert_eq!(k, 4);
+        assert_eq!(&packed[..4], &[10, 12, 13, 15]);
+
+        let mut restored = vec![0u64; 6];
+        let consumed = expand(&mut restored, &packed, &mask, 6);
+        assert_eq!(consumed, 4);
+        assert_eq!(restored, vec![10, 0, 12, 13, 0, 15]);
+    }
+
+    #[test]
+    fn reductions_with_identity() {
+        let v = [3u64, 1, 4, 1, 5];
+        assert_eq!(reduce(RedOp::Max, &v, 5, None), 5);
+        assert_eq!(reduce(RedOp::Min, &v, 5, None), 1);
+        assert_eq!(reduce(RedOp::Sum, &v, 5, None), 14);
+        // vl = 0 returns the identity.
+        assert_eq!(reduce(RedOp::Sum, &v, 0, None), 0);
+        assert_eq!(reduce(RedOp::Max, &v, 0, None), u64::MIN);
+        assert_eq!(reduce(RedOp::Min, &v, 0, None), u64::MAX);
+    }
+
+    #[test]
+    fn masked_reduction_skips_inactive() {
+        let v = [10u64, 20, 30, 40];
+        let m = [false, true, false, true];
+        assert_eq!(reduce(RedOp::Sum, &v, 4, Some(&m)), 60);
+    }
+
+    #[test]
+    fn popcount_counts_prefix() {
+        let m = [true, true, false, true];
+        assert_eq!(mask_popcount(&m, 4), 3);
+        assert_eq!(mask_popcount(&m, 2), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! # vagg-isa
+//!
+//! The vector SIMD instruction set of *"Future Vector Microprocessor
+//! Extensions for Data Aggregations"* (Hayes et al., ISCA 2016), as a
+//! faithful functional emulation layer with the paper's timing metadata.
+//!
+//! The ISA extends a superscalar x86-64 core with:
+//!
+//! * sixteen logical vector registers and four logical mask registers of
+//!   configurable width (MVL), plus a vector length register ([`reg`]);
+//! * the regular instruction suite of Table III ([`exec`], [`inst`]);
+//! * three classes of vector memory access — unit-stride, strided and
+//!   indexed ([`inst::MemPattern`]);
+//! * the irregular-DLP instructions VPI and VLU from VSR sort (HPCA 2015)
+//!   and this paper's VGAsum/VGAmin/VGAmax, all backed by an MVL-entry CAM
+//!   with `p` ports ([`cam`], [`irregular`]).
+//!
+//! Functional semantics and cycle-occupancy rules are kept side by side so
+//! the `vagg-sim` machine can execute and time every instruction exactly as
+//! the paper specifies.
+//!
+//! Beyond the paper's own proposal, [`conflict`] models the best-effort
+//! AVX-512-CDI-style conflict detection of §VI-B's related work, so the
+//! paper's qualitative comparison can be measured.
+//!
+//! ```
+//! use vagg_isa::irregular::{vpi, vga_sum};
+//!
+//! // Figure 10a of the paper.
+//! let keys = [7, 5, 5, 5, 11, 9, 9, 11];
+//! assert_eq!(vpi(&keys, 8, 4).value, vec![0, 0, 1, 2, 0, 0, 1, 1]);
+//!
+//! // Figure 13 of the paper.
+//! let vals = [6, 3, 4, 9, 15, 2, 3, 4];
+//! assert_eq!(vga_sum(&keys, &vals, 8, 4).value,
+//!            vec![6, 3, 7, 16, 15, 2, 5, 19]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cam;
+pub mod conflict;
+pub mod exec;
+pub mod inst;
+pub mod irregular;
+pub mod reg;
+
+pub use exec::{BinOp, CmpOp, RedOp};
+pub use inst::{InstClass, Instruction, MemDir, MemPattern, VecOpTiming};
+pub use reg::{MaskData, Mreg, VectorData, VectorFile, Vreg, NUM_MASKS, NUM_VREGS};

@@ -1,0 +1,453 @@
+//! DDR3 DRAM timing model (the DRAMSim2 substitution).
+//!
+//! Reproduces the memory-system behaviour Table II prescribes:
+//!
+//! * DDR3-1333, 1.5 ns memory clock — the 2.67 GHz core clocks the memory
+//!   controller once every **4 processor cycles**;
+//! * 4 ranks × 8 banks, 32,768 rows, 2,048 columns, device width ×4;
+//! * **open-page** row-buffer policy with a maximum of **8 row accesses**
+//!   before the controller closes the row (starvation avoidance, as in
+//!   DRAMSim2's `total_row_accesses` knob);
+//! * address layout `row:rank:bank:column:burst` (the layout the paper
+//!   found to work best);
+//! * 64-byte bursts (one cache line per transaction).
+//!
+//! The model tracks, per bank, the open row and the earliest memory cycle
+//! the bank can accept a new column command, plus a shared data bus. A
+//! request's latency is therefore sensitive to row locality (hit/miss/
+//! conflict) *and* to bank/bus contention — the two effects that separate
+//! unit-stride from scattered vector traffic.
+
+/// DDR3 timing and geometry parameters (memory-clock units).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramParams {
+    /// Processor cycles per memory-controller cycle.
+    pub clock_ratio: u64,
+    /// Ranks per channel.
+    pub ranks: u64,
+    /// Banks per rank.
+    pub banks: u64,
+    /// Rows per bank.
+    pub rows: u64,
+    /// Columns per row.
+    pub columns: u64,
+    /// Device width in bits (×4 parts).
+    pub device_width: u64,
+    /// Burst length in bytes (one transaction).
+    pub burst_bytes: u64,
+    /// CAS latency (tCL).
+    pub t_cl: u64,
+    /// RAS-to-CAS delay (tRCD).
+    pub t_rcd: u64,
+    /// Row precharge (tRP).
+    pub t_rp: u64,
+    /// Data transfer occupancy of one burst on the bus (BL8 → 4 memory
+    /// cycles).
+    pub t_burst: u64,
+    /// Maximum column accesses served from one open row before the
+    /// controller force-closes it.
+    pub max_row_accesses: u64,
+    /// Transaction queue capacity (Table II).
+    pub transaction_queue: usize,
+    /// Command queue capacity (Table II).
+    pub command_queue: usize,
+}
+
+impl DramParams {
+    /// Table II configuration: DDR3-1333 under a 2.67 GHz core.
+    pub fn ddr3_1333() -> Self {
+        Self {
+            clock_ratio: 4,
+            ranks: 4,
+            banks: 8,
+            rows: 32_768,
+            columns: 2_048,
+            device_width: 4,
+            burst_bytes: 64,
+            // DDR3-1333H: CL-RCD-RP = 9-9-9 memory cycles.
+            t_cl: 9,
+            t_rcd: 9,
+            t_rp: 9,
+            t_burst: 4,
+            max_row_accesses: 8,
+            transaction_queue: 64,
+            command_queue: 256,
+        }
+    }
+
+    /// Bytes held in one row buffer across the rank: `columns ×
+    /// device_width × devices-per-rank / 8`. With ×4 parts filling a 64-bit
+    /// bus there are 16 devices: 2,048 × 4 × 16 / 8 = 16 KB.
+    pub fn row_buffer_bytes(&self) -> u64 {
+        let devices = 64 / self.device_width;
+        self.columns * self.device_width * devices / 8
+    }
+}
+
+/// How a request interacted with the row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// Open row matched (tCL only).
+    Hit,
+    /// Bank was idle/precharged (tRCD + tCL).
+    Miss,
+    /// A different row was open (tRP + tRCD + tCL).
+    Conflict,
+}
+
+/// Decomposed physical address (layout `row:rank:bank:column:burst`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedAddr {
+    /// Row index within the bank.
+    pub row: u64,
+    /// Rank index.
+    pub rank: u64,
+    /// Bank index within the rank.
+    pub bank: u64,
+    /// Column-burst index within the row.
+    pub column: u64,
+}
+
+/// Data-bus reservation schedule. The controller's 64-deep transaction
+/// queue (Table II) lets it reorder requests and backfill idle bus slots,
+/// so a late-arriving request must not starve earlier-timestamped traffic:
+/// reservations claim the earliest idle gap at or after their ready time.
+#[derive(Debug, Clone, Default)]
+struct BusSchedule {
+    /// Sorted, disjoint busy intervals `[start, end)`, pruned from the
+    /// front as they age out.
+    busy: std::collections::VecDeque<(u64, u64)>,
+}
+
+impl BusSchedule {
+    /// Reserves `width` cycles at the earliest point ≥ `earliest`;
+    /// returns the reserved start.
+    fn reserve(&mut self, earliest: u64, width: u64) -> u64 {
+        let mut start = earliest;
+        let mut insert_at = self.busy.len();
+        for (i, &(b, e)) in self.busy.iter().enumerate() {
+            if start + width <= b {
+                insert_at = i;
+                break;
+            }
+            if start < e {
+                start = e;
+            }
+        }
+        self.busy.insert(insert_at, (start, start + width));
+        // Coalesce + prune to bound the schedule (the transaction queue
+        // depth bounds how far back the controller can reorder).
+        while self.busy.len() > 128 {
+            self.busy.pop_front();
+        }
+        start
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankState {
+    open_row: Option<u64>,
+    /// Earliest memory cycle the bank can start a new command.
+    ready: u64,
+    /// Column accesses served from the currently open row.
+    row_uses: u64,
+}
+
+/// Aggregate counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Total transactions.
+    pub requests: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row misses (bank precharged).
+    pub row_misses: u64,
+    /// Row conflicts (wrong row open).
+    pub row_conflicts: u64,
+    /// Rows force-closed by the 8-access policy.
+    pub forced_closes: u64,
+}
+
+/// The memory controller + DRAM devices.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    params: DramParams,
+    banks: Vec<BankState>, // ranks × banks
+    /// Shared data bus reservations.
+    bus: BusSchedule,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates a DRAM system with the given parameters.
+    pub fn new(params: DramParams) -> Self {
+        let nbanks = (params.ranks * params.banks) as usize;
+        Self {
+            params,
+            banks: vec![BankState::default(); nbanks],
+            bus: BusSchedule::default(),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &DramParams {
+        &self.params
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Resets counters (not device state).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    /// Splits a byte address per `row:rank:bank:column:burst`.
+    pub fn decode(&self, byte_addr: u64) -> DecodedAddr {
+        let p = &self.params;
+        let mut a = byte_addr / p.burst_bytes; // drop burst offset
+        let bursts_per_row = p.row_buffer_bytes() / p.burst_bytes;
+        let column = a % bursts_per_row;
+        a /= bursts_per_row;
+        let bank = a % p.banks;
+        a /= p.banks;
+        let rank = a % p.ranks;
+        a /= p.ranks;
+        let row = a % p.rows;
+        DecodedAddr { row, rank, bank, column }
+    }
+
+    /// Issues one 64-byte transaction at processor cycle `cpu_now`; returns
+    /// the processor cycle at which the data transfer completes.
+    ///
+    /// Writes use the same bank/bus occupancy as reads (write latency is
+    /// posted, but the bank is busy, which is what back-pressures the
+    /// pipeline).
+    pub fn access(&mut self, byte_addr: u64, cpu_now: u64) -> u64 {
+        let p = self.params.clone();
+        let d = self.decode(byte_addr);
+        let mem_now = cpu_now.div_ceil(p.clock_ratio);
+        let bank_idx = (d.rank * p.banks + d.bank) as usize;
+
+        self.stats.requests += 1;
+        let (start, outcome, act_latency) = {
+            let bank = &mut self.banks[bank_idx];
+            let start = mem_now.max(bank.ready);
+            // Row-buffer outcome (with the forced-close policy applied
+            // first).
+            let force_closed = bank.open_row.is_some()
+                && bank.row_uses >= p.max_row_accesses;
+            if force_closed {
+                bank.open_row = None;
+                bank.row_uses = 0;
+                self.stats.forced_closes += 1;
+            }
+            let (outcome, act_latency) = match bank.open_row {
+                Some(r) if r == d.row => (RowOutcome::Hit, p.t_cl),
+                Some(_) => (RowOutcome::Conflict, p.t_rp + p.t_rcd + p.t_cl),
+                None => (RowOutcome::Miss, p.t_rcd + p.t_cl),
+            };
+            (start, outcome, act_latency)
+        };
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Miss => self.stats.row_misses += 1,
+            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+        }
+
+        // Column data must also win a slot on the shared data bus; the
+        // controller backfills idle slots (reordering within its
+        // transaction queue), so late arrivals cannot starve earlier ones.
+        let data_start = self.bus.reserve(start + act_latency, p.t_burst);
+        let done = data_start + p.t_burst;
+        // Column commands to an open row pipeline at tCCD (= t_burst):
+        // the bank accepts the next command while this data is in flight.
+        let bank = &mut self.banks[bank_idx];
+        bank.ready = start + act_latency + p.t_burst - p.t_cl;
+        bank.open_row = Some(d.row);
+        bank.row_uses = if outcome == RowOutcome::Hit {
+            bank.row_uses + 1
+        } else {
+            1
+        };
+
+        done * p.clock_ratio
+    }
+
+    /// Closes all rows and idles all banks (between experiments).
+    pub fn quiesce(&mut self) {
+        for b in &mut self.banks {
+            *b = BankState::default();
+        }
+        self.bus = BusSchedule::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramParams::ddr3_1333())
+    }
+
+    #[test]
+    fn row_buffer_is_16kb() {
+        assert_eq!(DramParams::ddr3_1333().row_buffer_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn decode_layout_row_rank_bank_column() {
+        let d = dram();
+        let p = d.params().clone();
+        let bursts_per_row = p.row_buffer_bytes() / p.burst_bytes; // 256
+        // Walk one field at a time.
+        let a = d.decode(0);
+        assert_eq!((a.row, a.rank, a.bank, a.column), (0, 0, 0, 0));
+        let a = d.decode(p.burst_bytes);
+        assert_eq!(a.column, 1);
+        let a = d.decode(p.burst_bytes * bursts_per_row);
+        assert_eq!((a.bank, a.column), (1, 0));
+        let a = d.decode(p.burst_bytes * bursts_per_row * p.banks);
+        assert_eq!((a.rank, a.bank), (1, 0));
+        let a = d.decode(p.burst_bytes * bursts_per_row * p.banks * p.ranks);
+        assert_eq!((a.row, a.rank, a.bank), (1, 0, 0));
+    }
+
+    #[test]
+    fn first_access_is_row_miss() {
+        let mut d = dram();
+        d.access(0, 0);
+        assert_eq!(d.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn second_access_same_row_hits_and_is_faster() {
+        let mut d = dram();
+        let t1 = d.access(0, 0);
+        let mut d2 = dram();
+        d2.access(0, 0);
+        let t2 = d2.access(64, t1) - t1; // relative latency of the hit
+        assert_eq!(d2.stats().row_hits, 1);
+        let miss_latency = t1;
+        assert!(
+            t2 < miss_latency,
+            "row hit ({t2}) not faster than miss ({miss_latency})"
+        );
+    }
+
+    #[test]
+    fn different_row_same_bank_conflicts() {
+        let mut d = dram();
+        let p = d.params().clone();
+        let row_stride =
+            p.row_buffer_bytes() * p.banks * p.ranks; // next row, same bank
+        let t1 = d.access(0, 0);
+        d.access(row_stride, t1);
+        assert_eq!(d.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn conflict_costs_more_than_hit() {
+        let p = DramParams::ddr3_1333();
+        let row_stride = p.row_buffer_bytes() * p.banks * p.ranks;
+
+        let mut hit = Dram::new(p.clone());
+        let t = hit.access(0, 0);
+        let hit_latency = hit.access(64, t) - t;
+
+        let mut conf = Dram::new(p);
+        let t = conf.access(0, 0);
+        let conf_latency = conf.access(row_stride, t) - t;
+        assert!(conf_latency > hit_latency);
+    }
+
+    #[test]
+    fn forced_close_after_eight_row_accesses() {
+        let mut d = dram();
+        let mut now = 0;
+        // 1 activating miss + 7 hits = 8 row accesses, the budget.
+        for i in 0..8u64 {
+            now = d.access(i * 64, now);
+        }
+        assert_eq!(d.stats().row_hits, 7);
+        assert_eq!(d.stats().forced_closes, 0);
+        // The 9th access to the same row pays a forced-close miss.
+        d.access(8 * 64, now);
+        assert_eq!(d.stats().forced_closes, 1);
+        assert_eq!(d.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn banks_overlap_but_bus_serialises_transfers() {
+        let mut d = dram();
+        let p = d.params().clone();
+        let bank_stride = p.row_buffer_bytes(); // next bank
+        // Two requests to different banks at the same time: the second
+        // completes one burst after the first, not a full latency after.
+        let t1 = d.access(0, 0);
+        let t2 = d.access(bank_stride, 0);
+        assert!(t2 > t1);
+        assert!(
+            t2 - t1 <= p.t_burst * p.clock_ratio,
+            "bank-parallel requests should pipeline on the bus"
+        );
+    }
+
+    #[test]
+    fn same_bank_row_hits_pipeline_at_burst_rate() {
+        let mut d = dram();
+        let p = d.params().clone();
+        let t1 = d.access(0, 0);
+        let t2 = d.access(64, 0); // same row, same bank, immediately after
+        // Column commands pipeline: spacing is one burst, not a full CAS.
+        assert_eq!(t2 - t1, p.t_burst * p.clock_ratio);
+    }
+
+    #[test]
+    fn streaming_throughput_hits_bus_bound() {
+        // 32 sequential lines from one row: after the activating miss,
+        // deliveries arrive every t_burst memory cycles (the DDR3-1333
+        // bandwidth envelope the paper's vector loads must live within).
+        let mut d = dram();
+        let p = d.params().clone();
+        let mut last = 0;
+        let mut gaps = Vec::new();
+        for i in 0..8u64 {
+            let t = d.access(i * 64, 0);
+            if i > 0 {
+                gaps.push(t - last);
+            }
+            last = t;
+        }
+        assert!(gaps.iter().all(|&g| g == p.t_burst * p.clock_ratio), "{gaps:?}");
+    }
+
+    #[test]
+    fn completion_is_cpu_aligned_and_monotonic_per_bank() {
+        let mut d = dram();
+        let mut now = 0;
+        let mut last = 0;
+        for i in 0..32u64 {
+            let t = d.access(i * 64, now);
+            assert_eq!(t % d.params().clock_ratio, 0);
+            assert!(t >= last);
+            last = t;
+            now = t;
+        }
+    }
+
+    #[test]
+    fn quiesce_resets_device_state() {
+        let mut d = dram();
+        d.access(0, 0);
+        d.quiesce();
+        d.reset_stats();
+        d.access(64, 0);
+        // After quiesce the bank is precharged again → row miss, not hit.
+        assert_eq!(d.stats().row_misses, 1);
+    }
+}

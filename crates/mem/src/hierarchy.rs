@@ -1,0 +1,338 @@
+//! The full memory hierarchy: L1-d → L2 → DRAM.
+//!
+//! Composition rules from the paper:
+//!
+//! * Table I latencies — L1-d 4 cycles, L2 10 cycles, 64-byte lines;
+//! * scalar accesses walk L1-d → L2 → DRAM;
+//! * **vector accesses bypass the L1-d** and go straight to the L2
+//!   (§II-A, after Tarantula); a line cached by the scalar side is evicted
+//!   (written back if dirty) first, keeping the two paths coherent;
+//! * the L2 set index uses XOR-based placement (see [`crate::xor`]);
+//! * dirty victims are written back to the next level; write-backs occupy
+//!   DRAM banks but do not delay the requester (posted writes).
+
+use crate::cache::{modulo_index, Access, Cache, CacheStats};
+use crate::dram::{Dram, DramParams, DramStats};
+use crate::xor::poly_mod_index;
+
+/// Geometry and latency knobs (defaults = Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyParams {
+    /// L1-d size in bytes.
+    pub l1_size: u64,
+    /// L1-d associativity.
+    pub l1_ways: usize,
+    /// L1-d hit latency (cycles).
+    pub l1_latency: u64,
+    /// L2 size in bytes.
+    pub l2_size: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 hit latency (cycles).
+    pub l2_latency: u64,
+    /// Line size in bytes (all levels).
+    pub line_bytes: u64,
+    /// Use XOR-based set placement in the L2 (paper default: yes).
+    pub xor_l2: bool,
+    /// Vector memory traffic bypasses the L1-d (paper default: yes).
+    pub l1_bypass_vector: bool,
+    /// DRAM configuration.
+    pub dram: DramParams,
+}
+
+impl Default for HierarchyParams {
+    fn default() -> Self {
+        Self::westmere()
+    }
+}
+
+impl HierarchyParams {
+    /// Table I / Table II configuration.
+    pub fn westmere() -> Self {
+        Self {
+            l1_size: 32 * 1024,
+            l1_ways: 8,
+            l1_latency: 4,
+            l2_size: 256 * 1024,
+            l2_ways: 8,
+            l2_latency: 10,
+            line_bytes: 64,
+            xor_l2: true,
+            l1_bypass_vector: true,
+            dram: DramParams::ddr3_1333(),
+        }
+    }
+}
+
+/// Combined counters for one simulation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierarchyStats {
+    /// L1-d counters.
+    pub l1: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// Vector accesses that had to evict a scalar-side L1 line.
+    pub vector_l1_evictions: u64,
+}
+
+/// L1-d + L2 + DRAM with the paper's routing rules.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    params: HierarchyParams,
+    l1d: Cache,
+    l2: Cache,
+    dram: Dram,
+    vector_l1_evictions: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy.
+    pub fn new(params: HierarchyParams) -> Self {
+        let l2_index = if params.xor_l2 { poly_mod_index } else { modulo_index };
+        Self {
+            l1d: Cache::new(params.l1_size, params.l1_ways, params.line_bytes),
+            l2: Cache::with_index(
+                params.l2_size,
+                params.l2_ways,
+                params.line_bytes,
+                l2_index,
+            ),
+            dram: Dram::new(params.dram.clone()),
+            params,
+            vector_l1_evictions: 0,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &HierarchyParams {
+        &self.params
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.params.line_bytes
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1: self.l1d.stats(),
+            l2: self.l2.stats(),
+            dram: self.dram.stats(),
+            vector_l1_evictions: self.vector_l1_evictions,
+        }
+    }
+
+    /// Resets counters (not cache/DRAM contents).
+    pub fn reset_stats(&mut self) {
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+        self.dram.reset_stats();
+        self.vector_l1_evictions = 0;
+    }
+
+    /// Empties caches and idles DRAM (between experiments).
+    pub fn flush(&mut self) {
+        self.l1d.flush();
+        self.l2.flush();
+        self.dram.quiesce();
+    }
+
+    // A dirty line leaving the L2 is posted to DRAM: occupies a bank but
+    // does not delay the requester.
+    fn post_writeback_to_dram(&mut self, line_addr: u64, now: u64) {
+        let addr = line_addr * self.params.line_bytes;
+        let _ = self.dram.access(addr, now);
+    }
+
+    // Fill path shared by both access kinds once the request reaches the L2.
+    fn access_l2(&mut self, byte_addr: u64, write: bool, now: u64) -> u64 {
+        let after_l2 = now + self.params.l2_latency;
+        match self.l2.access(byte_addr, write) {
+            Access::Hit => after_l2,
+            Access::Miss { writeback } => {
+                if let Some(line) = writeback {
+                    self.post_writeback_to_dram(line, after_l2);
+                }
+                self.dram.access(byte_addr, after_l2)
+            }
+        }
+    }
+
+    /// A scalar load/store of any width within one line. Returns the
+    /// completion cycle.
+    pub fn scalar_access(&mut self, byte_addr: u64, write: bool, now: u64) -> u64 {
+        let after_l1 = now + self.params.l1_latency;
+        match self.l1d.access(byte_addr, write) {
+            Access::Hit => after_l1,
+            Access::Miss { writeback } => {
+                if let Some(line) = writeback {
+                    // L1 victim is installed in the L2 (write-back).
+                    let addr = line * self.params.line_bytes;
+                    if let Access::Miss { writeback: Some(l2v) } =
+                        self.l2.access(addr, true)
+                    {
+                        self.post_writeback_to_dram(l2v, after_l1);
+                    }
+                }
+                self.access_l2(byte_addr, write, after_l1)
+            }
+        }
+    }
+
+    /// One element of a vector memory instruction. Bypasses the L1-d when
+    /// the paper's configuration is active. Returns the completion cycle.
+    pub fn vector_access(&mut self, byte_addr: u64, write: bool, now: u64) -> u64 {
+        if !self.params.l1_bypass_vector {
+            return self.scalar_access(byte_addr, write, now);
+        }
+        // Coherence: pull the line out of the scalar L1 if present.
+        if self.l1d.probe(byte_addr) {
+            self.vector_l1_evictions += 1;
+            if let Some(line) = self.l1d.evict_line(byte_addr) {
+                let addr = line * self.params.line_bytes;
+                if let Access::Miss { writeback: Some(l2v) } =
+                    self.l2.access(addr, true)
+                {
+                    self.post_writeback_to_dram(l2v, now);
+                }
+            }
+        }
+        self.access_l2(byte_addr, write, now)
+    }
+
+    /// True if the byte's line currently resides in the L2 (test hook).
+    pub fn l2_contains(&self, byte_addr: u64) -> bool {
+        self.l2.probe(byte_addr)
+    }
+
+    /// True if the byte's line currently resides in the L1-d (test hook).
+    pub fn l1_contains(&self, byte_addr: u64) -> bool {
+        self.l1d.probe(byte_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyParams::westmere())
+    }
+
+    #[test]
+    fn scalar_l1_hit_costs_l1_latency() {
+        let mut h = hier();
+        h.scalar_access(0x1000, false, 0); // warm
+        let t = h.scalar_access(0x1000, false, 100);
+        assert_eq!(t, 104);
+    }
+
+    #[test]
+    fn scalar_l2_hit_costs_l1_plus_l2() {
+        let mut h = hier();
+        h.vector_access(0x1000, false, 0); // line in L2 only
+        let t = h.scalar_access(0x1000, false, 100);
+        assert_eq!(t, 100 + 4 + 10);
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram() {
+        let mut h = hier();
+        let t = h.scalar_access(0x1000, false, 0);
+        // Must include at least tRCD+tCL memory cycles × ratio.
+        assert!(t >= 4 + 10 + (9 + 9) * 4);
+        assert_eq!(h.stats().dram.requests, 1);
+    }
+
+    #[test]
+    fn vector_access_bypasses_l1() {
+        let mut h = hier();
+        h.vector_access(0x2000, false, 0);
+        assert!(h.l2_contains(0x2000));
+        assert!(!h.l1_contains(0x2000));
+        assert_eq!(h.stats().l1.accesses, 0);
+    }
+
+    #[test]
+    fn vector_hit_in_l2_costs_l2_latency() {
+        let mut h = hier();
+        h.vector_access(0x2000, false, 0);
+        let t = h.vector_access(0x2000, false, 50);
+        assert_eq!(t, 60);
+    }
+
+    #[test]
+    fn vector_evicts_scalar_l1_copy() {
+        let mut h = hier();
+        h.scalar_access(0x3000, true, 0); // dirty in L1
+        assert!(h.l1_contains(0x3000));
+        h.vector_access(0x3000, false, 100);
+        assert!(!h.l1_contains(0x3000));
+        assert_eq!(h.stats().vector_l1_evictions, 1);
+        // The dirty data moved into the L2.
+        assert!(h.l2_contains(0x3000));
+    }
+
+    #[test]
+    fn bypass_can_be_disabled() {
+        let mut p = HierarchyParams::westmere();
+        p.l1_bypass_vector = false;
+        let mut h = MemoryHierarchy::new(p);
+        h.vector_access(0x2000, false, 0);
+        assert!(h.l1_contains(0x2000));
+    }
+
+    #[test]
+    fn repeated_misses_heat_up_the_l2() {
+        let mut h = hier();
+        let t_cold = h.vector_access(0x9000, false, 0);
+        let t_warm = h.vector_access(0x9000, false, t_cold) - t_cold;
+        assert!(t_warm < t_cold);
+        assert_eq!(t_warm, 10);
+    }
+
+    #[test]
+    fn stats_track_all_levels() {
+        let mut h = hier();
+        h.scalar_access(0, false, 0);
+        h.scalar_access(0, false, 10);
+        h.vector_access(0x10000, false, 20);
+        let s = h.stats();
+        assert_eq!(s.l1.accesses, 2);
+        assert_eq!(s.l1.hits, 1);
+        assert_eq!(s.l2.accesses, 2); // one L1-miss fill + one vector access
+        assert_eq!(s.dram.requests, 2);
+    }
+
+    #[test]
+    fn flush_forgets_contents() {
+        let mut h = hier();
+        h.scalar_access(0x1000, false, 0);
+        h.flush();
+        assert!(!h.l1_contains(0x1000));
+        assert!(!h.l2_contains(0x1000));
+    }
+
+    #[test]
+    fn working_set_beyond_l1_spills_to_l2() {
+        let mut h = hier();
+        // 64 KB working set: 2× the L1, fits the 256 KB L2.
+        let lines = 1024u64;
+        let mut now = 0;
+        for round in 0..2 {
+            for i in 0..lines {
+                now = h.scalar_access(i * 64, false, now);
+            }
+            if round == 0 {
+                h.reset_stats();
+            }
+        }
+        let s = h.stats();
+        // Second round: L1 thrashes but L2 absorbs everything.
+        assert!(s.l1.misses > 0);
+        assert_eq!(s.dram.requests, 0, "L2-resident set went to DRAM");
+    }
+}

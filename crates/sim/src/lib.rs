@@ -1,0 +1,37 @@
+//! # vagg-sim
+//!
+//! The simulation machine for the ISCA 2016 aggregation-vectorisation
+//! paper: a functional vector ISA emulator ([`vagg_isa`]) fused with an
+//! out-of-order pipeline model ([`vagg_cpu`]) and a cache/DRAM hierarchy
+//! ([`vagg_mem`]), addressed through a sparse simulated address space.
+//!
+//! Kernels call instruction-shaped methods on [`Machine`]
+//! (`vload_unit`, `vgather`, `vga`, `vred`, ...); each call executes the
+//! operation functionally *and* charges cycles per the paper's model, so
+//! `Machine::cycles() / n` is directly the paper's cycles-per-tuple metric.
+//!
+//! ```
+//! use vagg_sim::{Machine, Tok};
+//! use vagg_isa::{Vreg, RedOp};
+//!
+//! let mut m = Machine::paper();
+//! let data: Vec<u32> = (1..=64).collect();
+//! let base = m.space_mut().alloc_slice_u32(&data);
+//! m.set_vl(64);
+//! m.vload_unit(Vreg(0), base, 4, 0);
+//! let (sum, _tok): (u64, Tok) = m.vred(RedOp::Sum, Vreg(0), None);
+//! assert_eq!(sum, (1..=64).sum::<u64>());
+//! assert!(m.cycles() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod machine;
+pub mod memory;
+pub mod trace;
+
+pub use config::SimConfig;
+pub use machine::{Machine, OpMix, SimStats, Tok};
+pub use memory::AddressSpace;
+pub use trace::{Trace, TraceClass, TraceEvent};

@@ -1,0 +1,244 @@
+//! Optional instruction-level tracing.
+//!
+//! PTLsim — the simulator the paper builds on — offers per-µop commit logs
+//! for debugging and analysis; this module provides the equivalent for the
+//! reproduction. When enabled via [`crate::Machine::enable_trace`], every
+//! instruction-shaped call on the machine appends a [`TraceEvent`]
+//! (mnemonic, class, vector length, completion cycle, and the touched
+//! address/line footprint for memory operations) to a bounded buffer.
+//!
+//! Tracing is off by default and costs nothing when disabled. The buffer
+//! is a *head* buffer, not a ring: the first `capacity` events are kept
+//! and later ones are counted but dropped — kernels are loops, so the
+//! head contains every distinct instruction sequence and the listing
+//! stays aligned with program order.
+//!
+//! ```
+//! use vagg_sim::{Machine, TraceClass};
+//! use vagg_isa::{BinOp, Vreg};
+//!
+//! let mut m = Machine::paper();
+//! m.enable_trace(64);
+//! m.set_vl(8);
+//! m.vset(Vreg(0), 7, None);
+//! m.vbinop_vs(BinOp::Add, Vreg(1), Vreg(0), 1, None);
+//! let trace = m.take_trace().unwrap();
+//! assert_eq!(trace.events().last().unwrap().mnemonic, "vadd");
+//! println!("{}", trace.listing());
+//! ```
+
+/// Broad classification of a traced instruction, for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceClass {
+    /// Scalar ALU micro-op.
+    ScalarAlu,
+    /// Scalar load.
+    ScalarLoad,
+    /// Scalar store.
+    ScalarStore,
+    /// Vector-length / control instruction.
+    Control,
+    /// Element-wise vector compute (arithmetic, logic, comparison,
+    /// initialisation, compress/expand).
+    VecCompute,
+    /// Vector reduction.
+    VecReduction,
+    /// CAM-backed irregular-DLP instruction (VPI/VLU/VGAx).
+    Cam,
+    /// Mask instruction.
+    MaskOp,
+    /// Vector↔scalar element transfer.
+    Xfer,
+    /// Vector load (any pattern).
+    VecLoad,
+    /// Vector store (any pattern).
+    VecStore,
+    /// Vector prefetch.
+    Prefetch,
+    /// Memory-side scatter-add (§VI-B comparator).
+    ScatterAdd,
+}
+
+impl TraceClass {
+    /// True for classes that touch the memory hierarchy.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            TraceClass::ScalarLoad
+                | TraceClass::ScalarStore
+                | TraceClass::VecLoad
+                | TraceClass::VecStore
+                | TraceClass::Prefetch
+                | TraceClass::ScatterAdd
+        )
+    }
+
+    /// True for vector-unit classes (anything that is not scalar).
+    pub fn is_vector(self) -> bool {
+        !matches!(
+            self,
+            TraceClass::ScalarAlu
+                | TraceClass::ScalarLoad
+                | TraceClass::ScalarStore
+                | TraceClass::Control
+        )
+    }
+}
+
+/// One traced instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in dynamic program order (0-based, counts dropped events
+    /// too).
+    pub seq: u64,
+    /// Assembly-style mnemonic (`vadd`, `vgasum`, `load`, ...).
+    pub mnemonic: &'static str,
+    /// Classification for filtering.
+    pub class: TraceClass,
+    /// Vector length of the operation (1 for scalar ops).
+    pub vl: usize,
+    /// Completion cycle (the readiness token of the result).
+    pub done: u64,
+    /// Base/effective address for memory operations.
+    pub addr: Option<u64>,
+    /// Distinct cache lines touched (vector memory operations).
+    pub lines: Option<usize>,
+}
+
+/// A bounded head-of-execution instruction trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    seq: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace that keeps the first `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self { events: Vec::new(), capacity, seq: 0 }
+    }
+
+    /// Appends an event (or just counts it once the buffer is full).
+    pub(crate) fn record(
+        &mut self,
+        mnemonic: &'static str,
+        class: TraceClass,
+        vl: usize,
+        done: u64,
+        addr: Option<u64>,
+        lines: Option<usize>,
+    ) {
+        let seq = self.seq;
+        self.seq += 1;
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent {
+                seq,
+                mnemonic,
+                class,
+                vl,
+                done,
+                addr,
+                lines,
+            });
+        }
+    }
+
+    /// The recorded events, in program order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total instructions observed, including those beyond capacity.
+    pub fn total(&self) -> u64 {
+        self.seq
+    }
+
+    /// Instructions observed but not stored (buffer full).
+    pub fn dropped(&self) -> u64 {
+        self.seq - self.events.len() as u64
+    }
+
+    /// Events of one class, in program order.
+    pub fn of_class(&self, class: TraceClass) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.class == class)
+    }
+
+    /// A human-readable disassembly-style listing.
+    ///
+    /// One line per event: sequence number, completion cycle, mnemonic,
+    /// vector length, and the memory footprint when applicable.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            write!(out, "{:>8}  @{:>8}  {:<10}", e.seq, e.done, e.mnemonic)
+                .unwrap();
+            if e.class.is_vector() || e.class == TraceClass::Control {
+                write!(out, " vl={:<3}", e.vl).unwrap();
+            } else {
+                out.push_str("       ");
+            }
+            if let Some(a) = e.addr {
+                write!(out, " [{a:#x}]").unwrap();
+            }
+            if let Some(l) = e.lines {
+                write!(out, " lines={l}").unwrap();
+            }
+            out.push('\n');
+        }
+        if self.dropped() > 0 {
+            writeln!(out, "... {} further instructions not stored", self.dropped())
+                .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: &mut Trace, m: &'static str, class: TraceClass) {
+        t.record(m, class, 4, 10, None, None);
+    }
+
+    #[test]
+    fn records_up_to_capacity_and_counts_overflow() {
+        let mut t = Trace::new(2);
+        ev(&mut t, "a", TraceClass::ScalarAlu);
+        ev(&mut t, "b", TraceClass::ScalarAlu);
+        ev(&mut t, "c", TraceClass::ScalarAlu);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.events()[0].mnemonic, "a");
+        assert_eq!(t.events()[1].seq, 1);
+        assert!(t.listing().contains("1 further"));
+    }
+
+    #[test]
+    fn class_filter_and_predicates() {
+        let mut t = Trace::new(8);
+        ev(&mut t, "load", TraceClass::ScalarLoad);
+        ev(&mut t, "vadd", TraceClass::VecCompute);
+        ev(&mut t, "vld.u", TraceClass::VecLoad);
+        assert_eq!(t.of_class(TraceClass::VecCompute).count(), 1);
+        assert!(TraceClass::VecLoad.is_memory());
+        assert!(TraceClass::VecLoad.is_vector());
+        assert!(TraceClass::ScalarLoad.is_memory());
+        assert!(!TraceClass::ScalarLoad.is_vector());
+        assert!(!TraceClass::VecCompute.is_memory());
+    }
+
+    #[test]
+    fn listing_formats_memory_footprint() {
+        let mut t = Trace::new(4);
+        t.record("vgather", TraceClass::VecLoad, 64, 123, Some(0x1000), Some(9));
+        let l = t.listing();
+        assert!(l.contains("vgather"));
+        assert!(l.contains("[0x1000]"));
+        assert!(l.contains("lines=9"));
+        assert!(l.contains("vl=64"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared buffer handles for the simulated sorts.
+
+use vagg_sim::Machine;
+
+/// Addresses of the key/payload arrays and their ping-pong buffers in
+/// simulated memory.
+#[derive(Debug, Clone, Copy)]
+pub struct SortArrays {
+    /// Key column (`g`).
+    pub keys: u64,
+    /// Payload column (`v`).
+    pub vals: u64,
+    /// Auxiliary key buffer.
+    pub aux_keys: u64,
+    /// Auxiliary payload buffer.
+    pub aux_vals: u64,
+    /// Row count.
+    pub n: usize,
+}
+
+impl SortArrays {
+    /// Stages `keys`/`vals` into fresh simulated arrays and allocates the
+    /// auxiliary buffers.
+    pub fn stage(m: &mut Machine, keys: &[u32], vals: &[u32]) -> Self {
+        assert_eq!(keys.len(), vals.len());
+        let n = keys.len();
+        let bytes = 4 * n as u64;
+        let s = m.space_mut();
+        let keys_addr = s.alloc_slice_u32(keys);
+        let vals_addr = s.alloc_slice_u32(vals);
+        let aux_keys = s.alloc(bytes, 64);
+        let aux_vals = s.alloc(bytes, 64);
+        Self { keys: keys_addr, vals: vals_addr, aux_keys, aux_vals, n }
+    }
+
+    /// The buffer pair holding the result after `passes` ping-pong rounds.
+    pub fn result_buffers(&self, passes: u32) -> (u64, u64) {
+        if passes % 2 == 0 {
+            (self.keys, self.vals)
+        } else {
+            (self.aux_keys, self.aux_vals)
+        }
+    }
+
+    /// Reads back a buffer pair (host-side, untimed).
+    pub fn read_result(&self, m: &Machine, passes: u32) -> (Vec<u32>, Vec<u32>) {
+        let (k, v) = self.result_buffers(passes);
+        (
+            m.space().read_slice_u32(k, self.n),
+            m.space().read_slice_u32(v, self.n),
+        )
+    }
+}
+
+/// Number of 8-bit LSD passes needed to fully sort keys up to `max_key`.
+pub fn passes_for_max_key(max_key: u32) -> u32 {
+    match max_key {
+        0..=0xFF => 1,
+        0x100..=0xFFFF => 2,
+        0x1_0000..=0xFF_FFFF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_counts() {
+        assert_eq!(passes_for_max_key(0), 1);
+        assert_eq!(passes_for_max_key(255), 1);
+        assert_eq!(passes_for_max_key(256), 2);
+        assert_eq!(passes_for_max_key(65_535), 2);
+        assert_eq!(passes_for_max_key(65_536), 3);
+        assert_eq!(passes_for_max_key(9_999_999), 3);
+        assert_eq!(passes_for_max_key(u32::MAX), 4);
+    }
+
+    #[test]
+    fn stage_and_readback() {
+        let mut m = Machine::paper();
+        let k = vec![3u32, 1, 2];
+        let v = vec![30u32, 10, 20];
+        let a = SortArrays::stage(&mut m, &k, &v);
+        let (rk, rv) = a.read_result(&m, 0);
+        assert_eq!(rk, k);
+        assert_eq!(rv, v);
+        // Aux buffers are distinct allocations.
+        assert_ne!(a.keys, a.aux_keys);
+        assert_ne!(a.vals, a.aux_vals);
+    }
+
+    #[test]
+    fn result_buffers_alternate() {
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, &[1], &[2]);
+        assert_eq!(a.result_buffers(0), (a.keys, a.vals));
+        assert_eq!(a.result_buffers(1), (a.aux_keys, a.aux_vals));
+        assert_eq!(a.result_buffers(2), (a.keys, a.vals));
+    }
+}

@@ -1,0 +1,307 @@
+//! Vectorised bitonic mergesort — the classic vector-machine sorting
+//! network, built here as a *comparator* for the paper's sort choice.
+//!
+//! §IV-A picks radix sort because (citing the VSR-sort paper, HPCA 2015)
+//! it "outperforms quicksort and bitonic mergesort when MVL = 64 and
+//! lanes = 4". This module makes that claim measurable in this
+//! reproduction: the full Batcher network, vectorised with the Table III
+//! instruction set only (iota/shift/and to synthesise butterfly indices,
+//! gathers/scatters to exchange, `maximum` plus wrapping arithmetic for
+//! min/max, masks for the per-block direction and the payload swap).
+//!
+//! Why it loses to radix sort on this machine — visible in the
+//! `sorts` bench — is structural:
+//!
+//! * O(n·log²n) key movements against radix's O(passes·n);
+//! * every exchange is a gather + scatter (`VL/lanes` address-generation
+//!   cycles each) against radix's unit-stride streams;
+//! * stability costs it 8-byte packed elements (`key << 32 | row`),
+//!   doubling the exchanged bytes relative to radix's 4-byte keys.
+//!
+//! The implementation sorts `(key, payload)` pairs ascending, working in
+//! a power-of-two padded copy whose 8-byte elements pack
+//! `key << 32 | row_index`. The index tie-break makes every element
+//! unique — so the network is **stable** (unlike textbook bitonic) and
+//! the padding sentinel `u64::MAX` sorts strictly after any genuine key,
+//! even `u32::MAX`.
+
+use crate::arrays::SortArrays;
+use vagg_isa::{BinOp, CmpOp, Mreg, Vreg};
+use vagg_sim::Machine;
+
+const VI: Vreg = Vreg(0); // element indices m
+const VIDXL: Vreg = Vreg(1); // low partner index
+const VIDXH: Vreg = Vreg(2); // high partner index
+const VKL: Vreg = Vreg(3); // low keys in
+const VKH: Vreg = Vreg(4); // high keys in
+const VKMIN: Vreg = Vreg(5);
+const VKMAX: Vreg = Vreg(6);
+const VKLOW: Vreg = Vreg(7); // low keys out
+const VKHIGH: Vreg = Vreg(8); // high keys out
+const VPL: Vreg = Vreg(9); // low payloads in
+const VPH: Vreg = Vreg(10); // high payloads in
+const VPLOW: Vreg = Vreg(11); // low payloads out
+const VPHIGH: Vreg = Vreg(12); // high payloads out
+const VT: Vreg = Vreg(13); // scratch
+const VZ: Vreg = Vreg(14); // zero
+const M_DESC: Mreg = Mreg(0); // element sits in a descending block
+const M_SWAP: Mreg = Mreg(1); // pair was exchanged
+
+/// Sorts the `keys`/`vals` pair of `a` ascending by key with a bitonic
+/// network. The result lands back in `a.keys` / `a.vals` (read it with
+/// `a.read_result(m, 0)`).
+///
+/// Stable: keys are augmented with their row index during packing, so
+/// equal keys keep their input order.
+///
+/// # Panics
+///
+/// Panics if `a.n == 0`.
+pub fn bitonic_sort(m: &mut Machine, a: &SortArrays) {
+    assert!(a.n > 0, "empty input");
+    let n2 = a.n.next_power_of_two();
+    if a.n == 1 {
+        return;
+    }
+    let mvl = m.mvl();
+
+    // Pack `key << 32 | row` into an 8-byte padded buffer; the payload
+    // column is copied alongside. Padding packs to u64::MAX, strictly
+    // above every genuine element.
+    let pk = m.space_mut().alloc(8 * n2 as u64, 64);
+    let pv = m.space_mut().alloc(4 * n2 as u64, 64);
+    for start in (0..a.n).step_by(mvl) {
+        let vl = (a.n - start).min(mvl);
+        m.set_vl(vl);
+        let t = m.s_op(0);
+        m.vload_unit(VKL, a.keys + 4 * start as u64, 4, t);
+        m.vbinop_vs(BinOp::Shl, VKL, VKL, 32, None);
+        m.viota(VT, None);
+        m.vbinop_vs(BinOp::Add, VT, VT, start as u64, None);
+        m.vbinop_vv(BinOp::Add, VKL, VKL, VT, None);
+        m.vstore_unit(VKL, pk + 8 * start as u64, 8, t);
+    }
+    copy_region(m, a.vals, pv, a.n);
+    fill_region(m, pk + 8 * a.n as u64, n2 - a.n, u64::MAX, 8);
+    fill_region(m, pv + 4 * a.n as u64, n2 - a.n, 0, 4);
+
+    m.set_vl(mvl);
+    m.vset(VZ, 0, None);
+
+    // The Batcher network: k is the (power-of-two) sorted-run target,
+    // j the butterfly distance within the merge step.
+    let mut k = 2usize;
+    while k <= n2 {
+        let mut j = k / 2;
+        while j >= 1 {
+            phase(m, pk, pv, n2, k, j);
+            j /= 2;
+        }
+        k *= 2;
+    }
+
+    // Unpack: high 32 bits are the key.
+    for start in (0..a.n).step_by(mvl) {
+        let vl = (a.n - start).min(mvl);
+        m.set_vl(vl);
+        let t = m.s_op(0);
+        m.vload_unit(VKL, pk + 8 * start as u64, 8, t);
+        m.vbinop_vs(BinOp::Shr, VKL, VKL, 32, None);
+        m.vstore_unit(VKL, a.keys + 4 * start as u64, 4, t);
+    }
+    copy_region(m, pv, a.vals, a.n);
+}
+
+// One (k, j) phase: every low element m in 0..n2/2 exchanges with its
+// partner at distance j, direction chosen by bit k of its index. Low
+// indices are synthesised from iota with shift/and (j and k are powers
+// of two), so full-MVL strips span block boundaries.
+fn phase(m: &mut Machine, keys: u64, vals: u64, n2: usize, k: usize, j: usize) {
+    let s = j.trailing_zeros() as u64; // log2 j
+    let half = n2 / 2;
+    let mvl = m.mvl();
+    for start in (0..half).step_by(mvl) {
+        let vl = (half - start).min(mvl);
+        if vl != m.vl() {
+            m.set_vl(vl);
+        }
+        let t = m.s_op(0); // strip induction
+
+        // idx_low = ((m >> s) << (s+1)) | (m & (j-1)); idx_high = +j.
+        m.viota(VI, None);
+        m.vbinop_vs(BinOp::Add, VI, VI, start as u64, None);
+        m.vbinop_vs(BinOp::Shr, VT, VI, s, None);
+        m.vbinop_vs(BinOp::Shl, VT, VT, s + 1, None);
+        m.vbinop_vs(BinOp::And, VIDXL, VI, (j - 1) as u64, None);
+        m.vbinop_vv(BinOp::Add, VIDXL, VIDXL, VT, None);
+        m.vbinop_vs(BinOp::Add, VIDXH, VIDXL, j as u64, None);
+
+        // Exchange inputs (keys are the packed 8-byte elements).
+        m.vgather(VKL, keys, VIDXL, 8, None, t);
+        m.vgather(VKH, keys, VIDXH, 8, None, t);
+        m.vgather(VPL, vals, VIDXL, 4, None, t);
+        m.vgather(VPH, vals, VIDXH, 4, None, t);
+
+        // min/max from Table III's `maximum` plus wrapping add/sub.
+        m.vbinop_vv(BinOp::Max, VKMAX, VKL, VKH, None);
+        m.vbinop_vv(BinOp::Add, VT, VKL, VKH, None);
+        m.vbinop_vv(BinOp::Sub, VKMIN, VT, VKMAX, None);
+
+        // Descending blocks are the ones with bit k of the index set.
+        m.vbinop_vs(BinOp::And, VT, VIDXL, k as u64, None);
+        m.vcmp_vs(CmpOp::Nez, M_DESC, VT, 0, None);
+
+        // keys_low = desc ? max : min (and the mirror for keys_high);
+        // unmasked copy then a masked move (add-zero merge).
+        m.vbinop_vs(BinOp::Add, VKLOW, VKMIN, 0, None);
+        m.vbinop_vv(BinOp::Add, VKLOW, VKMAX, VZ, Some(M_DESC));
+        m.vbinop_vs(BinOp::Add, VKHIGH, VKMAX, 0, None);
+        m.vbinop_vv(BinOp::Add, VKHIGH, VKMIN, VZ, Some(M_DESC));
+
+        // Payloads follow their key: packed elements are unique, so the
+        // pair swapped iff the outgoing low element differs from the
+        // incoming one.
+        m.vcmp_vv(CmpOp::Ne, M_SWAP, VKLOW, VKL, None);
+        m.vbinop_vs(BinOp::Add, VPLOW, VPL, 0, None);
+        m.vbinop_vv(BinOp::Add, VPLOW, VPH, VZ, Some(M_SWAP));
+        m.vbinop_vs(BinOp::Add, VPHIGH, VPH, 0, None);
+        m.vbinop_vv(BinOp::Add, VPHIGH, VPL, VZ, Some(M_SWAP));
+
+        // Exchange outputs (indices are disjoint: conflict-free).
+        m.vscatter(VKLOW, keys, VIDXL, 8, None, t);
+        m.vscatter(VKHIGH, keys, VIDXH, 8, None, t);
+        m.vscatter(VPLOW, vals, VIDXL, 4, None, t);
+        m.vscatter(VPHIGH, vals, VIDXH, 4, None, t);
+    }
+}
+
+// Unit-stride vector copy of `n` u32 elements.
+fn copy_region(m: &mut Machine, src: u64, dst: u64, n: usize) {
+    let mvl = m.mvl();
+    for start in (0..n).step_by(mvl) {
+        let vl = (n - start).min(mvl);
+        m.set_vl(vl);
+        let t = m.s_op(0);
+        m.vload_unit(VT, src + 4 * start as u64, 4, t);
+        m.vstore_unit(VT, dst + 4 * start as u64, 4, t);
+    }
+}
+
+// Unit-stride fill of `n` elements of `elem_bytes` with `value`.
+fn fill_region(m: &mut Machine, dst: u64, n: usize, value: u64, elem_bytes: u64) {
+    let mvl = m.mvl();
+    for start in (0..n).step_by(mvl) {
+        let vl = (n - start).min(mvl);
+        m.set_vl(vl);
+        let t = m.s_op(0);
+        m.vset(VT, value, None);
+        m.vstore_unit(VT, dst + elem_bytes * start as u64, elem_bytes, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vagg_sim::SimConfig;
+
+    fn sort_pairs(keys: &[u32], vals: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, keys, vals);
+        bitonic_sort(&mut m, &a);
+        a.read_result(&m, 0)
+    }
+
+    fn check(keys: Vec<u32>) {
+        // Payloads are row indices so the key→payload binding is
+        // verifiable per element.
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let (k, v) = sort_pairs(&keys, &vals);
+        assert!(k.windows(2).all(|w| w[0] <= w[1]), "keys not sorted: {k:?}");
+        // Same multiset of keys.
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(k, expect);
+        // Every payload still names a row whose key matches.
+        for (i, &p) in v.iter().enumerate() {
+            assert_eq!(keys[p as usize], k[i], "payload binding broken at {i}");
+        }
+        // Stability: among equal keys, payloads (input rows) ascend.
+        for w in k.windows(2).zip(v.windows(2)) {
+            let (kw, vw) = w;
+            if kw[0] == kw[1] {
+                assert!(vw[0] < vw[1], "instability at key {}", kw[0]);
+            }
+        }
+        // Payloads are a permutation.
+        let mut vs = v.clone();
+        vs.sort_unstable();
+        let want: Vec<u32> = (0..keys.len() as u32).collect();
+        assert_eq!(vs, want);
+    }
+
+    #[test]
+    fn sorts_a_power_of_two() {
+        check((0..128u32).rev().collect());
+    }
+
+    #[test]
+    fn sorts_non_power_of_two_lengths() {
+        for n in [1usize, 2, 3, 63, 64, 65, 100, 130] {
+            check((0..n as u64).map(|i| ((i * 2_654_435_761) % 97) as u32).collect());
+        }
+    }
+
+    #[test]
+    fn sorts_with_duplicates_and_extremes() {
+        check(vec![5, 5, 5, 0, u32::MAX, 7, u32::MAX, 0, 1]);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        check((0..200u32).collect());
+        check((0..200u32).rev().collect());
+    }
+
+    #[test]
+    fn works_on_small_mvl_machines() {
+        let keys: Vec<u32> = (0..75u32).map(|i| (i * 31) % 19).collect();
+        let vals: Vec<u32> = (0..75).collect();
+        for mvl in [2usize, 4, 8] {
+            let mut m =
+                Machine::new(SimConfig::paper().with_mvl(mvl).with_lanes(1));
+            let a = SortArrays::stage(&mut m, &keys, &vals);
+            bitonic_sort(&mut m, &a);
+            let (k, _) = a.read_result(&m, 0);
+            assert!(k.windows(2).all(|w| w[0] <= w[1]), "mvl={mvl}");
+        }
+    }
+
+    #[test]
+    fn radix_sort_beats_bitonic_in_simulated_cycles() {
+        // The §IV-A claim this module exists to check. Unit-stride
+        // streaming radix vs gather/scatter-heavy O(n log² n) network.
+        let n = 4_096;
+        let keys: Vec<u32> = (0..n as u64)
+            .map(|i| ((i * 2_654_435_761) % 10_000) as u32)
+            .collect();
+        let vals: Vec<u32> = (0..n as u32).collect();
+
+        let mut m1 = Machine::paper();
+        let a1 = SortArrays::stage(&mut m1, &keys, &vals);
+        let passes = crate::radix_sort(&mut m1, &a1, 9_999);
+        let (rk, _) = a1.read_result(&m1, passes);
+
+        let mut m2 = Machine::paper();
+        let a2 = SortArrays::stage(&mut m2, &keys, &vals);
+        bitonic_sort(&mut m2, &a2);
+        let (bk, _) = a2.read_result(&m2, 0);
+
+        assert_eq!(rk, bk, "both sorts must agree");
+        assert!(
+            m1.cycles() * 2 < m2.cycles(),
+            "radix ({}) should beat bitonic ({}) clearly",
+            m1.cycles(),
+            m2.cycles()
+        );
+    }
+}

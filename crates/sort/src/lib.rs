@@ -1,0 +1,31 @@
+//! # vagg-sort
+//!
+//! The two simulated vectorised sorts of the ISCA 2016 aggregation paper:
+//!
+//! * [`radix`] — evasion-style radix sort using only typical vector SIMD
+//!   instructions (replicated histograms + strided input, §IV-A);
+//! * [`vsr`] — VSR sort (HPCA 2015) using VPI/VLU, with single histogram
+//!   and unit-stride input, including the single-pass *partial sort* that
+//!   powers partially sorted monotable (§V-C);
+//! * [`bitonic`] / [`quicksort`] — vectorised bitonic mergesort and
+//!   three-way quicksort, the two comparators §IV-A cites radix sort as
+//!   beating (and the `sorts` bench confirms).
+//!
+//! Both sort `(key, payload)` column pairs held in simulated memory and are
+//! stable — the property the run-detection step of the sorted-reduce
+//! aggregation algorithms relies on.
+
+#![warn(missing_docs)]
+
+pub mod arrays;
+pub mod bitonic;
+pub mod quicksort;
+pub mod radix;
+pub mod scalar;
+pub mod vsr;
+
+pub use arrays::{passes_for_max_key, SortArrays};
+pub use bitonic::bitonic_sort;
+pub use quicksort::quicksort;
+pub use radix::radix_sort;
+pub use vsr::{vsr_partial_pass, vsr_sort};

@@ -1,0 +1,356 @@
+//! Vectorised quicksort — the second sort comparator behind §IV-A.
+//!
+//! §IV-A cites (from the VSR-sort paper, HPCA 2015) that radix sort
+//! "outperforms quicksort and bitonic mergesort when MVL = 64 and
+//! lanes = 4"; [`crate::bitonic`] covers the second comparator and this
+//! module the first. The vectorisable part of quicksort is the
+//! partition: each chunk is classified against the pivot with Table III
+//! comparisons (`x < p ⟺ max(x, p) ≠ x`), split with `compress`, and
+//! streamed out with unit-stride stores. What *cannot* be vectorised is
+//! the control structure — recursion produces ever smaller partitions,
+//! and once a partition drops under the vector length the machine runs
+//! at a fraction of its width (this implementation falls back to a
+//! scalar insertion sort below 2·MVL, which is where quicksort loses the
+//! race on a vector machine).
+//!
+//! Three-way (Dutch-flag) partitioning keeps duplicate-heavy inputs —
+//! the paper's low-cardinality grids — from degenerating quadratically.
+//! Like textbook quicksort this is **not stable**; the sorted-reduce
+//! aggregation path needs stability, which is one more reason §IV-A
+//! rejects it.
+
+use crate::arrays::SortArrays;
+use vagg_isa::conflict::MaskLogic;
+use vagg_isa::{BinOp, CmpOp, Mreg, Vreg};
+use vagg_sim::Machine;
+
+const VK: Vreg = Vreg(0); // keys in
+const VV: Vreg = Vreg(1); // payloads in
+const VMAXP: Vreg = Vreg(2); // max(key, pivot)
+const VCK: Vreg = Vreg(3); // compressed keys
+const VCV: Vreg = Vreg(4); // compressed payloads
+const M_LT: Mreg = Mreg(0); // key < pivot
+const M_GT: Mreg = Mreg(1); // key > pivot
+const M_EQ: Mreg = Mreg(2); // key == pivot
+const M_ALL: Mreg = Mreg(3); // first-VL bits set (scratch)
+
+/// Partitions below which the recursion hands over to a scalar
+/// insertion sort: one full vector chunk cannot pay the pivot/compress
+/// overhead.
+const SCALAR_CUTOFF_VECTORS: usize = 2;
+
+/// Sorts the `keys`/`vals` pair of `a` ascending by key with a
+/// vectorised three-way quicksort. The result lands back in
+/// `a.keys` / `a.vals` (read it with `a.read_result(m, 0)`).
+///
+/// Not stable.
+///
+/// # Panics
+///
+/// Panics if `a.n == 0`.
+pub fn quicksort(m: &mut Machine, a: &SortArrays) {
+    assert!(a.n > 0, "empty input");
+    let mut stack = vec![(0usize, a.n)];
+    let cutoff = SCALAR_CUTOFF_VECTORS * m.mvl();
+    // Scratch for the pivot run's payloads during partitioning.
+    let eq_scratch = m.space_mut().alloc(4 * a.n as u64, 64);
+    while let Some((lo, len)) = stack.pop() {
+        if len <= 1 {
+            continue;
+        }
+        if len <= cutoff {
+            insertion_sort(m, a, lo, len);
+            continue;
+        }
+        let (lt_len, eq_len) = partition(m, a, lo, len, eq_scratch);
+        // Equal-to-pivot run is already in place; recurse on the sides
+        // (larger side pushed first so the stack stays O(log n)).
+        let gt_lo = lo + lt_len + eq_len;
+        let gt_len = len - lt_len - eq_len;
+        if lt_len >= gt_len {
+            stack.push((lo, lt_len));
+            stack.push((gt_lo, gt_len));
+        } else {
+            stack.push((gt_lo, gt_len));
+            stack.push((lo, lt_len));
+        }
+    }
+}
+
+// Median-of-three pivot: three scalar loads plus compare/cmov chains.
+fn pick_pivot(m: &mut Machine, keys: u64, lo: usize, len: usize) -> u32 {
+    let idx = [lo, lo + len / 2, lo + len - 1];
+    let mut vals = [0u32; 3];
+    let mut tok = 0;
+    for (v, &i) in vals.iter_mut().zip(&idx) {
+        let it = m.s_op(0);
+        let (k, kt) = m.s_load_u32(keys + 4 * i as u64, it);
+        *v = k;
+        tok = m.s_op(kt.max(tok));
+    }
+    let _ = tok;
+    vals.sort_unstable();
+    vals[1]
+}
+
+// Three-way partition of [lo, lo+len) against a median-of-three pivot,
+// through the aux buffers: `< pivot` fills from the front, `== pivot`
+// and `> pivot` are buffered per chunk and appended after. Returns
+// (lt_len, eq_len).
+fn partition(
+    m: &mut Machine,
+    a: &SortArrays,
+    lo: usize,
+    len: usize,
+    eq_scratch: u64,
+) -> (usize, usize) {
+    let pivot = pick_pivot(m, a.keys, lo, len) as u64;
+    let mvl = m.mvl();
+
+    // Output cursors in the aux buffers: `<` ascending from lo; `=` and
+    // `>` ascending from scratch offsets past the region (the aux buffer
+    // is n elements; we reuse the same region, writing `=`/`>` behind
+    // the `<` cursor once known — so buffer them densely at the region's
+    // end, then copy into place).
+    let mut lt = 0usize; // `<` count written at aux[lo..]
+    let mut gt = 0usize; // `>` count written from the back of the region
+    let mut eq = 0usize; // `=` count (keys all equal the pivot)
+
+    for start in (lo..lo + len).step_by(mvl) {
+        let vl = (lo + len - start).min(mvl);
+        m.set_vl(vl);
+        let t = m.s_op(0);
+        m.vload_unit(VK, a.keys + 4 * start as u64, 4, t);
+        m.vload_unit(VV, a.vals + 4 * start as u64, 4, t);
+
+        // x < p ⟺ max(x, p) ≠ x; x > p ⟺ max(x, p) ≠ p; equality is
+        // everything else (mask logic on the complements).
+        m.vbinop_vs(BinOp::Max, VMAXP, VK, pivot, None);
+        m.vcmp_vv(CmpOp::Ne, M_LT, VMAXP, VK, None);
+        m.vcmp_vs(CmpOp::Ne, M_GT, VMAXP, pivot, None);
+        m.mset_all(M_ALL);
+        m.mlogic(MaskLogic::AndNot, M_EQ, M_ALL, M_LT);
+        m.mlogic(MaskLogic::AndNot, M_EQ, M_EQ, M_GT);
+
+        // `<` side: compress and append at aux[lo + lt].
+        let (n_lt, _) = m.vcompress(VCK, VK, M_LT);
+        m.vcompress(VCV, VV, M_LT);
+        if n_lt > 0 {
+            m.set_vl(n_lt);
+            let o = 4 * (lo + lt) as u64;
+            m.vstore_unit(VCK, a.aux_keys + o, 4, t);
+            m.vstore_unit(VCV, a.aux_vals + o, 4, t);
+            m.set_vl(vl);
+            lt += n_lt;
+        }
+        // `>` side: compress and fill the region from the back.
+        let (n_gt, _) = m.vcompress(VCK, VK, M_GT);
+        m.vcompress(VCV, VV, M_GT);
+        if n_gt > 0 {
+            m.set_vl(n_gt);
+            let o = 4 * (lo + len - gt - n_gt) as u64;
+            m.vstore_unit(VCK, a.aux_keys + o, 4, t);
+            m.vstore_unit(VCV, a.aux_vals + o, 4, t);
+            m.set_vl(vl);
+            gt += n_gt;
+        }
+        // `=` side: only the payloads need buffering (keys == pivot);
+        // they stream into the dedicated scratch buffer.
+        let (n_eq, _) = m.vcompress(VCV, VV, M_EQ);
+        if n_eq > 0 {
+            m.set_vl(n_eq);
+            m.vstore_unit(VCV, eq_scratch + 4 * eq as u64, 4, t);
+            m.set_vl(vl);
+            eq += n_eq;
+        }
+    }
+    debug_assert_eq!(lt + gt + eq, len);
+
+    // Assemble back into the main buffers: [< | = | >]. The `<` and `>`
+    // runs stream from aux; the `=` run is the pivot broadcast plus the
+    // buffered payloads.
+    copy(m, a.aux_keys, 4 * lo as u64, a.keys, 4 * lo as u64, lt);
+    copy(m, a.aux_vals, 4 * lo as u64, a.vals, 4 * lo as u64, lt);
+    // `=` keys: broadcast the pivot.
+    let mvl = m.mvl();
+    for start in (0..eq).step_by(mvl) {
+        let vl = (eq - start).min(mvl);
+        m.set_vl(vl);
+        let t = m.s_op(0);
+        m.vset(VCK, pivot, None);
+        m.vstore_unit(VCK, a.keys + 4 * (lo + lt + start) as u64, 4, t);
+    }
+    // `=` payloads from the scratch buffer.
+    copy(m, eq_scratch, 0, a.vals, 4 * (lo + lt) as u64, eq);
+    copy(
+        m,
+        a.aux_keys,
+        4 * (lo + len - gt) as u64,
+        a.keys,
+        4 * (lo + lt + eq) as u64,
+        gt,
+    );
+    copy(
+        m,
+        a.aux_vals,
+        4 * (lo + len - gt) as u64,
+        a.vals,
+        4 * (lo + lt + eq) as u64,
+        gt,
+    );
+    (lt, eq)
+}
+
+// Unit-stride vector copy of `n` u32 elements between buffers.
+fn copy(m: &mut Machine, src: u64, src_off: u64, dst: u64, dst_off: u64, n: usize) {
+    let mvl = m.mvl();
+    for start in (0..n).step_by(mvl) {
+        let vl = (n - start).min(mvl);
+        m.set_vl(vl);
+        let t = m.s_op(0);
+        m.vload_unit(VCK, src + src_off + 4 * start as u64, 4, t);
+        m.vstore_unit(VCK, dst + dst_off + 4 * start as u64, 4, t);
+    }
+}
+
+// The scalar tail: classic insertion sort with per-element loads,
+// compares and shifting stores — the serialisation cost small
+// partitions force on quicksort.
+fn insertion_sort(m: &mut Machine, a: &SortArrays, lo: usize, len: usize) {
+    let keys: Vec<u32> =
+        m.space().read_slice_u32(a.keys + 4 * lo as u64, len);
+    let vals: Vec<u32> =
+        m.space().read_slice_u32(a.vals + 4 * lo as u64, len);
+    let mut pairs: Vec<(u32, u32)> =
+        keys.into_iter().zip(vals.into_iter()).collect();
+
+    // Charge the timing model what a scalar insertion sort executes:
+    // per element, the probe loads/compares of its insertion walk plus
+    // the shifting stores.
+    for i in 1..len {
+        let mut j = i;
+        let it = m.s_op(0);
+        let (_, kt) = m.s_load_u32(a.keys + 4 * (lo + i) as u64, it);
+        let mut tok = m.s_op(kt);
+        while j > 0 && pairs[j - 1].0 > pairs[j].0 {
+            let (_, pt) = m.s_load_u32(a.keys + 4 * (lo + j - 1) as u64, tok);
+            tok = m.s_op(pt);
+            m.s_store_u32(a.keys + 4 * (lo + j) as u64, pairs[j - 1].0, tok);
+            m.s_store_u32(a.vals + 4 * (lo + j) as u64, pairs[j - 1].1, tok);
+            pairs.swap(j - 1, j);
+            j -= 1;
+        }
+        m.s_store_u32(a.keys + 4 * (lo + j) as u64, pairs[j].0, tok);
+        m.s_store_u32(a.vals + 4 * (lo + j) as u64, pairs[j].1, tok);
+    }
+
+    // Functional result (the charged stores above wrote intermediate
+    // states; settle the final image).
+    for (i, (k, v)) in pairs.into_iter().enumerate() {
+        m.space_mut().write_u32(a.keys + 4 * (lo + i) as u64, k);
+        m.space_mut().write_u32(a.vals + 4 * (lo + i) as u64, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_pairs(keys: &[u32], vals: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, keys, vals);
+        quicksort(&mut m, &a);
+        a.read_result(&m, 0)
+    }
+
+    fn check(keys: Vec<u32>) {
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let (k, v) = sort_pairs(&keys, &vals);
+        assert!(k.windows(2).all(|w| w[0] <= w[1]), "not sorted: {k:?}");
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(k, expect, "key multiset changed");
+        for (i, &p) in v.iter().enumerate() {
+            assert_eq!(keys[p as usize], k[i], "payload binding broken at {i}");
+        }
+        let mut vs = v.clone();
+        vs.sort_unstable();
+        assert_eq!(vs, (0..keys.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sorts_small_inputs_via_insertion() {
+        check(vec![3]);
+        check(vec![9, 1]);
+        check((0..100u32).rev().collect());
+    }
+
+    #[test]
+    fn sorts_beyond_the_cutoff() {
+        check(
+            (0..2_000u64)
+                .map(|i| ((i * 2_654_435_761) % 500) as u32)
+                .collect(),
+        );
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs_do_not_degenerate() {
+        // All-equal and two-value inputs: the three-way partition puts
+        // the pivot run in place in one pass.
+        check(vec![7; 1_000]);
+        check((0..1_500u32).map(|i| i % 2).collect());
+    }
+
+    #[test]
+    fn sorted_and_reversed_inputs() {
+        check((0..1_000u32).collect());
+        check((0..1_000u32).rev().collect());
+    }
+
+    #[test]
+    fn extreme_keys() {
+        check(vec![u32::MAX, 0, u32::MAX, 5, 0, u32::MAX - 1, 1]);
+    }
+
+    #[test]
+    fn agrees_with_radix_on_key_order() {
+        let keys: Vec<u32> = (0..3_000u64)
+            .map(|i| ((i * 48_271) % 7_919) as u32)
+            .collect();
+        let vals = vec![0u32; keys.len()];
+        let (qk, _) = sort_pairs(&keys, &vals);
+
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, &keys, &vals);
+        let passes = crate::radix_sort(&mut m, &a, 7_918);
+        let (rk, _) = a.read_result(&m, passes);
+        assert_eq!(qk, rk);
+    }
+
+    #[test]
+    fn radix_sort_beats_quicksort_in_simulated_cycles() {
+        // The §IV-A claim: the recursion's shrinking partitions and the
+        // scalar tail cannot compete with radix's fixed pass count.
+        let n = 4_096;
+        let keys: Vec<u32> = (0..n as u64)
+            .map(|i| ((i * 2_654_435_761) % 10_000) as u32)
+            .collect();
+        let vals: Vec<u32> = (0..n as u32).collect();
+
+        let mut m1 = Machine::paper();
+        let a1 = SortArrays::stage(&mut m1, &keys, &vals);
+        crate::radix_sort(&mut m1, &a1, 9_999);
+
+        let mut m2 = Machine::paper();
+        let a2 = SortArrays::stage(&mut m2, &keys, &vals);
+        quicksort(&mut m2, &a2);
+
+        assert!(
+            m1.cycles() < m2.cycles(),
+            "radix ({}) should beat quicksort ({})",
+            m1.cycles(),
+            m2.cycles()
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Vectorised radix sort with *typical* vector SIMD instructions — the
+//! evasion-technique sort of §IV-A (after Zagha & Blelloch, SC'91).
+//!
+//! Two transformations are forced on the algorithm by GMS conflicts, and
+//! both are the bottlenecks the paper calls out:
+//!
+//! 1. **Replicated histograms** — each of the MVL vector elements owns a
+//!    private copy of the digit histogram (`hist[digit][copy]`), so the
+//!    gather-increment-scatter in the counting phase never collides. The
+//!    bookkeeping structure is MVL× larger and thrashes the cache sooner.
+//! 2. **Strided input access** — to keep the sort stable, element `j` must
+//!    process a *contiguous* chunk of the input, which turns the input load
+//!    into a strided access pattern (one cache line per element in the
+//!    worst case) instead of unit-stride.
+//!
+//! The sort is LSD over 8-bit digits, with the pass count trimmed to the
+//! maximum key (§IV-A: radix sort "can be optimised for a particular
+//! maximum group key").
+
+use crate::arrays::{passes_for_max_key, SortArrays};
+use vagg_isa::{BinOp, Mreg, Vreg};
+use vagg_sim::Machine;
+
+const DIGIT_BITS: u32 = 8;
+
+const VK: Vreg = Vreg(0); // keys
+const VD: Vreg = Vreg(1); // digit / histogram index
+const VI: Vreg = Vreg(2); // iota (copy index)
+const VH: Vreg = Vreg(3); // histogram values / offsets
+const VP: Vreg = Vreg(5); // payload
+const VZ: Vreg = Vreg(6); // zero
+
+/// Runs the full sort; returns the number of passes executed (use
+/// [`SortArrays::result_buffers`] to find the output).
+pub fn radix_sort(m: &mut Machine, a: &SortArrays, max_key: u32) -> u32 {
+    let passes = passes_for_max_key(max_key);
+    let mvl = m.mvl();
+    // One replicated histogram, reused across passes.
+    let hist = m.space_mut().alloc(256 * mvl as u64 * 4, 64);
+    for p in 0..passes {
+        let (src_k, src_v) = a.result_buffers(p);
+        let (dst_k, dst_v) = a.result_buffers(p + 1);
+        radix_pass(m, a.n, src_k, src_v, dst_k, dst_v, hist, p * DIGIT_BITS, max_key);
+    }
+    passes
+}
+
+// Active vector length for strided iteration `i`: elements j with
+// j*chunk + i < n form a prefix.
+fn strided_vl(n: usize, chunk: usize, i: usize, mvl: usize) -> usize {
+    if i >= n {
+        return 0;
+    }
+    (((n - 1 - i) / chunk) + 1).min(mvl)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn radix_pass(
+    m: &mut Machine,
+    n: usize,
+    src_k: u64,
+    src_v: u64,
+    dst_k: u64,
+    dst_v: u64,
+    hist: u64,
+    shift: u32,
+    max_key: u32,
+) {
+    let mvl = m.mvl();
+    let chunk = n.div_ceil(mvl);
+    // Digits this pass can produce, trimmed to the maximum key.
+    let r_eff = (((max_key >> shift) as u64) + 1).min(256) as usize;
+    let hist_len = r_eff * mvl;
+
+    // Zero the histogram with unit-stride vector stores.
+    m.set_vl(mvl);
+    m.vset(VZ, 0, None);
+    let mut t = 0;
+    for i in (0..hist_len).step_by(mvl) {
+        let vl = (hist_len - i).min(mvl);
+        if vl != m.vl() {
+            m.set_vl(vl);
+        }
+        t = m.vstore_unit(VZ, hist + 4 * i as u64, 4, t);
+    }
+
+    // Copy index vector (the `j` in hist[digit*MVL + j]), hoisted.
+    m.set_vl(mvl);
+    m.viota(VI, None);
+
+    // Phase 1: replicated histogram build.
+    for i in 0..chunk {
+        let vl = strided_vl(n, chunk, i, mvl);
+        if vl == 0 {
+            break;
+        }
+        m.set_vl(vl);
+        let loop_t = m.s_op(0); // induction/branch overhead
+        m.vload_strided(VK, src_k + 4 * i as u64, 4 * chunk as i64, 4, loop_t);
+        m.vbinop_vs(BinOp::Shr, VD, VK, shift as u64, None);
+        m.vbinop_vs(BinOp::And, VD, VD, 0xFF, None);
+        m.vbinop_vs(BinOp::Mul, VD, VD, mvl as u64, None);
+        m.vbinop_vv(BinOp::Add, VD, VD, VI, None);
+        m.vgather(VH, hist, VD, 4, None, 0);
+        m.vbinop_vs(BinOp::Add, VH, VH, 1, None);
+        m.vscatter(VH, hist, VD, 4, None, 0);
+    }
+
+    // Phase 2: exclusive prefix sum over hist (scalar, sequential chain).
+    let mut running: u32 = 0;
+    let mut tok = 0;
+    for idx in 0..hist_len {
+        let addr = hist + 4 * idx as u64;
+        let (v, lt) = m.s_load_u32(addr, tok);
+        let st = m.s_store_u32(addr, running, lt);
+        tok = m.s_op(st.max(lt)); // running += v
+        running = running.wrapping_add(v);
+    }
+
+    // Phase 3: stable scatter into the destination buffers.
+    for i in 0..chunk {
+        let vl = strided_vl(n, chunk, i, mvl);
+        if vl == 0 {
+            break;
+        }
+        m.set_vl(vl);
+        let loop_t = m.s_op(0);
+        let stride = 4 * chunk as i64;
+        m.vload_strided(VK, src_k + 4 * i as u64, stride, 4, loop_t);
+        m.vload_strided(VP, src_v + 4 * i as u64, stride, 4, loop_t);
+        m.vbinop_vs(BinOp::Shr, VD, VK, shift as u64, None);
+        m.vbinop_vs(BinOp::And, VD, VD, 0xFF, None);
+        m.vbinop_vs(BinOp::Mul, VD, VD, mvl as u64, None);
+        m.vbinop_vv(BinOp::Add, VD, VD, VI, None);
+        m.vgather(VH, hist, VD, 4, None, 0);
+        m.vscatter(VK, dst_k, VH, 4, None, 0);
+        m.vscatter(VP, dst_v, VH, 4, None, 0);
+        m.vbinop_vs(BinOp::Add, VH, VH, 1, None);
+        m.vscatter(VH, hist, VD, 4, None, 0);
+    }
+    let _ = (t, Mreg(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::is_stable_sort_of;
+
+    fn run(keys: Vec<u32>, vals: Vec<u32>) -> (Vec<u32>, Vec<u32>, u64) {
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, &keys, &vals);
+        let max = keys.iter().copied().max().unwrap_or(0);
+        let passes = radix_sort(&mut m, &a, max);
+        let (k, v) = a.read_result(&m, passes);
+        assert!(is_stable_sort_of(&k, &v, &keys, &vals), "not a stable sort");
+        (k, v, m.cycles())
+    }
+
+    #[test]
+    fn sorts_small_single_pass() {
+        let keys = vec![3u32, 1, 4, 1, 5, 9, 2, 6];
+        let vals = vec![0u32, 1, 2, 3, 4, 5, 6, 7];
+        let (k, _, _) = run(keys, vals);
+        assert_eq!(k, vec![1, 1, 2, 3, 4, 5, 6, 9]);
+    }
+
+    #[test]
+    fn sorts_more_than_one_vector() {
+        let n = 1000;
+        let keys: Vec<u32> = (0..n).map(|i| (i * 7919 + 13) % 97).collect();
+        let vals: Vec<u32> = (0..n).collect();
+        run(keys, vals);
+    }
+
+    #[test]
+    fn sorts_multi_pass_large_keys() {
+        let n = 500;
+        let keys: Vec<u32> = (0..n).map(|i| ((i as u64 * 104729 + 7) % 1_000_003) as u32).collect();
+        let vals: Vec<u32> = (0..n).collect();
+        run(keys, vals); // max key ~1e6 → 3 passes
+    }
+
+    #[test]
+    fn n_smaller_than_mvl() {
+        run(vec![5, 2, 9], vec![0, 1, 2]);
+        run(vec![1], vec![0]);
+    }
+
+    #[test]
+    fn all_equal_keys_preserve_order() {
+        let keys = vec![7u32; 200];
+        let vals: Vec<u32> = (0..200).collect();
+        let (_, v, _) = run(keys, vals);
+        assert_eq!(v, (0..200).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn already_sorted_stays_sorted() {
+        let keys: Vec<u32> = (0..300).collect();
+        let vals: Vec<u32> = (0..300).rev().collect();
+        let (k, v, _) = run(keys.clone(), vals.clone());
+        assert_eq!(k, keys);
+        assert_eq!(v, vals);
+    }
+
+    #[test]
+    fn strided_vl_covers_exactly_n() {
+        for n in [1usize, 5, 64, 65, 100, 129, 1000] {
+            let mvl = 64;
+            let chunk = n.div_ceil(mvl);
+            let total: usize =
+                (0..chunk).map(|i| strided_vl(n, chunk, i, mvl)).sum();
+            assert_eq!(total, n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn low_max_key_costs_fewer_cycles_than_high() {
+        let n = 512;
+        let vals: Vec<u32> = (0..n as u32).collect();
+        let small: Vec<u32> = (0..n as u32).map(|i| i % 4).collect();
+        let big: Vec<u32> = (0..n as u32).map(|i| ((i as u64 * 2654435761) % 1_000_000) as u32).collect();
+        let (_, _, c_small) = run(small, vals.clone());
+        let (_, _, c_big) = run(big, vals);
+        assert!(
+            c_small < c_big,
+            "optimised pass trimming should help: {c_small} vs {c_big}"
+        );
+    }
+}

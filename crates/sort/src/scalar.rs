@@ -1,0 +1,122 @@
+//! Host-side reference sort used as a correctness oracle in tests.
+//!
+//! A stable LSD radix sort over `(key, payload)` pairs, matching the
+//! semantics both simulated sorts must reproduce.
+
+/// Stable sort of `keys` with `payload` carried along. Reference only —
+//  performs no simulation.
+pub fn radix_sort_pairs(keys: &mut Vec<u32>, payload: &mut Vec<u32>) {
+    assert_eq!(keys.len(), payload.len());
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let max = keys.iter().copied().max().unwrap_or(0);
+    let mut k_src = std::mem::take(keys);
+    let mut p_src = std::mem::take(payload);
+    let mut k_dst = vec![0u32; n];
+    let mut p_dst = vec![0u32; n];
+    let mut shift = 0u32;
+    while (max >> shift) > 0 || shift == 0 {
+        let mut hist = [0usize; 256];
+        for &k in &k_src {
+            hist[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut sum = 0usize;
+        for h in hist.iter_mut() {
+            let c = *h;
+            *h = sum;
+            sum += c;
+        }
+        for i in 0..n {
+            let d = ((k_src[i] >> shift) & 0xFF) as usize;
+            k_dst[hist[d]] = k_src[i];
+            p_dst[hist[d]] = p_src[i];
+            hist[d] += 1;
+        }
+        std::mem::swap(&mut k_src, &mut k_dst);
+        std::mem::swap(&mut p_src, &mut p_dst);
+        shift += 8;
+        if shift >= 32 {
+            break;
+        }
+    }
+    *keys = k_src;
+    *payload = p_src;
+}
+
+/// Checks that `(keys, payload)` is a stable sort of `(orig_keys,
+/// orig_payload)` (test helper).
+pub fn is_stable_sort_of(
+    keys: &[u32],
+    payload: &[u32],
+    orig_keys: &[u32],
+    orig_payload: &[u32],
+) -> bool {
+    if keys.len() != orig_keys.len() || payload.len() != orig_payload.len() {
+        return false;
+    }
+    if keys.windows(2).any(|w| w[0] > w[1]) {
+        return false;
+    }
+    // Stability + permutation: sorting the originals by key with a stable
+    // host sort must reproduce (keys, payload) exactly.
+    let mut pairs: Vec<(u32, u32)> = orig_keys
+        .iter()
+        .copied()
+        .zip(orig_payload.iter().copied())
+        .collect();
+    pairs.sort_by_key(|&(k, _)| k);
+    pairs
+        .iter()
+        .zip(keys.iter().zip(payload.iter()))
+        .all(|(&(k1, p1), (&k2, &p2))| k1 == k2 && p1 == p2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_is_stable() {
+        let mut k = vec![3u32, 1, 2, 1, 3, 0];
+        let mut p = vec![10u32, 11, 12, 13, 14, 15];
+        let ok = k.clone();
+        let op = p.clone();
+        radix_sort_pairs(&mut k, &mut p);
+        assert_eq!(k, vec![0, 1, 1, 2, 3, 3]);
+        assert_eq!(p, vec![15, 11, 13, 12, 10, 14]);
+        assert!(is_stable_sort_of(&k, &p, &ok, &op));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut k = Vec::new();
+        let mut p = Vec::new();
+        radix_sort_pairs(&mut k, &mut p);
+        assert!(k.is_empty());
+        let mut k = vec![5u32];
+        let mut p = vec![9u32];
+        radix_sort_pairs(&mut k, &mut p);
+        assert_eq!((k[0], p[0]), (5, 9));
+    }
+
+    #[test]
+    fn large_keys_use_all_four_bytes() {
+        let mut k = vec![u32::MAX, 0, 0x8000_0000, 0x7FFF_FFFF];
+        let mut p = vec![0u32, 1, 2, 3];
+        radix_sort_pairs(&mut k, &mut p);
+        assert_eq!(k, vec![0, 0x7FFF_FFFF, 0x8000_0000, u32::MAX]);
+        assert_eq!(p, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn detector_rejects_unsorted_and_unstable() {
+        let ok = [1u32, 1];
+        let op = [0u32, 1];
+        assert!(!is_stable_sort_of(&[2, 1], &[0, 1], &ok, &op));
+        // Swapped payloads of equal keys = unstable.
+        assert!(!is_stable_sort_of(&[1, 1], &[1, 0], &ok, &op));
+        assert!(is_stable_sort_of(&[1, 1], &[0, 1], &ok, &op));
+    }
+}

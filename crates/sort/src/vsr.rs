@@ -1,0 +1,268 @@
+//! VSR sort — the confrontation-technique sort (Hayes et al., HPCA 2015),
+//! used by *advanced sorted reduce* (§V-A) and, in single-pass partial
+//! form, by *partially sorted monotable* (§V-C).
+//!
+//! Unlike the evasion radix sort, VSR sort keeps **one** histogram and
+//! reads its input with efficient **unit-stride** loads. The VPI and VLU
+//! instructions detect and correct would-be GMS conflicts inside the vector
+//! registers before any memory access:
+//!
+//! * the scatter offset of element `i` becomes `hist[digit[i]] + vpi[i]`,
+//!   sending repeated digits to *adjacent* slots instead of colliding;
+//! * the histogram update happens only at VLU-selected last instances,
+//!   incremented by that element's total in-register count (`vpi + 1`).
+
+use crate::arrays::{passes_for_max_key, SortArrays};
+use vagg_isa::{BinOp, Mreg, Vreg};
+use vagg_sim::Machine;
+
+const DIGIT_BITS: u32 = 8;
+
+const VK: Vreg = Vreg(0); // keys
+const VD: Vreg = Vreg(1); // digit
+const VPIV: Vreg = Vreg(2); // prior-instance counts
+const VH: Vreg = Vreg(3); // histogram values / base offsets
+const VO: Vreg = Vreg(4); // corrected offsets
+const VP: Vreg = Vreg(5); // payload
+const VC: Vreg = Vreg(6); // per-digit total counts
+const VZ: Vreg = Vreg(7); // zero
+const M0: Mreg = Mreg(0); // VLU mask
+
+/// Fully sorts the arrays; returns the number of passes executed.
+pub fn vsr_sort(m: &mut Machine, a: &SortArrays, max_key: u32) -> u32 {
+    let passes = passes_for_max_key(max_key);
+    for p in 0..passes {
+        let (src_k, src_v) = a.result_buffers(p);
+        let (dst_k, dst_v) = a.result_buffers(p + 1);
+        let shift = p * DIGIT_BITS;
+        let r_eff = (((max_key >> shift) as u64) + 1).min(1 << DIGIT_BITS) as usize;
+        vsr_pass(m, a.n, src_k, src_v, dst_k, dst_v, shift, DIGIT_BITS, r_eff);
+    }
+    passes
+}
+
+/// One partial pass over bits `[bit_lo, bit_hi)` — the §V-C primitive. The
+/// result lands in the aux buffers (`result_buffers(1)`); it is partitioned
+/// by (and stably ordered within) the selected bit field.
+pub fn vsr_partial_pass(m: &mut Machine, a: &SortArrays, bit_lo: u32, bit_hi: u32, max_key: u32) {
+    assert!(bit_lo < bit_hi && bit_hi <= 32, "bad bit range");
+    let bits = bit_hi - bit_lo;
+    let r_eff = (((max_key >> bit_lo) as u64) + 1).min(1u64 << bits) as usize;
+    vsr_pass(m, a.n, a.keys, a.vals, a.aux_keys, a.aux_vals, bit_lo, bits, r_eff);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn vsr_pass(
+    m: &mut Machine,
+    n: usize,
+    src_k: u64,
+    src_v: u64,
+    dst_k: u64,
+    dst_v: u64,
+    shift: u32,
+    digit_bits: u32,
+    r_eff: usize,
+) {
+    let mvl = m.mvl();
+    let digit_mask = (1u64 << digit_bits) - 1;
+    let hist = m.space_mut().alloc(r_eff as u64 * 4, 64);
+
+    // Zero the (single, unreplicated) histogram.
+    m.set_vl(mvl.min(r_eff));
+    m.vset(VZ, 0, None);
+    let mut t = 0;
+    for i in (0..r_eff).step_by(mvl) {
+        let vl = (r_eff - i).min(mvl);
+        if vl != m.vl() {
+            m.set_vl(vl);
+        }
+        t = m.vstore_unit(VZ, hist + 4 * i as u64, 4, t);
+    }
+    let _ = t;
+
+    // Phase 1: histogram via VPI/VLU (unit-stride input).
+    for start in (0..n).step_by(mvl) {
+        let vl = (n - start).min(mvl);
+        m.set_vl(vl);
+        let loop_t = m.s_op(0);
+        m.vload_unit(VK, src_k + 4 * start as u64, 4, loop_t);
+        m.vbinop_vs(BinOp::Shr, VD, VK, shift as u64, None);
+        m.vbinop_vs(BinOp::And, VD, VD, digit_mask, None);
+        m.vpi(VPIV, VD);
+        m.vlu(M0, VD);
+        m.vbinop_vs(BinOp::Add, VC, VPIV, 1, None); // total in-register count
+        m.vgather(VH, hist, VD, 4, Some(M0), 0);
+        m.vbinop_vv(BinOp::Add, VH, VH, VC, Some(M0));
+        m.vscatter(VH, hist, VD, 4, Some(M0), 0);
+    }
+
+    // Phase 2: exclusive prefix sum over the single histogram (scalar).
+    let mut running: u32 = 0;
+    let mut tok = 0;
+    for idx in 0..r_eff {
+        let addr = hist + 4 * idx as u64;
+        let (v, lt) = m.s_load_u32(addr, tok);
+        let st = m.s_store_u32(addr, running, lt);
+        tok = m.s_op(st.max(lt));
+        running = running.wrapping_add(v);
+    }
+
+    // Phase 3: conflict-corrected scatter.
+    for start in (0..n).step_by(mvl) {
+        let vl = (n - start).min(mvl);
+        m.set_vl(vl);
+        let loop_t = m.s_op(0);
+        m.vload_unit(VK, src_k + 4 * start as u64, 4, loop_t);
+        m.vload_unit(VP, src_v + 4 * start as u64, 4, loop_t);
+        m.vbinop_vs(BinOp::Shr, VD, VK, shift as u64, None);
+        m.vbinop_vs(BinOp::And, VD, VD, digit_mask, None);
+        m.vpi(VPIV, VD);
+        m.vlu(M0, VD);
+        m.vgather(VH, hist, VD, 4, None, 0); // base offsets (read may conflict)
+        m.vbinop_vv(BinOp::Add, VO, VH, VPIV, None); // corrected, now unique
+        m.vscatter(VK, dst_k, VO, 4, None, 0);
+        m.vscatter(VP, dst_v, VO, 4, None, 0);
+        m.vbinop_vs(BinOp::Add, VC, VPIV, 1, None);
+        m.vbinop_vv(BinOp::Add, VH, VH, VC, Some(M0));
+        m.vscatter(VH, hist, VD, 4, Some(M0), 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::is_stable_sort_of;
+
+    fn run(keys: Vec<u32>, vals: Vec<u32>) -> (Vec<u32>, Vec<u32>, u64) {
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, &keys, &vals);
+        let max = keys.iter().copied().max().unwrap_or(0);
+        let passes = vsr_sort(&mut m, &a, max);
+        let (k, v) = a.read_result(&m, passes);
+        assert!(is_stable_sort_of(&k, &v, &keys, &vals), "not a stable sort");
+        (k, v, m.cycles())
+    }
+
+    #[test]
+    fn sorts_with_duplicates_in_one_register() {
+        // The Figure 10 keys contain in-register duplicates — the exact
+        // case VPI/VLU exist for.
+        let keys = vec![7u32, 5, 5, 5, 11, 9, 9, 11];
+        let vals = vec![0u32, 1, 2, 3, 4, 5, 6, 7];
+        let (k, v, _) = run(keys, vals);
+        assert_eq!(k, vec![5, 5, 5, 7, 9, 9, 11, 11]);
+        assert_eq!(v, vec![1, 2, 3, 0, 5, 6, 4, 7]);
+    }
+
+    #[test]
+    fn sorts_multiple_vectors() {
+        let n = 1000u32;
+        let keys: Vec<u32> = (0..n).map(|i| (i * 7919 + 13) % 97).collect();
+        let vals: Vec<u32> = (0..n).collect();
+        run(keys, vals);
+    }
+
+    #[test]
+    fn sorts_multi_pass() {
+        let n = 600u32;
+        let keys: Vec<u32> = (0..n).map(|i| ((i as u64 * 104729 + 7) % 500_009) as u32).collect();
+        let vals: Vec<u32> = (0..n).collect();
+        run(keys, vals);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        run(vec![2, 1], vec![0, 1]);
+        run(vec![9], vec![0]);
+    }
+
+    #[test]
+    fn all_equal_keys_stay_stable() {
+        let keys = vec![42u32; 130];
+        let vals: Vec<u32> = (0..130).collect();
+        let (_, v, _) = run(keys, vals);
+        assert_eq!(v, (0..130).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn vsr_is_cheaper_than_radix_on_random_input() {
+        let n = 2000u32;
+        let keys: Vec<u32> = (0..n).map(|i| ((i as u64 * 2654435761) % 10_000) as u32).collect();
+        let vals: Vec<u32> = (0..n).collect();
+
+        let mut m1 = Machine::paper();
+        let a1 = SortArrays::stage(&mut m1, &keys, &vals);
+        let max = keys.iter().copied().max().unwrap();
+        vsr_sort(&mut m1, &a1, max);
+
+        let mut m2 = Machine::paper();
+        let a2 = SortArrays::stage(&mut m2, &keys, &vals);
+        crate::radix::radix_sort(&mut m2, &a2, max);
+
+        assert!(
+            m1.cycles() < m2.cycles(),
+            "VSR ({}) should beat evasion radix ({})",
+            m1.cycles(),
+            m2.cycles()
+        );
+    }
+
+    #[test]
+    fn partial_pass_partitions_by_top_bits() {
+        let n = 800u32;
+        let keys: Vec<u32> = (0..n).map(|i| (i * 48271) % 4096).collect();
+        let vals: Vec<u32> = (0..n).collect();
+        let max = keys.iter().copied().max().unwrap();
+
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, &keys, &vals);
+        // Partition on bits [8, 12): 16 partitions of 256 keys each.
+        vsr_partial_pass(&mut m, &a, 8, 12, max);
+        let (k, v) = a.read_result(&m, 1);
+
+        // Top bits must be non-decreasing.
+        let top = |x: u32| x >> 8;
+        assert!(k.windows(2).all(|w| top(w[0]) <= top(w[1])));
+        // Within equal top bits, original order preserved (stability):
+        // payload values must be increasing because input payloads were
+        // the row indices.
+        for w in k.windows(2).zip(v.windows(2)) {
+            let (ks, vs) = w;
+            if top(ks[0]) == top(ks[1]) {
+                assert!(vs[0] < vs[1], "instability within partition");
+            }
+        }
+        // And it is a permutation.
+        let mut sk = k.clone();
+        let mut ok = keys.clone();
+        sk.sort_unstable();
+        ok.sort_unstable();
+        assert_eq!(sk, ok);
+    }
+
+    #[test]
+    fn partial_pass_is_cheaper_than_full_sort() {
+        let n = 1500u32;
+        let keys: Vec<u32> = (0..n).map(|i| ((i as u64 * 2654435761) % 1_000_000) as u32).collect();
+        let vals: Vec<u32> = (0..n).collect();
+        let max = keys.iter().copied().max().unwrap();
+
+        let mut m1 = Machine::paper();
+        let a1 = SortArrays::stage(&mut m1, &keys, &vals);
+        vsr_partial_pass(&mut m1, &a1, 12, 20, max);
+
+        let mut m2 = Machine::paper();
+        let a2 = SortArrays::stage(&mut m2, &keys, &vals);
+        vsr_sort(&mut m2, &a2, max);
+
+        assert!(m1.cycles() < m2.cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bit range")]
+    fn partial_pass_validates_bits() {
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, &[1], &[1]);
+        vsr_partial_pass(&mut m, &a, 8, 8, 1);
+    }
+}

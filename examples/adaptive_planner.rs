@@ -1,0 +1,81 @@
+//! Adaptive planner: demonstrates §V-D — the runtime algorithm selection
+//! that gives the paper its 2.7×–7.6× headline. For a few representative
+//! datasets, shows what the realistic policy picks (using only
+//! presortedness metadata + the observed cardinality), what the oracle
+//! would pick, and how the choice compares against running every
+//! algorithm.
+//!
+//! ```text
+//! cargo run --release --example adaptive_planner
+//! ```
+
+use vagg::core::{
+    run_adaptive, run_algorithm, select_algorithm, AdaptiveMode, Algorithm,
+    PlannerInputs,
+};
+use vagg::datagen::{DatasetSpec, Distribution, Division};
+use vagg::sim::SimConfig;
+
+fn main() {
+    let cfg = SimConfig::paper();
+    let n = 50_000;
+    // One dataset per (distribution, division) corner worth showing.
+    let cases = [
+        (Distribution::Uniform, 19u64),
+        (Distribution::Uniform, 78_125),
+        (Distribution::Sorted, 19),
+        (Distribution::Sorted, 78_125),
+        (Distribution::Sequential, 78_125),
+        (Distribution::Zipf, 1_220),
+        (Distribution::HeavyHitter, 625_000),
+    ];
+
+    println!(
+        "{:12} {:>9} {:12} | {:>18} | {:>18} | best-by-measurement",
+        "dist", "c", "division", "realistic pick", "ideal pick"
+    );
+    for (dist, c) in cases {
+        let ds = DatasetSpec::paper(dist, c).with_rows(n).generate();
+        let division = Division::of_cardinality(ds.max_group_key() as u64 + 1);
+        let presorted = dist.is_presorted();
+
+        let inputs = PlannerInputs {
+            presorted,
+            cardinality: ds.max_group_key() as u64 + 1,
+            rows: n,
+            mvl: cfg.mvl,
+        };
+        let realistic = select_algorithm(&inputs, None, AdaptiveMode::Realistic);
+        let ideal = select_algorithm(&inputs, Some(dist), AdaptiveMode::Ideal);
+
+        // Ground truth: measure everything.
+        let mut best = (f64::INFINITY, Algorithm::Scalar);
+        for alg in Algorithm::VECTORISED {
+            let run = run_algorithm(alg, &cfg, &ds);
+            if run.cpt < best.0 {
+                best = (run.cpt, alg);
+            }
+        }
+
+        let run = run_adaptive(&cfg, &ds, AdaptiveMode::Realistic);
+        let marker = if realistic == best.1 { "✓" } else { " " };
+        println!(
+            "{:12} {:>9} {:12} | {:>18} | {:>18} | {} ({:.1} CPT measured, picked {:.1}) {marker}",
+            dist.name(),
+            c,
+            division.name(),
+            realistic.short_name(),
+            ideal.short_name(),
+            best.1.short_name(),
+            best.0,
+            run.cpt,
+        );
+    }
+
+    println!(
+        "\nThe realistic policy needs only DBMS metadata (is the column \
+         sorted?) and the\nmaximum group key — both available at runtime. \
+         The only cells it can miss are\nthe sequential-at-high-cardinality \
+         ‡ cases, which the paper measures as a 1.3%\naverage penalty."
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run the paper's headline query on the simulated vector
+//! machine and compare all six algorithms on one dataset.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vagg::core::{reference, run_algorithm, Algorithm};
+use vagg::datagen::{DatasetSpec, Distribution};
+use vagg::sim::SimConfig;
+
+fn main() {
+    // The paper's query: SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g,
+    // over a column-store relation with a zipf-distributed group column.
+    let ds = DatasetSpec::paper(Distribution::Zipf, 1_220)
+        .with_rows(50_000)
+        .generate();
+    println!(
+        "dataset: {} keys, max cardinality {}, actual cardinality {}, n = {}",
+        ds.spec.distribution.name(),
+        ds.spec.max_cardinality,
+        ds.actual_cardinality(),
+        ds.len()
+    );
+
+    // The machine of §II: MVL = 64, four lockstepped lanes, Westmere-like
+    // core, DDR3-1333 memory, vector loads bypassing the L1.
+    let cfg = SimConfig::paper();
+    let expected = reference(&ds.g, &ds.v);
+
+    println!("\n{:28} {:>10} {:>12}", "algorithm", "CPT", "cycles");
+    let mut scalar_cpt = None;
+    for alg in Algorithm::ALL {
+        let run = run_algorithm(alg, &cfg, &ds);
+        assert_eq!(run.result, expected, "{} produced a wrong answer", alg.name());
+        let speedup = scalar_cpt
+            .map(|s: f64| format!("  ({:.1}x)", s / run.cpt))
+            .unwrap_or_default();
+        println!(
+            "{:28} {:>10.2} {:>12}{speedup}",
+            alg.name(),
+            run.cpt,
+            run.cycles
+        );
+        if alg == Algorithm::Scalar {
+            scalar_cpt = Some(run.cpt);
+        }
+    }
+
+    // Show the top of the result table.
+    let run = run_algorithm(Algorithm::Monotable, &cfg, &ds);
+    println!("\nfirst rows of the result ({} groups total):", run.result.len());
+    println!("{:>8} {:>8} {:>8}", "g", "count", "sum");
+    for i in 0..run.result.len().min(5) {
+        println!(
+            "{:>8} {:>8} {:>8}",
+            run.result.groups[i], run.result.counts[i], run.result.sums[i]
+        );
+    }
+}

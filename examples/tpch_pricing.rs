@@ -1,0 +1,90 @@
+//! TPC-H-flavoured pricing summary — the workload the paper's
+//! introduction motivates ("In the TPC-H decision support benchmark,
+//! aggregations can dominate eight of the twenty-two queries").
+//!
+//! Builds a scaled-down `lineitem` table in the column-store and runs a
+//! Q1-shaped pricing summary (`GROUP BY returnflag`, aggregates over
+//! quantity/price) plus a Q5-shaped per-nation revenue rollup, both as
+//! SQL, and shows what the adaptive planner does with each: `returnflag`
+//! has cardinality 3 (deep `low` division → monotable), while `suppkey`
+//! sits in the tens of thousands (PSM territory when unsorted).
+//!
+//! ```text
+//! cargo run --release --example tpch_pricing
+//! ```
+
+use vagg::datagen::rng::Xoshiro256StarStar;
+use vagg::db::{Database, Table};
+
+fn main() {
+    let n = 60_000usize;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(22);
+
+    // lineitem: returnflag ∈ {0, 1, 2} (A/N/R), linestatus ∈ {0, 1},
+    // quantity ∈ [1, 50], extendedprice ∈ [100, 10_000), suppkey with a
+    // high-normal cardinality.
+    let returnflag: Vec<u32> = (0..n).map(|_| rng.next_below(3) as u32).collect();
+    let linestatus: Vec<u32> = (0..n).map(|_| rng.next_below(2) as u32).collect();
+    let quantity: Vec<u32> = (0..n).map(|_| 1 + rng.next_below(50) as u32).collect();
+    let extendedprice: Vec<u32> =
+        (0..n).map(|_| 100 + rng.next_below(9_900) as u32).collect();
+    let suppkey: Vec<u32> = (0..n).map(|_| rng.next_below(40_000) as u32).collect();
+
+    let mut db = Database::new();
+    db.register(
+        Table::new("lineitem")
+            .with_column("returnflag", returnflag)
+            .with_column("linestatus", linestatus)
+            .with_column("quantity", quantity)
+            .with_column("extendedprice", extendedprice)
+            .with_column("suppkey", suppkey),
+    );
+
+    // Q1-shaped pricing summary: one statement per aggregate column (the
+    // engine aggregates one value column per pass, as the paper's
+    // struct-of-arrays model encourages).
+    println!("== Q1-shaped pricing summary ==");
+    for sql in [
+        "SELECT returnflag, COUNT(*), SUM(quantity), AVG(quantity) \
+         FROM lineitem GROUP BY returnflag",
+        "SELECT returnflag, SUM(extendedprice), AVG(extendedprice) \
+         FROM lineitem GROUP BY returnflag",
+    ] {
+        let out = db.execute_sql(sql).expect("q1 executes");
+        println!("{sql}");
+        println!(
+            "  plan: {}   ({} cycles, {:.2} CPT)",
+            out.report.plan, out.report.cycles, out.report.cpt
+        );
+        for r in &out.rows {
+            let cells: Vec<String> =
+                r.values.iter().map(|v| format!("{v:.1}")).collect();
+            println!("  flag {}: {}", r.group, cells.join(", "));
+        }
+    }
+
+    // Q5-shaped revenue rollup over a *high-cardinality* key: watch the
+    // planner switch to partially sorted monotable.
+    println!("\n== Q5-shaped per-supplier revenue (cardinality ~40,000) ==");
+    let sql = "SELECT suppkey, COUNT(*), SUM(extendedprice) \
+               FROM lineitem WHERE linestatus <> 0 GROUP BY suppkey";
+    let out = db.execute_sql(sql).expect("q5 executes");
+    println!("{sql}");
+    println!(
+        "  plan: {}   ({} of {} rows aggregated, {:.2} CPT)",
+        out.report.plan, out.report.rows_aggregated, n, out.report.cpt
+    );
+    println!(
+        "  {} supplier groups; first: supp {} count {} revenue {}",
+        out.rows.len(),
+        out.rows[0].group,
+        out.rows[0].values[0],
+        out.rows[0].values[1],
+    );
+
+    println!(
+        "\nThe same adaptive policy (§V-D) served both: cardinality 3 \
+         stayed on the\nVGAsum monotable; cardinality ~40,000 triggered the \
+         single-pass VSR partial\nsort before aggregating."
+    );
+}

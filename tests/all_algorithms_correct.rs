@@ -1,0 +1,124 @@
+//! Cross-crate correctness: every algorithm on every distribution at
+//! representative cardinalities must produce exactly the reference
+//! aggregation, and the adaptive selector must match whatever it picks.
+
+use vagg::core::{
+    reference, run_adaptive, run_algorithm, AdaptiveMode, Algorithm,
+};
+use vagg::datagen::{DatasetSpec, Distribution};
+use vagg::sim::SimConfig;
+
+const N: usize = 3_000;
+
+fn check_cell(dist: Distribution, card: u64) {
+    let cfg = SimConfig::paper();
+    let ds = DatasetSpec::paper(dist, card)
+        .with_rows(N)
+        .with_seed(11)
+        .generate();
+    let expect = reference(&ds.g, &ds.v);
+    for alg in Algorithm::ALL {
+        let run = run_algorithm(alg, &cfg, &ds);
+        assert_eq!(
+            run.result,
+            expect,
+            "{} wrong on {} c={}",
+            alg.name(),
+            dist.name(),
+            card
+        );
+        run.result.validate(N).unwrap();
+        assert!(run.cycles > 0);
+    }
+    for mode in [AdaptiveMode::Ideal, AdaptiveMode::Realistic] {
+        let run = run_adaptive(&cfg, &ds, mode);
+        assert_eq!(run.result, expect, "adaptive {mode:?} wrong");
+    }
+}
+
+#[test]
+fn low_cardinality_cells() {
+    for dist in Distribution::ALL {
+        check_cell(dist, 4);
+        check_cell(dist, 76);
+    }
+}
+
+#[test]
+fn low_normal_cells() {
+    for dist in Distribution::ALL {
+        check_cell(dist, 610);
+    }
+}
+
+#[test]
+fn high_normal_cells() {
+    for dist in Distribution::ALL {
+        check_cell(dist, 19_531);
+    }
+}
+
+#[test]
+fn high_cells() {
+    // c >> n: nearly every key unique — vector lengths collapse to 1 in
+    // the sorted-reduce algorithms and VLU masks are all-set. (625,000 is
+    // the first cardinality of the paper's `high` division; larger values
+    // only grow the table-walk loops linearly without new behaviour.)
+    for dist in Distribution::ALL {
+        check_cell(dist, 625_000);
+    }
+}
+
+#[test]
+fn extended_distribution_cells() {
+    // The two Cieslewicz & Ross distributions beyond the paper's grid:
+    // every algorithm must still aggregate them exactly, and the §V-D
+    // planner (which never sees the distribution) must still pick a
+    // correct algorithm.
+    for dist in [Distribution::MovingCluster, Distribution::SelfSimilar] {
+        check_cell(dist, 76);
+        check_cell(dist, 2_441);
+        check_cell(dist, 625_000);
+    }
+}
+
+#[test]
+fn results_deterministic_across_runs() {
+    let cfg = SimConfig::paper();
+    let ds = DatasetSpec::paper(Distribution::Zipf, 1_220)
+        .with_rows(N)
+        .generate();
+    for alg in Algorithm::ALL {
+        let a = run_algorithm(alg, &cfg, &ds);
+        let b = run_algorithm(alg, &cfg, &ds);
+        assert_eq!(a.cycles, b.cycles, "{} cycle count not deterministic", alg.name());
+        assert_eq!(a.result, b.result);
+    }
+}
+
+#[test]
+fn n_not_multiple_of_mvl() {
+    // 3000 % 64 != 0 already, but pin the edge explicitly: n = MVL ± 1.
+    let cfg = SimConfig::paper();
+    for n in [63usize, 64, 65, 127, 129] {
+        let ds = DatasetSpec::paper(Distribution::Uniform, 19)
+            .with_rows(n)
+            .with_seed(5)
+            .generate();
+        let expect = reference(&ds.g, &ds.v);
+        for alg in Algorithm::ALL {
+            let run = run_algorithm(alg, &cfg, &ds);
+            assert_eq!(run.result, expect, "{} wrong at n={n}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn single_row_input() {
+    let cfg = SimConfig::paper();
+    let ds = DatasetSpec::paper(Distribution::Uniform, 4).with_rows(1).generate();
+    let expect = reference(&ds.g, &ds.v);
+    for alg in Algorithm::ALL {
+        assert_eq!(run_algorithm(alg, &cfg, &ds).result, expect);
+    }
+}

@@ -1,0 +1,128 @@
+//! Pins the paper's instruction-level claims using the dynamic
+//! instruction mix ([`vagg_sim::OpMix`]): which instruction classes each
+//! algorithm relies on, and how the average vector length behaves.
+
+use vagg_core::{run_algorithm, Algorithm};
+use vagg_datagen::{DatasetSpec, Distribution};
+use vagg_sim::SimConfig;
+
+fn run(alg: Algorithm, dist: Distribution, card: u64, rows: usize) -> vagg_core::AggRun {
+    let ds = DatasetSpec::paper(dist, card).with_rows(rows).with_seed(11).generate();
+    run_algorithm(alg, &SimConfig::paper(), &ds)
+}
+
+#[test]
+fn scalar_baseline_uses_no_vector_instructions() {
+    let r = run(Algorithm::Scalar, Distribution::Uniform, 1_220, 20_000);
+    assert_eq!(r.mix.vector_ops(), 0);
+    assert_eq!(r.mix.v_mask_ops, 0);
+    // Step 3 does one load of g, one of v, one table load each for count
+    // and sum per tuple — so well over 2 scalar loads/tuple.
+    assert!(r.mix.scalar_loads as usize > 2 * 20_000);
+    assert!(r.mix.scalar_stores as usize > 20_000);
+}
+
+#[test]
+fn monotable_is_built_on_cam_gather_scatter() {
+    let r = run(Algorithm::Monotable, Distribution::Uniform, 1_220, 20_000);
+    // Figure 15's loop: VGAsum + VLU per block → ≥ 2 CAM ops per MVL
+    // elements; a masked gather and scatter per block.
+    let blocks = (20_000 / 64) as u64;
+    assert!(r.mix.v_cam >= 2 * blocks, "cam={} blocks={blocks}", r.mix.v_cam);
+    assert!(r.mix.v_gathers >= blocks);
+    assert!(r.mix.v_scatters >= blocks);
+    // No algorithm transformation: the input is streamed unit-stride, never
+    // strided.
+    assert_eq!(r.mix.v_strided_loads, 0);
+    // The tuple stream dominates: two unit loads (g, v) per block.
+    assert!(r.mix.v_unit_loads >= 2 * blocks);
+}
+
+#[test]
+fn radix_sort_pays_the_strided_transformation_cost() {
+    // §IV-A: "the input must be loaded into a vector register using a
+    // strided memory access pattern in lieu of a unit-stride one."
+    let ssr = run(Algorithm::StandardSortedReduce, Distribution::Uniform, 1_220, 20_000);
+    assert!(
+        ssr.mix.v_strided_loads > 0,
+        "vectorised radix sort must stream its input strided for stability"
+    );
+
+    // §V-A: VSR sort "processes the input arrays sequentially" —
+    // unit-stride, no strided loads at all.
+    let asr = run(Algorithm::AdvancedSortedReduce, Distribution::Uniform, 1_220, 20_000);
+    assert_eq!(asr.mix.v_strided_loads, 0);
+    assert!(asr.mix.v_cam > 0, "VSR sort is built on VPI/VLU");
+}
+
+#[test]
+fn polytable_avoids_cam_entirely() {
+    // Polytable is the evasion technique: typical SIMD only.
+    let r = run(Algorithm::Polytable, Distribution::Uniform, 76, 20_000);
+    assert_eq!(r.mix.v_cam, 0);
+    // Table replication is updated through gather/scatter on per-element
+    // copies.
+    assert!(r.mix.v_gathers > 0);
+    assert!(r.mix.v_scatters > 0);
+}
+
+#[test]
+fn sorted_reduce_average_vector_length_collapses_at_high_cardinality() {
+    // §V-A: "when c = 10,000,000 the vector length of every reduction is
+    // 1 and this reduces performance considerably". At c = n every group
+    // is (nearly) unique, so the segmented reductions run at VL ≈ 1 and
+    // the run average collapses relative to a low-cardinality input.
+    let rows = 20_000;
+    let low = run(Algorithm::AdvancedSortedReduce, Distribution::Uniform, 76, rows);
+    let high = run(Algorithm::AdvancedSortedReduce, Distribution::Uniform, 10_000_000, rows);
+    assert!(
+        high.mix.avg_vl() < low.mix.avg_vl() * 0.8,
+        "avg VL should collapse: low-c {:.1} vs high-c {:.1}",
+        low.mix.avg_vl(),
+        high.mix.avg_vl()
+    );
+    // And specifically the reduction count explodes (one per run of
+    // repeated keys, ~n runs at c = n).
+    assert!(high.mix.v_reductions > low.mix.v_reductions * 4);
+}
+
+#[test]
+fn scatter_add_comparator_uses_the_memory_side_instruction() {
+    let r = run(Algorithm::ScatterAddMonotable, Distribution::Uniform, 1_220, 20_000);
+    assert!(r.mix.v_scatter_adds > 0);
+    // No CAM hardware in the scatter-add world (§VI-B).
+    assert_eq!(r.mix.v_cam, 0);
+}
+
+#[test]
+fn cdi_comparator_retries_instead_of_using_the_cam() {
+    let cdi = run(Algorithm::CdiMonotable, Distribution::Uniform, 1_220, 20_000);
+    assert_eq!(cdi.mix.v_cam, 0, "CDI-style loop must not use VPI/VLU/VGAx");
+    assert!(cdi.mix.v_mask_ops > 0, "retry loop is mask-driven");
+
+    // §VI-B: on skewed input the retry loop re-issues the gather-modify-
+    // scatter, so CDI executes strictly more gathers than monotable.
+    let rows = 20_000;
+    let mono = run(Algorithm::Monotable, Distribution::HeavyHitter, 1_220, rows);
+    let cdi = run(Algorithm::CdiMonotable, Distribution::HeavyHitter, 1_220, rows);
+    assert!(
+        cdi.mix.v_gathers > mono.mix.v_gathers,
+        "retries should inflate gathers: cdi={} mono={}",
+        cdi.mix.v_gathers,
+        mono.mix.v_gathers
+    );
+}
+
+#[test]
+fn vector_algorithms_execute_far_fewer_dynamic_ops_than_scalar() {
+    // The DLP premise: one vector instruction does MVL elements of work.
+    let rows = 20_000;
+    let scalar = run(Algorithm::Scalar, Distribution::Uniform, 1_220, rows);
+    let mono = run(Algorithm::Monotable, Distribution::Uniform, 1_220, rows);
+    let scalar_total = scalar.mix.scalar_ops();
+    let mono_total = mono.mix.scalar_ops() + mono.mix.vector_ops() + mono.mix.v_mask_ops;
+    assert!(
+        mono_total * 4 < scalar_total,
+        "monotable ops {mono_total} vs scalar {scalar_total}"
+    );
+}

@@ -1,0 +1,172 @@
+//! Timing-model invariants across the whole stack: determinism,
+//! monotonicity in machine resources, and the configuration sensitivities
+//! the paper relies on.
+
+use vagg::core::{run_algorithm, Algorithm};
+use vagg::datagen::{DatasetSpec, Distribution};
+use vagg::isa::{RedOp, Vreg};
+use vagg::sim::{Machine, SimConfig};
+
+fn cpt_with(cfg: &SimConfig, alg: Algorithm) -> f64 {
+    let ds = DatasetSpec::paper(Distribution::Uniform, 1_220)
+        .with_rows(10_000)
+        .with_seed(9)
+        .generate();
+    run_algorithm(alg, cfg, &ds).cpt
+}
+
+#[test]
+fn larger_mvl_amortises_per_instruction_overhead() {
+    // Long runs of a presorted input are consumed MVL elements per
+    // reduction: a wider machine amortises the per-segment overhead.
+    // (Polytable is the opposite: its table replication *grows* with MVL —
+    // that trade-off is the ablation_mvl bench.)
+    let ds = DatasetSpec::paper(Distribution::Sorted, 76)
+        .with_rows(20_000)
+        .with_seed(9)
+        .generate();
+    let small = run_algorithm(
+        Algorithm::StandardSortedReduce,
+        &SimConfig::paper().with_mvl(8),
+        &ds,
+    )
+    .cpt;
+    let big = run_algorithm(
+        Algorithm::StandardSortedReduce,
+        &SimConfig::paper().with_mvl(64),
+        &ds,
+    )
+    .cpt;
+    assert!(
+        big < small,
+        "MVL 64 ({big:.2}) should beat MVL 8 ({small:.2}) for sorted reduce"
+    );
+}
+
+#[test]
+fn polytable_replication_cost_grows_with_mvl() {
+    // The §IV-B pathology: the replicated tables are MVL× larger, so at
+    // moderate cardinality a *wider* machine makes polytable slower.
+    let small = cpt_with(&SimConfig::paper().with_mvl(8), Algorithm::Polytable);
+    let big = cpt_with(&SimConfig::paper().with_mvl(64), Algorithm::Polytable);
+    assert!(
+        big > small,
+        "MVL 64 ({big:.2}) should pay more replication cost than MVL 8 ({small:.2})"
+    );
+}
+
+#[test]
+fn mvl_does_not_change_results() {
+    let ds = DatasetSpec::paper(Distribution::Zipf, 610)
+        .with_rows(5_000)
+        .generate();
+    let r64 = run_algorithm(Algorithm::Monotable, &SimConfig::paper(), &ds);
+    let r16 = run_algorithm(
+        Algorithm::Monotable,
+        &SimConfig::paper().with_mvl(16),
+        &ds,
+    );
+    let r256 = run_algorithm(
+        Algorithm::Monotable,
+        &SimConfig::paper().with_mvl(256),
+        &ds,
+    );
+    assert_eq!(r64.result, r16.result);
+    assert_eq!(r64.result, r256.result);
+}
+
+#[test]
+fn more_cam_ports_never_slow_monotable() {
+    let mut last = f64::INFINITY;
+    for ports in [1usize, 2, 4, 8] {
+        let c = cpt_with(
+            &SimConfig::paper().with_cam_ports(ports),
+            Algorithm::Monotable,
+        );
+        assert!(
+            c <= last * 1.01,
+            "ports={ports} regressed: {c:.2} > {last:.2}"
+        );
+        last = c;
+    }
+}
+
+#[test]
+fn more_lanes_speed_up_vector_work() {
+    let two = cpt_with(&SimConfig::paper().with_lanes(2), Algorithm::Polytable);
+    let eight = cpt_with(&SimConfig::paper().with_lanes(8), Algorithm::Polytable);
+    assert!(
+        eight < two,
+        "8 lanes ({eight:.2}) should beat 2 lanes ({two:.2})"
+    );
+}
+
+#[test]
+fn l1_bypass_config_changes_timing_but_not_results() {
+    let ds = DatasetSpec::paper(Distribution::Uniform, 610)
+        .with_rows(5_000)
+        .generate();
+    let mut cfg_no = SimConfig::paper();
+    cfg_no.mem.l1_bypass_vector = false;
+    let with = run_algorithm(Algorithm::Monotable, &SimConfig::paper(), &ds);
+    let without = run_algorithm(Algorithm::Monotable, &cfg_no, &ds);
+    assert_eq!(with.result, without.result);
+    assert_ne!(with.cycles, without.cycles);
+}
+
+#[test]
+fn cycle_accounting_is_exactly_reproducible() {
+    let build = || {
+        let mut m = Machine::paper();
+        let data: Vec<u32> = (0..256).collect();
+        let base = m.space_mut().alloc_slice_u32(&data);
+        m.set_vl(64);
+        for i in 0..4 {
+            m.vload_unit(Vreg(0), base + i * 256, 4, 0);
+            let _ = m.vred(RedOp::Sum, Vreg(0), None);
+        }
+        m.cycles()
+    };
+    assert_eq!(build(), build());
+}
+
+#[test]
+fn vector_length_scales_op_cost() {
+    let mut m = Machine::paper();
+    m.set_vl(64);
+    m.viota(Vreg(0), None);
+    let t0 = m.cycles();
+    for _ in 0..100 {
+        m.vbinop_vs(vagg::isa::BinOp::Add, Vreg(1), Vreg(0), 1, None);
+    }
+    let full = m.cycles() - t0;
+
+    let mut m = Machine::paper();
+    m.set_vl(8);
+    m.viota(Vreg(0), None);
+    let t0 = m.cycles();
+    for _ in 0..100 {
+        m.vbinop_vs(vagg::isa::BinOp::Add, Vreg(1), Vreg(0), 1, None);
+    }
+    let short = m.cycles() - t0;
+    assert!(
+        short < full / 2,
+        "VL=8 chain ({short}) should be far cheaper than VL=64 ({full})"
+    );
+}
+
+#[test]
+fn memory_stats_flow_through() {
+    let mut m = Machine::paper();
+    let data: Vec<u32> = (0..1024).collect();
+    let base = m.space_mut().alloc_slice_u32(&data);
+    m.set_vl(64);
+    for i in 0..16u64 {
+        m.vload_unit(Vreg(0), base + i * 256, 4, 0);
+    }
+    let s = m.stats();
+    assert!(s.mem.l2.accesses >= 64, "vector loads must hit the L2 path");
+    assert_eq!(s.mem.l1.accesses, 0, "vector loads must bypass the L1");
+    assert!(s.mem.dram.requests > 0, "cold data must come from DRAM");
+    assert!(s.ops >= 17);
+}

@@ -1,0 +1,79 @@
+//! Property-based tests: all six algorithms agree with the hash-map
+//! reference on arbitrary inputs — arbitrary key skew, arbitrary value
+//! data, arbitrary lengths (including non-multiples of MVL).
+
+use proptest::prelude::*;
+use vagg::core::{reference, Algorithm, StagedInput};
+use vagg::sim::Machine;
+
+fn columns() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    // Keys in a modest domain so collisions are common; lengths 1..300.
+    (1usize..300).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u32..500, n),
+            prop::collection::vec(0u32..10, n),
+        )
+    })
+}
+
+fn run(alg: Algorithm, g: &[u32], v: &[u32], presorted: bool) {
+    let mut m = Machine::paper();
+    let input = StagedInput::stage_raw(&mut m, g, v, presorted);
+    let (result, _) = alg.execute(&mut m, &input);
+    assert_eq!(result, reference(g, v), "{} diverged", alg.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scalar_matches_reference((g, v) in columns()) {
+        run(Algorithm::Scalar, &g, &v, false);
+    }
+
+    #[test]
+    fn polytable_matches_reference((g, v) in columns()) {
+        run(Algorithm::Polytable, &g, &v, false);
+    }
+
+    #[test]
+    fn monotable_matches_reference((g, v) in columns()) {
+        run(Algorithm::Monotable, &g, &v, false);
+    }
+
+    #[test]
+    fn standard_sorted_reduce_matches_reference((g, v) in columns()) {
+        run(Algorithm::StandardSortedReduce, &g, &v, false);
+    }
+
+    #[test]
+    fn advanced_sorted_reduce_matches_reference((g, v) in columns()) {
+        run(Algorithm::AdvancedSortedReduce, &g, &v, false);
+    }
+
+    #[test]
+    fn psm_matches_reference((g, v) in columns()) {
+        run(Algorithm::PartiallySortedMonotable, &g, &v, false);
+    }
+
+    #[test]
+    fn presorted_path_matches_reference((g, v) in columns()) {
+        let mut g = g;
+        g.sort_unstable();
+        for alg in Algorithm::ALL {
+            run(alg, &g, &v, true);
+        }
+    }
+
+    #[test]
+    fn wide_key_domain((g, v) in (1usize..200).prop_flat_map(|n| (
+        prop::collection::vec(0u32..300_000, n),
+        prop::collection::vec(0u32..10, n),
+    ))) {
+        // Sparse keys: exercises table clearing/compaction over huge
+        // ranges and the multi-pass sorts.
+        run(Algorithm::Monotable, &g, &v, false);
+        run(Algorithm::AdvancedSortedReduce, &g, &v, false);
+        run(Algorithm::PartiallySortedMonotable, &g, &v, false);
+    }
+}

@@ -1,0 +1,252 @@
+//! Property-based tests over *machine configurations*: the algorithms
+//! must stay correct — and the timing model sane — for any MVL / lane
+//! count / CAM port count, not just the paper's MVL = 64, lanes = 4
+//! point. This is the configuration space the paper's §II simulator
+//! exposes as parameters.
+
+use proptest::prelude::*;
+use vagg::core::{reference, Algorithm, StagedInput};
+use vagg::sim::{Machine, SimConfig};
+
+fn config() -> impl Strategy<Value = SimConfig> {
+    (
+        prop::sample::select(vec![8usize, 16, 32, 64, 128]),
+        prop::sample::select(vec![1usize, 2, 4, 8]),
+        prop::sample::select(vec![1usize, 2, 4, 8]),
+    )
+        .prop_map(|(mvl, lanes, ports)| {
+            SimConfig::paper()
+                .with_mvl(mvl)
+                .with_lanes(lanes)
+                .with_cam_ports(ports)
+        })
+}
+
+fn columns() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (1usize..220).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u32..300, n),
+            prop::collection::vec(0u32..10, n),
+        )
+    })
+}
+
+fn run(cfg: &SimConfig, alg: Algorithm, g: &[u32], v: &[u32]) -> u64 {
+    let mut m = Machine::new(cfg.clone());
+    let input = StagedInput::stage_raw(&mut m, g, v, false);
+    let (result, _) = alg.execute(&mut m, &input);
+    assert_eq!(
+        result,
+        reference(g, v),
+        "{} diverged at mvl={} lanes={} ports={}",
+        alg.name(),
+        cfg.mvl,
+        cfg.lanes,
+        cfg.cam_ports
+    );
+    m.cycles()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn monotable_correct_on_any_config(
+        cfg in config(),
+        (g, v) in columns(),
+    ) {
+        run(&cfg, Algorithm::Monotable, &g, &v);
+    }
+
+    #[test]
+    fn polytable_correct_on_any_config(
+        cfg in config(),
+        (g, v) in columns(),
+    ) {
+        run(&cfg, Algorithm::Polytable, &g, &v);
+    }
+
+    #[test]
+    fn sorted_reduce_correct_on_any_config(
+        cfg in config(),
+        (g, v) in columns(),
+    ) {
+        run(&cfg, Algorithm::StandardSortedReduce, &g, &v);
+        run(&cfg, Algorithm::AdvancedSortedReduce, &g, &v);
+    }
+
+    #[test]
+    fn psm_correct_on_any_config(
+        cfg in config(),
+        (g, v) in columns(),
+    ) {
+        run(&cfg, Algorithm::PartiallySortedMonotable, &g, &v);
+    }
+
+    #[test]
+    fn cycles_positive_and_deterministic(
+        cfg in config(),
+        (g, v) in columns(),
+    ) {
+        let a = run(&cfg, Algorithm::Monotable, &g, &v);
+        let b = run(&cfg, Algorithm::Monotable, &g, &v);
+        prop_assert!(a > 0);
+        prop_assert_eq!(a, b, "timing must be deterministic");
+    }
+
+    #[test]
+    fn more_lanes_never_slow_cam_free_kernels(
+        (g, v) in columns(),
+    ) {
+        // Lane scaling monotonicity for an elementwise-dominated kernel:
+        // polytable (no CAM instructions). Going from 1 to 8 lanes must
+        // not make it slower — FU occupancy is ceil(VL/lanes).
+        let slow = run(
+            &SimConfig::paper().with_lanes(1),
+            Algorithm::Polytable,
+            &g,
+            &v,
+        );
+        let fast = run(
+            &SimConfig::paper().with_lanes(8),
+            Algorithm::Polytable,
+            &g,
+            &v,
+        );
+        prop_assert!(
+            fast <= slow,
+            "8 lanes slower than 1 lane: {} vs {}",
+            fast,
+            slow
+        );
+    }
+
+    #[test]
+    fn more_cam_ports_never_slow_monotable(
+        (g, v) in columns(),
+    ) {
+        // CAM port scaling: conflict-free slices of p adjacent elements
+        // proceed in parallel, so more ports can only help VGAx/VLU.
+        let slow = run(
+            &SimConfig::paper().with_cam_ports(1),
+            Algorithm::Monotable,
+            &g,
+            &v,
+        );
+        let fast = run(
+            &SimConfig::paper().with_cam_ports(8),
+            Algorithm::Monotable,
+            &g,
+            &v,
+        );
+        prop_assert!(
+            fast <= slow,
+            "8 CAM ports slower than 1: {} vs {}",
+            fast,
+            slow
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn multicore_correct_for_any_thread_count(
+        (g, v) in columns(),
+        threads in 1usize..12,
+    ) {
+        let run = vagg::core::multicore_scalar_aggregate(
+            &SimConfig::paper(),
+            &g,
+            &v,
+            threads,
+            false,
+        );
+        prop_assert_eq!(run.result, reference(&g, &v));
+        prop_assert_eq!(
+            run.cycles,
+            run.parallel_cycles + run.merge_cycles
+        );
+    }
+}
+
+/// Deterministic edge cases that proptest's generator may not hit.
+mod edges {
+    use super::*;
+
+    fn all_algorithms(g: &[u32], v: &[u32]) {
+        for alg in Algorithm::ALL {
+            run(&SimConfig::paper(), alg, g, v);
+        }
+    }
+
+    #[test]
+    fn single_row() {
+        all_algorithms(&[42], &[7]);
+    }
+
+    #[test]
+    fn exactly_one_vector() {
+        let g: Vec<u32> = (0..64).map(|i| i % 5).collect();
+        let v = vec![1u32; 64];
+        all_algorithms(&g, &v);
+    }
+
+    #[test]
+    fn one_more_than_a_vector() {
+        let g: Vec<u32> = (0..65).map(|i| i % 5).collect();
+        let v = vec![1u32; 65];
+        all_algorithms(&g, &v);
+    }
+
+    #[test]
+    fn one_less_than_a_vector() {
+        let g: Vec<u32> = (0..63).collect();
+        let v = vec![2u32; 63];
+        all_algorithms(&g, &v);
+    }
+
+    #[test]
+    fn all_rows_one_group() {
+        all_algorithms(&[9; 130], &[3; 130]);
+    }
+
+    #[test]
+    fn sparse_keys_with_large_gaps() {
+        // Key domain far larger than the distinct key count: tables are
+        // mostly NULL rows and compaction does the work.
+        let g = vec![0u32, 5_000, 10_000, 5_000, 0];
+        let v = vec![1u32, 2, 3, 4, 5];
+        all_algorithms(&g, &v);
+    }
+
+    #[test]
+    fn tiny_mvl_machines_work() {
+        // MVL = 1 degenerates every vector loop to scalar-shaped strips;
+        // MVL = 2 exercises inter-chunk carry logic hard.
+        let g: Vec<u32> = (0..50).map(|i| i % 7).collect();
+        let v: Vec<u32> = (0..50).map(|i| i % 10).collect();
+        for mvl in [1usize, 2, 4] {
+            let cfg = SimConfig::paper().with_mvl(mvl).with_lanes(1);
+            for alg in [
+                Algorithm::Scalar,
+                Algorithm::Polytable,
+                Algorithm::Monotable,
+                Algorithm::StandardSortedReduce,
+                Algorithm::AdvancedSortedReduce,
+                Algorithm::PartiallySortedMonotable,
+            ] {
+                run(&cfg, alg, &g, &v);
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_exceeding_mvl_work() {
+        let cfg = SimConfig::paper().with_mvl(4).with_lanes(8);
+        let g: Vec<u32> = (0..40).map(|i| i % 3).collect();
+        let v = vec![1u32; 40];
+        run(&cfg, Algorithm::Monotable, &g, &v);
+    }
+}

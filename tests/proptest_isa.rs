@@ -1,0 +1,156 @@
+//! Property-based tests for the ISA layer: the irregular-DLP instructions
+//! against O(VL²) oracles, permutative inverses, reduction/fold agreement
+//! and CAM timing bounds.
+
+use proptest::prelude::*;
+use vagg::isa::exec::{self, BinOp, RedOp};
+use vagg::isa::irregular::{vga_sum, vlu, vpi};
+use vagg::isa::cam::cam_cycles;
+
+fn keyvec() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..32, 1..=64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vpi_matches_quadratic_oracle(keys in keyvec()) {
+        let vl = keys.len();
+        let got = vpi(&keys, vl, 4).value;
+        for i in 0..vl {
+            let expect = keys[..i].iter().filter(|&&k| k == keys[i]).count() as u64;
+            prop_assert_eq!(got[i], expect);
+        }
+    }
+
+    #[test]
+    fn vlu_matches_quadratic_oracle(keys in keyvec()) {
+        let vl = keys.len();
+        let got = vlu(&keys, vl, 4).value;
+        for i in 0..vl {
+            prop_assert_eq!(got[i], !keys[i + 1..vl].contains(&keys[i]));
+        }
+    }
+
+    #[test]
+    fn vlu_selects_exactly_the_distinct_keys(keys in keyvec()) {
+        let vl = keys.len();
+        let mask = vlu(&keys, vl, 4).value;
+        let distinct: std::collections::HashSet<u64> =
+            keys.iter().copied().collect();
+        let set = mask.iter().take(vl).filter(|&&b| b).count();
+        prop_assert_eq!(set, distinct.len());
+    }
+
+    #[test]
+    fn vgasum_running_totals(keys in keyvec(), seed in 0u64..1000) {
+        let vl = keys.len();
+        let vals: Vec<u64> = (0..vl as u64).map(|i| (i * 7 + seed) % 100).collect();
+        let got = vga_sum(&keys, &vals, vl, 4).value;
+        // Inclusive running sum per group.
+        for i in 0..vl {
+            let expect: u64 = (0..=i)
+                .filter(|&j| keys[j] == keys[i])
+                .map(|j| vals[j])
+                .sum();
+            prop_assert_eq!(got[i], expect);
+        }
+    }
+
+    #[test]
+    fn vgasum_at_last_instance_is_group_total(keys in keyvec()) {
+        // The monotable invariant: at VLU positions, VGAsum holds the
+        // whole in-register group aggregate.
+        let vl = keys.len();
+        let vals = vec![1u64; vl];
+        let sums = vga_sum(&keys, &vals, vl, 4).value;
+        let last = vlu(&keys, vl, 4).value;
+        for i in 0..vl {
+            if last[i] {
+                let total = keys[..vl].iter().filter(|&&k| k == keys[i]).count() as u64;
+                prop_assert_eq!(sums[i], total);
+            }
+        }
+    }
+
+    #[test]
+    fn cam_cycles_bounds(keys in keyvec(), ports in 1usize..=8) {
+        let vl = keys.len();
+        let c = cam_cycles(&keys, vl, ports);
+        // Between perfect packing and full serialisation.
+        let best = 2 * vl.div_ceil(ports) as u64;
+        let worst = 2 * vl as u64;
+        prop_assert!(c >= best && c <= worst, "{c} not in [{best}, {worst}]");
+    }
+
+    #[test]
+    fn more_ports_never_hurt(keys in keyvec()) {
+        let vl = keys.len();
+        let mut last = u64::MAX;
+        for p in [1usize, 2, 4, 8] {
+            let c = cam_cycles(&keys, vl, p);
+            prop_assert!(c <= last, "p={p} regressed: {c} > {last}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn compress_expand_inverse(vals in prop::collection::vec(0u64..1000, 1..=64),
+                               maskbits in prop::collection::vec(any::<bool>(), 64)) {
+        let vl = vals.len();
+        let mask = &maskbits[..vl];
+        let mut packed = vec![0u64; vl];
+        let k = exec::compress(&mut packed, &vals, mask, vl);
+        prop_assert_eq!(k, mask.iter().filter(|&&b| b).count());
+        let mut restored = vec![0u64; vl];
+        let consumed = exec::expand(&mut restored, &packed, mask, vl);
+        prop_assert_eq!(consumed, k);
+        for i in 0..vl {
+            if mask[i] {
+                prop_assert_eq!(restored[i], vals[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_agrees_with_fold(vals in prop::collection::vec(any::<u64>(), 1..=64)) {
+        let vl = vals.len();
+        let sum = exec::reduce(RedOp::Sum, &vals, vl, None);
+        let expect = vals.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+        prop_assert_eq!(sum, expect);
+        prop_assert_eq!(exec::reduce(RedOp::Max, &vals, vl, None),
+                        vals.iter().copied().max().unwrap());
+        prop_assert_eq!(exec::reduce(RedOp::Min, &vals, vl, None),
+                        vals.iter().copied().min().unwrap());
+    }
+
+    #[test]
+    fn binops_elementwise(a in prop::collection::vec(any::<u64>(), 8),
+                          b in prop::collection::vec(any::<u64>(), 8)) {
+        let mut d = vec![0u64; 8];
+        exec::binop_vv(BinOp::Add, &mut d, &a, &b, 8, None);
+        for i in 0..8 {
+            prop_assert_eq!(d[i], a[i].wrapping_add(b[i]));
+        }
+        exec::binop_vv(BinOp::Max, &mut d, &a, &b, 8, None);
+        for i in 0..8 {
+            prop_assert_eq!(d[i], a[i].max(b[i]));
+        }
+    }
+
+    #[test]
+    fn masked_ops_do_not_touch_inactive_lanes(
+        a in prop::collection::vec(any::<u64>(), 16),
+        maskbits in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        let sentinel = 0xDEAD_BEEFu64;
+        let mut d = vec![sentinel; 16];
+        exec::binop_vs(BinOp::Add, &mut d, &a, 1, 16, Some(&maskbits));
+        for i in 0..16 {
+            if !maskbits[i] {
+                prop_assert_eq!(d[i], sentinel);
+            }
+        }
+    }
+}

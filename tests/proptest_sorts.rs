@@ -1,0 +1,148 @@
+//! Property-based tests for the simulated sorts: both must be stable
+//! sorts on arbitrary inputs, and the single partial pass must partition
+//! by the selected bit field while preserving order within partitions.
+
+use proptest::prelude::*;
+use vagg::sim::Machine;
+use vagg::sort::scalar::is_stable_sort_of;
+use vagg::sort::{radix_sort, vsr_partial_pass, vsr_sort, SortArrays};
+
+fn columns() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (1usize..250).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u32..100_000, n),
+            (Just(n),),
+        )
+            .prop_map(|(keys, (n,))| {
+                let payload: Vec<u32> = (0..n as u32).collect();
+                (keys, payload)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn radix_is_a_stable_sort((keys, payload) in columns()) {
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, &keys, &payload);
+        let max = keys.iter().copied().max().unwrap();
+        let passes = radix_sort(&mut m, &a, max);
+        let (k, v) = a.read_result(&m, passes);
+        prop_assert!(is_stable_sort_of(&k, &v, &keys, &payload));
+    }
+
+    #[test]
+    fn vsr_is_a_stable_sort((keys, payload) in columns()) {
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, &keys, &payload);
+        let max = keys.iter().copied().max().unwrap();
+        let passes = vsr_sort(&mut m, &a, max);
+        let (k, v) = a.read_result(&m, passes);
+        prop_assert!(is_stable_sort_of(&k, &v, &keys, &payload));
+    }
+
+    #[test]
+    fn both_sorts_agree((keys, payload) in columns()) {
+        let max = keys.iter().copied().max().unwrap();
+        let mut m1 = Machine::paper();
+        let a1 = SortArrays::stage(&mut m1, &keys, &payload);
+        let p1 = radix_sort(&mut m1, &a1, max);
+        let mut m2 = Machine::paper();
+        let a2 = SortArrays::stage(&mut m2, &keys, &payload);
+        let p2 = vsr_sort(&mut m2, &a2, max);
+        prop_assert_eq!(a1.read_result(&m1, p1), a2.read_result(&m2, p2));
+    }
+
+    #[test]
+    fn partial_pass_partitions_and_stays_stable(
+        (keys, payload) in columns(),
+        lo in 2u32..12,
+    ) {
+        let max = keys.iter().copied().max().unwrap();
+        let bits = 32 - max.leading_zeros();
+        prop_assume!(bits > lo);
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, &keys, &payload);
+        vsr_partial_pass(&mut m, &a, lo, bits, max);
+        let (k, v) = a.read_result(&m, 1);
+
+        // Permutation of the input.
+        let mut sk = k.clone();
+        let mut ok = keys.clone();
+        sk.sort_unstable();
+        ok.sort_unstable();
+        prop_assert_eq!(sk, ok);
+
+        // Partitioned by the top bits, stable within (payload is the row
+        // index, so equal-bucket payloads must increase).
+        let bucket = |x: u32| x >> lo;
+        for i in 1..k.len() {
+            prop_assert!(bucket(k[i - 1]) <= bucket(k[i]), "not partitioned");
+            if bucket(k[i - 1]) == bucket(k[i]) {
+                prop_assert!(v[i - 1] < v[i], "instability inside bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn bitonic_is_a_stable_sort((keys, payload) in columns()) {
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, &keys, &payload);
+        vagg::sort::bitonic_sort(&mut m, &a);
+        let (k, v) = a.read_result(&m, 0);
+        let mut expect: Vec<(u32, u32)> =
+            keys.iter().copied().zip(payload.iter().copied()).collect();
+        expect.sort_by_key(|&(k, _)| k); // stable host sort
+        let got: Vec<(u32, u32)> =
+            k.into_iter().zip(v.into_iter()).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn all_three_sorts_agree((keys, payload) in columns()) {
+        let max = keys.iter().copied().max().unwrap_or(0);
+
+        let mut m1 = Machine::paper();
+        let a1 = SortArrays::stage(&mut m1, &keys, &payload);
+        let p1 = vagg::sort::radix_sort(&mut m1, &a1, max);
+        let r1 = a1.read_result(&m1, p1);
+
+        let mut m2 = Machine::paper();
+        let a2 = SortArrays::stage(&mut m2, &keys, &payload);
+        vagg::sort::bitonic_sort(&mut m2, &a2);
+        let r2 = a2.read_result(&m2, 0);
+
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn quicksort_orders_and_preserves_pairs((keys, payload) in columns()) {
+        let mut m = Machine::paper();
+        let a = SortArrays::stage(&mut m, &keys, &payload);
+        vagg::sort::quicksort(&mut m, &a);
+        let (k, v) = a.read_result(&m, 0);
+        prop_assert!(k.windows(2).all(|w| w[0] <= w[1]));
+        // Unstable, so compare the (key, payload) multisets.
+        let mut got: Vec<(u32, u32)> =
+            k.into_iter().zip(v.into_iter()).collect();
+        let mut expect: Vec<(u32, u32)> =
+            keys.iter().copied().zip(payload.iter().copied()).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sort_cost_is_deterministic((keys, payload) in columns()) {
+        let max = keys.iter().copied().max().unwrap();
+        let mut m1 = Machine::paper();
+        let a1 = SortArrays::stage(&mut m1, &keys, &payload);
+        vsr_sort(&mut m1, &a1, max);
+        let mut m2 = Machine::paper();
+        let a2 = SortArrays::stage(&mut m2, &keys, &payload);
+        vsr_sort(&mut m2, &a2, max);
+        prop_assert_eq!(m1.cycles(), m2.cycles());
+    }
+}
