@@ -16,7 +16,10 @@ use vagg_core::Algorithm;
 use vagg_datagen::Distribution;
 use vagg_sim::SimConfig;
 
-fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_secs(2));
@@ -31,7 +34,10 @@ fn ablate_l1_bypass(c: &mut Criterion) {
         let mut cfg = SimConfig::paper();
         cfg.mem.l1_bypass_vector = bypass;
         let run = simulate_with(Algorithm::Monotable, &cfg, &ds);
-        eprintln!("[ablation] l1_bypass_vector={bypass}: {:.2} simulated CPT", run.cpt);
+        eprintln!(
+            "[ablation] l1_bypass_vector={bypass}: {:.2} simulated CPT",
+            run.cpt
+        );
         g.bench_with_input(BenchmarkId::from_parameter(bypass), &cfg, |b, cfg| {
             b.iter(|| black_box(simulate_with(Algorithm::Monotable, cfg, &ds).cpt))
         });

@@ -16,11 +16,9 @@ fn bench(c: &mut Criterion) {
     for dist in [Distribution::Uniform, Distribution::Sorted] {
         for card in BENCH_CARDS {
             let ds = cell(dist, card);
-            g.bench_with_input(
-                BenchmarkId::new(dist.name(), card),
-                &ds,
-                |b, ds| b.iter(|| black_box(simulate(Algorithm::PartiallySortedMonotable, ds).cpt)),
-            );
+            g.bench_with_input(BenchmarkId::new(dist.name(), card), &ds, |b, ds| {
+                b.iter(|| black_box(simulate(Algorithm::PartiallySortedMonotable, ds).cpt))
+            });
         }
     }
     g.finish();

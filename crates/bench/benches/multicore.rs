@@ -28,21 +28,17 @@ fn bench_thread_scaling(c: &mut Criterion) {
             run.parallel_cycles as f64 / ds.len() as f64,
             run.merge_cycles as f64 / ds.len() as f64,
         );
-        g.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| {
-                    black_box(multicore_scalar_aggregate(
-                        &cfg,
-                        black_box(&ds.g),
-                        black_box(&ds.v),
-                        t,
-                        false,
-                    ))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(multicore_scalar_aggregate(
+                    &cfg,
+                    black_box(&ds.g),
+                    black_box(&ds.v),
+                    t,
+                    false,
+                ))
+            })
+        });
     }
     g.finish();
 }

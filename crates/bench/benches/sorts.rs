@@ -59,19 +59,15 @@ fn bench(c: &mut Criterion) {
             })
         });
         if card > 1_000 {
-            g.bench_with_input(
-                BenchmarkId::new("vsr-partial-top8", card),
-                &card,
-                |b, _| {
-                    b.iter(|| {
-                        let mut m = Machine::paper();
-                        let a = SortArrays::stage(&mut m, &keys, &vals);
-                        let bits = 32 - max.leading_zeros();
-                        black_box(vsr_partial_pass(&mut m, &a, bits - 8, bits, max));
-                        black_box(m.cycles())
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new("vsr-partial-top8", card), &card, |b, _| {
+                b.iter(|| {
+                    let mut m = Machine::paper();
+                    let a = SortArrays::stage(&mut m, &keys, &vals);
+                    let bits = 32 - max.leading_zeros();
+                    vsr_partial_pass(&mut m, &a, bits - 8, bits, black_box(max));
+                    black_box(m.cycles())
+                })
+            });
         }
     }
     g.finish();

@@ -22,20 +22,12 @@ fn bench(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(format!("adaptive-realistic/{}", dist.name()), card),
                 &ds,
-                |b, ds| {
-                    b.iter(|| {
-                        black_box(run_adaptive(&cfg, ds, AdaptiveMode::Realistic).cpt)
-                    })
-                },
+                |b, ds| b.iter(|| black_box(run_adaptive(&cfg, ds, AdaptiveMode::Realistic).cpt)),
             );
             g.bench_with_input(
                 BenchmarkId::new(format!("adaptive-ideal/{}", dist.name()), card),
                 &ds,
-                |b, ds| {
-                    b.iter(|| {
-                        black_box(run_adaptive(&cfg, ds, AdaptiveMode::Ideal).cpt)
-                    })
-                },
+                |b, ds| b.iter(|| black_box(run_adaptive(&cfg, ds, AdaptiveMode::Ideal).cpt)),
             );
             // Fixed-choice anchor for comparison.
             g.bench_with_input(

@@ -1,19 +1,46 @@
+use std::time::Instant;
 use vagg_core::*;
 use vagg_datagen::*;
 use vagg_sim::SimConfig;
-use std::time::Instant;
 fn main() {
     let cfg = SimConfig::paper();
     for (alg, dist, c, n) in [
-        (Algorithm::Polytable, Distribution::Uniform, 10_000_000u64, 200_000usize),
-        (Algorithm::Scalar, Distribution::Uniform, 10_000_000, 200_000),
-        (Algorithm::Monotable, Distribution::Uniform, 10_000_000, 200_000),
-        (Algorithm::AdvancedSortedReduce, Distribution::Uniform, 10_000_000, 200_000),
+        (
+            Algorithm::Polytable,
+            Distribution::Uniform,
+            10_000_000u64,
+            200_000usize,
+        ),
+        (
+            Algorithm::Scalar,
+            Distribution::Uniform,
+            10_000_000,
+            200_000,
+        ),
+        (
+            Algorithm::Monotable,
+            Distribution::Uniform,
+            10_000_000,
+            200_000,
+        ),
+        (
+            Algorithm::AdvancedSortedReduce,
+            Distribution::Uniform,
+            10_000_000,
+            200_000,
+        ),
         (Algorithm::Monotable, Distribution::Uniform, 78_125, 200_000),
     ] {
         let ds = DatasetSpec::paper(dist, c).with_rows(n).generate();
         let t = Instant::now();
         let r = run_algorithm(alg, &cfg, &ds);
-        println!("{:6} c={:9} n={}: cpt={:8.1}  host={:.1}s", alg.short_name(), c, n, r.cpt, t.elapsed().as_secs_f64());
+        println!(
+            "{:6} c={:9} n={}: cpt={:8.1}  host={:.1}s",
+            alg.short_name(),
+            c,
+            n,
+            r.cpt,
+            t.elapsed().as_secs_f64()
+        );
     }
 }

@@ -13,7 +13,10 @@ fn main() {
     let mut fixed: Vec<(Algorithm, f64)> =
         Algorithm::VECTORISED.iter().map(|&a| (a, 0.0)).collect();
     for &(d, c) in &cells {
-        let ds = DatasetSpec::paper(d, c).with_rows(n).with_seed(3).generate();
+        let ds = DatasetSpec::paper(d, c)
+            .with_rows(n)
+            .with_seed(3)
+            .generate();
         let scalar = run_algorithm(Algorithm::Scalar, &cfg, &ds).cpt;
         let ad = scalar / run_adaptive(&cfg, &ds, AdaptiveMode::Realistic).cpt;
         adaptive += ad;
@@ -27,6 +30,10 @@ fn main() {
     }
     println!("\nTOTALS: adaptive {:.3}", adaptive / cells.len() as f64);
     for (alg, total) in fixed {
-        println!("  {:<6} {:.3}", alg.short_name(), total / cells.len() as f64);
+        println!(
+            "  {:<6} {:.3}",
+            alg.short_name(),
+            total / cells.len() as f64
+        );
     }
 }

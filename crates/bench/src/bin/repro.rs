@@ -60,9 +60,7 @@ fn parse_args() -> (String, Opts) {
                     .unwrap_or_else(|| usage("--rows needs a number"));
             }
             "--out" => {
-                opts.out = PathBuf::from(
-                    args.next().unwrap_or_else(|| usage("--out needs a dir")),
-                );
+                opts.out = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a dir")));
             }
             "--cards-max" => {
                 opts.cards_max = args
@@ -99,9 +97,13 @@ fn main() {
             "fig6",
             Some("Table IV"),
         ),
-        "fig9" => {
-            figure(&runner, &opts, Algorithm::Polytable, "fig9", Some("Table V"))
-        }
+        "fig9" => figure(
+            &runner,
+            &opts,
+            Algorithm::Polytable,
+            "fig9",
+            Some("Table V"),
+        ),
         "fig12" => figure(
             &runner,
             &opts,
@@ -138,7 +140,13 @@ fn main() {
                 "fig6",
                 Some("Table IV"),
             );
-            figure(&runner, &opts, Algorithm::Polytable, "fig9", Some("Table V"));
+            figure(
+                &runner,
+                &opts,
+                Algorithm::Polytable,
+                "fig9",
+                Some("Table V"),
+            );
             figure(
                 &runner,
                 &opts,
@@ -225,13 +233,7 @@ fn config() {
     println!("{}", extensions.join(", "));
 }
 
-fn figure(
-    runner: &GridRunner,
-    opts: &Opts,
-    alg: Algorithm,
-    fig: &str,
-    table: Option<&str>,
-) {
+fn figure(runner: &GridRunner, opts: &Opts, alg: Algorithm, fig: &str, table: Option<&str>) {
     let t0 = Instant::now();
     eprintln!(
         "[{fig}] {} at n = {} over {} cells...",
@@ -343,8 +345,10 @@ fn related(runner: &GridRunner, opts: &Opts) {
         Algorithm::ScatterAddMonotable,
     ];
     // A reduced grid: the cells where the §VI-B predictions bind.
-    let cards: Vec<u64> =
-        [76u64, 1_220, 78_125].into_iter().filter(|&c| c <= opts.cards_max).collect();
+    let cards: Vec<u64> = [76u64, 1_220, 78_125]
+        .into_iter()
+        .filter(|&c| c <= opts.cards_max)
+        .collect();
     let dists = [
         Distribution::HeavyHitter,
         Distribution::Uniform,
@@ -392,14 +396,16 @@ fn ablate(opts: &Opts) {
 
     let rows = opts.rows.min(200_000);
     let gen = |d: Distribution, c: u64| {
-        DatasetSpec::paper(d, c).with_rows(rows).with_seed(0).generate()
+        DatasetSpec::paper(d, c)
+            .with_rows(rows)
+            .with_seed(0)
+            .generate()
     };
     let cpt = |cfg: &SimConfig, alg: Algorithm, ds: &vagg_datagen::Dataset| {
         run_algorithm(alg, cfg, ds).cpt
     };
-    let mut md = format!(
-        "**Design-choice ablations (simulated CPT, lower is better; n = {rows})**\n\n"
-    );
+    let mut md =
+        format!("**Design-choice ablations (simulated CPT, lower is better; n = {rows})**\n\n");
 
     // 1. Vector memory L1 bypass (§II-A): funnelling the vector stream
     // through the single-ported L1-d serialises line requests (1/cycle
@@ -416,7 +422,10 @@ fn ablate(opts: &Opts) {
     for (label, bypass) in [("L2 direct (paper)", true), ("through L1-d", false)] {
         let mut cfg = SimConfig::paper();
         cfg.mem.l1_bypass_vector = bypass;
-        md.push_str(&format!("| {label} | {:.2} |\n", cpt(&cfg, Algorithm::Monotable, &ds)));
+        md.push_str(&format!(
+            "| {label} | {:.2} |\n",
+            cpt(&cfg, Algorithm::Monotable, &ds)
+        ));
     }
     md.push_str(
         "\n(The bypass is near-neutral in cycles here: the OoO window hides \
@@ -489,7 +498,10 @@ fn ablate(opts: &Opts) {
     md.push_str("| lanes | CPT |\n|---|---|\n");
     for lanes in [1usize, 2, 4, 8, 16] {
         let cfg = SimConfig::paper().with_lanes(lanes);
-        md.push_str(&format!("| {lanes} | {:.2} |\n", cpt(&cfg, Algorithm::Monotable, &ds)));
+        md.push_str(&format!(
+            "| {lanes} | {:.2} |\n",
+            cpt(&cfg, Algorithm::Monotable, &ds)
+        ));
     }
 
     // 6. PSM partial-sort bit count (§V-C): too few bits leaves the
@@ -504,7 +516,10 @@ fn ablate(opts: &Opts) {
         let st = vagg_core::StagedInput::stage(&mut m, &ds);
         let (out, nrows) = vagg_core::psm::psm_aggregate_with_bits(&mut m, &st, bits);
         assert_eq!(out.read(&m, nrows), vagg_core::reference(&ds.g, &ds.v));
-        md.push_str(&format!("| {bits} | {:.2} |\n", m.cycles() as f64 / ds.len() as f64));
+        md.push_str(&format!(
+            "| {bits} | {:.2} |\n",
+            m.cycles() as f64 / ds.len() as f64
+        ));
     }
 
     let path = opts.out.join("ablations.md");
@@ -534,7 +549,10 @@ fn mix(opts: &Opts) {
             continue;
         }
         eprintln!("[mix] {} c={card}...", dist.name());
-        let ds = DatasetSpec::paper(dist, card).with_rows(rows).with_seed(0).generate();
+        let ds = DatasetSpec::paper(dist, card)
+            .with_rows(rows)
+            .with_seed(0)
+            .generate();
         md.push_str(&format!(
             "*{} c = {card}* — per 1,000 tuples\n\n\
              | algorithm | scalar | v.arith | v.red | v.cam | mask | uload | sload | gather | ustore | sstore | scatter | avg VL | CPT |\n\
@@ -657,15 +675,10 @@ fn extdist(runner: &GridRunner, opts: &Opts) {
     }
 
     // Adaptive (realistic: no distribution oracle) on the new inputs.
-    let vectorised: Vec<(Algorithm, Series)> =
-        series.iter().skip(1).cloned().collect();
-    if let Some(adaptive) =
-        sub.adaptive_series_from(AdaptiveMode::Realistic, &vectorised)
-    {
+    let vectorised: Vec<(Algorithm, Series)> = series.iter().skip(1).cloned().collect();
+    if let Some(adaptive) = sub.adaptive_series_from(AdaptiveMode::Realistic, &vectorised) {
         let t = sub.speedup_table(&scalar, &adaptive);
-        md.push_str(&t.to_markdown(
-            "adaptive (realistic selection, §V-D policy unchanged)",
-        ));
+        md.push_str(&t.to_markdown("adaptive (realistic selection, §V-D policy unchanged)"));
         let cells = sub.cells();
         let avg: f64 = cells
             .iter()
@@ -690,9 +703,7 @@ fn extdist(runner: &GridRunner, opts: &Opts) {
 // barriers) and report the core count needed to match the best vector
 // algorithm per cell.
 fn multicore(opts: &Opts) {
-    use vagg_core::{
-        cores_to_match, multicore_scalar_aggregate, run_algorithm, Algorithm,
-    };
+    use vagg_core::{cores_to_match, multicore_scalar_aggregate, run_algorithm, Algorithm};
     use vagg_datagen::DatasetSpec;
     use vagg_sim::SimConfig;
 
@@ -722,7 +733,10 @@ fn multicore(opts: &Opts) {
     );
     for &(d, c) in &cells {
         eprintln!("[multicore] {} c={c}...", d.name());
-        let ds = DatasetSpec::paper(d, c).with_rows(rows).with_seed(0).generate();
+        let ds = DatasetSpec::paper(d, c)
+            .with_rows(rows)
+            .with_seed(0)
+            .generate();
         let scalar = run_algorithm(Algorithm::Scalar, &cfg, &ds);
         let (best_alg, best) = Algorithm::VECTORISED
             .into_iter()
@@ -760,8 +774,7 @@ fn multicore(opts: &Opts) {
          breakdown)\n\n| cores | CPT | parallel | merge |\n|---|---|---|---|\n",
     );
     for threads in [1usize, 2, 4, 8, 16, 32] {
-        let run =
-            multicore_scalar_aggregate(&cfg, &ds.g, &ds.v, threads, false);
+        let run = multicore_scalar_aggregate(&cfg, &ds.g, &ds.v, threads, false);
         md.push_str(&format!(
             "| {threads} | {:.2} | {:.2} | {:.2} |\n",
             run.cpt,
@@ -802,9 +815,7 @@ fn table9(runner: &GridRunner, opts: &Opts) {
                 }
             }
             match best {
-                Some((m, a)) => {
-                    md.push_str(&format!(" {m:.1}x ({}) |", a.short_name()))
-                }
+                Some((m, a)) => md.push_str(&format!(" {m:.1}x ({}) |", a.short_name())),
                 None => md.push_str(" — |"),
             }
         }

@@ -199,12 +199,15 @@ impl GridRunner {
     }
 }
 
+/// A `(mean, stdev)` table cell.
+pub type CellPoint = (f64, f64);
+
 /// Mean/stdev per division for one distribution row.
 #[derive(Debug, Clone, Default)]
 pub struct SpeedupTable {
     /// One row per distribution: (distribution, per-division (mean,
     /// stdev); `None` when the division had no swept cardinalities).
-    pub rows: Vec<(Distribution, Vec<Option<(f64, f64)>>)>,
+    pub rows: Vec<(Distribution, Vec<Option<CellPoint>>)>,
 }
 
 impl SpeedupTable {
@@ -238,8 +241,7 @@ fn stats(xs: &[f64]) -> Option<(f64, f64)> {
         return None;
     }
     let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-    let var =
-        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
     Some((mean, var.sqrt()))
 }
 

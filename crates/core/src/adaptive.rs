@@ -86,9 +86,7 @@ pub fn select_algorithm(
         // "...and partially sorted monotable for higher cardinalities" —
         // except the ‡ sequential cases, which only the oracle sees.
         Division::HighNormal | Division::High => {
-            if mode == AdaptiveMode::Ideal
-                && distribution == Some(Distribution::Sequential)
-            {
+            if mode == AdaptiveMode::Ideal && distribution == Some(Distribution::Sequential) {
                 Algorithm::Monotable
             } else {
                 Algorithm::PartiallySortedMonotable
@@ -122,7 +120,12 @@ mod tests {
 
     /// Planner inputs at the paper's scale (n = 10,000,000, MVL = 64).
     fn paper_inputs(presorted: bool, cardinality: u64) -> PlannerInputs {
-        PlannerInputs { presorted, cardinality, rows: 10_000_000, mvl: 64 }
+        PlannerInputs {
+            presorted,
+            cardinality,
+            rows: 10_000_000,
+            mvl: 64,
+        }
     }
 
     #[test]
@@ -131,21 +134,13 @@ mod tests {
         // hhitter/uniform/zipf rows of Table IX.
         for c in [4u64, 152, 305, 9_765] {
             assert_eq!(
-                select_algorithm(
-                    &paper_inputs(false, c),
-                    None,
-                    AdaptiveMode::Realistic
-                ),
+                select_algorithm(&paper_inputs(false, c), None, AdaptiveMode::Realistic),
                 Monotable
             );
         }
         for c in [19_531u64, 312_500, 625_000, 10_000_000] {
             assert_eq!(
-                select_algorithm(
-                    &paper_inputs(false, c),
-                    None,
-                    AdaptiveMode::Realistic
-                ),
+                select_algorithm(&paper_inputs(false, c), None, AdaptiveMode::Realistic),
                 PartiallySortedMonotable
             );
         }
@@ -158,20 +153,12 @@ mod tests {
         // the division rule applies verbatim.
         for c in [100u64, 5_000, 9_765] {
             assert_eq!(
-                select_algorithm(
-                    &paper_inputs(true, c),
-                    None,
-                    AdaptiveMode::Realistic
-                ),
+                select_algorithm(&paper_inputs(true, c), None, AdaptiveMode::Realistic),
                 Polytable
             );
         }
         assert_eq!(
-            select_algorithm(
-                &paper_inputs(true, 100_000),
-                None,
-                AdaptiveMode::Realistic
-            ),
+            select_algorithm(&paper_inputs(true, 100_000), None, AdaptiveMode::Realistic),
             StandardSortedReduce
         );
         assert_eq!(
@@ -202,11 +189,7 @@ mod tests {
         );
         // Same cardinality at the paper's n: long runs, polytable.
         assert_eq!(
-            select_algorithm(
-                &paper_inputs(true, 9_765),
-                None,
-                AdaptiveMode::Realistic
-            ),
+            select_algorithm(&paper_inputs(true, 9_765), None, AdaptiveMode::Realistic),
             Algorithm::Polytable
         );
     }
@@ -227,20 +210,12 @@ mod tests {
         use Algorithm::*;
         let seq = Some(Distribution::Sequential);
         assert_eq!(
-            select_algorithm(
-                &paper_inputs(false, 100_000),
-                seq,
-                AdaptiveMode::Ideal
-            ),
+            select_algorithm(&paper_inputs(false, 100_000), seq, AdaptiveMode::Ideal),
             Monotable
         );
         // Realistic mode cannot see the distribution.
         assert_eq!(
-            select_algorithm(
-                &paper_inputs(false, 100_000),
-                None,
-                AdaptiveMode::Realistic
-            ),
+            select_algorithm(&paper_inputs(false, 100_000), None, AdaptiveMode::Realistic),
             PartiallySortedMonotable
         );
         // Non-sequential distributions are unaffected.

@@ -107,9 +107,7 @@ impl Algorithm {
             }
             Algorithm::Monotable => crate::monotable::monotable_aggregate(m, input),
             Algorithm::PartiallySortedMonotable => crate::psm::psm_aggregate(m, input),
-            Algorithm::CdiMonotable => {
-                crate::related_work::cdi_monotable_aggregate(m, input)
-            }
+            Algorithm::CdiMonotable => crate::related_work::cdi_monotable_aggregate(m, input),
             Algorithm::ScatterAddMonotable => {
                 crate::related_work::scatter_add_monotable_aggregate(m, input)
             }
@@ -167,7 +165,10 @@ mod tests {
     fn every_algorithm_matches_reference_on_every_distribution() {
         let cfg = SimConfig::paper();
         for dist in Distribution::ALL {
-            let ds = DatasetSpec::paper(dist, 61).with_rows(600).with_seed(3).generate();
+            let ds = DatasetSpec::paper(dist, 61)
+                .with_rows(600)
+                .with_seed(3)
+                .generate();
             let expect = reference(&ds.g, &ds.v);
             for alg in Algorithm::ALL {
                 let run = run_algorithm(alg, &cfg, &ds);

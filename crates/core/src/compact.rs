@@ -65,8 +65,10 @@ mod tests {
         let cells = 10usize;
         let count = m.space_mut().alloc(4 * cells as u64, 64);
         let sum = m.space_mut().alloc(4 * cells as u64, 64);
-        m.space_mut().write_slice_u32(count, &[0, 2, 0, 0, 1, 0, 3, 0, 0, 4]);
-        m.space_mut().write_slice_u32(sum, &[0, 20, 0, 0, 10, 0, 30, 0, 0, 40]);
+        m.space_mut()
+            .write_slice_u32(count, &[0, 2, 0, 0, 1, 0, 3, 0, 0, 4]);
+        m.space_mut()
+            .write_slice_u32(sum, &[0, 20, 0, 0, 10, 0, 30, 0, 0, 40]);
         let out = OutputTable::alloc(&mut m, cells);
         let rows = compact_tables(&mut m, count, sum, cells, &out);
         assert_eq!(rows, 4);
@@ -83,14 +85,15 @@ mod tests {
         let count = m.space_mut().alloc(4 * cells as u64, 64);
         let sum = m.space_mut().alloc(4 * cells as u64, 64);
         // Every third group present.
-        let counts: Vec<u32> =
-            (0..cells as u32).map(|k| if k % 3 == 0 { k + 1 } else { 0 }).collect();
+        let counts: Vec<u32> = (0..cells as u32)
+            .map(|k| if k % 3 == 0 { k + 1 } else { 0 })
+            .collect();
         let sums: Vec<u32> = counts.iter().map(|&c| c * 2).collect();
         m.space_mut().write_slice_u32(count, &counts);
         m.space_mut().write_slice_u32(sum, &sums);
         let out = OutputTable::alloc(&mut m, cells);
         let rows = compact_tables(&mut m, count, sum, cells, &out);
-        assert_eq!(rows, (cells + 2) / 3);
+        assert_eq!(rows, cells.div_ceil(3));
         let r = out.read(&m, rows);
         assert!(r.groups.iter().all(|&g| g % 3 == 0));
         assert!(r.groups.windows(2).all(|w| w[0] < w[1]));

@@ -46,7 +46,14 @@ impl StagedInput {
         let v_addr = s.alloc_slice_u32(v);
         let aux_g = s.alloc(bytes, 64);
         let aux_v = s.alloc(bytes, 64);
-        Self { g: g_addr, v: v_addr, aux_g, aux_v, n, presorted }
+        Self {
+            g: g_addr,
+            v: v_addr,
+            aux_g,
+            aux_v,
+            n,
+            presorted,
+        }
     }
 
     /// View as sort buffers.

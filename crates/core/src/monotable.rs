@@ -80,7 +80,7 @@ pub fn monotable_on(
         m.vga(RedOp::Sum, VA, VG, VV); // running group sums
         m.vga(RedOp::Sum, VC, VG, VONE); // running group counts
         m.vlu(M0, VG); // last instances
-        // sum[g] += group sum (masked to last instances: conflict-free).
+                       // sum[g] += group sum (masked to last instances: conflict-free).
         m.vgather(VTS, sum_tbl, VG, 4, Some(M0), 0);
         m.vbinop_vv(BinOp::Add, VTS, VTS, VA, Some(M0));
         m.vscatter(VTS, sum_tbl, VG, 4, Some(M0), 0);
@@ -123,7 +123,11 @@ mod tests {
 
     #[test]
     fn matches_reference_small() {
-        run(vec![1, 3, 3, 0, 0, 5, 2, 4], vec![0, 5, 2, 4, 1, 3, 3, 0], false);
+        run(
+            vec![1, 3, 3, 0, 0, 5, 2, 4],
+            vec![0, 5, 2, 4, 1, 3, 3, 0],
+            false,
+        );
     }
 
     #[test]
@@ -154,7 +158,9 @@ mod tests {
     fn groups_spanning_chunk_boundaries_accumulate() {
         // Group 5 appears in many different 64-element chunks.
         let n = 640usize;
-        let g: Vec<u32> = (0..n).map(|i| if i % 7 == 0 { 5 } else { (i % 50) as u32 }).collect();
+        let g: Vec<u32> = (0..n)
+            .map(|i| if i % 7 == 0 { 5 } else { (i % 50) as u32 })
+            .collect();
         let v: Vec<u32> = vec![1; n];
         run(g, v, false);
     }
@@ -173,8 +179,9 @@ mod tests {
     fn beats_scalar_at_low_cardinality() {
         // Table VII: monotable achieves ~3.8-4.1× in `low`.
         let n = 8192usize;
-        let g: Vec<u32> =
-            (0..n).map(|i| ((i as u64 * 2654435761) % 64) as u32).collect();
+        let g: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 64) as u32)
+            .collect();
         let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
 
         let (_, mono) = run(g.clone(), v.clone(), false);
@@ -195,8 +202,9 @@ mod tests {
         // the higher cardinalities.
         let n = 4096usize;
         let c = 50_000u64;
-        let g: Vec<u32> =
-            (0..n).map(|i| ((i as u64 * 2654435761) % c) as u32).collect();
+        let g: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % c) as u32)
+            .collect();
         let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
 
         let (_, mono) = run(g.clone(), v.clone(), false);

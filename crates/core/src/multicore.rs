@@ -58,12 +58,7 @@ struct ThreadTables {
 /// Runs the Figure 3 loop over one partition on a private machine and
 /// reads the private tables back. `presorted` lets partitions of a sorted
 /// input skip the max scan, matching the metadata rule of §III-A.
-fn thread_aggregate(
-    cfg: &SimConfig,
-    g: &[u32],
-    v: &[u32],
-    presorted: bool,
-) -> ThreadTables {
+fn thread_aggregate(cfg: &SimConfig, g: &[u32], v: &[u32], presorted: bool) -> ThreadTables {
     let mut m = Machine::new(cfg.clone());
     let st = StagedInput::stage_raw(&mut m, g, v, presorted);
 
@@ -142,7 +137,9 @@ pub fn multicore_scalar_aggregate(
     // merge does, then compress (step 4).
     let cells = tables.iter().map(|t| t.counts.len()).max().unwrap();
     let mut m = Machine::new(cfg.clone());
-    let count_tbl = m.space_mut().alloc_slice_u32(&pad(&tables[0].counts, cells));
+    let count_tbl = m
+        .space_mut()
+        .alloc_slice_u32(&pad(&tables[0].counts, cells));
     let sum_tbl = m.space_mut().alloc_slice_u32(&pad(&tables[0].sums, cells));
     let staged: Vec<(u64, u64, usize)> = tables[1..]
         .iter()
@@ -237,7 +234,10 @@ mod tests {
     use vagg_datagen::{DatasetSpec, Distribution};
 
     fn dataset(dist: Distribution, c: u64, n: usize) -> vagg_datagen::Dataset {
-        DatasetSpec::paper(dist, c).with_rows(n).with_seed(3).generate()
+        DatasetSpec::paper(dist, c)
+            .with_rows(n)
+            .with_seed(3)
+            .generate()
     }
 
     #[test]
@@ -246,9 +246,7 @@ mod tests {
         let cfg = SimConfig::paper();
         let expect = reference(&ds.g, &ds.v);
         for threads in [1, 2, 3, 4, 8] {
-            let run = multicore_scalar_aggregate(
-                &cfg, &ds.g, &ds.v, threads, false,
-            );
+            let run = multicore_scalar_aggregate(&cfg, &ds.g, &ds.v, threads, false);
             assert_eq!(run.result, expect, "threads={threads}");
             assert_eq!(run.threads, threads);
             assert_eq!(run.cycles, run.parallel_cycles + run.merge_cycles);
@@ -261,11 +259,7 @@ mod tests {
         let ds = dataset(Distribution::Uniform, 500, 4_000);
         let cfg = SimConfig::paper();
         let single = multicore_scalar_aggregate(&cfg, &ds.g, &ds.v, 1, false);
-        let base = crate::run_algorithm(
-            crate::Algorithm::Scalar,
-            &cfg,
-            &ds,
-        );
+        let base = crate::run_algorithm(crate::Algorithm::Scalar, &cfg, &ds);
         let ratio = single.cycles as f64 / base.cycles as f64;
         assert!(
             (0.8..1.2).contains(&ratio),
@@ -305,8 +299,7 @@ mod tests {
     fn presorted_partitions_stay_cheap() {
         let ds = dataset(Distribution::Sorted, 500, 4_000);
         let cfg = SimConfig::paper();
-        let run =
-            multicore_scalar_aggregate(&cfg, &ds.g, &ds.v, 4, true);
+        let run = multicore_scalar_aggregate(&cfg, &ds.g, &ds.v, 4, true);
         assert_eq!(run.result, reference(&ds.g, &ds.v));
     }
 
@@ -319,10 +312,8 @@ mod tests {
         let cfg = SimConfig::paper();
         let t1 = multicore_scalar_aggregate(&cfg, &ds.g, &ds.v, 1, false);
         // Target: half the single-core time; a few cores must reach it.
-        let (threads, run) = cores_to_match(
-            &cfg, &ds.g, &ds.v, false, t1.cycles / 2, 64,
-        )
-        .expect("some core count must halve the runtime");
+        let (threads, run) = cores_to_match(&cfg, &ds.g, &ds.v, false, t1.cycles / 2, 64)
+            .expect("some core count must halve the runtime");
         assert!(threads >= 2);
         assert!(run.cycles <= t1.cycles / 2);
         // Unreachable target (0 cycles) → None.
@@ -338,28 +329,14 @@ mod tests {
         let ds = dataset(Distribution::Uniform, 2_000, 4_000);
         let cfg = SimConfig::paper();
         let t1 = multicore_scalar_aggregate(&cfg, &ds.g, &ds.v, 1, false);
-        assert!(cores_to_match(
-            &cfg,
-            &ds.g,
-            &ds.v,
-            false,
-            t1.cycles / 8,
-            64
-        )
-        .is_none());
+        assert!(cores_to_match(&cfg, &ds.g, &ds.v, false, t1.cycles / 8, 64).is_none());
     }
 
     #[test]
     fn thread_count_clamped_to_rows() {
         let g = vec![1u32, 2];
         let v = vec![3u32, 4];
-        let run = multicore_scalar_aggregate(
-            &SimConfig::paper(),
-            &g,
-            &v,
-            16,
-            false,
-        );
+        let run = multicore_scalar_aggregate(&SimConfig::paper(), &g, &v, 16, false);
         assert_eq!(run.threads, 2);
         assert_eq!(run.result, reference(&g, &v));
     }

@@ -114,7 +114,11 @@ mod tests {
 
     #[test]
     fn matches_reference_small() {
-        run(vec![1, 3, 3, 0, 0, 5, 2, 4], vec![0, 5, 2, 4, 1, 3, 3, 0], false);
+        run(
+            vec![1, 3, 3, 0, 0, 5, 2, 4],
+            vec![0, 5, 2, 4, 1, 3, 3, 0],
+            false,
+        );
     }
 
     #[test]
@@ -148,8 +152,9 @@ mod tests {
     fn beats_scalar_at_low_cardinality() {
         // Table V: low cardinality is where polytable shines (3-3.7×).
         let n = 8192usize;
-        let g: Vec<u32> =
-            (0..n).map(|i| ((i as u64 * 2654435761) % 16) as u32).collect();
+        let g: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 16) as u32)
+            .collect();
         let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
 
         let (_, poly) = run(g.clone(), v.clone(), false);

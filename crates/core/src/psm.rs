@@ -49,7 +49,11 @@ pub fn psm_aggregate(m: &mut Machine, input: &StagedInput) -> (OutputTable, usiz
 
     // Presorted inputs already have perfect locality (Ξ), and
     // cache-resident tables need no help.
-    let bits = if input.presorted { None } else { partial_sort_bits(maxg) };
+    let bits = if input.presorted {
+        None
+    } else {
+        partial_sort_bits(maxg)
+    };
     psm_on(m, input, maxg, tok, bits)
 }
 
@@ -70,8 +74,7 @@ pub fn psm_aggregate_with_bits(
         vector_max_scan(m, input)
     };
     let key_bits = 32 - maxg.leading_zeros();
-    let bits = (to_sort > 0 && key_bits > 0)
-        .then(|| (key_bits - to_sort.min(key_bits), key_bits));
+    let bits = (to_sort > 0 && key_bits > 0).then(|| (key_bits - to_sort.min(key_bits), key_bits));
     psm_on(m, input, maxg, tok, bits)
 }
 
@@ -114,7 +117,7 @@ mod tests {
         assert_eq!(partial_sort_bits(151), None);
         assert_eq!(partial_sort_bits(8191), None); // 13 bits, resident
         assert_eq!(partial_sort_bits(9_764), None); // all of low-normal
-        // high-normal (~15-19 key bits): 8 top bits.
+                                                    // high-normal (~15-19 key bits): 8 top bits.
         assert_eq!(partial_sort_bits(19_530), Some((7, 15)));
         assert_eq!(partial_sort_bits(312_499), Some((11, 19)));
         // largest high cardinality (24 key bits): 11 top bits.
@@ -127,8 +130,9 @@ mod tests {
     fn low_cardinality_matches_monotable_exactly() {
         // The Ξ equivalence: same cycles, same result as monotable.
         let n = 2000usize;
-        let g: Vec<u32> =
-            (0..n).map(|i| ((i as u64 * 2654435761) % 100) as u32).collect();
+        let g: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 100) as u32)
+            .collect();
         let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
 
         let (_, psm_cycles) = run(g.clone(), v.clone(), false);
@@ -202,8 +206,9 @@ mod tests {
         // mandatory table-clearing cost amortised, as in the paper.
         let n = 100_000usize;
         let c = 100_000u64;
-        let g: Vec<u32> =
-            (0..n).map(|i| ((i as u64).wrapping_mul(2654435761) % c) as u32).collect();
+        let g: Vec<u32> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % c) as u32)
+            .collect();
         let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
 
         let (_, psm_cycles) = run(g.clone(), v.clone(), false);

@@ -79,10 +79,7 @@ fn max_key(m: &mut Machine, input: &StagedInput) -> (u32, Tok) {
 /// retired elements off. The loop trip count is the maximum duplicate
 /// multiplicity in the chunk — 1 for all-distinct keys, VL for a single
 /// hot key.
-pub fn cdi_monotable_aggregate(
-    m: &mut Machine,
-    input: &StagedInput,
-) -> (OutputTable, usize) {
+pub fn cdi_monotable_aggregate(m: &mut Machine, input: &StagedInput) -> (OutputTable, usize) {
     let (maxg, tok) = max_key(m, input);
     let mvl = m.mvl();
     assert!(mvl <= 64, "CDI conflict bitmasks limit MVL to 64");

@@ -31,15 +31,13 @@ impl AggResult {
     /// Internal consistency: columns equal length, groups strictly
     /// ascending, counts positive, total count = `n`.
     pub fn validate(&self, n: usize) -> Result<(), String> {
-        if self.counts.len() != self.groups.len()
-            || self.sums.len() != self.groups.len()
-        {
+        if self.counts.len() != self.groups.len() || self.sums.len() != self.groups.len() {
             return Err("column length mismatch".into());
         }
         if self.groups.windows(2).any(|w| w[0] >= w[1]) {
             return Err("groups not strictly ascending".into());
         }
-        if self.counts.iter().any(|&c| c == 0) {
+        if self.counts.contains(&0) {
             return Err("zero count for an emitted group".into());
         }
         let total: u64 = self.counts.iter().map(|&c| c as u64).sum();
@@ -59,8 +57,7 @@ pub fn reference(g: &[u32], v: &[u32]) -> AggResult {
         e.0 += 1;
         e.1 += x;
     }
-    let mut rows: Vec<(u32, u32, u32)> =
-        map.into_iter().map(|(k, (c, s))| (k, c, s)).collect();
+    let mut rows: Vec<(u32, u32, u32)> = map.into_iter().map(|(k, (c, s))| (k, c, s)).collect();
     rows.sort_unstable_by_key(|r| r.0);
     AggResult {
         groups: rows.iter().map(|r| r.0).collect(),

@@ -59,9 +59,35 @@ impl SampledEstimate {
     }
 }
 
-/// Samples the group column, reading one MVL-wide chunk out of every
-/// `stride` chunks (`stride = 1` degenerates to the exact scan). Returns
-/// the estimate and the readiness token of the reduction.
+/// The `(start, vl)` chunk windows a sampled scan reads: one MVL-wide
+/// chunk out of every `stride`, always including the final chunk (real
+/// estimators oversample the tail because appended data skews late).
+///
+/// This is the single definition of the sampling rule, shared by the
+/// machine scan below and by host-side mirrors (e.g. the `vagg-db`
+/// planner's plan-time estimate), so the two can never diverge.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`.
+pub fn sampled_windows(
+    n: usize,
+    mvl: usize,
+    stride: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    assert!(stride > 0, "stride must be at least 1");
+    (0..n)
+        .step_by(mvl)
+        .enumerate()
+        .filter_map(move |(chunk, start)| {
+            let last = start + mvl >= n;
+            (chunk.is_multiple_of(stride) || last).then(|| (start, (n - start).min(mvl)))
+        })
+}
+
+/// Samples the group column over the [`sampled_windows`] chunks
+/// (`stride = 1` degenerates to the exact scan). Returns the estimate
+/// and the readiness token of the reduction.
 ///
 /// # Panics
 ///
@@ -71,27 +97,18 @@ pub fn sampled_max_scan(
     input: &StagedInput,
     stride: usize,
 ) -> (SampledEstimate, Tok) {
-    assert!(stride > 0, "stride must be at least 1");
     let mvl = m.mvl();
     m.set_vl(mvl);
     m.vset(VACC, 0, None);
     let mut rows_sampled = 0usize;
-    let mut chunk = 0usize;
-    for start in (0..input.n).step_by(mvl) {
-        // Always include the final chunk: real estimators oversample the
-        // tail because appended data skews late.
-        let last = start + mvl >= input.n;
-        if chunk % stride == 0 || last {
-            let vl = (input.n - start).min(mvl);
-            if vl != m.vl() {
-                m.set_vl(vl);
-            }
-            let t = m.s_op(0);
-            m.vload_unit(VDATA, input.g + 4 * start as u64, 4, t);
-            m.vbinop_vv(BinOp::Max, VACC, VACC, VDATA, None);
-            rows_sampled += vl;
+    for (start, vl) in sampled_windows(input.n, mvl, stride) {
+        if vl != m.vl() {
+            m.set_vl(vl);
         }
-        chunk += 1;
+        let t = m.s_op(0);
+        m.vload_unit(VDATA, input.g + 4 * start as u64, 4, t);
+        m.vbinop_vv(BinOp::Max, VACC, VACC, VDATA, None);
+        rows_sampled += vl;
     }
     m.set_vl(mvl.min(input.n.max(1)));
     let (maxg, tok) = m.vred(RedOp::Max, VACC, None);
@@ -112,7 +129,10 @@ mod tests {
     use vagg_datagen::{DatasetSpec, Distribution};
 
     fn staged(m: &mut Machine, dist: Distribution, c: u64, n: usize) -> StagedInput {
-        let ds = DatasetSpec::paper(dist, c).with_rows(n).with_seed(11).generate();
+        let ds = DatasetSpec::paper(dist, c)
+            .with_rows(n)
+            .with_seed(11)
+            .generate();
         StagedInput::stage(m, &ds)
     }
 

@@ -156,8 +156,9 @@ mod tests {
         // The Figure 4 shape: uniform CPT jumps once tables spill the L1.
         let n = 20_000usize;
         let v: Vec<u32> = vec![1; n];
-        let small: Vec<u32> =
-            (0..n).map(|i| ((i as u64 * 2654435761) % 64) as u32).collect();
+        let small: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 64) as u32)
+            .collect();
         let large: Vec<u32> = (0..n)
             .map(|i| ((i as u64 * 2654435761) % 100_000) as u32)
             .collect();

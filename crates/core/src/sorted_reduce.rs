@@ -55,12 +55,7 @@ pub fn sorted_reduce_aggregate(
 }
 
 /// Steps 2–3 on an already-sorted column pair.
-pub fn reduce_sorted_runs(
-    m: &mut Machine,
-    g: u64,
-    v: u64,
-    n: usize,
-) -> (OutputTable, usize) {
+pub fn reduce_sorted_runs(m: &mut Machine, g: u64, v: u64, n: usize) -> (OutputTable, usize) {
     let mvl = m.mvl();
 
     // Step 2: boundary detection. A boundary is the *last* index of a run:
@@ -172,7 +167,12 @@ mod tests {
 
     #[test]
     fn single_run_spanning_everything() {
-        run(vec![4; 300], (0..300).map(|i| i % 10).collect(), true, SortKind::Vsr);
+        run(
+            vec![4; 300],
+            (0..300).map(|i| i % 10).collect(),
+            true,
+            SortKind::Vsr,
+        );
     }
 
     #[test]
@@ -211,8 +211,9 @@ mod tests {
     fn advanced_beats_standard_on_unsorted_input() {
         // Table VI vs Table IV: VSR sort strictly improves on radix.
         let n = 2000usize;
-        let g: Vec<u32> =
-            (0..n).map(|i| ((i as u64 * 2654435761) % 500) as u32).collect();
+        let g: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 500) as u32)
+            .collect();
         let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
         let (_, std_cycles) = run(g.clone(), v.clone(), false, SortKind::Radix);
         let (_, adv_cycles) = run(g, v, false, SortKind::Vsr);

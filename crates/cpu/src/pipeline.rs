@@ -237,12 +237,7 @@ impl Pipeline {
     /// the op is available at `start + occupancy` for single-cycle-latency
     /// units; memory ops learn their completion from the memory hierarchy
     /// and must report it via [`Pipeline::retire`] / the queue hooks.
-    pub fn dispatch(
-        &mut self,
-        kind: FuKind,
-        occupancy: u64,
-        deps_ready: u64,
-    ) -> u64 {
+    pub fn dispatch(&mut self, kind: FuKind, occupancy: u64, deps_ready: u64) -> u64 {
         self.ops += 1;
         self.ops_by_kind[ordinal(kind)] += 1;
         let occupancy = occupancy.max(1);
@@ -275,9 +270,10 @@ impl Pipeline {
                     0
                 };
                 let ready = ready0.max(iq_ready);
-                c.fus.iter().enumerate().map(move |(fi, fu)| {
-                    (ci, fi, fu.probe(ready, occupancy))
-                })
+                c.fus
+                    .iter()
+                    .enumerate()
+                    .map(move |(fi, fu)| (ci, fi, fu.probe(ready, occupancy)))
             })
             .min_by_key(|&(_, _, s)| s)
             .expect("at least one FU");
@@ -555,15 +551,16 @@ mod schedule_tests {
     #[test]
     fn reserve_keeps_intervals_sorted_and_disjoint() {
         let mut s = FuSchedule::default();
-        let starts: Vec<u64> =
-            [30u64, 0, 15, 7].iter().map(|&e| {
+        let starts: Vec<u64> = [30u64, 0, 15, 7]
+            .iter()
+            .map(|&e| {
                 let st = s.probe(e, 5);
                 s.reserve(st, 5);
                 st
-            }).collect();
+            })
+            .collect();
         // All reservations disjoint.
-        let mut iv: Vec<(u64, u64)> =
-            starts.iter().map(|&st| (st, st + 5)).collect();
+        let mut iv: Vec<(u64, u64)> = starts.iter().map(|&st| (st, st + 5)).collect();
         iv.sort_unstable();
         for w in iv.windows(2) {
             assert!(w[0].1 <= w[1].0, "overlap: {:?}", iv);
@@ -578,7 +575,10 @@ mod schedule_tests {
         let mut p = Pipeline::new(CpuParams::westmere());
         let a = p.dispatch(FuKind::VecArith, 16, 1000); // waits on deps
         let b = p.dispatch(FuKind::VecArith, 16, 0); // ready now
-        assert!(b < a, "late-ready op blocked an early-ready one: {b} !< {a}");
+        assert!(
+            b < a,
+            "late-ready op blocked an early-ready one: {b} !< {a}"
+        );
         assert!(b < 1000);
     }
 

@@ -104,18 +104,13 @@ impl Distribution {
         assert!(c <= u32::MAX as u64 + 1, "keys are 32-bit in the paper");
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
         match self {
-            Distribution::Uniform => (0..n)
-                .map(|_| rng.next_below(c) as u32)
-                .collect(),
+            Distribution::Uniform => (0..n).map(|_| rng.next_below(c) as u32).collect(),
             Distribution::Sorted => {
-                let mut g: Vec<u32> =
-                    (0..n).map(|_| rng.next_below(c) as u32).collect();
+                let mut g: Vec<u32> = (0..n).map(|_| rng.next_below(c) as u32).collect();
                 g.sort_unstable();
                 g
             }
-            Distribution::Sequential => {
-                (0..n).map(|i| (i as u64 % c) as u32).collect()
-            }
+            Distribution::Sequential => (0..n).map(|i| (i as u64 % c) as u32).collect(),
             Distribution::HeavyHitter => {
                 let heavy = rng.next_below(c) as u32;
                 (0..n)
@@ -151,8 +146,7 @@ impl Distribution {
                         let start = if n > 1 {
                             // Linear slide; u128 avoids overflow at
                             // c = 2^32, n = 10M.
-                            (span as u128 * i as u128 / (n - 1) as u128)
-                                as u64
+                            (span as u128 * i as u128 / (n - 1) as u128) as u64
                         } else {
                             0
                         };
@@ -320,16 +314,14 @@ mod tests {
         let c = 100_000u64;
         let g = Distribution::SelfSimilar.generate(n, c, 13);
         assert!(g.iter().all(|&k| (k as u64) < c));
-        let in_first_fifth =
-            g.iter().filter(|&&k| (k as u64) < c / 5).count();
+        let in_first_fifth = g.iter().filter(|&&k| (k as u64) < c / 5).count();
         let frac = in_first_fifth as f64 / n as f64;
         assert!(
             (0.75..0.85).contains(&frac),
             "first 20% of domain holds {frac:.3} of rows, expected ~0.8"
         );
         // Recursive: first 4% holds ~64%.
-        let in_first_25th =
-            g.iter().filter(|&&k| (k as u64) < c / 25).count();
+        let in_first_25th = g.iter().filter(|&&k| (k as u64) < c / 25).count();
         let frac2 = in_first_25th as f64 / n as f64;
         assert!(
             (0.58..0.70).contains(&frac2),
@@ -354,8 +346,7 @@ mod tests {
             assert!(Distribution::EXTENDED.contains(&d));
         }
         assert_eq!(Distribution::EXTENDED.len(), 7);
-        assert!(!Distribution::ALL
-            .contains(&Distribution::MovingCluster));
+        assert!(!Distribution::ALL.contains(&Distribution::MovingCluster));
     }
 
     #[test]

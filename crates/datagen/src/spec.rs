@@ -6,9 +6,8 @@ use crate::dist::{generate_values, Distribution};
 /// The paper's 22 maximum cardinalities, ascending: 4, 9, 19, ..., 10,000,000
 /// (each ~half the next, i.e. 10,000,000 / 2^k rounded down, plus the 4).
 pub const CARDINALITIES: [u64; 22] = [
-    4, 9, 19, 38, 76, 152, 305, 610, 1_220, 2_441, 4_882, 9_765, 19_531,
-    39_062, 78_125, 156_250, 312_500, 625_000, 1_250_000, 2_500_000,
-    5_000_000, 10_000_000,
+    4, 9, 19, 38, 76, 152, 305, 610, 1_220, 2_441, 4_882, 9_765, 19_531, 39_062, 78_125, 156_250,
+    312_500, 625_000, 1_250_000, 2_500_000, 5_000_000, 10_000_000,
 ];
 
 /// The paper's row count (n = 10,000,000).
@@ -112,11 +111,9 @@ impl DatasetSpec {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(self.max_cardinality)
             .wrapping_add((self.distribution as u64) << 32);
-        let g = self.distribution.generate(
-            self.rows,
-            self.max_cardinality,
-            cell_seed,
-        );
+        let g = self
+            .distribution
+            .generate(self.rows, self.max_cardinality, cell_seed);
         let v = generate_values(self.rows, cell_seed);
         Dataset { spec: *self, g, v }
     }
@@ -127,9 +124,7 @@ impl DatasetSpec {
         let mut out = Vec::with_capacity(110);
         for d in Distribution::ALL {
             for c in CARDINALITIES {
-                out.push(
-                    DatasetSpec::paper(d, c).with_rows(rows).with_seed(seed),
-                );
+                out.push(DatasetSpec::paper(d, c).with_rows(rows).with_seed(seed));
             }
         }
         out
@@ -219,8 +214,10 @@ mod tests {
 
     #[test]
     fn division_partition_covers_grid() {
-        let total: usize =
-            Division::ALL.iter().map(|d| d.cardinalities().count()).sum();
+        let total: usize = Division::ALL
+            .iter()
+            .map(|d| d.cardinalities().count())
+            .sum();
         assert_eq!(total, 22);
         // Per the paper: low has 6 (4..152), low-normal 6, high-normal 5,
         // high 5.
@@ -271,10 +268,7 @@ mod tests {
             .with_rows(5_000)
             .with_seed(3)
             .generate();
-        assert_eq!(
-            ds.max_group_key(),
-            ds.g.iter().copied().max().unwrap()
-        );
+        assert_eq!(ds.max_group_key(), ds.g.iter().copied().max().unwrap());
     }
 
     #[test]

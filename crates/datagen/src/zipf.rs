@@ -36,8 +36,7 @@ impl Zipf {
         assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
         let h_x1 = Self::h_static(1.5, s) - 1.0;
         let h_n = Self::h_static(n as f64 + 0.5, s);
-        let s_const = 2.0
-            - Self::h_inv_static(Self::h_static(2.5, s) - (2.0f64).powf(-s), s);
+        let s_const = 2.0 - Self::h_inv_static(Self::h_static(2.5, s) - (2.0f64).powf(-s), s);
         Self {
             n,
             s,

@@ -1,5 +1,9 @@
-//! A named-table catalogue with a SQL entry point — the outermost layer
-//! of the mini column-store.
+//! A named-table catalogue plus one long-lived [`Session`] — the
+//! outermost layer of the mini column-store.
+//!
+//! Statements are planned by the [`Engine`] and executed on the
+//! database's session, so back-to-back queries share one simulated
+//! machine instead of constructing a fresh one per call.
 //!
 //! ```
 //! use vagg_db::{Database, Table};
@@ -14,11 +18,19 @@
 //!     "SELECT age, COUNT(*), SUM(earnings) FROM people GROUP BY age",
 //! )?;
 //! assert_eq!(out.rows.len(), 3);
+//!
+//! // EXPLAIN returns the typed plan without executing anything.
+//! let plan = db.explain_sql(
+//!     "EXPLAIN SELECT age, COUNT(*), SUM(earnings) FROM people GROUP BY age",
+//! )?;
+//! println!("{}", plan.explain());
 //! # Ok::<(), vagg_db::SqlError>(())
 //! ```
 
 use crate::engine::{Engine, QueryOutput};
-use crate::sql::{parse, ParseSqlError};
+use crate::plan::{PlanError, QueryPlan};
+use crate::session::Session;
+use crate::sql::{parse_statement, ParseSqlError, Statement};
 use crate::table::Table;
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -26,14 +38,19 @@ use std::fmt;
 
 /// Why a SQL statement failed to execute.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SqlError {
     /// The statement did not parse.
     Parse(ParseSqlError),
     /// The `FROM` table is not registered.
     UnknownTable(String),
-    /// The engine rejected the planned query (unknown column, empty
-    /// table...).
-    Plan(String),
+    /// The planner rejected the query (typed: unknown column, empty
+    /// table, AVG predicate...).
+    Plan(PlanError),
+    /// An `EXPLAIN` statement was passed to [`Database::execute_sql`],
+    /// which returns rows; use [`Database::run_sql`] or
+    /// [`Database::explain_sql`] for plans.
+    ExplainStatement,
 }
 
 impl fmt::Display for SqlError {
@@ -42,6 +59,10 @@ impl fmt::Display for SqlError {
             SqlError::Parse(e) => write!(f, "parse error: {e}"),
             SqlError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
             SqlError::Plan(e) => write!(f, "planning error: {e}"),
+            SqlError::ExplainStatement => write!(
+                f,
+                "EXPLAIN produces a plan, not rows; use run_sql or explain_sql"
+            ),
         }
     }
 }
@@ -50,6 +71,7 @@ impl Error for SqlError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SqlError::Parse(e) => Some(e),
+            SqlError::Plan(e) => Some(e),
             _ => None,
         }
     }
@@ -61,22 +83,60 @@ impl From<ParseSqlError> for SqlError {
     }
 }
 
-/// A catalogue of tables plus an [`Engine`].
-#[derive(Debug, Clone, Default)]
+impl From<PlanError> for SqlError {
+    fn from(e: PlanError) -> Self {
+        SqlError::Plan(e)
+    }
+}
+
+/// What one SQL statement produced.
+#[derive(Debug, Clone)]
+pub enum SqlOutcome {
+    /// A `SELECT` executed on the session.
+    Rows(QueryOutput),
+    /// An `EXPLAIN SELECT` planned without executing (boxed: a plan
+    /// carries column snapshots and is much larger than a row batch).
+    Plan(Box<QueryPlan>),
+}
+
+/// A catalogue of tables plus an [`Engine`] (planning) and a
+/// [`Session`] (execution).
 pub struct Database {
     engine: Engine,
+    session: Session,
     tables: BTreeMap<String, Table>,
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.table_names())
+            .field("session", &self.session)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Database {
     /// An empty database with the paper's machine configuration.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_engine(Engine::new())
     }
 
-    /// A database with a custom engine (e.g. a different `SimConfig`).
+    /// A database with a custom engine (e.g. a different `SimConfig`);
+    /// the session machine uses the engine's configuration.
     pub fn with_engine(engine: Engine) -> Self {
-        Self { engine, tables: BTreeMap::new() }
+        let session = Session::with_config(engine.config().clone());
+        Self {
+            engine,
+            session,
+            tables: BTreeMap::new(),
+        }
     }
 
     /// Registers a table under its own name, replacing any previous table
@@ -95,27 +155,76 @@ impl Database {
         self.tables.keys().map(String::as_str).collect()
     }
 
-    /// Parses and executes one SQL statement.
+    /// The execution session (for cumulative cost accounting).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Parses and runs one SQL statement: `SELECT` executes on the
+    /// session and returns rows, `EXPLAIN SELECT` returns the typed
+    /// plan without executing.
     ///
     /// # Errors
     ///
-    /// [`SqlError::Parse`] for malformed statements, the other variants
-    /// for catalogue or planning problems.
-    pub fn execute_sql(&self, sql: &str) -> Result<QueryOutput, SqlError> {
-        let parsed = parse(sql)?;
+    /// [`SqlError::Parse`] for malformed statements,
+    /// [`SqlError::UnknownTable`] for unregistered tables, and
+    /// [`SqlError::Plan`] (carrying a typed [`PlanError`]) for planning
+    /// problems.
+    pub fn run_sql(&mut self, sql: &str) -> Result<SqlOutcome, SqlError> {
+        match parse_statement(sql)? {
+            Statement::Select(q) => {
+                let plan = self.plan_parsed(&q.table, &q.query)?;
+                Ok(SqlOutcome::Rows(self.session.run(&plan)))
+            }
+            Statement::Explain(q) => Ok(SqlOutcome::Plan(Box::new(
+                self.plan_parsed(&q.table, &q.query)?,
+            ))),
+        }
+    }
+
+    /// Parses and executes one `SELECT` statement on the session.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::run_sql`], plus [`SqlError::ExplainStatement`] if
+    /// the statement is an `EXPLAIN`.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<QueryOutput, SqlError> {
+        match self.run_sql(sql)? {
+            SqlOutcome::Rows(out) => Ok(out),
+            SqlOutcome::Plan(_) => Err(SqlError::ExplainStatement),
+        }
+    }
+
+    /// Plans one statement without executing it. Accepts either a bare
+    /// `SELECT` or an `EXPLAIN SELECT`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::run_sql`].
+    pub fn explain_sql(&self, sql: &str) -> Result<QueryPlan, SqlError> {
+        let q = match parse_statement(sql)? {
+            Statement::Select(q) | Statement::Explain(q) => q,
+        };
+        self.plan_parsed(&q.table, &q.query)
+    }
+
+    fn plan_parsed(
+        &self,
+        table: &str,
+        query: &crate::query::AggregateQuery,
+    ) -> Result<QueryPlan, SqlError> {
         let table = self
             .tables
-            .get(&parsed.table)
-            .ok_or_else(|| SqlError::UnknownTable(parsed.table.clone()))?;
-        self.engine
-            .execute(table, &parsed.query)
-            .map_err(SqlError::Plan)
+            .get(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        Ok(self.engine.plan(table, query)?)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::PlanStep;
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -143,7 +252,59 @@ mod tests {
             .execute_sql("SELECT g, COUNT(*), SUM(v) FROM r WHERE g <> 0 GROUP BY g")
             .unwrap();
         assert!(out.rows.iter().all(|r| r.group != 0));
-        assert!(out.report.plan.contains("VectorFilter"));
+        assert!(out.report.describe().contains("VectorFilter"));
+    }
+
+    #[test]
+    fn consecutive_statements_share_the_session_machine() {
+        let mut db = db();
+        let first = db
+            .execute_sql("SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")
+            .unwrap();
+        let second = db
+            .execute_sql("SELECT g, COUNT(*), SUM(v) FROM r WHERE v > 0 GROUP BY g")
+            .unwrap();
+        assert_eq!(db.session().queries_run(), 2);
+        assert_eq!(
+            db.session().total_cycles(),
+            first.report.cycles + second.report.cycles
+        );
+    }
+
+    #[test]
+    fn explain_returns_a_plan_without_executing() {
+        let mut db = db();
+        let outcome = db
+            .run_sql("EXPLAIN SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")
+            .unwrap();
+        let plan = match outcome {
+            SqlOutcome::Plan(p) => p,
+            SqlOutcome::Rows(_) => panic!("EXPLAIN must not execute"),
+        };
+        assert_eq!(db.session().queries_run(), 0, "nothing executed");
+        assert_eq!(db.session().total_cycles(), 0);
+        assert!(plan
+            .steps()
+            .iter()
+            .any(|s| matches!(s, PlanStep::Aggregate(_))));
+        assert!(plan.explain().contains("CardinalityScan"));
+    }
+
+    #[test]
+    fn explain_sql_accepts_bare_selects() {
+        let plan = db()
+            .explain_sql("SELECT g, SUM(v) FROM r GROUP BY g")
+            .unwrap();
+        assert_eq!(plan.table(), "r");
+        assert_eq!(plan.rows(), 8);
+    }
+
+    #[test]
+    fn execute_sql_rejects_explain_statements() {
+        let e = db()
+            .execute_sql("EXPLAIN SELECT g, SUM(v) FROM r GROUP BY g")
+            .unwrap_err();
+        assert_eq!(e, SqlError::ExplainStatement);
     }
 
     #[test]
@@ -155,12 +316,17 @@ mod tests {
     }
 
     #[test]
-    fn unknown_column_becomes_a_plan_error() {
+    fn unknown_column_becomes_a_typed_plan_error() {
         let e = db()
             .execute_sql("SELECT g, SUM(missing) FROM r GROUP BY g")
             .unwrap_err();
-        assert!(matches!(e, SqlError::Plan(_)));
+        assert_eq!(
+            e,
+            SqlError::Plan(PlanError::UnknownColumn("missing".into()))
+        );
         assert!(e.to_string().contains("unknown column"));
+        // The typed source chains through std::error::Error.
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -1,16 +1,16 @@
-//! The execution engine: plans and runs [`AggregateQuery`]s on the
-//! simulated vector machine, choosing the aggregation algorithm with the
-//! paper's §V-D adaptive policy.
+//! The planner: turns queries into typed [`QueryPlan`]s with the paper's
+//! §V-D adaptive policy, using DBMS metadata (sortedness, cardinality
+//! estimate) — plus the thin compatibility wrapper that plans and
+//! executes in one call.
 
-use crate::filter::vector_filter;
+use crate::plan::{PlanError, PlanStep, QueryPlan, ScanMode};
 use crate::query::{AggFn, AggregateQuery, OrderKey};
+use crate::session::Session;
 use crate::table::Table;
-use vagg_core::input::vector_max_scan;
-use vagg_core::{
-    minmax_aggregate, select_algorithm, AdaptiveMode, Algorithm, PlannerInputs,
-    StagedInput,
-};
-use vagg_sim::{Machine, SimConfig};
+use std::sync::Arc;
+use vagg_core::sampling::SampledEstimate;
+use vagg_core::{select_algorithm, AdaptiveMode, Algorithm, PlannerInputs};
+use vagg_sim::SimConfig;
 
 /// One output row of a query.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,19 +34,31 @@ pub struct QueryOutput {
     pub report: ExecutionReport,
 }
 
-/// Planner decision + measured cost.
+/// Planner decision + measured cost, as typed steps.
 #[derive(Debug, Clone)]
 pub struct ExecutionReport {
-    /// The algorithm the adaptive policy selected.
-    pub algorithm: Algorithm,
+    /// The algorithm the adaptive policy selected, or `None` when the
+    /// WHERE clause removed every row and aggregation was skipped.
+    pub algorithm: Option<Algorithm>,
     /// Rows surviving the WHERE clause (= input rows when no filter).
     pub rows_aggregated: usize,
     /// Total simulated cycles (filter + aggregation).
     pub cycles: u64,
     /// Simulated cycles per *input* tuple.
     pub cpt: f64,
-    /// Human-readable plan description.
-    pub plan: String,
+    /// The steps that actually executed, in order.
+    pub steps: Vec<PlanStep>,
+}
+
+impl ExecutionReport {
+    /// Renders the executed steps as a one-line pipeline description.
+    pub fn describe(&self) -> String {
+        self.steps
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
 }
 
 /// How the planner estimates cardinality (§III-A).
@@ -65,7 +77,7 @@ pub enum CardinalityEstimation {
     },
 }
 
-/// The engine: owns the machine configuration and planner options.
+/// The planner: owns the machine configuration and planner options.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     cfg: SimConfig,
@@ -75,12 +87,18 @@ pub struct Engine {
 impl Engine {
     /// An engine with the paper's machine configuration.
     pub fn new() -> Self {
-        Self { cfg: SimConfig::paper(), estimation: CardinalityEstimation::ExactScan }
+        Self {
+            cfg: SimConfig::paper(),
+            estimation: CardinalityEstimation::ExactScan,
+        }
     }
 
     /// An engine with a custom configuration.
     pub fn with_config(cfg: SimConfig) -> Self {
-        Self { cfg, estimation: CardinalityEstimation::ExactScan }
+        Self {
+            cfg,
+            estimation: CardinalityEstimation::ExactScan,
+        }
     }
 
     /// Selects how the planner estimates cardinality.
@@ -89,415 +107,218 @@ impl Engine {
         self
     }
 
-    /// Plans and executes a query against a table.
+    /// The machine configuration this engine plans for.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Plans a query against a table: resolves columns, validates the
+    /// predicates, estimates cardinality from host-visible statistics,
+    /// and fixes the §V-D algorithm choice into a typed [`QueryPlan`].
+    ///
+    /// Planning never runs the machine. The estimate here is taken over
+    /// the *unfiltered* column, as a real optimizer plans from table
+    /// statistics rather than post-selection data; [`Session::run`]
+    /// still charges the §III-A metadata scan at execution time (over
+    /// the post-WHERE input), so the billed cost matches the paper even
+    /// though the decision was made from plan-time statistics.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first planning problem found
-    /// (unknown columns, empty aggregate list, empty table).
-    pub fn execute(
-        &self,
-        table: &Table,
-        query: &AggregateQuery,
-    ) -> Result<QueryOutput, String> {
-        let g = table
-            .column(&query.group_by)
-            .ok_or_else(|| format!("unknown column {:?}", query.group_by))?;
-        let v = table
-            .column(&query.value)
-            .ok_or_else(|| format!("unknown column {:?}", query.value))?;
+    /// A typed [`PlanError`] for the first problem found: unknown
+    /// columns, an empty table or aggregate list, composite-key domain
+    /// overflow, or `HAVING`/`ORDER BY` over `AVG`.
+    pub fn plan(&self, table: &Table, query: &AggregateQuery) -> Result<QueryPlan, PlanError> {
+        let unknown = |name: &str| PlanError::UnknownColumn(name.to_string());
+        let group = table
+            .column_shared(&query.group_by)
+            .ok_or_else(|| unknown(&query.group_by))?;
+        let value = table
+            .column_shared(&query.value)
+            .ok_or_else(|| unknown(&query.value))?;
         if query.aggregates.is_empty() {
-            return Err("no aggregates requested".into());
+            return Err(PlanError::NoAggregates);
         }
         if table.rows() == 0 {
-            return Err("empty table".into());
+            return Err(PlanError::EmptyTable);
         }
+        if let Some(h) = &query.having {
+            if h.agg == AggFn::Avg {
+                return Err(PlanError::UnsupportedAvgPredicate { clause: "HAVING" });
+            }
+        }
+        if let Some(ob) = &query.order_by {
+            if ob.key == OrderKey::Agg(AggFn::Avg) {
+                return Err(PlanError::UnsupportedAvgPredicate { clause: "ORDER BY" });
+            }
+        }
+        let mut rest: Vec<Arc<[u32]>> = Vec::with_capacity(query.group_by_rest.len());
+        for name in &query.group_by_rest {
+            rest.push(table.column_shared(name).ok_or_else(|| unknown(name))?);
+        }
+        let filter_col = match &query.filter {
+            Some((col, _)) => Some(table.column_shared(col).ok_or_else(|| unknown(col))?),
+            None => None,
+        };
+
+        let n = table.rows();
+        // Fused composite keys have no sortedness guarantee even when
+        // the primary column does.
         let presorted = table
             .meta(&query.group_by)
             .map(|m| m.sorted)
             .unwrap_or(false)
-            // Fused composite keys have no sortedness guarantee even when
-            // the primary column does.
             && query.group_by_rest.is_empty();
 
-        let mut m = Machine::new(self.cfg.clone());
-        let n = table.rows();
-        let mut plan = Vec::new();
+        let mut steps = Vec::new();
 
-        // Composite GROUP BY: fuse the grouping columns into one key per
-        // row on the machine; the fused column then flows through the
-        // unchanged single-key pipeline. `rest_domains` drives readback
-        // decomposition.
-        let (g_fused, rest_domains): (Option<Vec<u32>>, Vec<u32>) =
-            if query.group_by_rest.is_empty() {
-                (None, Vec::new())
-            } else {
-                let mut cols: Vec<&[u32]> = vec![g];
-                for name in &query.group_by_rest {
-                    cols.push(table.column(name).ok_or_else(|| {
-                        format!("unknown column {name:?}")
-                    })?);
-                }
-                plan.push(format!(
-                    "FuseKeys({})",
-                    query.group_columns().join("×")
-                ));
-                let (fused, domains) = fuse_group_columns(&mut m, &cols)?;
-                (Some(fused), domains)
-            };
-        let g: &[u32] = g_fused.as_deref().unwrap_or(g);
-
-        // WHERE: vectorised selection into fresh compacted columns.
-        let (input, rows_aggregated) = if let Some((col, pred)) = &query.filter {
-            let w = table
-                .column(col)
-                .ok_or_else(|| format!("unknown column {col:?}"))?;
-            let ws = m.space_mut().alloc_slice_u32(w);
-            let gs = m.space_mut().alloc_slice_u32(g);
-            let vs = m.space_mut().alloc_slice_u32(v);
-            let gd = m.space_mut().alloc(4 * n as u64, 64);
-            let vd = m.space_mut().alloc(4 * n as u64, 64);
-            plan.push(format!("VectorFilter({col} {})", pred.sql()));
-            let kept =
-                vector_filter(&mut m, ws, n, *pred, &[(gs, gd), (vs, vd)]);
-            if kept == 0 {
-                return Ok(QueryOutput {
-                    rows: Vec::new(),
-                    report: ExecutionReport {
-                        algorithm: Algorithm::Monotable,
-                        rows_aggregated: 0,
-                        cycles: m.cycles(),
-                        cpt: m.cycles() as f64 / n as f64,
-                        plan: plan.join(" -> "),
-                    },
+        // Composite GROUP BY: check the fused key domain fits the 32-bit
+        // key space, from host-side per-column maxima (the session
+        // replays the charged machine scans at execution time).
+        // `domains` is empty for single-column queries.
+        let domains: Vec<u64> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            let domains: Vec<u64> = std::iter::once(&group)
+                .chain(rest.iter())
+                .map(|col| *col.iter().max().expect("non-empty table") as u64 + 1)
+                .collect();
+            let total: u128 = domains.iter().map(|&d| d as u128).product();
+            if total > u32::MAX as u128 + 1 {
+                return Err(PlanError::CompositeKeyOverflow {
+                    domain: total.min(u64::MAX as u128) as u64,
                 });
             }
-            // Filtering destroys sortedness guarantees? No: compaction
-            // preserves relative order, so a sorted column stays sorted.
-            let staged = StagedInput {
-                g: gd,
-                v: vd,
-                aux_g: m.space_mut().alloc(4 * kept as u64, 64),
-                aux_v: m.space_mut().alloc(4 * kept as u64, 64),
-                n: kept,
-                presorted,
-            };
-            (staged, kept)
-        } else {
-            (StagedInput::stage_raw(&mut m, g, v, presorted), n)
+            steps.push(PlanStep::FuseKeys {
+                columns: query
+                    .group_columns()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            });
+            domains
+        };
+        // The effective group key of row `i` (the fused key for
+        // composite queries).
+        let key_at = |i: usize| -> u32 {
+            let mut k = group[i] as u64;
+            for (col, &d) in rest.iter().zip(domains.iter().skip(1)) {
+                k = k * d + col[i] as u64;
+            }
+            k as u32
         };
 
-        // Plan: cardinality estimate (exact or sampled, §III-A) feeds the
-        // §V-D policy. The scan here is the engine's planning cost;
-        // algorithms still run their own metadata step, exactly as the
-        // paper charges it.
-        let cardinality = if presorted {
-            let (maxg, _tok) = vagg_core::input::presorted_max(&mut m, &input);
-            maxg as u64 + 1
-        } else {
-            match self.estimation {
-                CardinalityEstimation::ExactScan => {
-                    let (maxg, _tok) = vector_max_scan(&mut m, &input);
-                    maxg as u64 + 1
-                }
-                CardinalityEstimation::Sampled { stride } => {
-                    let (est, _tok) =
-                        vagg_core::sampling::sampled_max_scan(&mut m, &input, stride);
-                    est.planning_cardinality()
-                }
+        if let Some((col, pred)) = &query.filter {
+            steps.push(PlanStep::VectorFilter {
+                column: col.clone(),
+                pred: *pred,
+            });
+        }
+
+        // Cardinality estimate over the effective (fused) group column,
+        // host-side and pre-filter (table statistics). The session's
+        // scan at execution time charges the §III-A metadata cost but
+        // runs over the post-WHERE input, so it may see different data;
+        // the algorithm choice is fixed here, from this estimate.
+        let scan_mode = ScanMode::of(presorted, self.estimation);
+        let cardinality = match scan_mode {
+            ScanMode::Presorted => group[n - 1] as u64 + 1,
+            ScanMode::Exact => (0..n).map(key_at).max().expect("non-empty table") as u64 + 1,
+            ScanMode::Sampled { stride } => {
+                host_sampled_estimate(n, self.cfg.mvl, stride, key_at).planning_cardinality()
             }
         };
+        steps.push(PlanStep::CardinalityScan {
+            mode: scan_mode,
+            estimate: cardinality,
+        });
+
         let algorithm = select_algorithm(
             &PlannerInputs {
                 presorted,
                 cardinality,
-                rows: input.n,
-                mvl: m.mvl(),
+                rows: n,
+                mvl: self.cfg.mvl,
             },
             None,
             AdaptiveMode::Realistic,
         );
-        plan.push(format!(
-            "AdaptiveAggregate[{}](cardinality≈{cardinality})",
-            algorithm.short_name()
-        ));
-
-        // Execute.
-        let (mut base, mut mm) = if query.needs_minmax() {
-            plan.push("VGAx(min/max) kernel".into());
-            let r = minmax_aggregate(&mut m, &input);
-            (r.base, Some((r.mins, r.maxs)))
+        if query.needs_minmax() {
+            steps.push(PlanStep::MinMaxKernel);
         } else {
-            let (result, _) = algorithm.execute(&mut m, &input);
-            (result, None)
-        };
+            steps.push(PlanStep::Aggregate(algorithm));
+        }
 
-        // HAVING: vectorised selection over the output table, compacting
-        // every output column behind the aggregate's mask.
         if let Some(h) = &query.having {
-            plan.push(format!(
-                "VectorHaving({} {})",
-                h.agg.sql(&query.value),
-                h.pred.sql()
-            ));
-            (base, mm) = apply_having(&mut m, h, base, mm)?;
+            steps.push(PlanStep::VectorHaving {
+                agg: h.agg,
+                value: query.value.clone(),
+                pred: h.pred,
+            });
         }
-
-        // ORDER BY: stable vectorised radix sort of the output rows by
-        // the requested key (complement key for DESC), then LIMIT.
         if let Some(ob) = &query.order_by {
-            plan.push(format!(
-                "VectorOrderBy[radix]({}{}{})",
-                match ob.key {
-                    OrderKey::Group => query.group_by.clone(),
-                    OrderKey::Agg(a) => a.sql(&query.value),
-                },
-                if ob.desc { " DESC" } else { "" },
-                ob.limit.map(|k| format!(" LIMIT {k}")).unwrap_or_default()
-            ));
-            (base, mm) = apply_order_by(&mut m, ob, base, mm)?;
-        }
-
-        let rows = assemble_rows(
-            query,
-            &base,
-            mm.as_ref().map(|(a, b)| (&a[..], &b[..])),
-            &rest_domains,
-        );
-
-        let cycles = m.cycles();
-        Ok(QueryOutput {
-            rows,
-            report: ExecutionReport {
-                algorithm,
-                rows_aggregated,
-                cycles,
-                cpt: cycles as f64 / n as f64,
-                plan: plan.join(" -> "),
-            },
-        })
-    }
-}
-
-type Columns = (vagg_core::AggResult, Option<(Vec<u32>, Vec<u32>)>);
-
-// The integral column a HAVING / ORDER BY key refers to.
-fn agg_column<'a>(
-    agg: AggFn,
-    base: &'a vagg_core::AggResult,
-    mm: &'a Option<(Vec<u32>, Vec<u32>)>,
-) -> Result<&'a [u32], String> {
-    match agg {
-        AggFn::Count => Ok(&base.counts),
-        AggFn::Sum => Ok(&base.sums),
-        AggFn::Min => Ok(&mm.as_ref().expect("minmax kernel ran").0),
-        AggFn::Max => Ok(&mm.as_ref().expect("minmax kernel ran").1),
-        AggFn::Avg => Err(
-            "HAVING/ORDER BY on AVG is unsupported: AVG is computed on \
-             readback, not materialised as a machine column"
-                .into(),
-        ),
-    }
-}
-
-// HAVING: stage the output columns back onto the machine and run the
-// same vectorised select/compress kernel the WHERE clause uses, with the
-// aggregate column as the predicate source.
-fn apply_having(
-    m: &mut Machine,
-    h: &crate::query::Having,
-    base: vagg_core::AggResult,
-    mm: Option<(Vec<u32>, Vec<u32>)>,
-) -> Result<Columns, String> {
-    let n = base.len();
-    if n == 0 {
-        return Ok((base, mm));
-    }
-    let pred_col = agg_column(h.agg, &base, &mm)?.to_vec();
-
-    let stage = |m: &mut Machine, col: &[u32]| {
-        let src = m.space_mut().alloc_slice_u32(col);
-        let dst = m.space_mut().alloc(4 * col.len() as u64, 64);
-        (src, dst)
-    };
-    let ps = stage(m, &pred_col);
-    let gs = stage(m, &base.groups);
-    let cs = stage(m, &base.counts);
-    let ss = stage(m, &base.sums);
-    let mms = mm.as_ref().map(|(mins, maxs)| (stage(m, mins), stage(m, maxs)));
-
-    let mut cols = vec![gs, cs, ss];
-    if let Some((mins, maxs)) = mms {
-        cols.push(mins);
-        cols.push(maxs);
-    }
-    let kept = vector_filter(m, ps.0, n, h.pred, &cols);
-
-    let read = |m: &Machine, (_, dst): (u64, u64)| m.space().read_slice_u32(dst, kept);
-    let base = vagg_core::AggResult {
-        groups: read(m, cols[0]),
-        counts: read(m, cols[1]),
-        sums: read(m, cols[2]),
-    };
-    let mm = (cols.len() == 5).then(|| (read(m, cols[3]), read(m, cols[4])));
-    Ok((base, mm))
-}
-
-// ORDER BY: a stable vectorised LSD radix sort over (key, row-index)
-// pairs; the returned permutation is applied to every output column and
-// LIMIT truncates. DESC sorts the complement key so the same ascending
-// kernel serves both directions.
-fn apply_order_by(
-    m: &mut Machine,
-    ob: &crate::query::OrderBy,
-    base: vagg_core::AggResult,
-    mm: Option<(Vec<u32>, Vec<u32>)>,
-) -> Result<Columns, String> {
-    let n = base.len();
-    let keep = ob.limit.unwrap_or(n).min(n);
-    let (mut base, mut mm) = (base, mm);
-    if n > 1 {
-        let mut keys: Vec<u32> = match ob.key {
-            OrderKey::Group => base.groups.clone(),
-            OrderKey::Agg(a) => agg_column(a, &base, &mm)?.to_vec(),
-        };
-        if ob.desc {
-            for k in &mut keys {
-                *k = u32::MAX - *k;
+            steps.push(PlanStep::VectorOrderBy {
+                key: ob.key,
+                group: query.group_by.clone(),
+                value: query.value.clone(),
+                desc: ob.desc,
+            });
+            if let Some(k) = ob.limit {
+                steps.push(PlanStep::Limit(k));
             }
         }
-        let idx: Vec<u32> = (0..n as u32).collect();
-        let arrays = vagg_sort::SortArrays::stage(m, &keys, &idx);
-        let max_key = keys.iter().copied().max().unwrap_or(0);
-        let passes = vagg_sort::radix_sort(m, &arrays, max_key);
-        let (_, perm) = arrays.read_result(m, passes);
 
-        let permute =
-            |col: &[u32]| perm.iter().map(|&i| col[i as usize]).collect::<Vec<u32>>();
-        base = vagg_core::AggResult {
-            groups: permute(&base.groups),
-            counts: permute(&base.counts),
-            sums: permute(&base.sums),
-        };
-        mm = mm.map(|(mins, maxs)| (permute(&mins), permute(&maxs)));
-    }
-    base.groups.truncate(keep);
-    base.counts.truncate(keep);
-    base.sums.truncate(keep);
-    if let Some((mins, maxs)) = &mut mm {
-        mins.truncate(keep);
-        maxs.truncate(keep);
-    }
-    Ok((base, mm))
-}
-
-// Fuses the grouping columns into one key per row on the machine:
-// key = ((g₀·d₁ + g₁)·d₂ + g₂)… where dᵢ is column i's key domain
-// (maxᵢ + 1, measured by the vectorised max scan — a planning step
-// charged to the query like the §III-A metadata scan). Returns the
-// fused host column and the rest columns' domains.
-fn fuse_group_columns(
-    m: &mut Machine,
-    cols: &[&[u32]],
-) -> Result<(Vec<u32>, Vec<u32>), String> {
-    use vagg_isa::{BinOp, Vreg};
-    const VK: Vreg = Vreg(12); // running fused keys
-    const VN: Vreg = Vreg(13); // next column's keys
-
-    let n = cols[0].len();
-    if cols.iter().any(|c| c.len() != n) {
-        return Err("grouping columns differ in length".into());
-    }
-
-    // Stage the columns and measure each domain with the machine's
-    // vectorised max scan.
-    let mut staged = Vec::with_capacity(cols.len());
-    let mut domains: Vec<u64> = Vec::with_capacity(cols.len());
-    for col in cols {
-        let addr = m.space_mut().alloc_slice_u32(col);
-        let input = StagedInput {
-            g: addr,
-            v: addr,
-            aux_g: addr,
-            aux_v: addr,
-            n,
-            presorted: false,
-        };
-        let (maxk, _tok) = vector_max_scan(m, &input);
-        staged.push(addr);
-        domains.push(maxk as u64 + 1);
-    }
-    let total: u64 = domains.iter().product();
-    if total > u32::MAX as u64 + 1 {
-        return Err(format!(
-            "composite key domain {total} exceeds the 32-bit key space; \
-             drop a grouping column or pre-filter"
-        ));
-    }
-
-    // Fuse chunk by chunk: k = ((c₀·d₁) + c₁)·d₂ + c₂ …
-    let fused = m.space_mut().alloc(4 * n as u64, 64);
-    let mvl = m.mvl();
-    for start in (0..n).step_by(mvl) {
-        let vl = (n - start).min(mvl);
-        m.set_vl(vl);
-        let t = m.s_op(0);
-        m.vload_unit(VK, staged[0] + 4 * start as u64, 4, t);
-        for (i, &addr) in staged.iter().enumerate().skip(1) {
-            m.vbinop_vs(BinOp::Mul, VK, VK, domains[i], None);
-            m.vload_unit(VN, addr + 4 * start as u64, 4, t);
-            m.vbinop_vv(BinOp::Add, VK, VK, VN, None);
-        }
-        m.vstore_unit(VK, fused + 4 * start as u64, 4, t);
-    }
-    let fused_host = m.space().read_slice_u32(fused, n);
-    let rest = domains[1..].iter().map(|&d| d as u32).collect();
-    Ok((fused_host, rest))
-}
-
-// Splits a fused composite key back into its per-column parts
-// (primary part first). `rest_domains` are d₁… in fusion order.
-fn decompose_key(key: u32, rest_domains: &[u32]) -> Vec<u32> {
-    let mut parts = vec![0u32; rest_domains.len() + 1];
-    let mut k = key;
-    for (i, &d) in rest_domains.iter().enumerate().rev() {
-        parts[i + 1] = k % d;
-        k /= d;
-    }
-    parts[0] = k;
-    parts
-}
-
-fn assemble_rows(
-    query: &AggregateQuery,
-    base: &vagg_core::AggResult,
-    minmax: Option<(&[u32], &[u32])>,
-    rest_domains: &[u32],
-) -> Vec<Row> {
-    (0..base.len())
-        .map(|i| {
-            let values = query
-                .aggregates
-                .iter()
-                .map(|agg| match agg {
-                    AggFn::Count => base.counts[i] as f64,
-                    AggFn::Sum => base.sums[i] as f64,
-                    AggFn::Avg => base.sums[i] as f64 / base.counts[i] as f64,
-                    AggFn::Min => {
-                        minmax.expect("minmax kernel ran").0[i] as f64
-                    }
-                    AggFn::Max => {
-                        minmax.expect("minmax kernel ran").1[i] as f64
-                    }
-                })
-                .collect();
-            Row {
-                group: base.groups[i],
-                group_parts: decompose_key(base.groups[i], rest_domains),
-                values,
-            }
+        Ok(QueryPlan {
+            table: table.name().to_string(),
+            query: query.clone(),
+            steps,
+            algorithm,
+            scan_mode,
+            cardinality,
+            presorted,
+            rows: n,
+            group,
+            rest,
+            value,
+            filter_col,
         })
-        .collect()
+    }
+
+    /// Plans and executes a query on a fresh one-query [`Session`] — the
+    /// pre-plan-split API, kept as a thin compatibility wrapper. Serving
+    /// query traffic should plan once and reuse a session instead.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`PlanError`] of the first planning problem found.
+    pub fn execute(&self, table: &Table, query: &AggregateQuery) -> Result<QueryOutput, PlanError> {
+        let plan = self.plan(table, query)?;
+        Ok(Session::with_config(self.cfg.clone()).run(&plan))
+    }
+}
+
+/// Host-side mirror of [`vagg_core::sampling::sampled_max_scan`]: reads
+/// the same [`vagg_core::sampling::sampled_windows`] chunks (the shared
+/// sampling rule), producing the same estimate without a machine.
+fn host_sampled_estimate(
+    n: usize,
+    mvl: usize,
+    stride: usize,
+    key_at: impl Fn(usize) -> u32,
+) -> SampledEstimate {
+    let mut sampled_max = 0u32;
+    let mut rows_sampled = 0usize;
+    for (start, vl) in vagg_core::sampling::sampled_windows(n, mvl, stride) {
+        for i in start..start + vl {
+            sampled_max = sampled_max.max(key_at(i));
+        }
+        rows_sampled += vl;
+    }
+    SampledEstimate {
+        sampled_max,
+        rows_sampled,
+        stride,
+    }
 }
 
 #[cfg(test)]
@@ -533,7 +354,7 @@ mod tests {
             assert_eq!(r.values[0] as u32, count, "count of {key:?}");
             assert_eq!(r.values[1] as u32, sum, "sum of {key:?}");
         }
-        assert!(out.report.plan.contains("FuseKeys(a×b)"));
+        assert!(out.report.describe().contains("FuseKeys(a×b)"));
     }
 
     #[test]
@@ -549,8 +370,7 @@ mod tests {
         let out = Engine::new().execute(&t, &q).unwrap();
         // All four rows are distinct (a, b, c) triples.
         assert_eq!(out.rows.len(), 4);
-        let parts: Vec<Vec<u32>> =
-            out.rows.iter().map(|r| r.group_parts.clone()).collect();
+        let parts: Vec<Vec<u32>> = out.rows.iter().map(|r| r.group_parts.clone()).collect();
         assert!(parts.contains(&vec![0, 2, 5]));
         assert!(parts.contains(&vec![1, 3, 6]));
         for r in &out.rows {
@@ -569,10 +389,7 @@ mod tests {
             .with_filter("v", Predicate::NotEqual(7));
         let out = Engine::new().execute(&t, &q).unwrap();
         // (2, 0) is filtered out entirely.
-        assert!(!out
-            .rows
-            .iter()
-            .any(|r| r.group_parts == vec![2, 0]));
+        assert!(!out.rows.iter().any(|r| r.group_parts == vec![2, 0]));
         let r10 = out
             .rows
             .iter()
@@ -590,7 +407,11 @@ mod tests {
             .with_column("v", vec![1, 2]);
         let q = AggregateQuery::paper("a", "v").with_group_by_also("b");
         let err = Engine::new().execute(&t, &q).unwrap_err();
-        assert!(err.contains("32-bit key space"), "{err}");
+        assert!(
+            matches!(err, PlanError::CompositeKeyOverflow { domain } if domain > u32::MAX as u64),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("32-bit key space"), "{err}");
     }
 
     #[test]
@@ -602,23 +423,6 @@ mod tests {
         for r in &out.rows {
             assert_eq!(r.group_parts, vec![r.group]);
         }
-    }
-
-    #[test]
-    fn decompose_key_roundtrips() {
-        let rest = [7u32, 13];
-        for g0 in 0..4u32 {
-            for g1 in 0..7 {
-                for g2 in 0..13 {
-                    let key = (g0 * 7 + g1) * 13 + g2;
-                    assert_eq!(
-                        decompose_key(key, &rest),
-                        vec![g0, g1, g2]
-                    );
-                }
-            }
-        }
-        assert_eq!(decompose_key(42, &[]), vec![42]);
     }
 
     fn people() -> Table {
@@ -637,17 +441,17 @@ mod tests {
         let r3 = out.rows.iter().find(|r| r.group == 3).unwrap();
         assert_eq!(r3.values, vec![2.0, 7.0]);
         assert!(out.report.cycles > 0);
-        assert!(out.report.plan.contains("AdaptiveAggregate"));
+        assert!(out.report.describe().contains("CardinalityScan"));
+        assert!(out.report.describe().contains("Aggregate["));
     }
 
     #[test]
     fn filter_then_aggregate() {
-        let q = AggregateQuery::paper("g", "v")
-            .with_filter("g", Predicate::NotEqual(0));
+        let q = AggregateQuery::paper("g", "v").with_filter("g", Predicate::NotEqual(0));
         let out = Engine::new().execute(&people(), &q).unwrap();
         assert_eq!(out.report.rows_aggregated, 6);
         assert!(out.rows.iter().all(|r| r.group != 0));
-        assert!(out.report.plan.contains("VectorFilter"));
+        assert!(out.report.describe().contains("VectorFilter"));
     }
 
     #[test]
@@ -660,17 +464,18 @@ mod tests {
         let r0 = out.rows.iter().find(|r| r.group == 0).unwrap();
         // count, sum, min, max, avg of values {4, 1}.
         assert_eq!(r0.values, vec![2.0, 5.0, 1.0, 4.0, 2.5]);
+        assert!(out.report.describe().contains("MinMaxKernel"));
     }
 
     #[test]
     fn having_filters_output_groups() {
         // people(): group 0 {4,1}, 3 {5,2} have COUNT 2; others COUNT 1.
-        let q = AggregateQuery::paper("g", "v")
-            .with_having(AggFn::Count, Predicate::GreaterThan(1));
+        let q =
+            AggregateQuery::paper("g", "v").with_having(AggFn::Count, Predicate::GreaterThan(1));
         let out = Engine::new().execute(&people(), &q).unwrap();
         let groups: Vec<u32> = out.rows.iter().map(|r| r.group).collect();
         assert_eq!(groups, vec![0, 3]);
-        assert!(out.report.plan.contains("VectorHaving(COUNT(*) > 1)"));
+        assert!(out.report.describe().contains("VectorHaving(COUNT(*) > 1)"));
     }
 
     #[test]
@@ -690,18 +495,27 @@ mod tests {
 
     #[test]
     fn having_removing_everything_yields_empty_output() {
-        let q = AggregateQuery::paper("g", "v")
-            .with_having(AggFn::Count, Predicate::GreaterThan(100));
+        let q =
+            AggregateQuery::paper("g", "v").with_having(AggFn::Count, Predicate::GreaterThan(100));
         let out = Engine::new().execute(&people(), &q).unwrap();
         assert!(out.rows.is_empty());
     }
 
     #[test]
-    fn having_on_avg_is_a_plan_error() {
-        let q = AggregateQuery::paper("g", "v")
-            .with_having(AggFn::Avg, Predicate::GreaterThan(1));
+    fn having_on_avg_is_a_typed_plan_error() {
+        let q = AggregateQuery::paper("g", "v").with_having(AggFn::Avg, Predicate::GreaterThan(1));
         let e = Engine::new().execute(&people(), &q).unwrap_err();
-        assert!(e.contains("AVG"), "{e}");
+        assert_eq!(e, PlanError::UnsupportedAvgPredicate { clause: "HAVING" });
+        assert!(e.to_string().contains("AVG"), "{e}");
+    }
+
+    #[test]
+    fn order_by_on_avg_is_a_typed_plan_error() {
+        let q = AggregateQuery::paper("g", "v")
+            .with_aggregate(AggFn::Avg)
+            .with_order_by(crate::query::OrderKey::Agg(AggFn::Avg), false);
+        let e = Engine::new().plan(&people(), &q).unwrap_err();
+        assert_eq!(e, PlanError::UnsupportedAvgPredicate { clause: "ORDER BY" });
     }
 
     #[test]
@@ -713,7 +527,8 @@ mod tests {
         let out = Engine::new().execute(&people(), &q).unwrap();
         let groups: Vec<u32> = out.rows.iter().map(|r| r.group).collect();
         assert_eq!(groups, vec![3, 0]);
-        assert!(out.report.plan.contains("VectorOrderBy"));
+        assert!(out.report.describe().contains("VectorOrderBy"));
+        assert!(out.report.describe().contains("Limit(2)"));
     }
 
     #[test]
@@ -765,10 +580,15 @@ mod tests {
         let t = Table::new("r")
             .with_column("g", (0..n).map(|i| (i / 128) as u32).collect())
             .with_column("v", (0..n).map(|i| (i % 10) as u32).collect());
+        let plan = Engine::new()
+            .plan(&t, &AggregateQuery::paper("g", "v"))
+            .unwrap();
+        assert_eq!(plan.algorithm(), Algorithm::Polytable);
+        assert!(plan.presorted());
         let out = Engine::new()
             .execute(&t, &AggregateQuery::paper("g", "v"))
             .unwrap();
-        assert_eq!(out.report.algorithm, Algorithm::Polytable);
+        assert_eq!(out.report.algorithm, Some(Algorithm::Polytable));
     }
 
     #[test]
@@ -782,33 +602,59 @@ mod tests {
         let out = Engine::new()
             .execute(&t, &AggregateQuery::paper("g", "v"))
             .unwrap();
-        assert_eq!(out.report.algorithm, Algorithm::Monotable);
+        assert_eq!(out.report.algorithm, Some(Algorithm::Monotable));
     }
 
     #[test]
-    fn unknown_column_is_an_error() {
+    fn unknown_column_is_a_typed_error() {
         let e = Engine::new()
             .execute(&people(), &AggregateQuery::paper("nope", "v"))
             .unwrap_err();
-        assert!(e.contains("unknown column"));
+        assert_eq!(e, PlanError::UnknownColumn("nope".into()));
+        assert!(e.to_string().contains("unknown column"));
     }
 
     #[test]
-    fn filter_that_drops_everything() {
+    fn empty_table_and_no_aggregates_are_typed_errors() {
+        let empty = Table::new("r")
+            .with_column("g", vec![])
+            .with_column("v", vec![]);
+        let e = Engine::new()
+            .plan(&empty, &AggregateQuery::paper("g", "v"))
+            .unwrap_err();
+        assert_eq!(e, PlanError::EmptyTable);
+
+        let mut q = AggregateQuery::paper("g", "v");
+        q.aggregates.clear();
+        let e = Engine::new().plan(&people(), &q).unwrap_err();
+        assert_eq!(e, PlanError::NoAggregates);
+    }
+
+    #[test]
+    fn filter_that_drops_everything_reports_skipped_aggregation() {
         let t = Table::new("r")
             .with_column("g", vec![1, 1])
             .with_column("v", vec![2, 2]);
-        let q = AggregateQuery::paper("g", "v")
-            .with_filter("v", Predicate::NotEqual(2));
+        let q = AggregateQuery::paper("g", "v").with_filter("v", Predicate::NotEqual(2));
         let out = Engine::new().execute(&t, &q).unwrap();
         assert!(out.rows.is_empty());
         assert_eq!(out.report.rows_aggregated, 0);
+        // No aggregation ran, and the report says so instead of claiming
+        // an algorithm.
+        assert_eq!(out.report.algorithm, None);
+        assert!(out
+            .report
+            .steps
+            .contains(&crate::plan::PlanStep::AggregateSkipped));
+        assert!(out.report.describe().contains("AggregateSkipped"));
     }
 
     #[test]
     fn sampled_estimation_plans_cheaper_and_answers_identically() {
         let n = 64 * 400;
-        let g: Vec<u32> = (0..n).map(|i| ((i as u64 * 2654435761) % 500) as u32).collect();
+        let g: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 500) as u32)
+            .collect();
         let v: Vec<u32> = (0..n).map(|i| (i % 10) as u32).collect();
         let t = Table::new("r").with_column("g", g).with_column("v", v);
         let q = AggregateQuery::paper("g", "v");
@@ -829,6 +675,32 @@ mod tests {
     }
 
     #[test]
+    fn plan_matches_machine_estimate_under_sampling() {
+        // The plan-time host mirror of the sampled scan must agree with
+        // the machine's own sampled estimate on unfiltered input.
+        let n = 64 * 37 + 13;
+        let g: Vec<u32> = (0..n).map(|i| ((i as u64 * 48271) % 997) as u32).collect();
+        let v = vec![0u32; n];
+        let t = Table::new("r")
+            .with_column("g", g.clone())
+            .with_column("v", v.clone());
+        for stride in [1usize, 2, 8, 64] {
+            let plan = Engine::new()
+                .with_estimation(CardinalityEstimation::Sampled { stride })
+                .plan(&t, &AggregateQuery::paper("g", "v"))
+                .unwrap();
+            let mut m = vagg_sim::Machine::paper();
+            let staged = vagg_core::StagedInput::stage_raw(&mut m, &g, &v, false);
+            let (est, _) = vagg_core::sampling::sampled_max_scan(&mut m, &staged, stride);
+            assert_eq!(
+                plan.cardinality_estimate(),
+                est.planning_cardinality(),
+                "stride {stride}"
+            );
+        }
+    }
+
+    #[test]
     fn matches_oracle_on_random_data() {
         let n = 2000;
         let g: Vec<u32> = (0..n).map(|i| (i * 7919) % 97).collect();
@@ -846,5 +718,28 @@ mod tests {
             assert_eq!(row.values[0] as u32, expect.counts[i]);
             assert_eq!(row.values[1] as u32, expect.sums[i]);
         }
+    }
+
+    #[test]
+    fn explain_renders_without_executing() {
+        let q = AggregateQuery::paper("g", "v")
+            .with_filter("v", Predicate::GreaterThan(0))
+            .with_having(AggFn::Sum, Predicate::GreaterThan(2))
+            .with_order_by(crate::query::OrderKey::Agg(AggFn::Sum), true)
+            .with_limit(2);
+        let plan = Engine::new().plan(&people(), &q).unwrap();
+        let text = plan.explain();
+        assert_eq!(
+            text,
+            "SELECT g, COUNT(*), SUM(v) FROM r WHERE v > 0 GROUP BY g \
+             HAVING SUM(v) > 2 ORDER BY SUM(v) DESC LIMIT 2\n\
+             \x20 rows=8 presorted=false algorithm=monotable cardinality≈6\n\
+             \x20 1. VectorFilter(v > 0)\n\
+             \x20 2. CardinalityScan[exact](cardinality≈6)\n\
+             \x20 3. Aggregate[mono]\n\
+             \x20 4. VectorHaving(SUM(v) > 2)\n\
+             \x20 5. VectorOrderBy[radix](SUM(v) DESC)\n\
+             \x20 6. Limit(2)"
+        );
     }
 }

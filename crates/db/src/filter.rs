@@ -131,13 +131,7 @@ mod tests {
         let vs = m.space_mut().alloc_slice_u32(&v);
         let gd = m.space_mut().alloc(4 * 6, 64);
         let vd = m.space_mut().alloc(4 * 6, 64);
-        let rows = vector_filter(
-            &mut m,
-            gs,
-            6,
-            Predicate::NotEqual(1),
-            &[(gs, gd), (vs, vd)],
-        );
+        let rows = vector_filter(&mut m, gs, 6, Predicate::NotEqual(1), &[(gs, gd), (vs, vd)]);
         assert_eq!(rows, 3);
         assert_eq!(m.space().read_slice_u32(gd, 3), vec![2, 3, 4]);
         assert_eq!(m.space().read_slice_u32(vd, 3), vec![20, 40, 60]);
@@ -149,8 +143,7 @@ mod tests {
         let g = vec![0u32, 5, 0, 6];
         let gs = m.space_mut().alloc_slice_u32(&g);
         let gd = m.space_mut().alloc(16, 64);
-        let rows =
-            vector_filter(&mut m, gs, 4, Predicate::NonZero, &[(gs, gd)]);
+        let rows = vector_filter(&mut m, gs, 4, Predicate::NonZero, &[(gs, gd)]);
         assert_eq!(rows, 2);
         assert_eq!(m.space().read_slice_u32(gd, 2), vec![5, 6]);
     }
@@ -162,8 +155,7 @@ mod tests {
         let g: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
         let gs = m.space_mut().alloc_slice_u32(&g);
         let gd = m.space_mut().alloc(4 * n as u64, 64);
-        let rows =
-            vector_filter(&mut m, gs, n, Predicate::NotEqual(0), &[(gs, gd)]);
+        let rows = vector_filter(&mut m, gs, n, Predicate::NotEqual(0), &[(gs, gd)]);
         let expect: Vec<u32> = g.iter().copied().filter(|&x| x != 0).collect();
         assert_eq!(rows, expect.len());
         assert_eq!(m.space().read_slice_u32(gd, rows), expect);
@@ -175,8 +167,7 @@ mod tests {
         let g = vec![7u32; 100];
         let gs = m.space_mut().alloc_slice_u32(&g);
         let gd = m.space_mut().alloc(400, 64);
-        let rows =
-            vector_filter(&mut m, gs, 100, Predicate::NotEqual(7), &[(gs, gd)]);
+        let rows = vector_filter(&mut m, gs, 100, Predicate::NotEqual(7), &[(gs, gd)]);
         assert_eq!(rows, 0);
     }
 
@@ -187,18 +178,11 @@ mod tests {
         let gs = m.space_mut().alloc_slice_u32(&g);
         let gd = m.space_mut().alloc(4 * 7, 64);
 
-        let rows = vector_filter(
-            &mut m,
-            gs,
-            7,
-            Predicate::GreaterThan(15),
-            &[(gs, gd)],
-        );
+        let rows = vector_filter(&mut m, gs, 7, Predicate::GreaterThan(15), &[(gs, gd)]);
         assert_eq!(rows, 3);
         assert_eq!(m.space().read_slice_u32(gd, 3), vec![20, 25, 30]);
 
-        let rows =
-            vector_filter(&mut m, gs, 7, Predicate::LessThan(15), &[(gs, gd)]);
+        let rows = vector_filter(&mut m, gs, 7, Predicate::LessThan(15), &[(gs, gd)]);
         assert_eq!(rows, 3);
         assert_eq!(m.space().read_slice_u32(gd, 3), vec![0, 5, 10]);
     }
@@ -216,9 +200,7 @@ mod tests {
             assert_eq!(rows, 0, "{pred:?}");
         }
         // Edge thresholds: > u32::MAX matches nothing, < 0 matches nothing.
-        for pred in
-            [Predicate::GreaterThan(u32::MAX), Predicate::LessThan(0)]
-        {
+        for pred in [Predicate::GreaterThan(u32::MAX), Predicate::LessThan(0)] {
             let rows = vector_filter(&mut m, gs, 3, pred, &[(gs, gd)]);
             assert_eq!(rows, 0, "{pred:?}");
         }

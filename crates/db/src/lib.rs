@@ -2,33 +2,64 @@
 //!
 //! A miniature column-store query engine running on the simulated vector
 //! machine — the DBMS context the paper's aggregation work targets
-//! (§III-A emulates exactly this storage model). It composes the pieces
-//! of the reproduction into the system a database developer would use:
+//! (§III-A emulates exactly this storage model). The public API follows
+//! the plan/execute split every real column-store uses:
 //!
-//! * [`Table`] — named `u32` columns stored contiguously, with the
-//!   sortedness metadata real systems track;
+//! * [`Table`] — named `u32` columns stored contiguously (`Arc`-shared),
+//!   with the sortedness metadata real systems track;
 //! * [`AggregateQuery`] — `SELECT g, COUNT/SUM/MIN/MAX/AVG(v) FROM t
 //!   [WHERE ...] GROUP BY g[, h, ...]` (composite keys are fused on the
 //!   machine and decomposed on readback);
+//! * [`Engine::plan`] — the paper's §V-D adaptive policy as a *planning*
+//!   decision: DBMS metadata (sortedness, cardinality estimate) becomes a
+//!   typed [`QueryPlan`] of [`PlanStep`]s, inspectable via
+//!   [`QueryPlan::explain`] — or a typed [`PlanError`];
+//! * [`Session`] — a long-lived execution context owning one
+//!   [`vagg_sim::Machine`]: `session.run(&plan)` executes plans
+//!   back-to-back on the same machine, reporting per-query cycle deltas;
 //! * [`filter`] — vectorised selection using Table III's comparison +
 //!   compress + popcount instructions;
-//! * [`Engine`] — plans with the paper's §V-D adaptive policy (DBMS
-//!   sortedness metadata + cardinality from the max-key scan) and executes
-//!   on a fresh [`vagg_sim::Machine`], reporting the simulated cost;
-//! * [`sql`] / [`Database`] — a SQL front end for exactly the Figure 2
-//!   query family, so the paper's motivating statement is runnable text.
+//! * [`sql`] / [`Database`] — a SQL front end (catalogue + session) for
+//!   exactly the Figure 2 query family, including `EXPLAIN SELECT ...`.
+//!
+//! ## Plan, inspect, execute
 //!
 //! ```
-//! use vagg_db::{AggregateQuery, Engine, Table};
+//! use vagg_db::{AggregateQuery, Engine, Session, Table};
 //!
 //! let t = Table::new("people")
 //!     .with_column("age", vec![4, 3, 4, 5, 3])
 //!     .with_column("earnings", vec![24, 11, 24, 10, 15]);
-//! let out = Engine::new()
-//!     .execute(&t, &AggregateQuery::paper("age", "earnings"))
-//!     .unwrap();
+//!
+//! let engine = Engine::new();
+//! let plan = engine.plan(&t, &AggregateQuery::paper("age", "earnings"))?;
+//! println!("{}", plan.explain()); // the typed plan, rendered
+//!
+//! let mut session = Session::new();
+//! let out = session.run(&plan);           // first query: cold machine
+//! let again = session.run(&plan);         // second query: same machine
 //! assert_eq!(out.rows.len(), 3);
-//! println!("{}", out.report.plan);
+//! assert_eq!(out.rows, again.rows);
+//! assert_eq!(session.queries_run(), 2);
+//! # Ok::<(), vagg_db::PlanError>(())
+//! ```
+//!
+//! ## SQL and EXPLAIN
+//!
+//! ```
+//! use vagg_db::{Database, SqlOutcome, Table};
+//!
+//! let mut db = Database::new();
+//! db.register(
+//!     Table::new("r")
+//!         .with_column("g", vec![1, 2, 1])
+//!         .with_column("v", vec![10, 20, 30]),
+//! );
+//! match db.run_sql("EXPLAIN SELECT g, SUM(v) FROM r GROUP BY g")? {
+//!     SqlOutcome::Plan(plan) => println!("{}", plan.explain()),
+//!     SqlOutcome::Rows(_) => unreachable!("EXPLAIN never executes"),
+//! }
+//! # Ok::<(), vagg_db::SqlError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -36,15 +67,17 @@
 pub mod database;
 pub mod engine;
 pub mod filter;
+pub mod plan;
 pub mod query;
+pub mod session;
 pub mod sql;
 pub mod table;
 
-pub use database::{Database, SqlError};
-pub use engine::{
-    CardinalityEstimation, Engine, ExecutionReport, QueryOutput, Row,
-};
+pub use database::{Database, SqlError, SqlOutcome};
+pub use engine::{CardinalityEstimation, Engine, ExecutionReport, QueryOutput, Row};
 pub use filter::{reference_filter, vector_filter, Predicate};
+pub use plan::{PlanError, PlanStep, QueryPlan, ScanMode};
 pub use query::{AggFn, AggregateQuery, Having, OrderBy, OrderKey};
-pub use sql::{parse, ParseSqlError, SqlQuery};
+pub use session::Session;
+pub use sql::{parse, parse_statement, ParseSqlError, SqlQuery, Statement};
 pub use table::{ColumnMeta, ParseCsvError, Table};

@@ -1,0 +1,381 @@
+//! Typed physical plans — the planning half of the plan/execute split.
+//!
+//! [`crate::Engine::plan`] turns an [`AggregateQuery`] plus a [`Table`]'s
+//! DBMS metadata (sortedness, host-visible statistics) into a
+//! [`QueryPlan`]: an ordered list of [`PlanStep`]s with the §V-D adaptive
+//! algorithm decision resolved up front. The plan is a self-contained,
+//! inspectable artifact — render it with [`QueryPlan::explain`], or hand
+//! it to a [`crate::Session`] to execute on the simulated vector machine.
+//!
+//! Planning never touches the machine: cardinality statistics come from
+//! host-side scans of the column data the planner would read from DBMS
+//! metadata (charged scans are replayed by the session at execution time,
+//! exactly as the paper charges the metadata step to the query).
+
+use crate::engine::CardinalityEstimation;
+use crate::filter::Predicate;
+use crate::query::{AggFn, AggregateQuery, OrderKey};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use vagg_core::Algorithm;
+
+/// Why a query could not be planned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The query names a column the table does not have.
+    UnknownColumn(String),
+    /// The table has no rows (nothing to stage on the machine).
+    EmptyTable,
+    /// The query requests no aggregate functions.
+    NoAggregates,
+    /// A composite GROUP BY whose fused key domain exceeds the 32-bit
+    /// key space of the vector machine.
+    CompositeKeyOverflow {
+        /// The product of the grouping columns' key domains.
+        domain: u64,
+    },
+    /// A `HAVING` or `ORDER BY` predicate over `AVG`, which is computed
+    /// on readback and never materialised as a machine column.
+    UnsupportedAvgPredicate {
+        /// The offending clause (`"HAVING"` or `"ORDER BY"`).
+        clause: &'static str,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownColumn(name) => {
+                write!(f, "unknown column {name:?}")
+            }
+            PlanError::EmptyTable => write!(f, "the table has no rows"),
+            PlanError::NoAggregates => write!(f, "no aggregates requested"),
+            PlanError::CompositeKeyOverflow { domain } => write!(
+                f,
+                "composite key domain {domain} exceeds the 32-bit key space; \
+                 drop a grouping column or pre-filter"
+            ),
+            PlanError::UnsupportedAvgPredicate { clause } => write!(
+                f,
+                "{clause} on AVG is unsupported: AVG is computed on \
+                 readback, not materialised as a machine column"
+            ),
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+/// How the cardinality estimate in a plan was (and will be) obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// O(1) last-element lookup, available on presorted input.
+    Presorted,
+    /// The exact vectorised max-key scan of the whole column.
+    Exact,
+    /// The sampled scan: one MVL-wide chunk in every `stride`.
+    Sampled {
+        /// Chunk stride of the sample.
+        stride: usize,
+    },
+}
+
+impl ScanMode {
+    pub(crate) fn of(presorted: bool, estimation: CardinalityEstimation) -> Self {
+        if presorted {
+            ScanMode::Presorted
+        } else {
+            match estimation {
+                CardinalityEstimation::ExactScan => ScanMode::Exact,
+                CardinalityEstimation::Sampled { stride } => ScanMode::Sampled { stride },
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScanMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanMode::Presorted => write!(f, "presorted"),
+            ScanMode::Exact => write!(f, "exact"),
+            ScanMode::Sampled { stride } => write!(f, "sampled/{stride}"),
+        }
+    }
+}
+
+/// One step of a physical plan (or of an execution report).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanStep {
+    /// Fuse the grouping columns into one key per row on the machine.
+    FuseKeys {
+        /// Grouping column names, primary first.
+        columns: Vec<String>,
+    },
+    /// Vectorised WHERE selection compacting every live column.
+    VectorFilter {
+        /// The filtered column.
+        column: String,
+        /// The comparison.
+        pred: Predicate,
+    },
+    /// The planning-metadata scan establishing the cardinality estimate.
+    CardinalityScan {
+        /// How the scan reads the column.
+        mode: ScanMode,
+        /// The cardinality the planner acts on.
+        estimate: u64,
+    },
+    /// Run the selected aggregation algorithm.
+    Aggregate(
+        /// The §V-D adaptive choice.
+        Algorithm,
+    ),
+    /// Run the extended VGAmin/VGAmax kernel (queries with MIN/MAX).
+    MinMaxKernel,
+    /// Recorded at execution time when the WHERE clause removed every
+    /// row, so no aggregation algorithm ran at all.
+    AggregateSkipped,
+    /// Vectorised HAVING selection over the output table.
+    VectorHaving {
+        /// The aggregate the predicate inspects.
+        agg: AggFn,
+        /// The query's value column (for rendering `SUM(v)` etc.).
+        value: String,
+        /// The comparison.
+        pred: Predicate,
+    },
+    /// Stable vectorised radix sort of the output rows.
+    VectorOrderBy {
+        /// The sort key.
+        key: OrderKey,
+        /// The primary grouping column name (for rendering).
+        group: String,
+        /// The value column name (for rendering).
+        value: String,
+        /// Descending order.
+        desc: bool,
+    },
+    /// Keep only the first `rows` output rows.
+    Limit(
+        /// Row budget.
+        usize,
+    ),
+}
+
+impl fmt::Display for PlanStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanStep::FuseKeys { columns } => {
+                write!(f, "FuseKeys({})", columns.join("×"))
+            }
+            PlanStep::VectorFilter { column, pred } => {
+                write!(f, "VectorFilter({column} {})", pred.sql())
+            }
+            PlanStep::CardinalityScan { mode, estimate } => {
+                write!(f, "CardinalityScan[{mode}](cardinality≈{estimate})")
+            }
+            PlanStep::Aggregate(algorithm) => {
+                write!(f, "Aggregate[{}]", algorithm.short_name())
+            }
+            PlanStep::MinMaxKernel => write!(f, "MinMaxKernel[VGAmin/VGAmax]"),
+            PlanStep::AggregateSkipped => {
+                write!(f, "AggregateSkipped(WHERE removed every row)")
+            }
+            PlanStep::VectorHaving { agg, value, pred } => {
+                write!(f, "VectorHaving({} {})", agg.sql(value), pred.sql())
+            }
+            PlanStep::VectorOrderBy {
+                key,
+                group,
+                value,
+                desc,
+            } => {
+                write!(
+                    f,
+                    "VectorOrderBy[radix]({}{})",
+                    match key {
+                        OrderKey::Group => group.clone(),
+                        OrderKey::Agg(a) => a.sql(value),
+                    },
+                    if *desc { " DESC" } else { "" }
+                )
+            }
+            PlanStep::Limit(rows) => write!(f, "Limit({rows})"),
+        }
+    }
+}
+
+/// A planned query: the typed steps, the resolved algorithm decision,
+/// and shared (`Arc`) snapshots of the columns the session will stage.
+///
+/// Produced by [`crate::Engine::plan`], executed by
+/// [`crate::Session::run`], rendered by [`QueryPlan::explain`].
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    pub(crate) table: String,
+    pub(crate) query: AggregateQuery,
+    pub(crate) steps: Vec<PlanStep>,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) scan_mode: ScanMode,
+    pub(crate) cardinality: u64,
+    pub(crate) presorted: bool,
+    pub(crate) rows: usize,
+    /// Column snapshots (shared with the table, not copied): the primary
+    /// grouping column, further grouping columns, the value column, and
+    /// the WHERE column.
+    pub(crate) group: Arc<[u32]>,
+    pub(crate) rest: Vec<Arc<[u32]>>,
+    pub(crate) value: Arc<[u32]>,
+    pub(crate) filter_col: Option<Arc<[u32]>>,
+}
+
+impl QueryPlan {
+    /// The planned steps in execution order.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// The aggregation algorithm the §V-D policy selected.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The cardinality estimate the selection acted on.
+    pub fn cardinality_estimate(&self) -> u64 {
+        self.cardinality
+    }
+
+    /// Whether the grouping column is known sorted (DBMS metadata).
+    pub fn presorted(&self) -> bool {
+        self.presorted
+    }
+
+    /// Input rows the plan will stage.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The planned query, rendered as SQL.
+    pub fn sql(&self) -> String {
+        self.query.sql(&self.table)
+    }
+
+    /// The query this plan serves.
+    pub fn query(&self) -> &AggregateQuery {
+        &self.query
+    }
+
+    /// The `FROM` table name.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Renders the plan in `EXPLAIN` form: the SQL, one header line of
+    /// planner facts, then the numbered steps.
+    ///
+    /// ```text
+    /// SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g
+    ///   rows=8 presorted=false algorithm=monotable cardinality≈6
+    ///   1. CardinalityScan[exact](cardinality≈6)
+    ///   2. Aggregate[mono]
+    /// ```
+    pub fn explain(&self) -> String {
+        use fmt::Write as _;
+        let mut out = self.sql();
+        let _ = write!(
+            out,
+            "\n  rows={} presorted={} algorithm={} cardinality≈{}",
+            self.rows,
+            self.presorted,
+            self.algorithm.name().replace(' ', "-"),
+            self.cardinality
+        );
+        for (i, step) in self.steps.iter().enumerate() {
+            let _ = write!(out, "\n  {}. {step}", i + 1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_error_display_is_stable() {
+        assert_eq!(
+            PlanError::UnknownColumn("x".into()).to_string(),
+            "unknown column \"x\""
+        );
+        assert_eq!(PlanError::EmptyTable.to_string(), "the table has no rows");
+        assert_eq!(
+            PlanError::NoAggregates.to_string(),
+            "no aggregates requested"
+        );
+        assert!(PlanError::CompositeKeyOverflow { domain: 1 << 40 }
+            .to_string()
+            .contains("32-bit key space"));
+        let e = PlanError::UnsupportedAvgPredicate { clause: "HAVING" };
+        assert!(e.to_string().contains("HAVING on AVG"));
+    }
+
+    #[test]
+    fn plan_errors_implement_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<PlanError>();
+    }
+
+    #[test]
+    fn step_rendering() {
+        assert_eq!(
+            PlanStep::FuseKeys {
+                columns: vec!["a".into(), "b".into()]
+            }
+            .to_string(),
+            "FuseKeys(a×b)"
+        );
+        assert_eq!(
+            PlanStep::VectorFilter {
+                column: "w".into(),
+                pred: Predicate::GreaterThan(2)
+            }
+            .to_string(),
+            "VectorFilter(w > 2)"
+        );
+        assert_eq!(
+            PlanStep::CardinalityScan {
+                mode: ScanMode::Sampled { stride: 8 },
+                estimate: 625
+            }
+            .to_string(),
+            "CardinalityScan[sampled/8](cardinality≈625)"
+        );
+        assert_eq!(
+            PlanStep::Aggregate(Algorithm::Monotable).to_string(),
+            "Aggregate[mono]"
+        );
+        assert_eq!(
+            PlanStep::VectorHaving {
+                agg: AggFn::Count,
+                value: "v".into(),
+                pred: Predicate::GreaterThan(1)
+            }
+            .to_string(),
+            "VectorHaving(COUNT(*) > 1)"
+        );
+        assert_eq!(
+            PlanStep::VectorOrderBy {
+                key: OrderKey::Agg(AggFn::Sum),
+                group: "g".into(),
+                value: "v".into(),
+                desc: true
+            }
+            .to_string(),
+            "VectorOrderBy[radix](SUM(v) DESC)"
+        );
+        assert_eq!(PlanStep::Limit(5).to_string(), "Limit(5)");
+    }
+}

@@ -149,7 +149,11 @@ impl AggregateQuery {
 
     /// Adds an ORDER BY clause.
     pub fn with_order_by(mut self, key: OrderKey, desc: bool) -> Self {
-        self.order_by = Some(OrderBy { key, desc, limit: None });
+        self.order_by = Some(OrderBy {
+            key,
+            desc,
+            limit: None,
+        });
         if let OrderKey::Agg(a) = key {
             return self.with_aggregate(a);
         }
@@ -175,8 +179,7 @@ impl AggregateQuery {
 
     /// Renders the query as SQL (for EXPLAIN output).
     pub fn sql(&self, table: &str) -> String {
-        let aggs: Vec<String> =
-            self.aggregates.iter().map(|a| a.sql(&self.value)).collect();
+        let aggs: Vec<String> = self.aggregates.iter().map(|a| a.sql(&self.value)).collect();
         let group_list = self.group_columns().join(", ");
         let mut s = format!("SELECT {group_list}, {} FROM {table}", aggs.join(", "));
         if let Some((col, pred)) = &self.filter {
@@ -210,10 +213,7 @@ mod tests {
     #[test]
     fn paper_query_sql() {
         let q = AggregateQuery::paper("g", "v");
-        assert_eq!(
-            q.sql("r"),
-            "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g"
-        );
+        assert_eq!(q.sql("r"), "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g");
         assert!(!q.needs_minmax());
     }
 

@@ -1,0 +1,538 @@
+//! Reusable execution sessions — the execute half of the plan/execute
+//! split.
+//!
+//! A [`Session`] owns one long-lived [`Machine`] and executes
+//! [`QueryPlan`]s on it. Back-to-back queries amortise machine
+//! construction and keep the simulated cache hierarchy warm, the way a
+//! real column-store keeps one execution context per connection; each
+//! [`Session::run`] reports the *cycle delta* it cost, so per-query
+//! accounting stays exact across reuse.
+
+use crate::engine::{ExecutionReport, QueryOutput, Row};
+use crate::filter::vector_filter;
+use crate::plan::{PlanStep, QueryPlan, ScanMode};
+use crate::query::{AggFn, AggregateQuery, OrderKey};
+use vagg_core::input::vector_max_scan;
+use vagg_core::{minmax_aggregate, StagedInput};
+use vagg_sim::{Machine, SimConfig};
+
+/// A long-lived query-execution context: one simulated machine serving
+/// many plans.
+///
+/// ```
+/// use vagg_db::{AggregateQuery, Engine, Session, Table};
+///
+/// let t = Table::new("r")
+///     .with_column("g", vec![1, 2, 1])
+///     .with_column("v", vec![10, 20, 30]);
+/// let plan = Engine::new().plan(&t, &AggregateQuery::paper("g", "v"))?;
+///
+/// let mut session = Session::new();
+/// let first = session.run(&plan);
+/// let second = session.run(&plan); // same machine, warm caches
+/// assert_eq!(first.rows, second.rows);
+/// assert_eq!(session.queries_run(), 2);
+/// # Ok::<(), vagg_db::PlanError>(())
+/// ```
+pub struct Session {
+    machine: Machine,
+    queries: usize,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("queries", &self.queries)
+            .field("total_cycles", &self.machine.cycles())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A session on the paper's machine configuration.
+    pub fn new() -> Self {
+        Self::with_config(SimConfig::paper())
+    }
+
+    /// A session on a custom machine configuration.
+    pub fn with_config(cfg: SimConfig) -> Self {
+        Self {
+            machine: Machine::new(cfg),
+            queries: 0,
+        }
+    }
+
+    /// The underlying machine (cumulative across queries).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Plans executed on this session so far.
+    pub fn queries_run(&self) -> usize {
+        self.queries
+    }
+
+    /// Total simulated cycles across every plan this session ran.
+    pub fn total_cycles(&self) -> u64 {
+        self.machine.cycles()
+    }
+
+    /// Executes a plan, returning the rows and a report whose `cycles`
+    /// are this query's delta (reuse does not double-charge).
+    ///
+    /// Execution is infallible: every error condition is typed and
+    /// rejected at plan time by [`crate::Engine::plan`].
+    pub fn run(&mut self, plan: &QueryPlan) -> QueryOutput {
+        self.queries += 1;
+        // Queries own no machine-resident state between runs (results are
+        // read back to the host), so reclaim the simulated address space
+        // up front: the bump allocator never frees, and without this a
+        // long-lived session would grow host memory by the staged table
+        // size on every query. Cycle and cache-model state persist.
+        self.machine.space_mut().reset();
+        let m = &mut self.machine;
+        let start_cycles = m.cycles();
+        let n = plan.rows;
+
+        // Composite GROUP BY: fuse the grouping columns into one key per
+        // row on the machine; the fused column then flows through the
+        // unchanged single-key pipeline. `rest_domains` drives readback
+        // decomposition.
+        let (g_fused, rest_domains): (Option<Vec<u32>>, Vec<u32>) = if plan.rest.is_empty() {
+            (None, Vec::new())
+        } else {
+            let mut cols: Vec<&[u32]> = vec![&plan.group];
+            for col in &plan.rest {
+                cols.push(col);
+            }
+            let (fused, domains) = fuse_group_columns(m, &cols);
+            (Some(fused), domains)
+        };
+        let g: &[u32] = g_fused.as_deref().unwrap_or(&plan.group);
+        let v: &[u32] = &plan.value;
+
+        // WHERE: vectorised selection into fresh compacted columns.
+        let (input, rows_aggregated) = if let Some((_, pred)) = &plan.query.filter {
+            let w: &[u32] = plan
+                .filter_col
+                .as_deref()
+                .expect("plan carries the WHERE column");
+            let ws = m.space_mut().alloc_slice_u32(w);
+            let gs = m.space_mut().alloc_slice_u32(g);
+            let vs = m.space_mut().alloc_slice_u32(v);
+            let gd = m.space_mut().alloc(4 * n as u64, 64);
+            let vd = m.space_mut().alloc(4 * n as u64, 64);
+            let kept = vector_filter(m, ws, n, *pred, &[(gs, gd), (vs, vd)]);
+            if kept == 0 {
+                // Nothing survived: no aggregation algorithm runs at
+                // all, and the report says so instead of claiming one —
+                // the planned steps up to the filter, then the skip.
+                let mut steps: Vec<PlanStep> = plan
+                    .steps
+                    .iter()
+                    .take_while(|s| !matches!(s, PlanStep::CardinalityScan { .. }))
+                    .cloned()
+                    .collect();
+                steps.push(PlanStep::AggregateSkipped);
+                let cycles = m.cycles() - start_cycles;
+                return QueryOutput {
+                    rows: Vec::new(),
+                    report: ExecutionReport {
+                        algorithm: None,
+                        rows_aggregated: 0,
+                        cycles,
+                        cpt: cycles as f64 / n as f64,
+                        steps,
+                    },
+                };
+            }
+            // Compaction preserves relative order, so a sorted column
+            // stays sorted through the filter.
+            let staged = StagedInput {
+                g: gd,
+                v: vd,
+                aux_g: m.space_mut().alloc(4 * kept as u64, 64),
+                aux_v: m.space_mut().alloc(4 * kept as u64, 64),
+                n: kept,
+                presorted: plan.presorted,
+            };
+            (staged, kept)
+        } else {
+            (StagedInput::stage_raw(m, g, v, plan.presorted), n)
+        };
+
+        // The charged planning scan (§III-A): the session replays the
+        // metadata step the paper bills to the query. The algorithm
+        // choice itself was fixed at plan time.
+        match plan.scan_mode {
+            ScanMode::Presorted => {
+                let _ = vagg_core::input::presorted_max(m, &input);
+            }
+            ScanMode::Exact => {
+                let _ = vector_max_scan(m, &input);
+            }
+            ScanMode::Sampled { stride } => {
+                let _ = vagg_core::sampling::sampled_max_scan(m, &input, stride);
+            }
+        }
+
+        // Aggregate.
+        let (mut base, mut mm) = if plan.query.needs_minmax() {
+            let r = minmax_aggregate(m, &input);
+            (r.base, Some((r.mins, r.maxs)))
+        } else {
+            let (result, _) = plan.algorithm.execute(m, &input);
+            (result, None)
+        };
+
+        // HAVING: vectorised selection over the output table, compacting
+        // every output column behind the aggregate's mask.
+        if let Some(h) = &plan.query.having {
+            (base, mm) = apply_having(m, h, base, mm);
+        }
+
+        // ORDER BY: stable vectorised radix sort of the output rows by
+        // the requested key (complement key for DESC), then LIMIT.
+        if let Some(ob) = &plan.query.order_by {
+            (base, mm) = apply_order_by(m, ob, base, mm);
+        }
+
+        let rows = assemble_rows(
+            &plan.query,
+            &base,
+            mm.as_ref().map(|(a, b)| (&a[..], &b[..])),
+            &rest_domains,
+        );
+
+        let cycles = m.cycles() - start_cycles;
+        QueryOutput {
+            rows,
+            report: ExecutionReport {
+                algorithm: Some(plan.algorithm),
+                rows_aggregated,
+                cycles,
+                cpt: cycles as f64 / n as f64,
+                // Every planned step ran, in plan order.
+                steps: plan.steps.clone(),
+            },
+        }
+    }
+}
+
+type Columns = (vagg_core::AggResult, Option<(Vec<u32>, Vec<u32>)>);
+
+// The integral column a HAVING / ORDER BY key refers to. AVG is rejected
+// at plan time (`PlanError::UnsupportedAvgPredicate`), so it cannot
+// reach execution.
+fn agg_column<'a>(
+    agg: AggFn,
+    base: &'a vagg_core::AggResult,
+    mm: &'a Option<(Vec<u32>, Vec<u32>)>,
+) -> &'a [u32] {
+    match agg {
+        AggFn::Count => &base.counts,
+        AggFn::Sum => &base.sums,
+        AggFn::Min => &mm.as_ref().expect("minmax kernel ran").0,
+        AggFn::Max => &mm.as_ref().expect("minmax kernel ran").1,
+        AggFn::Avg => unreachable!("AVG predicates are rejected at plan time"),
+    }
+}
+
+// HAVING: stage the output columns back onto the machine and run the
+// same vectorised select/compress kernel the WHERE clause uses, with the
+// aggregate column as the predicate source.
+fn apply_having(
+    m: &mut Machine,
+    h: &crate::query::Having,
+    base: vagg_core::AggResult,
+    mm: Option<(Vec<u32>, Vec<u32>)>,
+) -> Columns {
+    let n = base.len();
+    if n == 0 {
+        return (base, mm);
+    }
+    let pred_col = agg_column(h.agg, &base, &mm).to_vec();
+
+    let stage = |m: &mut Machine, col: &[u32]| {
+        let src = m.space_mut().alloc_slice_u32(col);
+        let dst = m.space_mut().alloc(4 * col.len() as u64, 64);
+        (src, dst)
+    };
+    let ps = stage(m, &pred_col);
+    let gs = stage(m, &base.groups);
+    let cs = stage(m, &base.counts);
+    let ss = stage(m, &base.sums);
+    let mms = mm
+        .as_ref()
+        .map(|(mins, maxs)| (stage(m, mins), stage(m, maxs)));
+
+    let mut cols = vec![gs, cs, ss];
+    if let Some((mins, maxs)) = mms {
+        cols.push(mins);
+        cols.push(maxs);
+    }
+    let kept = vector_filter(m, ps.0, n, h.pred, &cols);
+
+    let read = |m: &Machine, (_, dst): (u64, u64)| m.space().read_slice_u32(dst, kept);
+    let base = vagg_core::AggResult {
+        groups: read(m, cols[0]),
+        counts: read(m, cols[1]),
+        sums: read(m, cols[2]),
+    };
+    let mm = (cols.len() == 5).then(|| (read(m, cols[3]), read(m, cols[4])));
+    (base, mm)
+}
+
+// ORDER BY: a stable vectorised LSD radix sort over (key, row-index)
+// pairs; the returned permutation is applied to every output column and
+// LIMIT truncates. DESC sorts the complement key so the same ascending
+// kernel serves both directions.
+fn apply_order_by(
+    m: &mut Machine,
+    ob: &crate::query::OrderBy,
+    base: vagg_core::AggResult,
+    mm: Option<(Vec<u32>, Vec<u32>)>,
+) -> Columns {
+    let n = base.len();
+    let keep = ob.limit.unwrap_or(n).min(n);
+    let (mut base, mut mm) = (base, mm);
+    if n > 1 {
+        let mut keys: Vec<u32> = match ob.key {
+            OrderKey::Group => base.groups.clone(),
+            OrderKey::Agg(a) => agg_column(a, &base, &mm).to_vec(),
+        };
+        if ob.desc {
+            for k in &mut keys {
+                *k = u32::MAX - *k;
+            }
+        }
+        let idx: Vec<u32> = (0..n as u32).collect();
+        let arrays = vagg_sort::SortArrays::stage(m, &keys, &idx);
+        let max_key = keys.iter().copied().max().unwrap_or(0);
+        let passes = vagg_sort::radix_sort(m, &arrays, max_key);
+        let (_, perm) = arrays.read_result(m, passes);
+
+        let permute = |col: &[u32]| perm.iter().map(|&i| col[i as usize]).collect::<Vec<u32>>();
+        base = vagg_core::AggResult {
+            groups: permute(&base.groups),
+            counts: permute(&base.counts),
+            sums: permute(&base.sums),
+        };
+        mm = mm.map(|(mins, maxs)| (permute(&mins), permute(&maxs)));
+    }
+    base.groups.truncate(keep);
+    base.counts.truncate(keep);
+    base.sums.truncate(keep);
+    if let Some((mins, maxs)) = &mut mm {
+        mins.truncate(keep);
+        maxs.truncate(keep);
+    }
+    (base, mm)
+}
+
+// Fuses the grouping columns into one key per row on the machine:
+// key = ((g₀·d₁ + g₁)·d₂ + g₂)… where dᵢ is column i's key domain
+// (maxᵢ + 1, measured by the vectorised max scan — a planning step
+// charged to the query like the §III-A metadata scan). Returns the
+// fused host column and the rest columns' domains. Domain overflow was
+// already rejected at plan time from the same statistics.
+fn fuse_group_columns(m: &mut Machine, cols: &[&[u32]]) -> (Vec<u32>, Vec<u32>) {
+    use vagg_isa::{BinOp, Vreg};
+    const VK: Vreg = Vreg(12); // running fused keys
+    const VN: Vreg = Vreg(13); // next column's keys
+
+    let n = cols[0].len();
+    debug_assert!(cols.iter().all(|c| c.len() == n), "table columns agree");
+
+    // Stage the columns and measure each domain with the machine's
+    // vectorised max scan.
+    let mut staged = Vec::with_capacity(cols.len());
+    let mut domains: Vec<u64> = Vec::with_capacity(cols.len());
+    for col in cols {
+        let addr = m.space_mut().alloc_slice_u32(col);
+        let input = StagedInput {
+            g: addr,
+            v: addr,
+            aux_g: addr,
+            aux_v: addr,
+            n,
+            presorted: false,
+        };
+        let (maxk, _tok) = vector_max_scan(m, &input);
+        staged.push(addr);
+        domains.push(maxk as u64 + 1);
+    }
+    debug_assert!(
+        domains.iter().map(|&d| d as u128).product::<u128>() <= u32::MAX as u128 + 1,
+        "overflow rejected at plan time"
+    );
+
+    // Fuse chunk by chunk: k = ((c₀·d₁) + c₁)·d₂ + c₂ …
+    let fused = m.space_mut().alloc(4 * n as u64, 64);
+    let mvl = m.mvl();
+    for start in (0..n).step_by(mvl) {
+        let vl = (n - start).min(mvl);
+        m.set_vl(vl);
+        let t = m.s_op(0);
+        m.vload_unit(VK, staged[0] + 4 * start as u64, 4, t);
+        for (i, &addr) in staged.iter().enumerate().skip(1) {
+            m.vbinop_vs(BinOp::Mul, VK, VK, domains[i], None);
+            m.vload_unit(VN, addr + 4 * start as u64, 4, t);
+            m.vbinop_vv(BinOp::Add, VK, VK, VN, None);
+        }
+        m.vstore_unit(VK, fused + 4 * start as u64, 4, t);
+    }
+    let fused_host = m.space().read_slice_u32(fused, n);
+    let rest = domains[1..].iter().map(|&d| d as u32).collect();
+    (fused_host, rest)
+}
+
+// Splits a fused composite key back into its per-column parts
+// (primary part first). `rest_domains` are d₁… in fusion order.
+fn decompose_key(key: u32, rest_domains: &[u32]) -> Vec<u32> {
+    let mut parts = vec![0u32; rest_domains.len() + 1];
+    let mut k = key;
+    for (i, &d) in rest_domains.iter().enumerate().rev() {
+        parts[i + 1] = k % d;
+        k /= d;
+    }
+    parts[0] = k;
+    parts
+}
+
+fn assemble_rows(
+    query: &AggregateQuery,
+    base: &vagg_core::AggResult,
+    minmax: Option<(&[u32], &[u32])>,
+    rest_domains: &[u32],
+) -> Vec<Row> {
+    (0..base.len())
+        .map(|i| {
+            let values = query
+                .aggregates
+                .iter()
+                .map(|agg| match agg {
+                    AggFn::Count => base.counts[i] as f64,
+                    AggFn::Sum => base.sums[i] as f64,
+                    AggFn::Avg => base.sums[i] as f64 / base.counts[i] as f64,
+                    AggFn::Min => minmax.expect("minmax kernel ran").0[i] as f64,
+                    AggFn::Max => minmax.expect("minmax kernel ran").1[i] as f64,
+                })
+                .collect();
+            Row {
+                group: base.groups[i],
+                group_parts: decompose_key(base.groups[i], rest_domains),
+                values,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::table::Table;
+
+    fn people() -> Table {
+        Table::new("r")
+            .with_column("g", vec![1, 3, 3, 0, 0, 5, 2, 4])
+            .with_column("v", vec![0, 5, 2, 4, 1, 3, 3, 0])
+    }
+
+    #[test]
+    fn session_reuses_one_machine_across_queries() {
+        let t = people();
+        let engine = Engine::new();
+        let plan = engine.plan(&t, &AggregateQuery::paper("g", "v")).unwrap();
+
+        let mut session = Session::new();
+        assert_eq!(session.queries_run(), 0);
+        let first = session.run(&plan);
+        let after_first = session.total_cycles();
+        let second = session.run(&plan);
+
+        assert_eq!(session.queries_run(), 2);
+        assert_eq!(first.rows, second.rows);
+        // Per-query cycles are deltas on the shared machine: the session
+        // total is exactly the sum of the reports.
+        assert_eq!(after_first, first.report.cycles);
+        assert_eq!(
+            session.total_cycles(),
+            first.report.cycles + second.report.cycles
+        );
+        // Both queries were charged real work on the shared machine
+        // (cache state carries over, so the deltas need not be equal).
+        assert!(second.report.cycles > 0);
+    }
+
+    #[test]
+    fn session_reuse_does_not_grow_simulated_memory() {
+        // The address space is reclaimed per query: a long-lived session
+        // must not accumulate host pages run after run.
+        let t = people();
+        let plan = Engine::new()
+            .plan(&t, &AggregateQuery::paper("g", "v"))
+            .unwrap();
+        let mut session = Session::new();
+        session.run(&plan);
+        let after_one = session.machine().space().resident_pages();
+        for _ in 0..20 {
+            session.run(&plan);
+        }
+        assert_eq!(session.machine().space().resident_pages(), after_one);
+    }
+
+    #[test]
+    fn session_matches_one_shot_execute() {
+        let t = people();
+        let q = AggregateQuery::paper("g", "v");
+        let engine = Engine::new();
+        let via_execute = engine.execute(&t, &q).unwrap();
+        let plan = engine.plan(&t, &q).unwrap();
+        let via_session = Session::new().run(&plan);
+        assert_eq!(via_execute.rows, via_session.rows);
+        assert_eq!(via_execute.report.cycles, via_session.report.cycles);
+        assert_eq!(via_execute.report.algorithm, via_session.report.algorithm);
+    }
+
+    #[test]
+    fn one_session_serves_different_plans() {
+        let t = people();
+        let engine = Engine::new();
+        let p1 = engine.plan(&t, &AggregateQuery::paper("g", "v")).unwrap();
+        let p2 = engine
+            .plan(
+                &t,
+                &AggregateQuery::paper("g", "v")
+                    .with_having(AggFn::Count, crate::filter::Predicate::GreaterThan(1)),
+            )
+            .unwrap();
+        let mut session = Session::new();
+        let full = session.run(&p1);
+        let having = session.run(&p2);
+        assert_eq!(full.rows.len(), 6);
+        let groups: Vec<u32> = having.rows.iter().map(|r| r.group).collect();
+        assert_eq!(groups, vec![0, 3]);
+    }
+
+    #[test]
+    fn decompose_key_roundtrips() {
+        let rest = [7u32, 13];
+        for g0 in 0..4u32 {
+            for g1 in 0..7 {
+                for g2 in 0..13 {
+                    let key = (g0 * 7 + g1) * 13 + g2;
+                    assert_eq!(decompose_key(key, &rest), vec![g0, g1, g2]);
+                }
+            }
+        }
+        assert_eq!(decompose_key(42, &[]), vec![42]);
+    }
+}

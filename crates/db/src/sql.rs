@@ -44,6 +44,16 @@ pub struct SqlQuery {
     pub query: AggregateQuery,
 }
 
+/// One parsed statement: a `SELECT` to execute, or an `EXPLAIN SELECT`
+/// to plan without executing.
+#[derive(Debug, Clone)]
+pub enum Statement {
+    /// Execute the query and return rows.
+    Select(SqlQuery),
+    /// Plan the query and return the typed [`crate::QueryPlan`].
+    Explain(SqlQuery),
+}
+
 /// Why a statement failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseSqlError {
@@ -96,7 +106,10 @@ impl fmt::Display for ParseSqlError {
                 )
             }
             ParseSqlError::MixedValueColumns(a, b) => {
-                write!(f, "aggregates reference different value columns {a:?} and {b:?}")
+                write!(
+                    f,
+                    "aggregates reference different value columns {a:?} and {b:?}"
+                )
             }
             ParseSqlError::GroupByMismatch { selected, grouped } => {
                 write!(
@@ -192,9 +205,7 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseSqlError> {
                         out.push(Token::NotEqual);
                     }
                     Some('=') => {
-                        return Err(ParseSqlError::UnsupportedComparison(
-                            "<=".into(),
-                        ));
+                        return Err(ParseSqlError::UnsupportedComparison("<=".into()));
                     }
                     _ => out.push(Token::Less),
                 }
@@ -203,9 +214,7 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseSqlError> {
                 chars.next();
                 match chars.peek() {
                     Some('=') => {
-                        return Err(ParseSqlError::UnsupportedComparison(
-                            ">=".into(),
-                        ));
+                        return Err(ParseSqlError::UnsupportedComparison(">=".into()));
                     }
                     _ => out.push(Token::Greater),
                 }
@@ -220,9 +229,7 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseSqlError> {
                     _ => return Err(ParseSqlError::UnexpectedChar('!')),
                 }
             }
-            '=' => {
-                return Err(ParseSqlError::UnsupportedComparison(c.to_string()))
-            }
+            '=' => return Err(ParseSqlError::UnsupportedComparison(c.to_string())),
             '0'..='9' => {
                 let mut n = 0u64;
                 while let Some(&d) = chars.peek() {
@@ -292,7 +299,10 @@ impl Parser {
         if s.eq_ignore_ascii_case(kw) {
             Ok(())
         } else {
-            Err(ParseSqlError::Expected { expected: kw, found: s })
+            Err(ParseSqlError::Expected {
+                expected: kw,
+                found: s,
+            })
         }
     }
 
@@ -301,7 +311,10 @@ impl Parser {
         if t == tok {
             Ok(())
         } else {
-            Err(ParseSqlError::Expected { expected, found: t.describe() })
+            Err(ParseSqlError::Expected {
+                expected,
+                found: t.describe(),
+            })
         }
     }
 
@@ -342,7 +355,10 @@ fn parse_aggregate(p: &mut Parser, name: &str) -> Result<(AggFn, Option<String>)
     Ok((fun, col))
 }
 
-/// Parses one statement of the supported grammar.
+/// Parses one `SELECT` statement of the supported grammar.
+///
+/// Statements beginning with `EXPLAIN` are rejected here; use
+/// [`parse_statement`] to accept both forms.
 ///
 /// # Errors
 ///
@@ -350,8 +366,38 @@ fn parse_aggregate(p: &mut Parser, name: &str) -> Result<(AggFn, Option<String>)
 /// errors, grammar violations, unsupported comparisons, aggregate
 /// inconsistencies, or trailing input.
 pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
-    let mut p = Parser { tokens: tokenize(sql)?, pos: 0 };
+    match parse_statement(sql)? {
+        Statement::Select(q) => Ok(q),
+        Statement::Explain(_) => Err(ParseSqlError::Expected {
+            expected: "SELECT",
+            found: "EXPLAIN".into(),
+        }),
+    }
+}
 
+/// Parses one statement: `SELECT ...` or `EXPLAIN SELECT ...`.
+///
+/// # Errors
+///
+/// As [`parse`].
+pub fn parse_statement(sql: &str) -> Result<Statement, ParseSqlError> {
+    let mut p = Parser {
+        tokens: tokenize(sql)?,
+        pos: 0,
+    };
+    let explain = p.peek_is_keyword("EXPLAIN");
+    if explain {
+        p.pos += 1;
+    }
+    let query = parse_select(&mut p)?;
+    Ok(if explain {
+        Statement::Explain(query)
+    } else {
+        Statement::Select(query)
+    })
+}
+
+fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
     p.keyword("SELECT")?;
     // Grouping columns: plain identifiers before the first aggregate
     // call (aggregates are recognised by their parenthesis).
@@ -369,7 +415,7 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
             p.expect(Token::Comma, ",")?;
             continue;
         }
-        let (fun, col) = parse_aggregate(&mut p, &name)?;
+        let (fun, col) = parse_aggregate(p, &name)?;
         if let Some(col) = col {
             match &value_col {
                 None => value_col = Some(col),
@@ -401,7 +447,7 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
     if p.peek_is_keyword("WHERE") {
         p.pos += 1;
         let col = p.ident("the filtered column")?;
-        filter = Some((col, parse_predicate(&mut p)?));
+        filter = Some((col, parse_predicate(p)?));
     }
 
     p.keyword("GROUP")?;
@@ -425,13 +471,10 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
     if p.peek_is_keyword("HAVING") {
         p.pos += 1;
         let name = p.ident("an aggregate function")?;
-        let (fun, col) = parse_aggregate(&mut p, &name)?;
+        let (fun, col) = parse_aggregate(p, &name)?;
         if let (Some(prev), Some(col)) = (&value_col, &col) {
             if prev != col {
-                return Err(ParseSqlError::MixedValueColumns(
-                    prev.clone(),
-                    col.clone(),
-                ));
+                return Err(ParseSqlError::MixedValueColumns(prev.clone(), col.clone()));
             }
         }
         if value_col.is_none() {
@@ -440,7 +483,10 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
         if !aggregates.contains(&fun) {
             aggregates.push(fun);
         }
-        having = Some(Having { agg: fun, pred: parse_predicate(&mut p)? });
+        having = Some(Having {
+            agg: fun,
+            pred: parse_predicate(p)?,
+        });
     }
 
     // Optional ORDER BY <col | agg> [ASC | DESC] [LIMIT k].
@@ -450,13 +496,10 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
         p.keyword("BY")?;
         let name = p.ident("an ORDER BY key")?;
         let key = if p.peek() == Some(&Token::LParen) {
-            let (fun, col) = parse_aggregate(&mut p, &name)?;
+            let (fun, col) = parse_aggregate(p, &name)?;
             if let (Some(prev), Some(col)) = (&value_col, &col) {
                 if prev != col {
-                    return Err(ParseSqlError::MixedValueColumns(
-                        prev.clone(),
-                        col.clone(),
-                    ));
+                    return Err(ParseSqlError::MixedValueColumns(prev.clone(), col.clone()));
                 }
             }
             if value_col.is_none() {
@@ -483,7 +526,11 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
             }
             false
         };
-        order_by = Some(OrderBy { key, desc, limit: None });
+        order_by = Some(OrderBy {
+            key,
+            desc,
+            limit: None,
+        });
     }
 
     // Optional LIMIT k (defaults to ascending group order without an
@@ -594,18 +641,15 @@ mod tests {
 
     #[test]
     fn composite_group_by_list_must_match_select_list() {
-        let err =
-            parse("SELECT a, b, COUNT(*) FROM r GROUP BY a").unwrap_err();
+        let err = parse("SELECT a, b, COUNT(*) FROM r GROUP BY a").unwrap_err();
         assert!(matches!(err, ParseSqlError::GroupByMismatch { .. }));
-        let err =
-            parse("SELECT a, b, COUNT(*) FROM r GROUP BY b, a").unwrap_err();
+        let err = parse("SELECT a, b, COUNT(*) FROM r GROUP BY b, a").unwrap_err();
         assert!(matches!(err, ParseSqlError::GroupByMismatch { .. }));
     }
 
     #[test]
     fn case_insensitive_keywords_and_semicolon() {
-        let q = parse("select age, count(*), avg(earnings) from people group by age;")
-            .unwrap();
+        let q = parse("select age, count(*), avg(earnings) from people group by age;").unwrap();
         assert_eq!(q.table, "people");
         assert_eq!(q.query.aggregates, vec![AggFn::Count, AggFn::Avg]);
         assert_eq!(q.query.value, "earnings");
@@ -626,15 +670,17 @@ mod tests {
     #[test]
     fn where_clause_range_comparisons() {
         let q = parse("SELECT g, SUM(v) FROM r WHERE w > 100 GROUP BY g").unwrap();
-        assert_eq!(q.query.filter, Some(("w".into(), Predicate::GreaterThan(100))));
+        assert_eq!(
+            q.query.filter,
+            Some(("w".into(), Predicate::GreaterThan(100)))
+        );
         let q = parse("SELECT g, SUM(v) FROM r WHERE w < 5 GROUP BY g").unwrap();
         assert_eq!(q.query.filter, Some(("w".into(), Predicate::LessThan(5))));
     }
 
     #[test]
     fn having_clause() {
-        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g HAVING COUNT(*) > 3")
-            .unwrap();
+        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g HAVING COUNT(*) > 3").unwrap();
         let h = q.query.having.unwrap();
         assert_eq!(h.agg, AggFn::Count);
         assert_eq!(h.pred, Predicate::GreaterThan(3));
@@ -645,8 +691,7 @@ mod tests {
 
     #[test]
     fn having_rejects_mismatched_value_column() {
-        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g HAVING SUM(w) > 3")
-            .unwrap_err();
+        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g HAVING SUM(w) > 3").unwrap_err();
         assert_eq!(e, ParseSqlError::MixedValueColumns("v".into(), "w".into()));
     }
 
@@ -658,8 +703,7 @@ mod tests {
         assert!(!ob.desc);
         assert_eq!(ob.limit, None);
 
-        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g ORDER BY SUM(v) DESC LIMIT 10")
-            .unwrap();
+        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g ORDER BY SUM(v) DESC LIMIT 10").unwrap();
         let ob = q.query.order_by.unwrap();
         assert_eq!(ob.key, OrderKey::Agg(AggFn::Sum));
         assert!(ob.desc);
@@ -668,8 +712,7 @@ mod tests {
 
     #[test]
     fn order_by_asc_is_accepted_and_default() {
-        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g ORDER BY g ASC")
-            .unwrap();
+        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g ORDER BY g ASC").unwrap();
         assert!(!q.query.order_by.unwrap().desc);
     }
 
@@ -683,8 +726,7 @@ mod tests {
 
     #[test]
     fn order_by_unknown_key_is_an_error() {
-        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g ORDER BY other")
-            .unwrap_err();
+        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g ORDER BY other").unwrap_err();
         assert!(matches!(e, ParseSqlError::Expected { .. }));
     }
 
@@ -699,18 +741,18 @@ mod tests {
     #[test]
     fn le_and_ge_are_rejected_with_guidance() {
         for bad in ["<=", ">="] {
-            let e = parse(&format!("SELECT g, SUM(v) FROM r WHERE w {bad} 1 GROUP BY g"))
-                .unwrap_err();
+            let e = parse(&format!(
+                "SELECT g, SUM(v) FROM r WHERE w {bad} 1 GROUP BY g"
+            ))
+            .unwrap_err();
             assert_eq!(e, ParseSqlError::UnsupportedComparison(bad.into()));
         }
     }
 
     #[test]
     fn all_five_aggregates() {
-        let q = parse(
-            "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM r GROUP BY g",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM r GROUP BY g").unwrap();
         assert_eq!(q.query.aggregates.len(), 5);
         assert!(q.query.needs_minmax());
     }
@@ -746,10 +788,7 @@ mod tests {
     #[test]
     fn rejects_mixed_value_columns() {
         let e = parse("SELECT g, SUM(v), MIN(w) FROM r GROUP BY g").unwrap_err();
-        assert_eq!(
-            e,
-            ParseSqlError::MixedValueColumns("v".into(), "w".into())
-        );
+        assert_eq!(e, ParseSqlError::MixedValueColumns("v".into(), "w".into()));
     }
 
     #[test]
@@ -769,8 +808,7 @@ mod tests {
         let e = parse("SELECT g, SUM(v) FROM r GROUP BY g extra").unwrap_err();
         assert_eq!(e, ParseSqlError::TrailingInput("extra".into()));
         // ...including after a complete tail clause.
-        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g LIMIT 5 extra")
-            .unwrap_err();
+        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g LIMIT 5 extra").unwrap_err();
         assert_eq!(e, ParseSqlError::TrailingInput("extra".into()));
     }
 
@@ -797,6 +835,46 @@ mod tests {
         let text = "SELECT g, COUNT(*), SUM(v) FROM r WHERE w <> 9 GROUP BY g";
         let q = parse(text).unwrap();
         assert_eq!(q.query.sql(&q.table), text);
+    }
+
+    #[test]
+    fn parses_explain_statements() {
+        let s = parse_statement("EXPLAIN SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g").unwrap();
+        match s {
+            Statement::Explain(q) => {
+                assert_eq!(q.table, "r");
+                assert_eq!(q.query.group_by, "g");
+            }
+            Statement::Select(_) => panic!("expected EXPLAIN"),
+        }
+        // Case-insensitive, like the other keywords.
+        assert!(matches!(
+            parse_statement("explain select g, sum(v) from r group by g").unwrap(),
+            Statement::Explain(_)
+        ));
+        // A bare SELECT parses as a Select statement.
+        assert!(matches!(
+            parse_statement("SELECT g, SUM(v) FROM r GROUP BY g").unwrap(),
+            Statement::Select(_)
+        ));
+    }
+
+    #[test]
+    fn plain_parse_rejects_explain() {
+        let e = parse("EXPLAIN SELECT g, SUM(v) FROM r GROUP BY g").unwrap_err();
+        assert_eq!(
+            e,
+            ParseSqlError::Expected {
+                expected: "SELECT",
+                found: "EXPLAIN".into()
+            }
+        );
+    }
+
+    #[test]
+    fn explain_of_malformed_select_reports_the_inner_error() {
+        let e = parse_statement("EXPLAIN SELECT g, SUM(v) FROM").unwrap_err();
+        assert_eq!(e, ParseSqlError::UnexpectedEnd("the table name"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! and the paper's algorithms consult to skip sorting.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Metadata for one column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,17 +19,24 @@ pub struct ColumnMeta {
 }
 
 /// An in-memory column-store table.
+///
+/// Column data is reference-counted (`Arc`), so planning a query
+/// ([`crate::Engine::plan`]) snapshots the columns it needs into the
+/// [`crate::QueryPlan`] without copying them.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     name: String,
-    columns: BTreeMap<String, (ColumnMeta, Vec<u32>)>,
+    columns: BTreeMap<String, (ColumnMeta, Arc<[u32]>)>,
     rows: usize,
 }
 
 impl Table {
     /// An empty table.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), ..Default::default() }
+        Self {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// The table name.
@@ -65,13 +73,19 @@ impl Table {
         }
         let sorted = data.windows(2).all(|w| w[0] <= w[1]);
         self.columns
-            .insert(name.clone(), (ColumnMeta { name, sorted }, data));
+            .insert(name.clone(), (ColumnMeta { name, sorted }, Arc::from(data)));
         self
     }
 
     /// Looks up a column's data.
     pub fn column(&self, name: &str) -> Option<&[u32]> {
-        self.columns.get(name).map(|(_, d)| d.as_slice())
+        self.columns.get(name).map(|(_, d)| &d[..])
+    }
+
+    /// Looks up a column as a shared (`Arc`) slice, for zero-copy
+    /// snapshots into a [`crate::QueryPlan`].
+    pub fn column_shared(&self, name: &str) -> Option<Arc<[u32]>> {
+        self.columns.get(name).map(|(_, d)| Arc::clone(d))
     }
 
     /// Looks up a column's metadata.
@@ -104,10 +118,7 @@ impl Table {
     ///
     /// Returns [`ParseCsvError`] on a missing header, duplicate column
     /// names, ragged rows, or cells that do not parse as `u32`.
-    pub fn from_csv(
-        name: impl Into<String>,
-        csv: &str,
-    ) -> Result<Table, ParseCsvError> {
+    pub fn from_csv(name: impl Into<String>, csv: &str) -> Result<Table, ParseCsvError> {
         let mut lines = csv.lines().map(str::trim).filter(|l| !l.is_empty());
         let header = lines.next().ok_or(ParseCsvError::MissingHeader)?;
         let names: Vec<&str> = header.split(',').map(str::trim).collect();
@@ -181,10 +192,11 @@ impl std::fmt::Display for ParseCsvError {
             ParseCsvError::DuplicateColumn => {
                 write!(f, "duplicate column name in CSV header")
             }
-            ParseCsvError::RaggedRow { row, cells, expected } => write!(
-                f,
-                "row {row} has {cells} cells, header declares {expected}"
-            ),
+            ParseCsvError::RaggedRow {
+                row,
+                cells,
+                expected,
+            } => write!(f, "row {row} has {cells} cells, header declares {expected}"),
             ParseCsvError::BadCell { row, cell } => {
                 write!(f, "row {row}: cell {cell:?} is not a u32")
             }
@@ -252,11 +264,18 @@ mod tests {
         );
         assert_eq!(
             Table::from_csv("r", "a,b\n1").unwrap_err(),
-            ParseCsvError::RaggedRow { row: 1, cells: 1, expected: 2 }
+            ParseCsvError::RaggedRow {
+                row: 1,
+                cells: 1,
+                expected: 2
+            }
         );
         assert_eq!(
             Table::from_csv("r", "a\nx").unwrap_err(),
-            ParseCsvError::BadCell { row: 1, cell: "x".into() }
+            ParseCsvError::BadCell {
+                row: 1,
+                cell: "x".into()
+            }
         );
         assert!(Table::from_csv("r", "a\n-1").is_err());
         // Errors display readably.

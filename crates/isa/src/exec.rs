@@ -127,14 +127,14 @@ impl RedOp {
 }
 
 fn active(mask: Option<&[bool]>, i: usize) -> bool {
-    mask.map_or(true, |m| m[i])
+    mask.is_none_or(|m| m[i])
 }
 
 /// `set all`: broadcasts `value` to the first `vl` active elements of `dst`.
 pub fn set_all(dst: &mut [u64], value: u64, vl: usize, mask: Option<&[bool]>) {
-    for i in 0..vl {
+    for (i, d) in dst.iter_mut().enumerate().take(vl) {
         if active(mask, i) {
-            dst[i] = value;
+            *d = value;
         }
     }
 }
@@ -149,9 +149,9 @@ pub fn clear_all(dst: &mut [u64], vl: usize, mask: Option<&[bool]>) {
 /// The classic semantics index by element position, which is what VSR sort
 /// and the aggregation kernels rely on.
 pub fn iota(dst: &mut [u64], vl: usize, mask: Option<&[bool]>) {
-    for i in 0..vl {
+    for (i, d) in dst.iter_mut().enumerate().take(vl) {
         if active(mask, i) {
-            dst[i] = i as u64;
+            *d = i as u64;
         }
     }
 }
@@ -173,14 +173,7 @@ pub fn binop_vv(
 }
 
 /// Element-wise vector-scalar operation with merge masking.
-pub fn binop_vs(
-    op: BinOp,
-    dst: &mut [u64],
-    a: &[u64],
-    s: u64,
-    vl: usize,
-    mask: Option<&[bool]>,
-) {
+pub fn binop_vs(op: BinOp, dst: &mut [u64], a: &[u64], s: u64, vl: usize, mask: Option<&[bool]>) {
     for i in 0..vl {
         if active(mask, i) {
             dst[i] = op.apply(a[i], s);

@@ -171,9 +171,7 @@ impl Instruction {
             RedMax | RedMin | RedSum => InstClass::Reduction,
             GetElement | SetElement | GetVlen | SetVlen => InstClass::Other,
             Vpi | Vlu | VgaSum | VgaMin | VgaMax => InstClass::Irregular,
-            VConflict | VTestnm | MaskLogicOp | MaskToScalar | ScatterAdd => {
-                InstClass::Extension
-            }
+            VConflict | VTestnm | MaskLogicOp | MaskToScalar | ScatterAdd => InstClass::Extension,
         }
     }
 
@@ -257,9 +255,7 @@ impl VecOpTiming {
         match self {
             VecOpTiming::MaskOp | VecOpTiming::Scalar => 1,
             VecOpTiming::Elementwise => per_lane.max(1),
-            VecOpTiming::Reduction => {
-                per_lane.saturating_sub(1).max(1) + lanes.ilog2() as u64
-            }
+            VecOpTiming::Reduction => per_lane.saturating_sub(1).max(1) + lanes.ilog2() as u64,
             VecOpTiming::Cam => cam_cycles.max(1),
         }
     }
@@ -311,12 +307,8 @@ impl MemPattern {
     /// The byte address of element `i`.
     pub fn address(&self, i: usize) -> u64 {
         match self {
-            MemPattern::UnitStride { base, elem_bytes } => {
-                base + i as u64 * elem_bytes
-            }
-            MemPattern::Strided { base, stride, .. } => {
-                (*base as i64 + *stride * i as i64) as u64
-            }
+            MemPattern::UnitStride { base, elem_bytes } => base + i as u64 * elem_bytes,
+            MemPattern::Strided { base, stride, .. } => (*base as i64 + *stride * i as i64) as u64,
             MemPattern::Indexed { base, offsets, .. } => base + offsets[i],
         }
     }
@@ -366,8 +358,7 @@ mod tests {
 
     #[test]
     fn catalogue_is_exhaustive_and_distinct() {
-        let mut names: Vec<_> =
-            Instruction::ALL.iter().map(|i| i.mnemonic()).collect();
+        let mut names: Vec<_> = Instruction::ALL.iter().map(|i| i.mnemonic()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Instruction::ALL.len());
@@ -375,9 +366,7 @@ mod tests {
 
     #[test]
     fn table3_classes_have_expected_members() {
-        let count = |c: InstClass| {
-            Instruction::ALL.iter().filter(|i| i.class() == c).count()
-        };
+        let count = |c: InstClass| Instruction::ALL.iter().filter(|i| i.class() == c).count();
         assert_eq!(count(InstClass::Initialisation), 3);
         assert_eq!(count(InstClass::Arithmetic), 4);
         assert_eq!(count(InstClass::Bitwise), 3);
@@ -392,8 +381,7 @@ mod tests {
 
     #[test]
     fn paper_catalogue_excludes_extensions() {
-        let paper: Vec<_> =
-            Instruction::ALL.iter().filter(|i| i.is_paper()).collect();
+        let paper: Vec<_> = Instruction::ALL.iter().filter(|i| i.is_paper()).collect();
         assert_eq!(paper.len(), 27);
         assert!(!Instruction::VConflict.is_paper());
         assert!(!Instruction::ScatterAdd.is_paper());
@@ -440,7 +428,10 @@ mod tests {
 
     #[test]
     fn unit_stride_addresses_and_lines() {
-        let p = MemPattern::UnitStride { base: 0, elem_bytes: 4 };
+        let p = MemPattern::UnitStride {
+            base: 0,
+            elem_bytes: 4,
+        };
         assert_eq!(p.address(0), 0);
         assert_eq!(p.address(15), 60);
         // 64 elements * 4B = 256B = 4 lines of 64B.
@@ -450,7 +441,11 @@ mod tests {
 
     #[test]
     fn strided_addresses_and_lines() {
-        let p = MemPattern::Strided { base: 0, stride: 64, elem_bytes: 4 };
+        let p = MemPattern::Strided {
+            base: 0,
+            stride: 64,
+            elem_bytes: 4,
+        };
         // Each element on its own line.
         assert_eq!(p.lines_touched(16, 64).len(), 16);
         assert_eq!(p.agen_cycles(16, 4, 64), 16);
@@ -458,7 +453,11 @@ mod tests {
 
     #[test]
     fn negative_stride_works() {
-        let p = MemPattern::Strided { base: 1024, stride: -4, elem_bytes: 4 };
+        let p = MemPattern::Strided {
+            base: 1024,
+            stride: -4,
+            elem_bytes: 4,
+        };
         assert_eq!(p.address(0), 1024);
         assert_eq!(p.address(1), 1020);
     }
@@ -477,7 +476,10 @@ mod tests {
 
     #[test]
     fn element_straddling_line_boundary_counts_both_lines() {
-        let p = MemPattern::UnitStride { base: 62, elem_bytes: 4 };
+        let p = MemPattern::UnitStride {
+            base: 62,
+            elem_bytes: 4,
+        };
         assert_eq!(p.lines_touched(1, 64), vec![0, 1]);
     }
 }

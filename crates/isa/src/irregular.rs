@@ -28,7 +28,10 @@ pub fn vpi(keys: &[u64], vl: usize, ports: usize) -> CamResult<Vec<u64>> {
         let n = prev.map_or(0, |c| c + 1);
         (n, n)
     });
-    CamResult { value: out, cycles: cam.cycles() }
+    CamResult {
+        value: out,
+        cycles: cam.cycles(),
+    }
 }
 
 /// `VLU` — Vector Last Unique (Figure 10b).
@@ -69,36 +72,24 @@ pub fn vga(
         };
         (combined, combined)
     });
-    CamResult { value: out, cycles: cam.cycles() }
+    CamResult {
+        value: out,
+        cycles: cam.cycles(),
+    }
 }
 
 /// `VGAsum` (Figure 13).
-pub fn vga_sum(
-    keys: &[u64],
-    values: &[u64],
-    vl: usize,
-    ports: usize,
-) -> CamResult<Vec<u64>> {
+pub fn vga_sum(keys: &[u64], values: &[u64], vl: usize, ports: usize) -> CamResult<Vec<u64>> {
     vga(RedOp::Sum, keys, values, vl, ports)
 }
 
 /// `VGAmin`.
-pub fn vga_min(
-    keys: &[u64],
-    values: &[u64],
-    vl: usize,
-    ports: usize,
-) -> CamResult<Vec<u64>> {
+pub fn vga_min(keys: &[u64], values: &[u64], vl: usize, ports: usize) -> CamResult<Vec<u64>> {
     vga(RedOp::Min, keys, values, vl, ports)
 }
 
 /// `VGAmax`.
-pub fn vga_max(
-    keys: &[u64],
-    values: &[u64],
-    vl: usize,
-    ports: usize,
-) -> CamResult<Vec<u64>> {
+pub fn vga_max(keys: &[u64], values: &[u64], vl: usize, ports: usize) -> CamResult<Vec<u64>> {
     vga(RedOp::Max, keys, values, vl, ports)
 }
 
@@ -158,8 +149,7 @@ mod tests {
         let keys = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 1];
         let r = vpi(&keys, keys.len(), 4);
         for i in 0..keys.len() {
-            let expect =
-                keys[..i].iter().filter(|&&k| k == keys[i]).count() as u64;
+            let expect = keys[..i].iter().filter(|&&k| k == keys[i]).count() as u64;
             assert_eq!(r.value[i], expect, "element {i}");
         }
     }
@@ -179,7 +169,7 @@ mod tests {
         let r = vpi(&FIG10_KEYS, 4, 4);
         assert_eq!(&r.value[..4], &[0, 0, 1, 2]);
         assert_eq!(&r.value[4..], &[0, 0, 0, 0]); // untouched
-        // VLU over the truncated window: last instances within [0, 4).
+                                                  // VLU over the truncated window: last instances within [0, 4).
         let l = vlu(&FIG10_KEYS, 4, 4);
         assert_eq!(l.value[..4], [true, false, false, true]);
     }

@@ -59,7 +59,9 @@ pub struct VectorData {
 impl VectorData {
     /// A register of `mvl` zeroed elements.
     pub fn zeroed(mvl: usize) -> Self {
-        Self { elems: vec![0; mvl] }
+        Self {
+            elems: vec![0; mvl],
+        }
     }
 
     /// Wraps existing element data.
@@ -98,7 +100,9 @@ pub struct MaskData {
 impl MaskData {
     /// A mask of `mvl` cleared bits.
     pub fn cleared(mvl: usize) -> Self {
-        Self { bits: vec![false; mvl] }
+        Self {
+            bits: vec![false; mvl],
+        }
     }
 
     /// A mask with the first `vl` bits set (the implicit "all" mask).

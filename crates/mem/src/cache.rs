@@ -91,12 +91,7 @@ impl Cache {
     }
 
     /// Like [`Cache::new`] but with a custom set-index function.
-    pub fn with_index(
-        size_bytes: u64,
-        ways: usize,
-        line_bytes: u64,
-        index_fn: IndexFn,
-    ) -> Self {
+    pub fn with_index(size_bytes: u64, ways: usize, line_bytes: u64, index_fn: IndexFn) -> Self {
         assert!(ways > 0 && line_bytes > 0);
         assert_eq!(size_bytes % (ways as u64 * line_bytes), 0);
         let sets = size_bytes / (ways as u64 * line_bytes);
@@ -161,9 +156,7 @@ impl Cache {
         let range = self.set_range(line_addr);
         let set = &mut self.lines[range];
 
-        if let Some(l) =
-            set.iter_mut().find(|l| l.valid && l.tag == line_addr)
-        {
+        if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == line_addr) {
             l.lru = tick;
             l.dirty |= write;
             self.stats.hits += 1;
@@ -181,7 +174,12 @@ impl Cache {
         if writeback.is_some() {
             self.stats.writebacks += 1;
         }
-        *victim = Line { tag: line_addr, valid: true, dirty: write, lru: tick };
+        *victim = Line {
+            tag: line_addr,
+            valid: true,
+            dirty: write,
+            lru: tick,
+        };
         Access::Miss { writeback }
     }
 
@@ -191,8 +189,7 @@ impl Cache {
         let line_addr = byte_addr / self.line_bytes;
         let range = self.set_range(line_addr);
         let set = &mut self.lines[range];
-        if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == line_addr)
-        {
+        if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == line_addr) {
             l.valid = false;
             let was_dirty = l.dirty;
             l.dirty = false;
@@ -241,7 +238,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut c = tiny(); // 4 sets → set stride 256 B for 64 B lines
-        // Three lines mapping to set 0: 0x000, 0x100, 0x200.
+                            // Three lines mapping to set 0: 0x000, 0x100, 0x200.
         c.access(0x000, false);
         c.access(0x100, false);
         c.access(0x000, false); // touch 0x000 again → 0x100 is LRU
@@ -315,7 +312,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = tiny(); // 8 lines total
-        // 16-line working set, round-robin: every access misses.
+                            // 16-line working set, round-robin: every access misses.
         for round in 0..3 {
             for i in 0..16u64 {
                 let hit = c.access(i * 64, false).is_hit();
@@ -386,7 +383,9 @@ mod model_tests {
         let mut x = 0x12345678u64;
         for i in 0..20_000u64 {
             // Mix of local and far accesses, ~30% writes.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = (x >> 16) % (32 * 1024);
             let write = x % 10 < 3;
             let got = cache.access(addr, write);

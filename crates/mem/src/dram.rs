@@ -217,7 +217,12 @@ impl Dram {
         let rank = a % p.ranks;
         a /= p.ranks;
         let row = a % p.rows;
-        DecodedAddr { row, rank, bank, column }
+        DecodedAddr {
+            row,
+            rank,
+            bank,
+            column,
+        }
     }
 
     /// Issues one 64-byte transaction at processor cycle `cpu_now`; returns
@@ -238,8 +243,7 @@ impl Dram {
             let start = mem_now.max(bank.ready);
             // Row-buffer outcome (with the forced-close policy applied
             // first).
-            let force_closed = bank.open_row.is_some()
-                && bank.row_uses >= p.max_row_accesses;
+            let force_closed = bank.open_row.is_some() && bank.row_uses >= p.max_row_accesses;
             if force_closed {
                 bank.open_row = None;
                 bank.row_uses = 0;
@@ -304,7 +308,7 @@ mod tests {
         let d = dram();
         let p = d.params().clone();
         let bursts_per_row = p.row_buffer_bytes() / p.burst_bytes; // 256
-        // Walk one field at a time.
+                                                                   // Walk one field at a time.
         let a = d.decode(0);
         assert_eq!((a.row, a.rank, a.bank, a.column), (0, 0, 0, 0));
         let a = d.decode(p.burst_bytes);
@@ -343,8 +347,7 @@ mod tests {
     fn different_row_same_bank_conflicts() {
         let mut d = dram();
         let p = d.params().clone();
-        let row_stride =
-            p.row_buffer_bytes() * p.banks * p.ranks; // next row, same bank
+        let row_stride = p.row_buffer_bytes() * p.banks * p.ranks; // next row, same bank
         let t1 = d.access(0, 0);
         d.access(row_stride, t1);
         assert_eq!(d.stats().row_conflicts, 1);
@@ -386,8 +389,8 @@ mod tests {
         let mut d = dram();
         let p = d.params().clone();
         let bank_stride = p.row_buffer_bytes(); // next bank
-        // Two requests to different banks at the same time: the second
-        // completes one burst after the first, not a full latency after.
+                                                // Two requests to different banks at the same time: the second
+                                                // completes one burst after the first, not a full latency after.
         let t1 = d.access(0, 0);
         let t2 = d.access(bank_stride, 0);
         assert!(t2 > t1);
@@ -403,7 +406,7 @@ mod tests {
         let p = d.params().clone();
         let t1 = d.access(0, 0);
         let t2 = d.access(64, 0); // same row, same bank, immediately after
-        // Column commands pipeline: spacing is one burst, not a full CAS.
+                                  // Column commands pipeline: spacing is one burst, not a full CAS.
         assert_eq!(t2 - t1, p.t_burst * p.clock_ratio);
     }
 
@@ -423,7 +426,10 @@ mod tests {
             }
             last = t;
         }
-        assert!(gaps.iter().all(|&g| g == p.t_burst * p.clock_ratio), "{gaps:?}");
+        assert!(
+            gaps.iter().all(|&g| g == p.t_burst * p.clock_ratio),
+            "{gaps:?}"
+        );
     }
 
     #[test]

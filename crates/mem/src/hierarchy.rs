@@ -90,15 +90,14 @@ pub struct MemoryHierarchy {
 impl MemoryHierarchy {
     /// Builds the hierarchy.
     pub fn new(params: HierarchyParams) -> Self {
-        let l2_index = if params.xor_l2 { poly_mod_index } else { modulo_index };
+        let l2_index = if params.xor_l2 {
+            poly_mod_index
+        } else {
+            modulo_index
+        };
         Self {
             l1d: Cache::new(params.l1_size, params.l1_ways, params.line_bytes),
-            l2: Cache::with_index(
-                params.l2_size,
-                params.l2_ways,
-                params.line_bytes,
-                l2_index,
-            ),
+            l2: Cache::with_index(params.l2_size, params.l2_ways, params.line_bytes, l2_index),
             dram: Dram::new(params.dram.clone()),
             params,
             vector_l1_evictions: 0,
@@ -171,8 +170,9 @@ impl MemoryHierarchy {
                 if let Some(line) = writeback {
                     // L1 victim is installed in the L2 (write-back).
                     let addr = line * self.params.line_bytes;
-                    if let Access::Miss { writeback: Some(l2v) } =
-                        self.l2.access(addr, true)
+                    if let Access::Miss {
+                        writeback: Some(l2v),
+                    } = self.l2.access(addr, true)
                     {
                         self.post_writeback_to_dram(l2v, after_l1);
                     }
@@ -193,8 +193,9 @@ impl MemoryHierarchy {
             self.vector_l1_evictions += 1;
             if let Some(line) = self.l1d.evict_line(byte_addr) {
                 let addr = line * self.params.line_bytes;
-                if let Access::Miss { writeback: Some(l2v) } =
-                    self.l2.access(addr, true)
+                if let Access::Miss {
+                    writeback: Some(l2v),
+                } = self.l2.access(addr, true)
                 {
                     self.post_writeback_to_dram(l2v, now);
                 }

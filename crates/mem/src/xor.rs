@@ -15,22 +15,22 @@
 /// Entry `d` encodes the polynomial's coefficient bits including the leading
 /// `x^d` term.
 const POLYS: [u64; 17] = [
-    0,      // degree 0 unused
-    0b11,   // x + 1
-    0b111,  // x^2 + x + 1
-    0b1011, // x^3 + x + 1
-    0b1_0011,    // x^4 + x + 1
-    0b10_0101,   // x^5 + x^2 + 1
-    0b100_0011,  // x^6 + x + 1
-    0b1000_0011, // x^7 + x + 1
-    0b1_0001_1101, // x^8 + x^4 + x^3 + x^2 + 1
-    0b10_0001_0001, // x^9 + x^4 + 1
-    0b100_0000_1001, // x^10 + x^3 + 1
-    0b1000_0000_0101, // x^11 + x^2 + 1
-    0b1_0000_0101_0011, // x^12 + x^6 + x^4 + x + 1
-    0b10_0000_0001_1011, // x^13 + x^4 + x^3 + x + 1
-    0b100_0000_0100_0011, // x^14 + x^6 + x + 1 (x^14+x^10+x^6+x+1 variant ok)
-    0b1000_0000_0000_0011, // x^15 + x + 1
+    0,                       // degree 0 unused
+    0b11,                    // x + 1
+    0b111,                   // x^2 + x + 1
+    0b1011,                  // x^3 + x + 1
+    0b1_0011,                // x^4 + x + 1
+    0b10_0101,               // x^5 + x^2 + 1
+    0b100_0011,              // x^6 + x + 1
+    0b1000_0011,             // x^7 + x + 1
+    0b1_0001_1101,           // x^8 + x^4 + x^3 + x^2 + 1
+    0b10_0001_0001,          // x^9 + x^4 + 1
+    0b100_0000_1001,         // x^10 + x^3 + 1
+    0b1000_0000_0101,        // x^11 + x^2 + 1
+    0b1_0000_0101_0011,      // x^12 + x^6 + x^4 + x + 1
+    0b10_0000_0001_1011,     // x^13 + x^4 + x^3 + x + 1
+    0b100_0000_0100_0011,    // x^14 + x^6 + x + 1 (x^14+x^10+x^6+x+1 variant ok)
+    0b1000_0000_0000_0011,   // x^15 + x + 1
     0b1_0000_0000_0010_1101, // x^16 + x^5 + x^3 + x^2 + 1
 ];
 
@@ -76,8 +76,7 @@ mod tests {
     #[test]
     fn sequential_lines_cover_all_sets() {
         let sets = 512;
-        let seen: HashSet<u64> =
-            (0..sets).map(|a| poly_mod_index(a, sets)).collect();
+        let seen: HashSet<u64> = (0..sets).map(|a| poly_mod_index(a, sets)).collect();
         assert_eq!(seen.len(), sets as usize);
     }
 
@@ -96,8 +95,7 @@ mod tests {
             idxs.len()
         );
         // Sanity: plain modulo placement collapses to exactly one set.
-        let naive: HashSet<u64> =
-            (0..64u64).map(|i| (i * stride_lines) % sets).collect();
+        let naive: HashSet<u64> = (0..64u64).map(|i| (i * stride_lines) % sets).collect();
         assert_eq!(naive.len(), 1);
     }
 
@@ -117,7 +115,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(poly_mod_index(0xDEAD_BEEF, 512), poly_mod_index(0xDEAD_BEEF, 512));
+        assert_eq!(
+            poly_mod_index(0xDEAD_BEEF, 512),
+            poly_mod_index(0xDEAD_BEEF, 512)
+        );
     }
 
     #[test]

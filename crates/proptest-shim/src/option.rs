@@ -1,0 +1,26 @@
+//! Option strategies (`option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+
+/// The strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut Rng) -> Option<S::Value> {
+        // 3-in-4 Some: biased toward exercising the interesting branch
+        // while still covering None regularly.
+        if rng.next_below(4) == 0 {
+            None
+        } else {
+            Some(self.0.sample(rng))
+        }
+    }
+}
+
+/// `None` or a value from the inner strategy.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}

@@ -1,0 +1,21 @@
+//! Sampling strategies (`sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        self.0[rng.next_below(self.0.len() as u64) as usize].clone()
+    }
+}
+
+/// Uniformly selects one of the given values (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select(options)
+}

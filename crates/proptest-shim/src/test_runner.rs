@@ -1,0 +1,129 @@
+//! The deterministic case runner and its tiny splitmix/xorshift RNG.
+
+use crate::strategy::Strategy;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// How many cases to run per test (the shim honours `cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by an assumption and should be skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) case with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "test case failed: {msg}"),
+            TestCaseError::Reject(msg) => write!(f, "test case rejected: {msg}"),
+        }
+    }
+}
+
+/// A small deterministic RNG (xorshift64* seeded through splitmix64).
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds from arbitrary bytes (the test name).
+    pub fn seeded_from(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        // One splitmix64 round to spread low-entropy seeds.
+        let mut z = h.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        Self((z ^ (z >> 31)) | 1)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant for test-data generation.
+        self.next_u64() % bound
+    }
+}
+
+/// Runs `config.cases` successful cases of `test` over values sampled
+/// from `strategy`, panicking on the first failure with the sampled
+/// input included in the report.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    S::Value: fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = Rng::seeded_from(name);
+    let mut passed = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(100);
+    while passed < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "proptest shim: {name} rejected too many cases ({attempts} attempts \
+             for {passed} passes)"
+        );
+        let value = strategy.sample(&mut rng);
+        let shown = format!("{value:#?}");
+        let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => continue,
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest case {name} failed: {msg}\ninput: {shown}")
+            }
+            Err(panic) => {
+                eprintln!("proptest case {name} panicked\ninput: {shown}");
+                resume_unwind(panic);
+            }
+        }
+    }
+}

@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn builders_adjust_fields() {
-        let c = SimConfig::paper().with_mvl(128).with_lanes(8).with_cam_ports(2);
+        let c = SimConfig::paper()
+            .with_mvl(128)
+            .with_lanes(8)
+            .with_cam_ports(2);
         assert_eq!(c.mvl, 128);
         assert_eq!(c.lanes, 8);
         assert_eq!(c.cpu.lanes, 8);

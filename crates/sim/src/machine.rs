@@ -390,13 +390,7 @@ impl Machine {
     /// A scalar 32-bit store. `addr_dep` gates address generation (which
     /// is what younger loads disambiguate against); `data_dep` gates the
     /// store-data micro-op. Returns the AGU completion token.
-    pub fn s_store_u32_split(
-        &mut self,
-        addr: u64,
-        val: u32,
-        addr_dep: Tok,
-        data_dep: Tok,
-    ) -> Tok {
+    pub fn s_store_u32_split(&mut self, addr: u64, val: u32, addr_dep: Tok, data_dep: Tok) -> Tok {
         self.mix.scalar_stores += 1;
         let slot = self.pipe.reserve_store_slot();
         let start = self.pipe.dispatch(FuKind::StoreAgu, 1, addr_dep.max(slot));
@@ -406,7 +400,14 @@ impl Machine {
         self.pipe.retire(start + 1);
         self.space.write_u32(addr, val);
         self.last_store_agu = self.last_store_agu.max(start + 1);
-        self.emit("store", TraceClass::ScalarStore, 1, start + 1, Some(addr), None);
+        self.emit(
+            "store",
+            TraceClass::ScalarStore,
+            1,
+            start + 1,
+            Some(addr),
+            None,
+        );
         start + 1
     }
 
@@ -439,7 +440,11 @@ impl Machine {
     pub fn vbinop_vv(&mut self, op: BinOp, vd: Vreg, va: Vreg, vb: Vreg, m: Option<Mreg>) {
         // Merge masking reads the old destination; unmasked ops fully
         // overwrite it, so renaming removes the WAW dependency.
-        let dst_dep = if m.is_some() { self.vreg_ready[vd.0 as usize] } else { 0 };
+        let dst_dep = if m.is_some() {
+            self.vreg_ready[vd.0 as usize]
+        } else {
+            0
+        };
         let deps = Self::deps3(
             self.vreg_ready[va.0 as usize],
             self.vreg_ready[vb.0 as usize],
@@ -450,34 +455,57 @@ impl Machine {
         let mask = self.mask_slice(m);
         let a = self.vf.vreg(va).as_slice().to_vec();
         let b = self.vf.vreg(vb).as_slice().to_vec();
-        exec::binop_vv(op, self.vf.vreg_mut(vd).as_mut_slice(), &a, &b, vl, mask.as_deref());
+        exec::binop_vv(
+            op,
+            self.vf.vreg_mut(vd).as_mut_slice(),
+            &a,
+            &b,
+            vl,
+            mask.as_deref(),
+        );
         self.vreg_ready[vd.0 as usize] = done;
     }
 
     /// Element-wise vector-scalar operation.
     pub fn vbinop_vs(&mut self, op: BinOp, vd: Vreg, va: Vreg, s: u64, m: Option<Mreg>) {
-        let dst_dep = if m.is_some() { self.vreg_ready[vd.0 as usize] } else { 0 };
-        let deps = Self::deps3(
-            self.vreg_ready[va.0 as usize],
-            self.mask_dep(m),
-            dst_dep,
-        );
+        let dst_dep = if m.is_some() {
+            self.vreg_ready[vd.0 as usize]
+        } else {
+            0
+        };
+        let deps = Self::deps3(self.vreg_ready[va.0 as usize], self.mask_dep(m), dst_dep);
         let (_, done) = self.vec_op(op.mnemonic(), VecOpTiming::Elementwise, 0, deps);
         let vl = self.vf.vl();
         let mask = self.mask_slice(m);
         let a = self.vf.vreg(va).as_slice().to_vec();
-        exec::binop_vs(op, self.vf.vreg_mut(vd).as_mut_slice(), &a, s, vl, mask.as_deref());
+        exec::binop_vs(
+            op,
+            self.vf.vreg_mut(vd).as_mut_slice(),
+            &a,
+            s,
+            vl,
+            mask.as_deref(),
+        );
         self.vreg_ready[vd.0 as usize] = done;
     }
 
     /// `vset`: broadcast a scalar.
     pub fn vset(&mut self, vd: Vreg, value: u64, m: Option<Mreg>) {
-        let dst_dep = if m.is_some() { self.vreg_ready[vd.0 as usize] } else { 0 };
+        let dst_dep = if m.is_some() {
+            self.vreg_ready[vd.0 as usize]
+        } else {
+            0
+        };
         let deps = self.mask_dep(m).max(dst_dep);
         let (_, done) = self.vec_op("vset", VecOpTiming::Elementwise, 0, deps);
         let vl = self.vf.vl();
         let mask = self.mask_slice(m);
-        exec::set_all(self.vf.vreg_mut(vd).as_mut_slice(), value, vl, mask.as_deref());
+        exec::set_all(
+            self.vf.vreg_mut(vd).as_mut_slice(),
+            value,
+            vl,
+            mask.as_deref(),
+        );
         self.vreg_ready[vd.0 as usize] = done;
     }
 
@@ -488,7 +516,11 @@ impl Machine {
 
     /// `viota`: element indices `0, 1, 2, ...`.
     pub fn viota(&mut self, vd: Vreg, m: Option<Mreg>) {
-        let dst_dep = if m.is_some() { self.vreg_ready[vd.0 as usize] } else { 0 };
+        let dst_dep = if m.is_some() {
+            self.vreg_ready[vd.0 as usize]
+        } else {
+            0
+        };
         let deps = self.mask_dep(m).max(dst_dep);
         let (_, done) = self.vec_op("viota", VecOpTiming::Elementwise, 0, deps);
         let vl = self.vf.vl();
@@ -509,7 +541,14 @@ impl Machine {
         let mask = self.mask_slice(m);
         let a = self.vf.vreg(va).as_slice().to_vec();
         let b = self.vf.vreg(vb).as_slice().to_vec();
-        exec::compare_vv(op, self.vf.mask_mut(md).as_mut_slice(), &a, &b, vl, mask.as_deref());
+        exec::compare_vv(
+            op,
+            self.vf.mask_mut(md).as_mut_slice(),
+            &a,
+            &b,
+            vl,
+            mask.as_deref(),
+        );
         self.mask_ready[md.0 as usize] = done;
     }
 
@@ -520,7 +559,14 @@ impl Machine {
         let vl = self.vf.vl();
         let mask = self.mask_slice(m);
         let a = self.vf.vreg(va).as_slice().to_vec();
-        exec::compare_vs(op, self.vf.mask_mut(md).as_mut_slice(), &a, s, vl, mask.as_deref());
+        exec::compare_vs(
+            op,
+            self.vf.mask_mut(md).as_mut_slice(),
+            &a,
+            s,
+            vl,
+            mask.as_deref(),
+        );
         self.mask_ready[md.0 as usize] = done;
     }
 
@@ -623,8 +669,7 @@ impl Machine {
         let r = irregular::vpi(&keys, vl, self.cfg.cam_ports);
         let deps = self.vreg_ready[va.0 as usize];
         let (_, done) = self.vec_op("vpi", VecOpTiming::Cam, r.cycles, deps);
-        self.vf.vreg_mut(vd).as_mut_slice()[..r.value.len()]
-            .copy_from_slice(&r.value);
+        self.vf.vreg_mut(vd).as_mut_slice()[..r.value.len()].copy_from_slice(&r.value);
         self.vreg_ready[vd.0 as usize] = done;
     }
 
@@ -635,7 +680,10 @@ impl Machine {
         let r = irregular::vlu(&keys, vl, self.cfg.cam_ports);
         let deps = self.vreg_ready[va.0 as usize];
         let (_, done) = self.vec_op("vlu", VecOpTiming::Cam, r.cycles, deps);
-        self.vf.mask_mut(md).as_mut_slice().copy_from_slice(&r.value);
+        self.vf
+            .mask_mut(md)
+            .as_mut_slice()
+            .copy_from_slice(&r.value);
         self.mask_ready[md.0 as usize] = done;
     }
 
@@ -650,8 +698,7 @@ impl Machine {
             self.vreg_ready[vvals.0 as usize],
         );
         let (_, done) = self.vec_op(op.vga_mnemonic(), VecOpTiming::Cam, r.cycles, deps);
-        self.vf.vreg_mut(vd).as_mut_slice()[..r.value.len()]
-            .copy_from_slice(&r.value);
+        self.vf.vreg_mut(vd).as_mut_slice()[..r.value.len()].copy_from_slice(&r.value);
         self.vreg_ready[vd.0 as usize] = done;
     }
 
@@ -715,8 +762,7 @@ impl Machine {
         let deps = self.mask_ready[ma.0 as usize];
         let (_, done) = self.vec_op("kmov", VecOpTiming::MaskOp, 0, deps);
         let vl = self.vf.vl();
-        let bits =
-            vagg_isa::conflict::mask_to_bits(self.vf.mask(ma).as_slice(), vl);
+        let bits = vagg_isa::conflict::mask_to_bits(self.vf.mask(ma).as_slice(), vl);
         (bits, done)
     }
 
@@ -752,7 +798,11 @@ impl Machine {
             .iter()
             .map(|&x| x * elem_bytes)
             .collect();
-        let pattern = MemPattern::Indexed { base, offsets, elem_bytes };
+        let pattern = MemPattern::Indexed {
+            base,
+            offsets,
+            elem_bytes,
+        };
         let deps = Self::deps3(
             dep.max(self.vreg_ready[vidx.0 as usize]),
             self.mask_dep(m),
@@ -782,11 +832,12 @@ impl Machine {
         }
 
         for i in 0..vl {
-            if mask.as_ref().map_or(true, |mk| mk[i]) {
+            if mask.as_ref().is_none_or(|mk| mk[i]) {
                 let addr = pattern.address(i);
                 let old = self.space.read_elem(addr, elem_bytes);
                 let add = self.vf.vreg(vs).as_slice()[i];
-                self.space.write_elem(addr, elem_bytes, old.wrapping_add(add));
+                self.space
+                    .write_elem(addr, elem_bytes, old.wrapping_add(add));
             }
         }
         agu_done
@@ -811,7 +862,11 @@ impl Machine {
         elem_bytes: u64,
         dep: Tok,
     ) -> Tok {
-        let pattern = MemPattern::Strided { base, stride: stride_bytes, elem_bytes };
+        let pattern = MemPattern::Strided {
+            base,
+            stride: stride_bytes,
+            elem_bytes,
+        };
         self.vload_pattern(vd, pattern, None, dep)
     }
 
@@ -831,18 +886,16 @@ impl Machine {
             .iter()
             .map(|&x| x * elem_bytes)
             .collect();
-        let pattern = MemPattern::Indexed { base, offsets, elem_bytes };
+        let pattern = MemPattern::Indexed {
+            base,
+            offsets,
+            elem_bytes,
+        };
         let dep = dep.max(self.vreg_ready[vidx.0 as usize]);
         self.vload_pattern(vd, pattern, m, dep)
     }
 
-    fn vload_pattern(
-        &mut self,
-        vd: Vreg,
-        pattern: MemPattern,
-        m: Option<Mreg>,
-        dep: Tok,
-    ) -> Tok {
+    fn vload_pattern(&mut self, vd: Vreg, pattern: MemPattern, m: Option<Mreg>, dep: Tok) -> Tok {
         let vl = self.vf.vl();
         match pattern {
             MemPattern::UnitStride { .. } => self.mix.v_unit_loads += 1,
@@ -853,7 +906,11 @@ impl Machine {
         let lanes = self.cfg.lanes;
         let line = self.line_bytes();
         let mask = self.mask_slice(m);
-        let dst_dep = if m.is_some() { self.vreg_ready[vd.0 as usize] } else { 0 };
+        let dst_dep = if m.is_some() {
+            self.vreg_ready[vd.0 as usize]
+        } else {
+            0
+        };
         let deps = Self::deps3(dep, self.mask_dep(m), dst_dep);
 
         let occ = pattern.agen_cycles(vl, lanes, line);
@@ -884,8 +941,10 @@ impl Machine {
 
         // Functional transfer (merge masking).
         for i in 0..vl {
-            if mask.as_ref().map_or(true, |mk| mk[i]) {
-                let v = self.space.read_elem(pattern.address(i), pattern.elem_bytes());
+            if mask.as_ref().is_none_or(|mk| mk[i]) {
+                let v = self
+                    .space
+                    .read_elem(pattern.address(i), pattern.elem_bytes());
                 self.vf.vreg_mut(vd).as_mut_slice()[i] = v;
             }
         }
@@ -907,14 +966,12 @@ impl Machine {
     }
 
     /// Strided vector prefetch (see [`Machine::vprefetch_unit`]).
-    pub fn vprefetch_strided(
-        &mut self,
-        base: u64,
-        stride_bytes: i64,
-        elem_bytes: u64,
-        dep: Tok,
-    ) {
-        let pattern = MemPattern::Strided { base, stride: stride_bytes, elem_bytes };
+    pub fn vprefetch_strided(&mut self, base: u64, stride_bytes: i64, elem_bytes: u64, dep: Tok) {
+        let pattern = MemPattern::Strided {
+            base,
+            stride: stride_bytes,
+            elem_bytes,
+        };
         self.vprefetch_pattern(pattern, dep);
     }
 
@@ -926,7 +983,11 @@ impl Machine {
             .iter()
             .map(|&x| x * elem_bytes)
             .collect();
-        let pattern = MemPattern::Indexed { base, offsets, elem_bytes };
+        let pattern = MemPattern::Indexed {
+            base,
+            offsets,
+            elem_bytes,
+        };
         let dep = dep.max(self.vreg_ready[vidx.0 as usize]);
         self.vprefetch_pattern(pattern, dep);
     }
@@ -981,7 +1042,11 @@ impl Machine {
         elem_bytes: u64,
         dep: Tok,
     ) -> Tok {
-        let pattern = MemPattern::Strided { base, stride: stride_bytes, elem_bytes };
+        let pattern = MemPattern::Strided {
+            base,
+            stride: stride_bytes,
+            elem_bytes,
+        };
         self.vstore_pattern(vs, pattern, None, dep)
     }
 
@@ -1012,7 +1077,7 @@ impl Machine {
             let mut active: Vec<u64> = offsets
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| mask.as_ref().map_or(true, |mk| mk[*i]))
+                .filter(|(i, _)| mask.as_ref().is_none_or(|mk| mk[*i]))
                 .map(|(_, &o)| o)
                 .collect();
             active.sort_unstable();
@@ -1024,18 +1089,16 @@ impl Machine {
                 "GMS conflict: duplicate scatter indices"
             );
         }
-        let pattern = MemPattern::Indexed { base, offsets, elem_bytes };
+        let pattern = MemPattern::Indexed {
+            base,
+            offsets,
+            elem_bytes,
+        };
         let dep = dep.max(self.vreg_ready[vidx.0 as usize]);
         self.vstore_pattern_masked(vs, pattern, mask, m, dep)
     }
 
-    fn vstore_pattern(
-        &mut self,
-        vs: Vreg,
-        pattern: MemPattern,
-        m: Option<Mreg>,
-        dep: Tok,
-    ) -> Tok {
+    fn vstore_pattern(&mut self, vs: Vreg, pattern: MemPattern, m: Option<Mreg>, dep: Tok) -> Tok {
         let mask = self.mask_slice(m);
         self.vstore_pattern_masked(vs, pattern, mask, m, dep)
     }
@@ -1087,9 +1150,10 @@ impl Machine {
         }
 
         for i in 0..vl {
-            if mask.as_ref().map_or(true, |mk| mk[i]) {
+            if mask.as_ref().is_none_or(|mk| mk[i]) {
                 let v = self.vf.vreg(vs).as_slice()[i];
-                self.space.write_elem(pattern.address(i), pattern.elem_bytes(), v);
+                self.space
+                    .write_elem(pattern.address(i), pattern.elem_bytes(), v);
             }
         }
         agu_done
@@ -1418,10 +1482,7 @@ mod tests {
         m.vcmp_vs(CmpOp::Ne, M0, V0, 3, None);
         let (k, _) = m.vcompress(V1, V0, M0);
         assert_eq!(k, 7);
-        assert_eq!(
-            m.vreg_snapshot(V1)[..7],
-            [0, 1, 2, 4, 5, 6, 7]
-        );
+        assert_eq!(m.vreg_snapshot(V1)[..7], [0, 1, 2, 4, 5, 6, 7]);
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct AddressSpace {
 impl AddressSpace {
     /// An empty space; allocations start above the null page.
     pub fn new() -> Self {
-        Self { pages: HashMap::new(), brk: PAGE_BYTES as u64 }
+        Self {
+            pages: HashMap::new(),
+            brk: PAGE_BYTES as u64,
+        }
     }
 
     /// Reserves `bytes` of fresh zeroed memory aligned to `align` (which
@@ -34,6 +37,15 @@ impl AddressSpace {
         let base = (self.brk + align - 1) & !(align - 1);
         self.brk = base + bytes.max(1);
         base
+    }
+
+    /// Releases every allocation and drops the materialised pages,
+    /// returning the space to its freshly-constructed state. Long-lived
+    /// owners (e.g. a query session reusing one machine) call this
+    /// between units of work so host memory stays bounded.
+    pub fn reset(&mut self) {
+        self.pages.clear();
+        self.brk = PAGE_BYTES as u64;
     }
 
     /// Number of host pages materialised (test/diagnostic hook).
@@ -74,9 +86,7 @@ impl AddressSpace {
         if off + 4 <= PAGE_BYTES {
             // Fast path: one page lookup.
             match self.pages.get(&(addr >> PAGE_SHIFT)) {
-                Some(p) => {
-                    u32::from_le_bytes(p[off..off + 4].try_into().expect("4 bytes"))
-                }
+                Some(p) => u32::from_le_bytes(p[off..off + 4].try_into().expect("4 bytes")),
                 None => 0,
             }
         } else {
@@ -109,9 +119,7 @@ impl AddressSpace {
         let off = (addr as usize) & (PAGE_BYTES - 1);
         if off + 8 <= PAGE_BYTES {
             match self.pages.get(&(addr >> PAGE_SHIFT)) {
-                Some(p) => {
-                    u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes"))
-                }
+                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes")),
                 None => 0,
             }
         } else {
@@ -169,7 +177,9 @@ impl AddressSpace {
 
     /// Host-side bulk download of `len` `u32`s (result checking; untimed).
     pub fn read_slice_u32(&self, base: u64, len: usize) -> Vec<u32> {
-        (0..len).map(|i| self.read_u32(base + 4 * i as u64)).collect()
+        (0..len)
+            .map(|i| self.read_u32(base + 4 * i as u64))
+            .collect()
     }
 
     /// Allocates and uploads a `u32` column, returning its base address.

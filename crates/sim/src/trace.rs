@@ -116,7 +116,11 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace that keeps the first `capacity` events.
     pub fn new(capacity: usize) -> Self {
-        Self { events: Vec::new(), capacity, seq: 0 }
+        Self {
+            events: Vec::new(),
+            capacity,
+            seq: 0,
+        }
     }
 
     /// Appends an event (or just counts it once the buffer is full).
@@ -172,8 +176,7 @@ impl Trace {
         use std::fmt::Write as _;
         let mut out = String::new();
         for e in &self.events {
-            write!(out, "{:>8}  @{:>8}  {:<10}", e.seq, e.done, e.mnemonic)
-                .unwrap();
+            write!(out, "{:>8}  @{:>8}  {:<10}", e.seq, e.done, e.mnemonic).unwrap();
             if e.class.is_vector() || e.class == TraceClass::Control {
                 write!(out, " vl={:<3}", e.vl).unwrap();
             } else {
@@ -188,8 +191,12 @@ impl Trace {
             out.push('\n');
         }
         if self.dropped() > 0 {
-            writeln!(out, "... {} further instructions not stored", self.dropped())
-                .unwrap();
+            writeln!(
+                out,
+                "... {} further instructions not stored",
+                self.dropped()
+            )
+            .unwrap();
         }
         out
     }
@@ -234,7 +241,14 @@ mod tests {
     #[test]
     fn listing_formats_memory_footprint() {
         let mut t = Trace::new(4);
-        t.record("vgather", TraceClass::VecLoad, 64, 123, Some(0x1000), Some(9));
+        t.record(
+            "vgather",
+            TraceClass::VecLoad,
+            64,
+            123,
+            Some(0x1000),
+            Some(9),
+        );
         let l = t.listing();
         assert!(l.contains("vgather"));
         assert!(l.contains("[0x1000]"));

@@ -30,12 +30,18 @@ impl SortArrays {
         let vals_addr = s.alloc_slice_u32(vals);
         let aux_keys = s.alloc(bytes, 64);
         let aux_vals = s.alloc(bytes, 64);
-        Self { keys: keys_addr, vals: vals_addr, aux_keys, aux_vals, n }
+        Self {
+            keys: keys_addr,
+            vals: vals_addr,
+            aux_keys,
+            aux_vals,
+            n,
+        }
     }
 
     /// The buffer pair holding the result after `passes` ping-pong rounds.
     pub fn result_buffers(&self, passes: u32) -> (u64, u64) {
-        if passes % 2 == 0 {
+        if passes.is_multiple_of(2) {
             (self.keys, self.vals)
         } else {
             (self.aux_keys, self.aux_vals)

@@ -247,7 +247,11 @@ mod tests {
     #[test]
     fn sorts_non_power_of_two_lengths() {
         for n in [1usize, 2, 3, 63, 64, 65, 100, 130] {
-            check((0..n as u64).map(|i| ((i * 2_654_435_761) % 97) as u32).collect());
+            check(
+                (0..n as u64)
+                    .map(|i| ((i * 2_654_435_761) % 97) as u32)
+                    .collect(),
+            );
         }
     }
 
@@ -267,8 +271,7 @@ mod tests {
         let keys: Vec<u32> = (0..75u32).map(|i| (i * 31) % 19).collect();
         let vals: Vec<u32> = (0..75).collect();
         for mvl in [2usize, 4, 8] {
-            let mut m =
-                Machine::new(SimConfig::paper().with_mvl(mvl).with_lanes(1));
+            let mut m = Machine::new(SimConfig::paper().with_mvl(mvl).with_lanes(1));
             let a = SortArrays::stage(&mut m, &keys, &vals);
             bitonic_sort(&mut m, &a);
             let (k, _) = a.read_result(&m, 0);

@@ -217,12 +217,9 @@ fn copy(m: &mut Machine, src: u64, src_off: u64, dst: u64, dst_off: u64, n: usiz
 // compares and shifting stores — the serialisation cost small
 // partitions force on quicksort.
 fn insertion_sort(m: &mut Machine, a: &SortArrays, lo: usize, len: usize) {
-    let keys: Vec<u32> =
-        m.space().read_slice_u32(a.keys + 4 * lo as u64, len);
-    let vals: Vec<u32> =
-        m.space().read_slice_u32(a.vals + 4 * lo as u64, len);
-    let mut pairs: Vec<(u32, u32)> =
-        keys.into_iter().zip(vals.into_iter()).collect();
+    let keys: Vec<u32> = m.space().read_slice_u32(a.keys + 4 * lo as u64, len);
+    let vals: Vec<u32> = m.space().read_slice_u32(a.vals + 4 * lo as u64, len);
+    let mut pairs: Vec<(u32, u32)> = keys.into_iter().zip(vals).collect();
 
     // Charge the timing model what a scalar insertion sort executes:
     // per element, the probe loads/compares of its insertion walk plus

@@ -40,7 +40,17 @@ pub fn radix_sort(m: &mut Machine, a: &SortArrays, max_key: u32) -> u32 {
     for p in 0..passes {
         let (src_k, src_v) = a.result_buffers(p);
         let (dst_k, dst_v) = a.result_buffers(p + 1);
-        radix_pass(m, a.n, src_k, src_v, dst_k, dst_v, hist, p * DIGIT_BITS, max_key);
+        radix_pass(
+            m,
+            a.n,
+            src_k,
+            src_v,
+            dst_k,
+            dst_v,
+            hist,
+            p * DIGIT_BITS,
+            max_key,
+        );
     }
     passes
 }
@@ -175,7 +185,9 @@ mod tests {
     #[test]
     fn sorts_multi_pass_large_keys() {
         let n = 500;
-        let keys: Vec<u32> = (0..n).map(|i| ((i as u64 * 104729 + 7) % 1_000_003) as u32).collect();
+        let keys: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 104729 + 7) % 1_000_003) as u32)
+            .collect();
         let vals: Vec<u32> = (0..n).collect();
         run(keys, vals); // max key ~1e6 → 3 passes
     }
@@ -208,8 +220,7 @@ mod tests {
         for n in [1usize, 5, 64, 65, 100, 129, 1000] {
             let mvl = 64;
             let chunk = n.div_ceil(mvl);
-            let total: usize =
-                (0..chunk).map(|i| strided_vl(n, chunk, i, mvl)).sum();
+            let total: usize = (0..chunk).map(|i| strided_vl(n, chunk, i, mvl)).sum();
             assert_eq!(total, n, "n={n}");
         }
     }
@@ -219,7 +230,9 @@ mod tests {
         let n = 512;
         let vals: Vec<u32> = (0..n as u32).collect();
         let small: Vec<u32> = (0..n as u32).map(|i| i % 4).collect();
-        let big: Vec<u32> = (0..n as u32).map(|i| ((i as u64 * 2654435761) % 1_000_000) as u32).collect();
+        let big: Vec<u32> = (0..n as u32)
+            .map(|i| ((i as u64 * 2654435761) % 1_000_000) as u32)
+            .collect();
         let (_, _, c_small) = run(small, vals.clone());
         let (_, _, c_big) = run(big, vals);
         assert!(

@@ -48,7 +48,9 @@ pub fn vsr_partial_pass(m: &mut Machine, a: &SortArrays, bit_lo: u32, bit_hi: u3
     assert!(bit_lo < bit_hi && bit_hi <= 32, "bad bit range");
     let bits = bit_hi - bit_lo;
     let r_eff = (((max_key >> bit_lo) as u64) + 1).min(1u64 << bits) as usize;
-    vsr_pass(m, a.n, a.keys, a.vals, a.aux_keys, a.aux_vals, bit_lo, bits, r_eff);
+    vsr_pass(
+        m, a.n, a.keys, a.vals, a.aux_keys, a.aux_vals, bit_lo, bits, r_eff,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -165,7 +167,9 @@ mod tests {
     #[test]
     fn sorts_multi_pass() {
         let n = 600u32;
-        let keys: Vec<u32> = (0..n).map(|i| ((i as u64 * 104729 + 7) % 500_009) as u32).collect();
+        let keys: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 104729 + 7) % 500_009) as u32)
+            .collect();
         let vals: Vec<u32> = (0..n).collect();
         run(keys, vals);
     }
@@ -187,7 +191,9 @@ mod tests {
     #[test]
     fn vsr_is_cheaper_than_radix_on_random_input() {
         let n = 2000u32;
-        let keys: Vec<u32> = (0..n).map(|i| ((i as u64 * 2654435761) % 10_000) as u32).collect();
+        let keys: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 10_000) as u32)
+            .collect();
         let vals: Vec<u32> = (0..n).collect();
 
         let mut m1 = Machine::paper();
@@ -243,7 +249,9 @@ mod tests {
     #[test]
     fn partial_pass_is_cheaper_than_full_sort() {
         let n = 1500u32;
-        let keys: Vec<u32> = (0..n).map(|i| ((i as u64 * 2654435761) % 1_000_000) as u32).collect();
+        let keys: Vec<u32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 1_000_000) as u32)
+            .collect();
         let vals: Vec<u32> = (0..n).collect();
         let max = keys.iter().copied().max().unwrap();
 

@@ -10,8 +10,7 @@
 //! ```
 
 use vagg::core::{
-    run_adaptive, run_algorithm, select_algorithm, AdaptiveMode, Algorithm,
-    PlannerInputs,
+    run_adaptive, run_algorithm, select_algorithm, AdaptiveMode, Algorithm, PlannerInputs,
 };
 use vagg::datagen::{DatasetSpec, Distribution, Division};
 use vagg::sim::SimConfig;

@@ -64,7 +64,11 @@ fn main() {
     let last = result.sums[result.len() - 2] / result.counts[result.len() - 2];
     println!(
         "trend check: 20s average {first}k€ vs 60s average {last}k€ — {}",
-        if last > first { "earnings rise with age" } else { "no rise" }
+        if last > first {
+            "earnings rise with age"
+        } else {
+            "no rise"
+        }
     );
 
     // And the literal Figure 1 table, loaded from CSV and run through the
@@ -87,9 +91,6 @@ decade,earnings
         .expect("figure 1 query");
     println!("\nFigure 1 verbatim (earnings in k€, grouped by age decade):");
     for r in &out.rows {
-        println!(
-            "  {}0-{}9: avg {:.0}k€",
-            r.group, r.group, r.values[0]
-        );
+        println!("  {}0-{}9: avg {:.0}k€", r.group, r.group, r.values[0]);
     }
 }

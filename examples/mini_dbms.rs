@@ -8,7 +8,7 @@
 //! ```
 
 use vagg::datagen::rng::Xoshiro256StarStar;
-use vagg::db::{AggFn, AggregateQuery, Database, Engine, Predicate, Table};
+use vagg::db::{AggFn, AggregateQuery, Database, Engine, Predicate, Session, SqlOutcome, Table};
 
 fn main() {
     // An orders table: region (16 values), quarter (4 values), status
@@ -26,30 +26,33 @@ fn main() {
         .with_column("amount", amount);
 
     let engine = Engine::new();
+    let mut session = Session::new();
 
-    // Query 1: the paper's query shape.
+    // Query 1: the paper's query shape, through the plan/execute split —
+    // plan once, inspect the typed plan, then run it on the session.
     let q1 = AggregateQuery::paper("region", "amount");
-    println!("Q1: {}", q1.sql("orders"));
-    let out = engine.execute(&orders, &q1).expect("plan q1");
-    println!("  plan: {}", out.report.plan);
+    let plan = engine.plan(&orders, &q1).expect("plan q1");
+    println!("EXPLAIN output:\n{}\n", plan.explain());
+    let out = session.run(&plan);
     println!(
         "  {} groups, {} cycles ({:.2} CPT), algorithm: {}\n",
         out.rows.len(),
         out.report.cycles,
         out.report.cpt,
-        out.report.algorithm.name()
+        out.report.algorithm.map(|a| a.name()).unwrap_or("skipped")
     );
 
     // Query 2: WHERE + MIN/MAX/AVG — exercises vectorised selection and
-    // the VGAmin/VGAmax kernel.
+    // the VGAmin/VGAmax kernel, reusing the same session machine.
     let q2 = AggregateQuery::paper("region", "amount")
         .with_aggregate(AggFn::Min)
         .with_aggregate(AggFn::Max)
         .with_aggregate(AggFn::Avg)
         .with_filter("status", Predicate::NonZero);
     println!("Q2: {}", q2.sql("orders"));
-    let out = engine.execute(&orders, &q2).expect("plan q2");
-    println!("  plan: {}", out.report.plan);
+    let plan2 = engine.plan(&orders, &q2).expect("plan q2");
+    let out = session.run(&plan2);
+    println!("  plan: {}", out.report.describe());
     println!(
         "  aggregated {} of {} rows in {} cycles ({:.2} CPT)",
         out.report.rows_aggregated,
@@ -64,24 +67,29 @@ fn main() {
     for r in out.rows.iter().take(8) {
         println!(
             "{:>8} {:>8} {:>10} {:>6} {:>6} {:>8.1}",
-            r.group,
-            r.values[0],
-            r.values[1],
-            r.values[2],
-            r.values[3],
-            r.values[4]
+            r.group, r.values[0], r.values[1], r.values[2], r.values[3], r.values[4]
         );
     }
     println!("  ... ({} rows total)", out.rows.len());
+    println!(
+        "  session so far: {} queries, {} cycles on one machine",
+        session.queries_run(),
+        session.total_cycles()
+    );
 
-    // Query 3: the same engine behind plain SQL text.
+    // Query 3: the same engine behind plain SQL text. The database owns
+    // its own session, so consecutive statements also share a machine.
     let mut db = Database::new();
     db.register(orders);
-    let sql =
-        "SELECT region, COUNT(*), AVG(amount) FROM orders WHERE status <> 0 GROUP BY region";
+    let sql = "SELECT region, COUNT(*), AVG(amount) FROM orders WHERE status <> 0 GROUP BY region";
     println!("\nQ3 (SQL): {sql}");
+    let explained = db.explain_sql(sql).expect("explain q3");
+    println!(
+        "  EXPLAIN:\n    {}",
+        explained.explain().replace('\n', "\n    ")
+    );
     let out = db.execute_sql(sql).expect("execute q3");
-    println!("  plan: {}", out.report.plan);
+    println!("  executed: {}", out.report.describe());
     for r in out.rows.iter().take(4) {
         println!(
             "  region {:>2}: {:>5} orders, avg €{:.2}",
@@ -99,7 +107,7 @@ fn main() {
                ORDER BY SUM(amount) DESC LIMIT 5";
     println!("\nQ4 (top-5 regions by premium-order revenue): {sql}");
     let out = db.execute_sql(sql).expect("execute q4");
-    println!("  plan: {}", out.report.plan);
+    println!("  plan: {}", out.report.describe());
     for (rank, r) in out.rows.iter().enumerate() {
         println!(
             "  #{} region {:>2}: {:>5} orders, €{:>8}",
@@ -116,7 +124,7 @@ fn main() {
                GROUP BY region, quarter ORDER BY region LIMIT 8";
     println!("\nQ5 (revenue by region and quarter): {sql}");
     let out = db.execute_sql(sql).expect("execute q5");
-    println!("  plan: {}", out.report.plan);
+    println!("  plan: {}", out.report.describe());
     for r in &out.rows {
         println!(
             "  region {:>2} Q{}: {:>5} orders, €{:>8}",
@@ -127,7 +135,23 @@ fn main() {
         );
     }
 
-    // And the error path a user would hit.
-    let bad = db.execute_sql("SELECT region, SUM(amount) FROM orders WHERE amount = 5 GROUP BY region");
-    println!("\nQ6 (unsupported comparison): {}", bad.unwrap_err());
+    // Query 6: EXPLAIN through SQL — a typed plan, nothing executed.
+    let sql = "EXPLAIN SELECT region, COUNT(*), SUM(amount) FROM orders \
+               WHERE amount > 250 GROUP BY region";
+    println!("\nQ6 (SQL EXPLAIN): {sql}");
+    if let SqlOutcome::Plan(plan) = db.run_sql(sql).expect("explain q6") {
+        println!("    {}", plan.explain().replace('\n', "\n    "));
+    }
+
+    // And the error paths a user would hit — all typed.
+    let bad =
+        db.execute_sql("SELECT region, SUM(amount) FROM orders WHERE amount = 5 GROUP BY region");
+    println!("\nQ7 (unsupported comparison): {}", bad.unwrap_err());
+    let bad = db.execute_sql("SELECT region, SUM(nope) FROM orders GROUP BY region");
+    println!("Q8 (typed plan error):      {}", bad.unwrap_err());
+    println!(
+        "\ndatabase session: {} queries on one machine, {} total cycles",
+        db.session().queries_run(),
+        db.session().total_cycles()
+    );
 }

@@ -32,7 +32,12 @@ fn main() {
     let mut scalar_cpt = None;
     for alg in Algorithm::ALL {
         let run = run_algorithm(alg, &cfg, &ds);
-        assert_eq!(run.result, expected, "{} produced a wrong answer", alg.name());
+        assert_eq!(
+            run.result,
+            expected,
+            "{} produced a wrong answer",
+            alg.name()
+        );
         let speedup = scalar_cpt
             .map(|s: f64| format!("  ({:.1}x)", s / run.cpt))
             .unwrap_or_default();
@@ -49,7 +54,10 @@ fn main() {
 
     // Show the top of the result table.
     let run = run_algorithm(Algorithm::Monotable, &cfg, &ds);
-    println!("\nfirst rows of the result ({} groups total):", run.result.len());
+    println!(
+        "\nfirst rows of the result ({} groups total):",
+        run.result.len()
+    );
     println!("{:>8} {:>8} {:>8}", "g", "count", "sum");
     for i in 0..run.result.len().min(5) {
         println!(

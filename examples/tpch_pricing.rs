@@ -26,8 +26,7 @@ fn main() {
     let returnflag: Vec<u32> = (0..n).map(|_| rng.next_below(3) as u32).collect();
     let linestatus: Vec<u32> = (0..n).map(|_| rng.next_below(2) as u32).collect();
     let quantity: Vec<u32> = (0..n).map(|_| 1 + rng.next_below(50) as u32).collect();
-    let extendedprice: Vec<u32> =
-        (0..n).map(|_| 100 + rng.next_below(9_900) as u32).collect();
+    let extendedprice: Vec<u32> = (0..n).map(|_| 100 + rng.next_below(9_900) as u32).collect();
     let suppkey: Vec<u32> = (0..n).map(|_| rng.next_below(40_000) as u32).collect();
 
     let mut db = Database::new();
@@ -54,11 +53,12 @@ fn main() {
         println!("{sql}");
         println!(
             "  plan: {}   ({} cycles, {:.2} CPT)",
-            out.report.plan, out.report.cycles, out.report.cpt
+            out.report.describe(),
+            out.report.cycles,
+            out.report.cpt
         );
         for r in &out.rows {
-            let cells: Vec<String> =
-                r.values.iter().map(|v| format!("{v:.1}")).collect();
+            let cells: Vec<String> = r.values.iter().map(|v| format!("{v:.1}")).collect();
             println!("  flag {}: {}", r.group, cells.join(", "));
         }
     }
@@ -72,7 +72,10 @@ fn main() {
     println!("{sql}");
     println!(
         "  plan: {}   ({} of {} rows aggregated, {:.2} CPT)",
-        out.report.plan, out.report.rows_aggregated, n, out.report.cpt
+        out.report.describe(),
+        out.report.rows_aggregated,
+        n,
+        out.report.cpt
     );
     println!(
         "  {} supplier groups; first: supp {} count {} revenue {}",

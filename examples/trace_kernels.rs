@@ -79,7 +79,7 @@ fn print_histogram(trace: &Trace) {
     println!("\nper-mnemonic counts:");
     let h = histogram(trace);
     let mut sorted: Vec<_> = h.into_iter().collect();
-    sorted.sort_by(|a, b| b.1.cmp(&a.1));
+    sorted.sort_by_key(|e| std::cmp::Reverse(e.1));
     for (mnemonic, count) in sorted {
         println!("  {mnemonic:<10} {count:>7}");
     }

@@ -18,7 +18,9 @@
 //!   cardinalities);
 //! * [`sort`] — vectorised radix sort and VSR sort (full + partial);
 //! * [`core`] — the aggregation algorithms and adaptive selection;
-//! * [`db`] — a miniature column-store query engine tying it together.
+//! * [`db`] — a miniature column-store query engine tying it together,
+//!   built around a plan/execute split: typed [`db::QueryPlan`]s (with
+//!   `EXPLAIN`), reusable [`db::Session`]s, and typed [`db::PlanError`]s.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +38,27 @@
 //! let run = run_algorithm(Algorithm::Monotable, &SimConfig::paper(), &ds);
 //! assert_eq!(run.result, reference(&ds.g, &ds.v));
 //! println!("monotable: {:.2} cycles/tuple", run.cpt);
+//! ```
+//!
+//! ## Planned queries
+//!
+//! The query layer separates planning from execution, the shape every
+//! real column-store uses: plan once (typed steps, inspectable with
+//! `explain()`), then run many plans on one long-lived session machine.
+//!
+//! ```
+//! use vagg::db::{AggregateQuery, Engine, Session, Table};
+//!
+//! let t = Table::new("r")
+//!     .with_column("g", vec![1, 2, 1, 2])
+//!     .with_column("v", vec![10, 20, 30, 40]);
+//! let plan = Engine::new().plan(&t, &AggregateQuery::paper("g", "v"))?;
+//! println!("{}", plan.explain());
+//!
+//! let mut session = Session::new();
+//! let out = session.run(&plan);
+//! assert_eq!(out.rows.len(), 2);
+//! # Ok::<(), vagg::db::PlanError>(())
 //! ```
 
 #![warn(missing_docs)]

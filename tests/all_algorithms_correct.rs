@@ -2,9 +2,7 @@
 //! representative cardinalities must produce exactly the reference
 //! aggregation, and the adaptive selector must match whatever it picks.
 
-use vagg::core::{
-    reference, run_adaptive, run_algorithm, AdaptiveMode, Algorithm,
-};
+use vagg::core::{reference, run_adaptive, run_algorithm, AdaptiveMode, Algorithm};
 use vagg::datagen::{DatasetSpec, Distribution};
 use vagg::sim::SimConfig;
 
@@ -91,7 +89,12 @@ fn results_deterministic_across_runs() {
     for alg in Algorithm::ALL {
         let a = run_algorithm(alg, &cfg, &ds);
         let b = run_algorithm(alg, &cfg, &ds);
-        assert_eq!(a.cycles, b.cycles, "{} cycle count not deterministic", alg.name());
+        assert_eq!(
+            a.cycles,
+            b.cycles,
+            "{} cycle count not deterministic",
+            alg.name()
+        );
         assert_eq!(a.result, b.result);
     }
 }
@@ -116,7 +119,9 @@ fn n_not_multiple_of_mvl() {
 #[test]
 fn single_row_input() {
     let cfg = SimConfig::paper();
-    let ds = DatasetSpec::paper(Distribution::Uniform, 4).with_rows(1).generate();
+    let ds = DatasetSpec::paper(Distribution::Uniform, 4)
+        .with_rows(1)
+        .generate();
     let expect = reference(&ds.g, &ds.v);
     for alg in Algorithm::ALL {
         assert_eq!(run_algorithm(alg, &cfg, &ds).result, expect);

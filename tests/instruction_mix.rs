@@ -7,7 +7,10 @@ use vagg_datagen::{DatasetSpec, Distribution};
 use vagg_sim::SimConfig;
 
 fn run(alg: Algorithm, dist: Distribution, card: u64, rows: usize) -> vagg_core::AggRun {
-    let ds = DatasetSpec::paper(dist, card).with_rows(rows).with_seed(11).generate();
+    let ds = DatasetSpec::paper(dist, card)
+        .with_rows(rows)
+        .with_seed(11)
+        .generate();
     run_algorithm(alg, &SimConfig::paper(), &ds)
 }
 
@@ -28,7 +31,11 @@ fn monotable_is_built_on_cam_gather_scatter() {
     // Figure 15's loop: VGAsum + VLU per block → ≥ 2 CAM ops per MVL
     // elements; a masked gather and scatter per block.
     let blocks = (20_000 / 64) as u64;
-    assert!(r.mix.v_cam >= 2 * blocks, "cam={} blocks={blocks}", r.mix.v_cam);
+    assert!(
+        r.mix.v_cam >= 2 * blocks,
+        "cam={} blocks={blocks}",
+        r.mix.v_cam
+    );
     assert!(r.mix.v_gathers >= blocks);
     assert!(r.mix.v_scatters >= blocks);
     // No algorithm transformation: the input is streamed unit-stride, never
@@ -42,7 +49,12 @@ fn monotable_is_built_on_cam_gather_scatter() {
 fn radix_sort_pays_the_strided_transformation_cost() {
     // §IV-A: "the input must be loaded into a vector register using a
     // strided memory access pattern in lieu of a unit-stride one."
-    let ssr = run(Algorithm::StandardSortedReduce, Distribution::Uniform, 1_220, 20_000);
+    let ssr = run(
+        Algorithm::StandardSortedReduce,
+        Distribution::Uniform,
+        1_220,
+        20_000,
+    );
     assert!(
         ssr.mix.v_strided_loads > 0,
         "vectorised radix sort must stream its input strided for stability"
@@ -50,7 +62,12 @@ fn radix_sort_pays_the_strided_transformation_cost() {
 
     // §V-A: VSR sort "processes the input arrays sequentially" —
     // unit-stride, no strided loads at all.
-    let asr = run(Algorithm::AdvancedSortedReduce, Distribution::Uniform, 1_220, 20_000);
+    let asr = run(
+        Algorithm::AdvancedSortedReduce,
+        Distribution::Uniform,
+        1_220,
+        20_000,
+    );
     assert_eq!(asr.mix.v_strided_loads, 0);
     assert!(asr.mix.v_cam > 0, "VSR sort is built on VPI/VLU");
 }
@@ -73,8 +90,18 @@ fn sorted_reduce_average_vector_length_collapses_at_high_cardinality() {
     // is (nearly) unique, so the segmented reductions run at VL ≈ 1 and
     // the run average collapses relative to a low-cardinality input.
     let rows = 20_000;
-    let low = run(Algorithm::AdvancedSortedReduce, Distribution::Uniform, 76, rows);
-    let high = run(Algorithm::AdvancedSortedReduce, Distribution::Uniform, 10_000_000, rows);
+    let low = run(
+        Algorithm::AdvancedSortedReduce,
+        Distribution::Uniform,
+        76,
+        rows,
+    );
+    let high = run(
+        Algorithm::AdvancedSortedReduce,
+        Distribution::Uniform,
+        10_000_000,
+        rows,
+    );
     assert!(
         high.mix.avg_vl() < low.mix.avg_vl() * 0.8,
         "avg VL should collapse: low-c {:.1} vs high-c {:.1}",
@@ -88,7 +115,12 @@ fn sorted_reduce_average_vector_length_collapses_at_high_cardinality() {
 
 #[test]
 fn scatter_add_comparator_uses_the_memory_side_instruction() {
-    let r = run(Algorithm::ScatterAddMonotable, Distribution::Uniform, 1_220, 20_000);
+    let r = run(
+        Algorithm::ScatterAddMonotable,
+        Distribution::Uniform,
+        1_220,
+        20_000,
+    );
     assert!(r.mix.v_scatter_adds > 0);
     // No CAM hardware in the scatter-add world (§VI-B).
     assert_eq!(r.mix.v_cam, 0);
@@ -96,7 +128,12 @@ fn scatter_add_comparator_uses_the_memory_side_instruction() {
 
 #[test]
 fn cdi_comparator_retries_instead_of_using_the_cam() {
-    let cdi = run(Algorithm::CdiMonotable, Distribution::Uniform, 1_220, 20_000);
+    let cdi = run(
+        Algorithm::CdiMonotable,
+        Distribution::Uniform,
+        1_220,
+        20_000,
+    );
     assert_eq!(cdi.mix.v_cam, 0, "CDI-style loop must not use VPI/VLU/VGAx");
     assert!(cdi.mix.v_mask_ops > 0, "retry loop is mask-driven");
 
@@ -104,7 +141,12 @@ fn cdi_comparator_retries_instead_of_using_the_cam() {
     // scatter, so CDI executes strictly more gathers than monotable.
     let rows = 20_000;
     let mono = run(Algorithm::Monotable, Distribution::HeavyHitter, 1_220, rows);
-    let cdi = run(Algorithm::CdiMonotable, Distribution::HeavyHitter, 1_220, rows);
+    let cdi = run(
+        Algorithm::CdiMonotable,
+        Distribution::HeavyHitter,
+        1_220,
+        rows,
+    );
     assert!(
         cdi.mix.v_gathers > mono.mix.v_gathers,
         "retries should inflate gathers: cdi={} mono={}",

@@ -61,16 +61,8 @@ fn mvl_does_not_change_results() {
         .with_rows(5_000)
         .generate();
     let r64 = run_algorithm(Algorithm::Monotable, &SimConfig::paper(), &ds);
-    let r16 = run_algorithm(
-        Algorithm::Monotable,
-        &SimConfig::paper().with_mvl(16),
-        &ds,
-    );
-    let r256 = run_algorithm(
-        Algorithm::Monotable,
-        &SimConfig::paper().with_mvl(256),
-        &ds,
-    );
+    let r16 = run_algorithm(Algorithm::Monotable, &SimConfig::paper().with_mvl(16), &ds);
+    let r256 = run_algorithm(Algorithm::Monotable, &SimConfig::paper().with_mvl(256), &ds);
     assert_eq!(r64.result, r16.result);
     assert_eq!(r64.result, r256.result);
 }

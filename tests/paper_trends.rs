@@ -7,7 +7,10 @@ use vagg::datagen::{DatasetSpec, Distribution};
 use vagg::sim::SimConfig;
 
 fn cpt(alg: Algorithm, dist: Distribution, card: u64, n: usize) -> f64 {
-    let ds = DatasetSpec::paper(dist, card).with_rows(n).with_seed(3).generate();
+    let ds = DatasetSpec::paper(dist, card)
+        .with_rows(n)
+        .with_seed(3)
+        .generate();
     run_algorithm(alg, &SimConfig::paper(), &ds).cpt
 }
 
@@ -15,7 +18,11 @@ fn cpt(alg: Algorithm, dist: Distribution, card: u64, n: usize) -> f64 {
 fn monotable_beats_scalar_at_low_cardinality() {
     // Table VII, `low`: 3.8–4.1×.
     let n = 30_000;
-    for dist in [Distribution::Uniform, Distribution::Zipf, Distribution::HeavyHitter] {
+    for dist in [
+        Distribution::Uniform,
+        Distribution::Zipf,
+        Distribution::HeavyHitter,
+    ] {
         let s = cpt(Algorithm::Scalar, dist, 76, n);
         let m = cpt(Algorithm::Monotable, dist, 76, n);
         assert!(
@@ -70,7 +77,11 @@ fn advanced_never_loses_to_standard_sorted_reduce() {
     // Table VI vs IV: VSR sort dominates evasion radix on every unsorted
     // dataset.
     let n = 20_000;
-    for dist in [Distribution::Uniform, Distribution::Zipf, Distribution::Sequential] {
+    for dist in [
+        Distribution::Uniform,
+        Distribution::Zipf,
+        Distribution::Sequential,
+    ] {
         for card in [76u64, 9_765] {
             let ssr = cpt(Algorithm::StandardSortedReduce, dist, card, n);
             let asr = cpt(Algorithm::AdvancedSortedReduce, dist, card, n);
@@ -89,11 +100,18 @@ fn sorted_input_makes_sorted_reduce_best_in_class() {
     let n = 30_000;
     let s = cpt(Algorithm::Scalar, Distribution::Sorted, 76, n);
     let sr = cpt(Algorithm::StandardSortedReduce, Distribution::Sorted, 76, n);
-    assert!(s / sr > 3.0, "sorted-reduce-on-sorted speedup only {:.2}", s / sr);
+    assert!(
+        s / sr > 3.0,
+        "sorted-reduce-on-sorted speedup only {:.2}",
+        s / sr
+    );
 
     // And standard == advanced exactly (the Ξ equality): sorting skipped.
     let asr = cpt(Algorithm::AdvancedSortedReduce, Distribution::Sorted, 76, n);
-    assert_eq!(sr, asr, "Ξ: both sorted reduces must be identical on sorted input");
+    assert_eq!(
+        sr, asr,
+        "Ξ: both sorted reduces must be identical on sorted input"
+    );
 }
 
 #[test]
@@ -102,11 +120,24 @@ fn psm_beats_monotable_where_the_paper_says() {
     // loses (the ‡ case).
     let n = 100_000;
     let m = cpt(Algorithm::Monotable, Distribution::Uniform, 78_125, n);
-    let p = cpt(Algorithm::PartiallySortedMonotable, Distribution::Uniform, 78_125, n);
-    assert!(p < m, "uniform high-normal: psm {p:.1} should beat mono {m:.1}");
+    let p = cpt(
+        Algorithm::PartiallySortedMonotable,
+        Distribution::Uniform,
+        78_125,
+        n,
+    );
+    assert!(
+        p < m,
+        "uniform high-normal: psm {p:.1} should beat mono {m:.1}"
+    );
 
     let ms = cpt(Algorithm::Monotable, Distribution::Sequential, 78_125, n);
-    let ps = cpt(Algorithm::PartiallySortedMonotable, Distribution::Sequential, 78_125, n);
+    let ps = cpt(
+        Algorithm::PartiallySortedMonotable,
+        Distribution::Sequential,
+        78_125,
+        n,
+    );
     assert!(
         ps > ms,
         "sequential high-normal (‡): psm {ps:.1} should lose to mono {ms:.1}"
@@ -134,7 +165,10 @@ fn adaptive_realistic_close_to_ideal() {
     let mut realistic_total = 0.0;
     for dist in Distribution::ALL {
         for card in [76u64, 9_765, 78_125] {
-            let ds = DatasetSpec::paper(dist, card).with_rows(n).with_seed(3).generate();
+            let ds = DatasetSpec::paper(dist, card)
+                .with_rows(n)
+                .with_seed(3)
+                .generate();
             ideal_total += run_adaptive(&cfg, &ds, AdaptiveMode::Ideal).cpt;
             realistic_total += run_adaptive(&cfg, &ds, AdaptiveMode::Realistic).cpt;
         }
@@ -159,7 +193,10 @@ fn adaptive_beats_every_fixed_algorithm_on_average() {
     let mut fixed: Vec<(Algorithm, f64)> =
         Algorithm::VECTORISED.iter().map(|&a| (a, 0.0)).collect();
     for &(d, c) in &cells {
-        let ds = DatasetSpec::paper(d, c).with_rows(n).with_seed(3).generate();
+        let ds = DatasetSpec::paper(d, c)
+            .with_rows(n)
+            .with_seed(3)
+            .generate();
         let scalar = run_algorithm(Algorithm::Scalar, &cfg, &ds).cpt;
         adaptive += scalar / run_adaptive(&cfg, &ds, AdaptiveMode::Realistic).cpt;
         for (alg, total) in fixed.iter_mut() {
@@ -190,9 +227,8 @@ fn one_vector_unit_is_worth_at_least_eight_cores() {
         .generate();
     let cfg = SimConfig::paper();
     let vector = run_algorithm(Algorithm::Monotable, &cfg, &ds);
-    let (cores, run) =
-        cores_to_match(&cfg, &ds.g, &ds.v, false, vector.cycles, 64)
-            .expect("some optimistic core count matches at low cardinality");
+    let (cores, run) = cores_to_match(&cfg, &ds.g, &ds.v, false, vector.cycles, 64)
+        .expect("some optimistic core count matches at low cardinality");
     assert_eq!(cores, 8, "paper claims at minimum eight cores");
     assert!(run.cycles <= vector.cycles);
 }
@@ -201,8 +237,8 @@ fn one_vector_unit_is_worth_at_least_eight_cores() {
 fn radix_sort_beats_both_cited_comparators() {
     // §IV-A's justification for radix sort, measured against both
     // comparators on one dataset.
-    use vagg::sort::{bitonic_sort, quicksort, radix_sort, SortArrays};
     use vagg::sim::Machine;
+    use vagg::sort::{bitonic_sort, quicksort, radix_sort, SortArrays};
     let keys: Vec<u32> = (0..4_096u64)
         .map(|i| ((i * 2_654_435_761) % 5_000) as u32)
         .collect();

@@ -1,0 +1,177 @@
+//! Integration tests for the planned-query API: golden `EXPLAIN`
+//! renderings, typed end-to-end errors, and session reuse through the
+//! public facade.
+
+use vagg::db::{
+    AggFn, AggregateQuery, Database, Engine, OrderKey, PlanError, PlanStep, Predicate, Session,
+    SqlError, SqlOutcome, Table,
+};
+
+fn people() -> Table {
+    Table::new("r")
+        .with_column("g", vec![1, 3, 3, 0, 0, 5, 2, 4])
+        .with_column("v", vec![0, 5, 2, 4, 1, 3, 3, 0])
+}
+
+fn orders() -> Table {
+    Table::new("orders")
+        .with_column("region", vec![0, 1, 0, 2, 1, 0])
+        .with_column("quarter", vec![0, 1, 2, 3, 0, 1])
+        .with_column("amount", vec![10, 20, 30, 40, 50, 60])
+        .with_column("status", vec![1, 0, 1, 1, 0, 1])
+}
+
+#[test]
+fn explain_golden_paper_query() {
+    let plan = Engine::new()
+        .plan(&people(), &AggregateQuery::paper("g", "v"))
+        .unwrap();
+    assert_eq!(
+        plan.explain(),
+        "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g\n\
+         \x20 rows=8 presorted=false algorithm=monotable cardinality≈6\n\
+         \x20 1. CardinalityScan[exact](cardinality≈6)\n\
+         \x20 2. Aggregate[mono]"
+    );
+}
+
+#[test]
+fn explain_golden_full_tail_via_sql() {
+    let mut db = Database::new();
+    db.register(orders());
+    let outcome = db
+        .run_sql(
+            "EXPLAIN SELECT region, quarter, COUNT(*), SUM(amount) \
+             FROM orders WHERE status <> 0 GROUP BY region, quarter \
+             HAVING COUNT(*) > 1 ORDER BY SUM(amount) DESC LIMIT 3",
+        )
+        .unwrap();
+    let plan = match outcome {
+        SqlOutcome::Plan(p) => p,
+        SqlOutcome::Rows(_) => panic!("EXPLAIN must not execute"),
+    };
+    // Nothing ran on the session's machine.
+    assert_eq!(db.session().queries_run(), 0);
+    assert_eq!(db.session().total_cycles(), 0);
+    assert_eq!(
+        plan.explain(),
+        "SELECT region, quarter, COUNT(*), SUM(amount) FROM orders \
+         WHERE status <> 0 GROUP BY region, quarter \
+         HAVING COUNT(*) > 1 ORDER BY SUM(amount) DESC LIMIT 3\n\
+         \x20 rows=6 presorted=false algorithm=monotable cardinality≈12\n\
+         \x20 1. FuseKeys(region×quarter)\n\
+         \x20 2. VectorFilter(status <> 0)\n\
+         \x20 3. CardinalityScan[exact](cardinality≈12)\n\
+         \x20 4. Aggregate[mono]\n\
+         \x20 5. VectorHaving(COUNT(*) > 1)\n\
+         \x20 6. VectorOrderBy[radix](SUM(amount) DESC)\n\
+         \x20 7. Limit(3)"
+    );
+}
+
+#[test]
+fn explain_golden_presorted_minmax() {
+    let n = 512usize;
+    let t = Table::new("sorted")
+        .with_column("k", (0..n).map(|i| (i / 128) as u32).collect())
+        .with_column("x", (0..n).map(|i| (i % 7) as u32).collect());
+    let q = AggregateQuery::paper("k", "x")
+        .with_aggregate(AggFn::Min)
+        .with_aggregate(AggFn::Max);
+    let plan = Engine::new().plan(&t, &q).unwrap();
+    assert_eq!(
+        plan.explain(),
+        "SELECT k, COUNT(*), SUM(x), MIN(x), MAX(x) FROM sorted GROUP BY k\n\
+         \x20 rows=512 presorted=true algorithm=polytable cardinality≈4\n\
+         \x20 1. CardinalityScan[presorted](cardinality≈4)\n\
+         \x20 2. MinMaxKernel[VGAmin/VGAmax]"
+    );
+}
+
+#[test]
+fn plan_steps_are_typed_and_inspectable() {
+    let q = AggregateQuery::paper("g", "v")
+        .with_filter("v", Predicate::GreaterThan(0))
+        .with_order_by(OrderKey::Group, false);
+    let plan = Engine::new().plan(&people(), &q).unwrap();
+    assert!(matches!(
+        plan.steps()[0],
+        PlanStep::VectorFilter {
+            pred: Predicate::GreaterThan(0),
+            ..
+        }
+    ));
+    assert!(plan
+        .steps()
+        .iter()
+        .any(|s| matches!(s, PlanStep::CardinalityScan { .. })));
+    assert!(plan
+        .steps()
+        .iter()
+        .any(|s| matches!(s, PlanStep::Aggregate(_))));
+    assert_eq!(plan.rows(), 8);
+    assert_eq!(plan.cardinality_estimate(), 6);
+}
+
+#[test]
+fn sql_errors_are_fully_typed() {
+    let mut db = Database::new();
+    db.register(people());
+
+    // Planning errors arrive as typed PlanError values, not strings.
+    let e = db
+        .execute_sql("SELECT g, SUM(missing) FROM r GROUP BY g")
+        .unwrap_err();
+    assert_eq!(
+        e,
+        SqlError::Plan(PlanError::UnknownColumn("missing".into()))
+    );
+
+    let e = db
+        .execute_sql("SELECT g, SUM(v) FROM r GROUP BY g HAVING AVG(v) > 1")
+        .unwrap_err();
+    assert_eq!(
+        e,
+        SqlError::Plan(PlanError::UnsupportedAvgPredicate { clause: "HAVING" })
+    );
+
+    let e = db
+        .execute_sql("SELECT g, SUM(v) FROM nowhere GROUP BY g")
+        .unwrap_err();
+    assert_eq!(e, SqlError::UnknownTable("nowhere".into()));
+}
+
+#[test]
+fn two_queries_on_one_session_reuse_the_machine() {
+    let t = people();
+    let engine = Engine::new();
+    let p1 = engine.plan(&t, &AggregateQuery::paper("g", "v")).unwrap();
+    let p2 = engine
+        .plan(
+            &t,
+            &AggregateQuery::paper("g", "v").with_filter("v", Predicate::GreaterThan(0)),
+        )
+        .unwrap();
+
+    let mut session = Session::new();
+    let r1 = session.run(&p1);
+    let r2 = session.run(&p2);
+
+    assert_eq!(session.queries_run(), 2);
+    // One machine, cumulative cycles, per-query deltas.
+    assert_eq!(session.total_cycles(), r1.report.cycles + r2.report.cycles);
+    assert_eq!(r1.rows.len(), 6);
+    assert!(r2.rows.iter().all(|r| r.group != 1 || r.values[0] > 0.0));
+}
+
+#[test]
+fn empty_filter_result_reports_skipped_aggregation() {
+    let mut db = Database::new();
+    db.register(people());
+    let out = db
+        .execute_sql("SELECT g, COUNT(*), SUM(v) FROM r WHERE v > 100 GROUP BY g")
+        .unwrap();
+    assert!(out.rows.is_empty());
+    assert_eq!(out.report.algorithm, None);
+    assert!(out.report.steps.contains(&PlanStep::AggregateSkipped));
+}

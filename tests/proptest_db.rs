@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use vagg::db::{
-    parse, AggFn, AggregateQuery, Engine, OrderKey, Predicate, Table,
-};
+use vagg::db::{parse, AggFn, AggregateQuery, Engine, OrderKey, Predicate, Session, Table};
 use vagg::sim::Machine;
 
 fn arb_aggfn() -> impl Strategy<Value = AggFn> {
@@ -154,7 +152,7 @@ proptest! {
         // Host-side oracle.
         let mut agg: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
         for i in 0..g.len() {
-            if filter_pred.map_or(true, |p| p.matches(w[i])) {
+            if filter_pred.is_none_or(|p| p.matches(w[i])) {
                 let e = agg.entry(g[i]).or_insert((0, 0));
                 e.0 += 1;
                 e.1 += v[i];
@@ -162,7 +160,7 @@ proptest! {
         }
         let mut expect: Vec<(u32, u32, u32)> = agg
             .into_iter()
-            .filter(|(_, (_, sum))| having_t.map_or(true, |t| *sum > t))
+            .filter(|(_, (_, sum))| having_t.is_none_or(|t| *sum > t))
             .map(|(g, (c, s))| (g, c, s))
             .collect();
         // Stable sort by sum (complement for DESC) mirrors the engine.
@@ -196,9 +194,85 @@ proptest! {
     }
 }
 
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Engine::plan` + `Session::run` is exactly the one-shot
+    /// `Engine::execute` it replaced: same rows, same cycles, same
+    /// algorithm, on random full-pipeline queries.
+    #[test]
+    fn plan_plus_session_matches_execute(
+        rows in proptest::collection::vec((0u32..16, 0u32..10, 0u32..8), 1..300),
+        filter_pred in proptest::option::of(prop_oneof![
+            (0u32..8).prop_map(Predicate::NotEqual),
+            (0u32..8).prop_map(Predicate::GreaterThan),
+            (0u32..8).prop_map(Predicate::LessThan),
+        ]),
+        having_t in proptest::option::of(0u32..30),
+        desc in any::<bool>(),
+        limit in proptest::option::of(1usize..8),
+    ) {
+        let g: Vec<u32> = rows.iter().map(|r| r.0).collect();
+        let v: Vec<u32> = rows.iter().map(|r| r.1).collect();
+        let w: Vec<u32> = rows.iter().map(|r| r.2).collect();
+
+        let mut q = AggregateQuery::paper("g", "v");
+        if let Some(p) = filter_pred {
+            q = q.with_filter("w", p);
+        }
+        if let Some(t) = having_t {
+            q = q.with_having(AggFn::Sum, Predicate::GreaterThan(t));
+        }
+        q = q.with_order_by(OrderKey::Agg(AggFn::Sum), desc);
+        if let Some(k) = limit {
+            q = q.with_limit(k);
+        }
+
+        let table = Table::new("r")
+            .with_column("g", g)
+            .with_column("v", v)
+            .with_column("w", w);
+
+        let engine = Engine::new();
+        let via_execute = engine.execute(&table, &q).unwrap();
+        let plan = engine.plan(&table, &q).unwrap();
+        prop_assert!(plan.explain().contains("CardinalityScan"));
+        let via_session = Session::new().run(&plan);
+
+        prop_assert_eq!(via_execute.rows, via_session.rows);
+        prop_assert_eq!(via_execute.report.cycles, via_session.report.cycles);
+        prop_assert_eq!(
+            via_execute.report.algorithm,
+            via_session.report.algorithm
+        );
+        prop_assert_eq!(
+            via_execute.report.rows_aggregated,
+            via_session.report.rows_aggregated
+        );
+    }
+
+    /// Running one plan twice on a shared session gives identical rows,
+    /// and the session accounts per-query cycle deltas exactly.
+    #[test]
+    fn session_reuse_is_deterministic_on_rows(
+        rows in proptest::collection::vec((0u32..16, 0u32..10), 1..200),
+    ) {
+        let g: Vec<u32> = rows.iter().map(|r| r.0).collect();
+        let v: Vec<u32> = rows.iter().map(|r| r.1).collect();
+        let table = Table::new("r").with_column("g", g).with_column("v", v);
+        let plan = Engine::new()
+            .plan(&table, &AggregateQuery::paper("g", "v"))
+            .unwrap();
+        let mut session = Session::new();
+        let first = session.run(&plan);
+        let second = session.run(&plan);
+        prop_assert_eq!(session.queries_run(), 2);
+        prop_assert_eq!(&first.rows, &second.rows);
+        prop_assert_eq!(
+            session.total_cycles(),
+            first.report.cycles + second.report.cycles
+        );
+    }
 
     #[test]
     fn composite_group_by_matches_host_oracle(

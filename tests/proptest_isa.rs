@@ -3,9 +3,9 @@
 //! and CAM timing bounds.
 
 use proptest::prelude::*;
+use vagg::isa::cam::cam_cycles;
 use vagg::isa::exec::{self, BinOp, RedOp};
 use vagg::isa::irregular::{vga_sum, vlu, vpi};
-use vagg::isa::cam::cam_cycles;
 
 fn keyvec() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(0u64..32, 1..=64)

@@ -17,7 +17,12 @@ struct Access {
 fn accesses() -> impl Strategy<Value = Vec<Access>> {
     prop::collection::vec(
         (0u64..1 << 16, any::<bool>(), any::<bool>(), 0u64..8).prop_map(
-            |(addr, write, vector, gap)| Access { addr, write, vector, gap },
+            |(addr, write, vector, gap)| Access {
+                addr,
+                write,
+                vector,
+                gap,
+            },
         ),
         1..200,
     )

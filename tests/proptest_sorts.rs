@@ -9,14 +9,10 @@ use vagg::sort::{radix_sort, vsr_partial_pass, vsr_sort, SortArrays};
 
 fn columns() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
     (1usize..250).prop_flat_map(|n| {
-        (
-            prop::collection::vec(0u32..100_000, n),
-            (Just(n),),
-        )
-            .prop_map(|(keys, (n,))| {
-                let payload: Vec<u32> = (0..n as u32).collect();
-                (keys, payload)
-            })
+        (prop::collection::vec(0u32..100_000, n), (Just(n),)).prop_map(|(keys, (n,))| {
+            let payload: Vec<u32> = (0..n as u32).collect();
+            (keys, payload)
+        })
     })
 }
 

@@ -54,7 +54,10 @@ fn trace_counts_match_opmix_for_monotable() {
         .iter()
         .filter(|e| e.class == TraceClass::VecLoad)
         .count() as u64;
-    assert_eq!(loads, mix.v_unit_loads + mix.v_strided_loads + mix.v_gathers);
+    assert_eq!(
+        loads,
+        mix.v_unit_loads + mix.v_strided_loads + mix.v_gathers
+    );
     let stores: u64 = t
         .events()
         .iter()
@@ -162,7 +165,11 @@ fn bounded_trace_keeps_head_and_counts_rest() {
     assert_eq!(t.events().len(), 100);
     // setvl (Control) events are traced but not in OpMix, so total() is
     // at least the OpMix total.
-    assert!(t.total() >= total_expected, "{} < {total_expected}", t.total());
+    assert!(
+        t.total() >= total_expected,
+        "{} < {total_expected}",
+        t.total()
+    );
     assert!(t.dropped() > 0);
     let listing = t.listing();
     assert!(listing.contains("further instructions not stored"));
@@ -201,15 +208,14 @@ fn irregular_instruction_mnemonics_appear() {
     m.vred(RedOp::Sum, Vreg(3), None);
     let t = m.take_trace().unwrap();
     let names: Vec<&str> = t.events().iter().map(|e| e.mnemonic).collect();
-    for expect in
-        ["setvl", "vset", "vpi", "vlu", "vgasum", "vgamin", "vgamax", "vredsum"]
-    {
+    for expect in [
+        "setvl", "vset", "vpi", "vlu", "vgasum", "vgamin", "vgamax", "vredsum",
+    ] {
         assert!(names.contains(&expect), "missing {expect} in {names:?}");
     }
     // CAM events carry the CAM class.
     assert_eq!(t.of_class(TraceClass::Cam).count(), 5);
 }
-
 
 #[test]
 fn fu_utilization_reflects_algorithm_character() {
