@@ -54,5 +54,5 @@ pub use algorithm::{run_algorithm, AggRun, Algorithm};
 pub use input::{OutputTable, StagedInput};
 pub use minmax::{minmax_aggregate, reference_minmax, MinMaxResult};
 pub use multicore::{cores_to_match, multicore_scalar_aggregate, MulticoreRun};
-pub use result::{reference, AggResult};
+pub use result::{reference, AggResult, PartialAggregate};
 pub use sorted_reduce::SortKind;

@@ -48,6 +48,136 @@ impl AggResult {
     }
 }
 
+/// One worker's mergeable aggregate over its partition of the input:
+/// the COUNT/SUM columns plus the optional MIN/MAX columns of the
+/// extended kernel, all ordered by group key.
+///
+/// COUNT, SUM, MIN and MAX are distributive, so partials computed over
+/// disjoint row partitions combine into the whole-input answer with
+/// [`PartialAggregate::merge`] (and AVG = SUM/COUNT falls out on
+/// readback). This is the contract a sharded front end relies on: run
+/// the same plan on every shard, merge the partials, finalise once.
+///
+/// ```
+/// use vagg_core::{reference, PartialAggregate};
+///
+/// let (g, v) = ([1u32, 2, 1, 2], [10u32, 20, 30, 40]);
+/// let left = PartialAggregate::new(reference(&g[..2], &v[..2]), None);
+/// let right = PartialAggregate::new(reference(&g[2..], &v[2..]), None);
+/// assert_eq!(left.merge(right).base, reference(&g, &v));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialAggregate {
+    /// The COUNT/SUM columns, ordered by group key.
+    pub base: AggResult,
+    /// `(MIN(v), MAX(v))` per group when the query ran the extended
+    /// VGAmin/VGAmax kernel; `None` for COUNT/SUM-only queries.
+    pub minmax: Option<(Vec<u32>, Vec<u32>)>,
+}
+
+impl PartialAggregate {
+    /// Wraps one worker's readback columns.
+    pub fn new(base: AggResult, minmax: Option<(Vec<u32>, Vec<u32>)>) -> Self {
+        Self { base, minmax }
+    }
+
+    /// An empty partial (what a shard with no surviving rows reports).
+    /// `minmax` says whether the query family carries MIN/MAX columns.
+    pub fn empty(minmax: bool) -> Self {
+        Self {
+            base: AggResult {
+                groups: Vec::new(),
+                counts: Vec::new(),
+                sums: Vec::new(),
+            },
+            minmax: minmax.then(|| (Vec::new(), Vec::new())),
+        }
+    }
+
+    /// Number of groups in this partial.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether this partial holds no groups at all.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Merges two partials computed over disjoint row partitions:
+    /// a merge-join on the (sorted) group keys, adding counts and sums
+    /// and combining minima/maxima elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Both sides must come from the same query shape: they either both
+    /// carry MIN/MAX columns or neither does. Mixing them would have to
+    /// silently drop one side's MIN/MAX data, so it panics instead.
+    pub fn merge(self, other: Self) -> Self {
+        assert_eq!(
+            self.minmax.is_some(),
+            other.minmax.is_some(),
+            "partials of one query agree on carrying MIN/MAX"
+        );
+        let with_minmax = self.minmax.is_some() && other.minmax.is_some();
+        let n = self.len() + other.len();
+        let mut out = Self {
+            base: AggResult {
+                groups: Vec::with_capacity(n),
+                counts: Vec::with_capacity(n),
+                sums: Vec::with_capacity(n),
+            },
+            minmax: with_minmax.then(|| (Vec::with_capacity(n), Vec::with_capacity(n))),
+        };
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self, &other);
+        while i < a.len() || j < b.len() {
+            // Which side supplies the next (smallest) group key?
+            let take_a = j == b.len() || (i < a.len() && a.base.groups[i] <= b.base.groups[j]);
+            let take_b = i == a.len() || (j < b.len() && b.base.groups[j] <= a.base.groups[i]);
+            let key = if take_a {
+                a.base.groups[i]
+            } else {
+                b.base.groups[j]
+            };
+            let (mut count, mut sum) = (0u32, 0u32);
+            let (mut min, mut max) = (u32::MAX, 0u32);
+            if take_a {
+                count += a.base.counts[i];
+                sum += a.base.sums[i];
+                if let Some((mins, maxs)) = &a.minmax {
+                    min = min.min(mins[i]);
+                    max = max.max(maxs[i]);
+                }
+                i += 1;
+            }
+            if take_b {
+                count += b.base.counts[j];
+                sum += b.base.sums[j];
+                if let Some((mins, maxs)) = &b.minmax {
+                    min = min.min(mins[j]);
+                    max = max.max(maxs[j]);
+                }
+                j += 1;
+            }
+            out.base.groups.push(key);
+            out.base.counts.push(count);
+            out.base.sums.push(sum);
+            if let Some((mins, maxs)) = &mut out.minmax {
+                mins.push(min);
+                maxs.push(max);
+            }
+        }
+        out
+    }
+
+    /// Folds any number of partials into one (identity: an empty
+    /// partial of the same query family).
+    pub fn merge_all(parts: impl IntoIterator<Item = Self>) -> Option<Self> {
+        parts.into_iter().reduce(Self::merge)
+    }
+}
+
 /// Host-side oracle: hash aggregation, then order by group.
 pub fn reference(g: &[u32], v: &[u32]) -> AggResult {
     assert_eq!(g.len(), v.len());
@@ -94,6 +224,62 @@ mod tests {
         let r = reference(&[1, 2], &[1, 1]);
         assert!(r.validate(3).is_err());
         assert!(r.validate(2).is_ok());
+    }
+
+    #[test]
+    fn merge_matches_whole_input_reference() {
+        let g = [1u32, 3, 3, 0, 0, 5, 2, 4, 3, 1];
+        let v = [0u32, 5, 2, 4, 1, 3, 3, 0, 9, 7];
+        for split in 0..=g.len() {
+            let left = PartialAggregate::new(reference(&g[..split], &v[..split]), None);
+            let right = PartialAggregate::new(reference(&g[split..], &v[split..]), None);
+            let merged = left.merge(right);
+            assert_eq!(merged.base, reference(&g, &v), "split at {split}");
+            merged.base.validate(g.len()).unwrap();
+        }
+    }
+
+    #[test]
+    fn merge_combines_minmax_columns() {
+        let minmax_ref = |g: &[u32], v: &[u32]| {
+            let r = crate::minmax::reference_minmax(g, v);
+            PartialAggregate::new(r.base, Some((r.mins, r.maxs)))
+        };
+        let g = [2u32, 0, 2, 1, 0, 2];
+        let v = [7u32, 3, 1, 9, 8, 4];
+        let merged = minmax_ref(&g[..3], &v[..3]).merge(minmax_ref(&g[3..], &v[3..]));
+        assert_eq!(merged, minmax_ref(&g, &v));
+    }
+
+    #[test]
+    #[should_panic(expected = "carrying MIN/MAX")]
+    fn merging_mismatched_families_panics() {
+        let with = PartialAggregate::empty(true);
+        let without = PartialAggregate::new(reference(&[1], &[2]), None);
+        let _ = with.merge(without);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let p = PartialAggregate::new(reference(&[4, 2, 4], &[1, 2, 3]), None);
+        assert_eq!(p.clone().merge(PartialAggregate::empty(false)), p);
+        assert_eq!(PartialAggregate::empty(false).merge(p.clone()), p);
+        assert!(PartialAggregate::empty(true).is_empty());
+    }
+
+    #[test]
+    fn merge_all_folds_many_shards() {
+        let g: Vec<u32> = (0..97u32).map(|i| i % 13).collect();
+        let v: Vec<u32> = (0..97u32).map(|i| i * 3 % 17).collect();
+        let parts = (0..5).map(|s| {
+            let lo = s * 20;
+            let hi = (lo + 20).min(g.len());
+            PartialAggregate::new(reference(&g[lo..hi], &v[lo..hi]), None)
+        });
+        let merged = PartialAggregate::merge_all(parts).unwrap();
+        assert_eq!(merged.base, reference(&g, &v));
+        assert_eq!(merged.len(), 13);
+        assert!(PartialAggregate::merge_all(std::iter::empty()).is_none());
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! The shared catalogue: one table registry + plan cache serving many
+//! concurrent sessions.
+//!
+//! A [`SharedCatalogue`] is an `Arc`-backed handle over a read-mostly
+//! table registry (behind an `RwLock`), the planning [`crate::Engine`],
+//! and one shared [`PlanCache`]. Cloning the handle is cheap; every
+//! clone sees the same tables and the same cache, so a plan computed by
+//! one session is a cache hit for every other session — the
+//! serving-layer shape of a real column-store, where connections share
+//! the catalogue and plan cache but own their execution context.
+//!
+//! [`SharedCatalogue::connect`] mints a new [`crate::Database`] (a
+//! session + this catalogue handle); sessions on different threads run
+//! concurrently because execution state lives entirely in the
+//! per-session [`crate::Session`] machine.
+//!
+//! ```
+//! use vagg_db::{SharedCatalogue, Table};
+//!
+//! let catalogue = SharedCatalogue::new();
+//! catalogue.register(
+//!     Table::new("r")
+//!         .with_column("g", vec![1, 2, 1])
+//!         .with_column("v", vec![10, 20, 30]),
+//! );
+//! let mut alice = catalogue.connect();
+//! let mut bob = catalogue.connect();
+//! let sql = "SELECT g, SUM(v) FROM r GROUP BY g";
+//! let a = alice.execute_sql(sql)?;
+//! let b = bob.execute_sql(sql)?; // plan served from the shared cache
+//! assert_eq!(a.rows, b.rows);
+//! assert_eq!(catalogue.cache_stats().hits, 1);
+//! # Ok::<(), vagg_db::SqlError>(())
+//! ```
+
+use crate::cache::{CacheStats, PlanCache, QueryShape};
+use crate::database::{Database, SqlError};
+use crate::engine::Engine;
+use crate::plan::QueryPlan;
+use crate::query::AggregateQuery;
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+use vagg_core::{select_algorithm, AdaptiveMode, PlannerInputs};
+
+/// One registered table plus its registration version. The version is
+/// part of every plan-cache key, so re-registering a table (the only
+/// way its statistics change — tables are immutable) makes all cached
+/// plans for it unreachable *and* purges them.
+struct Registered {
+    version: u64,
+    table: Table,
+}
+
+struct Inner {
+    tables: RwLock<BTreeMap<String, Registered>>,
+    cache: Mutex<PlanCache>,
+    engine: Engine,
+}
+
+/// A cheaply clonable handle to one shared table registry, planner and
+/// plan cache. See the [module docs](self).
+#[derive(Clone)]
+pub struct SharedCatalogue {
+    inner: Arc<Inner>,
+}
+
+/// A non-owning catalogue identity (see [`SharedCatalogue::id`]): the
+/// `Weak` makes the comparison ABA-safe — a dropped catalogue can
+/// never be confused with a new one reusing its address — without
+/// pinning the catalogue's memory.
+#[derive(Debug, Clone)]
+pub(crate) struct CatalogueId(std::sync::Weak<Inner>);
+
+impl CatalogueId {
+    /// Whether this token identifies `catalogue`.
+    pub(crate) fn matches(&self, catalogue: &SharedCatalogue) -> bool {
+        self.0
+            .upgrade()
+            .is_some_and(|inner| Arc::ptr_eq(&inner, &catalogue.inner))
+    }
+}
+
+impl fmt::Debug for SharedCatalogue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedCatalogue")
+            .field("tables", &self.table_names())
+            .field("cache", &*self.inner.cache.lock().expect("cache lock"))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for SharedCatalogue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedCatalogue {
+    /// An empty catalogue planning for the paper's machine
+    /// configuration, with the default plan-cache capacity.
+    pub fn new() -> Self {
+        Self::with_engine(Engine::new())
+    }
+
+    /// An empty catalogue with a custom planning engine.
+    pub fn with_engine(engine: Engine) -> Self {
+        Self::with_engine_and_cache(engine, PlanCache::default())
+    }
+
+    /// An empty catalogue with a custom engine and plan cache (e.g. a
+    /// different capacity).
+    pub fn with_engine_and_cache(engine: Engine, cache: PlanCache) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                tables: RwLock::new(BTreeMap::new()),
+                cache: Mutex::new(cache),
+                engine,
+            }),
+        }
+    }
+
+    /// The planning engine every session of this catalogue shares.
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// Whether two handles point at the *same* catalogue (same tables,
+    /// same plan cache) — distinct catalogues can register tables under
+    /// the same names with independent version counters, so name +
+    /// version alone does not identify a table snapshot.
+    pub fn is_same(&self, other: &SharedCatalogue) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// A weak identity token for this catalogue — lets a
+    /// [`crate::PreparedStatement`] detect that it is executing
+    /// against a different catalogue without keeping this one (its
+    /// tables, its plan cache) alive.
+    pub(crate) fn id(&self) -> CatalogueId {
+        CatalogueId(Arc::downgrade(&self.inner))
+    }
+
+    /// Opens a new session over this catalogue: a [`Database`] handle
+    /// owning its own execution machine but sharing tables and the
+    /// plan cache with every other session.
+    pub fn connect(&self) -> Database {
+        Database::over(self.clone())
+    }
+
+    /// Registers a table under its own name, replacing any previous
+    /// table with that name (the replaced table is returned). The
+    /// table's registration version is bumped and every cached plan
+    /// for it is purged, so later queries re-plan against the new
+    /// statistics instead of serving a stale snapshot.
+    pub fn register(&self, table: Table) -> Option<Table> {
+        let name = table.name().to_string();
+        let mut tables = self.inner.tables.write().expect("catalogue lock");
+        let version = tables.get(&name).map_or(1, |r| r.version + 1);
+        let old = tables.insert(name.clone(), Registered { version, table });
+        drop(tables);
+        if old.is_some() {
+            self.inner
+                .cache
+                .lock()
+                .expect("cache lock")
+                .invalidate_table(&name);
+        }
+        old.map(|r| r.table)
+    }
+
+    /// Looks up a registered table (a cheap clone: column data is
+    /// `Arc`-shared).
+    pub fn table(&self, name: &str) -> Option<Table> {
+        self.inner
+            .tables
+            .read()
+            .expect("catalogue lock")
+            .get(name)
+            .map(|r| r.table.clone())
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner
+            .tables
+            .read()
+            .expect("catalogue lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The registration version of `name` (bumped on every
+    /// re-register), or `None` if unregistered.
+    pub fn version(&self, name: &str) -> Option<u64> {
+        self.inner
+            .tables
+            .read()
+            .expect("catalogue lock")
+            .get(name)
+            .map(|r| r.version)
+    }
+
+    /// The shared plan cache's hit/miss/eviction/invalidation counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Plans `query` against the registered `table`, serving repeated
+    /// query *shapes* from the shared [`PlanCache`]: on a hit the
+    /// cached plan is rebound to this query's literal constants and
+    /// the §V-D algorithm choice is re-verified (a policy flip falls
+    /// back to a fresh plan — impossible while plan-time statistics
+    /// are taken pre-filter, but the check keeps rebinding honest).
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::UnknownTable`] for unregistered tables and
+    /// [`SqlError::Plan`] for planning problems.
+    pub fn plan_query(&self, table: &str, query: &AggregateQuery) -> Result<QueryPlan, SqlError> {
+        let (version, snapshot) = {
+            let tables = self.inner.tables.read().expect("catalogue lock");
+            let r = tables
+                .get(table)
+                .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+            (r.version, r.table.clone())
+        };
+        let shape = QueryShape::of(table, version, query);
+        if let Some(cached) = self.inner.cache.lock().expect("cache lock").get(&shape) {
+            let rebound = cached.rebind(query);
+            if self.algorithm_holds(&rebound) {
+                return Ok(rebound);
+            }
+        }
+        let plan = self.inner.engine.plan(&snapshot, query)?;
+        // Re-check the version under the locks before caching: a
+        // concurrent re-register between our snapshot and this insert
+        // would otherwise park a dead (stale-version) entry in an LRU
+        // slot that its invalidation pass already swept.
+        let tables = self.inner.tables.read().expect("catalogue lock");
+        let current = tables.get(table).map(|r| r.version);
+        let mut cache = self.inner.cache.lock().expect("cache lock");
+        if current == Some(version) {
+            cache.insert(shape, plan.clone());
+        } else {
+            cache.note_miss();
+        }
+        Ok(plan)
+    }
+
+    /// Whether the adaptive policy still selects the plan's algorithm
+    /// for the plan's recorded statistics — the rebinding soundness
+    /// check shared by the plan cache and prepared statements.
+    pub(crate) fn algorithm_holds(&self, plan: &QueryPlan) -> bool {
+        select_algorithm(
+            &PlannerInputs {
+                presorted: plan.presorted(),
+                cardinality: plan.cardinality_estimate(),
+                rows: plan.rows(),
+                mvl: self.inner.engine.config().mvl,
+            },
+            None,
+            AdaptiveMode::Realistic,
+        ) == plan.algorithm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Predicate;
+
+    fn catalogue() -> SharedCatalogue {
+        let cat = SharedCatalogue::new();
+        cat.register(
+            Table::new("r")
+                .with_column("g", vec![1, 3, 3, 0, 0, 5, 2, 4])
+                .with_column("v", vec![0, 5, 2, 4, 1, 3, 3, 0]),
+        );
+        cat
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        let cat = catalogue();
+        let q = AggregateQuery::paper("g", "v");
+        let p1 = cat.plan_query("r", &q).unwrap();
+        let p2 = cat.plan_query("r", &q).unwrap();
+        assert_eq!(p1.explain(), p2.explain());
+        let s = cat.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn different_literals_share_one_cached_plan() {
+        let cat = catalogue();
+        let q = |k| AggregateQuery::paper("g", "v").with_filter("v", Predicate::GreaterThan(k));
+        cat.plan_query("r", &q(1)).unwrap();
+        let rebound = cat.plan_query("r", &q(3)).unwrap();
+        assert_eq!(cat.cache_stats().hits, 1, "same shape, new literal");
+        // The rebound plan carries the *new* constant everywhere.
+        assert!(rebound.explain().contains("VectorFilter(v > 3)"));
+        assert_eq!(
+            rebound.query().filter,
+            Some(("v".into(), Predicate::GreaterThan(3)))
+        );
+    }
+
+    #[test]
+    fn re_register_bumps_version_and_purges_plans() {
+        let cat = catalogue();
+        assert_eq!(cat.version("r"), Some(1));
+        let q = AggregateQuery::paper("g", "v");
+        cat.plan_query("r", &q).unwrap();
+        let old = cat.register(
+            Table::new("r")
+                .with_column("g", vec![7, 7])
+                .with_column("v", vec![1, 2]),
+        );
+        assert_eq!(old.unwrap().rows(), 8);
+        assert_eq!(cat.version("r"), Some(2));
+        assert_eq!(cat.cache_stats().invalidations, 1);
+        // The next plan is a fresh miss against the new table.
+        let plan = cat.plan_query("r", &q).unwrap();
+        assert_eq!(plan.rows(), 2, "plans the new table, not the stale one");
+        assert_eq!(cat.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn sessions_share_tables_and_cache() {
+        let cat = catalogue();
+        let mut s1 = cat.connect();
+        let mut s2 = cat.connect();
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g";
+        let a = s1.execute_sql(sql).unwrap();
+        let b = s2.execute_sql(sql).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(cat.cache_stats().hits, 1);
+        // Execution state stays per-session.
+        assert_eq!(s1.session().queries_run(), 1);
+        assert_eq!(s2.session().queries_run(), 1);
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let e = catalogue()
+            .plan_query("nope", &AggregateQuery::paper("g", "v"))
+            .unwrap_err();
+        assert_eq!(e, SqlError::UnknownTable("nope".into()));
+    }
+}

@@ -1,9 +1,13 @@
-//! A named-table catalogue plus one long-lived [`Session`] — the
-//! outermost layer of the mini column-store.
+//! A session over a (possibly shared) catalogue — the outermost layer
+//! of the mini column-store.
 //!
-//! Statements are planned by the [`Engine`] and executed on the
-//! database's session, so back-to-back queries share one simulated
-//! machine instead of constructing a fresh one per call.
+//! A [`Database`] pairs one long-lived [`Session`] (execution: a
+//! simulated machine reused across queries) with a handle to a
+//! [`SharedCatalogue`] (planning: tables, the [`Engine`], and the
+//! shared plan cache). Statements are planned through the catalogue —
+//! repeated query shapes hit the [`crate::PlanCache`] — and executed
+//! on this session's machine. [`SharedCatalogue::connect`] opens more
+//! sessions over the same tables for concurrent serving.
 //!
 //! ```
 //! use vagg_db::{Database, Table};
@@ -27,12 +31,14 @@
 //! # Ok::<(), vagg_db::SqlError>(())
 //! ```
 
+use crate::cache::CacheStats;
+use crate::catalogue::SharedCatalogue;
 use crate::engine::{Engine, QueryOutput};
 use crate::plan::{PlanError, QueryPlan};
-use crate::session::Session;
+use crate::prepared::PreparedStatement;
+use crate::session::{PartialRun, Session};
 use crate::sql::{parse_statement, ParseSqlError, Statement};
 use crate::table::Table;
-use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -51,6 +57,21 @@ pub enum SqlError {
     /// which returns rows; use [`Database::run_sql`] or
     /// [`Database::explain_sql`] for plans.
     ExplainStatement,
+    /// A composite (multi-column) `GROUP BY` was submitted to a
+    /// [`crate::ShardedDatabase`]: fused composite keys are measured
+    /// per shard, so they are not comparable across shards. Run the
+    /// query on a single session, or shard on the primary column only.
+    ShardedCompositeKey,
+    /// A [`crate::ShardedStatement`] prepared for one shard layout was
+    /// executed on a [`crate::ShardedDatabase`] with a different shard
+    /// count — the per-shard statements cannot be paired with the
+    /// shards. Prepare the statement on the database that executes it.
+    ShardMismatch {
+        /// Shards the statement was prepared for.
+        statement: usize,
+        /// Shards the executing database has.
+        database: usize,
+    },
 }
 
 impl fmt::Display for SqlError {
@@ -62,6 +83,19 @@ impl fmt::Display for SqlError {
             SqlError::ExplainStatement => write!(
                 f,
                 "EXPLAIN produces a plan, not rows; use run_sql or explain_sql"
+            ),
+            SqlError::ShardedCompositeKey => write!(
+                f,
+                "composite GROUP BY is not shardable: fused keys are \
+                 measured per shard; use a single session"
+            ),
+            SqlError::ShardMismatch {
+                statement,
+                database,
+            } => write!(
+                f,
+                "statement prepared for {statement} shard(s) cannot run \
+                 on a {database}-shard database"
             ),
         }
     }
@@ -99,12 +133,12 @@ pub enum SqlOutcome {
     Plan(Box<QueryPlan>),
 }
 
-/// A catalogue of tables plus an [`Engine`] (planning) and a
-/// [`Session`] (execution).
+/// One session over a [`SharedCatalogue`]: planning goes through the
+/// catalogue (tables, [`Engine`], shared plan cache), execution runs on
+/// this session's own [`Session`] machine.
 pub struct Database {
-    engine: Engine,
+    catalogue: SharedCatalogue,
     session: Session,
-    tables: BTreeMap<String, Table>,
 }
 
 impl fmt::Debug for Database {
@@ -131,28 +165,41 @@ impl Database {
     /// A database with a custom engine (e.g. a different `SimConfig`);
     /// the session machine uses the engine's configuration.
     pub fn with_engine(engine: Engine) -> Self {
-        let session = Session::with_config(engine.config().clone());
-        Self {
-            engine,
-            session,
-            tables: BTreeMap::new(),
-        }
+        SharedCatalogue::with_engine(engine).connect()
+    }
+
+    /// A new session over an existing catalogue (what
+    /// [`SharedCatalogue::connect`] returns).
+    pub(crate) fn over(catalogue: SharedCatalogue) -> Self {
+        let session = Session::with_config(catalogue.engine().config().clone());
+        Self { catalogue, session }
+    }
+
+    /// The catalogue this session plans through. Clone the handle to
+    /// open further concurrent sessions over the same tables:
+    /// `db.catalogue().connect()`.
+    pub fn catalogue(&self) -> &SharedCatalogue {
+        &self.catalogue
     }
 
     /// Registers a table under its own name, replacing any previous table
-    /// with that name (the replaced table is returned).
+    /// with that name (the replaced table is returned). Re-registering
+    /// invalidates every cached plan for the table — see
+    /// [`SharedCatalogue::register`]. Visible to every session sharing
+    /// this catalogue.
     pub fn register(&mut self, table: Table) -> Option<Table> {
-        self.tables.insert(table.name().to_string(), table)
+        self.catalogue.register(table)
     }
 
-    /// Looks up a registered table.
-    pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(name)
+    /// Looks up a registered table (a cheap clone: column data is
+    /// `Arc`-shared).
+    pub fn table(&self, name: &str) -> Option<Table> {
+        self.catalogue.table(name)
     }
 
     /// Registered table names, sorted.
-    pub fn table_names(&self) -> Vec<&str> {
-        self.tables.keys().map(String::as_str).collect()
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalogue.table_names()
     }
 
     /// The execution session (for cumulative cost accounting).
@@ -160,9 +207,36 @@ impl Database {
         &self.session
     }
 
+    /// The shared plan cache's counters — hits, misses, evictions and
+    /// invalidations across every session of this catalogue.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.catalogue.cache_stats()
+    }
+
     /// Parses and runs one SQL statement: `SELECT` executes on the
     /// session and returns rows, `EXPLAIN SELECT` returns the typed
-    /// plan without executing.
+    /// plan without executing. Planning is served from the shared
+    /// [`crate::PlanCache`] when the query's shape was seen before.
+    ///
+    /// ```
+    /// use vagg_db::{Database, SqlOutcome, Table};
+    ///
+    /// let mut db = Database::new();
+    /// db.register(
+    ///     Table::new("r")
+    ///         .with_column("g", vec![1, 2, 1])
+    ///         .with_column("v", vec![10, 20, 30]),
+    /// );
+    /// match db.run_sql("SELECT g, SUM(v) FROM r GROUP BY g")? {
+    ///     SqlOutcome::Rows(out) => assert_eq!(out.rows.len(), 2),
+    ///     SqlOutcome::Plan(_) => unreachable!("SELECT executes"),
+    /// }
+    /// // The same shape with a different literal is a cache hit.
+    /// db.run_sql("SELECT g, SUM(v) FROM r WHERE v > 10 GROUP BY g")?;
+    /// db.run_sql("SELECT g, SUM(v) FROM r WHERE v > 25 GROUP BY g")?;
+    /// assert_eq!(db.plan_cache_stats().hits, 1);
+    /// # Ok::<(), vagg_db::SqlError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -173,13 +247,48 @@ impl Database {
     pub fn run_sql(&mut self, sql: &str) -> Result<SqlOutcome, SqlError> {
         match parse_statement(sql)? {
             Statement::Select(q) => {
-                let plan = self.plan_parsed(&q.table, &q.query)?;
+                let plan = self.catalogue.plan_query(&q.table, &q.query)?;
                 Ok(SqlOutcome::Rows(self.session.run(&plan)))
             }
             Statement::Explain(q) => Ok(SqlOutcome::Plan(Box::new(
-                self.plan_parsed(&q.table, &q.query)?,
+                self.catalogue.plan_query(&q.table, &q.query)?,
             ))),
         }
+    }
+
+    /// Parses a `SELECT` with `?` placeholders into a reusable
+    /// [`PreparedStatement`]: the statement is planned once, and every
+    /// [`PreparedStatement::execute`] binds parameters into the cached
+    /// plan instead of re-planning — re-planning happens only when the
+    /// table is re-registered or the adaptive algorithm choice would
+    /// flip.
+    ///
+    /// ```
+    /// use vagg_db::{Database, Table};
+    ///
+    /// let mut db = Database::new();
+    /// db.register(
+    ///     Table::new("r")
+    ///         .with_column("g", vec![1, 2, 1, 2])
+    ///         .with_column("v", vec![10, 20, 30, 40]),
+    /// );
+    /// let mut stmt =
+    ///     db.prepare("SELECT g, COUNT(*), SUM(v) FROM r WHERE v > ? GROUP BY g")?;
+    /// let big = stmt.execute(&mut db, &[35])?;
+    /// let all = stmt.execute(&mut db, &[0])?;
+    /// assert_eq!(big.rows.len(), 1);
+    /// assert_eq!(all.rows.len(), 2);
+    /// assert_eq!(stmt.replans(), 0, "planned once, executed twice");
+    /// # Ok::<(), vagg_db::SqlError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::run_sql`]: parse errors (including a rejected
+    /// `EXPLAIN`), unknown tables, and planning errors — all reported
+    /// here at prepare time, not at first execution.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, SqlError> {
+        PreparedStatement::prepare(&self.catalogue, sql)
     }
 
     /// Parses and executes one `SELECT` statement on the session.
@@ -205,19 +314,19 @@ impl Database {
         let q = match parse_statement(sql)? {
             Statement::Select(q) | Statement::Explain(q) => q,
         };
-        self.plan_parsed(&q.table, &q.query)
+        self.catalogue.plan_query(&q.table, &q.query)
     }
 
-    fn plan_parsed(
-        &self,
-        table: &str,
-        query: &crate::query::AggregateQuery,
-    ) -> Result<QueryPlan, SqlError> {
-        let table = self
-            .tables
-            .get(table)
-            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
-        Ok(self.engine.plan(table, query)?)
+    /// Executes an already-built plan on this session (the prepared
+    /// statement and sharding paths).
+    pub(crate) fn run_plan(&mut self, plan: &QueryPlan) -> QueryOutput {
+        self.session.run(plan)
+    }
+
+    /// Executes only a plan's distributive slice on this session (the
+    /// sharding path).
+    pub(crate) fn run_plan_partial(&mut self, plan: &QueryPlan) -> PartialRun {
+        self.session.run_partial(plan)
     }
 }
 
@@ -344,6 +453,28 @@ mod tests {
         let old = d.register(Table::new("r").with_column("g", vec![1]));
         assert!(old.is_some());
         assert_eq!(d.table("r").unwrap().rows(), 1);
-        assert_eq!(d.table_names(), vec!["r"]);
+        assert_eq!(d.table_names(), vec!["r".to_string()]);
+    }
+
+    #[test]
+    fn re_register_invalidates_cached_plans() {
+        // A cached plan snapshots the table's columns; re-registering
+        // must force a re-plan, not serve the stale snapshot.
+        let mut db = db();
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g";
+        let first = db.execute_sql(sql).unwrap();
+        assert_eq!(first.rows.len(), 6);
+        db.register(
+            Table::new("r")
+                .with_column("g", vec![9, 9, 9])
+                .with_column("v", vec![1, 1, 1]),
+        );
+        let second = db.execute_sql(sql).unwrap();
+        assert_eq!(second.rows.len(), 1, "answers from the new table");
+        assert_eq!(second.rows[0].group, 9);
+        assert_eq!(second.rows[0].values, vec![3.0, 3.0]);
+        let stats = db.plan_cache_stats();
+        assert_eq!(stats.hits, 0, "the stale plan never served");
+        assert_eq!(stats.invalidations, 1);
     }
 }

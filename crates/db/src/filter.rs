@@ -47,6 +47,24 @@ impl Predicate {
         }
     }
 
+    /// The same comparison kind with a different constant — how a bound
+    /// parameter lands in a prepared statement's predicate. `<>` with 0
+    /// takes the dedicated `NonZero` compare, exactly as the SQL parser
+    /// maps the literal.
+    pub fn with_constant(self, k: u32) -> Predicate {
+        match self {
+            Predicate::NotEqual(_) | Predicate::NonZero => {
+                if k == 0 {
+                    Predicate::NonZero
+                } else {
+                    Predicate::NotEqual(k)
+                }
+            }
+            Predicate::GreaterThan(_) => Predicate::GreaterThan(k),
+            Predicate::LessThan(_) => Predicate::LessThan(k),
+        }
+    }
+
     /// SQL spelling of the comparison, e.g. `<> 3`.
     pub fn sql(self) -> String {
         match self {

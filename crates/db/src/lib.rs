@@ -20,7 +20,15 @@
 //! * [`filter`] — vectorised selection using Table III's comparison +
 //!   compress + popcount instructions;
 //! * [`sql`] / [`Database`] — a SQL front end (catalogue + session) for
-//!   exactly the Figure 2 query family, including `EXPLAIN SELECT ...`.
+//!   exactly the Figure 2 query family, including `EXPLAIN SELECT ...`
+//!   and `?` placeholders via [`Database::prepare`];
+//! * the serving layer — a [`PlanCache`] keyed by normalized query
+//!   shape (hit/miss counters, LRU eviction, invalidation on
+//!   re-register), [`PreparedStatement`]s that plan once and bind
+//!   parameters per execution, a [`SharedCatalogue`] serving many
+//!   concurrent sessions, and a [`ShardedDatabase`] that partitions
+//!   rows across N sessions/threads and merges
+//!   [`vagg_core::PartialAggregate`]s.
 //!
 //! ## Plan, inspect, execute
 //!
@@ -61,23 +69,51 @@
 //! }
 //! # Ok::<(), vagg_db::SqlError>(())
 //! ```
+//!
+//! ## Prepare once, execute many, shard wide
+//!
+//! ```
+//! use vagg_db::{ShardedDatabase, Table};
+//!
+//! let mut db = ShardedDatabase::new(4); // 4 sessions, 4 threads
+//! db.register(
+//!     Table::new("r")
+//!         .with_column("g", (0..64u32).map(|i| i % 5).collect()),
+//! );
+//! let mut stmt =
+//!     db.prepare("SELECT g, COUNT(*) FROM r WHERE g <> ? GROUP BY g")?;
+//! let out = db.execute_prepared(&mut stmt, &[0])?;
+//! assert_eq!(out.rows.len(), 4); // merged across all shards
+//! # Ok::<(), vagg_db::SqlError>(())
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod catalogue;
 pub mod database;
 pub mod engine;
 pub mod filter;
 pub mod plan;
+pub mod prepared;
 pub mod query;
 pub mod session;
+pub mod shard;
 pub mod sql;
 pub mod table;
 
+pub use cache::{CacheStats, PlanCache, QueryShape};
+pub use catalogue::SharedCatalogue;
 pub use database::{Database, SqlError, SqlOutcome};
 pub use engine::{CardinalityEstimation, Engine, ExecutionReport, QueryOutput, Row};
 pub use filter::{reference_filter, vector_filter, Predicate};
 pub use plan::{PlanError, PlanStep, QueryPlan, ScanMode};
+pub use prepared::PreparedStatement;
 pub use query::{AggFn, AggregateQuery, Having, OrderBy, OrderKey};
-pub use session::Session;
-pub use sql::{parse, parse_statement, ParseSqlError, SqlQuery, Statement};
+pub use session::{PartialRun, Session};
+pub use shard::{ShardedDatabase, ShardedOutput, ShardedStatement};
+pub use sql::{
+    parse, parse_statement, parse_template, ParamSlot, ParseSqlError, SqlQuery, SqlTemplate,
+    Statement,
+};
 pub use table::{ColumnMeta, ParseCsvError, Table};

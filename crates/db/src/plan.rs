@@ -1,6 +1,7 @@
 //! Typed physical plans — the planning half of the plan/execute split.
 //!
-//! [`crate::Engine::plan`] turns an [`AggregateQuery`] plus a [`Table`]'s
+//! [`crate::Engine::plan`] turns an [`AggregateQuery`] plus a
+//! [`crate::Table`]'s
 //! DBMS metadata (sortedness, host-visible statistics) into a
 //! [`QueryPlan`]: an ordered list of [`PlanStep`]s with the §V-D adaptive
 //! algorithm decision resolved up front. The plan is a self-contained,
@@ -42,6 +43,22 @@ pub enum PlanError {
         /// The offending clause (`"HAVING"` or `"ORDER BY"`).
         clause: &'static str,
     },
+    /// A prepared statement was executed with the wrong number of
+    /// parameters.
+    BindArity {
+        /// Parameter slots the statement declares (`?` placeholders).
+        expected: usize,
+        /// Parameters actually supplied.
+        got: usize,
+    },
+    /// A bound parameter does not fit its slot's type: comparison
+    /// constants are 32-bit column values.
+    BindType {
+        /// Zero-based position of the offending parameter.
+        index: usize,
+        /// The value that was supplied.
+        value: u64,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -61,6 +78,16 @@ impl fmt::Display for PlanError {
                 f,
                 "{clause} on AVG is unsupported: AVG is computed on \
                  readback, not materialised as a machine column"
+            ),
+            PlanError::BindArity { expected, got } => write!(
+                f,
+                "wrong parameter count: the statement has {expected} \
+                 placeholder(s), {got} parameter(s) were bound"
+            ),
+            PlanError::BindType { index, value } => write!(
+                f,
+                "parameter {index} = {value} does not fit a 32-bit \
+                 comparison constant"
             ),
         }
     }
@@ -273,14 +300,62 @@ impl QueryPlan {
         &self.table
     }
 
+    /// Rebinds this plan to a query of the same *shape* that differs
+    /// only in its literal constants (WHERE/HAVING comparison values,
+    /// LIMIT budget): the constants are patched into the cloned steps
+    /// while every planning decision — cardinality estimate, scan mode,
+    /// the §V-D algorithm choice — is reused unchanged.
+    ///
+    /// Sound because plan-time statistics are taken over the
+    /// *unfiltered* table (classic optimizer shape, see
+    /// [`crate::Engine::plan`]): no literal constant feeds the adaptive
+    /// decision. The plan cache and prepared statements still re-verify
+    /// the algorithm choice after rebinding and fall back to a full
+    /// re-plan if a future policy ever disagrees.
+    pub(crate) fn rebind(&self, query: &AggregateQuery) -> QueryPlan {
+        let mut plan = self.clone();
+        for step in &mut plan.steps {
+            match step {
+                PlanStep::VectorFilter { pred, .. } => {
+                    if let Some((_, p)) = &query.filter {
+                        *pred = *p;
+                    }
+                }
+                PlanStep::VectorHaving { pred, .. } => {
+                    if let Some(h) = &query.having {
+                        *pred = h.pred;
+                    }
+                }
+                PlanStep::Limit(rows) => {
+                    if let Some(k) = query.order_by.as_ref().and_then(|ob| ob.limit) {
+                        *rows = k;
+                    }
+                }
+                _ => {}
+            }
+        }
+        plan.query = query.clone();
+        plan
+    }
+
     /// Renders the plan in `EXPLAIN` form: the SQL, one header line of
     /// planner facts, then the numbered steps.
     ///
-    /// ```text
-    /// SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g
-    ///   rows=8 presorted=false algorithm=monotable cardinality≈6
-    ///   1. CardinalityScan[exact](cardinality≈6)
-    ///   2. Aggregate[mono]
+    /// ```
+    /// use vagg_db::{AggregateQuery, Engine, Table};
+    ///
+    /// let t = Table::new("r")
+    ///     .with_column("g", vec![1, 3, 3, 0, 0, 5, 2, 4])
+    ///     .with_column("v", vec![0, 5, 2, 4, 1, 3, 3, 0]);
+    /// let plan = Engine::new().plan(&t, &AggregateQuery::paper("g", "v"))?;
+    /// assert_eq!(
+    ///     plan.explain(),
+    ///     "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g\n\
+    ///      \x20 rows=8 presorted=false algorithm=monotable cardinality≈6\n\
+    ///      \x20 1. CardinalityScan[exact](cardinality≈6)\n\
+    ///      \x20 2. Aggregate[mono]"
+    /// );
+    /// # Ok::<(), vagg_db::PlanError>(())
     /// ```
     pub fn explain(&self) -> String {
         use fmt::Write as _;
@@ -320,6 +395,21 @@ mod tests {
             .contains("32-bit key space"));
         let e = PlanError::UnsupportedAvgPredicate { clause: "HAVING" };
         assert!(e.to_string().contains("HAVING on AVG"));
+        assert_eq!(
+            PlanError::BindArity {
+                expected: 2,
+                got: 1
+            }
+            .to_string(),
+            "wrong parameter count: the statement has 2 placeholder(s), \
+             1 parameter(s) were bound"
+        );
+        assert!(PlanError::BindType {
+            index: 0,
+            value: u64::MAX
+        }
+        .to_string()
+        .contains("32-bit"));
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Prepared statements: parse and plan once, bind and execute many.
+//!
+//! [`crate::Database::prepare`] parses a `SELECT` whose comparison
+//! constants and LIMIT may be `?` placeholders, plans it immediately
+//! (so unknown tables/columns fail at prepare time), and returns a
+//! [`PreparedStatement`]. Each [`PreparedStatement::execute`] binds
+//! concrete parameters into the cached plan — pure constant patching,
+//! no statistics pass — and runs it on the database's session.
+//!
+//! Binding cannot flip the §V-D adaptive algorithm choice, because the
+//! planner takes its cardinality statistics over the *unfiltered*
+//! table (see [`crate::Engine::plan`]); the statement still re-verifies
+//! the choice on every execution and re-plans if a future policy
+//! disagrees, and it always re-plans when the table was re-registered
+//! (its statistics changed). [`PreparedStatement::replans`] counts
+//! those events.
+
+use crate::catalogue::{CatalogueId, SharedCatalogue};
+use crate::database::{Database, SqlError};
+use crate::engine::QueryOutput;
+use crate::plan::{PlanError, QueryPlan};
+use crate::query::AggregateQuery;
+use crate::sql::{parse_template, ParamSlot, SqlTemplate};
+
+/// A statement planned once and executed many times with bound
+/// parameters. Produced by [`crate::Database::prepare`].
+#[derive(Debug)]
+pub struct PreparedStatement {
+    template: SqlTemplate,
+    cached: Option<CachedPlan>,
+    executions: u64,
+    replans: u64,
+}
+
+/// The plan last used, tagged with the (weak, non-owning) identity of
+/// the catalogue it was planned against and that catalogue's table
+/// version: executing against a different catalogue, or after a
+/// re-registration bumped the version, forces a re-plan (the cached
+/// plan snapshots the *old* columns).
+#[derive(Debug)]
+struct CachedPlan {
+    catalogue: CatalogueId,
+    version: u64,
+    plan: QueryPlan,
+}
+
+impl PreparedStatement {
+    /// Parses and eagerly plans `sql` against `catalogue` (what
+    /// [`crate::Database::prepare`] calls).
+    pub(crate) fn prepare(catalogue: &SharedCatalogue, sql: &str) -> Result<Self, SqlError> {
+        let template = parse_template(sql)?;
+        let mut stmt = Self {
+            template,
+            cached: None,
+            executions: 0,
+            replans: 0,
+        };
+        // Plan the sentinel query now: prepare-time errors beat
+        // first-execution surprises. The plan doubles as the template
+        // every later execution rebinds.
+        let query = stmt.template.query.clone();
+        stmt.plan_bound(catalogue, &query)?;
+        Ok(stmt)
+    }
+
+    /// Builds a statement from an already-parsed template without
+    /// planning — the sharded path, which parses the SQL once and
+    /// clones the template into every shard's slot. No eager plan
+    /// happens here because a shard's partition may be empty
+    /// (unplannable) until a re-register populates it; validation runs
+    /// against a populated shard in [`crate::ShardedDatabase::prepare`].
+    pub(crate) fn from_template(template: SqlTemplate) -> Self {
+        Self {
+            template,
+            cached: None,
+            executions: 0,
+            replans: 0,
+        }
+    }
+
+    /// `?` placeholders this statement declares (and
+    /// [`PreparedStatement::execute`] expects parameters for).
+    pub fn parameter_count(&self) -> usize {
+        self.template.slots.len()
+    }
+
+    /// The `FROM` table this statement targets.
+    pub fn table(&self) -> &str {
+        &self.template.table
+    }
+
+    /// Successful executions so far.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Times execution had to re-plan instead of rebinding the cached
+    /// plan: the table was re-registered (statistics changed), or the
+    /// adaptive policy stopped agreeing with the cached algorithm
+    /// choice. Zero under steady traffic — the prepared-statement fast
+    /// path.
+    pub fn replans(&self) -> u64 {
+        self.replans
+    }
+
+    /// Binds `params` into the statement's `?` slots, yielding the
+    /// concrete query this execution runs.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::BindArity`] when `params.len()` disagrees with
+    /// [`PreparedStatement::parameter_count`], and
+    /// [`PlanError::BindType`] when a comparison constant does not fit
+    /// `u32` (column values are 32-bit).
+    pub fn bind(&self, params: &[u64]) -> Result<AggregateQuery, PlanError> {
+        if params.len() != self.template.slots.len() {
+            return Err(PlanError::BindArity {
+                expected: self.template.slots.len(),
+                got: params.len(),
+            });
+        }
+        let mut query = self.template.query.clone();
+        for (index, (&slot, &value)) in self.template.slots.iter().zip(params).enumerate() {
+            let constant =
+                |value: u64| u32::try_from(value).map_err(|_| PlanError::BindType { index, value });
+            match slot {
+                ParamSlot::FilterConstant => {
+                    let k = constant(value)?;
+                    let (_, pred) = query.filter.as_mut().expect("template has a WHERE slot");
+                    *pred = pred.with_constant(k);
+                }
+                ParamSlot::HavingConstant => {
+                    let k = constant(value)?;
+                    let having = query.having.as_mut().expect("template has a HAVING slot");
+                    having.pred = having.pred.with_constant(k);
+                }
+                ParamSlot::Limit => {
+                    let k =
+                        usize::try_from(value).map_err(|_| PlanError::BindType { index, value })?;
+                    query
+                        .order_by
+                        .as_mut()
+                        .expect("template has a LIMIT slot")
+                        .limit = Some(k);
+                }
+            }
+        }
+        Ok(query)
+    }
+
+    /// Binds `params` and executes on `db`'s session, reusing the plan
+    /// cached at prepare time (constants are patched in; planning
+    /// statistics are not recomputed). Re-plans only when the table
+    /// was re-registered or the adaptive algorithm choice would flip.
+    ///
+    /// # Errors
+    ///
+    /// Bind errors ([`PlanError::BindArity`] / [`PlanError::BindType`],
+    /// wrapped in [`SqlError::Plan`]), plus the usual planning errors
+    /// when a re-plan is needed.
+    pub fn execute(&mut self, db: &mut Database, params: &[u64]) -> Result<QueryOutput, SqlError> {
+        let plan = self.bound_plan(db.catalogue(), params)?;
+        self.executions += 1;
+        Ok(db.run_plan(&plan))
+    }
+
+    /// Binds `params` and returns the executable plan without running
+    /// it — the shared half of [`PreparedStatement::execute`] and the
+    /// sharded execution path.
+    pub(crate) fn bound_plan(
+        &mut self,
+        catalogue: &SharedCatalogue,
+        params: &[u64],
+    ) -> Result<QueryPlan, SqlError> {
+        let bound = self.bind(params).map_err(SqlError::Plan)?;
+        self.plan_bound(catalogue, &bound)
+    }
+
+    fn plan_bound(
+        &mut self,
+        catalogue: &SharedCatalogue,
+        bound: &AggregateQuery,
+    ) -> Result<QueryPlan, SqlError> {
+        let table = &self.template.table;
+        let version = catalogue
+            .version(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.clone()))?;
+        if let Some(cached) = &self.cached {
+            if cached.catalogue.matches(catalogue) && cached.version == version {
+                let rebound = cached.plan.rebind(bound);
+                if catalogue.algorithm_holds(&rebound) {
+                    return Ok(rebound);
+                }
+            }
+            // A different catalogue, a stale version, or a flipped
+            // algorithm choice: re-plan against *this* catalogue.
+            self.replans += 1;
+        }
+        let plan = catalogue.plan_query(table, bound)?;
+        self.cached = Some(CachedPlan {
+            catalogue: catalogue.id(),
+            version,
+            plan: plan.clone(),
+        });
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register(
+            Table::new("r")
+                .with_column("g", vec![1, 3, 3, 0, 0, 5, 2, 4])
+                .with_column("v", vec![0, 5, 2, 4, 1, 3, 3, 0]),
+        );
+        db
+    }
+
+    #[test]
+    fn execute_binds_parameters_into_the_cached_plan() {
+        let mut db = db();
+        let mut stmt = db
+            .prepare("SELECT g, COUNT(*), SUM(v) FROM r WHERE v > ? GROUP BY g")
+            .unwrap();
+        assert_eq!(stmt.parameter_count(), 1);
+        assert_eq!(stmt.table(), "r");
+
+        let out3 = stmt.execute(&mut db, &[3]).unwrap();
+        let fresh3 = db
+            .execute_sql("SELECT g, COUNT(*), SUM(v) FROM r WHERE v > 3 GROUP BY g")
+            .unwrap();
+        assert_eq!(out3.rows, fresh3.rows);
+
+        let out0 = stmt.execute(&mut db, &[0]).unwrap();
+        let fresh0 = db
+            .execute_sql("SELECT g, COUNT(*), SUM(v) FROM r WHERE v > 0 GROUP BY g")
+            .unwrap();
+        assert_eq!(out0.rows, fresh0.rows);
+
+        assert_eq!(stmt.executions(), 2);
+        assert_eq!(stmt.replans(), 0, "binding never re-planned");
+    }
+
+    #[test]
+    fn binding_zero_takes_the_dedicated_nonzero_compare() {
+        let mut db = db();
+        let mut stmt = db
+            .prepare("SELECT g, SUM(v) FROM r WHERE v <> ? GROUP BY g")
+            .unwrap();
+        let out = stmt.execute(&mut db, &[0]).unwrap();
+        let fresh = db
+            .execute_sql("SELECT g, SUM(v) FROM r WHERE v <> 0 GROUP BY g")
+            .unwrap();
+        assert_eq!(out.rows, fresh.rows);
+        assert!(out.report.describe().contains("VectorFilter(v <> 0)"));
+    }
+
+    #[test]
+    fn having_and_limit_placeholders_bind_in_sql_order() {
+        let mut db = db();
+        let mut stmt = db
+            .prepare(
+                "SELECT g, COUNT(*), SUM(v) FROM r WHERE v > ? GROUP BY g \
+                 HAVING SUM(v) > ? ORDER BY SUM(v) DESC LIMIT ?",
+            )
+            .unwrap();
+        assert_eq!(stmt.parameter_count(), 3);
+        let out = stmt.execute(&mut db, &[0, 2, 2]).unwrap();
+        let fresh = db
+            .execute_sql(
+                "SELECT g, COUNT(*), SUM(v) FROM r WHERE v > 0 GROUP BY g \
+                 HAVING SUM(v) > 2 ORDER BY SUM(v) DESC LIMIT 2",
+            )
+            .unwrap();
+        assert_eq!(out.rows, fresh.rows);
+    }
+
+    #[test]
+    fn wrong_arity_is_a_typed_bind_error() {
+        let mut db = db();
+        let mut stmt = db
+            .prepare("SELECT g, SUM(v) FROM r WHERE v > ? GROUP BY g")
+            .unwrap();
+        for params in [&[][..], &[1, 2][..]] {
+            let e = stmt.execute(&mut db, params).unwrap_err();
+            assert_eq!(
+                e,
+                SqlError::Plan(PlanError::BindArity {
+                    expected: 1,
+                    got: params.len()
+                })
+            );
+        }
+        assert_eq!(stmt.executions(), 0, "failed binds do not execute");
+    }
+
+    #[test]
+    fn oversized_constant_is_a_typed_bind_error() {
+        let mut db = db();
+        let mut stmt = db
+            .prepare("SELECT g, SUM(v) FROM r WHERE v > ? GROUP BY g")
+            .unwrap();
+        let e = stmt
+            .execute(&mut db, &[u64::from(u32::MAX) + 1])
+            .unwrap_err();
+        assert_eq!(
+            e,
+            SqlError::Plan(PlanError::BindType {
+                index: 0,
+                value: u64::from(u32::MAX) + 1
+            })
+        );
+        // LIMIT slots take the full usize range.
+        let mut stmt = db
+            .prepare("SELECT g, SUM(v) FROM r GROUP BY g LIMIT ?")
+            .unwrap();
+        let out = stmt.execute(&mut db, &[u64::from(u32::MAX) + 1]).unwrap();
+        assert_eq!(out.rows.len(), 6);
+    }
+
+    #[test]
+    fn prepare_reports_errors_eagerly() {
+        let db = db();
+        assert_eq!(
+            db.prepare("SELECT g, SUM(v) FROM nope WHERE v > ? GROUP BY g")
+                .unwrap_err(),
+            SqlError::UnknownTable("nope".into())
+        );
+        assert_eq!(
+            db.prepare("SELECT g, SUM(missing) FROM r WHERE v > ? GROUP BY g")
+                .unwrap_err(),
+            SqlError::Plan(PlanError::UnknownColumn("missing".into()))
+        );
+    }
+
+    #[test]
+    fn re_registration_forces_a_replan() {
+        let mut db = db();
+        let mut stmt = db
+            .prepare("SELECT g, COUNT(*), SUM(v) FROM r WHERE v > ? GROUP BY g")
+            .unwrap();
+        stmt.execute(&mut db, &[0]).unwrap();
+        assert_eq!(stmt.replans(), 0);
+        db.register(
+            Table::new("r")
+                .with_column("g", vec![8, 8, 8, 8])
+                .with_column("v", vec![1, 2, 3, 4]),
+        );
+        let out = stmt.execute(&mut db, &[1]).unwrap();
+        assert_eq!(stmt.replans(), 1, "stale statistics re-planned");
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].group, 8);
+        // v > 1 over v = [1, 2, 3, 4]: three rows, SUM 9.
+        assert_eq!(out.rows[0].values, vec![3.0, 9.0]);
+        // Steady state again afterwards.
+        stmt.execute(&mut db, &[2]).unwrap();
+        assert_eq!(stmt.replans(), 1);
+    }
+
+    #[test]
+    fn zero_parameter_statements_prepare_fine() {
+        let mut db = db();
+        let mut stmt = db
+            .prepare("SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")
+            .unwrap();
+        assert_eq!(stmt.parameter_count(), 0);
+        let out = stmt.execute(&mut db, &[]).unwrap();
+        assert_eq!(out.rows.len(), 6);
+    }
+
+    #[test]
+    fn executing_on_another_catalogue_replans_against_its_table() {
+        // Same table name, same version number, different catalogue:
+        // the cached plan must not leak db1's column snapshots into
+        // db2's answer.
+        let mut db1 = db();
+        let mut stmt = db1
+            .prepare("SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")
+            .unwrap();
+        let from_db1 = stmt.execute(&mut db1, &[]).unwrap();
+        assert_eq!(from_db1.rows.len(), 6);
+
+        let mut db2 = Database::new();
+        db2.register(
+            Table::new("r")
+                .with_column("g", vec![5, 5, 5])
+                .with_column("v", vec![1, 1, 1]),
+        );
+        let from_db2 = stmt.execute(&mut db2, &[]).unwrap();
+        assert_eq!(from_db2.rows.len(), 1, "db2's table answered");
+        assert_eq!(from_db2.rows[0].group, 5);
+        assert_eq!(from_db2.rows[0].values, vec![3.0, 3.0]);
+        assert_eq!(stmt.replans(), 1, "catalogue switch re-planned");
+
+        // Switching back re-plans again and serves db1's data.
+        let back = stmt.execute(&mut db1, &[]).unwrap();
+        assert_eq!(back.rows, from_db1.rows);
+        assert_eq!(stmt.replans(), 2);
+    }
+
+    #[test]
+    fn dropping_the_table_surfaces_at_execute() {
+        // Re-registration keeps the name alive; there is no DROP, but a
+        // statement prepared against one catalogue can be executed
+        // against a session of another catalogue missing the table.
+        let db1 = db();
+        let mut stmt = db1.prepare("SELECT g, SUM(v) FROM r GROUP BY g").unwrap();
+        let mut db2 = Database::new();
+        let e = stmt.execute(&mut db2, &[]).unwrap_err();
+        assert_eq!(e, SqlError::UnknownTable("r".into()));
+    }
+}

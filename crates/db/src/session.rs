@@ -13,8 +13,40 @@ use crate::filter::vector_filter;
 use crate::plan::{PlanStep, QueryPlan, ScanMode};
 use crate::query::{AggFn, AggregateQuery, OrderKey};
 use vagg_core::input::vector_max_scan;
-use vagg_core::{minmax_aggregate, StagedInput};
+use vagg_core::{minmax_aggregate, PartialAggregate, StagedInput};
 use vagg_sim::{Machine, SimConfig};
+
+/// What [`Session::run_partial`] produced: the mergeable partial
+/// aggregate of the plan's *distributive* slice (WHERE + aggregation,
+/// no HAVING/ORDER BY/LIMIT), plus the usual per-query report.
+///
+/// A sharded front end runs the same plan on every shard via
+/// [`Session::run_partial`], folds the partials with
+/// [`PartialAggregate::merge`], and finalises the non-distributive
+/// tail once on the merged result (see [`crate::ShardedDatabase`]).
+#[derive(Debug, Clone)]
+pub struct PartialRun {
+    /// The mergeable COUNT/SUM (+ optional MIN/MAX) columns.
+    pub partial: PartialAggregate,
+    /// Key domains of the non-primary grouping columns (composite
+    /// GROUP BY), needed to decompose fused keys on readback. Empty
+    /// for single-column grouping. Note the domains are measured from
+    /// *this* session's input, so fused keys are only comparable
+    /// across partials that staged identically-distributed columns.
+    pub rest_domains: Vec<u32>,
+    /// The executed distributive steps and their cycle cost.
+    pub report: ExecutionReport,
+}
+
+/// What the distributive slice of one plan produced on the machine.
+struct Distributive {
+    base: vagg_core::AggResult,
+    mm: Option<(Vec<u32>, Vec<u32>)>,
+    rows_aggregated: usize,
+    rest_domains: Vec<u32>,
+    /// The WHERE clause removed every row; no algorithm ran.
+    skipped: bool,
+}
 
 /// A long-lived query-execution context: one simulated machine serving
 /// many plans.
@@ -89,6 +121,93 @@ impl Session {
     /// Execution is infallible: every error condition is typed and
     /// rejected at plan time by [`crate::Engine::plan`].
     pub fn run(&mut self, plan: &QueryPlan) -> QueryOutput {
+        let start_cycles = self.machine.cycles();
+        let d = self.run_distributive(plan);
+        let n = plan.rows;
+        if d.skipped {
+            let cycles = self.machine.cycles() - start_cycles;
+            return QueryOutput {
+                rows: Vec::new(),
+                report: ExecutionReport {
+                    algorithm: None,
+                    rows_aggregated: 0,
+                    cycles,
+                    cpt: cycles as f64 / n as f64,
+                    steps: skipped_steps(plan),
+                },
+            };
+        }
+        let (mut base, mut mm) = (d.base, d.mm);
+        let m = &mut self.machine;
+
+        // HAVING: vectorised selection over the output table, compacting
+        // every output column behind the aggregate's mask.
+        if let Some(h) = &plan.query.having {
+            (base, mm) = apply_having(m, h, base, mm);
+        }
+
+        // ORDER BY: stable vectorised radix sort of the output rows by
+        // the requested key (complement key for DESC), then LIMIT.
+        if let Some(ob) = &plan.query.order_by {
+            (base, mm) = apply_order_by(m, ob, base, mm);
+        }
+
+        let rows = assemble_rows(
+            &plan.query,
+            &base,
+            mm.as_ref().map(|(a, b)| (&a[..], &b[..])),
+            &d.rest_domains,
+        );
+
+        let cycles = m.cycles() - start_cycles;
+        QueryOutput {
+            rows,
+            report: ExecutionReport {
+                algorithm: Some(plan.algorithm),
+                rows_aggregated: d.rows_aggregated,
+                cycles,
+                cpt: cycles as f64 / n as f64,
+                // Every planned step ran, in plan order.
+                steps: plan.steps.clone(),
+            },
+        }
+    }
+
+    /// Executes only the *distributive* slice of a plan — WHERE
+    /// selection plus aggregation, skipping any HAVING/ORDER BY/LIMIT
+    /// tail — and returns the mergeable [`PartialAggregate`] instead
+    /// of assembled rows.
+    ///
+    /// This is the per-shard entry point: COUNT/SUM/MIN/MAX partials
+    /// computed over disjoint row partitions fold into the whole-table
+    /// answer with [`PartialAggregate::merge`], and the coordinator
+    /// finalises the tail once on the merged result (see
+    /// [`crate::ShardedDatabase`]).
+    pub fn run_partial(&mut self, plan: &QueryPlan) -> PartialRun {
+        let start_cycles = self.machine.cycles();
+        let d = self.run_distributive(plan);
+        let cycles = self.machine.cycles() - start_cycles;
+        let steps = if d.skipped {
+            skipped_steps(plan)
+        } else {
+            distributive_steps(plan)
+        };
+        PartialRun {
+            partial: PartialAggregate::new(d.base, d.mm),
+            rest_domains: d.rest_domains,
+            report: ExecutionReport {
+                algorithm: (!d.skipped).then_some(plan.algorithm),
+                rows_aggregated: d.rows_aggregated,
+                cycles,
+                cpt: cycles as f64 / plan.rows as f64,
+                steps,
+            },
+        }
+    }
+
+    // stage → fuse → filter → metadata scan → aggregate: the slice of
+    // execution whose outputs merge across disjoint row partitions.
+    fn run_distributive(&mut self, plan: &QueryPlan) -> Distributive {
         self.queries += 1;
         // Queries own no machine-resident state between runs (results are
         // read back to the host), so reclaim the simulated address space
@@ -97,7 +216,6 @@ impl Session {
         // size on every query. Cycle and cache-model state persist.
         self.machine.space_mut().reset();
         let m = &mut self.machine;
-        let start_cycles = m.cycles();
         let n = plan.rows;
 
         // Composite GROUP BY: fuse the grouping columns into one key per
@@ -131,25 +249,17 @@ impl Session {
             let kept = vector_filter(m, ws, n, *pred, &[(gs, gd), (vs, vd)]);
             if kept == 0 {
                 // Nothing survived: no aggregation algorithm runs at
-                // all, and the report says so instead of claiming one —
-                // the planned steps up to the filter, then the skip.
-                let mut steps: Vec<PlanStep> = plan
-                    .steps
-                    .iter()
-                    .take_while(|s| !matches!(s, PlanStep::CardinalityScan { .. }))
-                    .cloned()
-                    .collect();
-                steps.push(PlanStep::AggregateSkipped);
-                let cycles = m.cycles() - start_cycles;
-                return QueryOutput {
-                    rows: Vec::new(),
-                    report: ExecutionReport {
-                        algorithm: None,
-                        rows_aggregated: 0,
-                        cycles,
-                        cpt: cycles as f64 / n as f64,
-                        steps,
+                // all, and the partial is empty (of the right family).
+                return Distributive {
+                    base: vagg_core::AggResult {
+                        groups: Vec::new(),
+                        counts: Vec::new(),
+                        sums: Vec::new(),
                     },
+                    mm: plan.query.needs_minmax().then(|| (Vec::new(), Vec::new())),
+                    rows_aggregated: 0,
+                    rest_domains,
+                    skipped: true,
                 };
             }
             // Compaction preserves relative order, so a sorted column
@@ -183,7 +293,7 @@ impl Session {
         }
 
         // Aggregate.
-        let (mut base, mut mm) = if plan.query.needs_minmax() {
+        let (base, mm) = if plan.query.needs_minmax() {
             let r = minmax_aggregate(m, &input);
             (r.base, Some((r.mins, r.maxs)))
         } else {
@@ -191,38 +301,38 @@ impl Session {
             (result, None)
         };
 
-        // HAVING: vectorised selection over the output table, compacting
-        // every output column behind the aggregate's mask.
-        if let Some(h) = &plan.query.having {
-            (base, mm) = apply_having(m, h, base, mm);
-        }
-
-        // ORDER BY: stable vectorised radix sort of the output rows by
-        // the requested key (complement key for DESC), then LIMIT.
-        if let Some(ob) = &plan.query.order_by {
-            (base, mm) = apply_order_by(m, ob, base, mm);
-        }
-
-        let rows = assemble_rows(
-            &plan.query,
-            &base,
-            mm.as_ref().map(|(a, b)| (&a[..], &b[..])),
-            &rest_domains,
-        );
-
-        let cycles = m.cycles() - start_cycles;
-        QueryOutput {
-            rows,
-            report: ExecutionReport {
-                algorithm: Some(plan.algorithm),
-                rows_aggregated,
-                cycles,
-                cpt: cycles as f64 / n as f64,
-                // Every planned step ran, in plan order.
-                steps: plan.steps.clone(),
-            },
+        Distributive {
+            base,
+            mm,
+            rows_aggregated,
+            rest_domains,
+            skipped: false,
         }
     }
+}
+
+// The planned steps reported when the WHERE clause removed every row:
+// the pre-filter steps, then the skip marker.
+fn skipped_steps(plan: &QueryPlan) -> Vec<PlanStep> {
+    let mut steps: Vec<PlanStep> = plan
+        .steps
+        .iter()
+        .take_while(|s| !matches!(s, PlanStep::CardinalityScan { .. }))
+        .cloned()
+        .collect();
+    steps.push(PlanStep::AggregateSkipped);
+    steps
+}
+
+// The distributive prefix of the planned steps: everything up to and
+// including the aggregation kernel.
+fn distributive_steps(plan: &QueryPlan) -> Vec<PlanStep> {
+    let end = plan
+        .steps
+        .iter()
+        .position(|s| matches!(s, PlanStep::Aggregate(_) | PlanStep::MinMaxKernel))
+        .map_or(plan.steps.len(), |i| i + 1);
+    plan.steps[..end].to_vec()
 }
 
 type Columns = (vagg_core::AggResult, Option<(Vec<u32>, Vec<u32>)>);
@@ -230,7 +340,7 @@ type Columns = (vagg_core::AggResult, Option<(Vec<u32>, Vec<u32>)>);
 // The integral column a HAVING / ORDER BY key refers to. AVG is rejected
 // at plan time (`PlanError::UnsupportedAvgPredicate`), so it cannot
 // reach execution.
-fn agg_column<'a>(
+pub(crate) fn agg_column<'a>(
     agg: AggFn,
     base: &'a vagg_core::AggResult,
     mm: &'a Option<(Vec<u32>, Vec<u32>)>,
@@ -406,7 +516,7 @@ fn decompose_key(key: u32, rest_domains: &[u32]) -> Vec<u32> {
     parts
 }
 
-fn assemble_rows(
+pub(crate) fn assemble_rows(
     query: &AggregateQuery,
     base: &vagg_core::AggResult,
     minmax: Option<(&[u32], &[u32])>,
@@ -520,6 +630,66 @@ mod tests {
         assert_eq!(full.rows.len(), 6);
         let groups: Vec<u32> = having.rows.iter().map(|r| r.group).collect();
         assert_eq!(groups, vec![0, 3]);
+    }
+
+    #[test]
+    fn run_partial_stops_before_the_non_distributive_tail() {
+        let t = people();
+        let q = AggregateQuery::paper("g", "v")
+            .with_having(AggFn::Count, crate::filter::Predicate::GreaterThan(1))
+            .with_limit(2);
+        let plan = Engine::new().plan(&t, &q).unwrap();
+        let mut session = Session::new();
+        let pr = session.run_partial(&plan);
+        // Pre-HAVING: all six groups are present in the partial.
+        assert_eq!(pr.partial.len(), 6);
+        assert!(pr.rest_domains.is_empty());
+        assert!(matches!(
+            pr.report.steps.last(),
+            Some(PlanStep::Aggregate(_))
+        ));
+        assert!(!pr
+            .report
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::VectorHaving { .. } | PlanStep::Limit(_))));
+        assert!(pr.report.cycles > 0);
+        assert_eq!(session.queries_run(), 1);
+    }
+
+    #[test]
+    fn partials_over_a_split_table_merge_to_the_whole_answer() {
+        let g = [1u32, 3, 3, 0, 0, 5, 2, 4];
+        let v = [0u32, 5, 2, 4, 1, 3, 3, 0];
+        let engine = Engine::new();
+        let q = AggregateQuery::paper("g", "v");
+
+        let whole = Session::new().run(
+            &engine
+                .plan(
+                    &Table::new("r")
+                        .with_column("g", g.to_vec())
+                        .with_column("v", v.to_vec()),
+                    &q,
+                )
+                .unwrap(),
+        );
+
+        let half = |lo: usize, hi: usize| {
+            let t = Table::new("r")
+                .with_column("g", g[lo..hi].to_vec())
+                .with_column("v", v[lo..hi].to_vec());
+            Session::new()
+                .run_partial(&engine.plan(&t, &q).unwrap())
+                .partial
+        };
+        let merged = half(0, 4).merge(half(4, 8));
+        assert_eq!(merged.len(), whole.rows.len());
+        for (i, row) in whole.rows.iter().enumerate() {
+            assert_eq!(merged.base.groups[i], row.group);
+            assert_eq!(merged.base.counts[i] as f64, row.values[0]);
+            assert_eq!(merged.base.sums[i] as f64, row.values[1]);
+        }
     }
 
     #[test]

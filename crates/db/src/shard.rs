@@ -1,0 +1,625 @@
+//! Sharded execution: partition rows across N sessions, merge partial
+//! aggregates.
+//!
+//! A [`ShardedDatabase`] fronts N independent [`Database`] shards
+//! (shared-nothing: each owns the catalogue and session for its row
+//! partition). [`ShardedDatabase::register`] splits a table into N
+//! contiguous row chunks — contiguity preserves per-chunk sortedness
+//! metadata, so presorted plans still kick in per shard — and a query
+//! runs in three phases:
+//!
+//! 1. **plan** the query on every non-empty shard (each shard's plan
+//!    cache and adaptive §V-D choice apply to *its* partition);
+//! 2. **execute** the distributive slice ([`crate::Session::run_partial`])
+//!    on every shard concurrently, one OS thread per shard;
+//! 3. **merge** the [`vagg_core::PartialAggregate`]s (COUNT/SUM add,
+//!    MIN/MAX combine) and finalise the non-distributive tail —
+//!    HAVING, ORDER BY, LIMIT — once on the coordinator.
+//!
+//! Composite `GROUP BY` is rejected ([`SqlError::ShardedCompositeKey`]):
+//! fused keys are measured per shard, so they are not comparable across
+//! shards (a shared key dictionary is future work).
+
+use crate::database::{Database, SqlError};
+use crate::engine::{Engine, ExecutionReport, QueryOutput, Row};
+use crate::plan::{PlanError, QueryPlan};
+use crate::prepared::PreparedStatement;
+use crate::query::{AggregateQuery, Having, OrderBy, OrderKey};
+use crate::session::{agg_column, assemble_rows, PartialRun};
+use crate::sql::{parse_statement, parse_template, Statement};
+use crate::table::Table;
+use vagg_core::{AggResult, PartialAggregate};
+
+/// A row-partitioned database: one coordinator over N shard sessions.
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct ShardedDatabase {
+    shards: Vec<Database>,
+}
+
+/// What a sharded query produced: the merged rows, a coordinator
+/// report, and the per-shard execution reports.
+#[derive(Debug, Clone)]
+pub struct ShardedOutput {
+    /// The merged result rows, ordered by group key (or as the ORDER BY
+    /// clause demands) — identical to a single-session execution for
+    /// the distributive aggregates COUNT/SUM/MIN/MAX (and AVG, which
+    /// falls out of SUM/COUNT on readback).
+    pub rows: Vec<Row>,
+    /// The coordinator's view: `cycles` is the *makespan* (slowest
+    /// shard — the shards run in parallel), `rows_aggregated` the sum
+    /// of surviving rows, `cpt` the makespan divided by the total
+    /// *input* rows (the field's usual contract), and
+    /// `algorithm`/`steps` come from the first shard that aggregated
+    /// (shards may adaptively choose different algorithms for their
+    /// partitions; see `shard_reports`).
+    pub report: ExecutionReport,
+    /// Every non-empty shard's distributive execution report.
+    pub shard_reports: Vec<ExecutionReport>,
+}
+
+/// A statement prepared once against every shard of a
+/// [`ShardedDatabase`] — see [`ShardedDatabase::prepare`].
+#[derive(Debug)]
+pub struct ShardedStatement {
+    stmts: Vec<PreparedStatement>,
+    executions: u64,
+}
+
+impl ShardedStatement {
+    /// `?` placeholders the statement declares.
+    pub fn parameter_count(&self) -> usize {
+        self.stmts.first().map_or(0, |s| s.parameter_count())
+    }
+
+    /// Successful sharded executions so far.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Total re-plans across every shard (see
+    /// [`PreparedStatement::replans`]).
+    pub fn replans(&self) -> u64 {
+        self.stmts.iter().map(|s| s.replans()).sum()
+    }
+}
+
+impl ShardedDatabase {
+    /// An empty sharded database with `shards` partitions (minimum 1),
+    /// each on the paper's machine configuration.
+    pub fn new(shards: usize) -> Self {
+        Self::with_engine(Engine::new(), shards)
+    }
+
+    /// An empty sharded database whose shard sessions all use (clones
+    /// of) a custom engine.
+    pub fn with_engine(engine: Engine, shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| Database::with_engine(engine.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of shard sessions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard sessions (for per-shard accounting).
+    pub fn shards(&self) -> &[Database] {
+        &self.shards
+    }
+
+    /// Registers a table, splitting its rows into `shard_count`
+    /// contiguous chunks — shard `i` owns rows
+    /// `[i·⌈n/N⌉, (i+1)·⌈n/N⌉)`. Chunks keep their columns' relative
+    /// order, so a sorted column stays sorted within every shard.
+    pub fn register(&mut self, table: Table) {
+        let n = table.rows();
+        let shard_count = self.shards.len();
+        let chunk = n.div_ceil(shard_count).max(1);
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let lo = (i * chunk).min(n);
+            let hi = ((i + 1) * chunk).min(n);
+            let mut part = Table::new(table.name());
+            for col in table.column_names() {
+                let data = table.column(col).expect("listed column exists");
+                part = part.with_column(col, data[lo..hi].to_vec());
+            }
+            shard.register(part);
+        }
+    }
+
+    /// Parses and runs one `SELECT` across every shard, merging the
+    /// partial aggregates (see the [module docs](self)). `EXPLAIN` is
+    /// rejected — use [`ShardedDatabase::explain_sql`] for the typed
+    /// per-shard plan.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::run_sql`], plus [`SqlError::ShardedCompositeKey`]
+    /// for composite `GROUP BY` and [`SqlError::ExplainStatement`] for
+    /// `EXPLAIN`.
+    pub fn run_sql(&mut self, sql: &str) -> Result<ShardedOutput, SqlError> {
+        match parse_statement(sql)? {
+            Statement::Select(q) => self.run_query(&q.table, &q.query),
+            Statement::Explain(_) => Err(SqlError::ExplainStatement),
+        }
+    }
+
+    /// Plans a statement against the first non-empty shard's partition
+    /// (every shard plans the same shape; estimates are per-partition).
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::explain_sql`].
+    pub fn explain_sql(&self, sql: &str) -> Result<QueryPlan, SqlError> {
+        let q = match parse_statement(sql)? {
+            Statement::Select(q) | Statement::Explain(q) => q,
+        };
+        let shard = self
+            .first_populated_shard(&q.table)?
+            .ok_or(SqlError::Plan(PlanError::EmptyTable))?;
+        self.shards[shard]
+            .catalogue()
+            .plan_query(&q.table, &q.query)
+    }
+
+    /// Prepares a statement once against every shard; execute it with
+    /// [`ShardedDatabase::execute_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::prepare`] (validated eagerly against the first
+    /// non-empty shard), plus [`SqlError::ShardedCompositeKey`].
+    pub fn prepare(&self, sql: &str) -> Result<ShardedStatement, SqlError> {
+        let template = parse_template(sql)?;
+        if !template.query.group_by_rest.is_empty() {
+            return Err(SqlError::ShardedCompositeKey);
+        }
+        // Validate eagerly where there are rows to plan against (an
+        // empty shard cannot plan until a re-register populates it).
+        if let Some(i) = self.first_populated_shard(&template.table)? {
+            self.shards[i]
+                .catalogue()
+                .plan_query(&template.table, &template.query)?;
+        }
+        let stmts = self
+            .shards
+            .iter()
+            .map(|_| PreparedStatement::from_template(template.clone()))
+            .collect();
+        Ok(ShardedStatement {
+            stmts,
+            executions: 0,
+        })
+    }
+
+    /// Binds `params` on every shard's prepared statement, executes
+    /// the distributive slices concurrently and merges, exactly like
+    /// [`ShardedDatabase::run_sql`] without the parse/plan work.
+    ///
+    /// # Errors
+    ///
+    /// Bind errors ([`PlanError::BindArity`] / [`PlanError::BindType`]
+    /// wrapped in [`SqlError::Plan`]) and re-planning errors.
+    pub fn execute_prepared(
+        &mut self,
+        stmt: &mut ShardedStatement,
+        params: &[u64],
+    ) -> Result<ShardedOutput, SqlError> {
+        if stmt.stmts.len() != self.shards.len() {
+            return Err(SqlError::ShardMismatch {
+                statement: stmt.stmts.len(),
+                database: self.shards.len(),
+            });
+        }
+        let mut query = None;
+        let mut plans: Vec<Option<QueryPlan>> = Vec::with_capacity(self.shards.len());
+        for (shard, prepared) in self.shards.iter().zip(stmt.stmts.iter_mut()) {
+            if shard.table(prepared.table()).is_some_and(|t| t.rows() > 0) {
+                let plan = prepared.bound_plan(shard.catalogue(), params)?;
+                query.get_or_insert_with(|| plan.query().clone());
+                plans.push(Some(plan));
+            } else {
+                query.get_or_insert(prepared.bind(params).map_err(SqlError::Plan)?);
+                plans.push(None);
+            }
+        }
+        // An entirely empty table cannot plan anywhere: fail exactly
+        // like `run_sql` does (also keeping unvalidated queries away
+        // from the coordinator tail — plan-time validation runs on
+        // populated shards only).
+        if plans.iter().all(Option::is_none) {
+            return Err(SqlError::Plan(PlanError::EmptyTable));
+        }
+        let query = query.expect("a populated shard bound the query");
+        let out = self.execute_plans(&query, plans)?;
+        stmt.executions += 1;
+        Ok(out)
+    }
+
+    /// The index of the first shard whose partition of `table` has
+    /// rows, or `None` when the table is entirely empty.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::UnknownTable`] when the table is unregistered.
+    fn first_populated_shard(&self, table: &str) -> Result<Option<usize>, SqlError> {
+        let mut seen = false;
+        for (i, shard) in self.shards.iter().enumerate() {
+            match shard.table(table) {
+                Some(t) if t.rows() > 0 => return Ok(Some(i)),
+                Some(_) => seen = true,
+                None => {}
+            }
+        }
+        if seen {
+            Ok(None)
+        } else {
+            Err(SqlError::UnknownTable(table.to_string()))
+        }
+    }
+
+    fn run_query(
+        &mut self,
+        table: &str,
+        query: &AggregateQuery,
+    ) -> Result<ShardedOutput, SqlError> {
+        if !query.group_by_rest.is_empty() {
+            return Err(SqlError::ShardedCompositeKey);
+        }
+        // Plan every populated shard up front so errors surface before
+        // any thread runs.
+        self.first_populated_shard(table)?;
+        let plans = self
+            .shards
+            .iter()
+            .map(|shard| match shard.table(table) {
+                Some(t) if t.rows() > 0 => shard.catalogue().plan_query(table, query).map(Some),
+                _ => Ok(None),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if plans.iter().all(Option::is_none) {
+            return Err(SqlError::Plan(PlanError::EmptyTable));
+        }
+        self.execute_plans(query, plans)
+    }
+
+    /// Phase 2 + 3: run the distributive slices concurrently (one
+    /// thread per populated shard), merge the partials, finalise the
+    /// tail on the coordinator.
+    fn execute_plans(
+        &mut self,
+        query: &AggregateQuery,
+        plans: Vec<Option<QueryPlan>>,
+    ) -> Result<ShardedOutput, SqlError> {
+        let runs: Vec<PartialRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(&plans)
+                .filter_map(|(shard, plan)| plan.as_ref().map(|p| (shard, p)))
+                .map(|(shard, plan)| scope.spawn(move || shard.run_plan_partial(plan)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+
+        let merged = PartialAggregate::merge_all(runs.iter().map(|r| r.partial.clone()))
+            .unwrap_or_else(|| PartialAggregate::empty(query.needs_minmax()));
+        let (mut base, mut mm) = (merged.base, merged.minmax);
+        if let Some(h) = &query.having {
+            host_having(h, &mut base, &mut mm);
+        }
+        if let Some(ob) = &query.order_by {
+            host_order_by(ob, &mut base, &mut mm);
+        }
+        let rows = assemble_rows(
+            query,
+            &base,
+            mm.as_ref().map(|(a, b)| (&a[..], &b[..])),
+            &[],
+        );
+
+        let shard_reports: Vec<ExecutionReport> = runs.into_iter().map(|r| r.report).collect();
+        let aggregated = shard_reports
+            .iter()
+            .find(|r| r.algorithm.is_some())
+            .or(shard_reports.first());
+        let cycles = shard_reports.iter().map(|r| r.cycles).max().unwrap_or(0);
+        let total_rows: usize = shard_reports.iter().map(|r| r.rows_aggregated).sum();
+        // `cpt` keeps the field's contract — cycles per *input* tuple —
+        // with the makespan as the cycle count: the parallel cost of
+        // pushing the whole table through.
+        let input_rows: usize = plans.iter().flatten().map(|p| p.rows()).sum();
+        let report = ExecutionReport {
+            algorithm: aggregated.and_then(|r| r.algorithm),
+            rows_aggregated: total_rows,
+            cycles,
+            cpt: if input_rows == 0 {
+                0.0
+            } else {
+                cycles as f64 / input_rows as f64
+            },
+            steps: aggregated.map(|r| r.steps.clone()).unwrap_or_default(),
+        };
+        Ok(ShardedOutput {
+            rows,
+            report,
+            shard_reports,
+        })
+    }
+}
+
+/// Convenience: the merged output in [`QueryOutput`] form.
+impl From<ShardedOutput> for QueryOutput {
+    fn from(out: ShardedOutput) -> Self {
+        QueryOutput {
+            rows: out.rows,
+            report: out.report,
+        }
+    }
+}
+
+// Coordinator-side HAVING over the merged (small) output table: the
+// same semantics as the shards' vectorised kernel, applied host-side
+// because the merged table lives on the coordinator host.
+fn host_having(h: &Having, base: &mut AggResult, mm: &mut Option<(Vec<u32>, Vec<u32>)>) {
+    let pred_col = agg_column(h.agg, base, mm).to_vec();
+    let keep: Vec<bool> = pred_col.iter().map(|&x| h.pred.matches(x)).collect();
+    let filter = |col: &mut Vec<u32>| {
+        let mut it = keep.iter();
+        col.retain(|_| *it.next().expect("keep mask covers every row"));
+    };
+    filter(&mut base.groups);
+    filter(&mut base.counts);
+    filter(&mut base.sums);
+    if let Some((mins, maxs)) = mm {
+        filter(mins);
+        filter(maxs);
+    }
+}
+
+// Coordinator-side ORDER BY + LIMIT: a stable sort on the same key the
+// shards' radix kernel would use (complement for DESC), then truncate.
+fn host_order_by(ob: &OrderBy, base: &mut AggResult, mm: &mut Option<(Vec<u32>, Vec<u32>)>) {
+    let n = base.len();
+    let keys: Vec<u32> = match ob.key {
+        OrderKey::Group => base.groups.clone(),
+        OrderKey::Agg(a) => agg_column(a, base, mm).to_vec(),
+    };
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by_key(|&i| if ob.desc { u32::MAX - keys[i] } else { keys[i] });
+    let keep = ob.limit.unwrap_or(n).min(n);
+    let permute = |col: &mut Vec<u32>| {
+        let reordered: Vec<u32> = idx.iter().take(keep).map(|&i| col[i]).collect();
+        *col = reordered;
+    };
+    permute(&mut base.groups);
+    permute(&mut base.counts);
+    permute(&mut base.sums);
+    if let Some((mins, maxs)) = mm {
+        permute(mins);
+        permute(maxs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(n: usize) -> Table {
+        Table::new("events")
+            .with_column("g", (0..n).map(|i| ((i * 7919) % 23) as u32).collect())
+            .with_column("v", (0..n).map(|i| ((i * 31) % 100) as u32).collect())
+    }
+
+    fn single_answer(n: usize, sql: &str) -> QueryOutput {
+        let mut db = Database::new();
+        db.register(events(n));
+        db.execute_sql(sql).unwrap()
+    }
+
+    #[test]
+    fn sharded_aggregates_match_a_single_session() {
+        let sql = "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) \
+                   FROM events GROUP BY g";
+        let single = single_answer(1000, sql);
+        for shards in [1, 2, 4, 8] {
+            let mut sharded = ShardedDatabase::new(shards);
+            sharded.register(events(1000));
+            let out = sharded.run_sql(sql).unwrap();
+            assert_eq!(out.rows, single.rows, "{shards} shards");
+            assert_eq!(out.report.rows_aggregated, 1000);
+            assert_eq!(out.shard_reports.len(), shards);
+        }
+    }
+
+    #[test]
+    fn sharded_where_having_order_limit_match_a_single_session() {
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM events WHERE v > 40 \
+                   GROUP BY g HAVING SUM(v) > 500 ORDER BY SUM(v) DESC LIMIT 5";
+        let single = single_answer(1000, sql);
+        let mut sharded = ShardedDatabase::new(4);
+        sharded.register(events(1000));
+        let out = sharded.run_sql(sql).unwrap();
+        assert_eq!(out.rows, single.rows);
+    }
+
+    #[test]
+    fn makespan_cycles_are_the_slowest_shard() {
+        let mut sharded = ShardedDatabase::new(4);
+        sharded.register(events(400));
+        let out = sharded
+            .run_sql("SELECT g, SUM(v) FROM events WHERE v > 40 GROUP BY g")
+            .unwrap();
+        let max = out.shard_reports.iter().map(|r| r.cycles).max().unwrap();
+        assert_eq!(out.report.cycles, max);
+        assert!(out.shard_reports.iter().all(|r| r.cycles > 0));
+        // cpt keeps its contract: makespan cycles per *input* tuple
+        // (400 rows entered the shards), not per surviving row.
+        assert!(out.report.rows_aggregated < 400, "the filter removed rows");
+        assert!((out.report.cpt - max as f64 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statements_refuse_a_database_with_a_different_shard_count() {
+        let mut two = ShardedDatabase::new(2);
+        two.register(events(100));
+        let mut stmt = two
+            .prepare("SELECT g, SUM(v) FROM events WHERE v > ? GROUP BY g")
+            .unwrap();
+        let mut four = ShardedDatabase::new(4);
+        four.register(events(100));
+        let e = four.execute_prepared(&mut stmt, &[10]).unwrap_err();
+        assert_eq!(
+            e,
+            SqlError::ShardMismatch {
+                statement: 2,
+                database: 4
+            }
+        );
+        assert!(e.to_string().contains("2 shard(s)"));
+        // On its own database the statement still works.
+        assert!(!two
+            .execute_prepared(&mut stmt, &[10])
+            .unwrap()
+            .rows
+            .is_empty());
+    }
+
+    #[test]
+    fn more_shards_than_rows_skips_empty_partitions() {
+        let mut sharded = ShardedDatabase::new(8);
+        sharded.register(
+            Table::new("events")
+                .with_column("g", vec![1, 1, 2])
+                .with_column("v", vec![10, 20, 30]),
+        );
+        let out = sharded
+            .run_sql("SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g")
+            .unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.report.rows_aggregated, 3);
+        assert!(out.shard_reports.len() < 8, "empty shards never ran");
+    }
+
+    #[test]
+    fn composite_group_by_is_rejected() {
+        let mut sharded = ShardedDatabase::new(2);
+        sharded.register(
+            Table::new("t")
+                .with_column("a", vec![1, 2])
+                .with_column("b", vec![1, 2])
+                .with_column("v", vec![1, 2]),
+        );
+        let e = sharded
+            .run_sql("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+            .unwrap_err();
+        assert_eq!(e, SqlError::ShardedCompositeKey);
+        assert!(e.to_string().contains("shard"));
+        let e = sharded
+            .prepare("SELECT a, b, COUNT(*) FROM t WHERE v > ? GROUP BY a, b")
+            .unwrap_err();
+        assert_eq!(e, SqlError::ShardedCompositeKey);
+    }
+
+    #[test]
+    fn prepared_sharded_pipeline_matches_fresh_sql() {
+        let mut sharded = ShardedDatabase::new(4);
+        sharded.register(events(800));
+        let mut stmt = sharded
+            .prepare("SELECT g, COUNT(*), SUM(v), MIN(v) FROM events WHERE v < ? GROUP BY g")
+            .unwrap();
+        for threshold in [10u64, 50, 99, 1] {
+            let prepared = sharded.execute_prepared(&mut stmt, &[threshold]).unwrap();
+            let fresh = single_answer(
+                800,
+                &format!(
+                    "SELECT g, COUNT(*), SUM(v), MIN(v) FROM events \
+                     WHERE v < {threshold} GROUP BY g"
+                ),
+            );
+            assert_eq!(prepared.rows, fresh.rows, "threshold {threshold}");
+        }
+        assert_eq!(stmt.executions(), 4);
+        assert_eq!(stmt.replans(), 0, "bound four times, planned once");
+        assert_eq!(stmt.parameter_count(), 1);
+        assert_eq!(stmt.stmts.len(), 4);
+    }
+
+    #[test]
+    fn sharded_filter_removing_everything_yields_empty_rows() {
+        let mut sharded = ShardedDatabase::new(3);
+        sharded.register(events(90));
+        let out = sharded
+            .run_sql("SELECT g, SUM(v) FROM events WHERE v > 1000 GROUP BY g")
+            .unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.report.algorithm, None);
+        assert_eq!(out.report.rows_aggregated, 0);
+    }
+
+    #[test]
+    fn explain_is_rejected_but_explain_sql_plans() {
+        let mut sharded = ShardedDatabase::new(2);
+        sharded.register(events(100));
+        let e = sharded
+            .run_sql("EXPLAIN SELECT g, SUM(v) FROM events GROUP BY g")
+            .unwrap_err();
+        assert_eq!(e, SqlError::ExplainStatement);
+        let plan = sharded
+            .explain_sql("SELECT g, SUM(v) FROM events GROUP BY g")
+            .unwrap();
+        assert_eq!(plan.rows(), 50, "plans one shard's partition");
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let mut sharded = ShardedDatabase::new(2);
+        let e = sharded
+            .run_sql("SELECT g, SUM(v) FROM nope GROUP BY g")
+            .unwrap_err();
+        assert_eq!(e, SqlError::UnknownTable("nope".into()));
+    }
+
+    #[test]
+    fn empty_table_fails_prepared_execution_like_run_sql() {
+        // With zero rows everywhere, no shard ever validated the query
+        // at plan time — execution must fail with the same typed error
+        // run_sql gives, never reach the coordinator tail.
+        let mut sharded = ShardedDatabase::new(2);
+        sharded.register(
+            Table::new("r")
+                .with_column("g", Vec::new())
+                .with_column("v", Vec::new()),
+        );
+        let sql = "SELECT g, SUM(v), AVG(v) FROM r GROUP BY g HAVING AVG(v) > ?";
+        // Prepare succeeds (nothing to plan against yet)...
+        let mut stmt = sharded.prepare(sql).unwrap();
+        // ...and execution reports EmptyTable, exactly like run_sql.
+        let e = sharded.execute_prepared(&mut stmt, &[1]).unwrap_err();
+        assert_eq!(e, SqlError::Plan(PlanError::EmptyTable));
+        let e = sharded
+            .run_sql("SELECT g, SUM(v) FROM r GROUP BY g")
+            .unwrap_err();
+        assert_eq!(e, SqlError::Plan(PlanError::EmptyTable));
+
+        // Once rows arrive, the invalid HAVING AVG is caught by the
+        // shard planner as a typed error, not a panic.
+        sharded.register(
+            Table::new("r")
+                .with_column("g", vec![1, 2])
+                .with_column("v", vec![3, 4]),
+        );
+        let e = sharded.execute_prepared(&mut stmt, &[1]).unwrap_err();
+        assert_eq!(
+            e,
+            SqlError::Plan(PlanError::UnsupportedAvgPredicate { clause: "HAVING" })
+        );
+    }
+}

@@ -54,6 +54,33 @@ pub enum Statement {
     Explain(SqlQuery),
 }
 
+/// Where one `?` placeholder of a prepared statement binds, in SQL
+/// order (see [`parse_template`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamSlot {
+    /// The WHERE clause's comparison constant.
+    FilterConstant,
+    /// The HAVING clause's comparison constant.
+    HavingConstant,
+    /// The LIMIT row budget.
+    Limit,
+}
+
+/// A parsed prepared-statement template: the query carries sentinel
+/// constants where the SQL had `?` placeholders, and `slots` records
+/// each placeholder's binding site in SQL order. Produced by
+/// [`parse_template`], consumed by [`crate::Database::prepare`].
+#[derive(Debug, Clone)]
+pub struct SqlTemplate {
+    /// The `FROM` table name.
+    pub table: String,
+    /// The query with sentinel constants in the placeholder positions.
+    pub query: AggregateQuery,
+    /// The placeholders in SQL order (empty for a fully literal
+    /// statement, which is a valid zero-parameter template).
+    pub slots: Vec<ParamSlot>,
+}
+
 /// Why a statement failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseSqlError {
@@ -85,6 +112,10 @@ pub enum ParseSqlError {
     TrailingInput(String),
     /// The SELECT list has no aggregate functions.
     NoAggregates,
+    /// A `?` placeholder in a statement that is not being prepared —
+    /// placeholders only make sense through [`parse_template`] /
+    /// [`crate::Database::prepare`].
+    UnboundPlaceholder,
 }
 
 impl fmt::Display for ParseSqlError {
@@ -132,6 +163,13 @@ impl fmt::Display for ParseSqlError {
             ParseSqlError::NoAggregates => {
                 write!(f, "the SELECT list names no aggregate functions")
             }
+            ParseSqlError::UnboundPlaceholder => {
+                write!(
+                    f,
+                    "`?` placeholders are only valid in prepared statements; \
+                     use Database::prepare"
+                )
+            }
         }
     }
 }
@@ -150,6 +188,7 @@ enum Token {
     Greater,
     Less,
     Semicolon,
+    Question,
 }
 
 impl Token {
@@ -165,6 +204,7 @@ impl Token {
             Token::Greater => ">".into(),
             Token::Less => "<".into(),
             Token::Semicolon => ";".into(),
+            Token::Question => "?".into(),
         }
     }
 }
@@ -196,6 +236,10 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseSqlError> {
             ';' => {
                 chars.next();
                 out.push(Token::Semicolon);
+            }
+            '?' => {
+                chars.next();
+                out.push(Token::Question);
             }
             '<' => {
                 chars.next();
@@ -267,6 +311,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseSqlError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// `Some` while parsing a prepared-statement template: `?`
+    /// placeholders are recorded here; `None` rejects them.
+    slots: Option<Vec<ParamSlot>>,
 }
 
 impl Parser {
@@ -320,6 +367,17 @@ impl Parser {
 
     fn peek_is_keyword(&self, kw: &str) -> bool {
         matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Records a `?` placeholder, or rejects it outside a template.
+    fn record_slot(&mut self, slot: ParamSlot) -> Result<(), ParseSqlError> {
+        match &mut self.slots {
+            Some(slots) => {
+                slots.push(slot);
+                Ok(())
+            }
+            None => Err(ParseSqlError::UnboundPlaceholder),
+        }
     }
 }
 
@@ -384,6 +442,7 @@ pub fn parse_statement(sql: &str) -> Result<Statement, ParseSqlError> {
     let mut p = Parser {
         tokens: tokenize(sql)?,
         pos: 0,
+        slots: None,
     };
     let explain = p.peek_is_keyword("EXPLAIN");
     if explain {
@@ -394,6 +453,46 @@ pub fn parse_statement(sql: &str) -> Result<Statement, ParseSqlError> {
         Statement::Explain(query)
     } else {
         Statement::Select(query)
+    })
+}
+
+/// Parses one `SELECT` statement as a prepared-statement template:
+/// `?` placeholders are accepted wherever a comparison constant or a
+/// LIMIT row count may appear, and recorded as [`ParamSlot`]s in SQL
+/// order. A statement without placeholders is a valid zero-parameter
+/// template. `EXPLAIN` is rejected (prepare the bare `SELECT` and use
+/// [`crate::QueryPlan::explain`] on its plan instead).
+///
+/// ```
+/// use vagg_db::sql::{parse_template, ParamSlot};
+///
+/// let t = parse_template(
+///     "SELECT g, SUM(v) FROM r WHERE w > ? GROUP BY g LIMIT ?",
+/// )?;
+/// assert_eq!(t.slots, vec![ParamSlot::FilterConstant, ParamSlot::Limit]);
+/// # Ok::<(), vagg_db::sql::ParseSqlError>(())
+/// ```
+///
+/// # Errors
+///
+/// As [`parse`], plus `EXPLAIN` statements are rejected.
+pub fn parse_template(sql: &str) -> Result<SqlTemplate, ParseSqlError> {
+    let mut p = Parser {
+        tokens: tokenize(sql)?,
+        pos: 0,
+        slots: Some(Vec::new()),
+    };
+    if p.peek_is_keyword("EXPLAIN") {
+        return Err(ParseSqlError::Expected {
+            expected: "SELECT",
+            found: "EXPLAIN".into(),
+        });
+    }
+    let q = parse_select(&mut p)?;
+    Ok(SqlTemplate {
+        table: q.table,
+        query: q.query,
+        slots: p.slots.expect("template parser keeps its slot list"),
     })
 }
 
@@ -447,7 +546,7 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
     if p.peek_is_keyword("WHERE") {
         p.pos += 1;
         let col = p.ident("the filtered column")?;
-        filter = Some((col, parse_predicate(p)?));
+        filter = Some((col, parse_predicate(p, ParamSlot::FilterConstant)?));
     }
 
     p.keyword("GROUP")?;
@@ -485,7 +584,7 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
         }
         having = Some(Having {
             agg: fun,
-            pred: parse_predicate(p)?,
+            pred: parse_predicate(p, ParamSlot::HavingConstant)?,
         });
     }
 
@@ -539,6 +638,10 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
         p.pos += 1;
         let k = match p.next("a row count")? {
             Token::Number(k) => k as usize,
+            Token::Question => {
+                p.record_slot(ParamSlot::Limit)?;
+                PLACEHOLDER_SENTINEL as usize
+            }
             other => {
                 return Err(ParseSqlError::Expected {
                     expected: "a row count",
@@ -580,13 +683,22 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
     })
 }
 
-// `<cmp> <number>` — the comparison vocabulary the ISA can express
+// The constant a template carries in a `?` position until bind time.
+// Any non-zero value works: it keeps `<> ?` away from the dedicated
+// `NonZero` compare (bind maps `<> 0` there, like the literal parser).
+const PLACEHOLDER_SENTINEL: u32 = 1;
+
+// `<cmp> <number | ?>` — the comparison vocabulary the ISA can express
 // (see [`crate::filter`]: `<>`/`!=` natively, `>`/`<` composed with
-// `maximum`).
-fn parse_predicate(p: &mut Parser) -> Result<Predicate, ParseSqlError> {
+// `maximum`). In template mode a `?` constant is recorded under `slot`.
+fn parse_predicate(p: &mut Parser, slot: ParamSlot) -> Result<Predicate, ParseSqlError> {
     let op = p.next("a comparison operator")?;
     let k = match p.next("a comparison constant")? {
         Token::Number(k) => k as u32,
+        Token::Question => {
+            p.record_slot(slot)?;
+            PLACEHOLDER_SENTINEL
+        }
         other => {
             return Err(ParseSqlError::Expected {
                 expected: "a comparison constant",
@@ -857,6 +969,75 @@ mod tests {
             parse_statement("SELECT g, SUM(v) FROM r GROUP BY g").unwrap(),
             Statement::Select(_)
         ));
+    }
+
+    #[test]
+    fn template_records_slots_in_sql_order() {
+        let t = parse_template(
+            "SELECT g, COUNT(*), SUM(v) FROM r WHERE w > ? GROUP BY g \
+             HAVING SUM(v) <> ? ORDER BY SUM(v) DESC LIMIT ?",
+        )
+        .unwrap();
+        assert_eq!(
+            t.slots,
+            vec![
+                ParamSlot::FilterConstant,
+                ParamSlot::HavingConstant,
+                ParamSlot::Limit
+            ]
+        );
+        // Sentinels hold the placeholder positions with the right kinds.
+        assert_eq!(
+            t.query.filter,
+            Some(("w".into(), Predicate::GreaterThan(1)))
+        );
+        assert_eq!(t.query.having.unwrap().pred, Predicate::NotEqual(1));
+        assert_eq!(t.query.order_by.unwrap().limit, Some(1));
+    }
+
+    #[test]
+    fn template_without_placeholders_has_no_slots() {
+        let t = parse_template("SELECT g, SUM(v) FROM r WHERE w <> 3 GROUP BY g").unwrap();
+        assert!(t.slots.is_empty());
+        assert_eq!(t.query.filter, Some(("w".into(), Predicate::NotEqual(3))));
+    }
+
+    #[test]
+    fn template_not_equal_placeholder_stays_off_the_nonzero_compare() {
+        // `<> ?` must keep the NotEqual kind: binding decides NonZero.
+        let t = parse_template("SELECT g, SUM(v) FROM r WHERE w <> ? GROUP BY g").unwrap();
+        assert_eq!(t.query.filter, Some(("w".into(), Predicate::NotEqual(1))));
+    }
+
+    #[test]
+    fn template_rejects_explain() {
+        let e = parse_template("EXPLAIN SELECT g, SUM(v) FROM r GROUP BY g").unwrap_err();
+        assert_eq!(
+            e,
+            ParseSqlError::Expected {
+                expected: "SELECT",
+                found: "EXPLAIN".into()
+            }
+        );
+    }
+
+    #[test]
+    fn placeholders_outside_prepare_are_rejected() {
+        for sql in [
+            "SELECT g, SUM(v) FROM r WHERE w > ? GROUP BY g",
+            "SELECT g, SUM(v) FROM r GROUP BY g HAVING SUM(v) <> ?",
+            "SELECT g, SUM(v) FROM r GROUP BY g LIMIT ?",
+        ] {
+            let e = parse(sql).unwrap_err();
+            assert_eq!(e, ParseSqlError::UnboundPlaceholder, "{sql}");
+            assert!(e.to_string().contains("prepare"));
+        }
+    }
+
+    #[test]
+    fn stray_placeholder_in_the_select_list_is_a_grammar_error() {
+        let e = parse_template("SELECT ?, SUM(v) FROM r GROUP BY g").unwrap_err();
+        assert!(matches!(e, ParseSqlError::Expected { .. }));
     }
 
     #[test]

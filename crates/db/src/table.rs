@@ -1,6 +1,6 @@
 //! The column-store table model.
 //!
-//! The paper "emulate[s] the behaviour of a column-oriented database
+//! The paper "emulate\[s\] the behaviour of a column-oriented database
 //! management system in which columns are stored contiguously as arrays in
 //! memory" (§III-A). [`Table`] is that model: named `u32` columns of equal
 //! length, with the per-column `sorted` metadata flag a real DBMS keeps

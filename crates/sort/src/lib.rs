@@ -7,7 +7,7 @@
 //! * [`vsr`] — VSR sort (HPCA 2015) using VPI/VLU, with single histogram
 //!   and unit-stride input, including the single-pass *partial sort* that
 //!   powers partially sorted monotable (§V-C);
-//! * [`bitonic`] / [`quicksort`] — vectorised bitonic mergesort and
+//! * [`bitonic`] / [`quicksort`](mod@quicksort) — vectorised bitonic mergesort and
 //!   three-way quicksort, the two comparators §IV-A cites radix sort as
 //!   beating (and the `sorts` bench confirms).
 //!

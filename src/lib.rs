@@ -12,7 +12,7 @@
 //!   metadata, CAM model for the irregular instructions);
 //! * [`mem`] — caches, XOR-interleaved L2 placement, DDR3-1333 DRAM;
 //! * [`cpu`] — the out-of-order superscalar timing model (Table I);
-//! * [`sim`] — the [`sim::Machine`](vagg_sim::Machine) fusing all of the
+//! * [`sim`] — the [`sim::Machine`] fusing all of the
 //!   above with a simulated address space;
 //! * [`datagen`] — the 110-dataset workload grid (5 distributions × 22
 //!   cardinalities);
@@ -20,7 +20,12 @@
 //! * [`core`] — the aggregation algorithms and adaptive selection;
 //! * [`db`] — a miniature column-store query engine tying it together,
 //!   built around a plan/execute split: typed [`db::QueryPlan`]s (with
-//!   `EXPLAIN`), reusable [`db::Session`]s, and typed [`db::PlanError`]s.
+//!   `EXPLAIN`), reusable [`db::Session`]s, typed [`db::PlanError`]s,
+//!   and a serving layer — a [`db::PlanCache`] keyed by normalized
+//!   query shape, [`db::PreparedStatement`]s (`?` placeholders, bind
+//!   per execution), a [`db::SharedCatalogue`] for concurrent
+//!   sessions, and a [`db::ShardedDatabase`] merging partial
+//!   aggregates across N sessions/threads.
 //!
 //! ## Quickstart
 //!

@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use vagg::db::{parse, AggFn, AggregateQuery, Engine, OrderKey, Predicate, Session, Table};
+use vagg::db::{
+    parse, AggFn, AggregateQuery, Database, Engine, OrderKey, Predicate, Session, ShardedDatabase,
+    Table,
+};
 use vagg::sim::Machine;
 
 fn arb_aggfn() -> impl Strategy<Value = AggFn> {
@@ -271,6 +274,85 @@ proptest! {
         prop_assert_eq!(
             session.total_cycles(),
             first.report.cycles + second.report.cycles
+        );
+    }
+
+    /// Prepared `execute(params)` returns exactly the rows a fresh
+    /// one-shot execution of the literal-inlined SQL returns, across a
+    /// sweep of bound parameters — the prepared fast path (bind +
+    /// rebind, no re-planning) must be invisible in the results.
+    #[test]
+    fn prepared_execute_matches_fresh_run_sql(
+        rows in proptest::collection::vec((0u32..16, 0u32..10, 0u32..8), 1..200),
+        thresholds in proptest::collection::vec(0u64..12, 1..6),
+        having_t in proptest::option::of(0u64..30),
+        limit in proptest::option::of(1u64..8),
+    ) {
+        let g: Vec<u32> = rows.iter().map(|r| r.0).collect();
+        let v: Vec<u32> = rows.iter().map(|r| r.1).collect();
+        let w: Vec<u32> = rows.iter().map(|r| r.2).collect();
+        let table = Table::new("r")
+            .with_column("g", g)
+            .with_column("v", v)
+            .with_column("w", w);
+
+        let mut sql = "SELECT g, COUNT(*), SUM(v) FROM r WHERE w < ? GROUP BY g".to_string();
+        if having_t.is_some() {
+            sql += " HAVING SUM(v) > ?";
+        }
+        if limit.is_some() {
+            sql += " ORDER BY SUM(v) DESC LIMIT ?";
+        }
+
+        let mut db = Database::new();
+        db.register(table.clone());
+        let mut stmt = db.prepare(&sql).unwrap();
+
+        for &t in &thresholds {
+            let mut params = vec![t];
+            params.extend(having_t);
+            params.extend(limit);
+            let prepared = stmt.execute(&mut db, &params).unwrap();
+
+            // Oracle: inline the literals and execute one-shot, with no
+            // caching layer anywhere near the plan.
+            let mut inlined = sql.clone();
+            for p in &params {
+                inlined = inlined.replacen('?', &p.to_string(), 1);
+            }
+            let fresh = Engine::new()
+                .execute(&table, &parse(&inlined).unwrap().query)
+                .unwrap();
+            prop_assert_eq!(prepared.rows, fresh.rows, "{} with {:?}", sql, params);
+        }
+        prop_assert_eq!(stmt.replans(), 0, "binding never re-plans");
+        prop_assert_eq!(stmt.executions(), thresholds.len() as u64);
+    }
+
+    /// The N-session sharded aggregate merges to exactly the
+    /// single-session answer for COUNT/SUM/MIN/MAX (and AVG on
+    /// readback), for any shard count.
+    #[test]
+    fn sharded_aggregate_matches_single_session(
+        rows in proptest::collection::vec((0u32..16, 0u32..10), 1..300),
+        shards in 1usize..9,
+    ) {
+        let g: Vec<u32> = rows.iter().map(|r| r.0).collect();
+        let v: Vec<u32> = rows.iter().map(|r| r.1).collect();
+        let table = Table::new("t").with_column("g", g).with_column("v", v);
+        let sql = "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM t GROUP BY g";
+
+        let mut single = Database::new();
+        single.register(table.clone());
+        let expect = single.execute_sql(sql).unwrap();
+
+        let mut sharded = ShardedDatabase::new(shards);
+        sharded.register(table);
+        let got = sharded.run_sql(sql).unwrap();
+        prop_assert_eq!(got.rows, expect.rows, "{} shards", shards);
+        prop_assert_eq!(
+            got.report.rows_aggregated,
+            expect.report.rows_aggregated
         );
     }
 
