@@ -1,0 +1,136 @@
+//! Criterion bench for the write path: what delta stores buy under
+//! append traffic, and what ingest costs readers.
+//!
+//! Four workloads over one table shape —
+//!
+//! * `append-heavy`: back-to-back batch appends with compaction held
+//!   off — the pure O(batch) delta write;
+//! * `append-compacting`: the same appends under an aggressive
+//!   compaction threshold, folding the merge cost in;
+//! * `mixed-read-write`: alternating append → prepared execution, the
+//!   streaming-serving loop (reads pay the per-data-version merge and
+//!   the plan rebase);
+//! * `read-after-ingest`: queries against a table with a standing
+//!   delta, isolating the merged-view read penalty vs. a compacted
+//!   base (`read-compacted`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vagg_db::{CompactionPolicy, Database, RowBatch, Table};
+
+const BASE_ROWS: usize = 8_192;
+const BATCH_ROWS: usize = 256;
+const CARD: u32 = 256;
+
+fn events(rows: usize) -> Table {
+    Table::new("events")
+        .with_column("g", (0..rows).map(|i| ((i * 7919) as u32) % CARD).collect())
+        .with_column("v", (0..rows).map(|i| ((i * 31) as u32) % 100).collect())
+}
+
+fn batch(salt: usize) -> RowBatch {
+    RowBatch::new()
+        .with_column(
+            "g",
+            (0..BATCH_ROWS)
+                .map(|i| (((i + salt) * 127) as u32) % CARD)
+                .collect(),
+        )
+        .with_column(
+            "v",
+            (0..BATCH_ROWS)
+                .map(|i| (((i + salt) * 13) as u32) % 100)
+                .collect(),
+        )
+}
+
+const SQL: &str = "SELECT g, COUNT(*), SUM(v) FROM events WHERE v > ? GROUP BY g";
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+
+    // Pure append throughput: delta writes only, no compaction, no
+    // readers paying for a merge.
+    {
+        let mut db = Database::new();
+        db.catalogue()
+            .set_compaction_policy(CompactionPolicy::never());
+        db.register(events(BASE_ROWS));
+        let mut salt = 0usize;
+        g.bench_function("append-heavy", |b| {
+            b.iter(|| {
+                salt += 1;
+                black_box(db.append_rows("events", batch(salt)).expect("appends").rows)
+            })
+        });
+    }
+
+    // The same appends with compaction folding the delta back in every
+    // few batches (threshold = 4 batches' worth of rows).
+    {
+        let mut db = Database::new();
+        db.catalogue()
+            .set_compaction_policy(CompactionPolicy::every(4 * BATCH_ROWS));
+        db.register(events(BASE_ROWS));
+        let mut salt = 0usize;
+        g.bench_function("append-compacting", |b| {
+            b.iter(|| {
+                salt += 1;
+                black_box(db.append_rows("events", batch(salt)).expect("appends").rows)
+            })
+        });
+    }
+
+    // The streaming-serving loop: every iteration appends a batch and
+    // executes a prepared statement against the drifted table.
+    {
+        let mut db = Database::new();
+        db.catalogue()
+            .set_compaction_policy(CompactionPolicy::every(8 * BATCH_ROWS));
+        db.register(events(BASE_ROWS));
+        let mut stmt = db.prepare(SQL).expect("prepares");
+        let mut salt = 0usize;
+        g.bench_function("mixed-read-write", |b| {
+            b.iter(|| {
+                salt += 1;
+                db.append_rows("events", batch(salt)).expect("appends");
+                black_box(stmt.execute(&mut db, &[10]).expect("executes").rows.len())
+            })
+        });
+    }
+
+    // Reads over a standing delta (merged view + rebased plans)...
+    {
+        let mut db = Database::new();
+        db.catalogue()
+            .set_compaction_policy(CompactionPolicy::never());
+        db.register(events(BASE_ROWS));
+        db.append_rows("events", batch(1)).expect("appends");
+        let mut stmt = db.prepare(SQL).expect("prepares");
+        g.bench_function("read-after-ingest", |b| {
+            b.iter(|| black_box(stmt.execute(&mut db, &[10]).expect("executes").rows.len()))
+        });
+    }
+
+    // ...vs. the same rows fully compacted into the base.
+    {
+        let mut db = Database::new();
+        db.catalogue()
+            .set_compaction_policy(CompactionPolicy::every(1));
+        db.register(events(BASE_ROWS));
+        db.append_rows("events", batch(1)).expect("appends");
+        let mut stmt = db.prepare(SQL).expect("prepares");
+        g.bench_function("read-compacted", |b| {
+            b.iter(|| black_box(stmt.execute(&mut db, &[10]).expect("executes").rows.len()))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -28,7 +28,9 @@
 pub mod dist;
 pub mod rng;
 pub mod spec;
+pub mod stream;
 pub mod zipf;
 
 pub use dist::{generate_values, Distribution, MOVING_CLUSTER_WINDOW, SELF_SIMILAR_H};
 pub use spec::{Dataset, DatasetSpec, Division, CARDINALITIES, PAPER_ROWS};
+pub use stream::{Batch, BatchStream};

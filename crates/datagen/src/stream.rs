@@ -1,0 +1,205 @@
+//! Streaming batch generation — the ingest workload synthesiser.
+//!
+//! The paper's grid datasets are one-shot relations; a write path wants
+//! *streams*: an unbounded, deterministic sequence of row batches whose
+//! statistics may drift over time (the scenario that exercises
+//! stats-driven re-planning). [`DatasetSpec::stream`] turns a spec into
+//! a [`BatchStream`] — an infinite iterator of columnar [`Batch`]es,
+//! each generated from a per-batch seed derived from the spec's seed,
+//! so any prefix of the stream is exactly reproducible.
+//!
+//! [`BatchStream::with_cardinality_drift`] ramps the maximum
+//! cardinality linearly from the spec's value to a target across a
+//! batch window: an ingest source that starts low-cardinality (the
+//! §V-D policy picks monotable) and drifts high (the policy flips to
+//! partially sorted monotable) without any change on the consumer side.
+//!
+//! ```
+//! use vagg_datagen::{DatasetSpec, Distribution};
+//!
+//! let mut stream = DatasetSpec::paper(Distribution::Uniform, 50)
+//!     .with_rows(0) // streams ignore the one-shot row count
+//!     .stream(256)
+//!     .with_cardinality_drift(20_000, 8);
+//! let first = stream.next().unwrap();
+//! assert_eq!(first.g.len(), 256);
+//! assert!(first.cardinality < 20_000);
+//! let eighth = stream.nth(6).unwrap();
+//! assert_eq!(eighth.cardinality, 20_000);
+//! ```
+
+use crate::spec::DatasetSpec;
+
+/// One generated batch of the stream: a group-key column, a value
+/// column, and the maximum cardinality the batch was drawn with.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// 0-based position in the stream.
+    pub index: usize,
+    /// The group-key column (distribution per the spec).
+    pub g: Vec<u32>,
+    /// The value column (uniform `[0, 9]`, as the paper's grid).
+    pub v: Vec<u32>,
+    /// The maximum cardinality this batch was generated with (constant,
+    /// or ramping under [`BatchStream::with_cardinality_drift`]).
+    pub cardinality: u64,
+}
+
+/// An infinite, deterministic iterator of [`Batch`]es. Built by
+/// [`DatasetSpec::stream`]; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct BatchStream {
+    spec: DatasetSpec,
+    batch_rows: usize,
+    next: usize,
+    /// `(target_cardinality, over_batches)`: ramp linearly from the
+    /// spec's cardinality to the target across the first `over_batches`
+    /// batches, then hold the target.
+    drift: Option<(u64, usize)>,
+}
+
+impl DatasetSpec {
+    /// An infinite stream of `batch_rows`-row batches drawn from this
+    /// spec (the one-shot `rows` field is ignored; each batch derives
+    /// its own seed from the spec's, so prefixes are reproducible).
+    pub fn stream(self, batch_rows: usize) -> BatchStream {
+        BatchStream {
+            spec: self,
+            batch_rows: batch_rows.max(1),
+            next: 0,
+            drift: None,
+        }
+    }
+}
+
+impl BatchStream {
+    /// Ramps the maximum cardinality linearly from the spec's value to
+    /// `target` across the first `over_batches` batches (`target` from
+    /// batch `over_batches - 1` on). With `over_batches <= 1` the very
+    /// first batch already draws from the target.
+    pub fn with_cardinality_drift(mut self, target: u64, over_batches: usize) -> Self {
+        self.drift = Some((target, over_batches));
+        self
+    }
+
+    /// The cardinality batch `index` draws from.
+    pub fn cardinality_at(&self, index: usize) -> u64 {
+        let start = self.spec.max_cardinality;
+        match self.drift {
+            None => start,
+            Some((target, over)) => {
+                if over <= 1 || index + 1 >= over {
+                    target
+                } else {
+                    // Linear interpolation on the closed ramp
+                    // [start @ 0, target @ over-1].
+                    let steps = (over - 1) as i128;
+                    let delta = target as i128 - start as i128;
+                    (start as i128 + delta * index as i128 / steps) as u64
+                }
+            }
+        }
+    }
+
+    /// Rows per generated batch.
+    pub fn batch_rows(&self) -> usize {
+        self.batch_rows
+    }
+}
+
+impl Iterator for BatchStream {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        let index = self.next;
+        self.next += 1;
+        let cardinality = self.cardinality_at(index);
+        // Per-batch cell spec: same distribution, the ramped
+        // cardinality, and a seed folded with the batch index so every
+        // batch draws fresh (but reproducible) rows.
+        let cell = self.spec.with_rows(self.batch_rows).with_seed(
+            self.spec
+                .seed
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                .wrapping_add(index as u64 + 1),
+        );
+        let ds = DatasetSpec {
+            max_cardinality: cardinality,
+            ..cell
+        }
+        .generate();
+        Some(Batch {
+            index,
+            g: ds.g,
+            v: ds.v,
+            cardinality,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+
+    fn spec() -> DatasetSpec {
+        DatasetSpec::paper(Distribution::Uniform, 100)
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_batched() {
+        let a: Vec<Batch> = spec().stream(64).take(5).collect();
+        let b: Vec<Batch> = spec().stream(64).take(5).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.g, y.g);
+            assert_eq!(x.v, y.v);
+        }
+        assert!(a.iter().all(|b| b.g.len() == 64 && b.v.len() == 64));
+        // Distinct batches draw distinct rows.
+        assert_ne!(a[0].g, a[1].g);
+    }
+
+    #[test]
+    fn without_drift_cardinality_is_constant_and_bounded() {
+        let batches: Vec<Batch> = spec().stream(128).take(4).collect();
+        for b in &batches {
+            assert_eq!(b.cardinality, 100);
+            assert!(b.g.iter().all(|&k| (k as u64) < 100));
+        }
+    }
+
+    #[test]
+    fn drift_ramps_linearly_and_holds_the_target() {
+        let s = spec().stream(32).with_cardinality_drift(10_100, 11);
+        assert_eq!(s.cardinality_at(0), 100);
+        assert_eq!(s.cardinality_at(5), 5_100, "midpoint of the ramp");
+        assert_eq!(s.cardinality_at(10), 10_100);
+        assert_eq!(s.cardinality_at(999), 10_100, "held after the ramp");
+        // Monotone along the ramp.
+        let cs: Vec<u64> = (0..11).map(|i| s.cardinality_at(i)).collect();
+        assert!(cs.windows(2).all(|w| w[0] <= w[1]));
+        // Downward drift works too.
+        let down = spec().stream(32).with_cardinality_drift(10, 3);
+        assert_eq!(down.cardinality_at(0), 100);
+        assert_eq!(down.cardinality_at(1), 55);
+        assert_eq!(down.cardinality_at(2), 10);
+    }
+
+    #[test]
+    fn immediate_drift_and_zero_rows_are_clamped() {
+        let s = spec().stream(0).with_cardinality_drift(9, 0);
+        assert_eq!(s.batch_rows(), 1, "zero-row batches are clamped");
+        assert_eq!(s.cardinality_at(0), 9, "over_batches 0 = immediate");
+        let s1 = spec().stream(8).with_cardinality_drift(9, 1);
+        assert_eq!(s1.cardinality_at(0), 9);
+    }
+
+    #[test]
+    fn every_distribution_streams() {
+        for dist in Distribution::EXTENDED {
+            let b = DatasetSpec::paper(dist, 50).stream(40).next().unwrap();
+            assert_eq!(b.g.len(), 40, "{}", dist.name());
+        }
+    }
+}

@@ -4,17 +4,25 @@
 //! column (the §III-A metadata scan, mirrored at plan time) — wasted
 //! work when traffic repeats the same query shape with different
 //! literals. A [`PlanCache`] keys plans by normalized [`QueryShape`]
-//! (table + catalogue version + column set + filter *structure* +
+//! (table + schema version + column set + filter *structure* +
 //! aggregate kinds — every literal constant masked to `?`), so
 //! `WHERE v > 10` and `WHERE v > 99` share one entry: on a hit the
 //! cached plan is [rebound](crate::QueryPlan) to the incoming literals,
 //! which is sound because plan-time statistics are taken over the
 //! unfiltered table and no literal feeds the §V-D algorithm choice.
 //!
-//! The cache is LRU-evicting and counts hits, misses, evictions and
-//! invalidations; re-registering a table bumps its catalogue version
-//! and purges that table's entries, so a stale plan (snapshotting the
-//! *old* table's columns) can never serve the new data.
+//! The cache is LRU-evicting and counts hits, misses, evictions,
+//! invalidations and rebases. Two kinds of staleness exist:
+//!
+//! * **schema change** (re-registration) bumps the version inside the
+//!   shape key and purges the table's entries outright;
+//! * **data change** (ingest through the write path) bumps the entry's
+//!   *data version* tag. A stale-data entry is not dropped blindly: the
+//!   catalogue tries to [rebase](PlanCache::rebase) it onto the new
+//!   column snapshots using the incrementally maintained statistics —
+//!   only *stats-sensitive* entries (the §V-D algorithm choice flipped,
+//!   or the plan cannot be cheaply refreshed) are invalidated and
+//!   re-planned from scratch.
 
 use crate::plan::QueryPlan;
 use crate::query::{AggregateQuery, OrderKey};
@@ -92,19 +100,43 @@ fn masked(pred_sql: String) -> String {
 /// Hit/miss accounting for a [`PlanCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache (after rebinding constants).
+    /// Lookups served from the cache (after rebinding constants),
+    /// including stale-data entries served after a successful rebase.
     pub hits: u64,
     /// Lookups that had to plan from scratch.
     pub misses: u64,
     /// Entries dropped to make room (LRU order).
     pub evictions: u64,
-    /// Entries purged because their table was re-registered.
+    /// Entries purged as unusable: the table was re-registered, or an
+    /// ingest drifted the statistics past the §V-D decision threshold
+    /// (a *stats-sensitive* entry — see [`PlanCache::drop_stale`]).
     pub invalidations: u64,
+    /// Stale-data entries refreshed in place: the data version moved
+    /// but the statistics left the algorithm choice standing, so the
+    /// plan was rebased onto the new column snapshots instead of being
+    /// re-planned (see [`PlanCache::rebase`]).
+    pub rebases: u64,
+}
+
+/// What [`PlanCache::lookup`] found for a shape at a data version.
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// An entry planned against the current data version: a plain hit
+    /// (already counted), ready to rebind and serve.
+    Fresh(QueryPlan),
+    /// An entry from an older data version. Nothing is counted yet:
+    /// the caller decides between [`PlanCache::rebase`] (refresh in
+    /// place) and [`PlanCache::drop_stale`] (stats-sensitive
+    /// invalidation followed by a fresh plan).
+    Stale(QueryPlan),
+    /// No entry (the miss is counted by [`PlanCache::insert`]).
+    Miss,
 }
 
 struct Entry {
     plan: QueryPlan,
     table: String,
+    data_version: u64,
     last_used: u64,
 }
 
@@ -160,25 +192,69 @@ impl PlanCache {
         self.stats
     }
 
-    /// Looks up a shape, refreshing its recency and counting a hit.
+    /// Looks up a shape at the table's current `data_version`. A
+    /// current-version entry is a counted hit ([`Lookup::Fresh`],
+    /// recency refreshed); an older-version entry comes back as
+    /// [`Lookup::Stale`] with nothing counted — the caller resolves it
+    /// with [`PlanCache::rebase`] or [`PlanCache::drop_stale`].
     /// Counting the miss is [`PlanCache::insert`]'s job, so a lookup
     /// that the caller resolves by planning is charged exactly once.
-    pub fn get(&mut self, shape: &QueryShape) -> Option<QueryPlan> {
+    pub fn lookup(&mut self, shape: &QueryShape, data_version: u64) -> Lookup {
         self.tick += 1;
         let tick = self.tick;
         match self.entries.get_mut(shape) {
-            Some(e) => {
+            Some(e) if e.data_version == data_version => {
                 e.last_used = tick;
                 self.stats.hits += 1;
-                Some(e.plan.clone())
+                Lookup::Fresh(e.plan.clone())
             }
-            None => None,
+            Some(e) => Lookup::Stale(e.plan.clone()),
+            None => Lookup::Miss,
         }
     }
 
-    /// Inserts a freshly planned shape, counting the miss that caused
-    /// it and evicting the least-recently-used entry when full.
-    pub fn insert(&mut self, shape: QueryShape, plan: QueryPlan) {
+    /// Replaces a stale entry's plan with one rebased onto the current
+    /// data version, counting a hit plus a rebase. Skipped (returning
+    /// `false`, nothing counted) if the entry vanished or was already
+    /// refreshed past `data_version` by a concurrent caller.
+    pub fn rebase(&mut self, shape: &QueryShape, plan: QueryPlan, data_version: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(shape) {
+            Some(e) if e.data_version <= data_version => {
+                e.plan = plan;
+                e.data_version = data_version;
+                e.last_used = tick;
+                self.stats.hits += 1;
+                self.stats.rebases += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drops a stale entry whose plan could not be rebased — the
+    /// *stats-sensitive* invalidation of the write path (the drifted
+    /// statistics flipped the §V-D choice, or the plan needs a real
+    /// statistics pass). Counted as an invalidation. Entries already
+    /// at (or past) the caller's `data_version` are left alone: a
+    /// reader holding an older snapshot must not tear down an entry a
+    /// concurrent planner just refreshed.
+    pub fn drop_stale(&mut self, shape: &QueryShape, data_version: u64) {
+        if self
+            .entries
+            .get(shape)
+            .is_some_and(|e| e.data_version < data_version)
+        {
+            self.entries.remove(shape);
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Inserts a freshly planned shape at `data_version`, counting the
+    /// miss that caused it and evicting the least-recently-used entry
+    /// when full.
+    pub fn insert(&mut self, shape: QueryShape, plan: QueryPlan, data_version: u64) {
         self.stats.misses += 1;
         self.tick += 1;
         if !self.entries.contains_key(&shape) && self.entries.len() >= self.capacity {
@@ -198,6 +274,7 @@ impl PlanCache {
             Entry {
                 plan,
                 table,
+                data_version,
                 last_used: self.tick,
             },
         );
@@ -280,16 +357,81 @@ mod tests {
     }
 
     #[test]
-    fn get_and_insert_count_hits_and_misses() {
+    fn lookup_and_insert_count_hits_and_misses() {
         let mut cache = PlanCache::new(4);
         let q = AggregateQuery::paper("g", "v");
         let shape = QueryShape::of("r", 0, &q);
-        assert!(cache.get(&shape).is_none());
-        cache.insert(shape.clone(), plan_for(&q));
-        assert!(cache.get(&shape).is_some());
-        assert!(cache.get(&shape).is_some());
+        assert!(matches!(cache.lookup(&shape, 1), Lookup::Miss));
+        cache.insert(shape.clone(), plan_for(&q), 1);
+        assert!(matches!(cache.lookup(&shape, 1), Lookup::Fresh(_)));
+        assert!(matches!(cache.lookup(&shape, 1), Lookup::Fresh(_)));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (2, 1));
+    }
+
+    #[test]
+    fn stale_data_versions_come_back_uncounted() {
+        let mut cache = PlanCache::new(4);
+        let q = AggregateQuery::paper("g", "v");
+        let shape = QueryShape::of("r", 0, &q);
+        cache.insert(shape.clone(), plan_for(&q), 1);
+        // An append bumped the data version: the entry is stale, and
+        // the lookup alone charges nothing.
+        assert!(matches!(cache.lookup(&shape, 2), Lookup::Stale(_)));
+        assert_eq!(cache.stats().hits, 0);
+
+        // Rebasing refreshes it in place: hit + rebase, and the next
+        // lookup at the new version is fresh.
+        assert!(cache.rebase(&shape, plan_for(&q), 2));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.rebases, s.invalidations), (1, 1, 0));
+        assert!(matches!(cache.lookup(&shape, 2), Lookup::Fresh(_)));
+    }
+
+    #[test]
+    fn drop_stale_counts_a_stats_sensitive_invalidation() {
+        let mut cache = PlanCache::new(4);
+        let q = AggregateQuery::paper("g", "v");
+        let shape = QueryShape::of("r", 0, &q);
+        cache.insert(shape.clone(), plan_for(&q), 1);
+        assert!(matches!(cache.lookup(&shape, 2), Lookup::Stale(_)));
+        cache.drop_stale(&shape, 2);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().invalidations, 1);
+        // Dropping twice is a no-op.
+        cache.drop_stale(&shape, 2);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn drop_stale_never_tears_down_a_current_or_newer_entry() {
+        let mut cache = PlanCache::new(4);
+        let q = AggregateQuery::paper("g", "v");
+        let shape = QueryShape::of("r", 0, &q);
+        // A concurrent planner refreshed the entry to data version 2;
+        // a racer still holding the version-1 snapshot must not remove
+        // it (same version: guarded; older caller: guarded).
+        cache.insert(shape.clone(), plan_for(&q), 2);
+        cache.drop_stale(&shape, 2);
+        cache.drop_stale(&shape, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().invalidations, 0);
+        assert!(matches!(cache.lookup(&shape, 2), Lookup::Fresh(_)));
+    }
+
+    #[test]
+    fn rebase_never_regresses_a_newer_entry() {
+        let mut cache = PlanCache::new(4);
+        let q = AggregateQuery::paper("g", "v");
+        let shape = QueryShape::of("r", 0, &q);
+        cache.insert(shape.clone(), plan_for(&q), 5);
+        // A racer holding an older snapshot must not roll the entry
+        // back to data version 3.
+        assert!(!cache.rebase(&shape, plan_for(&q), 3));
+        assert!(matches!(cache.lookup(&shape, 5), Lookup::Fresh(_)));
+        // ...and rebasing a vanished entry is a counted no-op.
+        assert!(!cache.rebase(&QueryShape::of("x", 0, &q), plan_for(&q), 1));
+        assert_eq!(cache.stats().rebases, 0);
     }
 
     #[test]
@@ -301,16 +443,19 @@ mod tests {
             AggregateQuery::paper("g", "v").with_limit(1),
         ];
         let shapes: Vec<QueryShape> = queries.iter().map(|q| QueryShape::of("r", 0, q)).collect();
-        cache.insert(shapes[0].clone(), plan_for(&queries[0]));
-        cache.insert(shapes[1].clone(), plan_for(&queries[1]));
+        cache.insert(shapes[0].clone(), plan_for(&queries[0]), 1);
+        cache.insert(shapes[1].clone(), plan_for(&queries[1]), 1);
         // Touch shape 0 so shape 1 is the LRU victim.
-        assert!(cache.get(&shapes[0]).is_some());
-        cache.insert(shapes[2].clone(), plan_for(&queries[2]));
+        assert!(matches!(cache.lookup(&shapes[0], 1), Lookup::Fresh(_)));
+        cache.insert(shapes[2].clone(), plan_for(&queries[2]), 1);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 1);
-        assert!(cache.get(&shapes[0]).is_some());
-        assert!(cache.get(&shapes[1]).is_none(), "evicted");
-        assert!(cache.get(&shapes[2]).is_some());
+        assert!(matches!(cache.lookup(&shapes[0], 1), Lookup::Fresh(_)));
+        assert!(
+            matches!(cache.lookup(&shapes[1], 1), Lookup::Miss),
+            "evicted"
+        );
+        assert!(matches!(cache.lookup(&shapes[2], 1), Lookup::Fresh(_)));
     }
 
     #[test]
@@ -319,11 +464,14 @@ mod tests {
         let q = AggregateQuery::paper("g", "v");
         let mut plan_s = plan_for(&q);
         plan_s.table = "s".into();
-        cache.insert(QueryShape::of("r", 0, &q), plan_for(&q));
-        cache.insert(QueryShape::of("s", 0, &q), plan_s);
+        cache.insert(QueryShape::of("r", 0, &q), plan_for(&q), 1);
+        cache.insert(QueryShape::of("s", 0, &q), plan_s, 1);
         assert_eq!(cache.invalidate_table("r"), 1);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.stats().invalidations, 1);
-        assert!(cache.get(&QueryShape::of("s", 0, &q)).is_some());
+        assert!(matches!(
+            cache.lookup(&QueryShape::of("s", 0, &q), 1),
+            Lookup::Fresh(_)
+        ));
     }
 }

@@ -33,10 +33,12 @@
 //! # Ok::<(), vagg_db::SqlError>(())
 //! ```
 
-use crate::cache::{CacheStats, PlanCache, QueryShape};
+use crate::cache::{CacheStats, Lookup, PlanCache, QueryShape};
 use crate::database::{Database, SqlError};
+use crate::delta::{DeltaStore, TableStats};
 use crate::engine::Engine;
-use crate::plan::QueryPlan;
+use crate::ingest::{CompactionPolicy, IngestReceipt, RowBatch};
+use crate::plan::{QueryPlan, ScanMode};
 use crate::query::AggregateQuery;
 use crate::table::Table;
 use std::collections::BTreeMap;
@@ -44,18 +46,76 @@ use std::fmt;
 use std::sync::{Arc, Mutex, RwLock};
 use vagg_core::{select_algorithm, AdaptiveMode, PlannerInputs};
 
-/// One registered table plus its registration version. The version is
-/// part of every plan-cache key, so re-registering a table (the only
-/// way its statistics change — tables are immutable) makes all cached
-/// plans for it unreachable *and* purges them.
+/// One registered table: the immutable base, the append-only delta
+/// layered on top, live statistics, and two version counters.
+///
+/// * The **schema version** bumps on (re-)registration and is part of
+///   every plan-cache key, so replacing a table makes all of its cached
+///   plans unreachable *and* purges them.
+/// * The **data version** bumps on every appended batch. Cached plans
+///   are tagged with it; a stale-data plan is rebased onto the new
+///   columns when the drifted statistics leave its §V-D choice standing
+///   and invalidated (re-planned) when they do not.
 struct Registered {
-    version: u64,
+    schema_version: u64,
+    data_version: u64,
+    base: Table,
+    delta: DeltaStore,
+    stats: TableStats,
+    /// The merged base++delta read view at `data_version`, materialised
+    /// lazily (`None` = dirty). Appends are O(batch); the first read
+    /// after an append pays the merge once.
+    view: Option<Table>,
+}
+
+impl Registered {
+    fn materialise(&mut self) -> &Table {
+        if self.view.is_none() {
+            self.view = Some(if self.delta.rows() == 0 {
+                self.base.clone()
+            } else {
+                merge(&self.base, &self.delta)
+            });
+        }
+        self.view.as_ref().expect("just materialised")
+    }
+
+    /// The logical table content (merging any pending delta).
+    fn into_table(mut self) -> Table {
+        self.materialise();
+        self.view.expect("just materialised")
+    }
+}
+
+/// Concatenates base ++ delta into a fresh table. `with_column`
+/// re-detects sortedness, so the merged view carries exactly the
+/// metadata a fresh registration of the same rows would.
+fn merge(base: &Table, delta: &DeltaStore) -> Table {
+    let mut t = Table::new(base.name());
+    for name in base.column_names() {
+        let base_col = base.column(name).expect("listed column exists");
+        let delta_col = delta.column(name);
+        let mut data = Vec::with_capacity(base_col.len() + delta_col.len());
+        data.extend_from_slice(base_col);
+        data.extend_from_slice(delta_col);
+        t = t.with_column(name, data);
+    }
+    t
+}
+
+/// A consistent read of one table: versions, the merged view, and the
+/// live statistics, captured under one lock acquisition.
+struct ViewSnapshot {
+    schema_version: u64,
+    data_version: u64,
     table: Table,
+    stats: TableStats,
 }
 
 struct Inner {
     tables: RwLock<BTreeMap<String, Registered>>,
     cache: Mutex<PlanCache>,
+    policy: RwLock<CompactionPolicy>,
     engine: Engine,
 }
 
@@ -116,9 +176,21 @@ impl SharedCatalogue {
             inner: Arc::new(Inner {
                 tables: RwLock::new(BTreeMap::new()),
                 cache: Mutex::new(cache),
+                policy: RwLock::new(CompactionPolicy::default()),
                 engine,
             }),
         }
+    }
+
+    /// Sets the write path's delta-compaction policy (shared by every
+    /// session of this catalogue).
+    pub fn set_compaction_policy(&self, policy: CompactionPolicy) {
+        *self.inner.policy.write().expect("policy lock") = policy;
+    }
+
+    /// The current delta-compaction policy.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        *self.inner.policy.read().expect("policy lock")
     }
 
     /// The planning engine every session of this catalogue shares.
@@ -150,15 +222,29 @@ impl SharedCatalogue {
     }
 
     /// Registers a table under its own name, replacing any previous
-    /// table with that name (the replaced table is returned). The
-    /// table's registration version is bumped and every cached plan
-    /// for it is purged, so later queries re-plan against the new
-    /// statistics instead of serving a stale snapshot.
+    /// table with that name (the replaced table's logical content —
+    /// base plus any un-compacted delta — is returned). The table's
+    /// schema version is bumped and every cached plan for it is purged,
+    /// so later queries re-plan against the new statistics instead of
+    /// serving a stale snapshot. The new table starts with an empty
+    /// delta and statistics seeded from its columns.
     pub fn register(&self, table: Table) -> Option<Table> {
         let name = table.name().to_string();
+        let delta = DeltaStore::for_table(&table);
+        let stats = TableStats::seed(&table);
         let mut tables = self.inner.tables.write().expect("catalogue lock");
-        let version = tables.get(&name).map_or(1, |r| r.version + 1);
-        let old = tables.insert(name.clone(), Registered { version, table });
+        let schema_version = tables.get(&name).map_or(1, |r| r.schema_version + 1);
+        let old = tables.insert(
+            name.clone(),
+            Registered {
+                schema_version,
+                data_version: 1,
+                base: table,
+                delta,
+                stats,
+                view: None,
+            },
+        );
         drop(tables);
         if old.is_some() {
             self.inner
@@ -167,21 +253,105 @@ impl SharedCatalogue {
                 .expect("cache lock")
                 .invalidate_table(&name);
         }
-        old.map(|r| r.table)
+        old.map(Registered::into_table)
     }
 
-    /// Looks up a registered table (a cheap clone: column data is
-    /// `Arc`-shared).
+    /// Appends a batch of rows to a registered table — the write path.
+    ///
+    /// The batch is validated against the table's column set, parked in
+    /// the table's [`DeltaStore`] (O(batch) — no base column is
+    /// touched), folded into the live [`TableStats`], and the table's
+    /// *data* version is bumped (the schema version is not). When the
+    /// [`CompactionPolicy`] threshold trips, the delta is merged into a
+    /// new base and the statistics are re-seeded from the merged
+    /// columns; the merge itself runs outside the registry lock, and a
+    /// concurrent append that lands mid-merge supersedes it (the
+    /// receipt then reports `compacted: false` and the next append
+    /// re-evaluates the threshold over the larger delta).
+    ///
+    /// Cached plans are reconciled lazily at the next lookup: entries
+    /// whose §V-D algorithm choice survives the drifted statistics are
+    /// rebased onto the new columns, stats-sensitive entries are
+    /// invalidated and re-planned (see [`SharedCatalogue::plan_query`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::UnknownTable`] for unregistered tables and
+    /// [`SqlError::Ingest`] (typed [`crate::IngestError`]) for batches
+    /// that do not fit the schema.
+    pub fn append(&self, table: &str, batch: RowBatch) -> Result<IngestReceipt, SqlError> {
+        // Phase 1 (write lock, O(batch)): validate, park the rows in
+        // the delta, fold the statistics, bump the data version.
+        let (mut receipt, compact) = {
+            let mut tables = self.inner.tables.write().expect("catalogue lock");
+            let r = tables
+                .get_mut(table)
+                .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+            batch
+                .validate(&r.base.column_names())
+                .map_err(SqlError::Ingest)?;
+            if batch.rows() == 0 {
+                return Ok(IngestReceipt {
+                    rows: 0,
+                    delta_rows: r.delta.rows(),
+                    compacted: false,
+                    data_version: r.data_version,
+                });
+            }
+            r.delta.append(&batch);
+            r.stats.observe(&batch);
+            r.data_version += 1;
+            r.view = None;
+            let policy = *self.inner.policy.read().expect("policy lock");
+            let receipt = IngestReceipt {
+                rows: batch.rows(),
+                delta_rows: r.delta.rows(),
+                compacted: false,
+                data_version: r.data_version,
+            };
+            // The snapshot for an off-lock merge: the base clone is
+            // `Arc`-cheap; the delta clone is one memcpy of the delta
+            // rows — an order less work than the merge + stats re-seed
+            // it keeps out of this critical section, and bounded by
+            // the compaction threshold itself.
+            let compact = policy
+                .should_compact(r.base.rows(), r.delta.rows())
+                .then(|| (r.schema_version, r.base.clone(), r.delta.clone()));
+            (receipt, compact)
+        };
+        // Phase 2 (no lock): the O(rows) merge and statistics re-seed
+        // run without blocking other sessions or tables.
+        if let Some((schema_version, base, delta)) = compact {
+            let merged = merge(&base, &delta);
+            let stats = TableStats::seed(&merged);
+            // Phase 3 (write lock): install only if the table has not
+            // moved on — a concurrent append bumped the data version
+            // and will trip (a bigger) compaction itself.
+            let mut tables = self.inner.tables.write().expect("catalogue lock");
+            if let Some(r) = tables.get_mut(table) {
+                if r.schema_version == schema_version && r.data_version == receipt.data_version {
+                    r.stats = stats;
+                    r.base = merged.clone(); // `Arc` columns: base and view share
+                    r.view = Some(merged);
+                    r.delta.clear();
+                    receipt.compacted = true;
+                    receipt.delta_rows = 0;
+                }
+            }
+        }
+        Ok(receipt)
+    }
+
+    /// Looks up a registered table's current content: the base merged
+    /// with any pending delta (a cheap clone once materialised — column
+    /// data is `Arc`-shared).
     pub fn table(&self, name: &str) -> Option<Table> {
-        self.inner
-            .tables
-            .read()
-            .expect("catalogue lock")
-            .get(name)
-            .map(|r| r.table.clone())
+        self.read_view(name).ok().map(|s| s.table)
     }
 
-    /// Registered table names, sorted.
+    /// Registered table names, sorted (a [`BTreeMap`]-backed registry:
+    /// the listing order is deterministic regardless of registration
+    /// order).
     pub fn table_names(&self) -> Vec<String> {
         self.inner
             .tables
@@ -192,15 +362,126 @@ impl SharedCatalogue {
             .collect()
     }
 
-    /// The registration version of `name` (bumped on every
-    /// re-register), or `None` if unregistered.
+    /// The schema (registration) version of `name` — bumped on every
+    /// re-register, *not* by ingest — or `None` if unregistered.
     pub fn version(&self, name: &str) -> Option<u64> {
         self.inner
             .tables
             .read()
             .expect("catalogue lock")
             .get(name)
-            .map(|r| r.version)
+            .map(|r| r.schema_version)
+    }
+
+    /// The data version of `name` — bumped on every appended batch,
+    /// reset to 1 by (re-)registration — or `None` if unregistered.
+    pub fn data_version(&self, name: &str) -> Option<u64> {
+        self.inner
+            .tables
+            .read()
+            .expect("catalogue lock")
+            .get(name)
+            .map(|r| r.data_version)
+    }
+
+    /// Both versions of `name` at once: `(schema, data)`.
+    pub(crate) fn versions(&self, name: &str) -> Option<(u64, u64)> {
+        self.inner
+            .tables
+            .read()
+            .expect("catalogue lock")
+            .get(name)
+            .map(|r| (r.schema_version, r.data_version))
+    }
+
+    /// The live, incrementally maintained statistics of `name`: row
+    /// count and per-column min/max, sortedness and sampled distinct
+    /// estimate.
+    pub fn table_stats(&self, name: &str) -> Option<TableStats> {
+        self.inner
+            .tables
+            .read()
+            .expect("catalogue lock")
+            .get(name)
+            .map(|r| r.stats.clone())
+    }
+
+    /// The column set of `name`'s schema (sorted), without
+    /// materialising the merged view.
+    pub(crate) fn schema(&self, name: &str) -> Option<Vec<String>> {
+        self.inner
+            .tables
+            .read()
+            .expect("catalogue lock")
+            .get(name)
+            .map(|r| {
+                r.base
+                    .column_names()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect()
+            })
+    }
+
+    /// Rows currently parked in `name`'s delta store (0 right after
+    /// registration or compaction).
+    pub fn delta_rows(&self, name: &str) -> Option<usize> {
+        self.inner
+            .tables
+            .read()
+            .expect("catalogue lock")
+            .get(name)
+            .map(|r| r.delta.rows())
+    }
+
+    /// A consistent (versions, merged view, statistics) snapshot,
+    /// materialising the view if an append dirtied it.
+    fn read_view(&self, table: &str) -> Result<ViewSnapshot, SqlError> {
+        let missing = || SqlError::UnknownTable(table.to_string());
+        // Fast path: a clean view is an `Arc`-cheap clone under the
+        // read lock. A dirty view is merged *outside* any lock (the
+        // merge is O(rows); holding the registry write lock for it
+        // would serialize every session on every table), then
+        // installed under the write lock only if the table has not
+        // moved on meanwhile — either way the caller gets a snapshot
+        // consistent with the versions it reports.
+        let (snap, delta) = {
+            let tables = self.inner.tables.read().expect("catalogue lock");
+            let r = tables.get(table).ok_or_else(missing)?;
+            let snap = ViewSnapshot {
+                schema_version: r.schema_version,
+                data_version: r.data_version,
+                table: r.base.clone(),
+                stats: r.stats.clone(),
+            };
+            match &r.view {
+                Some(view) => {
+                    return Ok(ViewSnapshot {
+                        table: view.clone(),
+                        ..snap
+                    })
+                }
+                None => (snap, r.delta.clone()),
+            }
+        };
+        let view = if delta.rows() == 0 {
+            snap.table.clone()
+        } else {
+            merge(&snap.table, &delta)
+        };
+        let mut tables = self.inner.tables.write().expect("catalogue lock");
+        if let Some(r) = tables.get_mut(table) {
+            if r.schema_version == snap.schema_version
+                && r.data_version == snap.data_version
+                && r.view.is_none()
+            {
+                r.view = Some(view.clone());
+            }
+        }
+        Ok(ViewSnapshot {
+            table: view,
+            ..snap
+        })
     }
 
     /// The shared plan cache's hit/miss/eviction/invalidation counters.
@@ -209,45 +490,103 @@ impl SharedCatalogue {
     }
 
     /// Plans `query` against the registered `table`, serving repeated
-    /// query *shapes* from the shared [`PlanCache`]: on a hit the
-    /// cached plan is rebound to this query's literal constants and
-    /// the §V-D algorithm choice is re-verified (a policy flip falls
-    /// back to a fresh plan — impossible while plan-time statistics
-    /// are taken pre-filter, but the check keeps rebinding honest).
+    /// query *shapes* from the shared [`PlanCache`].
+    ///
+    /// On a current-data hit the cached plan is rebound to this query's
+    /// literal constants and the §V-D algorithm choice is re-verified
+    /// (a policy flip falls back to a fresh plan — impossible while
+    /// plan-time statistics are taken pre-filter, but the check keeps
+    /// rebinding honest).
+    ///
+    /// A hit whose entry predates an ingest (stale *data* version) is
+    /// reconciled against the live statistics: if the drifted stats
+    /// leave the algorithm choice standing, the plan is rebased onto
+    /// the new column snapshots — no column is re-scanned, the
+    /// incrementally maintained maximum supplies the cardinality — and
+    /// the entry is refreshed in place. If the choice flipped (the
+    /// entry is *stats-sensitive*), the entry is invalidated and the
+    /// query re-planned from scratch.
     ///
     /// # Errors
     ///
     /// [`SqlError::UnknownTable`] for unregistered tables and
     /// [`SqlError::Plan`] for planning problems.
     pub fn plan_query(&self, table: &str, query: &AggregateQuery) -> Result<QueryPlan, SqlError> {
-        let (version, snapshot) = {
-            let tables = self.inner.tables.read().expect("catalogue lock");
-            let r = tables
-                .get(table)
-                .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
-            (r.version, r.table.clone())
-        };
-        let shape = QueryShape::of(table, version, query);
-        if let Some(cached) = self.inner.cache.lock().expect("cache lock").get(&shape) {
-            let rebound = cached.rebind(query);
-            if self.algorithm_holds(&rebound) {
-                return Ok(rebound);
+        let snap = self.read_view(table)?;
+        let shape = QueryShape::of(table, snap.schema_version, query);
+        let lookup = self
+            .inner
+            .cache
+            .lock()
+            .expect("cache lock")
+            .lookup(&shape, snap.data_version);
+        match lookup {
+            Lookup::Fresh(cached) => {
+                let rebound = cached.rebind(query);
+                if self.algorithm_holds(&rebound) {
+                    return Ok(rebound);
+                }
+                // Policy flip without a data change: fall through to a
+                // fresh plan (the insert below overwrites the entry).
             }
+            Lookup::Stale(cached) => {
+                if let Some(rebased) = self.rebase_plan(&cached, &snap) {
+                    if self.algorithm_holds(&rebased) {
+                        let rebound = rebased.rebind(query);
+                        self.inner.cache.lock().expect("cache lock").rebase(
+                            &shape,
+                            rebased,
+                            snap.data_version,
+                        );
+                        return Ok(rebound);
+                    }
+                }
+                // Stats-sensitive: the drifted statistics flipped the
+                // §V-D choice (or the plan needs a real statistics
+                // pass) — invalidate and re-plan.
+                self.inner
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .drop_stale(&shape, snap.data_version);
+            }
+            Lookup::Miss => {}
         }
-        let plan = self.inner.engine.plan(&snapshot, query)?;
-        // Re-check the version under the locks before caching: a
-        // concurrent re-register between our snapshot and this insert
-        // would otherwise park a dead (stale-version) entry in an LRU
-        // slot that its invalidation pass already swept.
+        let plan = self.inner.engine.plan(&snap.table, query)?;
+        // Re-check the versions under the locks before caching: a
+        // concurrent re-register or append between our snapshot and
+        // this insert would otherwise park a dead (stale-version)
+        // entry in an LRU slot.
         let tables = self.inner.tables.read().expect("catalogue lock");
-        let current = tables.get(table).map(|r| r.version);
+        let current = tables
+            .get(table)
+            .map(|r| (r.schema_version, r.data_version));
         let mut cache = self.inner.cache.lock().expect("cache lock");
-        if current == Some(version) {
-            cache.insert(shape, plan.clone());
+        if current == Some((snap.schema_version, snap.data_version)) {
+            cache.insert(shape, plan.clone(), snap.data_version);
         } else {
             cache.note_miss();
         }
         Ok(plan)
+    }
+
+    /// Rebases a cached plan onto a newer data version using the live
+    /// statistics — the cheap refresh of the write path. `None` when
+    /// the shortcut does not apply (composite GROUP BY, sampled
+    /// estimation): those plans need a real statistics pass.
+    fn rebase_plan(&self, cached: &QueryPlan, snap: &ViewSnapshot) -> Option<QueryPlan> {
+        let query = cached.query();
+        let col = snap.stats.column(&query.group_by)?;
+        let presorted = col.sorted && query.group_by_rest.is_empty();
+        let scan_mode = ScanMode::of(presorted, self.inner.engine.estimation());
+        if matches!(scan_mode, ScanMode::Sampled { .. }) {
+            // The sampled estimate is defined by the windowed scan; the
+            // maintained maximum would disagree with a fresh plan.
+            return None;
+        }
+        // For a sorted column max = last element, so `max + 1` is
+        // exactly what either scan mode would measure.
+        cached.rebase_onto(&snap.table, presorted, scan_mode, col.cardinality())
     }
 
     /// Whether the adaptive policy still selects the plan's algorithm
@@ -349,5 +688,186 @@ mod tests {
             .plan_query("nope", &AggregateQuery::paper("g", "v"))
             .unwrap_err();
         assert_eq!(e, SqlError::UnknownTable("nope".into()));
+    }
+
+    fn batch(g: Vec<u32>, v: Vec<u32>) -> RowBatch {
+        RowBatch::new().with_column("g", g).with_column("v", v)
+    }
+
+    #[test]
+    fn append_is_visible_and_bumps_only_the_data_version() {
+        let cat = catalogue();
+        assert_eq!(cat.versions("r"), Some((1, 1)));
+        let receipt = cat.append("r", batch(vec![7, 7], vec![1, 1])).unwrap();
+        assert_eq!(receipt.rows, 2);
+        assert_eq!(receipt.delta_rows, 2);
+        assert!(!receipt.compacted);
+        assert_eq!(cat.versions("r"), Some((1, 2)), "schema version untouched");
+        assert_eq!(cat.delta_rows("r"), Some(2));
+
+        // The read view merges base ++ delta in append order.
+        let t = cat.table("r").unwrap();
+        assert_eq!(t.rows(), 10);
+        assert_eq!(&t.column("g").unwrap()[8..], &[7, 7]);
+
+        // Live statistics absorbed the batch.
+        let stats = cat.table_stats("r").unwrap();
+        assert_eq!(stats.rows(), 10);
+        assert_eq!(stats.column("g").unwrap().max, Some(7));
+        assert_eq!(stats.column("g").unwrap().cardinality(), 8);
+    }
+
+    #[test]
+    fn empty_batches_are_a_no_op() {
+        let cat = catalogue();
+        let receipt = cat.append("r", batch(vec![], vec![])).unwrap();
+        assert_eq!(receipt.rows, 0);
+        assert_eq!(cat.versions("r"), Some((1, 1)), "no version bump");
+    }
+
+    #[test]
+    fn append_validates_against_the_schema() {
+        use crate::ingest::IngestError;
+        let cat = catalogue();
+        let e = cat.append("nope", batch(vec![1], vec![1])).unwrap_err();
+        assert_eq!(e, SqlError::UnknownTable("nope".into()));
+        let e = cat
+            .append("r", RowBatch::new().with_column("g", vec![1]))
+            .unwrap_err();
+        assert_eq!(e, SqlError::Ingest(IngestError::MissingColumn("v".into())));
+        assert!(e.to_string().contains("ingest error"));
+        assert!(std::error::Error::source(&e).is_some());
+        // A rejected batch changes nothing.
+        assert_eq!(cat.versions("r"), Some((1, 1)));
+        assert_eq!(cat.table("r").unwrap().rows(), 8);
+    }
+
+    #[test]
+    fn stale_cache_entries_rebase_when_the_choice_holds() {
+        let cat = catalogue();
+        let q = AggregateQuery::paper("g", "v");
+        let p1 = cat.plan_query("r", &q).unwrap();
+        assert_eq!(p1.rows(), 8);
+        // A small append: cardinality stays deep inside the Monotable
+        // division, so the §V-D choice holds.
+        cat.append("r", batch(vec![3, 1], vec![9, 9])).unwrap();
+        let p2 = cat.plan_query("r", &q).unwrap();
+        assert_eq!(p2.rows(), 10, "rebased onto the merged view");
+        assert_eq!(p2.algorithm(), p1.algorithm());
+        let s = cat.cache_stats();
+        assert_eq!(
+            (s.hits, s.misses, s.rebases, s.invalidations),
+            (1, 1, 1, 0),
+            "stale entry refreshed in place, not re-planned"
+        );
+        // And the rebased entry keeps serving as a plain hit.
+        cat.plan_query("r", &q).unwrap();
+        assert_eq!(cat.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn rebased_plans_match_a_fresh_plan_on_the_merged_table() {
+        let cat = catalogue();
+        let q = AggregateQuery::paper("g", "v");
+        cat.plan_query("r", &q).unwrap();
+        cat.append("r", batch(vec![6, 0, 2], vec![1, 2, 3]))
+            .unwrap();
+        let rebased = cat.plan_query("r", &q).unwrap();
+
+        let fresh_cat = SharedCatalogue::new();
+        fresh_cat.register(cat.table("r").unwrap());
+        let fresh = fresh_cat.plan_query("r", &q).unwrap();
+        assert_eq!(rebased.explain(), fresh.explain());
+        assert_eq!(rebased.cardinality_estimate(), fresh.cardinality_estimate());
+        // The rebased plan executes over the merged rows.
+        let out = crate::Session::new().run(&rebased);
+        let expect = crate::Session::new().run(&fresh);
+        assert_eq!(out.rows, expect.rows);
+    }
+
+    #[test]
+    fn drifted_stats_invalidate_stats_sensitive_entries() {
+        use vagg_core::Algorithm;
+        let cat = catalogue();
+        let q = AggregateQuery::paper("g", "v");
+        let before = cat.plan_query("r", &q).unwrap();
+        assert_eq!(before.algorithm(), Algorithm::Monotable);
+        // Push the cardinality estimate across the §V-D division
+        // boundary (9,765 → PartiallySortedMonotable for unsorted
+        // input): the cached plan's choice no longer holds.
+        cat.append("r", batch(vec![20_000], vec![1])).unwrap();
+        let after = cat.plan_query("r", &q).unwrap();
+        assert_eq!(after.algorithm(), Algorithm::PartiallySortedMonotable);
+        assert_eq!(after.cardinality_estimate(), 20_001);
+        let s = cat.cache_stats();
+        assert_eq!(
+            (s.hits, s.misses, s.rebases, s.invalidations),
+            (0, 2, 0, 1),
+            "stats-sensitive entry was invalidated and re-planned"
+        );
+    }
+
+    #[test]
+    fn compaction_merges_the_delta_and_reseeds_statistics() {
+        let cat = catalogue();
+        cat.set_compaction_policy(CompactionPolicy::every(3));
+        assert_eq!(cat.compaction_policy().max_delta_rows, 3);
+        let r1 = cat.append("r", batch(vec![9, 9], vec![1, 1])).unwrap();
+        assert!(!r1.compacted);
+        assert_eq!(r1.delta_rows, 2);
+        let r2 = cat.append("r", batch(vec![9], vec![1])).unwrap();
+        assert!(r2.compacted, "third delta row tripped the threshold");
+        assert_eq!(r2.delta_rows, 0);
+        assert_eq!(cat.delta_rows("r"), Some(0));
+        // Logical content is unchanged by compaction.
+        let t = cat.table("r").unwrap();
+        assert_eq!(t.rows(), 11);
+        let stats = cat.table_stats("r").unwrap();
+        assert_eq!(stats.rows(), 11);
+        assert_eq!(stats.column("g").unwrap().max, Some(9));
+        // Further appends start filling a fresh delta over the new base.
+        let r3 = cat.append("r", batch(vec![2], vec![2])).unwrap();
+        assert_eq!(r3.delta_rows, 1);
+        assert!(!r3.compacted);
+    }
+
+    #[test]
+    fn register_returns_the_logical_content_including_the_delta() {
+        let cat = catalogue();
+        cat.append("r", batch(vec![7], vec![7])).unwrap();
+        let old = cat
+            .register(
+                Table::new("r")
+                    .with_column("g", vec![1])
+                    .with_column("v", vec![1]),
+            )
+            .unwrap();
+        assert_eq!(old.rows(), 9, "base (8) plus the un-compacted delta (1)");
+        assert_eq!(cat.versions("r"), Some((2, 1)), "data version reset");
+        assert_eq!(cat.delta_rows("r"), Some(0));
+    }
+
+    #[test]
+    fn sampled_estimation_replans_instead_of_rebasing() {
+        // The sampled estimate is defined by the windowed scan; the
+        // incremental maximum cannot reproduce it, so stale entries
+        // under a sampling engine re-plan (counted as invalidations).
+        let cat = SharedCatalogue::with_engine(
+            Engine::new()
+                .with_estimation(crate::engine::CardinalityEstimation::Sampled { stride: 2 }),
+        );
+        let n = 256;
+        cat.register(
+            Table::new("r")
+                .with_column("g", (0..n).map(|i| (i * 37 % 50) as u32).collect())
+                .with_column("v", vec![1; n]),
+        );
+        let q = AggregateQuery::paper("g", "v");
+        cat.plan_query("r", &q).unwrap();
+        cat.append("r", batch(vec![3], vec![1])).unwrap();
+        let plan = cat.plan_query("r", &q).unwrap();
+        assert_eq!(plan.rows(), n + 1);
+        let s = cat.cache_stats();
+        assert_eq!((s.rebases, s.invalidations, s.misses), (0, 1, 2));
     }
 }

@@ -33,7 +33,9 @@
 
 use crate::cache::CacheStats;
 use crate::catalogue::SharedCatalogue;
+use crate::delta::TableStats;
 use crate::engine::{Engine, QueryOutput};
+use crate::ingest::{IngestError, IngestReceipt, RowBatch};
 use crate::plan::{PlanError, QueryPlan};
 use crate::prepared::PreparedStatement;
 use crate::session::{PartialRun, Session};
@@ -57,6 +59,15 @@ pub enum SqlError {
     /// which returns rows; use [`Database::run_sql`] or
     /// [`Database::explain_sql`] for plans.
     ExplainStatement,
+    /// An `INSERT` statement was passed to an API that returns rows or
+    /// plans ([`Database::execute_sql`], [`Database::explain_sql`],
+    /// [`crate::ShardedDatabase::run_sql`]); use [`Database::run_sql`]
+    /// (single session) or [`crate::ShardedDatabase::insert_sql`]
+    /// (sharded) for ingest.
+    InsertStatement,
+    /// The write path rejected a batch: the typed reason (unknown,
+    /// missing or duplicate column, ragged lengths).
+    Ingest(IngestError),
     /// A composite (multi-column) `GROUP BY` was submitted to a
     /// [`crate::ShardedDatabase`]: fused composite keys are measured
     /// per shard, so they are not comparable across shards. Run the
@@ -84,6 +95,12 @@ impl fmt::Display for SqlError {
                 f,
                 "EXPLAIN produces a plan, not rows; use run_sql or explain_sql"
             ),
+            SqlError::InsertStatement => write!(
+                f,
+                "INSERT ingests rows and returns no row set or plan; use \
+                 run_sql (or ShardedDatabase::insert_sql)"
+            ),
+            SqlError::Ingest(e) => write!(f, "ingest error: {e}"),
             SqlError::ShardedCompositeKey => write!(
                 f,
                 "composite GROUP BY is not shardable: fused keys are \
@@ -106,6 +123,7 @@ impl Error for SqlError {
         match self {
             SqlError::Parse(e) => Some(e),
             SqlError::Plan(e) => Some(e),
+            SqlError::Ingest(e) => Some(e),
             _ => None,
         }
     }
@@ -131,6 +149,10 @@ pub enum SqlOutcome {
     /// An `EXPLAIN SELECT` planned without executing (boxed: a plan
     /// carries column snapshots and is much larger than a row batch).
     Plan(Box<QueryPlan>),
+    /// An `INSERT` appended rows through the write path; the receipt
+    /// reports the row count, the delta fill and whether the append
+    /// tripped a compaction.
+    Inserted(IngestReceipt),
 }
 
 /// One session over a [`SharedCatalogue`]: planning goes through the
@@ -213,9 +235,49 @@ impl Database {
         self.catalogue.cache_stats()
     }
 
+    /// Appends a columnar batch of rows to a registered table — the
+    /// bulk entry of the write path (see
+    /// [`SharedCatalogue::append`]): rows land in the table's delta
+    /// store, the live statistics absorb them, the table's *data*
+    /// version bumps, and a threshold compaction may fold the delta
+    /// into the base. Visible to every session sharing this catalogue.
+    ///
+    /// ```
+    /// use vagg_db::{Database, RowBatch, Table};
+    ///
+    /// let mut db = Database::new();
+    /// db.register(Table::new("r").with_column("g", vec![1, 2]));
+    /// let receipt = db.append_rows("r", RowBatch::new().with_column("g", vec![3]))?;
+    /// assert_eq!(receipt.rows, 1);
+    /// assert_eq!(db.table("r").unwrap().rows(), 3);
+    /// # Ok::<(), vagg_db::SqlError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::UnknownTable`] for unregistered tables and
+    /// [`SqlError::Ingest`] for batches that do not fit the schema.
+    pub fn append_rows(&mut self, table: &str, batch: RowBatch) -> Result<IngestReceipt, SqlError> {
+        self.catalogue.append(table, batch)
+    }
+
+    /// The live, incrementally maintained statistics of a registered
+    /// table (row count, per-column min/max/sortedness and the sampled
+    /// distinct estimate).
+    pub fn table_stats(&self, name: &str) -> Option<TableStats> {
+        self.catalogue.table_stats(name)
+    }
+
+    /// The data version of a registered table — bumped by every
+    /// appended batch, reset by (re-)registration.
+    pub fn data_version(&self, name: &str) -> Option<u64> {
+        self.catalogue.data_version(name)
+    }
+
     /// Parses and runs one SQL statement: `SELECT` executes on the
     /// session and returns rows, `EXPLAIN SELECT` returns the typed
-    /// plan without executing. Planning is served from the shared
+    /// plan without executing, and `INSERT` appends rows through the
+    /// write path. Planning is served from the shared
     /// [`crate::PlanCache`] when the query's shape was seen before.
     ///
     /// ```
@@ -229,7 +291,7 @@ impl Database {
     /// );
     /// match db.run_sql("SELECT g, SUM(v) FROM r GROUP BY g")? {
     ///     SqlOutcome::Rows(out) => assert_eq!(out.rows.len(), 2),
-    ///     SqlOutcome::Plan(_) => unreachable!("SELECT executes"),
+    ///     other => unreachable!("SELECT executes: {other:?}"),
     /// }
     /// // The same shape with a different literal is a cache hit.
     /// db.run_sql("SELECT g, SUM(v) FROM r WHERE v > 10 GROUP BY g")?;
@@ -253,6 +315,13 @@ impl Database {
             Statement::Explain(q) => Ok(SqlOutcome::Plan(Box::new(
                 self.catalogue.plan_query(&q.table, &q.query)?,
             ))),
+            Statement::Insert(ins) => {
+                let batch =
+                    RowBatch::from_rows(&ins.columns, &ins.rows).map_err(SqlError::Ingest)?;
+                Ok(SqlOutcome::Inserted(
+                    self.catalogue.append(&ins.table, batch)?,
+                ))
+            }
         }
     }
 
@@ -296,11 +365,16 @@ impl Database {
     /// # Errors
     ///
     /// As [`Database::run_sql`], plus [`SqlError::ExplainStatement`] if
-    /// the statement is an `EXPLAIN`.
+    /// the statement is an `EXPLAIN` and [`SqlError::InsertStatement`]
+    /// if it is an `INSERT` (rejected *before* any row is appended).
     pub fn execute_sql(&mut self, sql: &str) -> Result<QueryOutput, SqlError> {
-        match self.run_sql(sql)? {
-            SqlOutcome::Rows(out) => Ok(out),
-            SqlOutcome::Plan(_) => Err(SqlError::ExplainStatement),
+        match parse_statement(sql)? {
+            Statement::Select(q) => {
+                let plan = self.catalogue.plan_query(&q.table, &q.query)?;
+                Ok(self.session.run(&plan))
+            }
+            Statement::Explain(_) => Err(SqlError::ExplainStatement),
+            Statement::Insert(_) => Err(SqlError::InsertStatement),
         }
     }
 
@@ -309,10 +383,12 @@ impl Database {
     ///
     /// # Errors
     ///
-    /// As [`Database::run_sql`].
+    /// As [`Database::run_sql`], plus [`SqlError::InsertStatement`] for
+    /// `INSERT` (ingest has no plan).
     pub fn explain_sql(&self, sql: &str) -> Result<QueryPlan, SqlError> {
         let q = match parse_statement(sql)? {
             Statement::Select(q) | Statement::Explain(q) => q,
+            Statement::Insert(_) => return Err(SqlError::InsertStatement),
         };
         self.catalogue.plan_query(&q.table, &q.query)
     }
@@ -388,7 +464,7 @@ mod tests {
             .unwrap();
         let plan = match outcome {
             SqlOutcome::Plan(p) => p,
-            SqlOutcome::Rows(_) => panic!("EXPLAIN must not execute"),
+            other => panic!("EXPLAIN must not execute: {other:?}"),
         };
         assert_eq!(db.session().queries_run(), 0, "nothing executed");
         assert_eq!(db.session().total_cycles(), 0);
@@ -454,6 +530,72 @@ mod tests {
         assert!(old.is_some());
         assert_eq!(d.table("r").unwrap().rows(), 1);
         assert_eq!(d.table_names(), vec!["r".to_string()]);
+    }
+
+    #[test]
+    fn insert_sql_appends_through_the_write_path() {
+        let mut db = db();
+        let outcome = db
+            .run_sql("INSERT INTO r (g, v) VALUES (9, 10), (9, 20);")
+            .unwrap();
+        let receipt = match outcome {
+            SqlOutcome::Inserted(r) => r,
+            other => panic!("INSERT must report a receipt: {other:?}"),
+        };
+        assert_eq!(receipt.rows, 2);
+        assert_eq!(receipt.data_version, 2);
+        let out = db
+            .execute_sql("SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")
+            .unwrap();
+        let r9 = out.rows.iter().find(|r| r.group == 9).unwrap();
+        assert_eq!(r9.values, vec![2.0, 30.0]);
+        assert_eq!(db.data_version("r"), Some(2));
+        assert_eq!(db.table_stats("r").unwrap().rows(), 10);
+    }
+
+    #[test]
+    fn execute_and_explain_reject_insert_without_side_effects() {
+        let mut db = db();
+        let e = db
+            .execute_sql("INSERT INTO r (g, v) VALUES (1, 2)")
+            .unwrap_err();
+        assert_eq!(e, SqlError::InsertStatement);
+        assert!(e.to_string().contains("insert_sql"));
+        let e = db
+            .explain_sql("INSERT INTO r (g, v) VALUES (1, 2)")
+            .unwrap_err();
+        assert_eq!(e, SqlError::InsertStatement);
+        // Rejected before any row moved.
+        assert_eq!(db.table("r").unwrap().rows(), 8);
+        assert_eq!(db.data_version("r"), Some(1));
+    }
+
+    #[test]
+    fn insert_schema_mismatches_are_typed() {
+        use crate::ingest::IngestError;
+        let mut db = db();
+        let e = db
+            .run_sql("INSERT INTO r (g, w) VALUES (1, 2)")
+            .unwrap_err();
+        assert_eq!(e, SqlError::Ingest(IngestError::UnknownColumn("w".into())));
+        let e = db.run_sql("INSERT INTO r (g) VALUES (1)").unwrap_err();
+        assert_eq!(e, SqlError::Ingest(IngestError::MissingColumn("v".into())));
+        let e = db
+            .run_sql("INSERT INTO nope (g, v) VALUES (1, 2)")
+            .unwrap_err();
+        assert_eq!(e, SqlError::UnknownTable("nope".into()));
+    }
+
+    #[test]
+    fn table_names_listing_is_sorted_regardless_of_registration_order() {
+        let mut db = Database::new();
+        for name in ["zulu", "alpha", "mike"] {
+            db.register(Table::new(name).with_column("g", vec![1]));
+        }
+        assert_eq!(db.table_names(), vec!["alpha", "mike", "zulu"]);
+        // Re-registration does not disturb the order.
+        db.register(Table::new("zulu").with_column("g", vec![2]));
+        assert_eq!(db.table_names(), vec!["alpha", "mike", "zulu"]);
     }
 
     #[test]

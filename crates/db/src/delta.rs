@@ -1,0 +1,355 @@
+//! Delta stores and live statistics — the storage side of the write
+//! path.
+//!
+//! A registered table pairs an immutable base [`Table`] (`Arc`-shared
+//! columns, the read-optimised store every plan snapshots) with a
+//! mutable [`DeltaStore`]: append-only columnar batches layered on top,
+//! the way real column-stores pair a compressed read store with a
+//! write-optimised delta. Appends go to the delta in O(batch); readers
+//! see base ++ delta through the catalogue's merged view, materialised
+//! lazily once per data version; a threshold-triggered compaction
+//! (see [`crate::ingest::CompactionPolicy`]) merges the delta into a
+//! new base and re-seeds statistics.
+//!
+//! [`TableStats`] is the live-statistics half: per-column row count,
+//! min/max, sortedness and a sampled (KMV sketch) distinct estimate,
+//! maintained *incrementally* on every append. Because the §V-D policy
+//! plans from `max + 1` cardinality — exactly what the exact scan
+//! measures — the maintained maximum lets the catalogue re-run the
+//! algorithm choice against drifted statistics without re-scanning a
+//! single column (see [`crate::SharedCatalogue`]).
+
+use crate::ingest::RowBatch;
+use crate::table::Table;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The write-optimised layer of one registered table: append-only
+/// columnar batches over the same column set as the base table.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaStore {
+    columns: BTreeMap<String, Vec<u32>>,
+    batches: usize,
+    rows: usize,
+}
+
+impl DeltaStore {
+    /// An empty delta with `table`'s column set.
+    pub(crate) fn for_table(table: &Table) -> Self {
+        Self {
+            columns: table
+                .column_names()
+                .into_iter()
+                .map(|n| (n.to_string(), Vec::new()))
+                .collect(),
+            batches: 0,
+            rows: 0,
+        }
+    }
+
+    /// Rows currently parked in the delta (not yet compacted).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Batches appended since the last compaction.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// One delta column's data (empty slice until rows arrive).
+    pub(crate) fn column(&self, name: &str) -> &[u32] {
+        self.columns.get(name).map_or(&[], |c| &c[..])
+    }
+
+    /// Appends one validated batch (the catalogue checks the batch
+    /// against the schema first).
+    pub(crate) fn append(&mut self, batch: &RowBatch) {
+        for (name, values) in batch.columns() {
+            self.columns
+                .get_mut(name)
+                .expect("batch validated against the schema")
+                .extend_from_slice(values);
+        }
+        self.batches += 1;
+        self.rows += batch.rows();
+    }
+
+    /// Empties the delta (after compaction merged it into the base).
+    pub(crate) fn clear(&mut self) {
+        for col in self.columns.values_mut() {
+            col.clear();
+        }
+        self.batches = 0;
+        self.rows = 0;
+    }
+}
+
+/// Incrementally maintained statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Smallest value seen (`None` while the column is empty).
+    pub min: Option<u32>,
+    /// Largest value seen (`None` while the column is empty). The
+    /// planner's cardinality estimate is `max + 1` — the same quantity
+    /// the exact §III-A scan measures.
+    pub max: Option<u32>,
+    /// Whether the column (base ++ delta, in append order) is still
+    /// sorted ascending — the DBMS metadata the §V-D policy consults.
+    pub sorted: bool,
+    /// Last value in append order (drives incremental `sorted`).
+    last: Option<u32>,
+    /// Sampled distinct-count sketch.
+    sketch: DistinctSketch,
+}
+
+impl ColumnStats {
+    fn empty() -> Self {
+        Self {
+            min: None,
+            max: None,
+            sorted: true,
+            last: None,
+            sketch: DistinctSketch::new(),
+        }
+    }
+
+    fn observe(&mut self, values: &[u32]) {
+        for &x in values {
+            self.min = Some(self.min.map_or(x, |m| m.min(x)));
+            self.max = Some(self.max.map_or(x, |m| m.max(x)));
+            if self.last.is_some_and(|l| l > x) {
+                self.sorted = false;
+            }
+            self.last = Some(x);
+            self.sketch.insert(x);
+        }
+    }
+
+    /// The §V-D cardinality this column would plan with: `max + 1`.
+    pub fn cardinality(&self) -> u64 {
+        self.max.map_or(0, |m| m as u64 + 1)
+    }
+
+    /// The sampled distinct-count estimate (a KMV sketch: exact below
+    /// the sketch capacity, within a few percent above it).
+    pub fn distinct_estimate(&self) -> u64 {
+        self.sketch.estimate()
+    }
+}
+
+/// Live, incrementally maintained statistics for one registered table:
+/// the row count and one [`ColumnStats`] per column. Seeded from the
+/// base table at registration, updated per appended batch, re-seeded
+/// from the merged table on compaction.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    rows: usize,
+    columns: BTreeMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    /// Statistics scanned from a full table (registration / compaction
+    /// re-seed).
+    pub(crate) fn seed(table: &Table) -> Self {
+        let mut stats = Self {
+            rows: 0,
+            columns: table
+                .column_names()
+                .into_iter()
+                .map(|n| (n.to_string(), ColumnStats::empty()))
+                .collect(),
+        };
+        for (name, col) in stats.columns.iter_mut() {
+            col.observe(table.column(name).expect("listed column exists"));
+        }
+        stats.rows = table.rows();
+        stats
+    }
+
+    /// Folds one validated batch into the statistics.
+    pub(crate) fn observe(&mut self, batch: &RowBatch) {
+        for (name, values) in batch.columns() {
+            self.columns
+                .get_mut(name)
+                .expect("batch validated against the schema")
+                .observe(values);
+        }
+        self.rows += batch.rows();
+    }
+
+    /// Total rows (base + delta).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// One column's statistics.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(name)
+    }
+
+    /// Column names, sorted.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.keys().map(String::as_str).collect()
+    }
+}
+
+/// A K-minimum-values distinct-count sketch: keep the `K` smallest
+/// hashes seen; with fewer than `K` distinct hashes the count is exact,
+/// beyond that `distinct ≈ (K-1) · 2⁶⁴ / kth_smallest`. Deterministic
+/// (SplitMix64 hash, no RNG state), O(log K) per insert — the "sampled
+/// distinct estimate" a real optimiser maintains without re-scanning.
+#[derive(Debug, Clone)]
+struct DistinctSketch {
+    hashes: BTreeSet<u64>,
+}
+
+/// Sketch capacity: 256 minima keep the estimate within ~6% (1/√K)
+/// while costing 2 KiB per column.
+const SKETCH_K: usize = 256;
+
+impl DistinctSketch {
+    fn new() -> Self {
+        Self {
+            hashes: BTreeSet::new(),
+        }
+    }
+
+    fn insert(&mut self, value: u32) {
+        let h = splitmix64(value as u64 ^ 0x5851_F42D_4C95_7F2D);
+        if self.hashes.len() < SKETCH_K {
+            self.hashes.insert(h);
+        } else if h < *self.hashes.last().expect("sketch at capacity") && self.hashes.insert(h) {
+            self.hashes.pop_last();
+        }
+    }
+
+    fn estimate(&self) -> u64 {
+        if self.hashes.len() < SKETCH_K {
+            return self.hashes.len() as u64;
+        }
+        let kth = *self.hashes.last().expect("sketch at capacity");
+        ((SKETCH_K as u128 - 1) * (u64::MAX as u128) / (kth as u128).max(1)) as u64
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(g: Vec<u32>, v: Vec<u32>) -> RowBatch {
+        RowBatch::new().with_column("g", g).with_column("v", v)
+    }
+
+    #[test]
+    fn delta_accumulates_batches() {
+        let base = Table::new("r")
+            .with_column("g", vec![1, 2])
+            .with_column("v", vec![3, 4]);
+        let mut d = DeltaStore::for_table(&base);
+        assert_eq!((d.rows(), d.batches()), (0, 0));
+        d.append(&batch(vec![5], vec![6]));
+        d.append(&batch(vec![7, 8], vec![9, 10]));
+        assert_eq!((d.rows(), d.batches()), (3, 2));
+        assert_eq!(d.column("g"), &[5, 7, 8]);
+        assert_eq!(d.column("v"), &[6, 9, 10]);
+        d.clear();
+        assert_eq!((d.rows(), d.batches()), (0, 0));
+        assert!(d.column("g").is_empty());
+    }
+
+    #[test]
+    fn incremental_stats_match_a_full_rescan() {
+        // seed(base) + observe(batch) must equal seed(base ++ batch)
+        // for every statistic the planner consults.
+        let base = Table::new("r")
+            .with_column("g", vec![1, 2, 3])
+            .with_column("v", vec![9, 9, 0]);
+        let mut stats = TableStats::seed(&base);
+        stats.observe(&batch(vec![3, 7, 2], vec![5, 5, 5]));
+
+        let merged = Table::new("r")
+            .with_column("g", vec![1, 2, 3, 3, 7, 2])
+            .with_column("v", vec![9, 9, 0, 5, 5, 5]);
+        let fresh = TableStats::seed(&merged);
+
+        assert_eq!(stats.rows(), fresh.rows());
+        for name in ["g", "v"] {
+            let (a, b) = (stats.column(name).unwrap(), fresh.column(name).unwrap());
+            assert_eq!(a.min, b.min, "{name} min");
+            assert_eq!(a.max, b.max, "{name} max");
+            assert_eq!(a.sorted, b.sorted, "{name} sorted");
+            assert_eq!(
+                a.distinct_estimate(),
+                b.distinct_estimate(),
+                "{name} distinct"
+            );
+            // Sortedness agrees with the Table's own detection.
+            assert_eq!(b.sorted, merged.meta(name).unwrap().sorted, "{name}");
+        }
+    }
+
+    #[test]
+    fn sorted_tracking_survives_in_order_appends_and_catches_breaks() {
+        let base = Table::new("r").with_column("g", vec![1, 2, 3]);
+        let mut stats = TableStats::seed(&base);
+        assert!(stats.column("g").unwrap().sorted);
+        stats.observe(&RowBatch::new().with_column("g", vec![3, 4, 9]));
+        assert!(stats.column("g").unwrap().sorted, "in-order append");
+        stats.observe(&RowBatch::new().with_column("g", vec![0]));
+        assert!(!stats.column("g").unwrap().sorted, "break detected");
+        // Sortedness never comes back without a re-seed.
+        stats.observe(&RowBatch::new().with_column("g", vec![100]));
+        assert!(!stats.column("g").unwrap().sorted);
+    }
+
+    #[test]
+    fn cardinality_is_max_plus_one() {
+        let t = Table::new("r").with_column("g", vec![4, 17, 3]);
+        let stats = TableStats::seed(&t);
+        assert_eq!(stats.column("g").unwrap().cardinality(), 18);
+        let empty = Table::new("r").with_column("g", vec![]);
+        assert_eq!(
+            TableStats::seed(&empty).column("g").unwrap().cardinality(),
+            0
+        );
+    }
+
+    #[test]
+    fn distinct_sketch_is_exact_below_capacity() {
+        let mut s = DistinctSketch::new();
+        for x in 0..100u32 {
+            s.insert(x);
+            s.insert(x); // duplicates never inflate
+        }
+        assert_eq!(s.estimate(), 100);
+    }
+
+    #[test]
+    fn distinct_sketch_estimates_within_tolerance_above_capacity() {
+        let mut s = DistinctSketch::new();
+        let n = 50_000u32;
+        for x in 0..n {
+            s.insert(x);
+        }
+        let est = s.estimate();
+        let err = (est as f64 - n as f64).abs() / n as f64;
+        assert!(err < 0.15, "estimate {est} for {n} distinct (err {err:.3})");
+    }
+
+    #[test]
+    fn empty_column_stats_are_well_defined() {
+        let t = Table::new("r").with_column("g", vec![]);
+        let stats = TableStats::seed(&t);
+        let c = stats.column("g").unwrap();
+        assert_eq!((c.min, c.max), (None, None));
+        assert!(c.sorted);
+        assert_eq!(c.distinct_estimate(), 0);
+    }
+}

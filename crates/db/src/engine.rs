@@ -112,6 +112,12 @@ impl Engine {
         &self.cfg
     }
 
+    /// How this engine estimates cardinality (see
+    /// [`Engine::with_estimation`]).
+    pub fn estimation(&self) -> CardinalityEstimation {
+        self.estimation
+    }
+
     /// Plans a query against a table: resolves columns, validates the
     /// predicates, estimates cardinality from host-visible statistics,
     /// and fixes the §V-D algorithm choice into a typed [`QueryPlan`].

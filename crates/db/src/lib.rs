@@ -28,7 +28,37 @@
 //!   parameters per execution, a [`SharedCatalogue`] serving many
 //!   concurrent sessions, and a [`ShardedDatabase`] that partitions
 //!   rows across N sessions/threads and merges
-//!   [`vagg_core::PartialAggregate`]s.
+//!   [`vagg_core::PartialAggregate`]s;
+//! * the write path — `INSERT INTO ... VALUES` and the bulk
+//!   [`Database::append_rows`] API feed per-table [`DeltaStore`]s
+//!   (append-only batches over the immutable base columns), live
+//!   [`TableStats`] maintained incrementally (min/max, sortedness,
+//!   sampled distinct estimate), a *data* version distinct from the
+//!   schema version, threshold-triggered [compaction](CompactionPolicy),
+//!   and plan reconciliation: cached plans survive ingest by rebasing
+//!   onto the new columns unless the drifted statistics flip the §V-D
+//!   algorithm choice, in which case the plan cache invalidates them
+//!   and [`PreparedStatement::replans`] increments.
+//!
+//! ## Ingest and stats-driven re-planning
+//!
+//! ```
+//! use vagg_db::{Database, Table};
+//!
+//! let mut db = Database::new();
+//! db.register(
+//!     Table::new("r")
+//!         .with_column("g", vec![1, 2, 1])
+//!         .with_column("v", vec![10, 20, 30]),
+//! );
+//! let mut stmt = db.prepare("SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")?;
+//! stmt.execute(&mut db, &[])?;
+//! db.run_sql("INSERT INTO r (g, v) VALUES (2, 40), (3, 50)")?;
+//! let out = stmt.execute(&mut db, &[])?; // sees the appended rows
+//! assert_eq!(out.rows.len(), 3);
+//! assert_eq!(stmt.rebases() + stmt.replans(), 1); // stats refreshed
+//! # Ok::<(), vagg_db::SqlError>(())
+//! ```
 //!
 //! ## Plan, inspect, execute
 //!
@@ -65,7 +95,7 @@
 //! );
 //! match db.run_sql("EXPLAIN SELECT g, SUM(v) FROM r GROUP BY g")? {
 //!     SqlOutcome::Plan(plan) => println!("{}", plan.explain()),
-//!     SqlOutcome::Rows(_) => unreachable!("EXPLAIN never executes"),
+//!     other => unreachable!("EXPLAIN never executes: {other:?}"),
 //! }
 //! # Ok::<(), vagg_db::SqlError>(())
 //! ```
@@ -92,8 +122,10 @@
 pub mod cache;
 pub mod catalogue;
 pub mod database;
+pub mod delta;
 pub mod engine;
 pub mod filter;
+pub mod ingest;
 pub mod plan;
 pub mod prepared;
 pub mod query;
@@ -105,15 +137,17 @@ pub mod table;
 pub use cache::{CacheStats, PlanCache, QueryShape};
 pub use catalogue::SharedCatalogue;
 pub use database::{Database, SqlError, SqlOutcome};
+pub use delta::{ColumnStats, DeltaStore, TableStats};
 pub use engine::{CardinalityEstimation, Engine, ExecutionReport, QueryOutput, Row};
 pub use filter::{reference_filter, vector_filter, Predicate};
+pub use ingest::{CompactionPolicy, IngestError, IngestReceipt, RowBatch};
 pub use plan::{PlanError, PlanStep, QueryPlan, ScanMode};
 pub use prepared::PreparedStatement;
 pub use query::{AggFn, AggregateQuery, Having, OrderBy, OrderKey};
 pub use session::{PartialRun, Session};
-pub use shard::{ShardedDatabase, ShardedOutput, ShardedStatement};
+pub use shard::{ShardedDatabase, ShardedIngestReceipt, ShardedOutput, ShardedStatement};
 pub use sql::{
-    parse, parse_statement, parse_template, ParamSlot, ParseSqlError, SqlQuery, SqlTemplate,
-    Statement,
+    parse, parse_statement, parse_template, InsertStatement, ParamSlot, ParseSqlError, SqlQuery,
+    SqlTemplate, Statement,
 };
 pub use table::{ColumnMeta, ParseCsvError, Table};

@@ -12,8 +12,15 @@
 //! table (see [`crate::Engine::plan`]); the statement still re-verifies
 //! the choice on every execution and re-plans if a future policy
 //! disagrees, and it always re-plans when the table was re-registered
-//! (its statistics changed). [`PreparedStatement::replans`] counts
-//! those events.
+//! (its statistics changed).
+//!
+//! The write path makes the re-check live: ingest bumps the table's
+//! *data* version, and the next execution re-runs the §V-D choice
+//! against the drifted statistics. If the choice stands, the statement
+//! picks up a cheaply *rebased* plan (new column snapshots, no
+//! statistics pass — counted by [`PreparedStatement::rebases`]); if the
+//! drift crossed a policy threshold, it re-plans from scratch (counted
+//! by [`PreparedStatement::replans`]).
 
 use crate::catalogue::{CatalogueId, SharedCatalogue};
 use crate::database::{Database, SqlError};
@@ -30,17 +37,21 @@ pub struct PreparedStatement {
     cached: Option<CachedPlan>,
     executions: u64,
     replans: u64,
+    rebases: u64,
 }
 
 /// The plan last used, tagged with the (weak, non-owning) identity of
 /// the catalogue it was planned against and that catalogue's table
-/// version: executing against a different catalogue, or after a
-/// re-registration bumped the version, forces a re-plan (the cached
-/// plan snapshots the *old* columns).
+/// versions: executing against a different catalogue, or after a
+/// re-registration bumped the schema version, forces a re-plan (the
+/// cached plan snapshots the *old* columns); an ingest-bumped data
+/// version re-runs the §V-D choice against the drifted statistics and
+/// rebases or re-plans accordingly.
 #[derive(Debug)]
 struct CachedPlan {
     catalogue: CatalogueId,
-    version: u64,
+    schema_version: u64,
+    data_version: u64,
     plan: QueryPlan,
 }
 
@@ -54,6 +65,7 @@ impl PreparedStatement {
             cached: None,
             executions: 0,
             replans: 0,
+            rebases: 0,
         };
         // Plan the sentinel query now: prepare-time errors beat
         // first-execution surprises. The plan doubles as the template
@@ -75,6 +87,7 @@ impl PreparedStatement {
             cached: None,
             executions: 0,
             replans: 0,
+            rebases: 0,
         }
     }
 
@@ -95,12 +108,41 @@ impl PreparedStatement {
     }
 
     /// Times execution had to re-plan instead of rebinding the cached
-    /// plan: the table was re-registered (statistics changed), or the
-    /// adaptive policy stopped agreeing with the cached algorithm
-    /// choice. Zero under steady traffic — the prepared-statement fast
-    /// path.
+    /// plan: the table was re-registered (schema version bumped), the
+    /// statement moved to a different catalogue, or — the write path's
+    /// contribution — an ingest drifted the statistics far enough to
+    /// flip the §V-D algorithm choice. Zero under steady traffic — the
+    /// prepared-statement fast path.
     pub fn replans(&self) -> u64 {
         self.replans
+    }
+
+    /// Times an ingest bumped the table's data version *without*
+    /// flipping the §V-D choice, so execution refreshed its plan for
+    /// the new data instead of counting a [`PreparedStatement::replans`]
+    /// event. Under the default exact-scan engine this is the cheap
+    /// cache rebase (fresh column snapshots, no statistics pass); for
+    /// plans the cache cannot rebase — sampled estimation, composite
+    /// GROUP BY — a real statistics pass still ran underneath (visible
+    /// in [`crate::CacheStats::invalidations`]), and this counter only
+    /// records that the algorithm choice held.
+    pub fn rebases(&self) -> u64 {
+        self.rebases
+    }
+
+    /// The plan the statement last executed (or eagerly built at
+    /// prepare time); `None` only for the sharded path's lazily planned
+    /// per-shard statements before their first execution.
+    pub fn plan(&self) -> Option<&QueryPlan> {
+        self.cached.as_ref().map(|c| &c.plan)
+    }
+
+    /// Renders the current plan in `EXPLAIN` form (see
+    /// [`QueryPlan::explain`]) — after an ingest past a §V-D threshold,
+    /// the next execution's re-plan shows up here as a changed
+    /// `Aggregate[...]` step.
+    pub fn explain(&self) -> Option<String> {
+        self.plan().map(QueryPlan::explain)
     }
 
     /// Binds `params` into the statement's `?` slots, yielding the
@@ -182,24 +224,44 @@ impl PreparedStatement {
         bound: &AggregateQuery,
     ) -> Result<QueryPlan, SqlError> {
         let table = &self.template.table;
-        let version = catalogue
-            .version(table)
+        let (schema_version, data_version) = catalogue
+            .versions(table)
             .ok_or_else(|| SqlError::UnknownTable(table.clone()))?;
+        let mut drifted_from = None;
         if let Some(cached) = &self.cached {
-            if cached.catalogue.matches(catalogue) && cached.version == version {
+            let same_table =
+                cached.catalogue.matches(catalogue) && cached.schema_version == schema_version;
+            if same_table && cached.data_version == data_version {
                 let rebound = cached.plan.rebind(bound);
                 if catalogue.algorithm_holds(&rebound) {
                     return Ok(rebound);
                 }
+                // A flipped policy at unchanged statistics: re-plan.
+                self.replans += 1;
+            } else if same_table {
+                // Ingest drifted the statistics (data version moved):
+                // re-plan through the catalogue — usually a cheap cache
+                // rebase — and count below by whether the §V-D choice
+                // moved.
+                drifted_from = Some(cached.plan.algorithm());
+            } else {
+                // A different catalogue or a stale schema version:
+                // re-plan against *this* catalogue.
+                self.replans += 1;
             }
-            // A different catalogue, a stale version, or a flipped
-            // algorithm choice: re-plan against *this* catalogue.
-            self.replans += 1;
         }
         let plan = catalogue.plan_query(table, bound)?;
+        if let Some(old_algorithm) = drifted_from {
+            if plan.algorithm() == old_algorithm {
+                self.rebases += 1;
+            } else {
+                self.replans += 1;
+            }
+        }
         self.cached = Some(CachedPlan {
             catalogue: catalogue.id(),
-            version,
+            schema_version,
+            data_version,
             plan: plan.clone(),
         });
         Ok(plan)
@@ -401,6 +463,71 @@ mod tests {
         let back = stmt.execute(&mut db1, &[]).unwrap();
         assert_eq!(back.rows, from_db1.rows);
         assert_eq!(stmt.replans(), 2);
+    }
+
+    #[test]
+    fn ingest_without_drift_rebases_instead_of_replanning() {
+        use crate::ingest::RowBatch;
+        let mut db = db();
+        let mut stmt = db
+            .prepare("SELECT g, COUNT(*), SUM(v) FROM r WHERE v > ? GROUP BY g")
+            .unwrap();
+        stmt.execute(&mut db, &[0]).unwrap();
+        assert_eq!((stmt.replans(), stmt.rebases()), (0, 0));
+
+        // A small append leaves the §V-D choice standing...
+        db.append_rows(
+            "r",
+            RowBatch::new()
+                .with_column("g", vec![3, 3])
+                .with_column("v", vec![8, 9]),
+        )
+        .unwrap();
+        let out = stmt.execute(&mut db, &[0]).unwrap();
+        assert_eq!((stmt.replans(), stmt.rebases()), (0, 1), "cheap refresh");
+        // ...and the statement serves the appended rows.
+        let r3 = out.rows.iter().find(|r| r.group == 3).unwrap();
+        assert_eq!(r3.values, vec![4.0, 24.0], "two base rows + two appended");
+
+        // Steady state again afterwards.
+        stmt.execute(&mut db, &[0]).unwrap();
+        assert_eq!((stmt.replans(), stmt.rebases()), (0, 1));
+    }
+
+    #[test]
+    fn stats_drift_past_the_policy_threshold_replans_and_flips() {
+        use crate::ingest::RowBatch;
+        use vagg_core::Algorithm;
+        let mut db = db();
+        let mut stmt = db
+            .prepare("SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")
+            .unwrap();
+        stmt.execute(&mut db, &[]).unwrap();
+        assert_eq!(stmt.plan().unwrap().algorithm(), Algorithm::Monotable);
+        assert!(stmt.explain().unwrap().contains("Aggregate[mono]"));
+
+        // Drift the cardinality estimate across the §V-D division
+        // boundary: the re-run choice flips to PSM and the statement
+        // re-plans (not a rebase).
+        db.append_rows(
+            "r",
+            RowBatch::new()
+                .with_column("g", vec![20_000])
+                .with_column("v", vec![1]),
+        )
+        .unwrap();
+        let out = stmt.execute(&mut db, &[]).unwrap();
+        assert_eq!((stmt.replans(), stmt.rebases()), (1, 0));
+        assert_eq!(
+            stmt.plan().unwrap().algorithm(),
+            Algorithm::PartiallySortedMonotable
+        );
+        assert!(stmt.explain().unwrap().contains("Aggregate[psm]"));
+        assert_eq!(
+            out.report.algorithm,
+            Some(Algorithm::PartiallySortedMonotable)
+        );
+        assert_eq!(out.rows.len(), 7, "six base groups plus group 20000");
     }
 
     #[test]

@@ -19,9 +19,17 @@
 //! Composite `GROUP BY` is rejected ([`SqlError::ShardedCompositeKey`]):
 //! fused keys are measured per shard, so they are not comparable across
 //! shards (a shared key dictionary is future work).
+//!
+//! The write path shards too: [`ShardedDatabase::append_rows`] /
+//! [`ShardedDatabase::insert_sql`] route appended rows across the
+//! shards with a rotating round-robin cursor; every shard keeps its own
+//! delta store, live statistics, data version and compaction schedule,
+//! so concurrent read traffic keeps merging correct partials while
+//! rows stream in.
 
 use crate::database::{Database, SqlError};
 use crate::engine::{Engine, ExecutionReport, QueryOutput, Row};
+use crate::ingest::{CompactionPolicy, RowBatch};
 use crate::plan::{PlanError, QueryPlan};
 use crate::prepared::PreparedStatement;
 use crate::query::{AggregateQuery, Having, OrderBy, OrderKey};
@@ -35,6 +43,20 @@ use vagg_core::{AggResult, PartialAggregate};
 #[derive(Debug)]
 pub struct ShardedDatabase {
     shards: Vec<Database>,
+    /// Round-robin ingest cursor: the shard the next appended row
+    /// lands on.
+    next_shard: usize,
+}
+
+/// What one sharded append did (see [`ShardedDatabase::append_rows`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedIngestReceipt {
+    /// Total rows appended across all shards.
+    pub rows: usize,
+    /// Rows routed to each shard by the round-robin cursor.
+    pub per_shard: Vec<usize>,
+    /// Shards whose append tripped their compaction threshold.
+    pub compactions: usize,
 }
 
 /// What a sharded query produced: the merged rows, a coordinator
@@ -98,6 +120,15 @@ impl ShardedDatabase {
             shards: (0..shards.max(1))
                 .map(|_| Database::with_engine(engine.clone()))
                 .collect(),
+            next_shard: 0,
+        }
+    }
+
+    /// Sets every shard's delta-compaction policy (each shard compacts
+    /// its own partition independently).
+    pub fn set_compaction_policy(&mut self, policy: CompactionPolicy) {
+        for shard in &self.shards {
+            shard.catalogue().set_compaction_policy(policy);
         }
     }
 
@@ -131,20 +162,114 @@ impl ShardedDatabase {
         }
     }
 
+    /// Appends a batch of rows, routing them across the shards
+    /// round-robin (a rotating cursor, so back-to-back small batches
+    /// still balance): each shard's sub-batch lands in that shard's
+    /// delta store, bumps its data version, and may trip its own
+    /// compaction threshold — the per-shard write path mirrors the
+    /// single-session one exactly, so sharded reads stay correct under
+    /// interleaved ingest.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::append_rows`]; the batch is validated before any
+    /// shard is touched, so a rejected batch mutates nothing.
+    pub fn append_rows(
+        &mut self,
+        table: &str,
+        batch: RowBatch,
+    ) -> Result<ShardedIngestReceipt, SqlError> {
+        // Validate against *every* shard's schema before any shard is
+        // touched: shard catalogues are independently reachable, so a
+        // divergent re-registration on one shard must fail the whole
+        // batch up front rather than leave earlier shards mutated.
+        for shard in &self.shards {
+            let schema = shard
+                .catalogue()
+                .schema(table)
+                .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+            let names: Vec<&str> = schema.iter().map(String::as_str).collect();
+            batch.validate(&names).map_err(SqlError::Ingest)?;
+        }
+
+        let n = batch.rows();
+        let shard_count = self.shards.len();
+        // Column-wise scatter: row i of the batch goes to shard
+        // (cursor + i) mod N.
+        let mut parts: Vec<RowBatch> = vec![RowBatch::new(); shard_count];
+        for (name, values) in batch.columns() {
+            let mut split: Vec<Vec<u32>> =
+                vec![Vec::with_capacity(n / shard_count + 1); shard_count];
+            for (i, &x) in values.iter().enumerate() {
+                split[(self.next_shard + i) % shard_count].push(x);
+            }
+            for (part, vals) in parts.iter_mut().zip(split) {
+                *part = std::mem::take(part).with_column(name, vals);
+            }
+        }
+        let mut per_shard = vec![0usize; shard_count];
+        let mut compactions = 0;
+        for (s, (shard, part)) in self.shards.iter().zip(parts).enumerate() {
+            let rows = part.rows();
+            if rows == 0 {
+                continue;
+            }
+            let receipt = shard.catalogue().append(table, part)?;
+            per_shard[s] = rows;
+            if receipt.compacted {
+                compactions += 1;
+            }
+        }
+        self.next_shard = (self.next_shard + n) % shard_count;
+        Ok(ShardedIngestReceipt {
+            rows: n,
+            per_shard,
+            compactions,
+        })
+    }
+
+    /// Parses and runs one `INSERT`, routing the tuples across the
+    /// shards like [`ShardedDatabase::append_rows`].
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, [`SqlError::UnknownTable`], [`SqlError::Ingest`];
+    /// a `SELECT`/`EXPLAIN` is a typed parse error (use
+    /// [`ShardedDatabase::run_sql`]).
+    pub fn insert_sql(&mut self, sql: &str) -> Result<ShardedIngestReceipt, SqlError> {
+        match parse_statement(sql)? {
+            Statement::Insert(ins) => {
+                let batch =
+                    RowBatch::from_rows(&ins.columns, &ins.rows).map_err(SqlError::Ingest)?;
+                self.append_rows(&ins.table, batch)
+            }
+            Statement::Select(_) => Err(SqlError::Parse(crate::sql::ParseSqlError::Expected {
+                expected: "INSERT",
+                found: "SELECT".into(),
+            })),
+            Statement::Explain(_) => Err(SqlError::Parse(crate::sql::ParseSqlError::Expected {
+                expected: "INSERT",
+                found: "EXPLAIN".into(),
+            })),
+        }
+    }
+
     /// Parses and runs one `SELECT` across every shard, merging the
     /// partial aggregates (see the [module docs](self)). `EXPLAIN` is
     /// rejected — use [`ShardedDatabase::explain_sql`] for the typed
-    /// per-shard plan.
+    /// per-shard plan — and so is `INSERT` (use
+    /// [`ShardedDatabase::insert_sql`], which routes rows to shards).
     ///
     /// # Errors
     ///
     /// As [`Database::run_sql`], plus [`SqlError::ShardedCompositeKey`]
-    /// for composite `GROUP BY` and [`SqlError::ExplainStatement`] for
-    /// `EXPLAIN`.
+    /// for composite `GROUP BY`, [`SqlError::ExplainStatement`] for
+    /// `EXPLAIN` and [`SqlError::InsertStatement`] for `INSERT`.
     pub fn run_sql(&mut self, sql: &str) -> Result<ShardedOutput, SqlError> {
         match parse_statement(sql)? {
             Statement::Select(q) => self.run_query(&q.table, &q.query),
             Statement::Explain(_) => Err(SqlError::ExplainStatement),
+            Statement::Insert(_) => Err(SqlError::InsertStatement),
         }
     }
 
@@ -157,6 +282,7 @@ impl ShardedDatabase {
     pub fn explain_sql(&self, sql: &str) -> Result<QueryPlan, SqlError> {
         let q = match parse_statement(sql)? {
             Statement::Select(q) | Statement::Explain(q) => q,
+            Statement::Insert(_) => return Err(SqlError::InsertStatement),
         };
         let shard = self
             .first_populated_shard(&q.table)?
@@ -585,6 +711,164 @@ mod tests {
             .run_sql("SELECT g, SUM(v) FROM nope GROUP BY g")
             .unwrap_err();
         assert_eq!(e, SqlError::UnknownTable("nope".into()));
+    }
+
+    #[test]
+    fn routed_ingest_matches_a_single_session() {
+        let sql = "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM events GROUP BY g";
+        let mut sharded = ShardedDatabase::new(4);
+        sharded.register(events(200));
+
+        let mut single = Database::new();
+        single.register(events(200));
+
+        // Stream several batches through both write paths.
+        for (lo, hi) in [(0u32, 40u32), (40, 41), (41, 100)] {
+            let g: Vec<u32> = (lo..hi).map(|i| i % 17).collect();
+            let v: Vec<u32> = (lo..hi).map(|i| i % 50).collect();
+            let batch = || {
+                RowBatch::new()
+                    .with_column("g", g.clone())
+                    .with_column("v", v.clone())
+            };
+            let receipt = sharded.append_rows("events", batch()).unwrap();
+            assert_eq!(receipt.rows, (hi - lo) as usize);
+            assert_eq!(receipt.per_shard.iter().sum::<usize>(), receipt.rows);
+            single.append_rows("events", batch()).unwrap();
+            let got = sharded.run_sql(sql).unwrap();
+            let expect = single.execute_sql(sql).unwrap();
+            assert_eq!(got.rows, expect.rows, "after batch {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn round_robin_routing_balances_across_batches() {
+        let mut sharded = ShardedDatabase::new(4);
+        sharded.register(events(0));
+        // 6 one-row batches: the rotating cursor spreads them 2/2/1/1
+        // instead of piling all six onto shard 0.
+        for i in 0..6u32 {
+            let r = sharded
+                .append_rows(
+                    "events",
+                    RowBatch::new()
+                        .with_column("g", vec![i])
+                        .with_column("v", vec![i]),
+                )
+                .unwrap();
+            assert_eq!(r.rows, 1);
+        }
+        let per_shard: Vec<usize> = sharded
+            .shards()
+            .iter()
+            .map(|s| s.table("events").unwrap().rows())
+            .collect();
+        assert_eq!(per_shard, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn sharded_insert_sql_routes_and_rejects_misuse() {
+        let mut sharded = ShardedDatabase::new(2);
+        sharded.register(events(10));
+        let receipt = sharded
+            .insert_sql("INSERT INTO events (g, v) VALUES (1, 2), (3, 4), (5, 6)")
+            .unwrap();
+        assert_eq!(receipt.rows, 3);
+        assert_eq!(receipt.per_shard, vec![2, 1]);
+        let out = sharded
+            .run_sql("SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g")
+            .unwrap();
+        assert_eq!(out.report.rows_aggregated, 13);
+
+        // run_sql refuses INSERT (typed, nothing appended)...
+        let e = sharded
+            .run_sql("INSERT INTO events (g, v) VALUES (1, 2)")
+            .unwrap_err();
+        assert_eq!(e, SqlError::InsertStatement);
+        // ...and insert_sql refuses SELECT.
+        let e = sharded
+            .insert_sql("SELECT g, SUM(v) FROM events GROUP BY g")
+            .unwrap_err();
+        assert!(matches!(e, SqlError::Parse(_)));
+        assert_eq!(
+            sharded
+                .run_sql("SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g")
+                .unwrap()
+                .report
+                .rows_aggregated,
+            13
+        );
+    }
+
+    #[test]
+    fn rejected_sharded_batches_mutate_no_shard() {
+        use crate::ingest::IngestError;
+        let mut sharded = ShardedDatabase::new(2);
+        sharded.register(events(10));
+        // Ragged batch: shard 0's sub-batch alone would be valid (one
+        // row of each column), so the pre-validation is load-bearing.
+        let e = sharded
+            .append_rows(
+                "events",
+                RowBatch::new()
+                    .with_column("g", vec![1, 2])
+                    .with_column("v", vec![9]),
+            )
+            .unwrap_err();
+        assert_eq!(
+            e,
+            SqlError::Ingest(IngestError::RaggedBatch {
+                column: "v".into(),
+                rows: 1,
+                expected: 2
+            })
+        );
+        for shard in sharded.shards() {
+            assert_eq!(shard.table("events").unwrap().rows(), 5);
+        }
+        let e = sharded
+            .append_rows("nope", RowBatch::new().with_column("g", vec![1]))
+            .unwrap_err();
+        assert_eq!(e, SqlError::UnknownTable("nope".into()));
+    }
+
+    #[test]
+    fn per_shard_compaction_triggers_independently() {
+        use crate::ingest::CompactionPolicy;
+        let mut sharded = ShardedDatabase::new(2);
+        sharded.register(events(4));
+        sharded.set_compaction_policy(CompactionPolicy::every(2));
+        // 4 rows → 2 per shard: each shard's delta hits its threshold.
+        let receipt = sharded
+            .append_rows(
+                "events",
+                RowBatch::new()
+                    .with_column("g", vec![1, 2, 3, 4])
+                    .with_column("v", vec![1, 2, 3, 4]),
+            )
+            .unwrap();
+        assert_eq!(receipt.compactions, 2);
+        for shard in sharded.shards() {
+            assert_eq!(shard.catalogue().delta_rows("events"), Some(0));
+            assert_eq!(shard.table("events").unwrap().rows(), 4);
+        }
+    }
+
+    #[test]
+    fn prepared_sharded_statements_see_appended_rows() {
+        let mut sharded = ShardedDatabase::new(3);
+        sharded.register(events(90));
+        let mut stmt = sharded
+            .prepare("SELECT g, COUNT(*), SUM(v) FROM events WHERE v < ? GROUP BY g")
+            .unwrap();
+        let before = sharded.execute_prepared(&mut stmt, &[100]).unwrap();
+        assert_eq!(before.report.rows_aggregated, 90);
+        sharded
+            .insert_sql("INSERT INTO events (g, v) VALUES (0, 1), (1, 2), (2, 3)")
+            .unwrap();
+        let after = sharded.execute_prepared(&mut stmt, &[100]).unwrap();
+        assert_eq!(after.report.rows_aggregated, 93, "ingest visible");
+        assert_eq!(stmt.replans(), 0, "no shard's §V-D choice flipped");
     }
 
     #[test]

@@ -21,6 +21,16 @@
 //! `maximum` — see [`crate::filter`]). `=`, `<=` and `>=` remain
 //! unsupported: they would need a mask-complement instruction.
 //!
+//! The write path adds
+//!
+//! ```text
+//! INSERT INTO <table> (<col> [, <col>...]) VALUES (<num>, ...) [, (...)]*
+//! ```
+//!
+//! parsed by [`parse_statement`] into [`Statement::Insert`] and executed
+//! through [`crate::SharedCatalogue::append`]. Tuple arity, duplicate
+//! columns and out-of-range values are parse-time errors.
+//!
 //! ```
 //! use vagg_db::sql::parse;
 //!
@@ -44,14 +54,32 @@ pub struct SqlQuery {
     pub query: AggregateQuery,
 }
 
-/// One parsed statement: a `SELECT` to execute, or an `EXPLAIN SELECT`
-/// to plan without executing.
+/// One parsed statement: a `SELECT` to execute, an `EXPLAIN SELECT`
+/// to plan without executing, or an `INSERT` feeding the write path.
 #[derive(Debug, Clone)]
 pub enum Statement {
     /// Execute the query and return rows.
     Select(SqlQuery),
     /// Plan the query and return the typed [`crate::QueryPlan`].
     Explain(SqlQuery),
+    /// Append rows through the write path
+    /// (see [`crate::SharedCatalogue::append`]).
+    Insert(InsertStatement),
+}
+
+/// A parsed `INSERT INTO t (cols...) VALUES (...), ...` statement.
+/// Tuple arity against the column list, duplicate columns and
+/// out-of-range values are rejected at parse time with typed
+/// [`ParseSqlError`]s; the column set is checked against the table's
+/// schema at append time (typed [`crate::IngestError`]s).
+#[derive(Debug, Clone)]
+pub struct InsertStatement {
+    /// The target table name.
+    pub table: String,
+    /// The column list, in tuple-position order.
+    pub columns: Vec<String>,
+    /// The value tuples, each exactly `columns.len()` wide.
+    pub rows: Vec<Vec<u32>>,
 }
 
 /// Where one `?` placeholder of a prepared statement binds, in SQL
@@ -116,6 +144,38 @@ pub enum ParseSqlError {
     /// placeholders only make sense through [`parse_template`] /
     /// [`crate::Database::prepare`].
     UnboundPlaceholder,
+    /// An `INSERT` tuple whose width disagrees with its column list.
+    InsertArity {
+        /// 1-based tuple number in the `VALUES` list.
+        tuple: usize,
+        /// Columns the `INSERT` names.
+        expected: usize,
+        /// Values the tuple carries.
+        got: usize,
+    },
+    /// An `INSERT` column list naming one column twice.
+    InsertDuplicateColumn(
+        /// The repeated column.
+        String,
+    ),
+    /// An `INSERT` value that does not fit the store's 32-bit columns.
+    InsertValueTooLarge {
+        /// 1-based tuple number in the `VALUES` list.
+        tuple: usize,
+        /// The offending value.
+        value: u64,
+    },
+    /// A numeric literal too large to lex (beyond 64 bits).
+    NumberTooLarge(
+        /// The literal's digits.
+        String,
+    ),
+    /// A `WHERE`/`HAVING` comparison constant that does not fit the
+    /// store's 32-bit column values.
+    ConstantTooLarge {
+        /// The offending constant.
+        value: u64,
+    },
 }
 
 impl fmt::Display for ParseSqlError {
@@ -170,6 +230,31 @@ impl fmt::Display for ParseSqlError {
                      use Database::prepare"
                 )
             }
+            ParseSqlError::InsertArity {
+                tuple,
+                expected,
+                got,
+            } => write!(
+                f,
+                "INSERT tuple {tuple} has {got} value(s), the column list \
+                 names {expected}"
+            ),
+            ParseSqlError::InsertDuplicateColumn(c) => {
+                write!(f, "INSERT column list names {c:?} twice")
+            }
+            ParseSqlError::InsertValueTooLarge { tuple, value } => write!(
+                f,
+                "INSERT tuple {tuple}: value {value} does not fit a 32-bit \
+                 column"
+            ),
+            ParseSqlError::NumberTooLarge(digits) => {
+                write!(f, "numeric literal {digits} exceeds 64 bits")
+            }
+            ParseSqlError::ConstantTooLarge { value } => write!(
+                f,
+                "comparison constant {value} does not fit a 32-bit column \
+                 value"
+            ),
         }
     }
 }
@@ -275,11 +360,11 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseSqlError> {
             }
             '=' => return Err(ParseSqlError::UnsupportedComparison(c.to_string())),
             '0'..='9' => {
-                let mut n = 0u64;
+                let mut digits = String::new();
                 while let Some(&d) = chars.peek() {
                     match d {
                         '0'..='9' => {
-                            n = n * 10 + (d as u64 - '0' as u64);
+                            digits.push(d);
                             chars.next();
                         }
                         '_' => {
@@ -288,6 +373,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseSqlError> {
                         _ => break,
                     }
                 }
+                let n: u64 = digits
+                    .parse()
+                    .map_err(|_| ParseSqlError::NumberTooLarge(digits.clone()))?;
                 out.push(Token::Number(n));
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -430,20 +518,32 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
             expected: "SELECT",
             found: "EXPLAIN".into(),
         }),
+        Statement::Insert(_) => Err(ParseSqlError::Expected {
+            expected: "SELECT",
+            found: "INSERT".into(),
+        }),
     }
 }
 
-/// Parses one statement: `SELECT ...` or `EXPLAIN SELECT ...`.
+/// Parses one statement: `SELECT ...`, `EXPLAIN SELECT ...` or
+/// `INSERT INTO t (cols...) VALUES (...), ...`.
 ///
 /// # Errors
 ///
-/// As [`parse`].
+/// As [`parse`], plus the typed `INSERT` errors
+/// ([`ParseSqlError::InsertArity`],
+/// [`ParseSqlError::InsertDuplicateColumn`],
+/// [`ParseSqlError::InsertValueTooLarge`]).
 pub fn parse_statement(sql: &str) -> Result<Statement, ParseSqlError> {
     let mut p = Parser {
         tokens: tokenize(sql)?,
         pos: 0,
         slots: None,
     };
+    if p.peek_is_keyword("INSERT") {
+        p.pos += 1;
+        return parse_insert(&mut p).map(Statement::Insert);
+    }
     let explain = p.peek_is_keyword("EXPLAIN");
     if explain {
         p.pos += 1;
@@ -453,6 +553,80 @@ pub fn parse_statement(sql: &str) -> Result<Statement, ParseSqlError> {
         Statement::Explain(query)
     } else {
         Statement::Select(query)
+    })
+}
+
+// `INTO t (col, ...) VALUES (num, ...) [, (num, ...)]* [;]` — the
+// leading INSERT keyword was already consumed.
+fn parse_insert(p: &mut Parser) -> Result<InsertStatement, ParseSqlError> {
+    p.keyword("INTO")?;
+    let table = p.ident("the table name")?;
+    p.expect(Token::LParen, "(")?;
+    let mut columns = vec![p.ident("a column name")?];
+    while p.peek() == Some(&Token::Comma) {
+        p.pos += 1;
+        columns.push(p.ident("a column name")?);
+    }
+    p.expect(Token::RParen, ")")?;
+    for (i, c) in columns.iter().enumerate() {
+        if columns[..i].contains(c) {
+            return Err(ParseSqlError::InsertDuplicateColumn(c.clone()));
+        }
+    }
+    p.keyword("VALUES")?;
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    loop {
+        let tuple = rows.len() + 1;
+        p.expect(Token::LParen, "(")?;
+        let mut row = Vec::with_capacity(columns.len());
+        loop {
+            match p.next("a value")? {
+                Token::Number(n) => row.push(
+                    u32::try_from(n)
+                        .map_err(|_| ParseSqlError::InsertValueTooLarge { tuple, value: n })?,
+                ),
+                other => {
+                    return Err(ParseSqlError::Expected {
+                        expected: "a value",
+                        found: other.describe(),
+                    })
+                }
+            }
+            match p.next("`,` or `)`")? {
+                Token::Comma => {}
+                Token::RParen => break,
+                other => {
+                    return Err(ParseSqlError::Expected {
+                        expected: "`,` or `)`",
+                        found: other.describe(),
+                    })
+                }
+            }
+        }
+        if row.len() != columns.len() {
+            return Err(ParseSqlError::InsertArity {
+                tuple,
+                expected: columns.len(),
+                got: row.len(),
+            });
+        }
+        rows.push(row);
+        if p.peek() == Some(&Token::Comma) {
+            p.pos += 1;
+        } else {
+            break;
+        }
+    }
+    if p.peek() == Some(&Token::Semicolon) {
+        p.pos += 1;
+    }
+    if let Some(t) = p.peek() {
+        return Err(ParseSqlError::TrailingInput(t.describe()));
+    }
+    Ok(InsertStatement {
+        table,
+        columns,
+        rows,
     })
 }
 
@@ -637,7 +811,9 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
     if p.peek_is_keyword("LIMIT") {
         p.pos += 1;
         let k = match p.next("a row count")? {
-            Token::Number(k) => k as usize,
+            // A LIMIT beyond the address space is semantically "keep
+            // everything": saturate instead of erroring.
+            Token::Number(k) => usize::try_from(k).unwrap_or(usize::MAX),
             Token::Question => {
                 p.record_slot(ParamSlot::Limit)?;
                 PLACEHOLDER_SENTINEL as usize
@@ -694,7 +870,9 @@ const PLACEHOLDER_SENTINEL: u32 = 1;
 fn parse_predicate(p: &mut Parser, slot: ParamSlot) -> Result<Predicate, ParseSqlError> {
     let op = p.next("a comparison operator")?;
     let k = match p.next("a comparison constant")? {
-        Token::Number(k) => k as u32,
+        Token::Number(k) => {
+            u32::try_from(k).map_err(|_| ParseSqlError::ConstantTooLarge { value: k })?
+        }
         Token::Question => {
             p.record_slot(slot)?;
             PLACEHOLDER_SENTINEL
@@ -957,7 +1135,7 @@ mod tests {
                 assert_eq!(q.table, "r");
                 assert_eq!(q.query.group_by, "g");
             }
-            Statement::Select(_) => panic!("expected EXPLAIN"),
+            other => panic!("expected EXPLAIN, parsed {other:?}"),
         }
         // Case-insensitive, like the other keywords.
         assert!(matches!(
@@ -1062,5 +1240,145 @@ mod tests {
     fn errors_implement_std_error() {
         fn assert_error<E: std::error::Error + Send + Sync>() {}
         assert_error::<ParseSqlError>();
+    }
+
+    #[test]
+    fn parses_insert_statements() {
+        let s = parse_statement("INSERT INTO r (g, v) VALUES (1, 10), (2, 20);").unwrap();
+        match s {
+            Statement::Insert(ins) => {
+                assert_eq!(ins.table, "r");
+                assert_eq!(ins.columns, vec!["g".to_string(), "v".to_string()]);
+                assert_eq!(ins.rows, vec![vec![1, 10], vec![2, 20]]);
+            }
+            _ => panic!("expected INSERT"),
+        }
+        // Case-insensitive keywords, single column, single tuple.
+        let s = parse_statement("insert into t (x) values (7)").unwrap();
+        match s {
+            Statement::Insert(ins) => {
+                assert_eq!(ins.table, "t");
+                assert_eq!(ins.columns, vec!["x".to_string()]);
+                assert_eq!(ins.rows, vec![vec![7]]);
+            }
+            _ => panic!("expected INSERT"),
+        }
+    }
+
+    #[test]
+    fn insert_arity_mismatch_is_a_typed_parse_error() {
+        let e = parse_statement("INSERT INTO r (g, v) VALUES (1, 10), (2)").unwrap_err();
+        assert_eq!(
+            e,
+            ParseSqlError::InsertArity {
+                tuple: 2,
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(e.to_string().contains("tuple 2"));
+        let e = parse_statement("INSERT INTO r (g) VALUES (1, 2)").unwrap_err();
+        assert_eq!(
+            e,
+            ParseSqlError::InsertArity {
+                tuple: 1,
+                expected: 1,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn insert_duplicate_column_is_a_typed_parse_error() {
+        let e = parse_statement("INSERT INTO r (g, g) VALUES (1, 2)").unwrap_err();
+        assert_eq!(e, ParseSqlError::InsertDuplicateColumn("g".into()));
+        assert!(e.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn insert_oversized_value_is_a_typed_parse_error() {
+        let e = parse_statement("INSERT INTO r (g) VALUES (4294967296)").unwrap_err();
+        assert_eq!(
+            e,
+            ParseSqlError::InsertValueTooLarge {
+                tuple: 1,
+                value: 4_294_967_296
+            }
+        );
+        assert!(e.to_string().contains("32-bit"));
+        // u32::MAX itself still fits.
+        assert!(parse_statement("INSERT INTO r (g) VALUES (4294967295)").is_ok());
+    }
+
+    #[test]
+    fn insert_grammar_errors_are_reported() {
+        assert!(matches!(
+            parse_statement("INSERT r (g) VALUES (1)").unwrap_err(),
+            ParseSqlError::Expected {
+                expected: "INTO",
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_statement("INSERT INTO r VALUES (1)").unwrap_err(),
+            ParseSqlError::Expected { .. }
+        ));
+        assert!(matches!(
+            parse_statement("INSERT INTO r (g) VALUES (?)").unwrap_err(),
+            ParseSqlError::Expected {
+                expected: "a value",
+                ..
+            }
+        ));
+        assert_eq!(
+            parse_statement("INSERT INTO r (g) VALUES (1) extra").unwrap_err(),
+            ParseSqlError::TrailingInput("extra".into())
+        );
+        assert_eq!(
+            parse_statement("INSERT INTO r (g) VALUES").unwrap_err(),
+            ParseSqlError::UnexpectedEnd("(")
+        );
+    }
+
+    #[test]
+    fn oversized_numeric_literals_are_typed_errors_not_truncation() {
+        // Beyond 64 bits: the lexer rejects instead of wrapping.
+        let e =
+            parse("SELECT g, SUM(v) FROM r WHERE v > 99999999999999999999 GROUP BY g").unwrap_err();
+        assert_eq!(
+            e,
+            ParseSqlError::NumberTooLarge("99999999999999999999".into())
+        );
+        assert!(e.to_string().contains("64 bits"));
+        // Fits u64 but not a 32-bit column value: the comparison
+        // constant is rejected instead of silently truncated to 0.
+        let e = parse("SELECT g, SUM(v) FROM r WHERE v <> 4294967296 GROUP BY g").unwrap_err();
+        assert_eq!(
+            e,
+            ParseSqlError::ConstantTooLarge {
+                value: 4_294_967_296
+            }
+        );
+        let e = parse("SELECT g, SUM(v) FROM r GROUP BY g HAVING SUM(v) > 4294967296").unwrap_err();
+        assert!(matches!(e, ParseSqlError::ConstantTooLarge { .. }));
+        // u32::MAX itself still parses.
+        assert!(parse("SELECT g, SUM(v) FROM r WHERE v < 4294967295 GROUP BY g").is_ok());
+        // An over-u32 LIMIT saturates (it means "keep everything").
+        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g LIMIT 18446744073709551615").unwrap();
+        assert_eq!(q.query.order_by.unwrap().limit, Some(usize::MAX));
+    }
+
+    #[test]
+    fn plain_parse_and_templates_reject_insert() {
+        let e = parse("INSERT INTO r (g) VALUES (1)").unwrap_err();
+        assert_eq!(
+            e,
+            ParseSqlError::Expected {
+                expected: "SELECT",
+                found: "INSERT".into()
+            }
+        );
+        let e = parse_template("INSERT INTO r (g) VALUES (1)").unwrap_err();
+        assert!(matches!(e, ParseSqlError::Expected { .. }));
     }
 }

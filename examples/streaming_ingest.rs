@@ -1,0 +1,117 @@
+//! Streaming ingest: prepare once, ingest continuously, watch the
+//! §V-D choice follow the statistics.
+//!
+//! The write-path demo: an events table starts low-cardinality (the
+//! adaptive policy picks monotable), a deterministic batch stream
+//! ([`vagg::datagen::BatchStream`]) ramps the key domain past the
+//! §V-D division boundary, and a statement prepared *once* keeps
+//! serving while the statistics drift underneath it. Sub-threshold
+//! batches refresh the cached plan in place (`rebases()`); the batch
+//! that crosses the boundary forces a real re-plan (`replans()`) and
+//! `explain()` flips from `Aggregate[mono]` to `Aggregate[psm]`. A
+//! fresh one-shot database over the merged rows is the correctness
+//! oracle at every step, and a round-robin-sharded database ingests
+//! the same stream to show the routed write path agrees.
+//!
+//! ```text
+//! cargo run --release --example streaming_ingest
+//! ```
+
+use vagg::datagen::{DatasetSpec, Distribution};
+use vagg::db::{CompactionPolicy, Database, RowBatch, ShardedDatabase, Table};
+
+fn main() {
+    // A drifting source: 512-row batches, cardinality ramping from 60
+    // to 40,000 across eight batches.
+    let mut stream = DatasetSpec::paper(Distribution::Uniform, 60)
+        .stream(512)
+        .with_cardinality_drift(40_000, 8);
+    let first = stream.next().expect("the stream is infinite");
+    let seed = Table::new("events")
+        .with_column("g", first.g.clone())
+        .with_column("v", first.v.clone());
+
+    let mut db = Database::new();
+    db.catalogue()
+        .set_compaction_policy(CompactionPolicy::every(1024));
+    db.register(seed.clone());
+
+    let mut sharded = ShardedDatabase::new(4);
+    sharded.set_compaction_policy(CompactionPolicy::every(256));
+    sharded.register(seed);
+
+    let sql = "SELECT g, COUNT(*), SUM(v) FROM events WHERE v > ? GROUP BY g";
+    let mut stmt = db.prepare(sql).expect("statement prepares");
+    println!("prepared [{sql}]");
+    println!(
+        "batch 0: cardinality≈{:5} | {}\n",
+        first.cardinality,
+        algorithm_of(&stmt)
+    );
+
+    for batch in stream.take(7) {
+        let rows = RowBatch::new()
+            .with_column("g", batch.g.clone())
+            .with_column("v", batch.v.clone());
+        let receipt = db
+            .append_rows("events", rows.clone())
+            .expect("single-session ingest");
+        sharded.append_rows("events", rows).expect("sharded ingest");
+
+        let out = stmt.execute(&mut db, &[3]).expect("prepared execution");
+
+        // Oracle: the same rows registered in one shot.
+        let mut oracle = Database::new();
+        oracle.register(db.table("events").expect("registered"));
+        let expect = oracle
+            .execute_sql(&sql.replace('?', "3"))
+            .expect("oracle execution");
+        assert_eq!(out.rows, expect.rows, "ingested ≡ one-shot load");
+
+        let merged = sharded
+            .run_sql(&sql.replace('?', "3"))
+            .expect("sharded execution");
+        assert_eq!(merged.rows, expect.rows, "routed ingest ≡ one-shot load");
+
+        let stats = db.table_stats("events").expect("live statistics");
+        let g = stats.column("g").expect("g column");
+        println!(
+            "batch {}: +{} rows (delta {:4}{}) | max {:5} distinct≈{:5} | {}",
+            batch.index,
+            receipt.rows,
+            receipt.delta_rows,
+            if receipt.compacted { ", compacted" } else { "" },
+            g.max.unwrap_or(0),
+            g.distinct_estimate(),
+            algorithm_of(&stmt),
+        );
+    }
+
+    println!(
+        "\nexecutions: {} | rebases: {} (stats refreshed, choice held) | \
+         replans: {} (the drift crossed the §V-D boundary)",
+        stmt.executions(),
+        stmt.rebases(),
+        stmt.replans()
+    );
+    let s = db.plan_cache_stats();
+    println!(
+        "plan cache: {} hit(s), {} miss(es), {} rebase(s), {} invalidation(s)",
+        s.hits, s.misses, s.rebases, s.invalidations
+    );
+    assert_eq!(stmt.replans(), 1, "exactly one threshold crossing");
+    assert!(stmt.rebases() >= 1, "sub-threshold batches rebased");
+    assert!(
+        stmt.explain().expect("planned").contains("Aggregate[psm]"),
+        "the final plan shows the flipped choice"
+    );
+}
+
+fn algorithm_of(stmt: &vagg::db::PreparedStatement) -> String {
+    let plan = stmt.plan().expect("prepared statements plan eagerly");
+    format!(
+        "cardinality≈{:5} -> {}",
+        plan.cardinality_estimate(),
+        plan.algorithm().name()
+    )
+}

@@ -48,7 +48,7 @@ fn explain_golden_full_tail_via_sql() {
         .unwrap();
     let plan = match outcome {
         SqlOutcome::Plan(p) => p,
-        SqlOutcome::Rows(_) => panic!("EXPLAIN must not execute"),
+        other => panic!("EXPLAIN must not execute: {other:?}"),
     };
     // Nothing ran on the session's machine.
     assert_eq!(db.session().queries_run(), 0);

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use vagg::db::{
-    parse, AggFn, AggregateQuery, Database, Engine, OrderKey, Predicate, Session, ShardedDatabase,
-    Table,
+    parse, AggFn, AggregateQuery, CompactionPolicy, Database, Engine, OrderKey, Predicate,
+    RowBatch, Session, ShardedDatabase, Table,
 };
 use vagg::sim::Machine;
 
@@ -354,6 +354,62 @@ proptest! {
             got.report.rows_aggregated,
             expect.report.rows_aggregated
         );
+    }
+
+    /// `run_sql` over base ++ delta equals `run_sql` over the same rows
+    /// registered in one shot — on a single session and across every
+    /// shard count — for arbitrary seed tables, batch sequences and
+    /// compaction thresholds.
+    #[test]
+    fn ingest_equals_fresh_registration_single_and_sharded(
+        base in proptest::collection::vec((0u32..2000, 0u32..10), 1..60),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u32..20_000, 0u32..10), 1..20),
+            1..5,
+        ),
+        compact_every in 1usize..40,
+        shards in 1usize..5,
+    ) {
+        let table = || {
+            Table::new("t")
+                .with_column("g", base.iter().map(|r| r.0).collect::<Vec<u32>>())
+                .with_column("v", base.iter().map(|r| r.1).collect::<Vec<u32>>())
+        };
+        let sql = "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM t \
+                   WHERE v <> 9 GROUP BY g";
+
+        let mut db = Database::new();
+        db.catalogue()
+            .set_compaction_policy(CompactionPolicy::every(compact_every));
+        db.register(table());
+        let mut sharded = ShardedDatabase::new(shards);
+        sharded.set_compaction_policy(CompactionPolicy::every(compact_every));
+        sharded.register(table());
+
+        // Accumulate all rows for the one-shot oracle.
+        let mut all = base.clone();
+        for batch in &batches {
+            all.extend(batch.iter().copied());
+            let rb = || {
+                RowBatch::new()
+                    .with_column("g", batch.iter().map(|r| r.0).collect::<Vec<u32>>())
+                    .with_column("v", batch.iter().map(|r| r.1).collect::<Vec<u32>>())
+            };
+            db.append_rows("t", rb()).unwrap();
+            sharded.append_rows("t", rb()).unwrap();
+
+            let mut oracle = Database::new();
+            oracle.register(
+                Table::new("t")
+                    .with_column("g", all.iter().map(|r| r.0).collect::<Vec<u32>>())
+                    .with_column("v", all.iter().map(|r| r.1).collect::<Vec<u32>>()),
+            );
+            let expect = oracle.execute_sql(sql).unwrap();
+            let single = db.execute_sql(sql).unwrap();
+            prop_assert_eq!(&single.rows, &expect.rows, "single session");
+            let merged = sharded.run_sql(sql).unwrap();
+            prop_assert_eq!(&merged.rows, &expect.rows, "{} shards", shards);
+        }
     }
 
     #[test]
