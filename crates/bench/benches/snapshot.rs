@@ -1,0 +1,147 @@
+//! Criterion bench for the snapshot-first read path: what the MVCC
+//! redesign costs per read, and what pinned snapshots buy under
+//! ingest.
+//!
+//! Four workloads over one table shape —
+//!
+//! * `read-of-now`: `run_sql` end to end — since the redesign this IS
+//!   a per-statement snapshot capture (cut + pin + plan + release),
+//!   the number to compare against the pre-snapshot latest-read path;
+//! * `read-at-pinned`: `run_sql_at` against one long-lived snapshot —
+//!   the capture cost amortised away, isolating the snapshot-of-now
+//!   overhead as the difference to `read-of-now`;
+//! * `snapshot-capture`: `Database::snapshot()` alone (cut + pin +
+//!   release on drop), the fixed cost a statement adds;
+//! * `readers-under-ingest`: a writer thread streams batches and trips
+//!   compactions while the measured session reads — pinned-snapshot
+//!   reads vs of-now reads under live drift, the
+//!   "repeatable reads never block the write path" regime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use vagg_db::{CompactionPolicy, Database, RowBatch, SharedCatalogue, SqlOutcome, Table};
+
+const BASE_ROWS: usize = 8_192;
+const BATCH_ROWS: usize = 128;
+const CARD: u32 = 256;
+
+fn events(rows: usize) -> Table {
+    Table::new("events")
+        .with_column("g", (0..rows).map(|i| ((i * 7919) as u32) % CARD).collect())
+        .with_column("v", (0..rows).map(|i| ((i * 31) as u32) % 100).collect())
+}
+
+fn batch(salt: usize) -> RowBatch {
+    RowBatch::new()
+        .with_column(
+            "g",
+            (0..BATCH_ROWS)
+                .map(|i| (((i + salt) * 127) as u32) % CARD)
+                .collect(),
+        )
+        .with_column(
+            "v",
+            (0..BATCH_ROWS)
+                .map(|i| (((i + salt) * 13) as u32) % 100)
+                .collect(),
+        )
+}
+
+const SQL: &str = "SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g";
+
+fn run_rows(db: &mut Database, sql: &str) -> usize {
+    match db.run_sql(sql).expect("query runs") {
+        SqlOutcome::Rows(out) => out.rows.len(),
+        other => unreachable!("SELECT returns rows: {other:?}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+
+    // Per-statement snapshot-of-now: the whole read path as `run_sql`
+    // ships it (capture + plan-cache hit + execute + release).
+    {
+        let mut db = Database::new();
+        db.register(events(BASE_ROWS));
+        g.bench_function("read-of-now", |b| {
+            b.iter(|| black_box(run_rows(&mut db, SQL)))
+        });
+    }
+
+    // The same read against one pinned snapshot: capture amortised
+    // over every statement — the difference to `read-of-now` is the
+    // per-statement snapshot overhead.
+    {
+        let mut db = Database::new();
+        db.register(events(BASE_ROWS));
+        let snap = db.snapshot();
+        g.bench_function("read-at-pinned", |b| {
+            b.iter(|| {
+                let out = db.run_sql_at(&snap, SQL).expect("query runs");
+                black_box(matches!(out, SqlOutcome::Rows(_)))
+            })
+        });
+    }
+
+    // The fixed capture cost alone: cut every table, register the
+    // pins, release them on drop.
+    {
+        let mut db = Database::new();
+        db.register(events(BASE_ROWS));
+        g.bench_function("snapshot-capture", |b| {
+            b.iter(|| black_box(db.snapshot().data_version("events")))
+        });
+    }
+
+    // Reads while a writer streams batches and trips compactions:
+    // of-now reads chase the drifting versions (merge + rebase per
+    // data version), pinned reads keep serving one materialised cut.
+    for mode in ["of-now", "pinned"] {
+        let catalogue = SharedCatalogue::new();
+        catalogue.set_compaction_policy(CompactionPolicy::every(4 * BATCH_ROWS));
+        catalogue.register(events(BASE_ROWS));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer_cat = catalogue.clone();
+            let writer = scope.spawn({
+                let stop = &stop;
+                move || {
+                    let mut salt = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        salt += 1;
+                        writer_cat.append("events", batch(salt)).expect("appends");
+                    }
+                }
+            });
+            let mut session = catalogue.connect();
+            let snap = catalogue.snapshot();
+            g.bench_function(format!("readers-under-ingest/{mode}"), |b| {
+                b.iter(|| match mode {
+                    "pinned" => {
+                        let out = session.run_sql_at(&snap, SQL).expect("query runs");
+                        black_box(matches!(out, SqlOutcome::Rows(_)))
+                    }
+                    _ => black_box(run_rows(&mut session, SQL) > 0),
+                })
+            });
+            stop.store(true, Ordering::Relaxed);
+            writer.join().expect("writer thread");
+        });
+        let stats = catalogue.snapshot_stats();
+        println!(
+            "  [{mode}] snapshots_taken={} deferred_gcs={} reclaimed_gcs={}",
+            stats.snapshots_taken, stats.deferred_gcs, stats.reclaimed_gcs
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

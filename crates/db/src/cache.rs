@@ -282,9 +282,18 @@ impl PlanCache {
 
     /// Counts a planning pass whose result could not be cached (e.g.
     /// the table was re-registered between the version snapshot and
-    /// the insert), keeping hit + miss == lookups exact.
+    /// the insert, or the plan was made at an old [`crate::Snapshot`]),
+    /// keeping hit + miss == lookups exact.
     pub fn note_miss(&mut self) {
         self.stats.misses += 1;
+    }
+
+    /// Counts a lookup served from a cached entry *without* touching
+    /// the entry — a reader at an old [`crate::Snapshot`] rebasing a
+    /// newer entry locally ([`PlanCache::rebase`] refuses to regress
+    /// the entry itself), keeping hit + miss == lookups exact.
+    pub fn note_hit(&mut self) {
+        self.stats.hits += 1;
     }
 
     /// Purges every plan of `table` (on re-registration / statistics

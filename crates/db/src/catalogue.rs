@@ -40,6 +40,7 @@ use crate::engine::Engine;
 use crate::ingest::{CompactionPolicy, IngestReceipt, RowBatch};
 use crate::plan::{QueryPlan, ScanMode};
 use crate::query::AggregateQuery;
+use crate::snapshot::{PinRegistry, Snapshot, SnapshotStats, TableCut};
 use crate::table::Table;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -89,7 +90,9 @@ impl Registered {
 
 /// Concatenates base ++ delta into a fresh table. `with_column`
 /// re-detects sortedness, so the merged view carries exactly the
-/// metadata a fresh registration of the same rows would.
+/// metadata a fresh registration of the same rows would. A pinned
+/// snapshot read passes a [`DeltaStore::clone_prefix`] extract here —
+/// never hold the registry or pin lock across this O(base) merge.
 fn merge(base: &Table, delta: &DeltaStore) -> Table {
     let mut t = Table::new(base.name());
     for name in base.column_names() {
@@ -103,21 +106,31 @@ fn merge(base: &Table, delta: &DeltaStore) -> Table {
     t
 }
 
-/// A consistent read of one table: versions, the merged view, and the
-/// live statistics, captured under one lock acquisition.
-struct ViewSnapshot {
+/// A borrowed consistent read of one table — the input every plan is
+/// made from, whether it comes from a snapshot-of-now cut or a pinned
+/// long-lived [`Snapshot`].
+struct ViewRef<'a> {
     schema_version: u64,
     data_version: u64,
-    table: Table,
-    stats: TableStats,
+    table: &'a Table,
+    stats: &'a TableStats,
 }
 
 struct Inner {
     tables: RwLock<BTreeMap<String, Registered>>,
     cache: Mutex<PlanCache>,
     policy: RwLock<CompactionPolicy>,
+    pins: Mutex<PinRegistry>,
     engine: Engine,
 }
+
+/// An opaque hold on one catalogue's registry read lock (see
+/// [`SharedCatalogue::registry_read`]): while any of these is alive,
+/// no append, compaction install or re-registration can touch the
+/// catalogue's tables — through *any* handle.
+pub(crate) struct RegistryReadGuard<'a>(
+    std::sync::RwLockReadGuard<'a, BTreeMap<String, Registered>>,
+);
 
 /// A cheaply clonable handle to one shared table registry, planner and
 /// plan cache. See the [module docs](self).
@@ -177,6 +190,7 @@ impl SharedCatalogue {
                 tables: RwLock::new(BTreeMap::new()),
                 cache: Mutex::new(cache),
                 policy: RwLock::new(CompactionPolicy::default()),
+                pins: Mutex::new(PinRegistry::default()),
                 engine,
             }),
         }
@@ -245,6 +259,18 @@ impl SharedCatalogue {
                 view: None,
             },
         );
+        // A live snapshot may still read the replaced table's delta
+        // prefix: retire the delta to the pin registry's side store
+        // (deferred GC) before the old entry is consumed. The old base
+        // needs nothing — the snapshot's own `Arc` handles keep it
+        // alive.
+        if let Some(old) = &old {
+            let key = (name.clone(), old.schema_version, old.delta.epoch());
+            let mut pins = self.inner.pins.lock().expect("pin registry lock");
+            if pins.needs_delta(&key) {
+                pins.retire(key, old.delta.clone());
+            }
+        }
         drop(tables);
         if old.is_some() {
             self.inner
@@ -333,7 +359,21 @@ impl SharedCatalogue {
                     r.stats = stats;
                     r.base = merged.clone(); // `Arc` columns: base and view share
                     r.view = Some(merged);
-                    r.delta.clear();
+                    // Base retirement defers to live snapshots: if a
+                    // pinned prefix still reads this delta generation,
+                    // the rows move to the pin registry's side store
+                    // (deferred GC, reclaimed when the last pin drops)
+                    // instead of being freed; either way the live
+                    // delta opens its next epoch empty. Compaction
+                    // itself is never delayed by readers.
+                    let key = (table.to_string(), r.schema_version, r.delta.epoch());
+                    let mut pins = self.inner.pins.lock().expect("pin registry lock");
+                    if pins.needs_delta(&key) {
+                        let old = r.delta.retire();
+                        pins.retire(key, old);
+                    } else {
+                        r.delta.clear();
+                    }
                     receipt.compacted = true;
                     receipt.delta_rows = 0;
                 }
@@ -344,9 +384,159 @@ impl SharedCatalogue {
 
     /// Looks up a registered table's current content: the base merged
     /// with any pending delta (a cheap clone once materialised — column
-    /// data is `Arc`-shared).
+    /// data is `Arc`-shared). Like every read, this is a
+    /// snapshot-of-now under the hood.
     pub fn table(&self, name: &str) -> Option<Table> {
-        self.read_view(name).ok().map(|s| s.table)
+        self.snapshot_of(name).ok()?.table(name)
+    }
+
+    /// Captures an immutable, consistent point-in-time cut of **every**
+    /// registered table under one registry read-lock: per table the
+    /// data version, the `Arc`-shared base, the delta prefix and the
+    /// live statistics. Reads and plans at the snapshot
+    /// ([`crate::Database::run_sql_at`], [`SharedCatalogue::plan_query_at`],
+    /// [`crate::PreparedStatement::execute_at`]) keep answering from
+    /// exactly this cut while appends, compactions and
+    /// re-registrations proceed — the write path never blocks on
+    /// readers, and dropping the snapshot releases its pins (see
+    /// [`crate::snapshot`]).
+    pub fn snapshot(&self) -> Snapshot {
+        self.capture(None)
+            .expect("a full-catalogue cut cannot name a missing table")
+    }
+
+    /// A single-table cut — what the snapshot-of-now read path behind
+    /// [`SharedCatalogue::plan_query`] captures per statement.
+    pub(crate) fn snapshot_of(&self, table: &str) -> Result<Snapshot, SqlError> {
+        self.capture(Some(table))
+    }
+
+    /// Acquires this catalogue's registry read lock as an opaque
+    /// guard, so a multi-catalogue caller (the sharded coordinator)
+    /// can hold every shard's lock at once and cut them as one atomic
+    /// moment — see [`crate::ShardedDatabase::snapshot`].
+    pub(crate) fn registry_read(&self) -> RegistryReadGuard<'_> {
+        RegistryReadGuard(self.inner.tables.read().expect("catalogue lock"))
+    }
+
+    /// [`SharedCatalogue::snapshot`] under an already-held registry
+    /// guard — which must be *this* catalogue's own, from
+    /// [`SharedCatalogue::registry_read`].
+    pub(crate) fn capture_under(&self, guard: &RegistryReadGuard<'_>) -> Snapshot {
+        self.capture_held(guard, None)
+            .expect("a full-catalogue cut cannot name a missing table")
+    }
+
+    fn capture(&self, only: Option<&str>) -> Result<Snapshot, SqlError> {
+        let guard = self.registry_read();
+        self.capture_held(&guard, only)
+    }
+
+    fn capture_held(
+        &self,
+        guard: &RegistryReadGuard<'_>,
+        only: Option<&str>,
+    ) -> Result<Snapshot, SqlError> {
+        let cut_of = |r: &Registered| TableCut {
+            schema_version: r.schema_version,
+            data_version: r.data_version,
+            epoch: r.delta.epoch(),
+            base: r.base.clone(),
+            delta_prefix: r.delta.rows(),
+            stats: r.stats.clone(),
+            clean_view: r.view.clone(),
+        };
+        let tables = &*guard.0;
+        let mut cuts = BTreeMap::new();
+        match only {
+            Some(name) => {
+                let r = tables
+                    .get(name)
+                    .ok_or_else(|| SqlError::UnknownTable(name.to_string()))?;
+                cuts.insert(name.to_string(), cut_of(r));
+            }
+            None => {
+                for (name, r) in tables.iter() {
+                    cuts.insert(name.clone(), cut_of(r));
+                }
+            }
+        }
+        // Pins register while the read lock is still held, so no
+        // append, compaction or re-registration can slip between the
+        // cut and its pins.
+        self.inner
+            .pins
+            .lock()
+            .expect("pin registry lock")
+            .register(&cuts);
+        Ok(Snapshot::over(self.clone(), cuts))
+    }
+
+    /// Releases one dropped snapshot's pins (called by
+    /// [`Snapshot`]'s `Drop`), reclaiming retired deltas whose last
+    /// pin just went away.
+    pub(crate) fn release_snapshot(&self, cuts: &BTreeMap<String, TableCut>) {
+        self.inner
+            .pins
+            .lock()
+            .expect("pin registry lock")
+            .release(cuts);
+    }
+
+    /// The snapshot subsystem's observability counters: live pins, the
+    /// oldest pinned data version, deferred and reclaimed GCs.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.inner.pins.lock().expect("pin registry lock").stats()
+    }
+
+    /// Rebuilds a pinned cut's merged view: base ++ delta-prefix from
+    /// the live delta when the generation still stands, or from the
+    /// retired side store after a compaction/re-registration moved the
+    /// table on.
+    pub(crate) fn materialise_cut(&self, name: &str, cut: &TableCut) -> Table {
+        // Under the locks, copy only the pinned delta prefix (bounded
+        // by the compaction threshold); the O(base) concatenation runs
+        // *outside* any lock — holding the registry lock for it would
+        // serialize every writer, and holding the pin mutex would
+        // serialize every other read's snapshot capture, on one
+        // reader's merge.
+        let prefix = {
+            let tables = self.inner.tables.read().expect("catalogue lock");
+            match tables.get(name) {
+                Some(r)
+                    if r.schema_version == cut.schema_version && r.delta.epoch() == cut.epoch =>
+                {
+                    // The live delta still carries the pinned
+                    // generation (writers are excluded while we copy,
+                    // so the prefix cannot tear).
+                    Some(r.delta.clone_prefix(cut.delta_prefix))
+                }
+                _ => None,
+            }
+        };
+        let prefix = prefix.unwrap_or_else(|| {
+            // The delta moved on: the pinned generation lives in the
+            // retired side store until this snapshot's pin drops.
+            let pins = self.inner.pins.lock().expect("pin registry lock");
+            let key = (name.to_string(), cut.schema_version, cut.epoch);
+            pins.retired(&key)
+                .expect("pinned delta generations are retained until released")
+                .clone_prefix(cut.delta_prefix)
+        });
+        let view = merge(&cut.base, &prefix);
+        // A snapshot-of-now materialisation doubles as the registry's
+        // lazy view cache: install it so the next reader's cut comes
+        // back clean — unless the table has already moved on.
+        let mut tables = self.inner.tables.write().expect("catalogue lock");
+        if let Some(r) = tables.get_mut(name) {
+            if r.schema_version == cut.schema_version
+                && r.data_version == cut.data_version
+                && r.view.is_none()
+            {
+                r.view = Some(view.clone());
+            }
+        }
+        view
     }
 
     /// Registered table names, sorted (a [`BTreeMap`]-backed registry:
@@ -434,56 +624,6 @@ impl SharedCatalogue {
             .map(|r| r.delta.rows())
     }
 
-    /// A consistent (versions, merged view, statistics) snapshot,
-    /// materialising the view if an append dirtied it.
-    fn read_view(&self, table: &str) -> Result<ViewSnapshot, SqlError> {
-        let missing = || SqlError::UnknownTable(table.to_string());
-        // Fast path: a clean view is an `Arc`-cheap clone under the
-        // read lock. A dirty view is merged *outside* any lock (the
-        // merge is O(rows); holding the registry write lock for it
-        // would serialize every session on every table), then
-        // installed under the write lock only if the table has not
-        // moved on meanwhile — either way the caller gets a snapshot
-        // consistent with the versions it reports.
-        let (snap, delta) = {
-            let tables = self.inner.tables.read().expect("catalogue lock");
-            let r = tables.get(table).ok_or_else(missing)?;
-            let snap = ViewSnapshot {
-                schema_version: r.schema_version,
-                data_version: r.data_version,
-                table: r.base.clone(),
-                stats: r.stats.clone(),
-            };
-            match &r.view {
-                Some(view) => {
-                    return Ok(ViewSnapshot {
-                        table: view.clone(),
-                        ..snap
-                    })
-                }
-                None => (snap, r.delta.clone()),
-            }
-        };
-        let view = if delta.rows() == 0 {
-            snap.table.clone()
-        } else {
-            merge(&snap.table, &delta)
-        };
-        let mut tables = self.inner.tables.write().expect("catalogue lock");
-        if let Some(r) = tables.get_mut(table) {
-            if r.schema_version == snap.schema_version
-                && r.data_version == snap.data_version
-                && r.view.is_none()
-            {
-                r.view = Some(view.clone());
-            }
-        }
-        Ok(ViewSnapshot {
-            table: view,
-            ..snap
-        })
-    }
-
     /// The shared plan cache's hit/miss/eviction/invalidation counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.cache.lock().expect("cache lock").stats()
@@ -512,14 +652,71 @@ impl SharedCatalogue {
     /// [`SqlError::UnknownTable`] for unregistered tables and
     /// [`SqlError::Plan`] for planning problems.
     pub fn plan_query(&self, table: &str, query: &AggregateQuery) -> Result<QueryPlan, SqlError> {
-        let snap = self.read_view(table)?;
-        let shape = QueryShape::of(table, snap.schema_version, query);
+        // The live read path is a snapshot-of-now: capture a
+        // single-table cut, plan at it, release the pin on return —
+        // the same (one and only) read path an explicit snapshot uses.
+        let snap = self.snapshot_of(table)?;
+        self.plan_query_at(&snap, table, query)
+    }
+
+    /// Plans `query` against `table` **at a pinned snapshot**: the
+    /// column snapshots, cardinality statistics and the §V-D algorithm
+    /// choice all come from the cut the snapshot captured, not from the
+    /// live table — a plan made here is reproducible however far the
+    /// live statistics have drifted since.
+    ///
+    /// Shares the [`PlanCache`] with the live path: an entry tagged
+    /// with the snapshot's data version is a plain hit, a stale entry
+    /// is rebased onto the snapshot's cut when the algorithm choice
+    /// holds (see [`SharedCatalogue::plan_query`]), and entries are
+    /// never regressed to an older version by a snapshot reader.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::ForeignSnapshot`] if `snap` was cut from a different
+    /// catalogue, [`SqlError::UnknownTable`] if the snapshot does not
+    /// contain `table`, and [`SqlError::Plan`] for planning problems.
+    pub fn plan_query_at(
+        &self,
+        snap: &Snapshot,
+        table: &str,
+        query: &AggregateQuery,
+    ) -> Result<QueryPlan, SqlError> {
+        if !snap.catalogue().is_same(self) {
+            return Err(SqlError::ForeignSnapshot);
+        }
+        let cut = snap
+            .cut(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        let view = snap.table(table).expect("cut exists for this table");
+        self.plan_view(
+            table,
+            &ViewRef {
+                schema_version: cut.schema_version,
+                data_version: cut.data_version,
+                table: &view,
+                stats: &cut.stats,
+            },
+            query,
+        )
+    }
+
+    /// The single planning funnel every read goes through, live or
+    /// pinned: serve the shared cache, rebase stale entries when the
+    /// §V-D choice survives the view's statistics, re-plan otherwise.
+    fn plan_view(
+        &self,
+        table: &str,
+        view: &ViewRef<'_>,
+        query: &AggregateQuery,
+    ) -> Result<QueryPlan, SqlError> {
+        let shape = QueryShape::of(table, view.schema_version, query);
         let lookup = self
             .inner
             .cache
             .lock()
             .expect("cache lock")
-            .lookup(&shape, snap.data_version);
+            .lookup(&shape, view.data_version);
         match lookup {
             Lookup::Fresh(cached) => {
                 let rebound = cached.rebind(query);
@@ -530,53 +727,58 @@ impl SharedCatalogue {
                 // fresh plan (the insert below overwrites the entry).
             }
             Lookup::Stale(cached) => {
-                if let Some(rebased) = self.rebase_plan(&cached, &snap) {
+                if let Some(rebased) = self.rebase_plan(&cached, view) {
                     if self.algorithm_holds(&rebased) {
                         let rebound = rebased.rebind(query);
-                        self.inner.cache.lock().expect("cache lock").rebase(
-                            &shape,
-                            rebased,
-                            snap.data_version,
-                        );
+                        let mut cache = self.inner.cache.lock().expect("cache lock");
+                        if !cache.rebase(&shape, rebased, view.data_version) {
+                            // A snapshot older than the entry was
+                            // served by rebasing *locally*: the newer
+                            // entry stays put, but the serve is still
+                            // a hit.
+                            cache.note_hit();
+                        }
                         return Ok(rebound);
                     }
                 }
-                // Stats-sensitive: the drifted statistics flipped the
-                // §V-D choice (or the plan needs a real statistics
-                // pass) — invalidate and re-plan.
+                // Stats-sensitive: the view's statistics flip the §V-D
+                // choice (or the plan needs a real statistics pass) —
+                // invalidate (if older than this view) and re-plan.
                 self.inner
                     .cache
                     .lock()
                     .expect("cache lock")
-                    .drop_stale(&shape, snap.data_version);
+                    .drop_stale(&shape, view.data_version);
             }
             Lookup::Miss => {}
         }
-        let plan = self.inner.engine.plan(&snap.table, query)?;
-        // Re-check the versions under the locks before caching: a
-        // concurrent re-register or append between our snapshot and
-        // this insert would otherwise park a dead (stale-version)
-        // entry in an LRU slot.
+        let mut plan = self.inner.engine.plan(view.table, query)?;
+        plan.data_version = Some(view.data_version);
+        // Re-check the versions under the locks before caching: a plan
+        // made at an old snapshot — or against a table a concurrent
+        // re-register/append has moved past our cut — must not park a
+        // dead (stale-version) entry in an LRU slot.
         let tables = self.inner.tables.read().expect("catalogue lock");
         let current = tables
             .get(table)
             .map(|r| (r.schema_version, r.data_version));
         let mut cache = self.inner.cache.lock().expect("cache lock");
-        if current == Some((snap.schema_version, snap.data_version)) {
-            cache.insert(shape, plan.clone(), snap.data_version);
+        if current == Some((view.schema_version, view.data_version)) {
+            cache.insert(shape, plan.clone(), view.data_version);
         } else {
             cache.note_miss();
         }
         Ok(plan)
     }
 
-    /// Rebases a cached plan onto a newer data version using the live
-    /// statistics — the cheap refresh of the write path. `None` when
-    /// the shortcut does not apply (composite GROUP BY, sampled
-    /// estimation): those plans need a real statistics pass.
-    fn rebase_plan(&self, cached: &QueryPlan, snap: &ViewSnapshot) -> Option<QueryPlan> {
+    /// Rebases a cached plan onto a view at another data version using
+    /// that view's statistics — the cheap refresh of the write path,
+    /// and of snapshot reads whose version the cache has moved past.
+    /// `None` when the shortcut does not apply (composite GROUP BY,
+    /// sampled estimation): those plans need a real statistics pass.
+    fn rebase_plan(&self, cached: &QueryPlan, view: &ViewRef<'_>) -> Option<QueryPlan> {
         let query = cached.query();
-        let col = snap.stats.column(&query.group_by)?;
+        let col = view.stats.column(&query.group_by)?;
         let presorted = col.sorted && query.group_by_rest.is_empty();
         let scan_mode = ScanMode::of(presorted, self.inner.engine.estimation());
         if matches!(scan_mode, ScanMode::Sampled { .. }) {
@@ -586,7 +788,9 @@ impl SharedCatalogue {
         }
         // For a sorted column max = last element, so `max + 1` is
         // exactly what either scan mode would measure.
-        cached.rebase_onto(&snap.table, presorted, scan_mode, col.cardinality())
+        let mut plan = cached.rebase_onto(view.table, presorted, scan_mode, col.cardinality())?;
+        plan.data_version = Some(view.data_version);
+        Some(plan)
     }
 
     /// Whether the adaptive policy still selects the plan's algorithm
@@ -777,7 +981,19 @@ mod tests {
         let fresh_cat = SharedCatalogue::new();
         fresh_cat.register(cat.table("r").unwrap());
         let fresh = fresh_cat.plan_query("r", &q).unwrap();
-        assert_eq!(rebased.explain(), fresh.explain());
+        // Identical plans; the explain output differs only in the
+        // recorded provenance (data version 2 after the append vs 1 on
+        // the fresh registration).
+        assert_eq!(rebased.steps(), fresh.steps());
+        assert_eq!(rebased.algorithm(), fresh.algorithm());
+        assert_eq!(
+            (rebased.data_version(), fresh.data_version()),
+            (Some(2), Some(1))
+        );
+        assert_eq!(
+            rebased.explain().replace(" data_version=2", ""),
+            fresh.explain().replace(" data_version=1", "")
+        );
         assert_eq!(rebased.cardinality_estimate(), fresh.cardinality_estimate());
         // The rebased plan executes over the merged rows.
         let out = crate::Session::new().run(&rebased);
@@ -845,6 +1061,179 @@ mod tests {
         assert_eq!(old.rows(), 9, "base (8) plus the un-compacted delta (1)");
         assert_eq!(cat.versions("r"), Some((2, 1)), "data version reset");
         assert_eq!(cat.delta_rows("r"), Some(0));
+    }
+
+    #[test]
+    fn snapshots_pin_a_point_in_time_view() {
+        let cat = catalogue();
+        let snap = cat.snapshot();
+        cat.append("r", batch(vec![9, 9], vec![1, 1])).unwrap();
+        // Live view moved on; the snapshot did not.
+        assert_eq!(cat.table("r").unwrap().rows(), 10);
+        assert_eq!(snap.table("r").unwrap().rows(), 8);
+        assert_eq!(snap.data_version("r"), Some(1));
+        assert_eq!(snap.table_stats("r").unwrap().rows(), 8);
+        // Plans at the snapshot use the pinned cut.
+        let q = AggregateQuery::paper("g", "v");
+        let plan = cat.plan_query_at(&snap, "r", &q).unwrap();
+        assert_eq!(plan.rows(), 8);
+        assert_eq!(plan.data_version(), Some(1));
+        let live = cat.plan_query("r", &q).unwrap();
+        assert_eq!(live.rows(), 10);
+        assert_eq!(live.data_version(), Some(2));
+    }
+
+    #[test]
+    fn every_live_read_is_a_snapshot_of_now() {
+        // The one-read-path proof: the live plan/table path runs
+        // through the same snapshot capture as the explicit API, so
+        // the snapshot counter moves on every read.
+        let cat = catalogue();
+        let before = cat.snapshot_stats().snapshots_taken;
+        cat.plan_query("r", &AggregateQuery::paper("g", "v"))
+            .unwrap();
+        cat.table("r").unwrap();
+        let stats = cat.snapshot_stats();
+        assert_eq!(stats.snapshots_taken, before + 2);
+        assert_eq!(stats.live_snapshots, 0, "of-now cuts release on return");
+        assert_eq!(stats.live_pins, 0);
+    }
+
+    #[test]
+    fn compaction_defers_delta_gc_while_pinned_and_reclaims_on_drop() {
+        let cat = catalogue();
+        cat.set_compaction_policy(CompactionPolicy::every(2));
+        cat.append("r", batch(vec![6], vec![1])).unwrap();
+        let snap = cat.snapshot(); // pins data version 2, delta prefix 1
+        assert_eq!(snap.delta_rows("r"), Some(1));
+
+        // This append trips compaction; the pinned delta generation is
+        // retired, not freed — and compaction itself is not delayed.
+        let receipt = cat.append("r", batch(vec![7], vec![1])).unwrap();
+        assert!(receipt.compacted, "readers never block the write path");
+        let stats = cat.snapshot_stats();
+        assert_eq!(stats.deferred_gcs, 1);
+        assert_eq!(stats.retired_deltas, 1);
+        assert_eq!(stats.oldest_pinned_version, Some(2));
+
+        // The snapshot still reads its pinned cut from the retired
+        // store: 8 base rows + 1 delta row, not the 10-row live table.
+        assert_eq!(snap.table("r").unwrap().rows(), 9);
+        assert_eq!(&snap.table("r").unwrap().column("g").unwrap()[8..], &[6]);
+        assert_eq!(cat.table("r").unwrap().rows(), 10);
+
+        // Dropping the snapshot releases the pin and reclaims.
+        drop(snap);
+        let stats = cat.snapshot_stats();
+        assert_eq!(stats.live_pins, 0);
+        assert_eq!(stats.retired_deltas, 0, "deferred GC reclaimed");
+        assert_eq!(stats.reclaimed_gcs, 1);
+        assert_eq!(stats.oldest_pinned_version, None);
+    }
+
+    #[test]
+    fn re_registration_retires_a_pinned_delta() {
+        let cat = catalogue();
+        cat.append("r", batch(vec![6, 6], vec![1, 1])).unwrap();
+        let snap = cat.snapshot();
+        cat.register(
+            Table::new("r")
+                .with_column("g", vec![0])
+                .with_column("v", vec![0]),
+        );
+        // The snapshot still serves the pre-replacement cut.
+        let t = snap.table("r").unwrap();
+        assert_eq!(t.rows(), 10);
+        assert_eq!(cat.table("r").unwrap().rows(), 1);
+        assert_eq!(cat.snapshot_stats().deferred_gcs, 1);
+        drop(snap);
+        assert_eq!(cat.snapshot_stats().retired_deltas, 0);
+    }
+
+    #[test]
+    fn unpinned_compactions_free_the_delta_without_deferral() {
+        let cat = catalogue();
+        cat.set_compaction_policy(CompactionPolicy::every(2));
+        cat.append("r", batch(vec![6, 7], vec![1, 1])).unwrap();
+        let stats = cat.snapshot_stats();
+        assert_eq!((stats.deferred_gcs, stats.retired_deltas), (0, 0));
+    }
+
+    #[test]
+    fn clean_view_cuts_pin_no_delta_and_never_defer_gc() {
+        let cat = catalogue();
+        cat.set_compaction_policy(CompactionPolicy::every(3));
+        cat.append("r", batch(vec![6], vec![1])).unwrap();
+        cat.table("r").unwrap(); // materialises + installs the clean view
+        let snap = cat.snapshot(); // the cut carries that view
+        assert_eq!(snap.delta_rows("r"), Some(1));
+        // Compaction trips; the snapshot reads its own clean view, so
+        // the delta is freed outright — no deferred GC on its account.
+        cat.append("r", batch(vec![7, 8], vec![1, 1])).unwrap();
+        let stats = cat.snapshot_stats();
+        assert_eq!((stats.deferred_gcs, stats.retired_deltas), (0, 0));
+        assert_eq!(snap.table("r").unwrap().rows(), 9, "still repeatable");
+        drop(snap);
+    }
+
+    #[test]
+    fn snapshots_at_zero_delta_never_block_gc() {
+        // A snapshot taken right after compaction pins no delta rows,
+        // so later compactions need no deferral on its account.
+        let cat = catalogue();
+        cat.set_compaction_policy(CompactionPolicy::every(2));
+        let snap = cat.snapshot(); // prefix 0
+        cat.append("r", batch(vec![6, 7], vec![1, 1])).unwrap();
+        assert_eq!(cat.snapshot_stats().deferred_gcs, 0);
+        assert_eq!(snap.table("r").unwrap().rows(), 8, "still repeatable");
+        drop(snap);
+    }
+
+    #[test]
+    fn old_snapshots_are_served_from_newer_cache_entries_without_regression() {
+        let cat = catalogue();
+        let q = AggregateQuery::paper("g", "v");
+        let snap = cat.snapshot(); // data version 1
+        cat.append("r", batch(vec![3], vec![9])).unwrap();
+        // Live plan caches an entry at data version 2.
+        cat.plan_query("r", &q).unwrap();
+        // The old snapshot rebases that entry locally; the entry stays
+        // at version 2 and the serve counts as a hit.
+        let at = cat.plan_query_at(&snap, "r", &q).unwrap();
+        assert_eq!(at.rows(), 8);
+        assert_eq!(at.data_version(), Some(1));
+        let s = cat.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // The live entry was not regressed: the next live lookup is a
+        // plain hit at version 2.
+        let live = cat.plan_query("r", &q).unwrap();
+        assert_eq!(live.rows(), 9);
+        assert_eq!(cat.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn foreign_snapshots_are_rejected() {
+        let cat = catalogue();
+        let other = catalogue();
+        let snap = other.snapshot();
+        let e = cat
+            .plan_query_at(&snap, "r", &AggregateQuery::paper("g", "v"))
+            .unwrap_err();
+        assert_eq!(e, SqlError::ForeignSnapshot);
+    }
+
+    #[test]
+    fn snapshot_of_a_missing_table_is_unknown_table() {
+        let cat = catalogue();
+        let snap = cat.snapshot();
+        let e = cat
+            .plan_query_at(&snap, "nope", &AggregateQuery::paper("g", "v"))
+            .unwrap_err();
+        assert_eq!(e, SqlError::UnknownTable("nope".into()));
+        // A table registered after the cut does not exist in it.
+        cat.register(Table::new("late").with_column("g", vec![1]));
+        assert!(snap.table("late").is_none());
+        assert!(cat.table("late").is_some());
     }
 
     #[test]

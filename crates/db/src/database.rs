@@ -39,7 +39,8 @@ use crate::ingest::{IngestError, IngestReceipt, RowBatch};
 use crate::plan::{PlanError, QueryPlan};
 use crate::prepared::PreparedStatement;
 use crate::session::{PartialRun, Session};
-use crate::sql::{parse_statement, ParseSqlError, Statement};
+use crate::snapshot::{Snapshot, SnapshotStats};
+use crate::sql::{parse_statement, ParseSqlError, SqlQuery, Statement};
 use crate::table::Table;
 use std::error::Error;
 use std::fmt;
@@ -83,6 +84,39 @@ pub enum SqlError {
         /// Shards the executing database has.
         database: usize,
     },
+    /// A write (`INSERT`) was attempted through a read-only view: at an
+    /// explicit [`crate::Snapshot`] ([`Database::run_sql_at`]) or
+    /// inside a `BEGIN READ ONLY` transaction. Snapshots are immutable
+    /// point-in-time cuts; run the write on the live database, outside
+    /// the transaction.
+    ReadOnly,
+    /// `BEGIN READ ONLY` was issued while a transaction is already
+    /// open; transactions do not nest. `COMMIT` first.
+    NestedTransaction,
+    /// `COMMIT` was issued with no open transaction.
+    NoOpenTransaction,
+    /// A `BEGIN READ ONLY` / `COMMIT` bracket was passed to an API
+    /// that cannot manage transaction state
+    /// ([`Database::execute_sql`], [`Database::explain_sql`],
+    /// [`Database::run_sql_at`], the sharded SQL entry points, …);
+    /// use [`Database::run_sql`].
+    TransactionStatement,
+    /// A [`crate::Snapshot`] cut from one catalogue was used to read
+    /// another ([`Database::run_sql_at`],
+    /// [`crate::SharedCatalogue::plan_query_at`],
+    /// [`crate::PreparedStatement::execute_at`]): the pinned cut
+    /// describes tables the target catalogue does not own. Capture the
+    /// snapshot from the catalogue that executes it.
+    ForeignSnapshot,
+    /// A [`crate::ShardedSnapshot`] cut from one shard layout was used
+    /// to read a [`crate::ShardedDatabase`] with a different shard
+    /// count — the per-shard cuts cannot be paired with the shards.
+    SnapshotShardMismatch {
+        /// Shards the snapshot was cut from.
+        snapshot: usize,
+        /// Shards the reading database has.
+        database: usize,
+    },
 }
 
 impl fmt::Display for SqlError {
@@ -113,6 +147,34 @@ impl fmt::Display for SqlError {
                 f,
                 "statement prepared for {statement} shard(s) cannot run \
                  on a {database}-shard database"
+            ),
+            SqlError::ReadOnly => write!(
+                f,
+                "snapshots and READ ONLY transactions cannot write; run \
+                 INSERT on the live database, outside the transaction"
+            ),
+            SqlError::NestedTransaction => write!(
+                f,
+                "a READ ONLY transaction is already open; transactions \
+                 do not nest — COMMIT first"
+            ),
+            SqlError::NoOpenTransaction => {
+                write!(f, "COMMIT without an open transaction")
+            }
+            SqlError::TransactionStatement => write!(
+                f,
+                "BEGIN READ ONLY / COMMIT manage session transaction \
+                 state; use run_sql"
+            ),
+            SqlError::ForeignSnapshot => write!(
+                f,
+                "the snapshot was cut from a different catalogue; \
+                 capture it from the catalogue that executes it"
+            ),
+            SqlError::SnapshotShardMismatch { snapshot, database } => write!(
+                f,
+                "snapshot cut from {snapshot} shard(s) cannot serve \
+                 reads on a {database}-shard database"
             ),
         }
     }
@@ -153,14 +215,29 @@ pub enum SqlOutcome {
     /// reports the row count, the delta fill and whether the append
     /// tripped a compaction.
     Inserted(IngestReceipt),
+    /// A `BEGIN READ ONLY` opened a read-only transaction: the session
+    /// captured one snapshot and every statement until `COMMIT` reads
+    /// at it.
+    TransactionBegun,
+    /// A `COMMIT` closed the open read-only transaction and released
+    /// its snapshot.
+    TransactionCommitted,
 }
 
 /// One session over a [`SharedCatalogue`]: planning goes through the
 /// catalogue (tables, [`Engine`], shared plan cache), execution runs on
 /// this session's own [`Session`] machine.
+///
+/// Every read happens at a [`Snapshot`]. A bare [`Database::run_sql`]
+/// captures a snapshot-of-now per statement; `BEGIN READ ONLY` pins
+/// the session to one snapshot until `COMMIT`; and
+/// [`Database::run_sql_at`] reads at an explicit snapshot the caller
+/// holds — all three are the same read path.
 pub struct Database {
     catalogue: SharedCatalogue,
     session: Session,
+    /// The open `BEGIN READ ONLY` transaction's snapshot, if any.
+    txn: Option<Snapshot>,
 }
 
 impl fmt::Debug for Database {
@@ -168,6 +245,7 @@ impl fmt::Debug for Database {
         f.debug_struct("Database")
             .field("tables", &self.table_names())
             .field("session", &self.session)
+            .field("in_transaction", &self.txn.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -194,7 +272,11 @@ impl Database {
     /// [`SharedCatalogue::connect`] returns).
     pub(crate) fn over(catalogue: SharedCatalogue) -> Self {
         let session = Session::with_config(catalogue.engine().config().clone());
-        Self { catalogue, session }
+        Self {
+            catalogue,
+            session,
+            txn: None,
+        }
     }
 
     /// The catalogue this session plans through. Clone the handle to
@@ -274,11 +356,72 @@ impl Database {
         self.catalogue.data_version(name)
     }
 
+    /// Captures an immutable point-in-time view of every registered
+    /// table (see [`SharedCatalogue::snapshot`]): reads at it stay
+    /// repeatable while ingest, compaction and re-registration proceed
+    /// on the live catalogue. Dropping the snapshot releases its pins.
+    ///
+    /// ```
+    /// use vagg_db::{Database, SqlOutcome, Table};
+    ///
+    /// let mut db = Database::new();
+    /// db.register(Table::new("r").with_column("g", vec![1, 2, 1]));
+    /// let snap = db.snapshot();
+    /// db.run_sql("INSERT INTO r (g) VALUES (3), (3)")?;
+    /// let at = db.run_sql_at(&snap, "SELECT g, COUNT(*) FROM r GROUP BY g")?;
+    /// match at {
+    ///     SqlOutcome::Rows(out) => assert_eq!(out.rows.len(), 2), // not 3
+    ///     other => unreachable!("SELECT returns rows: {other:?}"),
+    /// }
+    /// # Ok::<(), vagg_db::SqlError>(())
+    /// ```
+    pub fn snapshot(&self) -> Snapshot {
+        self.catalogue.snapshot()
+    }
+
+    /// The snapshot subsystem's observability counters — live pins,
+    /// oldest pinned data version, deferred/reclaimed GCs (see
+    /// [`SharedCatalogue::snapshot_stats`]).
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.catalogue.snapshot_stats()
+    }
+
+    /// Whether a `BEGIN READ ONLY` transaction is open on this session.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// The open read-only transaction's snapshot, for the prepared
+    /// statement path to join.
+    pub(crate) fn txn_snapshot(&self) -> Option<&Snapshot> {
+        self.txn.as_ref()
+    }
+
+    /// Plans one SELECT/EXPLAIN query — **the** read path: at the open
+    /// transaction's snapshot if one is pinned, else at a
+    /// snapshot-of-now.
+    fn plan_read(&self, q: &SqlQuery) -> Result<QueryPlan, SqlError> {
+        match &self.txn {
+            Some(snap) => self.catalogue.plan_query_at(snap, &q.table, &q.query),
+            // `plan_query` captures (and releases) a snapshot-of-now
+            // internally — the same path, same pins, same cache.
+            None => self.catalogue.plan_query(&q.table, &q.query),
+        }
+    }
+
     /// Parses and runs one SQL statement: `SELECT` executes on the
     /// session and returns rows, `EXPLAIN SELECT` returns the typed
-    /// plan without executing, and `INSERT` appends rows through the
-    /// write path. Planning is served from the shared
+    /// plan without executing, `INSERT` appends rows through the
+    /// write path, and `BEGIN READ ONLY` / `COMMIT` bracket a
+    /// read-only transaction. Planning is served from the shared
     /// [`crate::PlanCache`] when the query's shape was seen before.
+    ///
+    /// Every read happens at a [`Snapshot`]: a bare statement captures
+    /// a snapshot-of-now; between `BEGIN READ ONLY` and `COMMIT` all
+    /// statements read at the transaction's pinned snapshot, so a
+    /// multi-statement report sees one consistent database however
+    /// much concurrent ingest lands in between (`INSERT` inside the
+    /// transaction is rejected with [`SqlError::ReadOnly`]).
     ///
     /// ```
     /// use vagg_db::{Database, SqlOutcome, Table};
@@ -309,19 +452,82 @@ impl Database {
     pub fn run_sql(&mut self, sql: &str) -> Result<SqlOutcome, SqlError> {
         match parse_statement(sql)? {
             Statement::Select(q) => {
-                let plan = self.catalogue.plan_query(&q.table, &q.query)?;
+                let plan = self.plan_read(&q)?;
                 Ok(SqlOutcome::Rows(self.session.run(&plan)))
             }
-            Statement::Explain(q) => Ok(SqlOutcome::Plan(Box::new(
-                self.catalogue.plan_query(&q.table, &q.query)?,
-            ))),
+            Statement::Explain(q) => Ok(SqlOutcome::Plan(Box::new(self.plan_read(&q)?))),
             Statement::Insert(ins) => {
+                if self.txn.is_some() {
+                    return Err(SqlError::ReadOnly);
+                }
                 let batch =
                     RowBatch::from_rows(&ins.columns, &ins.rows).map_err(SqlError::Ingest)?;
                 Ok(SqlOutcome::Inserted(
                     self.catalogue.append(&ins.table, batch)?,
                 ))
             }
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(SqlError::NestedTransaction);
+                }
+                self.txn = Some(self.catalogue.snapshot());
+                Ok(SqlOutcome::TransactionBegun)
+            }
+            Statement::Commit => {
+                self.txn.take().ok_or(SqlError::NoOpenTransaction)?;
+                Ok(SqlOutcome::TransactionCommitted)
+            }
+        }
+    }
+
+    /// Parses and runs one `SELECT` / `EXPLAIN SELECT` **at an explicit
+    /// snapshot**: the statement reads the rows, statistics and plan of
+    /// the snapshot's pinned cut, regardless of ingest since. The same
+    /// snapshot can serve any number of statements (repeatable reads)
+    /// and any session of the same catalogue.
+    ///
+    /// ```
+    /// use vagg_db::{Database, SqlOutcome, Table};
+    ///
+    /// let mut db = Database::new();
+    /// db.register(
+    ///     Table::new("r")
+    ///         .with_column("g", vec![1, 2, 1])
+    ///         .with_column("v", vec![10, 20, 30]),
+    /// );
+    /// let snap = db.snapshot();
+    /// db.run_sql("INSERT INTO r (g, v) VALUES (3, 40)")?;
+    /// let sql = "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g";
+    /// let (at, live) = (db.run_sql_at(&snap, sql)?, db.run_sql(sql)?);
+    /// match (at, live) {
+    ///     (SqlOutcome::Rows(at), SqlOutcome::Rows(live)) => {
+    ///         assert_eq!(at.rows.len(), 2);   // the pinned cut
+    ///         assert_eq!(live.rows.len(), 3); // the live table
+    ///     }
+    ///     other => unreachable!("SELECT returns rows: {other:?}"),
+    /// }
+    /// # Ok::<(), vagg_db::SqlError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::run_sql`], plus [`SqlError::ReadOnly`] for
+    /// `INSERT` (snapshots are immutable),
+    /// [`SqlError::TransactionStatement`] for `BEGIN`/`COMMIT`
+    /// (transaction state belongs to [`Database::run_sql`]), and
+    /// [`SqlError::ForeignSnapshot`] if the snapshot was cut from a
+    /// different catalogue.
+    pub fn run_sql_at(&mut self, snap: &Snapshot, sql: &str) -> Result<SqlOutcome, SqlError> {
+        match parse_statement(sql)? {
+            Statement::Select(q) => {
+                let plan = self.catalogue.plan_query_at(snap, &q.table, &q.query)?;
+                Ok(SqlOutcome::Rows(self.session.run(&plan)))
+            }
+            Statement::Explain(q) => Ok(SqlOutcome::Plan(Box::new(
+                self.catalogue.plan_query_at(snap, &q.table, &q.query)?,
+            ))),
+            Statement::Insert(_) => Err(SqlError::ReadOnly),
+            Statement::Begin | Statement::Commit => Err(SqlError::TransactionStatement),
         }
     }
 
@@ -370,11 +576,12 @@ impl Database {
     pub fn execute_sql(&mut self, sql: &str) -> Result<QueryOutput, SqlError> {
         match parse_statement(sql)? {
             Statement::Select(q) => {
-                let plan = self.catalogue.plan_query(&q.table, &q.query)?;
+                let plan = self.plan_read(&q)?;
                 Ok(self.session.run(&plan))
             }
             Statement::Explain(_) => Err(SqlError::ExplainStatement),
             Statement::Insert(_) => Err(SqlError::InsertStatement),
+            Statement::Begin | Statement::Commit => Err(SqlError::TransactionStatement),
         }
     }
 
@@ -389,8 +596,9 @@ impl Database {
         let q = match parse_statement(sql)? {
             Statement::Select(q) | Statement::Explain(q) => q,
             Statement::Insert(_) => return Err(SqlError::InsertStatement),
+            Statement::Begin | Statement::Commit => return Err(SqlError::TransactionStatement),
         };
-        self.catalogue.plan_query(&q.table, &q.query)
+        self.plan_read(&q)
     }
 
     /// Executes an already-built plan on this session (the prepared
@@ -596,6 +804,125 @@ mod tests {
         // Re-registration does not disturb the order.
         db.register(Table::new("zulu").with_column("g", vec![2]));
         assert_eq!(db.table_names(), vec!["alpha", "mike", "zulu"]);
+    }
+
+    #[test]
+    fn read_only_transactions_pin_one_snapshot() {
+        let mut writer = db();
+        let mut reader = writer.catalogue().connect();
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g";
+
+        assert!(!reader.in_transaction());
+        assert!(matches!(
+            reader.run_sql("BEGIN READ ONLY").unwrap(),
+            SqlOutcome::TransactionBegun
+        ));
+        assert!(reader.in_transaction());
+        let first = reader.execute_sql(sql).unwrap();
+
+        // Concurrent-session ingest lands mid-transaction...
+        writer
+            .run_sql("INSERT INTO r (g, v) VALUES (9, 1), (9, 1)")
+            .unwrap();
+        assert_eq!(writer.table("r").unwrap().rows(), 10);
+
+        // ...but the transaction keeps reading its snapshot.
+        let second = reader.execute_sql(sql).unwrap();
+        assert_eq!(first.rows, second.rows, "repeatable read");
+        assert_eq!(second.rows.len(), 6);
+
+        assert!(matches!(
+            reader.run_sql("COMMIT").unwrap(),
+            SqlOutcome::TransactionCommitted
+        ));
+        assert!(!reader.in_transaction());
+        // After COMMIT the session reads the live database again.
+        let after = reader.execute_sql(sql).unwrap();
+        assert_eq!(after.rows.len(), 7);
+    }
+
+    #[test]
+    fn transaction_state_errors_are_typed() {
+        let mut db = db();
+        db.run_sql("BEGIN READ ONLY").unwrap();
+        assert_eq!(
+            db.run_sql("BEGIN READ ONLY").unwrap_err(),
+            SqlError::NestedTransaction
+        );
+        // Writes are rejected inside the read-only transaction and the
+        // transaction stays open.
+        assert_eq!(
+            db.run_sql("INSERT INTO r (g, v) VALUES (1, 2)")
+                .unwrap_err(),
+            SqlError::ReadOnly
+        );
+        assert!(db.in_transaction());
+        assert_eq!(db.table("r").unwrap().rows(), 8, "nothing appended");
+        db.run_sql("COMMIT").unwrap();
+        assert_eq!(
+            db.run_sql("COMMIT;").unwrap_err(),
+            SqlError::NoOpenTransaction
+        );
+        // APIs that cannot manage transaction state say so.
+        assert_eq!(
+            db.execute_sql("BEGIN READ ONLY").unwrap_err(),
+            SqlError::TransactionStatement
+        );
+        assert_eq!(
+            db.explain_sql("COMMIT").unwrap_err(),
+            SqlError::TransactionStatement
+        );
+    }
+
+    #[test]
+    fn run_sql_at_reads_the_pinned_cut_and_rejects_writes() {
+        let mut db = db();
+        let snap = db.snapshot();
+        db.run_sql("INSERT INTO r (g, v) VALUES (9, 1)").unwrap();
+
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g";
+        let at = match db.run_sql_at(&snap, sql).unwrap() {
+            SqlOutcome::Rows(out) => out,
+            other => panic!("SELECT returns rows: {other:?}"),
+        };
+        assert_eq!(at.rows.len(), 6, "the pinned cut");
+        match db.run_sql(sql).unwrap() {
+            SqlOutcome::Rows(out) => assert_eq!(out.rows.len(), 7, "the live table"),
+            other => panic!("SELECT returns rows: {other:?}"),
+        }
+
+        assert_eq!(
+            db.run_sql_at(&snap, "INSERT INTO r (g, v) VALUES (1, 1)")
+                .unwrap_err(),
+            SqlError::ReadOnly
+        );
+        assert_eq!(
+            db.run_sql_at(&snap, "BEGIN READ ONLY").unwrap_err(),
+            SqlError::TransactionStatement
+        );
+
+        // EXPLAIN at the snapshot reports the pinned data version.
+        let plan = match db
+            .run_sql_at(&snap, "EXPLAIN SELECT g, SUM(v) FROM r GROUP BY g")
+            .unwrap()
+        {
+            SqlOutcome::Plan(p) => p,
+            other => panic!("EXPLAIN returns a plan: {other:?}"),
+        };
+        assert_eq!(plan.data_version(), Some(1));
+        assert!(plan.explain().contains("data_version=1"));
+    }
+
+    #[test]
+    fn snapshots_from_another_catalogue_are_foreign() {
+        let mut db1 = db();
+        let db2 = Database::new();
+        let snap = db2.snapshot();
+        let e = db1
+            .run_sql_at(&snap, "SELECT g, SUM(v) FROM r GROUP BY g")
+            .unwrap_err();
+        assert_eq!(e, SqlError::ForeignSnapshot);
+        assert!(e.to_string().contains("catalogue"));
     }
 
     #[test]

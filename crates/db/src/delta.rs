@@ -9,7 +9,12 @@
 //! see base ++ delta through the catalogue's merged view, materialised
 //! lazily once per data version; a threshold-triggered compaction
 //! (see [`crate::ingest::CompactionPolicy`]) merges the delta into a
-//! new base and re-seeds statistics.
+//! new base and re-seeds statistics. Because the delta is append-only
+//! between compactions, a [`crate::Snapshot`] pins a point-in-time
+//! view as `(epoch, prefix row count)` — no delta data is copied at
+//! capture time, and compaction *retires* a still-pinned delta to a
+//! frozen side store instead of freeing it (deferred GC, reclaimed
+//! when the last pin drops).
 //!
 //! [`TableStats`] is the live-statistics half: per-column row count,
 //! min/max, sortedness and a sampled (KMV sketch) distinct estimate,
@@ -25,11 +30,20 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// The write-optimised layer of one registered table: append-only
 /// columnar batches over the same column set as the base table.
+///
+/// Because the delta only ever *grows* between compactions, any row
+/// count observed at a batch boundary is a stable **prefix view**: a
+/// [`crate::Snapshot`] pins `(epoch, rows-at-capture)` and later reads
+/// exactly those rows back as a prefix of each column, however
+/// many batches have landed since. The `epoch` bumps whenever the
+/// rows are discarded (compaction, re-registration), so a pinned
+/// prefix can always tell the store it captured from its successor.
 #[derive(Debug, Clone, Default)]
 pub struct DeltaStore {
     columns: BTreeMap<String, Vec<u32>>,
     batches: usize,
     rows: usize,
+    epoch: u64,
 }
 
 impl DeltaStore {
@@ -43,6 +57,7 @@ impl DeltaStore {
                 .collect(),
             batches: 0,
             rows: 0,
+            epoch: 0,
         }
     }
 
@@ -56,9 +71,45 @@ impl DeltaStore {
         self.batches
     }
 
+    /// The delta's epoch: bumped every time the parked rows are
+    /// discarded (compaction folding them into the base, or the table
+    /// being replaced), so a prefix view pinned at one epoch is never
+    /// confused with the rows of a later delta generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// One delta column's data (empty slice until rows arrive).
     pub(crate) fn column(&self, name: &str) -> &[u32] {
         self.columns.get(name).map_or(&[], |c| &c[..])
+    }
+
+    /// The first `rows` values of one column — a pinned snapshot's
+    /// prefix view (batch boundaries make any captured row count a
+    /// stable prefix of the append-only delta).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` exceeds the column's length — a pin/epoch
+    /// bookkeeping bug, never reachable through the public API.
+    pub(crate) fn prefix_column(&self, name: &str, rows: usize) -> &[u32] {
+        &self.column(name)[..rows]
+    }
+
+    /// A frozen copy of the first `rows` delta rows (same epoch) — the
+    /// bounded extract a pinned reader takes under the registry lock,
+    /// so the O(base) view merge can run outside every lock.
+    pub(crate) fn clone_prefix(&self, rows: usize) -> DeltaStore {
+        DeltaStore {
+            columns: self
+                .columns
+                .keys()
+                .map(|n| (n.clone(), self.prefix_column(n, rows).to_vec()))
+                .collect(),
+            batches: self.batches,
+            rows,
+            epoch: self.epoch,
+        }
     }
 
     /// Appends one validated batch (the catalogue checks the batch
@@ -74,13 +125,37 @@ impl DeltaStore {
         self.rows += batch.rows();
     }
 
-    /// Empties the delta (after compaction merged it into the base).
+    /// Empties the delta (after compaction merged it into the base),
+    /// opening the next epoch.
     pub(crate) fn clear(&mut self) {
         for col in self.columns.values_mut() {
             col.clear();
         }
         self.batches = 0;
         self.rows = 0;
+        self.epoch += 1;
+    }
+
+    /// Moves the parked rows out into a frozen store (same contents,
+    /// same epoch) and opens the next epoch in place — the deferred-GC
+    /// half of compaction: live snapshots still pinning this epoch's
+    /// prefix keep reading the frozen store until the last pin drops.
+    pub(crate) fn retire(&mut self) -> DeltaStore {
+        let retired = DeltaStore {
+            columns: std::mem::take(&mut self.columns),
+            batches: self.batches,
+            rows: self.rows,
+            epoch: self.epoch,
+        };
+        self.columns = retired
+            .columns
+            .keys()
+            .map(|n| (n.clone(), Vec::new()))
+            .collect();
+        self.batches = 0;
+        self.rows = 0;
+        self.epoch += 1;
+        retired
     }
 }
 
@@ -123,6 +198,24 @@ impl ColumnStats {
             self.last = Some(x);
             self.sketch.insert(x);
         }
+    }
+
+    /// Folds another partition's statistics of the same column into
+    /// this one (see [`TableStats::merged`]).
+    fn absorb(&mut self, other: &ColumnStats) {
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.sorted = self.sorted && other.sorted;
+        // The merged view is not an ingest accumulator: partitions
+        // append independently, so there is no meaningful "last value".
+        self.last = None;
+        self.sketch.merge(&other.sketch);
     }
 
     /// The §V-D cardinality this column would plan with: `max + 1`.
@@ -191,6 +284,30 @@ impl TableStats {
     pub fn column_names(&self) -> Vec<&str> {
         self.columns.keys().map(String::as_str).collect()
     }
+
+    /// Merges per-partition statistics into one observability view —
+    /// what [`crate::ShardedDatabase::table_stats`] reports for a
+    /// row-partitioned table. Row counts add, min/max combine, the KMV
+    /// sketches union (keeping the K smallest hashes, so the merged
+    /// distinct estimate is as good as a single-store sketch of the
+    /// same rows), and `sorted` means *sorted within every partition*
+    /// (the partitions are separate stores; no global order exists).
+    ///
+    /// `None` when `parts` is empty or the column sets disagree.
+    pub fn merged(parts: &[TableStats]) -> Option<TableStats> {
+        let (first, rest) = parts.split_first()?;
+        let mut out = first.clone();
+        for part in rest {
+            if part.column_names() != out.column_names() {
+                return None;
+            }
+            out.rows += part.rows;
+            for (name, col) in out.columns.iter_mut() {
+                col.absorb(part.column(name).expect("column sets checked equal"));
+            }
+        }
+        Some(out)
+    }
 }
 
 /// A K-minimum-values distinct-count sketch: keep the `K` smallest
@@ -215,11 +332,24 @@ impl DistinctSketch {
     }
 
     fn insert(&mut self, value: u32) {
-        let h = splitmix64(value as u64 ^ 0x5851_F42D_4C95_7F2D);
+        self.insert_hash(splitmix64(value as u64 ^ 0x5851_F42D_4C95_7F2D));
+    }
+
+    fn insert_hash(&mut self, h: u64) {
         if self.hashes.len() < SKETCH_K {
             self.hashes.insert(h);
         } else if h < *self.hashes.last().expect("sketch at capacity") && self.hashes.insert(h) {
             self.hashes.pop_last();
+        }
+    }
+
+    /// Unions another sketch into this one, keeping the K smallest
+    /// hashes of either — KMV sketches merge losslessly, so the union
+    /// estimates the combined distinct count exactly as a single
+    /// sketch over all the rows would.
+    fn merge(&mut self, other: &DistinctSketch) {
+        for &h in &other.hashes {
+            self.insert_hash(h);
         }
     }
 
@@ -262,6 +392,75 @@ mod tests {
         d.clear();
         assert_eq!((d.rows(), d.batches()), (0, 0));
         assert!(d.column("g").is_empty());
+    }
+
+    #[test]
+    fn clear_and_retire_advance_the_epoch() {
+        let base = Table::new("r")
+            .with_column("g", vec![1])
+            .with_column("v", vec![2]);
+        let mut d = DeltaStore::for_table(&base);
+        assert_eq!(d.epoch(), 0);
+        d.append(&batch(vec![5, 6], vec![7, 8]));
+        d.clear();
+        assert_eq!(d.epoch(), 1, "clear opens a new epoch");
+
+        d.append(&batch(vec![1, 2, 3], vec![4, 5, 6]));
+        let frozen = d.retire();
+        assert_eq!(frozen.epoch(), 1, "the frozen store keeps its epoch");
+        assert_eq!(frozen.rows(), 3);
+        assert_eq!(frozen.prefix_column("g", 2), &[1, 2]);
+        assert_eq!((d.epoch(), d.rows(), d.batches()), (2, 0, 0));
+        // The live store keeps accepting appends after retirement.
+        d.append(&batch(vec![9], vec![9]));
+        assert_eq!(d.column("g"), &[9]);
+    }
+
+    #[test]
+    fn prefix_views_survive_later_appends() {
+        let base = Table::new("r").with_column("g", vec![0]);
+        let mut d = DeltaStore::for_table(&base);
+        d.append(&RowBatch::new().with_column("g", vec![1, 2]));
+        let prefix = d.rows();
+        d.append(&RowBatch::new().with_column("g", vec![3, 4, 5]));
+        assert_eq!(d.prefix_column("g", prefix), &[1, 2], "stable prefix");
+    }
+
+    #[test]
+    fn merged_stats_match_a_single_store_over_all_rows() {
+        // Partition the same rows two ways: per-part seed + merged must
+        // agree with one seed over everything, for every statistic.
+        let all: Vec<u32> = (0..500u32).map(|i| i * 37 % 311).collect();
+        let whole = TableStats::seed(&Table::new("r").with_column("g", all.clone()));
+        let parts: Vec<TableStats> = all
+            .chunks(167)
+            .map(|c| TableStats::seed(&Table::new("r").with_column("g", c.to_vec())))
+            .collect();
+        let merged = TableStats::merged(&parts).unwrap();
+        assert_eq!(merged.rows(), whole.rows());
+        let (m, w) = (merged.column("g").unwrap(), whole.column("g").unwrap());
+        assert_eq!(m.min, w.min);
+        assert_eq!(m.max, w.max);
+        assert_eq!(
+            m.distinct_estimate(),
+            w.distinct_estimate(),
+            "KMV sketches union losslessly"
+        );
+    }
+
+    #[test]
+    fn merged_stats_sorted_means_sorted_within_every_part() {
+        let sorted = TableStats::seed(&Table::new("r").with_column("g", vec![1, 2, 3]));
+        let also_sorted = TableStats::seed(&Table::new("r").with_column("g", vec![0, 1]));
+        let unsorted = TableStats::seed(&Table::new("r").with_column("g", vec![5, 1]));
+        let m = TableStats::merged(&[sorted.clone(), also_sorted]).unwrap();
+        assert!(m.column("g").unwrap().sorted, "both parts sorted");
+        let m = TableStats::merged(&[sorted.clone(), unsorted]).unwrap();
+        assert!(!m.column("g").unwrap().sorted, "one part unsorted");
+        // Degenerate and mismatched inputs.
+        assert!(TableStats::merged(&[]).is_none());
+        let other = TableStats::seed(&Table::new("r").with_column("h", vec![1]));
+        assert!(TableStats::merged(&[sorted, other]).is_none());
     }
 
     #[test]

@@ -283,6 +283,9 @@ impl Engine {
             cardinality,
             presorted,
             rows: n,
+            // Engine-direct plans have no catalogue, hence no data
+            // version; the catalogue stamps it on its plans.
+            data_version: None,
             group,
             rest,
             value,

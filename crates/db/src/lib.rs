@@ -38,7 +38,41 @@
 //!   and plan reconciliation: cached plans survive ingest by rebasing
 //!   onto the new columns unless the drifted statistics flip the §V-D
 //!   algorithm choice, in which case the plan cache invalidates them
-//!   and [`PreparedStatement::replans`] increments.
+//!   and [`PreparedStatement::replans`] increments;
+//! * the snapshot-first read path — **every** read happens at an MVCC
+//!   [`Snapshot`]: `run_sql` captures a snapshot-of-now per statement,
+//!   [`Database::snapshot`] / [`SharedCatalogue::snapshot`] /
+//!   [`ShardedDatabase::snapshot`] pin explicit point-in-time cuts
+//!   served by [`Database::run_sql_at`] and
+//!   [`PreparedStatement::execute_at`] (plans pinned to the snapshot's
+//!   statistics), SQL `BEGIN READ ONLY` / `COMMIT` bracket a session
+//!   onto one snapshot, and compaction defers delta retirement while
+//!   pins are live (epoch/refcount GC, observable via
+//!   [`SnapshotStats`]).
+//!
+//! ## Snapshot reads under ingest
+//!
+//! ```
+//! use vagg_db::{Database, SqlOutcome, Table};
+//!
+//! let mut db = Database::new();
+//! db.register(
+//!     Table::new("r")
+//!         .with_column("g", vec![1, 2, 1])
+//!         .with_column("v", vec![10, 20, 30]),
+//! );
+//! let snap = db.snapshot(); // point-in-time cut of every table
+//! db.run_sql("INSERT INTO r (g, v) VALUES (3, 40)")?;
+//! let sql = "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g";
+//! let at = match db.run_sql_at(&snap, sql)? {
+//!     SqlOutcome::Rows(out) => out.rows.len(),
+//!     other => unreachable!("SELECT returns rows: {other:?}"),
+//! };
+//! assert_eq!(at, 2, "the snapshot never sees the insert");
+//! drop(snap); // releases the pins
+//! assert_eq!(db.snapshot_stats().live_snapshots, 0);
+//! # Ok::<(), vagg_db::SqlError>(())
+//! ```
 //!
 //! ## Ingest and stats-driven re-planning
 //!
@@ -131,6 +165,7 @@ pub mod prepared;
 pub mod query;
 pub mod session;
 pub mod shard;
+pub mod snapshot;
 pub mod sql;
 pub mod table;
 
@@ -145,7 +180,10 @@ pub use plan::{PlanError, PlanStep, QueryPlan, ScanMode};
 pub use prepared::PreparedStatement;
 pub use query::{AggFn, AggregateQuery, Having, OrderBy, OrderKey};
 pub use session::{PartialRun, Session};
-pub use shard::{ShardedDatabase, ShardedIngestReceipt, ShardedOutput, ShardedStatement};
+pub use shard::{
+    ShardedDatabase, ShardedIngestReceipt, ShardedOutput, ShardedSnapshot, ShardedStatement,
+};
+pub use snapshot::{Snapshot, SnapshotStats};
 pub use sql::{
     parse, parse_statement, parse_template, InsertStatement, ParamSlot, ParseSqlError, SqlQuery,
     SqlTemplate, Statement,

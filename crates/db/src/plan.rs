@@ -251,6 +251,12 @@ pub struct QueryPlan {
     pub(crate) cardinality: u64,
     pub(crate) presorted: bool,
     pub(crate) rows: usize,
+    /// The table data version this plan was produced against — the
+    /// snapshot cut for catalogue-planned queries, `None` for plans
+    /// built directly by [`crate::Engine::plan`] (no catalogue, no
+    /// versions). Rendered by [`QueryPlan::explain`] so a stale plan
+    /// is debuggable from its output alone.
+    pub(crate) data_version: Option<u64>,
     /// Column snapshots (shared with the table, not copied): the primary
     /// grouping column, further grouping columns, the value column, and
     /// the WHERE column.
@@ -279,6 +285,14 @@ impl QueryPlan {
     /// Whether the grouping column is known sorted (DBMS metadata).
     pub fn presorted(&self) -> bool {
         self.presorted
+    }
+
+    /// The table data version this plan was produced against: the
+    /// pinned [`crate::Snapshot`] cut for snapshot reads, the
+    /// version-of-now for live reads, `None` for plans built directly
+    /// by [`crate::Engine::plan`] outside any catalogue.
+    pub fn data_version(&self) -> Option<u64> {
+        self.data_version
     }
 
     /// Input rows the plan will stage.
@@ -411,6 +425,12 @@ impl QueryPlan {
             self.algorithm.name().replace(' ', "-"),
             self.cardinality
         );
+        if let Some(v) = self.data_version {
+            // Catalogue-planned queries record the data version (the
+            // snapshot cut) the plan was produced against, so a
+            // stale-plan investigation needs no counters.
+            let _ = write!(out, " data_version={v}");
+        }
         for (i, step) in self.steps.iter().enumerate() {
             let _ = write!(out, "\n  {}. {step}", i + 1);
         }

@@ -27,6 +27,7 @@ use crate::database::{Database, SqlError};
 use crate::engine::QueryOutput;
 use crate::plan::{PlanError, QueryPlan};
 use crate::query::AggregateQuery;
+use crate::snapshot::Snapshot;
 use crate::sql::{parse_template, ParamSlot, SqlTemplate};
 
 /// A statement planned once and executed many times with bound
@@ -71,7 +72,7 @@ impl PreparedStatement {
         // first-execution surprises. The plan doubles as the template
         // every later execution rebinds.
         let query = stmt.template.query.clone();
-        stmt.plan_bound(catalogue, &query)?;
+        stmt.plan_bound(catalogue, None, &query)?;
         Ok(stmt)
     }
 
@@ -201,7 +202,35 @@ impl PreparedStatement {
     /// wrapped in [`SqlError::Plan`]), plus the usual planning errors
     /// when a re-plan is needed.
     pub fn execute(&mut self, db: &mut Database, params: &[u64]) -> Result<QueryOutput, SqlError> {
-        let plan = self.bound_plan(db.catalogue(), params)?;
+        // A session inside BEGIN READ ONLY pins every read — prepared
+        // or ad hoc — to the transaction's snapshot.
+        let plan = self.bound_plan_at(db.catalogue(), db.txn_snapshot(), params)?;
+        self.executions += 1;
+        Ok(db.run_plan(&plan))
+    }
+
+    /// Binds `params` and executes on `db`'s session **at a pinned
+    /// snapshot**: the plan's column snapshots, cardinality statistics
+    /// and §V-D algorithm choice come from the snapshot's cut — later
+    /// ingest may have flipped the live choice and compacted the table,
+    /// the execution still reproduces the pinned rows exactly. The
+    /// statement's cached plan follows whatever version it last
+    /// executed at, so alternating live/snapshot executions refresh it
+    /// each time (counted by [`PreparedStatement::rebases`] /
+    /// [`PreparedStatement::replans`] like any other version move).
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedStatement::execute`], plus
+    /// [`SqlError::ForeignSnapshot`] if the snapshot was cut from a
+    /// catalogue other than `db`'s.
+    pub fn execute_at(
+        &mut self,
+        db: &mut Database,
+        snap: &Snapshot,
+        params: &[u64],
+    ) -> Result<QueryOutput, SqlError> {
+        let plan = self.bound_plan_at(db.catalogue(), Some(snap), params)?;
         self.executions += 1;
         Ok(db.run_plan(&plan))
     }
@@ -214,19 +243,40 @@ impl PreparedStatement {
         catalogue: &SharedCatalogue,
         params: &[u64],
     ) -> Result<QueryPlan, SqlError> {
+        self.bound_plan_at(catalogue, None, params)
+    }
+
+    /// As [`PreparedStatement::bound_plan`], at an explicit snapshot
+    /// when one is given (else live — itself a snapshot-of-now inside
+    /// the catalogue).
+    pub(crate) fn bound_plan_at(
+        &mut self,
+        catalogue: &SharedCatalogue,
+        snap: Option<&Snapshot>,
+        params: &[u64],
+    ) -> Result<QueryPlan, SqlError> {
         let bound = self.bind(params).map_err(SqlError::Plan)?;
-        self.plan_bound(catalogue, &bound)
+        self.plan_bound(catalogue, snap, &bound)
     }
 
     fn plan_bound(
         &mut self,
         catalogue: &SharedCatalogue,
+        snap: Option<&Snapshot>,
         bound: &AggregateQuery,
     ) -> Result<QueryPlan, SqlError> {
         let table = &self.template.table;
-        let (schema_version, data_version) = catalogue
-            .versions(table)
-            .ok_or_else(|| SqlError::UnknownTable(table.clone()))?;
+        if let Some(snap) = snap {
+            if !snap.catalogue().is_same(catalogue) {
+                return Err(SqlError::ForeignSnapshot);
+            }
+        }
+        let versions = match snap {
+            Some(snap) => snap.schema_version(table).zip(snap.data_version(table)),
+            None => catalogue.versions(table),
+        };
+        let (schema_version, data_version) =
+            versions.ok_or_else(|| SqlError::UnknownTable(table.clone()))?;
         let mut drifted_from = None;
         if let Some(cached) = &self.cached {
             let same_table =
@@ -250,7 +300,10 @@ impl PreparedStatement {
                 self.replans += 1;
             }
         }
-        let plan = catalogue.plan_query(table, bound)?;
+        let plan = match snap {
+            Some(snap) => catalogue.plan_query_at(snap, table, bound)?,
+            None => catalogue.plan_query(table, bound)?,
+        };
         if let Some(old_algorithm) = drifted_from {
             if plan.algorithm() == old_algorithm {
                 self.rebases += 1;
@@ -528,6 +581,63 @@ mod tests {
             Some(Algorithm::PartiallySortedMonotable)
         );
         assert_eq!(out.rows.len(), 7, "six base groups plus group 20000");
+    }
+
+    #[test]
+    fn execute_at_reads_the_pinned_cut() {
+        use crate::ingest::RowBatch;
+        let mut db = db();
+        let mut stmt = db
+            .prepare("SELECT g, COUNT(*), SUM(v) FROM r WHERE v > ? GROUP BY g")
+            .unwrap();
+        let snap = db.snapshot();
+        let before = stmt.execute(&mut db, &[0]).unwrap();
+        db.append_rows(
+            "r",
+            RowBatch::new()
+                .with_column("g", vec![1, 1])
+                .with_column("v", vec![8, 9]),
+        )
+        .unwrap();
+        let at = stmt.execute_at(&mut db, &snap, &[0]).unwrap();
+        assert_eq!(at.rows, before.rows, "pinned cut, not the live rows");
+        let live = stmt.execute(&mut db, &[0]).unwrap();
+        assert_ne!(live.rows, at.rows);
+        assert_eq!(stmt.executions(), 3);
+    }
+
+    #[test]
+    fn execute_inside_a_transaction_joins_its_snapshot() {
+        use crate::database::SqlOutcome;
+        let mut db = db();
+        let mut writer = db.catalogue().connect();
+        let mut stmt = db
+            .prepare("SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")
+            .unwrap();
+        assert!(matches!(
+            db.run_sql("BEGIN READ ONLY").unwrap(),
+            SqlOutcome::TransactionBegun
+        ));
+        let first = stmt.execute(&mut db, &[]).unwrap();
+        writer
+            .run_sql("INSERT INTO r (g, v) VALUES (9, 1)")
+            .unwrap();
+        let second = stmt.execute(&mut db, &[]).unwrap();
+        assert_eq!(first.rows, second.rows, "prepared reads join the txn");
+        db.run_sql("COMMIT").unwrap();
+        let after = stmt.execute(&mut db, &[]).unwrap();
+        assert_eq!(after.rows.len(), 7, "live again after COMMIT");
+    }
+
+    #[test]
+    fn execute_at_rejects_foreign_snapshots() {
+        let mut db1 = db();
+        let db2 = Database::new();
+        let mut stmt = db1.prepare("SELECT g, SUM(v) FROM r GROUP BY g").unwrap();
+        let snap = db2.snapshot();
+        let e = stmt.execute_at(&mut db1, &snap, &[]).unwrap_err();
+        assert_eq!(e, SqlError::ForeignSnapshot);
+        assert_eq!(stmt.executions(), 0);
     }
 
     #[test]

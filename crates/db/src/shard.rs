@@ -26,14 +26,27 @@
 //! delta store, live statistics, data version and compaction schedule,
 //! so concurrent read traffic keeps merging correct partials while
 //! rows stream in.
+//!
+//! Reads can pin an **atomic cross-shard cut**:
+//! [`ShardedDatabase::snapshot`] captures one [`Snapshot`] per shard in
+//! a single pass (no append can interleave), and
+//! [`ShardedDatabase::run_sql_at`] /
+//! [`ShardedDatabase::execute_prepared_at`] answer from that cut — a
+//! consistent database-wide view, where the bare `run_sql` path could
+//! otherwise see shard 0 post-append and shard 3 pre-append. Drift is
+//! observable without snapshots too: [`ShardedDatabase::data_versions`]
+//! and [`ShardedDatabase::table_stats`] mirror the single-session
+//! accessors per shard and merged.
 
 use crate::database::{Database, SqlError};
+use crate::delta::TableStats;
 use crate::engine::{Engine, ExecutionReport, QueryOutput, Row};
 use crate::ingest::{CompactionPolicy, RowBatch};
 use crate::plan::{PlanError, QueryPlan};
 use crate::prepared::PreparedStatement;
 use crate::query::{AggregateQuery, Having, OrderBy, OrderKey};
 use crate::session::{agg_column, assemble_rows, PartialRun};
+use crate::snapshot::{Snapshot, SnapshotStats};
 use crate::sql::{parse_statement, parse_template, Statement};
 use crate::table::Table;
 use vagg_core::{AggResult, PartialAggregate};
@@ -80,6 +93,60 @@ pub struct ShardedOutput {
     pub shard_reports: Vec<ExecutionReport>,
 }
 
+/// An atomic cross-shard point-in-time cut of a [`ShardedDatabase`]:
+/// one [`Snapshot`] per shard, captured with **every shard's registry
+/// read lock held at once** — no write through any handle (the
+/// coordinator's `&mut self` API or a cloned shard-catalogue handle)
+/// can interleave between two shards' cuts. Reads at it
+/// ([`ShardedDatabase::run_sql_at`],
+/// [`ShardedDatabase::execute_prepared_at`]) see every shard at the
+/// same moment: shard 0 can never answer post-append while shard 3
+/// answers pre-append.
+#[derive(Debug)]
+pub struct ShardedSnapshot {
+    shards: Vec<Snapshot>,
+}
+
+impl ShardedSnapshot {
+    /// Shards in the cut.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard snapshots, in shard order.
+    pub fn shards(&self) -> &[Snapshot] {
+        &self.shards
+    }
+
+    /// Each shard's pinned data version of `table`, in shard order
+    /// (`None` if any shard lacks the table).
+    pub fn data_versions(&self, table: &str) -> Option<Vec<u64>> {
+        self.shards.iter().map(|s| s.data_version(table)).collect()
+    }
+
+    /// The merged pinned data version of `table` — see
+    /// [`ShardedDatabase::data_version`] for the definition.
+    pub fn data_version(&self, table: &str) -> Option<u64> {
+        merged_data_version(self.data_versions(table)?)
+    }
+
+    /// The pinned statistics of `table` merged across shards (see
+    /// [`TableStats::merged`]).
+    pub fn table_stats(&self, table: &str) -> Option<TableStats> {
+        let parts: Option<Vec<TableStats>> =
+            self.shards.iter().map(|s| s.table_stats(table)).collect();
+        TableStats::merged(&parts?)
+    }
+}
+
+/// One merged data version for a row-partitioned table: `1` for a
+/// freshly registered table, `+1` for every shard-level delta bump —
+/// the total ingest activity the partitions have absorbed, so drift
+/// between a plan and the sharded table is observable as one number.
+fn merged_data_version(per_shard: Vec<u64>) -> Option<u64> {
+    Some(1 + per_shard.iter().map(|v| v - 1).sum::<u64>())
+}
+
 /// A statement prepared once against every shard of a
 /// [`ShardedDatabase`] — see [`ShardedDatabase::prepare`].
 #[derive(Debug)]
@@ -103,6 +170,12 @@ impl ShardedStatement {
     /// [`PreparedStatement::replans`]).
     pub fn replans(&self) -> u64 {
         self.stmts.iter().map(|s| s.replans()).sum()
+    }
+
+    /// Total cheap plan refreshes across every shard (see
+    /// [`PreparedStatement::rebases`]).
+    pub fn rebases(&self) -> u64 {
+        self.stmts.iter().map(|s| s.rebases()).sum()
     }
 }
 
@@ -140,6 +213,77 @@ impl ShardedDatabase {
     /// The shard sessions (for per-shard accounting).
     pub fn shards(&self) -> &[Database] {
         &self.shards
+    }
+
+    /// Captures an atomic cross-shard point-in-time cut: every shard's
+    /// registry read lock is acquired first (in shard order), then
+    /// each shard is cut under the held locks — so no write through
+    /// *any* handle (the coordinator's `&mut self` API or a cloned
+    /// shard-catalogue handle on another thread) can land between two
+    /// shards' cuts. Reads at the cut are a consistent database-wide
+    /// view, however much ingest streams in afterwards.
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        // Phase 1: lock all shards. Always in shard order, and this is
+        // the only multi-catalogue lock acquirer, so no cycle exists.
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| shard.catalogue().registry_read())
+            .collect();
+        // Phase 2: cut each shard while every lock is still held.
+        ShardedSnapshot {
+            shards: self
+                .shards
+                .iter()
+                .zip(&guards)
+                .map(|(shard, guard)| shard.catalogue().capture_under(guard))
+                .collect(),
+        }
+    }
+
+    /// Each shard's live data version of `table`, in shard order —
+    /// the per-shard drift view ([`Database::data_version`] per
+    /// partition). `None` if any shard lacks the table.
+    pub fn data_versions(&self, table: &str) -> Option<Vec<u64>> {
+        self.shards
+            .iter()
+            .map(|shard| shard.data_version(table))
+            .collect()
+    }
+
+    /// The merged live data version of `table`: `1` for a freshly
+    /// registered table, `+1` for every shard-level delta bump — total
+    /// ingest activity across the partitions, the sharded counterpart
+    /// of [`Database::data_version`].
+    pub fn data_version(&self, table: &str) -> Option<u64> {
+        merged_data_version(self.data_versions(table)?)
+    }
+
+    /// Each shard's live statistics of `table`, in shard order.
+    pub fn table_stats_per_shard(&self, table: &str) -> Option<Vec<TableStats>> {
+        self.shards
+            .iter()
+            .map(|shard| shard.table_stats(table))
+            .collect()
+    }
+
+    /// The live statistics of `table` merged across every shard (row
+    /// counts add, min/max combine, KMV sketches union; `sorted` means
+    /// sorted within every partition — see [`TableStats::merged`]):
+    /// the sharded counterpart of [`Database::table_stats`].
+    pub fn table_stats(&self, table: &str) -> Option<TableStats> {
+        TableStats::merged(&self.table_stats_per_shard(table)?)
+    }
+
+    /// The snapshot subsystem's counters summed across every shard's
+    /// catalogue (pins, deferred/reclaimed GCs — see
+    /// [`crate::SharedCatalogue::snapshot_stats`]).
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        let mut out = SnapshotStats::default();
+        for shard in &self.shards {
+            out.absorb(&shard.catalogue().snapshot_stats());
+        }
+        out
     }
 
     /// Registers a table, splitting its rows into `shard_count`
@@ -251,6 +395,7 @@ impl ShardedDatabase {
                 expected: "INSERT",
                 found: "EXPLAIN".into(),
             })),
+            Statement::Begin | Statement::Commit => Err(SqlError::TransactionStatement),
         }
     }
 
@@ -270,6 +415,34 @@ impl ShardedDatabase {
             Statement::Select(q) => self.run_query(&q.table, &q.query),
             Statement::Explain(_) => Err(SqlError::ExplainStatement),
             Statement::Insert(_) => Err(SqlError::InsertStatement),
+            Statement::Begin | Statement::Commit => Err(SqlError::TransactionStatement),
+        }
+    }
+
+    /// Parses and runs one `SELECT` **at an atomic cross-shard
+    /// snapshot** (see [`ShardedDatabase::snapshot`]): every shard
+    /// plans and executes against its pinned cut, so the merged answer
+    /// is a consistent database-wide view however much routed ingest
+    /// has landed since the cut.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedDatabase::run_sql`], plus [`SqlError::ReadOnly`]
+    /// for `INSERT` (snapshots are immutable),
+    /// [`SqlError::SnapshotShardMismatch`] when the snapshot's shard
+    /// count differs from this database's, and
+    /// [`SqlError::ForeignSnapshot`] when a shard cut belongs to a
+    /// different catalogue.
+    pub fn run_sql_at(
+        &mut self,
+        snap: &ShardedSnapshot,
+        sql: &str,
+    ) -> Result<ShardedOutput, SqlError> {
+        match parse_statement(sql)? {
+            Statement::Select(q) => self.run_query_at(snap, &q.table, &q.query),
+            Statement::Explain(_) => Err(SqlError::ExplainStatement),
+            Statement::Insert(_) => Err(SqlError::ReadOnly),
+            Statement::Begin | Statement::Commit => Err(SqlError::TransactionStatement),
         }
     }
 
@@ -283,6 +456,7 @@ impl ShardedDatabase {
         let q = match parse_statement(sql)? {
             Statement::Select(q) | Statement::Explain(q) => q,
             Statement::Insert(_) => return Err(SqlError::InsertStatement),
+            Statement::Begin | Statement::Commit => return Err(SqlError::TransactionStatement),
         };
         let shard = self
             .first_populated_shard(&q.table)?
@@ -366,6 +540,70 @@ impl ShardedDatabase {
         Ok(out)
     }
 
+    /// Binds `params` on every shard's prepared statement **at an
+    /// atomic cross-shard snapshot**: each shard's plan is pinned (or
+    /// rebased) to its cut's statistics, so a statement prepared
+    /// before heavy ingest reproduces the pinned answer exactly —
+    /// even if the live §V-D choice has flipped on some shards since.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedDatabase::execute_prepared`], plus
+    /// [`SqlError::SnapshotShardMismatch`] /
+    /// [`SqlError::ForeignSnapshot`] for cuts that do not match this
+    /// database.
+    pub fn execute_prepared_at(
+        &mut self,
+        stmt: &mut ShardedStatement,
+        snap: &ShardedSnapshot,
+        params: &[u64],
+    ) -> Result<ShardedOutput, SqlError> {
+        if stmt.stmts.len() != self.shards.len() {
+            return Err(SqlError::ShardMismatch {
+                statement: stmt.stmts.len(),
+                database: self.shards.len(),
+            });
+        }
+        self.check_snapshot(snap)?;
+        let mut query = None;
+        let mut plans: Vec<Option<QueryPlan>> = Vec::with_capacity(self.shards.len());
+        for ((shard, cut), prepared) in self
+            .shards
+            .iter()
+            .zip(snap.shards.iter())
+            .zip(stmt.stmts.iter_mut())
+        {
+            let populated = cut.table(prepared.table()).is_some_and(|t| t.rows() > 0);
+            if populated {
+                let plan = prepared.bound_plan_at(shard.catalogue(), Some(cut), params)?;
+                query.get_or_insert_with(|| plan.query().clone());
+                plans.push(Some(plan));
+            } else {
+                query.get_or_insert(prepared.bind(params).map_err(SqlError::Plan)?);
+                plans.push(None);
+            }
+        }
+        if plans.iter().all(Option::is_none) {
+            return Err(SqlError::Plan(PlanError::EmptyTable));
+        }
+        let query = query.expect("a populated shard bound the query");
+        let out = self.execute_plans(&query, plans)?;
+        stmt.executions += 1;
+        Ok(out)
+    }
+
+    /// The shard-count compatibility check shared by the at-snapshot
+    /// read paths.
+    fn check_snapshot(&self, snap: &ShardedSnapshot) -> Result<(), SqlError> {
+        if snap.shards.len() != self.shards.len() {
+            return Err(SqlError::SnapshotShardMismatch {
+                snapshot: snap.shards.len(),
+                database: self.shards.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// The index of the first shard whose partition of `table` has
     /// rows, or `None` when the table is entirely empty.
     ///
@@ -407,6 +645,45 @@ impl ShardedDatabase {
                 _ => Ok(None),
             })
             .collect::<Result<Vec<_>, _>>()?;
+        if plans.iter().all(Option::is_none) {
+            return Err(SqlError::Plan(PlanError::EmptyTable));
+        }
+        self.execute_plans(query, plans)
+    }
+
+    /// [`ShardedDatabase::run_query`] at a pinned cross-shard cut:
+    /// every shard plans via
+    /// [`crate::SharedCatalogue::plan_query_at`] against its snapshot.
+    fn run_query_at(
+        &mut self,
+        snap: &ShardedSnapshot,
+        table: &str,
+        query: &AggregateQuery,
+    ) -> Result<ShardedOutput, SqlError> {
+        if !query.group_by_rest.is_empty() {
+            return Err(SqlError::ShardedCompositeKey);
+        }
+        self.check_snapshot(snap)?;
+        // Unknown-table / all-empty detection runs against the *cut*:
+        // a table registered after the snapshot does not exist here.
+        let mut seen = false;
+        let mut plans: Vec<Option<QueryPlan>> = Vec::with_capacity(self.shards.len());
+        for (shard, cut) in self.shards.iter().zip(snap.shards.iter()) {
+            match cut.table(table) {
+                Some(t) if t.rows() > 0 => {
+                    plans.push(Some(shard.catalogue().plan_query_at(cut, table, query)?));
+                    seen = true;
+                }
+                Some(_) => {
+                    plans.push(None);
+                    seen = true;
+                }
+                None => plans.push(None),
+            }
+        }
+        if !seen {
+            return Err(SqlError::UnknownTable(table.to_string()));
+        }
         if plans.iter().all(Option::is_none) {
             return Err(SqlError::Plan(PlanError::EmptyTable));
         }
@@ -711,6 +988,119 @@ mod tests {
             .run_sql("SELECT g, SUM(v) FROM nope GROUP BY g")
             .unwrap_err();
         assert_eq!(e, SqlError::UnknownTable("nope".into()));
+    }
+
+    #[test]
+    fn sharded_snapshots_are_an_atomic_cross_shard_cut() {
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g";
+        let mut sharded = ShardedDatabase::new(4);
+        sharded.register(events(400));
+        let snap = sharded.snapshot();
+        let before = sharded.run_sql(sql).unwrap();
+
+        // Routed ingest mutates every shard...
+        sharded
+            .insert_sql("INSERT INTO events (g, v) VALUES (0, 1), (1, 2), (2, 3), (3, 4), (4, 5)")
+            .unwrap();
+        assert_eq!(sharded.run_sql(sql).unwrap().report.rows_aggregated, 405);
+
+        // ...and the snapshot keeps answering the pre-append cut on
+        // every shard: no shard mixes post-append rows in.
+        let at = sharded.run_sql_at(&snap, sql).unwrap();
+        assert_eq!(at.rows, before.rows);
+        assert_eq!(at.report.rows_aggregated, 400);
+        assert_eq!(snap.data_versions("events"), Some(vec![1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn sharded_snapshot_misuse_is_typed() {
+        let mut four = ShardedDatabase::new(4);
+        four.register(events(100));
+        let snap = four.snapshot();
+        // Wrong shard count.
+        let mut two = ShardedDatabase::new(2);
+        two.register(events(100));
+        let e = two
+            .run_sql_at(&snap, "SELECT g, SUM(v) FROM events GROUP BY g")
+            .unwrap_err();
+        assert_eq!(
+            e,
+            SqlError::SnapshotShardMismatch {
+                snapshot: 4,
+                database: 2
+            }
+        );
+        assert!(e.to_string().contains("4 shard(s)"));
+        // Right count, wrong catalogues.
+        let mut other = ShardedDatabase::new(4);
+        other.register(events(100));
+        let e = other
+            .run_sql_at(&snap, "SELECT g, SUM(v) FROM events GROUP BY g")
+            .unwrap_err();
+        assert_eq!(e, SqlError::ForeignSnapshot);
+        // Writes and transaction brackets are rejected.
+        let e = four
+            .run_sql_at(&snap, "INSERT INTO events (g, v) VALUES (1, 2)")
+            .unwrap_err();
+        assert_eq!(e, SqlError::ReadOnly);
+        let e = four.run_sql_at(&snap, "BEGIN READ ONLY").unwrap_err();
+        assert_eq!(e, SqlError::TransactionStatement);
+    }
+
+    #[test]
+    fn prepared_statements_execute_at_sharded_snapshots() {
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM events WHERE v < ? GROUP BY g";
+        let mut sharded = ShardedDatabase::new(3);
+        sharded.register(events(90));
+        let mut stmt = sharded.prepare(sql).unwrap();
+        let snap = sharded.snapshot();
+        let before = sharded.execute_prepared(&mut stmt, &[100]).unwrap();
+        sharded
+            .insert_sql("INSERT INTO events (g, v) VALUES (1, 1), (2, 2)")
+            .unwrap();
+        let at = sharded
+            .execute_prepared_at(&mut stmt, &snap, &[100])
+            .unwrap();
+        assert_eq!(at.rows, before.rows, "pinned cross-shard cut");
+        let live = sharded.execute_prepared(&mut stmt, &[100]).unwrap();
+        assert_eq!(live.report.rows_aggregated, 92);
+        assert_eq!(stmt.executions(), 3);
+    }
+
+    #[test]
+    fn sharded_drift_accessors_mirror_the_single_session_ones() {
+        let mut sharded = ShardedDatabase::new(4);
+        sharded.register(events(100));
+        assert_eq!(sharded.data_versions("events"), Some(vec![1, 1, 1, 1]));
+        assert_eq!(sharded.data_version("events"), Some(1));
+        assert_eq!(sharded.data_versions("nope"), None);
+        assert!(sharded.table_stats("nope").is_none());
+
+        // A 3-row insert touches 3 of 4 shards: three per-shard bumps,
+        // merged version 1 + 3.
+        sharded
+            .insert_sql("INSERT INTO events (g, v) VALUES (50, 200), (1, 2), (2, 3)")
+            .unwrap();
+        let versions = sharded.data_versions("events").unwrap();
+        assert_eq!(versions.iter().filter(|&&v| v == 2).count(), 3);
+        assert_eq!(sharded.data_version("events"), Some(4));
+
+        // Merged statistics cover every partition.
+        let stats = sharded.table_stats("events").unwrap();
+        assert_eq!(stats.rows(), 103);
+        assert_eq!(stats.column("g").unwrap().max, Some(50));
+        assert_eq!(stats.column("v").unwrap().max, Some(200));
+        let per_shard = sharded.table_stats_per_shard("events").unwrap();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard.iter().map(TableStats::rows).sum::<usize>(), 103);
+
+        // Snapshot counters aggregate across shard catalogues.
+        let snap = sharded.snapshot();
+        let stats = sharded.snapshot_stats();
+        assert_eq!(stats.live_snapshots, 4, "one cut per shard");
+        assert!(stats.live_pins >= 4);
+        drop(snap);
+        assert_eq!(sharded.snapshot_stats().live_snapshots, 0);
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! MVCC snapshots: immutable point-in-time views of a catalogue.
+//!
+//! Every read in vagg-db happens **at a snapshot**. A [`Snapshot`] is a
+//! consistent cut of a [`crate::SharedCatalogue`] captured under one
+//! registry read-lock: for every table it records the schema and data
+//! versions, an `Arc`-cheap handle to the immutable base columns, the
+//! length of the append-only delta at capture time (a stable *prefix
+//! view* — see [`crate::DeltaStore`]), and a clone of the live
+//! [`TableStats`]. Nothing blocks the write path: appends, compactions
+//! and re-registrations proceed freely while snapshots are alive, and
+//! the snapshot keeps answering from the rows it pinned.
+//!
+//! * [`crate::Database::run_sql`] / [`crate::Database::execute_sql`]
+//!   are *snapshot-of-now* wrappers: each statement captures a
+//!   single-table cut, plans and runs at it, and releases it — there is
+//!   exactly one read path.
+//! * [`crate::Database::run_sql_at`] and
+//!   [`crate::PreparedStatement::execute_at`] run at an explicit,
+//!   long-lived snapshot: repeatable reads across statements, plans
+//!   pinned to the snapshot's statistics (the §V-D choice is made from
+//!   the pinned cardinality, not the drifted live one).
+//! * SQL `BEGIN READ ONLY` / `COMMIT` map a session onto one snapshot
+//!   for the duration of the transaction.
+//!
+//! ## Pins and deferred GC
+//!
+//! Each table cut registers a **pin** `(table, schema version, delta
+//! epoch, data version, prefix)` in the catalogue's pin registry;
+//! [`Drop`] releases it. A compaction (or re-registration) that would
+//! discard delta rows some pin still reads *retires* the delta to a
+//! frozen side store instead — a deferred GC, counted in
+//! [`SnapshotStats::deferred_gcs`] — and the store is reclaimed when
+//! the last pin on that epoch drops
+//! ([`SnapshotStats::reclaimed_gcs`]). The immutable base needs no such
+//! machinery: the snapshot's own `Arc` handles keep the old base
+//! columns alive for exactly as long as they are readable.
+//!
+//! ```
+//! use vagg_db::{Database, Table};
+//!
+//! let mut db = Database::new();
+//! db.register(
+//!     Table::new("r")
+//!         .with_column("g", vec![1, 2, 1])
+//!         .with_column("v", vec![10, 20, 30]),
+//! );
+//! let snap = db.snapshot(); // point-in-time view of every table
+//! db.run_sql("INSERT INTO r (g, v) VALUES (9, 99)")?;
+//! // The live path sees 4 rows; the snapshot still answers with 3.
+//! assert_eq!(db.table("r").unwrap().rows(), 4);
+//! assert_eq!(snap.table("r").unwrap().rows(), 3);
+//! # Ok::<(), vagg_db::SqlError>(())
+//! ```
+
+use crate::catalogue::SharedCatalogue;
+use crate::delta::{DeltaStore, TableStats};
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// One table's slice of a snapshot: everything needed to rebuild the
+/// merged view and to re-plan at the pinned statistics, captured under
+/// a single registry read-lock.
+#[derive(Debug, Clone)]
+pub(crate) struct TableCut {
+    /// The registration (schema) version the cut belongs to.
+    pub(crate) schema_version: u64,
+    /// The data version pinned by this cut.
+    pub(crate) data_version: u64,
+    /// The delta generation the prefix indexes into.
+    pub(crate) epoch: u64,
+    /// The immutable base at capture time (`Arc`-shared columns — this
+    /// handle is what keeps a replaced base readable).
+    pub(crate) base: Table,
+    /// Delta rows visible to this cut (a stable prefix of the
+    /// append-only delta at `epoch`).
+    pub(crate) delta_prefix: usize,
+    /// The live statistics at capture time — what plans made at this
+    /// snapshot feed the §V-D policy.
+    pub(crate) stats: TableStats,
+    /// The registry's already-materialised merged view, when it was
+    /// clean at capture time (reads at this cut are then free).
+    pub(crate) clean_view: Option<Table>,
+}
+
+impl TableCut {
+    /// Delta rows this cut will actually read from the shared store:
+    /// zero when the cut carries its own materialised clean view (the
+    /// snapshot then never touches the delta, so compaction needs no
+    /// deferral on its account), else the pinned prefix.
+    fn pin_prefix(&self) -> usize {
+        if self.clean_view.is_some() {
+            0
+        } else {
+            self.delta_prefix
+        }
+    }
+}
+
+/// The pin a [`TableCut`] registers; the registry key is
+/// `(table, schema_version, epoch)` and the slot key the data version.
+#[derive(Debug, Clone, Copy)]
+struct PinSlot {
+    count: usize,
+    prefix: usize,
+}
+
+/// The catalogue-side pin registry: which delta epochs live snapshots
+/// still read, plus the retired (deferred-GC) delta stores and the
+/// observability counters behind [`SnapshotStats`].
+#[derive(Debug, Default)]
+pub(crate) struct PinRegistry {
+    /// `(table, schema_version, epoch)` → data version → pin slot.
+    pins: BTreeMap<(String, u64, u64), BTreeMap<u64, PinSlot>>,
+    /// Deltas whose rows were discarded by compaction/re-registration
+    /// while still pinned: frozen here until the last pin drops.
+    retired: BTreeMap<(String, u64, u64), DeltaStore>,
+    live_snapshots: u64,
+    snapshots_taken: u64,
+    deferred_gcs: u64,
+    reclaimed_gcs: u64,
+}
+
+impl PinRegistry {
+    /// Registers one snapshot's cuts (the snapshot itself is counted
+    /// once, each table cut holds one pin).
+    pub(crate) fn register(&mut self, cuts: &BTreeMap<String, TableCut>) {
+        self.snapshots_taken += 1;
+        self.live_snapshots += 1;
+        for (table, cut) in cuts {
+            let slot = self
+                .pins
+                .entry((table.clone(), cut.schema_version, cut.epoch))
+                .or_default()
+                .entry(cut.data_version)
+                .or_insert(PinSlot {
+                    count: 0,
+                    prefix: cut.pin_prefix(),
+                });
+            slot.count += 1;
+            // Cuts at one data version always agree on the rows, but a
+            // clean-view cut pins prefix 0 (it never reads the delta)
+            // while a view-less one pins the real prefix — keep the
+            // stronger requirement for the shared slot.
+            slot.prefix = slot.prefix.max(cut.pin_prefix());
+        }
+    }
+
+    /// Releases one snapshot's pins, reclaiming retired deltas whose
+    /// last prefix pin just dropped.
+    pub(crate) fn release(&mut self, cuts: &BTreeMap<String, TableCut>) {
+        self.live_snapshots = self.live_snapshots.saturating_sub(1);
+        for (table, cut) in cuts {
+            let key = (table.clone(), cut.schema_version, cut.epoch);
+            let Some(slots) = self.pins.get_mut(&key) else {
+                debug_assert!(false, "released a pin that was never registered");
+                continue;
+            };
+            if let Some(slot) = slots.get_mut(&cut.data_version) {
+                slot.count -= 1;
+                if slot.count == 0 {
+                    slots.remove(&cut.data_version);
+                }
+            }
+            if slots.is_empty() {
+                self.pins.remove(&key);
+            }
+            if !self.needs_delta(&key) && self.retired.remove(&key).is_some() {
+                self.reclaimed_gcs += 1;
+            }
+        }
+    }
+
+    /// Whether any live pin still reads delta rows of this generation —
+    /// the compaction/re-registration check that decides between
+    /// freeing the delta and retiring it.
+    pub(crate) fn needs_delta(&self, key: &(String, u64, u64)) -> bool {
+        self.pins
+            .get(key)
+            .is_some_and(|slots| slots.values().any(|s| s.prefix > 0))
+    }
+
+    /// Parks a discarded-but-pinned delta in the side store (a deferred
+    /// GC).
+    pub(crate) fn retire(&mut self, key: (String, u64, u64), delta: DeltaStore) {
+        self.deferred_gcs += 1;
+        self.retired.insert(key, delta);
+    }
+
+    /// The retired delta a pinned cut reads after its live store moved
+    /// on.
+    pub(crate) fn retired(&self, key: &(String, u64, u64)) -> Option<&DeltaStore> {
+        self.retired.get(key)
+    }
+
+    /// The current observability counters.
+    pub(crate) fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            live_snapshots: self.live_snapshots,
+            live_pins: self
+                .pins
+                .values()
+                .flat_map(|slots| slots.values())
+                .map(|s| s.count as u64)
+                .sum(),
+            snapshots_taken: self.snapshots_taken,
+            oldest_pinned_version: self
+                .pins
+                .values()
+                .flat_map(|slots| slots.keys())
+                .min()
+                .copied(),
+            deferred_gcs: self.deferred_gcs,
+            reclaimed_gcs: self.reclaimed_gcs,
+            retired_deltas: self.retired.len(),
+        }
+    }
+}
+
+/// Observability counters for the snapshot subsystem of one catalogue
+/// (see [`crate::SharedCatalogue::snapshot_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SnapshotStats {
+    /// Snapshots currently alive (captured, not yet dropped).
+    pub live_snapshots: u64,
+    /// Table pins currently held (one per table per live snapshot).
+    pub live_pins: u64,
+    /// Snapshots captured so far — including the snapshot-of-now cuts
+    /// every [`crate::Database::run_sql`] read takes, so this counter
+    /// is also the proof that the live path runs through the one
+    /// snapshot read path.
+    pub snapshots_taken: u64,
+    /// The smallest data version any live pin holds (`None` when no
+    /// snapshot is alive) — how far back the oldest reader still looks.
+    pub oldest_pinned_version: Option<u64>,
+    /// Delta stores whose reclamation was deferred: compaction or
+    /// re-registration discarded rows a live snapshot still reads, so
+    /// the delta was retired to the side store instead of freed.
+    pub deferred_gcs: u64,
+    /// Retired delta stores reclaimed after their last pin dropped.
+    pub reclaimed_gcs: u64,
+    /// Retired delta stores currently parked (deferred, not yet
+    /// reclaimed).
+    pub retired_deltas: usize,
+}
+
+impl SnapshotStats {
+    /// Folds another catalogue's counters into this one (the sharded
+    /// observability view: one registry per shard).
+    pub(crate) fn absorb(&mut self, other: &SnapshotStats) {
+        self.live_snapshots += other.live_snapshots;
+        self.live_pins += other.live_pins;
+        self.snapshots_taken += other.snapshots_taken;
+        self.oldest_pinned_version = match (self.oldest_pinned_version, other.oldest_pinned_version)
+        {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.deferred_gcs += other.deferred_gcs;
+        self.reclaimed_gcs += other.reclaimed_gcs;
+        self.retired_deltas += other.retired_deltas;
+    }
+}
+
+/// An immutable, consistent point-in-time view of a catalogue — see
+/// the [module docs](self). Captured by
+/// [`crate::SharedCatalogue::snapshot`] /
+/// [`crate::Database::snapshot`]; dropping it releases its pins.
+pub struct Snapshot {
+    catalogue: SharedCatalogue,
+    cuts: BTreeMap<String, TableCut>,
+    /// Merged views materialised on first read, per table.
+    views: Mutex<BTreeMap<String, Table>>,
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let versions: BTreeMap<&str, u64> = self
+            .cuts
+            .iter()
+            .map(|(t, c)| (t.as_str(), c.data_version))
+            .collect();
+        f.debug_struct("Snapshot")
+            .field("tables", &versions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Snapshot {
+    pub(crate) fn over(catalogue: SharedCatalogue, cuts: BTreeMap<String, TableCut>) -> Self {
+        Self {
+            catalogue,
+            cuts,
+            views: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The catalogue this snapshot was cut from.
+    pub fn catalogue(&self) -> &SharedCatalogue {
+        &self.catalogue
+    }
+
+    /// Tables captured in this snapshot, sorted. The full-catalogue
+    /// [`crate::SharedCatalogue::snapshot`] captures every table; the
+    /// snapshot-of-now cuts behind `run_sql` capture only the table the
+    /// statement reads.
+    pub fn table_names(&self) -> Vec<String> {
+        self.cuts.keys().cloned().collect()
+    }
+
+    /// The pinned data version of `table` — what every read and plan at
+    /// this snapshot sees, regardless of later ingest.
+    pub fn data_version(&self, table: &str) -> Option<u64> {
+        self.cuts.get(table).map(|c| c.data_version)
+    }
+
+    /// The schema (registration) version of `table` at capture time.
+    pub fn schema_version(&self, table: &str) -> Option<u64> {
+        self.cuts.get(table).map(|c| c.schema_version)
+    }
+
+    /// Delta rows pinned by this snapshot (rows that were parked in the
+    /// table's delta store at capture time).
+    pub fn delta_rows(&self, table: &str) -> Option<usize> {
+        self.cuts.get(table).map(|c| c.delta_prefix)
+    }
+
+    /// The table statistics at capture time — the numbers plans made at
+    /// this snapshot feed the §V-D policy.
+    pub fn table_stats(&self, table: &str) -> Option<TableStats> {
+        self.cuts.get(table).map(|c| c.stats.clone())
+    }
+
+    /// The pinned content of `table`: base ++ delta-prefix, merged at
+    /// the captured versions (materialised on first read, cached for
+    /// the snapshot's lifetime; column data is `Arc`-shared).
+    pub fn table(&self, table: &str) -> Option<Table> {
+        let cut = self.cuts.get(table)?;
+        if let Some(view) = self.views.lock().expect("snapshot view lock").get(table) {
+            return Some(view.clone());
+        }
+        let view = match &cut.clean_view {
+            Some(v) => v.clone(),
+            None if cut.delta_prefix == 0 => cut.base.clone(),
+            None => self.catalogue.materialise_cut(table, cut),
+        };
+        self.views
+            .lock()
+            .expect("snapshot view lock")
+            .insert(table.to_string(), view.clone());
+        Some(view)
+    }
+
+    /// The cut backing `table`, for the catalogue's planner.
+    pub(crate) fn cut(&self, table: &str) -> Option<&TableCut> {
+        self.cuts.get(table)
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.catalogue.release_snapshot(&self.cuts);
+    }
+}

@@ -31,6 +31,17 @@
 //! through [`crate::SharedCatalogue::append`]. Tuple arity, duplicate
 //! columns and out-of-range values are parse-time errors.
 //!
+//! The snapshot API adds the read-only transaction brackets
+//!
+//! ```text
+//! BEGIN READ ONLY
+//! COMMIT
+//! ```
+//!
+//! mapping a session onto one [`crate::Snapshot`] for repeatable reads
+//! (see [`crate::Database::run_sql`]); only read-only transactions
+//! exist, so a bare `BEGIN` is rejected with guidance.
+//!
 //! ```
 //! use vagg_db::sql::parse;
 //!
@@ -55,7 +66,8 @@ pub struct SqlQuery {
 }
 
 /// One parsed statement: a `SELECT` to execute, an `EXPLAIN SELECT`
-/// to plan without executing, or an `INSERT` feeding the write path.
+/// to plan without executing, an `INSERT` feeding the write path, or
+/// the read-only transaction brackets `BEGIN READ ONLY` / `COMMIT`.
 #[derive(Debug, Clone)]
 pub enum Statement {
     /// Execute the query and return rows.
@@ -65,6 +77,13 @@ pub enum Statement {
     /// Append rows through the write path
     /// (see [`crate::SharedCatalogue::append`]).
     Insert(InsertStatement),
+    /// `BEGIN READ ONLY`: open a read-only transaction — the session
+    /// captures one [`crate::Snapshot`] and every statement until
+    /// `COMMIT` reads at it (see [`crate::Database::run_sql`]).
+    Begin,
+    /// `COMMIT`: close the open read-only transaction, releasing its
+    /// snapshot.
+    Commit,
 }
 
 /// A parsed `INSERT INTO t (cols...) VALUES (...), ...` statement.
@@ -512,21 +531,22 @@ fn parse_aggregate(p: &mut Parser, name: &str) -> Result<(AggFn, Option<String>)
 /// errors, grammar violations, unsupported comparisons, aggregate
 /// inconsistencies, or trailing input.
 pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
-    match parse_statement(sql)? {
-        Statement::Select(q) => Ok(q),
-        Statement::Explain(_) => Err(ParseSqlError::Expected {
-            expected: "SELECT",
-            found: "EXPLAIN".into(),
-        }),
-        Statement::Insert(_) => Err(ParseSqlError::Expected {
-            expected: "SELECT",
-            found: "INSERT".into(),
-        }),
-    }
+    let found = match parse_statement(sql)? {
+        Statement::Select(q) => return Ok(q),
+        Statement::Explain(_) => "EXPLAIN",
+        Statement::Insert(_) => "INSERT",
+        Statement::Begin => "BEGIN",
+        Statement::Commit => "COMMIT",
+    };
+    Err(ParseSqlError::Expected {
+        expected: "SELECT",
+        found: found.into(),
+    })
 }
 
-/// Parses one statement: `SELECT ...`, `EXPLAIN SELECT ...` or
-/// `INSERT INTO t (cols...) VALUES (...), ...`.
+/// Parses one statement: `SELECT ...`, `EXPLAIN SELECT ...`,
+/// `INSERT INTO t (cols...) VALUES (...), ...`, `BEGIN READ ONLY` or
+/// `COMMIT`.
 ///
 /// # Errors
 ///
@@ -544,6 +564,15 @@ pub fn parse_statement(sql: &str) -> Result<Statement, ParseSqlError> {
         p.pos += 1;
         return parse_insert(&mut p).map(Statement::Insert);
     }
+    if p.peek_is_keyword("BEGIN") {
+        p.pos += 1;
+        return parse_begin(&mut p).map(|()| Statement::Begin);
+    }
+    if p.peek_is_keyword("COMMIT") {
+        p.pos += 1;
+        parse_statement_end(&mut p)?;
+        return Ok(Statement::Commit);
+    }
     let explain = p.peek_is_keyword("EXPLAIN");
     if explain {
         p.pos += 1;
@@ -554,6 +583,39 @@ pub fn parse_statement(sql: &str) -> Result<Statement, ParseSqlError> {
     } else {
         Statement::Select(query)
     })
+}
+
+// `READ ONLY [;]` — the leading BEGIN keyword was already consumed.
+// Only read-only transactions exist: the snapshot API has no write
+// transactions, so a bare `BEGIN` is rejected with guidance.
+fn parse_begin(p: &mut Parser) -> Result<(), ParseSqlError> {
+    const EXPECTED: &str = "READ ONLY (only read-only transactions are supported)";
+    let read = p.ident(EXPECTED)?;
+    if !read.eq_ignore_ascii_case("READ") {
+        return Err(ParseSqlError::Expected {
+            expected: EXPECTED,
+            found: read,
+        });
+    }
+    let only = p.ident(EXPECTED)?;
+    if !only.eq_ignore_ascii_case("ONLY") {
+        return Err(ParseSqlError::Expected {
+            expected: EXPECTED,
+            found: only,
+        });
+    }
+    parse_statement_end(p)
+}
+
+// Optional trailing semicolon, then end of input.
+fn parse_statement_end(p: &mut Parser) -> Result<(), ParseSqlError> {
+    if p.peek() == Some(&Token::Semicolon) {
+        p.pos += 1;
+    }
+    if let Some(t) = p.peek() {
+        return Err(ParseSqlError::TrailingInput(t.describe()));
+    }
+    Ok(())
 }
 
 // `INTO t (col, ...) VALUES (num, ...) [, (num, ...)]* [;]` — the
@@ -1240,6 +1302,67 @@ mod tests {
     fn errors_implement_std_error() {
         fn assert_error<E: std::error::Error + Send + Sync>() {}
         assert_error::<ParseSqlError>();
+    }
+
+    #[test]
+    fn parses_transaction_brackets() {
+        assert!(matches!(
+            parse_statement("BEGIN READ ONLY").unwrap(),
+            Statement::Begin
+        ));
+        assert!(matches!(
+            parse_statement("begin read only;").unwrap(),
+            Statement::Begin
+        ));
+        assert!(matches!(
+            parse_statement("COMMIT").unwrap(),
+            Statement::Commit
+        ));
+        assert!(matches!(
+            parse_statement("commit;").unwrap(),
+            Statement::Commit
+        ));
+    }
+
+    #[test]
+    fn bare_begin_is_rejected_with_guidance() {
+        for sql in ["BEGIN", "BEGIN TRANSACTION", "BEGIN READ WRITE"] {
+            let e = parse_statement(sql).unwrap_err();
+            assert!(
+                e.to_string().contains("read-only"),
+                "{sql}: {e} should point at READ ONLY"
+            );
+        }
+        assert_eq!(
+            parse_statement("BEGIN READ ONLY extra").unwrap_err(),
+            ParseSqlError::TrailingInput("extra".into())
+        );
+        assert_eq!(
+            parse_statement("COMMIT extra").unwrap_err(),
+            ParseSqlError::TrailingInput("extra".into())
+        );
+    }
+
+    #[test]
+    fn plain_parse_and_templates_reject_transaction_brackets() {
+        assert_eq!(
+            parse("BEGIN READ ONLY").unwrap_err(),
+            ParseSqlError::Expected {
+                expected: "SELECT",
+                found: "BEGIN".into()
+            }
+        );
+        assert_eq!(
+            parse("COMMIT").unwrap_err(),
+            ParseSqlError::Expected {
+                expected: "SELECT",
+                found: "COMMIT".into()
+            }
+        );
+        assert!(matches!(
+            parse_template("BEGIN READ ONLY").unwrap_err(),
+            ParseSqlError::Expected { .. }
+        ));
     }
 
     #[test]

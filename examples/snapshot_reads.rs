@@ -1,0 +1,146 @@
+//! Snapshot reads: point-in-time views that never block the writer.
+//!
+//! The MVCC demo: a reporting session pins a consistent snapshot of an
+//! events table (and later a whole `BEGIN READ ONLY` transaction)
+//! while a writer streams batches in, drifts the §V-D statistics past
+//! the division boundary and trips threshold compactions. Every read
+//! at the snapshot keeps answering the pinned cut — same rows, same
+//! algorithm choice — while live reads follow the drift; a fresh
+//! database registered from the snapshot's rows is the correctness
+//! oracle. The pin/deferred-GC lifecycle is printed from
+//! [`vagg::db::SnapshotStats`] along the way.
+//!
+//! ```text
+//! cargo run --release --example snapshot_reads
+//! ```
+
+use vagg::datagen::{DatasetSpec, Distribution};
+use vagg::db::{CompactionPolicy, Database, RowBatch, SqlOutcome, Table};
+
+const SQL: &str = "SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g";
+
+fn rows(db: &mut Database, sql: &str) -> usize {
+    match db.run_sql(sql).expect("query runs") {
+        SqlOutcome::Rows(out) => out.rows.len(),
+        other => unreachable!("SELECT returns rows: {other:?}"),
+    }
+}
+
+fn main() {
+    // Low cardinality to start: the §V-D policy picks monotable.
+    let ds = DatasetSpec::paper(Distribution::Uniform, 60)
+        .with_rows(2_048)
+        .generate();
+    let mut db = Database::new();
+    db.catalogue()
+        .set_compaction_policy(CompactionPolicy::every(1_024));
+    db.register(
+        Table::new("events")
+            .with_column("g", ds.g.clone())
+            .with_column("v", ds.v.clone()),
+    );
+
+    let mut stmt = db.prepare(SQL).expect("statement prepares");
+    stmt.execute(&mut db, &[]).expect("executes");
+    println!(
+        "live plan before drift : {}",
+        head(&stmt.explain().unwrap())
+    );
+
+    // A drifting source: cardinality ramps past the §V-D division
+    // boundary (9,765) while the compaction threshold trips.
+    let mut stream = DatasetSpec::paper(Distribution::Uniform, 60)
+        .stream(512)
+        .with_cardinality_drift(40_000, 6);
+    let append = |db: &mut Database, g: Vec<u32>, v: Vec<u32>| {
+        let rows = RowBatch::new().with_column("g", g).with_column("v", v);
+        db.append_rows("events", rows).expect("appends")
+    };
+
+    // One batch lands in the delta, then the report pins its view of
+    // the world: the snapshot's cut holds base + a delta prefix.
+    let first = stream.next().expect("the stream is infinite");
+    append(&mut db, first.g, first.v);
+    let snap = db.snapshot();
+    println!(
+        "snapshot pinned        : data_version={} rows={} (delta prefix={})",
+        snap.data_version("events").unwrap(),
+        snap.table_stats("events").unwrap().rows(),
+        snap.delta_rows("events").unwrap()
+    );
+
+    let mut compactions = 0;
+    for batch in stream.by_ref().take(5) {
+        let receipt = append(&mut db, batch.g, batch.v);
+        compactions += usize::from(receipt.compacted);
+    }
+    println!(
+        "writer streamed        : 5 more batches, {compactions} compaction(s), live rows={}",
+        db.table("events").unwrap().rows()
+    );
+
+    // Live reads follow the drift; the snapshot does not.
+    stmt.execute(&mut db, &[]).expect("executes");
+    println!(
+        "live plan after drift  : {}",
+        head(&stmt.explain().unwrap())
+    );
+    let at = stmt.execute_at(&mut db, &snap, &[]).expect("executes at");
+    println!(
+        "snapshot plan          : {}",
+        head(&stmt.explain().unwrap())
+    );
+
+    // Oracle: the snapshot answer equals a fresh one-shot database
+    // over the snapshot's rows.
+    let mut fresh = Database::new();
+    fresh.register(snap.table("events").unwrap());
+    let oracle = fresh.execute_sql(SQL).expect("oracle runs");
+    assert_eq!(at.rows, oracle.rows, "snapshot read equals its oracle");
+    println!(
+        "snapshot read          : {} groups (oracle agrees)",
+        at.rows.len()
+    );
+
+    // The pinned delta generation was retired, not freed — observable
+    // in the stats — and reclaims when the snapshot drops.
+    let stats = db.snapshot_stats();
+    println!(
+        "pins                   : live={} oldest_version={:?} deferred_gcs={} retired={}",
+        stats.live_pins, stats.oldest_pinned_version, stats.deferred_gcs, stats.retired_deltas
+    );
+    drop(snap);
+    let stats = db.snapshot_stats();
+    assert_eq!(stats.live_pins, 0);
+    assert_eq!(stats.retired_deltas, 0, "deferred GC reclaimed on drop");
+    println!(
+        "after drop             : live={} reclaimed_gcs={} retired={}",
+        stats.live_pins, stats.reclaimed_gcs, stats.retired_deltas
+    );
+
+    // The same machinery through SQL: BEGIN READ ONLY pins the
+    // session, concurrent ingest stays invisible until COMMIT.
+    let mut writer = db.catalogue().connect();
+    db.run_sql("BEGIN READ ONLY").expect("begins");
+    let in_txn_before = rows(&mut db, SQL);
+    writer
+        .run_sql("INSERT INTO events (g, v) VALUES (50000, 1), (50001, 2)")
+        .expect("writer inserts");
+    let in_txn_after = rows(&mut db, SQL);
+    assert_eq!(
+        in_txn_before, in_txn_after,
+        "repeatable read inside the txn"
+    );
+    db.run_sql("COMMIT").expect("commits");
+    let live = rows(&mut db, SQL);
+    assert_eq!(live, in_txn_before + 2, "COMMIT returns to the live view");
+    println!("read-only txn          : {in_txn_before} groups across the txn, {live} after COMMIT");
+    println!("\nsnapshot reads never blocked the writer — and never saw it.");
+}
+
+/// The first two lines of an EXPLAIN rendering (SQL + planner facts).
+fn head(explain: &str) -> String {
+    let mut lines = explain.lines();
+    lines.next();
+    lines.next().unwrap_or_default().trim().to_string()
+}

@@ -58,7 +58,7 @@ fn explain_golden_full_tail_via_sql() {
         "SELECT region, quarter, COUNT(*), SUM(amount) FROM orders \
          WHERE status <> 0 GROUP BY region, quarter \
          HAVING COUNT(*) > 1 ORDER BY SUM(amount) DESC LIMIT 3\n\
-         \x20 rows=6 presorted=false algorithm=monotable cardinality≈12\n\
+         \x20 rows=6 presorted=false algorithm=monotable cardinality≈12 data_version=1\n\
          \x20 1. FuseKeys(region×quarter)\n\
          \x20 2. VectorFilter(status <> 0)\n\
          \x20 3. CardinalityScan[exact](cardinality≈12)\n\

@@ -1,0 +1,371 @@
+//! Integration tests for the snapshot-first read path: MVCC isolation
+//! under ingest and compaction, the prepared-statement acceptance
+//! scenario, read-only transactions, and the pin/deferred-GC
+//! lifecycle under concurrent traffic.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vagg::core::Algorithm;
+use vagg::db::{
+    CompactionPolicy, Database, QueryOutput, RowBatch, ShardedDatabase, SharedCatalogue,
+    SqlOutcome, Table,
+};
+
+fn seed_table(n: usize, cardinality: u32) -> Table {
+    Table::new("events")
+        .with_column(
+            "g",
+            (0..n)
+                .map(|i| ((i * 7919) % cardinality as usize) as u32)
+                .collect(),
+        )
+        .with_column("v", (0..n).map(|i| (i % 10) as u32).collect())
+}
+
+fn batch(g: Vec<u32>, v: Vec<u32>) -> RowBatch {
+    RowBatch::new().with_column("g", g).with_column("v", v)
+}
+
+fn rows_of(outcome: SqlOutcome) -> QueryOutput {
+    match outcome {
+        SqlOutcome::Rows(out) => out,
+        other => panic!("SELECT returns rows: {other:?}"),
+    }
+}
+
+const SQL: &str = "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM events GROUP BY g";
+
+/// The acceptance scenario: a prepared statement executed at an old
+/// snapshot returns results identical to a fresh plan over a table
+/// registered from that snapshot's rows — even after subsequent ingest
+/// flipped the live §V-D choice and triggered compaction — and the
+/// pinned plan makes the *snapshot's* algorithm choice, not the live
+/// one.
+#[test]
+fn prepared_statement_at_an_old_snapshot_survives_drift_and_compaction() {
+    let mut db = Database::new();
+    db.catalogue()
+        .set_compaction_policy(CompactionPolicy::every(4));
+    // Low cardinality (100 ≤ 9,765): the monotable division.
+    db.register(seed_table(600, 100));
+    let sql = "SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g";
+    let mut stmt = db.prepare(sql).unwrap();
+    stmt.execute(&mut db, &[]).unwrap();
+    assert_eq!(stmt.plan().unwrap().algorithm(), Algorithm::Monotable);
+
+    // Park rows in the delta, then pin the snapshot so its cut holds a
+    // non-trivial delta prefix (the retired-store path must carry it).
+    db.append_rows("events", batch(vec![7, 8], vec![1, 2]))
+        .unwrap();
+    let snap = db.snapshot();
+    assert_eq!(snap.delta_rows("events"), Some(2));
+
+    // Drift the live table across the §V-D division boundary AND trip
+    // compaction: the pinned delta generation is retired.
+    let receipt = db
+        .append_rows("events", batch(vec![20_000, 3], vec![1, 1]))
+        .unwrap();
+    assert!(receipt.compacted, "threshold compaction ran");
+    assert_eq!(db.snapshot_stats().deferred_gcs, 1, "pinned delta retired");
+    let live = stmt.execute(&mut db, &[]).unwrap();
+    assert_eq!(
+        stmt.plan().unwrap().algorithm(),
+        Algorithm::PartiallySortedMonotable,
+        "the live choice flipped"
+    );
+    assert_eq!(live.rows.len(), 101);
+
+    // Executing at the old snapshot re-pins the plan to the snapshot's
+    // statistics: the choice flips *back* and the rows are exactly the
+    // pinned cut's.
+    let at = stmt.execute_at(&mut db, &snap, &[]).unwrap();
+    assert_eq!(stmt.plan().unwrap().algorithm(), Algorithm::Monotable);
+    assert_eq!(
+        stmt.plan().unwrap().data_version(),
+        snap.data_version("events")
+    );
+
+    // Oracle: a fresh plan over a table registered from the snapshot's
+    // rows.
+    let mut fresh = Database::new();
+    fresh.register(snap.table("events").unwrap());
+    let oracle = fresh.execute_sql(sql).unwrap();
+    assert_eq!(at.rows, oracle.rows);
+    let oracle_plan = fresh.explain_sql(sql).unwrap();
+    assert_eq!(stmt.plan().unwrap().algorithm(), oracle_plan.algorithm());
+    assert_eq!(
+        stmt.plan().unwrap().cardinality_estimate(),
+        oracle_plan.cardinality_estimate()
+    );
+
+    // And the pinned state is released on drop.
+    drop(snap);
+    let stats = db.snapshot_stats();
+    assert_eq!(stats.live_pins, 0);
+    assert_eq!(stats.retired_deltas, 0, "deferred GC reclaimed");
+}
+
+/// The one-read-path check: the live `run_sql` is a snapshot-of-now
+/// wrapper — every SELECT moves the snapshot counter, pins nothing
+/// afterwards, and agrees with an explicit snapshot taken at the same
+/// moment.
+#[test]
+fn run_sql_is_a_snapshot_of_now_wrapper() {
+    let mut db = Database::new();
+    db.register(seed_table(200, 23));
+    let taken = db.snapshot_stats().snapshots_taken;
+    let live = rows_of(db.run_sql(SQL).unwrap());
+    let stats = db.snapshot_stats();
+    assert_eq!(
+        stats.snapshots_taken,
+        taken + 1,
+        "the SELECT ran through the snapshot read path"
+    );
+    assert_eq!(stats.live_snapshots, 0, "and released its cut on return");
+    assert_eq!(stats.live_pins, 0);
+
+    let snap = db.snapshot();
+    let at = rows_of(db.run_sql_at(&snap, SQL).unwrap());
+    assert_eq!(live.rows, at.rows, "same cut, same answer");
+
+    // EXPLAIN (the satellite): the plan records the data version it
+    // was produced against, live and pinned.
+    let plan = db.explain_sql(SQL).unwrap();
+    assert_eq!(plan.data_version(), Some(1));
+    assert!(plan.explain().contains("data_version=1"));
+    db.run_sql("INSERT INTO events (g, v) VALUES (1, 2)")
+        .unwrap();
+    let drifted = db.explain_sql(SQL).unwrap();
+    assert_eq!(drifted.data_version(), Some(2));
+    assert!(drifted.explain().contains("data_version=2"));
+    let pinned = match db.run_sql_at(&snap, &format!("EXPLAIN {SQL}")).unwrap() {
+        SqlOutcome::Plan(p) => p,
+        other => panic!("EXPLAIN returns a plan: {other:?}"),
+    };
+    assert!(
+        pinned.explain().contains("data_version=1"),
+        "snapshot version"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Snapshot isolation on a single session: for a random base, a
+    /// random split of appended batches and a random compaction
+    /// threshold, `run_sql_at(snap)` after the tail of appends equals
+    /// the same query run at the moment the snapshot was taken.
+    #[test]
+    fn snapshot_reads_equal_the_pre_append_answer(
+        base_rows in 1usize..60,
+        appends in proptest::collection::vec(
+            proptest::collection::vec((0u32..50, 0u32..100), 1..8),
+            1..8,
+        ),
+        cut in 0usize..8,
+        threshold in 1usize..16,
+    ) {
+        let cut = cut.min(appends.len());
+        let mut db = Database::new();
+        db.catalogue().set_compaction_policy(CompactionPolicy::every(threshold));
+        db.register(seed_table(base_rows, 13));
+
+        // Head of the append stream lands before the snapshot.
+        for rows in &appends[..cut] {
+            let (g, v): (Vec<u32>, Vec<u32>) = rows.iter().copied().unzip();
+            db.append_rows("events", batch(g, v)).unwrap();
+        }
+        let snap = db.snapshot();
+        let expected = rows_of(db.run_sql(SQL).unwrap());
+
+        // Tail lands after it (drift + possible compactions).
+        for rows in &appends[cut..] {
+            let (g, v): (Vec<u32>, Vec<u32>) = rows.iter().copied().unzip();
+            db.append_rows("events", batch(g, v)).unwrap();
+        }
+
+        let at = rows_of(db.run_sql_at(&snap, SQL).unwrap());
+        prop_assert_eq!(&at.rows, &expected.rows);
+        // Repeatable: asking again changes nothing.
+        let again = rows_of(db.run_sql_at(&snap, SQL).unwrap());
+        prop_assert_eq!(&again.rows, &expected.rows);
+        // And the snapshot's materialised table IS the pre-append table.
+        let mut fresh = Database::new();
+        fresh.register(snap.table("events").unwrap());
+        let oracle = fresh.execute_sql(SQL).unwrap();
+        prop_assert_eq!(&oracle.rows, &expected.rows);
+    }
+
+    /// The same isolation property on a shared catalogue with the
+    /// appends arriving from concurrently running writer threads.
+    #[test]
+    fn snapshot_reads_are_isolated_from_concurrent_writers(
+        appends in proptest::collection::vec(
+            proptest::collection::vec((0u32..50, 0u32..100), 1..6),
+            2..6,
+        ),
+        threshold in 1usize..8,
+    ) {
+        let catalogue = SharedCatalogue::new();
+        catalogue.set_compaction_policy(CompactionPolicy::every(threshold));
+        catalogue.register(seed_table(40, 13));
+
+        let mut reader = catalogue.connect();
+        let snap = Arc::new(catalogue.snapshot());
+        let expected = rows_of(reader.run_sql(SQL).unwrap());
+
+        std::thread::scope(|scope| {
+            // Writers stream batches into the shared catalogue...
+            for rows in &appends {
+                let catalogue = catalogue.clone();
+                scope.spawn(move || {
+                    let (g, v): (Vec<u32>, Vec<u32>) = rows.iter().copied().unzip();
+                    catalogue.append("events", batch(g, v)).unwrap();
+                });
+            }
+            // ...while reader sessions on other threads keep answering
+            // from the pinned cut.
+            for _ in 0..2 {
+                let mut session = catalogue.connect();
+                let snap = Arc::clone(&snap);
+                let expected = expected.rows.clone();
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        let at = rows_of(session.run_sql_at(&snap, SQL).unwrap());
+                        assert_eq!(at.rows, expected, "torn or non-repeatable read");
+                    }
+                });
+            }
+        });
+
+        // After the dust settles the snapshot still answers the old cut
+        // and the live table holds every appended row.
+        let at = rows_of(reader.run_sql_at(&snap, SQL).unwrap());
+        prop_assert_eq!(&at.rows, &expected.rows);
+        let appended: usize = appends.iter().map(Vec::len).sum();
+        prop_assert_eq!(
+            catalogue.table("events").unwrap().rows(),
+            40 + appended
+        );
+    }
+
+    /// Cross-shard snapshot isolation: the sharded cut answers the
+    /// pre-append merged result while routed ingest mutates the shards.
+    #[test]
+    fn sharded_snapshot_reads_equal_the_pre_append_answer(
+        shards in 1usize..5,
+        appends in proptest::collection::vec(
+            proptest::collection::vec((0u32..50, 0u32..100), 1..8),
+            1..6,
+        ),
+        threshold in 1usize..8,
+    ) {
+        let mut sharded = ShardedDatabase::new(shards);
+        sharded.register(seed_table(50, 13));
+        sharded.set_compaction_policy(CompactionPolicy::every(threshold));
+
+        let snap = sharded.snapshot();
+        let expected = sharded.run_sql(SQL).unwrap();
+        for rows in &appends {
+            let (g, v): (Vec<u32>, Vec<u32>) = rows.iter().copied().unzip();
+            sharded.append_rows("events", batch(g, v)).unwrap();
+        }
+        let at = sharded.run_sql_at(&snap, SQL).unwrap();
+        prop_assert_eq!(&at.rows, &expected.rows);
+        // The live merged answer equals a single fresh session over the
+        // merged rows (the sharded correctness oracle still holds).
+        let live = sharded.run_sql(SQL).unwrap();
+        let appended: usize = appends.iter().map(Vec::len).sum();
+        prop_assert_eq!(live.report.rows_aggregated, 50 + appended);
+    }
+}
+
+/// Stress: concurrent appends + aggressive threshold compaction +
+/// long-lived snapshot readers. No torn reads, pins released on drop,
+/// deferred GC eventually reclaims every retired delta.
+#[test]
+fn concurrent_ingest_compaction_and_snapshot_readers() {
+    let catalogue = SharedCatalogue::new();
+    catalogue.set_compaction_policy(CompactionPolicy::every(32));
+    catalogue.register(seed_table(256, 23));
+
+    const WRITER_BATCHES: usize = 40;
+    const BATCH_ROWS: usize = 7;
+    std::thread::scope(|scope| {
+        let writer = {
+            let catalogue = catalogue.clone();
+            scope.spawn(move || {
+                for i in 0..WRITER_BATCHES {
+                    let g: Vec<u32> = (0..BATCH_ROWS)
+                        .map(|j| ((i * 31 + j) % 23) as u32)
+                        .collect();
+                    let v: Vec<u32> = (0..BATCH_ROWS).map(|j| ((i + j) % 10) as u32).collect();
+                    catalogue.append("events", batch(g, v)).unwrap();
+                }
+            })
+        };
+        for _ in 0..3 {
+            let catalogue = catalogue.clone();
+            scope.spawn(move || {
+                let mut session = catalogue.connect();
+                for _ in 0..12 {
+                    // Long-lived snapshot: hold it across several
+                    // queries while the writer keeps appending and
+                    // compacting underneath.
+                    let snap = catalogue.snapshot();
+                    let pinned_rows = snap.table_stats("events").unwrap().rows();
+                    let first = rows_of(session.run_sql_at(&snap, SQL).unwrap());
+                    let count: f64 = first.rows.iter().map(|r| r.values[0]).sum();
+                    assert_eq!(count as usize, pinned_rows, "torn snapshot read");
+                    let second = rows_of(session.run_sql_at(&snap, SQL).unwrap());
+                    assert_eq!(first.rows, second.rows, "non-repeatable read");
+                    drop(snap);
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+
+    // Every pin released; every deferred GC reclaimed; the final
+    // content equals the full stream loaded in one shot.
+    let stats = catalogue.snapshot_stats();
+    assert_eq!(stats.live_snapshots, 0);
+    assert_eq!(stats.live_pins, 0);
+    assert_eq!(stats.retired_deltas, 0, "deferred GCs all reclaimed");
+    assert_eq!(stats.reclaimed_gcs, stats.deferred_gcs);
+    assert_eq!(
+        catalogue.table("events").unwrap().rows(),
+        256 + WRITER_BATCHES * BATCH_ROWS
+    );
+}
+
+/// A long-lived `BEGIN READ ONLY` transaction sees one consistent
+/// database across statements while another session ingests, and the
+/// commit releases the pinned snapshot.
+#[test]
+fn read_only_transactions_survive_heavy_concurrent_ingest() {
+    let catalogue = SharedCatalogue::new();
+    catalogue.register(seed_table(300, 23));
+    let mut reporter = catalogue.connect();
+    let mut writer = catalogue.connect();
+
+    reporter.run_sql("BEGIN READ ONLY").unwrap();
+    let totals = rows_of(reporter.run_sql(SQL).unwrap());
+    for i in 0..10u32 {
+        writer
+            .run_sql(&format!(
+                "INSERT INTO events (g, v) VALUES ({}, {})",
+                i % 23,
+                i
+            ))
+            .unwrap();
+        // Every statement of the open transaction reads the same cut.
+        let again = rows_of(reporter.run_sql(SQL).unwrap());
+        assert_eq!(totals.rows, again.rows, "repeatable read across statements");
+    }
+    reporter.run_sql("COMMIT").unwrap();
+    assert_eq!(catalogue.snapshot_stats().live_snapshots, 0);
+    let after = rows_of(reporter.run_sql(SQL).unwrap());
+    let count: f64 = after.rows.iter().map(|r| r.values[0]).sum();
+    assert_eq!(count as usize, 310, "live again after COMMIT");
+}
