@@ -38,7 +38,7 @@ use crate::engine::{Engine, QueryOutput};
 use crate::ingest::{IngestError, IngestReceipt, RowBatch};
 use crate::plan::{PlanError, QueryPlan};
 use crate::prepared::PreparedStatement;
-use crate::session::{PartialRun, Session};
+use crate::session::Session;
 use crate::snapshot::{Snapshot, SnapshotStats};
 use crate::sql::{parse_statement, ParseSqlError, SqlQuery, Statement};
 use crate::table::Table;
@@ -69,11 +69,6 @@ pub enum SqlError {
     /// The write path rejected a batch: the typed reason (unknown,
     /// missing or duplicate column, ragged lengths).
     Ingest(IngestError),
-    /// A composite (multi-column) `GROUP BY` was submitted to a
-    /// [`crate::ShardedDatabase`]: fused composite keys are measured
-    /// per shard, so they are not comparable across shards. Run the
-    /// query on a single session, or shard on the primary column only.
-    ShardedCompositeKey,
     /// A [`crate::ShardedStatement`] prepared for one shard layout was
     /// executed on a [`crate::ShardedDatabase`] with a different shard
     /// count — the per-shard statements cannot be paired with the
@@ -135,11 +130,6 @@ impl fmt::Display for SqlError {
                  run_sql (or ShardedDatabase::insert_sql)"
             ),
             SqlError::Ingest(e) => write!(f, "ingest error: {e}"),
-            SqlError::ShardedCompositeKey => write!(
-                f,
-                "composite GROUP BY is not shardable: fused keys are \
-                 measured per shard; use a single session"
-            ),
             SqlError::ShardMismatch {
                 statement,
                 database,
@@ -602,15 +592,9 @@ impl Database {
     }
 
     /// Executes an already-built plan on this session (the prepared
-    /// statement and sharding paths).
+    /// statement path).
     pub(crate) fn run_plan(&mut self, plan: &QueryPlan) -> QueryOutput {
         self.session.run(plan)
-    }
-
-    /// Executes only a plan's distributive slice on this session (the
-    /// sharding path).
-    pub(crate) fn run_plan_partial(&mut self, plan: &QueryPlan) -> PartialRun {
-        self.session.run_partial(plan)
     }
 }
 

@@ -1,0 +1,525 @@
+//! Morsel-driven parallel execution: a persistent worker pool with
+//! work stealing.
+//!
+//! The sharded path used to spawn one fresh OS thread per shard per
+//! query and hand each thread a *whole* shard — so small cached queries
+//! paid thread-creation latency every time, and one skewed partition
+//! dictated the makespan while every other thread sat idle. The
+//! [`Executor`] replaces both:
+//!
+//! * **Persistent workers.** A fixed pool of OS threads, each owning a
+//!   long-lived [`Session`] (its own simulated machine, caches kept
+//!   warm across queries), created once with the
+//!   [`crate::ShardedDatabase`] and parked on a condvar between
+//!   queries — submitting a query is a mutex/notify, not N `clone()`s
+//!   of a thread stack.
+//! * **Morsels.** A shard's plan is split into fixed-size row ranges
+//!   (morsels) over its base++delta prefix view; each morsel runs the
+//!   distributive slice via [`Session::run_partial_range`] and yields a
+//!   mergeable [`vagg_core::PartialAggregate`]. The shard's §V-D
+//!   algorithm choice rides on the plan, so every morsel of a shard
+//!   still runs the algorithm *that shard's* statistics picked.
+//! * **Work stealing.** Morsels are seeded onto per-worker deques
+//!   (shard *i* → worker *i mod W*, preserving locality). A worker pops
+//!   its own deque LIFO (hottest range first); when empty it scans the
+//!   other deques and steals FIFO (the victim's coldest, oldest
+//!   range) — so a skewed shard's tail is dismantled by idle workers
+//!   instead of serialising the query.
+//!
+//! Merging is order-insensitive (the partial-aggregate merge-join is
+//! associative and commutative), so stealing never changes results —
+//! only the makespan. [`ExecutorStats`] exposes the steal traffic.
+
+use crate::keydict::KeyDictionary;
+use crate::plan::QueryPlan;
+use crate::session::{PartialRun, Session};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use vagg_sim::SimConfig;
+
+/// How an [`Executor`] is shaped. The default — as many workers as
+/// shards, 2048-row morsels, stealing on — is what
+/// [`crate::ShardedDatabase::new`] builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Worker threads in the pool. `0` means "match the shard count"
+    /// (resolved by [`crate::ShardedDatabase`]).
+    pub workers: usize,
+    /// Rows per morsel: the stealable unit of work. Smaller morsels
+    /// steal finer (better skew absorption) at more scheduling
+    /// overhead.
+    pub morsel_rows: usize,
+    /// Whether idle workers steal from other workers' deques. Off, the
+    /// pool degrades to static shard-to-worker assignment — kept as a
+    /// switch so the bench can measure exactly what stealing buys.
+    pub steal: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            morsel_rows: 2048,
+            steal: true,
+        }
+    }
+}
+
+/// Lifetime counters of one [`Executor`] (cumulative across queries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Queries submitted to the pool.
+    pub queries: u64,
+    /// Morsels executed in total.
+    pub morsels: u64,
+    /// Morsels a worker stole from another worker's deque.
+    pub steals: u64,
+}
+
+/// One stealable unit of work: a row range of one shard's plan.
+pub(crate) struct Morsel {
+    pub(crate) shard: usize,
+    pub(crate) plan: Arc<QueryPlan>,
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+}
+
+/// What one morsel produced, tagged with where it ran.
+pub(crate) struct MorselOutcome {
+    pub(crate) shard: usize,
+    pub(crate) lo: usize,
+    /// Host thread that executed the morsel — placement telemetry
+    /// (asserted by the pool's tests); simulated-time load accounting
+    /// goes through [`virtual_schedule`] instead.
+    #[allow(dead_code)]
+    pub(crate) worker: usize,
+    pub(crate) stolen: bool,
+    pub(crate) run: PartialRun,
+}
+
+/// Schedules measured morsel costs onto `workers` *virtual* workers —
+/// the deterministic simulated-time counterpart of the pool's host-time
+/// scheduling. Host threads race real wall time, and one morsel's wall
+/// cost is microseconds while its *simulated* cost is thousands of
+/// cycles — so the host assignment says nothing about what W parallel
+/// machines would have done. This greedy schedule does: morsels sit on
+/// their home worker's deque (shard *i* → worker *i mod W*, row order),
+/// the least-loaded worker always acts next, drains its own deque
+/// front-to-back, and — with stealing on — an idle worker takes the
+/// *tail* morsel of the most-backlogged victim. Returns per-worker
+/// simulated loads (their max is the query's makespan) and the number
+/// of steals the schedule needed.
+pub(crate) fn virtual_schedule(
+    outcomes: &[MorselOutcome],
+    workers: usize,
+    steal: bool,
+) -> (Vec<u64>, u64) {
+    let mut order: Vec<&MorselOutcome> = outcomes.iter().collect();
+    order.sort_by_key(|o| (o.shard, o.lo));
+    let mut deques: Vec<VecDeque<u64>> = vec![VecDeque::new(); workers];
+    let mut backlog: Vec<u64> = vec![0; workers];
+    for o in &order {
+        let home = o.shard % workers;
+        deques[home].push_back(o.run.report.cycles);
+        backlog[home] += o.run.report.cycles;
+    }
+    let mut loads = vec![0u64; workers];
+    let mut live = vec![true; workers];
+    let mut steals = 0u64;
+    while let Some(w) = (0..workers)
+        .filter(|&w| live[w])
+        .min_by_key(|&w| (loads[w], w))
+    {
+        if let Some(cycles) = deques[w].pop_front() {
+            backlog[w] -= cycles;
+            loads[w] += cycles;
+        } else if steal {
+            let victim = (0..workers)
+                .filter(|&v| !deques[v].is_empty())
+                .max_by_key(|&v| (backlog[v], std::cmp::Reverse(v)));
+            match victim {
+                Some(v) => {
+                    let cycles = deques[v].pop_back().expect("victim deque is non-empty");
+                    backlog[v] -= cycles;
+                    loads[w] += cycles;
+                    steals += 1;
+                }
+                None => live[w] = false,
+            }
+        } else {
+            live[w] = false;
+        }
+    }
+    (loads, steals)
+}
+
+/// One in-flight query: per-worker deques, a completion counter, and
+/// the query's shared key dictionary when the grouping is composite.
+struct Job {
+    deques: Vec<Mutex<VecDeque<Morsel>>>,
+    remaining: AtomicUsize,
+    results: Mutex<Vec<MorselOutcome>>,
+    dict: Option<Arc<KeyDictionary>>,
+    steal: bool,
+    /// Set when a morsel panicked on its worker; the coordinator
+    /// re-raises instead of merging a silently incomplete answer.
+    failed: AtomicBool,
+}
+
+struct State {
+    job: Option<Arc<Job>>,
+    /// Bumped per submitted job so parked workers can tell a new job
+    /// from the one they already drained.
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between queries.
+    work: Condvar,
+    /// The coordinator parks here while a query is in flight.
+    done: Condvar,
+}
+
+/// A persistent pool of morsel workers (see the [module docs](self)).
+/// Owned by [`crate::ShardedDatabase`]; the pool is created once and
+/// reused by every query until the database drops.
+pub struct Executor {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    config: ExecutorConfig,
+    stats: Mutex<ExecutorStats>,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.handles.len())
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Executor {
+    /// Spawns a pool of `config.workers.max(1)` persistent workers,
+    /// each owning a [`Session`] on `sim` (the shards' machine
+    /// configuration, so morsel cycle accounting matches the sessions
+    /// it replaced).
+    pub fn new(config: ExecutorConfig, sim: SimConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                epoch: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                let sim = sim.clone();
+                std::thread::Builder::new()
+                    .name(format!("vagg-morsel-worker-{id}"))
+                    .spawn(move || worker_loop(id, &shared, sim))
+                    .expect("spawn morsel worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            config: ExecutorConfig { workers, ..config },
+            stats: Mutex::new(ExecutorStats::default()),
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The resolved configuration the pool runs.
+    pub fn config(&self) -> ExecutorConfig {
+        self.config
+    }
+
+    /// Cumulative counters since the pool was built.
+    pub fn stats(&self) -> ExecutorStats {
+        *self.stats.lock().expect("executor stats lock")
+    }
+
+    /// Runs one query's morsels to completion on the pool and returns
+    /// every morsel's outcome (in completion order). Blocks the
+    /// calling coordinator; the workers run concurrently.
+    pub(crate) fn execute(
+        &self,
+        morsels: Vec<Morsel>,
+        dict: Option<Arc<KeyDictionary>>,
+    ) -> Vec<MorselOutcome> {
+        if morsels.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.handles.len();
+        let total = morsels.len();
+        let job = Arc::new(Job {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            remaining: AtomicUsize::new(total),
+            results: Mutex::new(Vec::with_capacity(total)),
+            dict,
+            steal: self.config.steal,
+            failed: AtomicBool::new(false),
+        });
+        // Seed locality-first: shard i's morsels land on worker i mod W
+        // in row order (LIFO pop serves the newest range, FIFO steal
+        // takes the oldest).
+        for morsel in morsels {
+            let home = morsel.shard % workers;
+            job.deques[home]
+                .lock()
+                .expect("morsel deque lock")
+                .push_back(morsel);
+        }
+        {
+            let mut st = self.shared.state.lock().expect("executor state lock");
+            debug_assert!(st.job.is_none(), "one query in flight at a time");
+            st.job = Some(Arc::clone(&job));
+            st.epoch += 1;
+            self.shared.work.notify_all();
+        }
+        // Park until the last morsel's worker clears the job slot.
+        {
+            let mut st = self.shared.state.lock().expect("executor state lock");
+            while st.job.is_some() {
+                st = self.shared.done.wait(st).expect("executor state lock");
+            }
+        }
+        if job.failed.load(Ordering::Acquire) {
+            panic!("a morsel worker panicked while executing this query");
+        }
+        let outcomes = std::mem::take(&mut *job.results.lock().expect("results lock"));
+        let mut stats = self.stats.lock().expect("executor stats lock");
+        stats.queries += 1;
+        stats.morsels += outcomes.len() as u64;
+        stats.steals += outcomes.iter().filter(|o| o.stolen).count() as u64;
+        outcomes
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("executor state lock");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().expect("morsel worker exits cleanly");
+        }
+    }
+}
+
+/// Claims the next morsel for `id`: LIFO off its own deque, else — with
+/// stealing on — FIFO off the first non-empty victim, scanning from its
+/// right neighbour so steal pressure spreads instead of piling onto
+/// worker 0.
+fn claim(job: &Job, id: usize) -> Option<(Morsel, bool)> {
+    if let Some(m) = job.deques[id].lock().expect("morsel deque lock").pop_back() {
+        return Some((m, false));
+    }
+    if !job.steal {
+        return None;
+    }
+    let n = job.deques.len();
+    for k in 1..n {
+        let victim = (id + k) % n;
+        if let Some(m) = job.deques[victim]
+            .lock()
+            .expect("morsel deque lock")
+            .pop_front()
+        {
+            return Some((m, true));
+        }
+    }
+    None
+}
+
+fn worker_loop(id: usize, shared: &Shared, sim: SimConfig) {
+    let mut session = Session::with_config(sim);
+    let mut seen = 0u64;
+    loop {
+        // Park until a job with a fresh epoch arrives (or shutdown).
+        let job = {
+            let mut st = shared.state.lock().expect("executor state lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen {
+                    seen = st.epoch;
+                    if let Some(job) = &st.job {
+                        break Arc::clone(job);
+                    }
+                    // The epoch's job was fully drained before this
+                    // worker woke; keep waiting for the next one.
+                }
+                st = shared.work.wait(st).expect("executor state lock");
+            }
+        };
+        while let Some((morsel, stolen)) = claim(&job, id) {
+            // A panic inside a morsel (the session or the dictionary)
+            // must not strand the coordinator on the done condvar: the
+            // morsel is still counted as finished, the job is flagged
+            // failed, and the coordinator re-raises the panic — while
+            // this worker survives to serve later queries.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut run = session.run_partial_range(&morsel.plan, morsel.lo, morsel.hi);
+                if let Some(dict) = &job.dict {
+                    // Composite grouping: trade the locally fused keys
+                    // for shared dense ids so partials merge across
+                    // shards and morsels (see crate::keydict).
+                    run.partial =
+                        dict.remap(run.partial, crate::session::rest_of(&run.key_domains));
+                }
+                run
+            }));
+            match outcome {
+                Ok(run) => job
+                    .results
+                    .lock()
+                    .expect("results lock")
+                    .push(MorselOutcome {
+                        shard: morsel.shard,
+                        lo: morsel.lo,
+                        worker: id,
+                        stolen,
+                        run,
+                    }),
+                Err(_) => job.failed.store(true, Ordering::Release),
+            }
+            if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last morsel of the query: clear the slot and wake the
+                // coordinator.
+                let mut st = shared.state.lock().expect("executor state lock");
+                st.job = None;
+                shared.done.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::query::AggregateQuery;
+    use crate::table::Table;
+    use vagg_core::PartialAggregate;
+
+    fn plan(n: usize) -> Arc<QueryPlan> {
+        let t = Table::new("r")
+            .with_column("g", (0..n).map(|i| (i % 7) as u32).collect())
+            .with_column("v", (0..n).map(|i| (i % 10) as u32).collect());
+        Arc::new(
+            Engine::new()
+                .plan(&t, &AggregateQuery::paper("g", "v"))
+                .unwrap(),
+        )
+    }
+
+    fn morselize(shard: usize, plan: &Arc<QueryPlan>, rows: usize) -> Vec<Morsel> {
+        let mut out = Vec::new();
+        let mut lo = 0;
+        while lo < plan.rows() {
+            let hi = (lo + rows).min(plan.rows());
+            out.push(Morsel {
+                shard,
+                plan: Arc::clone(plan),
+                lo,
+                hi,
+            });
+            lo = hi;
+        }
+        out
+    }
+
+    fn merged_rows(outcomes: &[MorselOutcome]) -> PartialAggregate {
+        PartialAggregate::merge_all(outcomes.iter().map(|o| o.run.partial.clone())).unwrap()
+    }
+
+    #[test]
+    fn pooled_morsels_reproduce_the_whole_answer() {
+        let p = plan(500);
+        let whole = Session::new().run_partial(&p);
+        let exec = Executor::new(
+            ExecutorConfig {
+                workers: 3,
+                morsel_rows: 64,
+                steal: true,
+            },
+            SimConfig::paper(),
+        );
+        for round in 0..3 {
+            let outcomes = exec.execute(morselize(0, &p, 64), None);
+            assert_eq!(outcomes.len(), 8, "round {round}");
+            assert_eq!(merged_rows(&outcomes), whole.partial);
+        }
+        let stats = exec.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.morsels, 24);
+    }
+
+    #[test]
+    fn disabling_steal_pins_morsels_to_their_home_worker() {
+        let p = plan(400);
+        let exec = Executor::new(
+            ExecutorConfig {
+                workers: 2,
+                morsel_rows: 50,
+                steal: false,
+            },
+            SimConfig::paper(),
+        );
+        // Everything seeded on worker 0 (shard 0); worker 1 must not
+        // touch it.
+        let outcomes = exec.execute(morselize(0, &p, 50), None);
+        assert_eq!(outcomes.len(), 8);
+        assert!(outcomes.iter().all(|o| o.worker == 0 && !o.stolen));
+        assert_eq!(exec.stats().steals, 0);
+    }
+
+    #[test]
+    fn stealing_spreads_one_skewed_shard_across_the_pool() {
+        let p = plan(4000);
+        let exec = Executor::new(
+            ExecutorConfig {
+                workers: 4,
+                morsel_rows: 100,
+                steal: true,
+            },
+            SimConfig::paper(),
+        );
+        // One hot shard, three idle workers: stealing must engage.
+        let outcomes = exec.execute(morselize(0, &p, 100), None);
+        assert_eq!(outcomes.len(), 40);
+        let stolen = outcomes.iter().filter(|o| o.stolen).count();
+        assert!(stolen > 0, "idle workers stole from the hot shard");
+        assert_eq!(
+            merged_rows(&outcomes),
+            Session::new().run_partial(&p).partial
+        );
+        assert_eq!(exec.stats().steals, stolen as u64);
+    }
+
+    #[test]
+    fn empty_submission_is_a_no_op() {
+        let exec = Executor::new(ExecutorConfig::default(), SimConfig::paper());
+        assert!(exec.execute(Vec::new(), None).is_empty());
+        assert_eq!(exec.stats().queries, 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! A shared dictionary interning composite `GROUP BY` key tuples.
+//!
+//! Composite grouping fuses the key columns into one `u32` per row with
+//! a mixed-radix encoding whose radices are the columns' *measured* key
+//! domains (see `fuse_group_columns` in [`crate::session`]). Domains are
+//! measured from the input a session stages, so two shards — or two
+//! morsels of one shard — fuse the *same* tuple to *different* keys:
+//! their partials are not mergeable as-is. That is exactly why the
+//! sharded path used to reject composite `GROUP BY` outright.
+//!
+//! The [`KeyDictionary`] closes the gap: an append-only, shared
+//! interning of key *tuples* to dense `u64` ids, built cooperatively by
+//! every worker during the partial phase. Each worker decomposes its
+//! locally fused keys back into tuples (exact — decomposition inverts
+//! fusion for the domains the worker measured), interns the tuples, and
+//! re-keys its partial by dense id. Dense ids are globally consistent
+//! by construction, so per-shard/per-morsel partials merge with the
+//! ordinary [`PartialAggregate`] merge-join, and the coordinator
+//! resolves ids back to tuples once, on the (small) merged output.
+//!
+//! ```
+//! use vagg_db::KeyDictionary;
+//!
+//! let dict = KeyDictionary::new();
+//! let a = dict.intern(&[1, 7]);
+//! let b = dict.intern(&[2, 0]);
+//! assert_eq!(dict.intern(&[1, 7]), a, "same tuple, same id");
+//! assert_ne!(a, b);
+//! assert_eq!(dict.resolve(a), Some(vec![1, 7]));
+//! assert_eq!(dict.len(), 2);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use vagg_core::{AggResult, PartialAggregate};
+
+/// Append-only interning of composite `GROUP BY` key tuples to dense
+/// ids, shared across the workers of one query (see the
+/// [module docs](self)).
+#[derive(Debug, Default)]
+pub struct KeyDictionary {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ids: HashMap<Vec<u32>, u64>,
+    tuples: Vec<Vec<u32>>,
+    hits: u64,
+}
+
+impl KeyDictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a key tuple, returning its dense id: a fresh id for a
+    /// first sighting, the existing id ever after. Ids are dense —
+    /// `0..len()` in first-sighting order.
+    pub fn intern(&self, tuple: &[u32]) -> u64 {
+        let mut inner = self.inner.lock().expect("key dictionary lock");
+        if let Some(&id) = inner.ids.get(tuple) {
+            inner.hits += 1;
+            return id;
+        }
+        let id = inner.tuples.len() as u64;
+        inner.tuples.push(tuple.to_vec());
+        inner.ids.insert(tuple.to_vec(), id);
+        id
+    }
+
+    /// The tuple behind a dense id, or `None` for ids never handed out.
+    pub fn resolve(&self, id: u64) -> Option<Vec<u32>> {
+        let inner = self.inner.lock().expect("key dictionary lock");
+        inner.tuples.get(usize::try_from(id).ok()?).cloned()
+    }
+
+    /// Distinct tuples interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("key dictionary lock").tuples.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Intern calls served by an already-present entry — the measure of
+    /// how much key overlap the partials had.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("key dictionary lock").hits
+    }
+
+    /// Re-keys one worker's partial from its locally fused composite
+    /// keys onto shared dense ids: every group key is decomposed with
+    /// the worker's measured `rest_domains` (exact inversion of its own
+    /// fusion), the tuple interned, and the partial's columns re-sorted
+    /// by dense id so the ordinary merge-join applies. One lock
+    /// acquisition covers the whole batch.
+    pub(crate) fn remap(
+        &self,
+        partial: PartialAggregate,
+        rest_domains: &[u32],
+    ) -> PartialAggregate {
+        let n = partial.len();
+        if n == 0 {
+            return partial;
+        }
+        let mut order: Vec<(u32, usize)> = {
+            let mut inner = self.inner.lock().expect("key dictionary lock");
+            partial
+                .base
+                .groups
+                .iter()
+                .enumerate()
+                .map(|(i, &key)| {
+                    let tuple = crate::session::decompose_key(key, rest_domains);
+                    let id = match inner.ids.get(&tuple) {
+                        Some(&id) => {
+                            inner.hits += 1;
+                            id
+                        }
+                        None => {
+                            let id = inner.tuples.len() as u64;
+                            inner.tuples.push(tuple.clone());
+                            inner.ids.insert(tuple, id);
+                            id
+                        }
+                    };
+                    let id = u32::try_from(id).expect("dense ids fit the 32-bit key space");
+                    (id, i)
+                })
+                .collect()
+        };
+        order.sort_unstable_by_key(|&(id, _)| id);
+        permute(partial, &order)
+    }
+}
+
+/// Rebuilds a partial with `order`'s keys, its columns permuted by
+/// `order`'s source indices — shared by the worker-side dense-id remap
+/// and the coordinator-side resolution back to fused keys.
+pub(crate) fn permute(partial: PartialAggregate, order: &[(u32, usize)]) -> PartialAggregate {
+    let pick = |col: &[u32]| order.iter().map(|&(_, i)| col[i]).collect::<Vec<u32>>();
+    PartialAggregate {
+        base: AggResult {
+            groups: order.iter().map(|&(id, _)| id).collect(),
+            counts: pick(&partial.base.counts),
+            sums: pick(&partial.base.sums),
+        },
+        minmax: partial
+            .minmax
+            .as_ref()
+            .map(|(mins, maxs)| (pick(mins), pick(maxs))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vagg_core::reference;
+
+    #[test]
+    fn interning_is_append_only_and_dense() {
+        let dict = KeyDictionary::new();
+        assert!(dict.is_empty());
+        let ids: Vec<u64> = [[1u32, 2], [3, 4], [1, 2], [0, 0]]
+            .iter()
+            .map(|t| dict.intern(t))
+            .collect();
+        assert_eq!(ids, vec![0, 1, 0, 2]);
+        assert_eq!(dict.len(), 3);
+        assert_eq!(dict.hits(), 1);
+        assert_eq!(dict.resolve(1), Some(vec![3, 4]));
+        assert_eq!(dict.resolve(9), None);
+    }
+
+    #[test]
+    fn remap_makes_differently_fused_partials_mergeable() {
+        // Two "shards" over tuples (a, b): the same logical groups,
+        // fused with different local domains.
+        //   shard 0 sees b in 0..3 (domain 3): key = a*3 + b
+        //   shard 1 sees b in 0..5 (domain 5): key = a*5 + b
+        let dict = KeyDictionary::new();
+        // Keys 5 = 1·3+2 → (1,2) and 1 = 0·3+1 → (0,1) under domain 3.
+        let left = PartialAggregate::new(reference(&[5, 1], &[10, 20]), None);
+        // Keys 7 = 1·5+2 → (1,2) and 4 = 0·5+4 → (0,4) under domain 5.
+        let right = PartialAggregate::new(reference(&[7, 4], &[5, 7]), None);
+        let left = dict.remap(left, &[3]);
+        let right = dict.remap(right, &[5]);
+        let merged = left.merge(right);
+        // Three distinct tuples: (1,2) appears on both sides and merged.
+        assert_eq!(dict.len(), 3);
+        assert_eq!(merged.len(), 3);
+        let tuples: Vec<Vec<u32>> = merged
+            .base
+            .groups
+            .iter()
+            .map(|&id| dict.resolve(id as u64).unwrap())
+            .collect();
+        let i = tuples.iter().position(|t| t == &vec![1, 2]).unwrap();
+        assert_eq!(merged.base.sums[i], 15, "both shards' (1,2) rows merged");
+        assert!(tuples.contains(&vec![0, 1]) && tuples.contains(&vec![0, 4]));
+    }
+
+    #[test]
+    fn remap_keeps_minmax_columns_aligned() {
+        let partial = PartialAggregate::new(
+            AggResult {
+                groups: vec![2, 5],
+                counts: vec![1, 2],
+                sums: vec![10, 20],
+            },
+            Some((vec![10, 8], vec![10, 12])),
+        );
+        let dict = KeyDictionary::new();
+        // Pre-intern in reverse so the remap must reorder by dense id.
+        dict.intern(&[5]);
+        dict.intern(&[2]);
+        let out = dict.remap(partial, &[]);
+        assert_eq!(out.base.groups, vec![0, 1]);
+        assert_eq!(out.base.sums, vec![20, 10]);
+        assert_eq!(out.minmax, Some((vec![8, 10], vec![12, 10])));
+    }
+}

@@ -27,8 +27,10 @@
 //!   re-register), [`PreparedStatement`]s that plan once and bind
 //!   parameters per execution, a [`SharedCatalogue`] serving many
 //!   concurrent sessions, and a [`ShardedDatabase`] that partitions
-//!   rows across N sessions/threads and merges
-//!   [`vagg_core::PartialAggregate`]s;
+//!   rows across N shards, runs their plans as stealable morsels on a
+//!   persistent worker pool (the [`Executor`]), merges
+//!   [`vagg_core::PartialAggregate`]s — composite `GROUP BY` included,
+//!   via a query-scoped [`KeyDictionary`];
 //! * the write path — `INSERT INTO ... VALUES` and the bulk
 //!   [`Database::append_rows`] API feed per-table [`DeltaStore`]s
 //!   (append-only batches over the immutable base columns), live
@@ -158,8 +160,10 @@ pub mod catalogue;
 pub mod database;
 pub mod delta;
 pub mod engine;
+pub mod executor;
 pub mod filter;
 pub mod ingest;
+pub mod keydict;
 pub mod plan;
 pub mod prepared;
 pub mod query;
@@ -174,8 +178,10 @@ pub use catalogue::SharedCatalogue;
 pub use database::{Database, SqlError, SqlOutcome};
 pub use delta::{ColumnStats, DeltaStore, TableStats};
 pub use engine::{CardinalityEstimation, Engine, ExecutionReport, QueryOutput, Row};
+pub use executor::{Executor, ExecutorConfig, ExecutorStats};
 pub use filter::{reference_filter, vector_filter, Predicate};
 pub use ingest::{CompactionPolicy, IngestError, IngestReceipt, RowBatch};
+pub use keydict::KeyDictionary;
 pub use plan::{PlanError, PlanStep, QueryPlan, ScanMode};
 pub use prepared::PreparedStatement;
 pub use query::{AggFn, AggregateQuery, Having, OrderBy, OrderKey};

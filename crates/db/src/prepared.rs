@@ -29,12 +29,16 @@ use crate::plan::{PlanError, QueryPlan};
 use crate::query::AggregateQuery;
 use crate::snapshot::Snapshot;
 use crate::sql::{parse_template, ParamSlot, SqlTemplate};
+use std::sync::Arc;
 
 /// A statement planned once and executed many times with bound
 /// parameters. Produced by [`crate::Database::prepare`].
 #[derive(Debug)]
 pub struct PreparedStatement {
-    template: SqlTemplate,
+    /// Shared (`Arc`) with every sibling statement of a sharded
+    /// prepare, so preparing N shards parses and stores the template
+    /// once.
+    template: Arc<SqlTemplate>,
     cached: Option<CachedPlan>,
     executions: u64,
     replans: u64,
@@ -60,7 +64,7 @@ impl PreparedStatement {
     /// Parses and eagerly plans `sql` against `catalogue` (what
     /// [`crate::Database::prepare`] calls).
     pub(crate) fn prepare(catalogue: &SharedCatalogue, sql: &str) -> Result<Self, SqlError> {
-        let template = parse_template(sql)?;
+        let template = Arc::new(parse_template(sql)?);
         let mut stmt = Self {
             template,
             cached: None,
@@ -76,13 +80,14 @@ impl PreparedStatement {
         Ok(stmt)
     }
 
-    /// Builds a statement from an already-parsed template without
-    /// planning — the sharded path, which parses the SQL once and
-    /// clones the template into every shard's slot. No eager plan
-    /// happens here because a shard's partition may be empty
-    /// (unplannable) until a re-register populates it; validation runs
-    /// against a populated shard in [`crate::ShardedDatabase::prepare`].
-    pub(crate) fn from_template(template: SqlTemplate) -> Self {
+    /// Builds a statement from an already-parsed, shared template
+    /// without planning — the sharded path, which parses the SQL once
+    /// and hands the same `Arc` to every shard's slot (prepare cost
+    /// O(1) in the shard count). No eager plan happens here because a
+    /// shard's partition may be empty (unplannable) until a re-register
+    /// populates it; validation runs against a populated shard in
+    /// [`crate::ShardedDatabase::prepare`].
+    pub(crate) fn from_template(template: Arc<SqlTemplate>) -> Self {
         Self {
             template,
             cached: None,

@@ -16,24 +16,30 @@ use vagg_core::input::vector_max_scan;
 use vagg_core::{minmax_aggregate, PartialAggregate, StagedInput};
 use vagg_sim::{Machine, SimConfig};
 
-/// What [`Session::run_partial`] produced: the mergeable partial
-/// aggregate of the plan's *distributive* slice (WHERE + aggregation,
-/// no HAVING/ORDER BY/LIMIT), plus the usual per-query report.
+/// What [`Session::run_partial`] / [`Session::run_partial_range`]
+/// produced: the mergeable partial aggregate of the plan's
+/// *distributive* slice (WHERE + aggregation, no HAVING/ORDER BY/
+/// LIMIT), plus the usual per-query report.
 ///
-/// A sharded front end runs the same plan on every shard via
-/// [`Session::run_partial`], folds the partials with
-/// [`PartialAggregate::merge`], and finalises the non-distributive
-/// tail once on the merged result (see [`crate::ShardedDatabase`]).
+/// A sharded front end runs the same plan on every shard — whole
+/// ([`Session::run_partial`]) or morsel by morsel
+/// ([`Session::run_partial_range`] on the [`crate::Executor`]'s
+/// workers) — folds the partials with [`PartialAggregate::merge`], and
+/// finalises the non-distributive tail once on the merged result (see
+/// [`crate::ShardedDatabase`]).
 #[derive(Debug, Clone)]
 pub struct PartialRun {
     /// The mergeable COUNT/SUM (+ optional MIN/MAX) columns.
     pub partial: PartialAggregate,
-    /// Key domains of the non-primary grouping columns (composite
-    /// GROUP BY), needed to decompose fused keys on readback. Empty
-    /// for single-column grouping. Note the domains are measured from
-    /// *this* session's input, so fused keys are only comparable
-    /// across partials that staged identically-distributed columns.
-    pub rest_domains: Vec<u32>,
+    /// Measured key domains of every grouping column (primary first)
+    /// for composite GROUP BY; empty for single-column grouping. The
+    /// trailing entries (`key_domains[1..]`) decompose this partial's
+    /// fused keys on readback. Note the domains are measured from
+    /// *this* run's input rows, so fused keys are only comparable
+    /// across partials that measured identical domains — the sharded
+    /// path re-keys them through a shared [`crate::KeyDictionary`]
+    /// instead of comparing them raw.
+    pub key_domains: Vec<u32>,
     /// The executed distributive steps and their cycle cost.
     pub report: ExecutionReport,
 }
@@ -43,7 +49,7 @@ struct Distributive {
     base: vagg_core::AggResult,
     mm: Option<(Vec<u32>, Vec<u32>)>,
     rows_aggregated: usize,
-    rest_domains: Vec<u32>,
+    key_domains: Vec<u32>,
     /// The WHERE clause removed every row; no algorithm ran.
     skipped: bool,
 }
@@ -122,7 +128,7 @@ impl Session {
     /// rejected at plan time by [`crate::Engine::plan`].
     pub fn run(&mut self, plan: &QueryPlan) -> QueryOutput {
         let start_cycles = self.machine.cycles();
-        let d = self.run_distributive(plan);
+        let d = self.run_distributive(plan, 0, plan.rows);
         let n = plan.rows;
         if d.skipped {
             let cycles = self.machine.cycles() - start_cycles;
@@ -156,7 +162,7 @@ impl Session {
             &plan.query,
             &base,
             mm.as_ref().map(|(a, b)| (&a[..], &b[..])),
-            &d.rest_domains,
+            rest_of(&d.key_domains),
         );
 
         let cycles = m.cycles() - start_cycles;
@@ -184,8 +190,31 @@ impl Session {
     /// finalises the tail once on the merged result (see
     /// [`crate::ShardedDatabase`]).
     pub fn run_partial(&mut self, plan: &QueryPlan) -> PartialRun {
+        self.run_partial_range(plan, 0, plan.rows)
+    }
+
+    /// Executes the distributive slice of a plan over the row range
+    /// `lo..hi` of its staged columns — one *morsel* of the plan. A
+    /// range partial merges with the other ranges' partials exactly
+    /// like per-shard partials do, so a shard's work can be split into
+    /// stealable units (see [`crate::Executor`]) without changing any
+    /// result: `merge(run_partial_range(0..k), run_partial_range(k..n))
+    /// == run_partial(plan).partial` for every split point.
+    ///
+    /// The report's `cycles` cover this range only and `cpt` divides by
+    /// the range's rows, so morsel costs add up to the whole-plan cost.
+    ///
+    /// # Panics
+    ///
+    /// If `lo..hi` is not a sub-range of `0..plan.rows()`.
+    pub fn run_partial_range(&mut self, plan: &QueryPlan, lo: usize, hi: usize) -> PartialRun {
+        assert!(
+            lo <= hi && hi <= plan.rows,
+            "morsel {lo}..{hi} escapes the plan's {} rows",
+            plan.rows
+        );
         let start_cycles = self.machine.cycles();
-        let d = self.run_distributive(plan);
+        let d = self.run_distributive(plan, lo, hi);
         let cycles = self.machine.cycles() - start_cycles;
         let steps = if d.skipped {
             skipped_steps(plan)
@@ -194,20 +223,21 @@ impl Session {
         };
         PartialRun {
             partial: PartialAggregate::new(d.base, d.mm),
-            rest_domains: d.rest_domains,
+            key_domains: d.key_domains,
             report: ExecutionReport {
                 algorithm: (!d.skipped).then_some(plan.algorithm),
                 rows_aggregated: d.rows_aggregated,
                 cycles,
-                cpt: cycles as f64 / plan.rows as f64,
+                cpt: cycles as f64 / (hi - lo).max(1) as f64,
                 steps,
             },
         }
     }
 
     // stage → fuse → filter → metadata scan → aggregate: the slice of
-    // execution whose outputs merge across disjoint row partitions.
-    fn run_distributive(&mut self, plan: &QueryPlan) -> Distributive {
+    // execution whose outputs merge across disjoint row partitions
+    // (and, within a partition, across disjoint `lo..hi` morsels).
+    fn run_distributive(&mut self, plan: &QueryPlan, lo: usize, hi: usize) -> Distributive {
         self.queries += 1;
         // Queries own no machine-resident state between runs (results are
         // read back to the host), so reclaim the simulated address space
@@ -216,31 +246,44 @@ impl Session {
         // size on every query. Cycle and cache-model state persist.
         self.machine.space_mut().reset();
         let m = &mut self.machine;
-        let n = plan.rows;
+        let n = hi - lo;
+        if n == 0 {
+            return Distributive {
+                base: vagg_core::AggResult {
+                    groups: Vec::new(),
+                    counts: Vec::new(),
+                    sums: Vec::new(),
+                },
+                mm: plan.query.needs_minmax().then(|| (Vec::new(), Vec::new())),
+                rows_aggregated: 0,
+                key_domains: Vec::new(),
+                skipped: true,
+            };
+        }
 
         // Composite GROUP BY: fuse the grouping columns into one key per
         // row on the machine; the fused column then flows through the
-        // unchanged single-key pipeline. `rest_domains` drives readback
-        // decomposition.
-        let (g_fused, rest_domains): (Option<Vec<u32>>, Vec<u32>) = if plan.rest.is_empty() {
+        // unchanged single-key pipeline. `key_domains[1..]` drives
+        // readback decomposition.
+        let (g_fused, key_domains): (Option<Vec<u32>>, Vec<u32>) = if plan.rest.is_empty() {
             (None, Vec::new())
         } else {
-            let mut cols: Vec<&[u32]> = vec![&plan.group];
+            let mut cols: Vec<&[u32]> = vec![&plan.group[lo..hi]];
             for col in &plan.rest {
-                cols.push(col);
+                cols.push(&col[lo..hi]);
             }
             let (fused, domains) = fuse_group_columns(m, &cols);
             (Some(fused), domains)
         };
-        let g: &[u32] = g_fused.as_deref().unwrap_or(&plan.group);
-        let v: &[u32] = &plan.value;
+        let g: &[u32] = g_fused.as_deref().unwrap_or(&plan.group[lo..hi]);
+        let v: &[u32] = &plan.value[lo..hi];
 
         // WHERE: vectorised selection into fresh compacted columns.
         let (input, rows_aggregated) = if let Some((_, pred)) = &plan.query.filter {
-            let w: &[u32] = plan
+            let w: &[u32] = &plan
                 .filter_col
                 .as_deref()
-                .expect("plan carries the WHERE column");
+                .expect("plan carries the WHERE column")[lo..hi];
             let ws = m.space_mut().alloc_slice_u32(w);
             let gs = m.space_mut().alloc_slice_u32(g);
             let vs = m.space_mut().alloc_slice_u32(v);
@@ -258,7 +301,7 @@ impl Session {
                     },
                     mm: plan.query.needs_minmax().then(|| (Vec::new(), Vec::new())),
                     rows_aggregated: 0,
-                    rest_domains,
+                    key_domains,
                     skipped: true,
                 };
             }
@@ -305,9 +348,19 @@ impl Session {
             base,
             mm,
             rows_aggregated,
-            rest_domains,
+            key_domains,
             skipped: false,
         }
+    }
+}
+
+/// The decomposition domains (`key_domains[1..]`) of a measured domain
+/// list; empty for single-column grouping.
+pub(crate) fn rest_of(key_domains: &[u32]) -> &[u32] {
+    if key_domains.is_empty() {
+        &[]
+    } else {
+        &key_domains[1..]
     }
 }
 
@@ -450,8 +503,9 @@ fn apply_order_by(
 // key = ((g₀·d₁ + g₁)·d₂ + g₂)… where dᵢ is column i's key domain
 // (maxᵢ + 1, measured by the vectorised max scan — a planning step
 // charged to the query like the §III-A metadata scan). Returns the
-// fused host column and the rest columns' domains. Domain overflow was
-// already rejected at plan time from the same statistics.
+// fused host column and every column's measured domain (primary
+// first). Domain overflow was already rejected at plan time from the
+// same statistics.
 fn fuse_group_columns(m: &mut Machine, cols: &[&[u32]]) -> (Vec<u32>, Vec<u32>) {
     use vagg_isa::{BinOp, Vreg};
     const VK: Vreg = Vreg(12); // running fused keys
@@ -499,13 +553,13 @@ fn fuse_group_columns(m: &mut Machine, cols: &[&[u32]]) -> (Vec<u32>, Vec<u32>) 
         m.vstore_unit(VK, fused + 4 * start as u64, 4, t);
     }
     let fused_host = m.space().read_slice_u32(fused, n);
-    let rest = domains[1..].iter().map(|&d| d as u32).collect();
-    (fused_host, rest)
+    let all = domains.iter().map(|&d| d as u32).collect();
+    (fused_host, all)
 }
 
 // Splits a fused composite key back into its per-column parts
 // (primary part first). `rest_domains` are d₁… in fusion order.
-fn decompose_key(key: u32, rest_domains: &[u32]) -> Vec<u32> {
+pub(crate) fn decompose_key(key: u32, rest_domains: &[u32]) -> Vec<u32> {
     let mut parts = vec![0u32; rest_domains.len() + 1];
     let mut k = key;
     for (i, &d) in rest_domains.iter().enumerate().rev() {
@@ -643,7 +697,7 @@ mod tests {
         let pr = session.run_partial(&plan);
         // Pre-HAVING: all six groups are present in the partial.
         assert_eq!(pr.partial.len(), 6);
-        assert!(pr.rest_domains.is_empty());
+        assert!(pr.key_domains.is_empty());
         assert!(matches!(
             pr.report.steps.last(),
             Some(PlanStep::Aggregate(_))
@@ -690,6 +744,68 @@ mod tests {
             assert_eq!(merged.base.counts[i] as f64, row.values[0]);
             assert_eq!(merged.base.sums[i] as f64, row.values[1]);
         }
+    }
+
+    #[test]
+    fn range_partials_merge_to_the_whole_answer() {
+        // Morsels of one plan ≡ the whole partial, at every split.
+        let t = people();
+        let q = AggregateQuery::paper("g", "v")
+            .with_filter("v", crate::filter::Predicate::GreaterThan(0));
+        let plan = Engine::new().plan(&t, &q).unwrap();
+        let mut session = Session::new();
+        let whole = session.run_partial(&plan);
+        for split in 0..=plan.rows() {
+            let left = session.run_partial_range(&plan, 0, split);
+            let right = session.run_partial_range(&plan, split, plan.rows());
+            assert_eq!(
+                left.partial.merge(right.partial),
+                whole.partial,
+                "split at {split}"
+            );
+        }
+        // Range reports charge the range, not the whole plan.
+        let half = session.run_partial_range(&plan, 0, 4);
+        assert!(half.report.cycles > 0);
+        assert!((half.report.cpt - half.report.cycles as f64 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_range_partials_measure_local_domains() {
+        // A composite plan's morsels each measure their own domains;
+        // the fused keys decompose back to the same tuples.
+        let t = Table::new("r")
+            .with_column("a", vec![1, 0, 1, 0, 2, 2])
+            .with_column("b", vec![9, 1, 9, 3, 0, 0])
+            .with_column("v", vec![1, 2, 3, 4, 5, 6]);
+        let q = AggregateQuery::paper("a", "v").with_group_by_also("b");
+        let plan = Engine::new().plan(&t, &q).unwrap();
+        let mut session = Session::new();
+        let lo_half = session.run_partial_range(&plan, 0, 3);
+        let hi_half = session.run_partial_range(&plan, 3, 6);
+        // First half sees b ∈ {9, 1} (domain 10), second b ∈ {3, 0}
+        // (domain 4): locally consistent, globally incomparable.
+        assert_eq!(lo_half.key_domains, vec![2, 10]);
+        assert_eq!(hi_half.key_domains, vec![3, 4]);
+        let tuples = |pr: &PartialRun| -> Vec<Vec<u32>> {
+            pr.partial
+                .base
+                .groups
+                .iter()
+                .map(|&k| decompose_key(k, &pr.key_domains[1..]))
+                .collect()
+        };
+        assert_eq!(tuples(&lo_half), vec![vec![0, 1], vec![1, 9]]);
+        assert_eq!(tuples(&hi_half), vec![vec![0, 3], vec![2, 0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes the plan")]
+    fn out_of_range_morsels_are_rejected() {
+        let plan = Engine::new()
+            .plan(&people(), &AggregateQuery::paper("g", "v"))
+            .unwrap();
+        let _ = Session::new().run_partial_range(&plan, 4, 9);
     }
 
     #[test]

@@ -1,31 +1,43 @@
-//! Sharded execution: partition rows across N sessions, merge partial
+//! Sharded execution: partition rows across N shards, run their plans
+//! as stealable morsels on a persistent worker pool, merge partial
 //! aggregates.
 //!
 //! A [`ShardedDatabase`] fronts N independent [`Database`] shards
 //! (shared-nothing: each owns the catalogue and session for its row
-//! partition). [`ShardedDatabase::register`] splits a table into N
-//! contiguous row chunks — contiguity preserves per-chunk sortedness
-//! metadata, so presorted plans still kick in per shard — and a query
-//! runs in three phases:
+//! partition) plus one [`Executor`] — a fixed pool of persistent
+//! workers, each with its own long-lived session/machine.
+//! [`ShardedDatabase::register`] splits a table into N contiguous row
+//! chunks — contiguity preserves per-chunk sortedness metadata, so
+//! presorted plans still kick in per shard — and a query runs in three
+//! phases:
 //!
 //! 1. **plan** the query on every non-empty shard (each shard's plan
 //!    cache and adaptive §V-D choice apply to *its* partition);
-//! 2. **execute** the distributive slice ([`crate::Session::run_partial`])
-//!    on every shard concurrently, one OS thread per shard;
+//! 2. **execute** each plan's distributive slice as fixed-size
+//!    *morsels* (row ranges run via
+//!    [`crate::Session::run_partial_range`]) on the pooled workers —
+//!    idle workers steal a skewed shard's tail instead of waiting, and
+//!    every morsel still runs the algorithm its *shard's* statistics
+//!    picked;
 //! 3. **merge** the [`vagg_core::PartialAggregate`]s (COUNT/SUM add,
 //!    MIN/MAX combine) and finalise the non-distributive tail —
 //!    HAVING, ORDER BY, LIMIT — once on the coordinator.
 //!
-//! Composite `GROUP BY` is rejected ([`SqlError::ShardedCompositeKey`]):
-//! fused keys are measured per shard, so they are not comparable across
-//! shards (a shared key dictionary is future work).
+//! Composite `GROUP BY` shards too: fused keys are measured per input,
+//! so raw partials would not be comparable across shards — instead the
+//! workers re-key every partial through a query-scoped, cooperatively
+//! built [`KeyDictionary`] (tuple → dense id), the coordinator merges
+//! by dense id, and resolves ids back to globally fused keys once on
+//! the merged (small) output. The answer matches a single session's
+//! bit for bit, including `HAVING`/`ORDER BY`/`LIMIT` tails.
 //!
 //! The write path shards too: [`ShardedDatabase::append_rows`] /
-//! [`ShardedDatabase::insert_sql`] route appended rows across the
-//! shards with a rotating round-robin cursor; every shard keeps its own
-//! delta store, live statistics, data version and compaction schedule,
-//! so concurrent read traffic keeps merging correct partials while
-//! rows stream in.
+//! [`ShardedDatabase::insert_sql`] route each appended batch to the
+//! currently *smallest* shard (ties broken by a rotating cursor), so
+//! interleaved uneven batches keep the partitions balanced; every
+//! shard keeps its own delta store, live statistics, data version and
+//! compaction schedule, so concurrent read traffic keeps merging
+//! correct partials while rows stream in.
 //!
 //! Reads can pin an **atomic cross-shard cut**:
 //! [`ShardedDatabase::snapshot`] captures one [`Snapshot`] per shard in
@@ -41,24 +53,34 @@
 use crate::database::{Database, SqlError};
 use crate::delta::TableStats;
 use crate::engine::{Engine, ExecutionReport, QueryOutput, Row};
+use crate::executor::{Executor, ExecutorConfig, ExecutorStats, Morsel, MorselOutcome};
 use crate::ingest::{CompactionPolicy, RowBatch};
+use crate::keydict::{permute, KeyDictionary};
 use crate::plan::{PlanError, QueryPlan};
 use crate::prepared::PreparedStatement;
 use crate::query::{AggregateQuery, Having, OrderBy, OrderKey};
-use crate::session::{agg_column, assemble_rows, PartialRun};
+use crate::session::agg_column;
+use crate::session::assemble_rows;
 use crate::snapshot::{Snapshot, SnapshotStats};
 use crate::sql::{parse_statement, parse_template, Statement};
 use crate::table::Table;
+use std::sync::Arc;
 use vagg_core::{AggResult, PartialAggregate};
+use vagg_sim::SimConfig;
 
-/// A row-partitioned database: one coordinator over N shard sessions.
-/// See the [module docs](self).
+/// A row-partitioned database: one coordinator over N shard catalogues
+/// and one persistent morsel [`Executor`]. See the [module docs](self).
 #[derive(Debug)]
 pub struct ShardedDatabase {
     shards: Vec<Database>,
-    /// Round-robin ingest cursor: the shard the next appended row
-    /// lands on.
+    /// Ingest tie-break cursor: among equally small shards, the next
+    /// batch lands on the first one at or after this index.
     next_shard: usize,
+    /// The persistent worker pool running every query's morsels.
+    executor: Executor,
+    /// The machine configuration the workers' sessions run (the
+    /// shards' engine configuration).
+    sim: SimConfig,
 }
 
 /// What one sharded append did (see [`ShardedDatabase::append_rows`]).
@@ -66,31 +88,44 @@ pub struct ShardedDatabase {
 pub struct ShardedIngestReceipt {
     /// Total rows appended across all shards.
     pub rows: usize,
-    /// Rows routed to each shard by the round-robin cursor.
+    /// Rows routed to each shard by the smallest-shard router.
     pub per_shard: Vec<usize>,
     /// Shards whose append tripped their compaction threshold.
     pub compactions: usize,
 }
 
 /// What a sharded query produced: the merged rows, a coordinator
-/// report, and the per-shard execution reports.
+/// report, per-shard execution reports and per-worker load accounting.
 #[derive(Debug, Clone)]
 pub struct ShardedOutput {
     /// The merged result rows, ordered by group key (or as the ORDER BY
     /// clause demands) — identical to a single-session execution for
     /// the distributive aggregates COUNT/SUM/MIN/MAX (and AVG, which
-    /// falls out of SUM/COUNT on readback).
+    /// falls out of SUM/COUNT on readback), including composite
+    /// `GROUP BY` (merged through the query's [`KeyDictionary`]).
     pub rows: Vec<Row>,
-    /// The coordinator's view: `cycles` is the *makespan* (slowest
-    /// shard — the shards run in parallel), `rows_aggregated` the sum
-    /// of surviving rows, `cpt` the makespan divided by the total
-    /// *input* rows (the field's usual contract), and
-    /// `algorithm`/`steps` come from the first shard that aggregated
-    /// (shards may adaptively choose different algorithms for their
-    /// partitions; see `shard_reports`).
+    /// The coordinator's view: `cycles` is the *makespan* (the most
+    /// loaded executor worker — the workers run in parallel),
+    /// `rows_aggregated` the sum of surviving rows, `cpt` the makespan
+    /// divided by the total *input* rows (the field's usual contract),
+    /// and `algorithm`/`steps` come from the first shard that
+    /// aggregated (shards may adaptively choose different algorithms
+    /// for their partitions; see `shard_reports`).
     pub report: ExecutionReport,
-    /// Every non-empty shard's distributive execution report.
+    /// Every non-empty shard's distributive execution report: cycles
+    /// are the shard's *total work* summed over its morsels wherever
+    /// they ran, so `shard_reports` cycles add up to the whole query's
+    /// work while `report.cycles` is the parallel makespan.
     pub shard_reports: Vec<ExecutionReport>,
+    /// Simulated cycles per executor worker under the deterministic
+    /// morsel schedule (least-loaded worker acts next; stolen morsels
+    /// are charged to the thief). The makespan is the maximum entry;
+    /// the spread shows how well stealing levelled a skewed partition.
+    pub worker_loads: Vec<u64>,
+    /// Morsels the schedule served on a worker other than their home
+    /// worker — zero when stealing is disabled
+    /// ([`ExecutorConfig::steal`]).
+    pub steals: u64,
 }
 
 /// An atomic cross-shard point-in-time cut of a [`ShardedDatabase`]:
@@ -147,6 +182,19 @@ fn merged_data_version(per_shard: Vec<u64>) -> Option<u64> {
     Some(1 + per_shard.iter().map(|v| v - 1).sum::<u64>())
 }
 
+/// `workers == 0` in an [`ExecutorConfig`] means "one worker per
+/// shard".
+fn resolve(config: ExecutorConfig, shards: usize) -> ExecutorConfig {
+    ExecutorConfig {
+        workers: if config.workers == 0 {
+            shards
+        } else {
+            config.workers
+        },
+        ..config
+    }
+}
+
 /// A statement prepared once against every shard of a
 /// [`ShardedDatabase`] — see [`ShardedDatabase::prepare`].
 #[derive(Debug)]
@@ -181,7 +229,8 @@ impl ShardedStatement {
 
 impl ShardedDatabase {
     /// An empty sharded database with `shards` partitions (minimum 1),
-    /// each on the paper's machine configuration.
+    /// each on the paper's machine configuration, served by a worker
+    /// pool of the default [`ExecutorConfig`] (one worker per shard).
     pub fn new(shards: usize) -> Self {
         Self::with_engine(Engine::new(), shards)
     }
@@ -189,12 +238,43 @@ impl ShardedDatabase {
     /// An empty sharded database whose shard sessions all use (clones
     /// of) a custom engine.
     pub fn with_engine(engine: Engine, shards: usize) -> Self {
+        Self::with_executor(engine, shards, ExecutorConfig::default())
+    }
+
+    /// An empty sharded database with an explicit executor shape
+    /// (worker count, morsel size, stealing) — `config.workers == 0`
+    /// means one worker per shard.
+    pub fn with_executor(engine: Engine, shards: usize, config: ExecutorConfig) -> Self {
+        let shards = shards.max(1);
+        let sim = engine.config().clone();
         Self {
-            shards: (0..shards.max(1))
+            shards: (0..shards)
                 .map(|_| Database::with_engine(engine.clone()))
                 .collect(),
             next_shard: 0,
+            executor: Executor::new(resolve(config, shards), sim.clone()),
+            sim,
         }
+    }
+
+    /// Replaces the worker pool with a freshly spawned one of the given
+    /// shape (`workers == 0` means one worker per shard). The old pool
+    /// is joined; its cumulative [`ExecutorStats`] are discarded. This
+    /// is also how the bench measures what pooling buys: rebuilding
+    /// per query reproduces the old spawn-threads-per-query regime.
+    pub fn set_executor_config(&mut self, config: ExecutorConfig) {
+        self.executor = Executor::new(resolve(config, self.shards.len()), self.sim.clone());
+    }
+
+    /// The executor's resolved configuration.
+    pub fn executor_config(&self) -> ExecutorConfig {
+        self.executor.config()
+    }
+
+    /// The executor's cumulative counters (queries, morsels, steals)
+    /// since the current pool was built.
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.executor.stats()
     }
 
     /// Sets every shard's delta-compaction policy (each shard compacts
@@ -306,13 +386,44 @@ impl ShardedDatabase {
         }
     }
 
-    /// Appends a batch of rows, routing them across the shards
-    /// round-robin (a rotating cursor, so back-to-back small batches
-    /// still balance): each shard's sub-batch lands in that shard's
-    /// delta store, bumps its data version, and may trip its own
-    /// compaction threshold — the per-shard write path mirrors the
-    /// single-session one exactly, so sharded reads stay correct under
-    /// interleaved ingest.
+    /// Registers a table with caller-chosen partitions: `parts[i]`
+    /// becomes shard `i`'s partition verbatim. This is the control
+    /// knob [`ShardedDatabase::register`]'s even contiguous split
+    /// deliberately lacks — skewed placements for stress tests and
+    /// benches, or locality-driven placements an ingest pipeline
+    /// already decided on.
+    ///
+    /// # Panics
+    ///
+    /// If `parts` does not hold exactly one table per shard, or the
+    /// parts disagree on the table name (they are partitions of *one*
+    /// logical table).
+    pub fn register_partitioned(&mut self, parts: Vec<Table>) {
+        assert_eq!(
+            parts.len(),
+            self.shards.len(),
+            "one partition per shard ({} shards)",
+            self.shards.len()
+        );
+        let name = parts[0].name().to_string();
+        assert!(
+            parts.iter().all(|p| p.name() == name),
+            "partitions of one logical table share its name"
+        );
+        for (shard, part) in self.shards.iter_mut().zip(parts) {
+            shard.register(part);
+        }
+    }
+
+    /// Appends a batch of rows, routing the whole batch to the shard
+    /// whose partition of `table` is currently **smallest** (ties
+    /// broken by a rotating cursor, so equal shards take turns): the
+    /// batch lands in that shard's delta store, bumps its data version,
+    /// and may trip its compaction threshold — the per-shard write path
+    /// mirrors the single-session one exactly, so sharded reads stay
+    /// correct under interleaved ingest. Size-aware routing keeps
+    /// partitions balanced under *uneven* batch streams, where blind
+    /// rotation would slowly skew them.
     ///
     /// # Errors
     ///
@@ -338,33 +449,29 @@ impl ShardedDatabase {
 
         let n = batch.rows();
         let shard_count = self.shards.len();
-        // Column-wise scatter: row i of the batch goes to shard
-        // (cursor + i) mod N.
-        let mut parts: Vec<RowBatch> = vec![RowBatch::new(); shard_count];
-        for (name, values) in batch.columns() {
-            let mut split: Vec<Vec<u32>> =
-                vec![Vec::with_capacity(n / shard_count + 1); shard_count];
-            for (i, &x) in values.iter().enumerate() {
-                split[(self.next_shard + i) % shard_count].push(x);
-            }
-            for (part, vals) in parts.iter_mut().zip(split) {
-                *part = std::mem::take(part).with_column(name, vals);
-            }
-        }
+        // Size probe via the incrementally maintained statistics:
+        // `table()` would materialise each shard's base++delta view —
+        // an O(partition) copy per append on the write hot path.
+        let sizes: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| s.table_stats(table).map_or(0, |stats| stats.rows()))
+            .collect();
+        let smallest = *sizes.iter().min().expect("at least one shard");
+        let chosen = (0..shard_count)
+            .map(|k| (self.next_shard + k) % shard_count)
+            .find(|&s| sizes[s] == smallest)
+            .expect("a smallest shard exists");
         let mut per_shard = vec![0usize; shard_count];
         let mut compactions = 0;
-        for (s, (shard, part)) in self.shards.iter().zip(parts).enumerate() {
-            let rows = part.rows();
-            if rows == 0 {
-                continue;
-            }
-            let receipt = shard.catalogue().append(table, part)?;
-            per_shard[s] = rows;
+        if n > 0 {
+            let receipt = self.shards[chosen].catalogue().append(table, batch)?;
+            per_shard[chosen] = n;
             if receipt.compacted {
                 compactions += 1;
             }
+            self.next_shard = (chosen + 1) % shard_count;
         }
-        self.next_shard = (self.next_shard + n) % shard_count;
         Ok(ShardedIngestReceipt {
             rows: n,
             per_shard,
@@ -407,9 +514,12 @@ impl ShardedDatabase {
     ///
     /// # Errors
     ///
-    /// As [`Database::run_sql`], plus [`SqlError::ShardedCompositeKey`]
-    /// for composite `GROUP BY`, [`SqlError::ExplainStatement`] for
-    /// `EXPLAIN` and [`SqlError::InsertStatement`] for `INSERT`.
+    /// As [`Database::run_sql`], plus [`SqlError::ExplainStatement`]
+    /// for `EXPLAIN` and [`SqlError::InsertStatement`] for `INSERT`.
+    /// Composite `GROUP BY` shards like any other query (merged through
+    /// the query's [`KeyDictionary`]); only a *global* fused-key domain
+    /// exceeding the 32-bit key space is rejected, with the same typed
+    /// [`PlanError::CompositeKeyOverflow`] a single session reports.
     pub fn run_sql(&mut self, sql: &str) -> Result<ShardedOutput, SqlError> {
         match parse_statement(sql)? {
             Statement::Select(q) => self.run_query(&q.table, &q.query),
@@ -467,17 +577,16 @@ impl ShardedDatabase {
     }
 
     /// Prepares a statement once against every shard; execute it with
-    /// [`ShardedDatabase::execute_prepared`].
+    /// [`ShardedDatabase::execute_prepared`]. The SQL is parsed once
+    /// and the template shared (`Arc`) across the per-shard statements,
+    /// so preparing stays O(1) in the shard count.
     ///
     /// # Errors
     ///
     /// As [`Database::prepare`] (validated eagerly against the first
-    /// non-empty shard), plus [`SqlError::ShardedCompositeKey`].
+    /// non-empty shard).
     pub fn prepare(&self, sql: &str) -> Result<ShardedStatement, SqlError> {
-        let template = parse_template(sql)?;
-        if !template.query.group_by_rest.is_empty() {
-            return Err(SqlError::ShardedCompositeKey);
-        }
+        let template = Arc::new(parse_template(sql)?);
         // Validate eagerly where there are rows to plan against (an
         // empty shard cannot plan until a re-register populates it).
         if let Some(i) = self.first_populated_shard(&template.table)? {
@@ -488,7 +597,7 @@ impl ShardedDatabase {
         let stmts = self
             .shards
             .iter()
-            .map(|_| PreparedStatement::from_template(template.clone()))
+            .map(|_| PreparedStatement::from_template(Arc::clone(&template)))
             .collect();
         Ok(ShardedStatement {
             stmts,
@@ -631,11 +740,8 @@ impl ShardedDatabase {
         table: &str,
         query: &AggregateQuery,
     ) -> Result<ShardedOutput, SqlError> {
-        if !query.group_by_rest.is_empty() {
-            return Err(SqlError::ShardedCompositeKey);
-        }
         // Plan every populated shard up front so errors surface before
-        // any thread runs.
+        // any morsel runs.
         self.first_populated_shard(table)?;
         let plans = self
             .shards
@@ -660,9 +766,6 @@ impl ShardedDatabase {
         table: &str,
         query: &AggregateQuery,
     ) -> Result<ShardedOutput, SqlError> {
-        if !query.group_by_rest.is_empty() {
-            return Err(SqlError::ShardedCompositeKey);
-        }
         self.check_snapshot(snap)?;
         // Unknown-table / all-empty detection runs against the *cut*:
         // a table registered after the snapshot does not exist here.
@@ -690,30 +793,56 @@ impl ShardedDatabase {
         self.execute_plans(query, plans)
     }
 
-    /// Phase 2 + 3: run the distributive slices concurrently (one
-    /// thread per populated shard), merge the partials, finalise the
-    /// tail on the coordinator.
+    /// Phase 2 + 3: split every shard's plan into morsels, run them on
+    /// the persistent worker pool (idle workers steal a skewed shard's
+    /// tail), merge the partials, finalise the tail on the coordinator.
     fn execute_plans(
         &mut self,
         query: &AggregateQuery,
         plans: Vec<Option<QueryPlan>>,
     ) -> Result<ShardedOutput, SqlError> {
-        let runs: Vec<PartialRun> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .zip(&plans)
-                .filter_map(|(shard, plan)| plan.as_ref().map(|p| (shard, p)))
-                .map(|(shard, plan)| scope.spawn(move || shard.run_plan_partial(plan)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        });
+        // Composite grouping gets a query-scoped shared dictionary the
+        // workers intern their key tuples into (see crate::keydict).
+        let dict = (!query.group_by_rest.is_empty()).then(|| Arc::new(KeyDictionary::new()));
+        let morsel_rows = self.executor.config().morsel_rows.max(1);
+        let plans: Vec<Option<Arc<QueryPlan>>> =
+            plans.into_iter().map(|p| p.map(Arc::new)).collect();
+        let mut morsels = Vec::new();
+        for (shard, plan) in plans.iter().enumerate() {
+            let Some(plan) = plan else { continue };
+            let mut lo = 0;
+            while lo < plan.rows() {
+                let hi = (lo + morsel_rows).min(plan.rows());
+                morsels.push(Morsel {
+                    shard,
+                    plan: Arc::clone(plan),
+                    lo,
+                    hi,
+                });
+                lo = hi;
+            }
+        }
+        let outcomes = self.executor.execute(morsels, dict.clone());
 
-        let merged = PartialAggregate::merge_all(runs.iter().map(|r| r.partial.clone()))
+        // Worker accounting: the measured morsel costs are scheduled
+        // onto W virtual workers deterministically (host threads race
+        // wall time, which says nothing about simulated cycles — see
+        // `virtual_schedule`); the busiest worker's total is the
+        // parallel makespan.
+        let (worker_loads, steals) = crate::executor::virtual_schedule(
+            &outcomes,
+            self.executor.worker_count(),
+            self.executor.config().steal,
+        );
+
+        let merged = PartialAggregate::merge_all(outcomes.iter().map(|o| o.run.partial.clone()))
             .unwrap_or_else(|| PartialAggregate::empty(query.needs_minmax()));
+        // Composite grouping: the merged partial is keyed by dense
+        // dictionary ids — resolve them back to globally fused keys.
+        let (merged, rest_domains) = match &dict {
+            Some(dict) => globalize(merged, dict, &outcomes)?,
+            None => (merged, Vec::new()),
+        };
         let (mut base, mut mm) = (merged.base, merged.minmax);
         if let Some(h) = &query.having {
             host_having(h, &mut base, &mut mm);
@@ -725,15 +854,40 @@ impl ShardedDatabase {
             query,
             &base,
             mm.as_ref().map(|(a, b)| (&a[..], &b[..])),
-            &[],
+            &rest_domains,
         );
 
-        let shard_reports: Vec<ExecutionReport> = runs.into_iter().map(|r| r.report).collect();
+        // Per-shard reports: one shard's work summed over its morsels,
+        // wherever they ran.
+        let mut shard_reports = Vec::new();
+        for (s, plan) in plans.iter().enumerate() {
+            let Some(plan) = plan else { continue };
+            let mine: Vec<&MorselOutcome> = outcomes.iter().filter(|o| o.shard == s).collect();
+            let cycles: u64 = mine.iter().map(|o| o.run.report.cycles).sum();
+            let rows_aggregated: usize = mine.iter().map(|o| o.run.report.rows_aggregated).sum();
+            let aggregated = mine
+                .iter()
+                .find(|o| o.run.report.algorithm.is_some())
+                .or(mine.first());
+            shard_reports.push(ExecutionReport {
+                algorithm: aggregated.and_then(|o| o.run.report.algorithm),
+                rows_aggregated,
+                cycles,
+                cpt: if plan.rows() == 0 {
+                    0.0
+                } else {
+                    cycles as f64 / plan.rows() as f64
+                },
+                steps: aggregated
+                    .map(|o| o.run.report.steps.clone())
+                    .unwrap_or_default(),
+            });
+        }
         let aggregated = shard_reports
             .iter()
             .find(|r| r.algorithm.is_some())
             .or(shard_reports.first());
-        let cycles = shard_reports.iter().map(|r| r.cycles).max().unwrap_or(0);
+        let cycles = worker_loads.iter().copied().max().unwrap_or(0);
         let total_rows: usize = shard_reports.iter().map(|r| r.rows_aggregated).sum();
         // `cpt` keeps the field's contract — cycles per *input* tuple —
         // with the makespan as the cycle count: the parallel cost of
@@ -754,8 +908,66 @@ impl ShardedDatabase {
             rows,
             report,
             shard_reports,
+            worker_loads,
+            steals,
         })
     }
+}
+
+/// Resolves a merged, dense-id-keyed composite partial back to
+/// *globally* fused keys: every column's domain is the elementwise max
+/// of the morsels' measured domains (= the max over the whole
+/// partitioned input, exactly what a single session would measure), so
+/// re-fusing each dictionary tuple with those domains reproduces the
+/// single-session key — `Row.group` and the output order match a
+/// single session bit for bit. Returns the re-keyed partial and the
+/// decomposition domains for readback.
+///
+/// # Errors
+///
+/// [`PlanError::CompositeKeyOverflow`] when the *global* fused-key
+/// domain exceeds the 32-bit key space — each shard's plan only vetted
+/// its own partition's domains.
+fn globalize(
+    merged: PartialAggregate,
+    dict: &KeyDictionary,
+    outcomes: &[MorselOutcome],
+) -> Result<(PartialAggregate, Vec<u32>), SqlError> {
+    let mut domains: Vec<u32> = Vec::new();
+    for o in outcomes {
+        if domains.is_empty() {
+            domains = o.run.key_domains.clone();
+        } else {
+            for (d, &x) in domains.iter_mut().zip(&o.run.key_domains) {
+                *d = (*d).max(x);
+            }
+        }
+    }
+    let total: u128 = domains.iter().map(|&d| d as u128).product();
+    if total > u32::MAX as u128 + 1 {
+        return Err(SqlError::Plan(PlanError::CompositeKeyOverflow {
+            domain: total.min(u64::MAX as u128) as u64,
+        }));
+    }
+    let mut order: Vec<(u32, usize)> = merged
+        .base
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let tuple = dict
+                .resolve(id as u64)
+                .expect("merged ids came from this query's dictionary");
+            let mut key = tuple[0] as u64;
+            for (&part, &d) in tuple[1..].iter().zip(&domains[1..]) {
+                key = key * d as u64 + part as u64;
+            }
+            (key as u32, i)
+        })
+        .collect();
+    order.sort_unstable_by_key(|&(key, _)| key);
+    let rest = domains.get(1..).unwrap_or(&[]).to_vec();
+    Ok((permute(merged, &order), rest))
 }
 
 /// Convenience: the merged output in [`QueryOutput`] form.
@@ -854,19 +1066,104 @@ mod tests {
     }
 
     #[test]
-    fn makespan_cycles_are_the_slowest_shard() {
+    fn makespan_cycles_are_the_busiest_worker() {
         let mut sharded = ShardedDatabase::new(4);
         sharded.register(events(400));
         let out = sharded
             .run_sql("SELECT g, SUM(v) FROM events WHERE v > 40 GROUP BY g")
             .unwrap();
-        let max = out.shard_reports.iter().map(|r| r.cycles).max().unwrap();
-        assert_eq!(out.report.cycles, max);
+        let makespan = *out.worker_loads.iter().max().unwrap();
+        assert_eq!(out.report.cycles, makespan);
         assert!(out.shard_reports.iter().all(|r| r.cycles > 0));
+        // Every cycle of shard work is accounted to exactly one worker.
+        assert_eq!(
+            out.worker_loads.iter().sum::<u64>(),
+            out.shard_reports.iter().map(|r| r.cycles).sum::<u64>()
+        );
         // cpt keeps its contract: makespan cycles per *input* tuple
         // (400 rows entered the shards), not per surviving row.
         assert!(out.report.rows_aggregated < 400, "the filter removed rows");
-        assert!((out.report.cpt - max as f64 / 400.0).abs() < 1e-12);
+        assert!((out.report.cpt - makespan as f64 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn the_worker_pool_persists_across_queries() {
+        let mut sharded = ShardedDatabase::new(2);
+        sharded.register(events(200));
+        assert_eq!(sharded.executor_config().workers, 2, "0 = shard count");
+        for _ in 0..3 {
+            sharded
+                .run_sql("SELECT g, SUM(v) FROM events GROUP BY g")
+                .unwrap();
+        }
+        let stats = sharded.executor_stats();
+        assert_eq!(stats.queries, 3, "one pool served every query");
+        assert!(stats.morsels >= 6, "at least one morsel per shard");
+        // Rebuilding the pool resets its counters (the spawn-per-query
+        // regime the bench measures).
+        sharded.set_executor_config(ExecutorConfig {
+            workers: 3,
+            morsel_rows: 64,
+            steal: false,
+        });
+        assert_eq!(sharded.executor_stats(), ExecutorStats::default());
+        let out = sharded
+            .run_sql("SELECT g, SUM(v) FROM events GROUP BY g")
+            .unwrap();
+        assert_eq!(out.worker_loads.len(), 3);
+        assert_eq!(out.steals, 0, "stealing disabled");
+        assert_eq!(sharded.executor_stats().queries, 1);
+    }
+
+    #[test]
+    fn stealing_levels_a_skewed_partition_without_changing_results() {
+        let sql = "SELECT g, COUNT(*), SUM(v), MIN(v) FROM events GROUP BY g";
+        let single = single_answer(1200, sql);
+        let skewed_parts = |n: usize| {
+            // 90% of the rows on shard 0, the rest spread thin.
+            let t = events(n);
+            let cuts = [0, n * 9 / 10, n * 29 / 30, n * 59 / 60, n];
+            (0..4)
+                .map(|i| {
+                    let (lo, hi) = (cuts[i], cuts[i + 1]);
+                    let mut part = Table::new("events");
+                    for col in t.column_names() {
+                        part = part.with_column(col, t.column(col).unwrap()[lo..hi].to_vec());
+                    }
+                    part
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut makespans = Vec::new();
+        for steal in [false, true] {
+            let mut sharded = ShardedDatabase::with_executor(
+                Engine::new(),
+                4,
+                ExecutorConfig {
+                    workers: 4,
+                    morsel_rows: 32,
+                    steal,
+                },
+            );
+            sharded.register_partitioned(skewed_parts(1200));
+            // Warm the pool (first-touch cache misses), then measure —
+            // the steady state a persistent pool exists for.
+            sharded.run_sql(sql).unwrap();
+            let out = sharded.run_sql(sql).unwrap();
+            assert_eq!(out.rows, single.rows, "steal={steal}");
+            if steal {
+                assert!(out.steals > 0, "idle workers raided the hot shard");
+            } else {
+                assert_eq!(out.steals, 0);
+            }
+            makespans.push(out.report.cycles);
+        }
+        assert!(
+            makespans[1] < makespans[0],
+            "stealing shortened the skewed makespan: {} < {}",
+            makespans[1],
+            makespans[0]
+        );
     }
 
     #[test]
@@ -911,24 +1208,112 @@ mod tests {
         assert!(out.shard_reports.len() < 8, "empty shards never ran");
     }
 
+    fn two_key_table(n: usize) -> Table {
+        Table::new("t")
+            .with_column("a", (0..n).map(|i| ((i * 13) % 5) as u32).collect())
+            .with_column("b", (0..n).map(|i| ((i * 7) % 9) as u32).collect())
+            .with_column("v", (0..n).map(|i| ((i * 3) % 50) as u32).collect())
+    }
+
     #[test]
-    fn composite_group_by_is_rejected() {
+    fn composite_group_by_shards_and_matches_a_single_session() {
+        // Shards fuse (a, b) with *locally* measured domains; the
+        // shared key dictionary makes the partials mergeable and the
+        // answer must match a single session bit for bit.
+        let sql = "SELECT a, b, COUNT(*), SUM(v), MIN(v), MAX(v) FROM t \
+                   WHERE v <> 7 GROUP BY a, b";
+        let mut single = Database::new();
+        single.register(two_key_table(300));
+        let expect = single.execute_sql(sql).unwrap();
+        for shards in [1, 2, 4, 7] {
+            let mut sharded = ShardedDatabase::new(shards);
+            sharded.register(two_key_table(300));
+            let out = sharded.run_sql(sql).unwrap();
+            assert_eq!(out.rows, expect.rows, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn composite_group_by_prepares_and_reads_snapshots() {
+        let sql = "SELECT a, b, COUNT(*), SUM(v) FROM t WHERE v < ? GROUP BY a, b";
+        let mut sharded = ShardedDatabase::new(3);
+        sharded.register(two_key_table(120));
+        let mut single = Database::new();
+        single.register(two_key_table(120));
+
+        // Prepared path.
+        let mut stmt = sharded.prepare(sql).unwrap();
+        let mut fresh = single.prepare(sql).unwrap();
+        for threshold in [10u64, 40, 50] {
+            let got = sharded.execute_prepared(&mut stmt, &[threshold]).unwrap();
+            let expect = fresh.execute(&mut single, &[threshold]).unwrap();
+            assert_eq!(got.rows, expect.rows, "threshold {threshold}");
+        }
+
+        // Snapshot paths keep answering the pinned cut after ingest.
+        let snap = sharded.snapshot();
+        let before = sharded.execute_prepared(&mut stmt, &[50]).unwrap();
+        sharded
+            .insert_sql("INSERT INTO t (a, b, v) VALUES (9, 9, 1), (9, 8, 2)")
+            .unwrap();
+        let at = sharded
+            .execute_prepared_at(&mut stmt, &snap, &[50])
+            .unwrap();
+        assert_eq!(at.rows, before.rows, "pinned composite cut");
+        let at = sharded
+            .run_sql_at(
+                &snap,
+                "SELECT a, b, COUNT(*), SUM(v) FROM t WHERE v < 50 GROUP BY a, b",
+            )
+            .unwrap();
+        assert_eq!(at.rows, before.rows);
+        // The live read sees the two appended (9, *) groups.
+        let live = sharded.execute_prepared(&mut stmt, &[50]).unwrap();
+        assert_eq!(live.rows.len(), before.rows.len() + 2);
+    }
+
+    #[test]
+    fn composite_group_by_with_tails_matches_a_single_session() {
+        let sql = "SELECT a, b, COUNT(*), SUM(v) FROM t WHERE v > 2 GROUP BY a, b \
+                   HAVING SUM(v) > 100 ORDER BY SUM(v) DESC LIMIT 7";
+        let mut single = Database::new();
+        single.register(two_key_table(400));
+        let expect = single.execute_sql(sql).unwrap();
+        let mut sharded = ShardedDatabase::new(4);
+        sharded.register(two_key_table(400));
+        let out = sharded.run_sql(sql).unwrap();
+        assert_eq!(out.rows, expect.rows);
+        assert!(!out.rows.is_empty());
+        assert_eq!(out.rows[0].group_parts.len(), 2, "decomposed (a, b)");
+    }
+
+    #[test]
+    fn cross_shard_composite_domain_overflow_is_typed() {
+        // Each shard's own domain product fits u32, but the global
+        // product (measured across shards) does not: shard 0 maxes a,
+        // shard 1 maxes b.
         let mut sharded = ShardedDatabase::new(2);
-        sharded.register(
+        sharded.register_partitioned(vec![
             Table::new("t")
-                .with_column("a", vec![1, 2])
-                .with_column("b", vec![1, 2])
+                .with_column("a", vec![1 << 17, 1])
+                .with_column("b", vec![0, 1])
                 .with_column("v", vec![1, 2]),
-        );
+            Table::new("t")
+                .with_column("a", vec![0, 1])
+                .with_column("b", vec![1 << 17, 1])
+                .with_column("v", vec![3, 4]),
+        ]);
         let e = sharded
             .run_sql("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
             .unwrap_err();
-        assert_eq!(e, SqlError::ShardedCompositeKey);
-        assert!(e.to_string().contains("shard"));
-        let e = sharded
-            .prepare("SELECT a, b, COUNT(*) FROM t WHERE v > ? GROUP BY a, b")
-            .unwrap_err();
-        assert_eq!(e, SqlError::ShardedCompositeKey);
+        assert!(
+            matches!(
+                e,
+                SqlError::Plan(PlanError::CompositeKeyOverflow { domain })
+                    if domain > u32::MAX as u64
+            ),
+            "got {e:?}"
+        );
     }
 
     #[test]
@@ -998,7 +1383,7 @@ mod tests {
         let snap = sharded.snapshot();
         let before = sharded.run_sql(sql).unwrap();
 
-        // Routed ingest mutates every shard...
+        // Routed ingest mutates the live table...
         sharded
             .insert_sql("INSERT INTO events (g, v) VALUES (0, 1), (1, 2), (2, 3), (3, 4), (4, 5)")
             .unwrap();
@@ -1076,14 +1461,14 @@ mod tests {
         assert_eq!(sharded.data_versions("nope"), None);
         assert!(sharded.table_stats("nope").is_none());
 
-        // A 3-row insert touches 3 of 4 shards: three per-shard bumps,
-        // merged version 1 + 3.
+        // A 3-row insert lands whole on the smallest shard: one
+        // per-shard bump, merged version 1 + 1.
         sharded
             .insert_sql("INSERT INTO events (g, v) VALUES (50, 200), (1, 2), (2, 3)")
             .unwrap();
         let versions = sharded.data_versions("events").unwrap();
-        assert_eq!(versions.iter().filter(|&&v| v == 2).count(), 3);
-        assert_eq!(sharded.data_version("events"), Some(4));
+        assert_eq!(versions.iter().filter(|&&v| v == 2).count(), 1);
+        assert_eq!(sharded.data_version("events"), Some(2));
 
         // Merged statistics cover every partition.
         let stats = sharded.table_stats("events").unwrap();
@@ -1131,12 +1516,20 @@ mod tests {
         }
     }
 
+    fn shard_rows(sharded: &ShardedDatabase) -> Vec<usize> {
+        sharded
+            .shards()
+            .iter()
+            .map(|s| s.table("events").unwrap().rows())
+            .collect()
+    }
+
     #[test]
-    fn round_robin_routing_balances_across_batches() {
+    fn equal_shards_take_turns_like_round_robin() {
         let mut sharded = ShardedDatabase::new(4);
         sharded.register(events(0));
-        // 6 one-row batches: the rotating cursor spreads them 2/2/1/1
-        // instead of piling all six onto shard 0.
+        // 6 one-row batches over all-equal shards: the tie-break cursor
+        // spreads them 2/2/1/1 instead of piling all six onto shard 0.
         for i in 0..6u32 {
             let r = sharded
                 .append_rows(
@@ -1147,13 +1540,36 @@ mod tests {
                 )
                 .unwrap();
             assert_eq!(r.rows, 1);
+            assert_eq!(r.per_shard.iter().sum::<usize>(), 1);
         }
-        let per_shard: Vec<usize> = sharded
-            .shards()
-            .iter()
-            .map(|s| s.table("events").unwrap().rows())
-            .collect();
-        assert_eq!(per_shard, vec![2, 2, 1, 1]);
+        assert_eq!(shard_rows(&sharded), vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn uneven_batches_route_to_the_smallest_shard_and_stay_balanced() {
+        let mut sharded = ShardedDatabase::new(3);
+        sharded.register(events(0));
+        // Interleaved uneven batches: blind rotation would pile the big
+        // batches onto whichever shard the cursor happened to point at;
+        // size-aware routing keeps the partitions level.
+        let batch = |rows: usize| {
+            RowBatch::new()
+                .with_column("g", vec![1; rows])
+                .with_column("v", vec![2; rows])
+        };
+        for &rows in &[10usize, 1, 1, 10, 1, 1, 10, 4, 4, 2] {
+            sharded.append_rows("events", batch(rows)).unwrap();
+        }
+        let sizes = shard_rows(&sharded);
+        assert_eq!(sizes.iter().sum::<usize>(), 44);
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(
+            max - min <= 10,
+            "partitions stay within one max-batch of each other: {sizes:?}"
+        );
+        // The big batches went to three *different* shards (each was
+        // smallest when its batch arrived).
+        assert!(sizes.iter().all(|&s| s >= 10), "{sizes:?}");
     }
 
     #[test]
@@ -1164,7 +1580,7 @@ mod tests {
             .insert_sql("INSERT INTO events (g, v) VALUES (1, 2), (3, 4), (5, 6)")
             .unwrap();
         assert_eq!(receipt.rows, 3);
-        assert_eq!(receipt.per_shard, vec![2, 1]);
+        assert_eq!(receipt.per_shard, vec![3, 0], "whole batch, one shard");
         let out = sharded
             .run_sql("SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g")
             .unwrap();
@@ -1228,16 +1644,20 @@ mod tests {
         let mut sharded = ShardedDatabase::new(2);
         sharded.register(events(4));
         sharded.set_compaction_policy(CompactionPolicy::every(2));
-        // 4 rows → 2 per shard: each shard's delta hits its threshold.
-        let receipt = sharded
-            .append_rows(
-                "events",
-                RowBatch::new()
-                    .with_column("g", vec![1, 2, 3, 4])
-                    .with_column("v", vec![1, 2, 3, 4]),
-            )
-            .unwrap();
-        assert_eq!(receipt.compactions, 2);
+        // Two 2-row batches: the router sends one to each shard (the
+        // second shard is smallest after the first lands), and each
+        // shard's delta hits its own threshold.
+        for _ in 0..2 {
+            let receipt = sharded
+                .append_rows(
+                    "events",
+                    RowBatch::new()
+                        .with_column("g", vec![1, 2])
+                        .with_column("v", vec![1, 2]),
+                )
+                .unwrap();
+            assert_eq!(receipt.compactions, 1);
+        }
         for shard in sharded.shards() {
             assert_eq!(shard.catalogue().delta_rows("events"), Some(0));
             assert_eq!(shard.table("events").unwrap().rows(), 4);

@@ -171,6 +171,8 @@ tuple_strategies! {
     (A, B, C, D)
     (A, B, C, D, E)
     (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
 }
 
 /// A lazily-constructed constant strategy (`LazyJust`), for parity with

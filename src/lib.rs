@@ -25,7 +25,9 @@
 //!   query shape, [`db::PreparedStatement`]s (`?` placeholders, bind
 //!   per execution), a [`db::SharedCatalogue`] for concurrent
 //!   sessions, and a [`db::ShardedDatabase`] merging partial
-//!   aggregates across N sessions/threads.
+//!   aggregates — composite `GROUP BY` included, via a shared
+//!   [`db::KeyDictionary`] — across morsels run on a persistent
+//!   work-stealing [`db::Executor`] pool.
 //!
 //! ## Quickstart
 //!
