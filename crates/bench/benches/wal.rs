@@ -1,0 +1,210 @@
+//! Durability bench: what the write-ahead log costs and what recovery
+//! buys back.
+//!
+//! Three measurements —
+//!
+//! * `ingest`: the same batch stream appended to an in-memory database
+//!   vs a durable one (every batch serialised, checksummed and flushed
+//!   to `wal.log`) — the logged-ingest overhead the WAL design keeps
+//!   under 2×;
+//! * `replay`: `Database::open` on the full un-checkpointed log —
+//!   recovery throughput in rows/s;
+//! * `checkpoint`: folding the replayed state into fresh images and
+//!   truncating the log (the compaction-time cost), plus the steady-
+//!   state cost of re-checkpointing an already-compact database.
+//!
+//! Besides the usual stdout lines, the bench writes a machine-readable
+//! summary to `BENCH_wal.json` at the repository root so future PRs
+//! can track the durability-path trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use vagg_db::{CompactionPolicy, Database, RowBatch, Table, TempDir};
+
+const BATCHES: usize = 256;
+const BATCH_ROWS: usize = 128;
+const SEED_ROWS: usize = 1024;
+
+fn seed_table() -> Table {
+    Table::new("t")
+        .with_column(
+            "g",
+            (0..SEED_ROWS).map(|i| (i * 7919 % 23) as u32).collect(),
+        )
+        .with_column("v", (0..SEED_ROWS).map(|i| (i * 31 % 100) as u32).collect())
+}
+
+fn batch(i: usize) -> RowBatch {
+    RowBatch::new()
+        .with_column(
+            "g",
+            (0..BATCH_ROWS)
+                .map(|j| ((i + j) * 13 % 23) as u32)
+                .collect(),
+        )
+        .with_column(
+            "v",
+            (0..BATCH_ROWS)
+                .map(|j| ((i * 7 + j) % 100) as u32)
+                .collect(),
+        )
+}
+
+/// A database with the bench table, compaction parked so the ingest
+/// comparison measures append+log cost alone (checkpointing is costed
+/// separately below).
+fn fresh(dir: Option<&std::path::Path>) -> Database {
+    let mut db = match dir {
+        Some(d) => Database::open(d).unwrap(),
+        None => Database::new(),
+    };
+    db.catalogue()
+        .set_compaction_policy(CompactionPolicy::never());
+    db.register(seed_table());
+    db
+}
+
+/// Wall milliseconds for one full batch-stream ingest, best of `reps`.
+fn ingest_ms(reps: u32, mut make: impl FnMut() -> Database) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut db = make();
+        let start = Instant::now();
+        for i in 0..BATCHES {
+            black_box(db.append_rows("t", batch(i)).unwrap());
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+
+    // ---- Logged-ingest overhead. ------------------------------------
+    {
+        let mut db = fresh(None);
+        let mut i = 0;
+        g.bench_function("ingest/in-memory", |b| {
+            b.iter(|| {
+                i += 1;
+                black_box(db.append_rows("t", batch(i)).unwrap())
+            })
+        });
+    }
+    {
+        let dir = TempDir::new("bench-wal-ingest");
+        let mut db = fresh(Some(dir.path()));
+        let mut i = 0;
+        g.bench_function("ingest/logged", |b| {
+            b.iter(|| {
+                i += 1;
+                black_box(db.append_rows("t", batch(i)).unwrap())
+            })
+        });
+    }
+    let in_memory_ms = ingest_ms(3, || fresh(None));
+    let logged_dir = TempDir::new("bench-wal-stream");
+    let logged_ms = {
+        // Reuse one directory; each rep starts over in a subdirectory
+        // so the measured log always grows from empty.
+        let mut rep = 0;
+        ingest_ms(3, || {
+            rep += 1;
+            let sub = logged_dir.path().join(format!("rep-{rep}"));
+            fresh(Some(&sub))
+        })
+    };
+    let overhead = logged_ms / in_memory_ms;
+    println!(
+        "  ingest {BATCHES}x{BATCH_ROWS} rows: in-memory {in_memory_ms:.3} ms, \
+         logged {logged_ms:.3} ms ({overhead:.2}x)"
+    );
+
+    // ---- Replay throughput. -----------------------------------------
+    // The last ingest rep left a full un-checkpointed log behind.
+    let replay_dir = logged_dir.path().join("rep-3");
+    let replay_rows = SEED_ROWS + BATCHES * BATCH_ROWS;
+    g.bench_function("replay/open", |b| {
+        b.iter(|| black_box(Database::open(&replay_dir).unwrap().data_version("t")))
+    });
+    let open_ms = {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            black_box(Database::open(&replay_dir).unwrap());
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let rows_per_sec = replay_rows as f64 / (open_ms / 1e3);
+    println!(
+        "  replay {} records / {replay_rows} rows: {open_ms:.3} ms ({rows_per_sec:.0} rows/s)",
+        BATCHES + 1
+    );
+
+    // ---- Checkpoint cost. -------------------------------------------
+    let fold_ms = {
+        // Each ingest rep left an identical full log; fold each one
+        // once so every rep measures a first-time checkpoint.
+        let mut best = f64::INFINITY;
+        for r in 1..=3 {
+            let sub = logged_dir.path().join(format!("rep-{r}"));
+            let mut db = Database::open(&sub).unwrap();
+            let start = Instant::now();
+            db.checkpoint().unwrap();
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let steady_ms = {
+        let mut db = Database::open(&replay_dir).unwrap();
+        db.checkpoint().unwrap();
+        let start = Instant::now();
+        db.checkpoint().unwrap();
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    {
+        let mut db = Database::open(&replay_dir).unwrap();
+        g.bench_function("checkpoint/steady", |b| b.iter(|| db.checkpoint().unwrap()));
+    }
+    println!("  checkpoint {replay_rows} rows: fold {fold_ms:.3} ms, steady {steady_ms:.3} ms");
+
+    // ---- Machine-readable summary. ----------------------------------
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json");
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"generated_by\": \"cargo bench -p vagg-bench --bench wal\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"ingest\": {{\n    \"batches\": {BATCHES},\n    \
+         \"rows_per_batch\": {BATCH_ROWS},\n    \
+         \"in_memory_ms\": {in_memory_ms:.4},\n    \
+         \"logged_ms\": {logged_ms:.4},\n    \
+         \"logged_overhead\": {overhead:.3}\n  }},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"replay\": {{\n    \"records\": {},\n    \"rows\": {replay_rows},\n    \
+         \"open_ms\": {open_ms:.4},\n    \"rows_per_sec\": {rows_per_sec:.0}\n  }},",
+        BATCHES + 1
+    );
+    let _ = writeln!(
+        out,
+        "  \"checkpoint\": {{\n    \"table_rows\": {replay_rows},\n    \
+         \"fold_ms\": {fold_ms:.4},\n    \"steady_ms\": {steady_ms:.4}\n  }}\n}}"
+    );
+    std::fs::write(path, out).expect("write BENCH_wal.json");
+    println!("  wrote {path}");
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -35,9 +35,11 @@
 
 use crate::cache::{CacheStats, Lookup, PlanCache, QueryShape};
 use crate::database::{Database, SqlError};
-use crate::delta::{DeltaStore, TableStats};
+use crate::delta::{materialise, DeltaCut, DeltaStore, TableStats};
 use crate::engine::Engine;
+use crate::filter::Predicate;
 use crate::ingest::{CompactionPolicy, IngestReceipt, RowBatch};
+use crate::plan::PlanError;
 use crate::plan::{QueryPlan, ScanMode};
 use crate::query::AggregateQuery;
 use crate::snapshot::{PinRegistry, Snapshot, SnapshotStats, TableCut};
@@ -67,15 +69,20 @@ struct Registered {
     /// lazily (`None` = dirty). Appends are O(batch); the first read
     /// after an append pays the merge once.
     view: Option<Table>,
+    /// Data version → the delta cut that was live at that version,
+    /// for `AS OF data_version N` time travel. Entries only stay
+    /// reconstructible while the delta generation stands, so the index
+    /// is cleared at compaction and re-registration.
+    version_index: BTreeMap<u64, DeltaCut>,
 }
 
 impl Registered {
     fn materialise(&mut self) -> &Table {
         if self.view.is_none() {
-            self.view = Some(if self.delta.rows() == 0 {
+            self.view = Some(if self.delta.load() == 0 {
                 self.base.clone()
             } else {
-                merge(&self.base, &self.delta)
+                materialise(&self.base, &self.delta, self.delta.cut())
             });
         }
         self.view.as_ref().expect("just materialised")
@@ -88,24 +95,6 @@ impl Registered {
     }
 }
 
-/// Concatenates base ++ delta into a fresh table. `with_column`
-/// re-detects sortedness, so the merged view carries exactly the
-/// metadata a fresh registration of the same rows would. A pinned
-/// snapshot read passes a [`DeltaStore::clone_prefix`] extract here —
-/// never hold the registry or pin lock across this O(base) merge.
-fn merge(base: &Table, delta: &DeltaStore) -> Table {
-    let mut t = Table::new(base.name());
-    for name in base.column_names() {
-        let base_col = base.column(name).expect("listed column exists");
-        let delta_col = delta.column(name);
-        let mut data = Vec::with_capacity(base_col.len() + delta_col.len());
-        data.extend_from_slice(base_col);
-        data.extend_from_slice(delta_col);
-        t = t.with_column(name, data);
-    }
-    t
-}
-
 /// A borrowed consistent read of one table — the input every plan is
 /// made from, whether it comes from a snapshot-of-now cut or a pinned
 /// long-lived [`Snapshot`].
@@ -116,11 +105,70 @@ struct ViewRef<'a> {
     stats: &'a TableStats,
 }
 
+/// One resolved write inside a transaction (or an autocommit
+/// DELETE/UPDATE): the unit [`SharedCatalogue::apply_ops`] installs
+/// atomically and the WAL logs per record. Row ids are *physical*
+/// positions into base ++ delta — resolved before logging, so replay
+/// is deterministic.
+#[derive(Debug, Clone)]
+pub(crate) enum CatOp {
+    /// Append a validated batch (the transactional INSERT).
+    Append {
+        /// Target table.
+        table: String,
+        /// The rows.
+        batch: RowBatch,
+    },
+    /// Tombstone the given physical rows.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Physical row ids to tombstone.
+        rows: Vec<u32>,
+    },
+    /// Overwrite `sets` columns of the given physical rows.
+    Update {
+        /// Target table.
+        table: String,
+        /// Physical row ids to overwrite.
+        rows: Vec<u32>,
+        /// `(column, new value)` assignments applied to every row.
+        sets: Vec<(String, u32)>,
+    },
+}
+
+impl CatOp {
+    /// The table this op writes.
+    pub(crate) fn table(&self) -> &str {
+        match self {
+            CatOp::Append { table, .. }
+            | CatOp::Delete { table, .. }
+            | CatOp::Update { table, .. } => table,
+        }
+    }
+
+    /// Whether the op changes nothing (empty batch / no matched rows).
+    fn is_empty(&self) -> bool {
+        match self {
+            CatOp::Append { batch, .. } => batch.rows() == 0,
+            CatOp::Delete { rows, .. } => rows.is_empty(),
+            CatOp::Update { rows, sets, .. } => rows.is_empty() || sets.is_empty(),
+        }
+    }
+}
+
+/// One named (`CREATE SNAPSHOT`) version: per table the data version
+/// and the fully materialised content at creation time. Frozen tables
+/// survive unpin, compaction and re-registration — they share no state
+/// with the live registry.
+pub(crate) type NamedTables = BTreeMap<String, (u64, Table)>;
+
 struct Inner {
     tables: RwLock<BTreeMap<String, Registered>>,
     cache: Mutex<PlanCache>,
     policy: RwLock<CompactionPolicy>,
     pins: Mutex<PinRegistry>,
+    named: RwLock<BTreeMap<String, NamedTables>>,
     engine: Engine,
 }
 
@@ -191,6 +239,7 @@ impl SharedCatalogue {
                 cache: Mutex::new(cache),
                 policy: RwLock::new(CompactionPolicy::default()),
                 pins: Mutex::new(PinRegistry::default()),
+                named: RwLock::new(BTreeMap::new()),
                 engine,
             }),
         }
@@ -243,20 +292,38 @@ impl SharedCatalogue {
     /// serving a stale snapshot. The new table starts with an empty
     /// delta and statistics seeded from its columns.
     pub fn register(&self, table: Table) -> Option<Table> {
+        self.register_as(table, None)
+    }
+
+    /// [`SharedCatalogue::register`] with the version counters forced —
+    /// how WAL replay reinstalls a checkpoint image (the record carries
+    /// the exact versions the table had when the image was cut).
+    pub(crate) fn register_at(
+        &self,
+        table: Table,
+        schema_version: u64,
+        data_version: u64,
+    ) -> Option<Table> {
+        self.register_as(table, Some((schema_version, data_version)))
+    }
+
+    fn register_as(&self, table: Table, versions: Option<(u64, u64)>) -> Option<Table> {
         let name = table.name().to_string();
         let delta = DeltaStore::for_table(&table);
         let stats = TableStats::seed(&table);
         let mut tables = self.inner.tables.write().expect("catalogue lock");
-        let schema_version = tables.get(&name).map_or(1, |r| r.schema_version + 1);
+        let (schema_version, data_version) =
+            versions.unwrap_or_else(|| (tables.get(&name).map_or(1, |r| r.schema_version + 1), 1));
         let old = tables.insert(
             name.clone(),
             Registered {
                 schema_version,
-                data_version: 1,
+                data_version,
                 base: table,
                 delta,
                 stats,
                 view: None,
+                version_index: BTreeMap::from([(data_version, DeltaCut::default())]),
             },
         );
         // A live snapshot may still read the replaced table's delta
@@ -328,6 +395,7 @@ impl SharedCatalogue {
             r.stats.observe(&batch);
             r.data_version += 1;
             r.view = None;
+            r.version_index.insert(r.data_version, r.delta.cut());
             let policy = *self.inner.policy.read().expect("policy lock");
             let receipt = IngestReceipt {
                 rows: batch.rows(),
@@ -341,45 +409,91 @@ impl SharedCatalogue {
             // it keeps out of this critical section, and bounded by
             // the compaction threshold itself.
             let compact = policy
-                .should_compact(r.base.rows(), r.delta.rows())
+                .should_compact(r.base.rows(), r.delta.load())
                 .then(|| (r.schema_version, r.base.clone(), r.delta.clone()));
             (receipt, compact)
         };
-        // Phase 2 (no lock): the O(rows) merge and statistics re-seed
-        // run without blocking other sessions or tables.
         if let Some((schema_version, base, delta)) = compact {
-            let merged = merge(&base, &delta);
-            let stats = TableStats::seed(&merged);
-            // Phase 3 (write lock): install only if the table has not
-            // moved on — a concurrent append bumped the data version
-            // and will trip (a bigger) compaction itself.
-            let mut tables = self.inner.tables.write().expect("catalogue lock");
-            if let Some(r) = tables.get_mut(table) {
-                if r.schema_version == schema_version && r.data_version == receipt.data_version {
-                    r.stats = stats;
-                    r.base = merged.clone(); // `Arc` columns: base and view share
-                    r.view = Some(merged);
-                    // Base retirement defers to live snapshots: if a
-                    // pinned prefix still reads this delta generation,
-                    // the rows move to the pin registry's side store
-                    // (deferred GC, reclaimed when the last pin drops)
-                    // instead of being freed; either way the live
-                    // delta opens its next epoch empty. Compaction
-                    // itself is never delayed by readers.
-                    let key = (table.to_string(), r.schema_version, r.delta.epoch());
-                    let mut pins = self.inner.pins.lock().expect("pin registry lock");
-                    if pins.needs_delta(&key) {
-                        let old = r.delta.retire();
-                        pins.retire(key, old);
-                    } else {
-                        r.delta.clear();
-                    }
-                    receipt.compacted = true;
-                    receipt.delta_rows = 0;
-                }
+            receipt.compacted =
+                self.compact_off_lock(table, schema_version, receipt.data_version, base, delta);
+            if receipt.compacted {
+                receipt.delta_rows = 0;
             }
         }
         Ok(receipt)
+    }
+
+    /// Compacts `table` now if the policy threshold trips over the
+    /// delta's total load (rows + tombstones + overwrites) — the
+    /// re-check the mutation paths (DELETE/UPDATE, transaction commits)
+    /// run after applying, mirroring the append path's inline trigger.
+    /// Returns whether a compaction was installed.
+    pub(crate) fn maybe_compact(&self, table: &str) -> bool {
+        let staged = {
+            let tables = self.inner.tables.read().expect("catalogue lock");
+            let Some(r) = tables.get(table) else {
+                return false;
+            };
+            let policy = *self.inner.policy.read().expect("policy lock");
+            if !policy.should_compact(r.base.rows(), r.delta.load()) {
+                return false;
+            }
+            (
+                r.schema_version,
+                r.data_version,
+                r.base.clone(),
+                r.delta.clone(),
+            )
+        };
+        let (schema_version, data_version, base, delta) = staged;
+        self.compact_off_lock(table, schema_version, data_version, base, delta)
+    }
+
+    /// Phases 2–3 of a compaction. Phase 2 (no lock): the O(rows) merge
+    /// — which physically drops tombstoned rows and folds overwrites in
+    /// — and the statistics re-seed run without blocking other sessions
+    /// or tables. Phase 3 (write lock): install only if the table has
+    /// not moved on — a concurrent write bumped the data version and
+    /// will trip (a bigger) compaction itself.
+    fn compact_off_lock(
+        &self,
+        table: &str,
+        schema_version: u64,
+        data_version: u64,
+        base: Table,
+        delta: DeltaStore,
+    ) -> bool {
+        let merged = materialise(&base, &delta, delta.cut());
+        let stats = TableStats::seed(&merged);
+        let mut tables = self.inner.tables.write().expect("catalogue lock");
+        let Some(r) = tables.get_mut(table) else {
+            return false;
+        };
+        if r.schema_version != schema_version || r.data_version != data_version {
+            return false;
+        }
+        r.stats = stats;
+        r.base = merged.clone(); // `Arc` columns: base and view share
+        r.view = Some(merged);
+        // Versions older than the compaction lose their delta
+        // generation, so their cuts stop being reconstructible: the
+        // time-travel index restarts at the surviving version.
+        r.version_index = BTreeMap::from([(r.data_version, DeltaCut::default())]);
+        // Base retirement defers to live snapshots: if a pinned
+        // prefix still reads this delta generation, the logs move to
+        // the pin registry's side store (deferred GC, reclaimed when
+        // the last pin drops) instead of being freed; either way the
+        // live delta opens its next epoch empty. Compaction itself is
+        // never delayed by readers.
+        let key = (table.to_string(), r.schema_version, r.delta.epoch());
+        let mut pins = self.inner.pins.lock().expect("pin registry lock");
+        if pins.needs_delta(&key) {
+            let old = r.delta.retire();
+            pins.retire(key, old);
+        } else {
+            r.delta.clear();
+        }
+        true
     }
 
     /// Looks up a registered table's current content: the base merged
@@ -442,7 +556,7 @@ impl SharedCatalogue {
             data_version: r.data_version,
             epoch: r.delta.epoch(),
             base: r.base.clone(),
-            delta_prefix: r.delta.rows(),
+            delta_cut: r.delta.cut(),
             stats: r.stats.clone(),
             clean_view: r.view.clone(),
         };
@@ -509,7 +623,7 @@ impl SharedCatalogue {
                     // The live delta still carries the pinned
                     // generation (writers are excluded while we copy,
                     // so the prefix cannot tear).
-                    Some(r.delta.clone_prefix(cut.delta_prefix))
+                    Some(r.delta.clone_prefix(cut.delta_cut))
                 }
                 _ => None,
             }
@@ -521,9 +635,9 @@ impl SharedCatalogue {
             let key = (name.to_string(), cut.schema_version, cut.epoch);
             pins.retired(&key)
                 .expect("pinned delta generations are retained until released")
-                .clone_prefix(cut.delta_prefix)
+                .clone_prefix(cut.delta_cut)
         });
-        let view = merge(&cut.base, &prefix);
+        let view = materialise(&cut.base, &prefix, cut.delta_cut);
         // A snapshot-of-now materialisation doubles as the registry's
         // lazy view cache: install it so the next reader's cut comes
         // back clean — unless the table has already moved on.
@@ -537,6 +651,246 @@ impl SharedCatalogue {
             }
         }
         view
+    }
+
+    /// Resolves a DELETE/UPDATE predicate to the **physical** row ids
+    /// (positions into base ++ delta) of the *visible* matching rows:
+    /// tombstoned rows never match again, overwritten values are what
+    /// the predicate sees. `None` matches every visible row. The ids
+    /// are what the WAL logs — replay re-applies them verbatim, so the
+    /// resolution is done exactly once, before logging.
+    pub(crate) fn resolve_physical(
+        &self,
+        table: &str,
+        filter: Option<&(String, Predicate)>,
+    ) -> Result<Vec<u32>, SqlError> {
+        let tables = self.inner.tables.read().expect("catalogue lock");
+        let r = tables
+            .get(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        let total = r.base.rows() + r.delta.rows();
+        let mut keep = vec![true; total];
+        for &row in r.delta.tombstone_prefix(r.delta.tombstone_count()) {
+            keep[row as usize] = false;
+        }
+        let values = match filter {
+            Some((column, _)) => {
+                let base_col = r
+                    .base
+                    .column(column)
+                    .ok_or_else(|| SqlError::Plan(PlanError::UnknownColumn(column.clone())))?;
+                let mut values = Vec::with_capacity(total);
+                values.extend_from_slice(base_col);
+                values.extend_from_slice(r.delta.column(column));
+                for ow in r.delta.overwrite_prefix(r.delta.overwrite_count()) {
+                    if ow.column == *column {
+                        values[ow.row as usize] = ow.value;
+                    }
+                }
+                Some(values)
+            }
+            None => None,
+        };
+        Ok((0..total as u32)
+            .filter(|&i| keep[i as usize])
+            .filter(|&i| match (&values, filter) {
+                (Some(values), Some((_, pred))) => pred.matches(values[i as usize]),
+                _ => true,
+            })
+            .collect())
+    }
+
+    /// Applies a batch of resolved write ops under **one** registry
+    /// write lock — the all-or-nothing install behind transaction
+    /// commits and autocommit DELETE/UPDATE. Everything is validated
+    /// before anything is applied; readers see either none of the ops
+    /// or all of them (the next snapshot cut lands after the lock
+    /// drops). Each non-empty op bumps its table's data version by one,
+    /// exactly as the autocommit paths do, so WAL replay through this
+    /// same funnel reconstructs identical version counters.
+    ///
+    /// Returns each touched table's final data version. Compaction is
+    /// *not* evaluated here — callers run
+    /// [`SharedCatalogue::maybe_compact`] per table afterwards, off
+    /// this lock.
+    pub(crate) fn apply_ops(&self, ops: &[CatOp]) -> Result<BTreeMap<String, u64>, SqlError> {
+        let mut tables = self.inner.tables.write().expect("catalogue lock");
+        for op in ops {
+            let r = tables
+                .get(op.table())
+                .ok_or_else(|| SqlError::UnknownTable(op.table().to_string()))?;
+            match op {
+                CatOp::Append { batch, .. } => batch
+                    .validate(&r.base.column_names())
+                    .map_err(SqlError::Ingest)?,
+                CatOp::Delete { .. } => {}
+                CatOp::Update { sets, .. } => {
+                    for (column, _) in sets {
+                        if r.base.column(column).is_none() {
+                            return Err(SqlError::Plan(PlanError::UnknownColumn(column.clone())));
+                        }
+                    }
+                }
+            }
+        }
+        // `true` = the table needs a stats re-seed (deletes/updates
+        // change existing rows, which the incremental observe path
+        // cannot express).
+        let mut touched: BTreeMap<String, bool> = BTreeMap::new();
+        for op in ops {
+            if op.is_empty() {
+                continue;
+            }
+            let r = tables.get_mut(op.table()).expect("validated above");
+            match op {
+                CatOp::Append { batch, .. } => {
+                    r.delta.append(batch);
+                    r.stats.observe(batch);
+                }
+                CatOp::Delete { rows, .. } => {
+                    r.delta.tombstone_rows(rows);
+                    touched.insert(op.table().to_string(), true);
+                }
+                CatOp::Update { rows, sets, .. } => {
+                    for &row in rows {
+                        for (column, value) in sets {
+                            r.delta.overwrite(column, row, *value);
+                        }
+                    }
+                    touched.insert(op.table().to_string(), true);
+                }
+            }
+            r.data_version += 1;
+            r.view = None;
+            r.version_index.insert(r.data_version, r.delta.cut());
+            touched.entry(op.table().to_string()).or_insert(false);
+        }
+        let mut versions = BTreeMap::new();
+        for (name, reseed) in touched {
+            let r = tables.get_mut(&name).expect("touched tables exist");
+            if reseed {
+                r.materialise();
+                r.stats = TableStats::seed(r.view.as_ref().expect("just materialised"));
+            }
+            versions.insert(name, r.data_version);
+        }
+        Ok(versions)
+    }
+
+    /// The table's content as of an earlier data version — `AS OF
+    /// data_version N` time travel over the version index. Versions
+    /// whose delta generation a compaction (or re-registration) has
+    /// since folded away are reported as
+    /// [`SqlError::VersionUnavailable`]; `CREATE SNAPSHOT` is the way
+    /// to make a version durable across compaction.
+    pub(crate) fn table_at_version(&self, name: &str, version: u64) -> Result<Table, SqlError> {
+        let (base, prefix, cut) = {
+            let tables = self.inner.tables.read().expect("catalogue lock");
+            let r = tables
+                .get(name)
+                .ok_or_else(|| SqlError::UnknownTable(name.to_string()))?;
+            let cut = r.version_index.get(&version).copied().ok_or_else(|| {
+                SqlError::VersionUnavailable {
+                    table: name.to_string(),
+                    version,
+                }
+            })?;
+            // The clones own their data, so the O(base) merge runs
+            // off-lock; no pin is needed.
+            (r.base.clone(), r.delta.clone_prefix(cut), cut)
+        };
+        Ok(materialise(&base, &prefix, cut))
+    }
+
+    /// Creates a named version (`CREATE SNAPSHOT name`): one consistent
+    /// cut of every table, fully materialised and frozen under the
+    /// name. Unlike a pinned [`Snapshot`], a named version survives
+    /// drop, compaction, re-registration — and, WAL-logged, restart.
+    pub(crate) fn create_named(&self, name: &str) -> Result<(), SqlError> {
+        let snap = self.snapshot();
+        let mut frozen = NamedTables::new();
+        for table in snap.table_names() {
+            let view = snap.table(&table).expect("cut exists for listed table");
+            let version = snap.data_version(&table).expect("cut exists");
+            frozen.insert(table, (version, view));
+        }
+        let mut named = self.inner.named.write().expect("named snapshot lock");
+        if named.contains_key(name) {
+            return Err(SqlError::SnapshotExists(name.to_string()));
+        }
+        named.insert(name.to_string(), frozen);
+        Ok(())
+    }
+
+    /// One table of a named version: `(data version at creation,
+    /// frozen content)`.
+    pub(crate) fn named_table(
+        &self,
+        snapshot: &str,
+        table: &str,
+    ) -> Result<(u64, Table), SqlError> {
+        let named = self.inner.named.read().expect("named snapshot lock");
+        let tables = named
+            .get(snapshot)
+            .ok_or_else(|| SqlError::UnknownSnapshot(snapshot.to_string()))?;
+        let (version, content) = tables
+            .get(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        Ok((*version, content.clone()))
+    }
+
+    /// Every named version, frozen tables and all — what a WAL
+    /// checkpoint persists as snapshot-image records.
+    pub(crate) fn named_images(&self) -> BTreeMap<String, NamedTables> {
+        self.inner
+            .named
+            .read()
+            .expect("named snapshot lock")
+            .clone()
+    }
+
+    /// Installs a named version verbatim — WAL replay of a
+    /// snapshot-image record (overwrites any same-named entry: the log
+    /// is the authority during recovery).
+    pub(crate) fn install_named(&self, name: String, tables: NamedTables) {
+        self.inner
+            .named
+            .write()
+            .expect("named snapshot lock")
+            .insert(name, tables);
+    }
+
+    /// Every table's fully materialised content plus version counters —
+    /// what a WAL checkpoint persists as register-image records. Each
+    /// image folds the table's delta in, so replaying it (an empty
+    /// delta at the recorded versions) reproduces the logical state
+    /// exactly.
+    pub(crate) fn checkpoint_images(&self) -> Vec<(String, u64, u64, Table)> {
+        let mut tables = self.inner.tables.write().expect("catalogue lock");
+        tables
+            .iter_mut()
+            .map(|(name, r)| {
+                let view = r.materialise().clone();
+                (name.clone(), r.schema_version, r.data_version, view)
+            })
+            .collect()
+    }
+
+    /// Plans directly against a frozen (time-travel) table — named
+    /// versions and `AS OF data_version` reads bypass the shared plan
+    /// cache, which only ever holds live-lineage entries — stamping the
+    /// plan with its provenance for `EXPLAIN`.
+    pub(crate) fn plan_frozen(
+        &self,
+        table: &Table,
+        query: &AggregateQuery,
+        data_version: u64,
+        label: String,
+    ) -> Result<QueryPlan, SqlError> {
+        let mut plan = self.inner.engine.plan(table, query)?;
+        plan.data_version = Some(data_version);
+        plan.as_of = Some(label);
+        Ok(plan)
     }
 
     /// Registered table names, sorted (a [`BTreeMap`]-backed registry:
@@ -656,7 +1010,7 @@ impl SharedCatalogue {
         // single-table cut, plan at it, release the pin on return —
         // the same (one and only) read path an explicit snapshot uses.
         let snap = self.snapshot_of(table)?;
-        self.plan_query_at(&snap, table, query)
+        self.plan_at_snapshot(&snap, table, query)
     }
 
     /// Plans `query` against `table` **at a pinned snapshot**: the
@@ -677,6 +1031,24 @@ impl SharedCatalogue {
     /// catalogue, [`SqlError::UnknownTable`] if the snapshot does not
     /// contain `table`, and [`SqlError::Plan`] for planning problems.
     pub fn plan_query_at(
+        &self,
+        snap: &Snapshot,
+        table: &str,
+        query: &AggregateQuery,
+    ) -> Result<QueryPlan, SqlError> {
+        let mut plan = self.plan_at_snapshot(snap, table, query)?;
+        // An explicit-snapshot plan is stamped with its provenance for
+        // `EXPLAIN` — *after* the cache interaction, so the shared
+        // cache never holds an `as_of` label.
+        if let Some(version) = plan.data_version {
+            plan.as_of = Some(format!("snapshot@{version}"));
+        }
+        Ok(plan)
+    }
+
+    /// [`SharedCatalogue::plan_query_at`] without the provenance stamp
+    /// — the shared body of the live and explicit-snapshot paths.
+    fn plan_at_snapshot(
         &self,
         snap: &Snapshot,
         table: &str,

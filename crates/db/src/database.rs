@@ -32,18 +32,24 @@
 //! ```
 
 use crate::cache::CacheStats;
-use crate::catalogue::SharedCatalogue;
+use crate::catalogue::{CatOp, SharedCatalogue};
 use crate::delta::TableStats;
 use crate::engine::{Engine, QueryOutput};
-use crate::ingest::{IngestError, IngestReceipt, RowBatch};
+use crate::filter::Predicate;
+use crate::ingest::{CompactionPolicy, IngestError, IngestReceipt, RowBatch};
 use crate::plan::{PlanError, QueryPlan};
 use crate::prepared::PreparedStatement;
+use crate::query::AggregateQuery;
+use crate::recovery;
 use crate::session::Session;
 use crate::snapshot::{Snapshot, SnapshotStats};
-use crate::sql::{parse_statement, ParseSqlError, SqlQuery, Statement};
+use crate::sql::{parse_statement, AsOf, ParseSqlError, SqlQuery, Statement};
 use crate::table::Table;
+use crate::wal::{self, WalError, WalRecord, WalWriter, AUTOCOMMIT};
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Why a SQL statement failed to execute.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,10 +91,10 @@ pub enum SqlError {
     /// point-in-time cuts; run the write on the live database, outside
     /// the transaction.
     ReadOnly,
-    /// `BEGIN READ ONLY` was issued while a transaction is already
-    /// open; transactions do not nest. `COMMIT` first.
+    /// `BEGIN` was issued while a transaction is already open;
+    /// transactions do not nest. `COMMIT` or `ROLLBACK` first.
     NestedTransaction,
-    /// `COMMIT` was issued with no open transaction.
+    /// `COMMIT` / `ROLLBACK` was issued with no open transaction.
     NoOpenTransaction,
     /// A `BEGIN READ ONLY` / `COMMIT` bracket was passed to an API
     /// that cannot manage transaction state
@@ -111,6 +117,36 @@ pub enum SqlError {
         snapshot: usize,
         /// Shards the reading database has.
         database: usize,
+    },
+    /// A write statement that is not an `INSERT` (`DELETE`, `UPDATE`,
+    /// `CREATE SNAPSHOT`) was passed to an API that returns rows or
+    /// plans; use [`Database::run_sql`] (single session) or
+    /// [`crate::ShardedDatabase::mutate_sql`] (sharded).
+    MutationStatement,
+    /// `CREATE SNAPSHOT` / `AS OF` on a [`crate::ShardedDatabase`]:
+    /// named versions and time travel are per-catalogue features, and
+    /// freezing each shard independently would not be an atomic
+    /// cross-shard state. Capture a [`crate::ShardedSnapshot`] for
+    /// consistent cross-shard reads instead.
+    ShardedTimeTravel,
+    /// The write-ahead log could not be written or replayed (the typed
+    /// [`WalError`] carries the reason — torn tail, checksum mismatch,
+    /// out-of-order LSN, I/O failure).
+    Wal(WalError),
+    /// An `AS OF <name>` read (or a duplicate `CREATE SNAPSHOT`)
+    /// named a snapshot that does not exist.
+    UnknownSnapshot(String),
+    /// `CREATE SNAPSHOT` with a name that is already taken — named
+    /// versions are immutable; pick a new name.
+    SnapshotExists(String),
+    /// An `AS OF data_version N` read named a version whose delta
+    /// generation a compaction or re-registration has folded away.
+    /// `CREATE SNAPSHOT` makes a version durable across compaction.
+    VersionUnavailable {
+        /// The table read.
+        table: String,
+        /// The unavailable data version.
+        version: u64,
     },
 }
 
@@ -145,11 +181,11 @@ impl fmt::Display for SqlError {
             ),
             SqlError::NestedTransaction => write!(
                 f,
-                "a READ ONLY transaction is already open; transactions \
-                 do not nest — COMMIT first"
+                "a transaction is already open; transactions do not \
+                 nest — COMMIT or ROLLBACK first"
             ),
             SqlError::NoOpenTransaction => {
-                write!(f, "COMMIT without an open transaction")
+                write!(f, "COMMIT / ROLLBACK without an open transaction")
             }
             SqlError::TransactionStatement => write!(
                 f,
@@ -166,6 +202,32 @@ impl fmt::Display for SqlError {
                 "snapshot cut from {snapshot} shard(s) cannot serve \
                  reads on a {database}-shard database"
             ),
+            SqlError::MutationStatement => write!(
+                f,
+                "DELETE / UPDATE / CREATE SNAPSHOT return receipts, not \
+                 rows or plans; use run_sql (or ShardedDatabase::mutate_sql)"
+            ),
+            SqlError::ShardedTimeTravel => write!(
+                f,
+                "CREATE SNAPSHOT / AS OF are per-catalogue; a sharded \
+                 database cannot freeze an atomic cross-shard state — \
+                 capture a ShardedSnapshot for consistent reads"
+            ),
+            SqlError::Wal(e) => write!(f, "write-ahead log error: {e}"),
+            SqlError::UnknownSnapshot(name) => {
+                write!(f, "unknown snapshot {name:?}")
+            }
+            SqlError::SnapshotExists(name) => write!(
+                f,
+                "snapshot {name:?} already exists; named versions are \
+                 immutable — pick a new name"
+            ),
+            SqlError::VersionUnavailable { table, version } => write!(
+                f,
+                "data version {version} of table {table:?} is no longer \
+                 reconstructible (compacted away); CREATE SNAPSHOT keeps \
+                 a version durable"
+            ),
         }
     }
 }
@@ -176,8 +238,15 @@ impl Error for SqlError {
             SqlError::Parse(e) => Some(e),
             SqlError::Plan(e) => Some(e),
             SqlError::Ingest(e) => Some(e),
+            SqlError::Wal(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<WalError> for SqlError {
+    fn from(e: WalError) -> Self {
+        SqlError::Wal(e)
     }
 }
 
@@ -193,6 +262,16 @@ impl From<PlanError> for SqlError {
     }
 }
 
+/// What a `DELETE` or `UPDATE` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationReceipt {
+    /// Rows tombstoned (`DELETE`) or overwritten (`UPDATE`).
+    pub rows: usize,
+    /// The table's data version after the mutation (unchanged when no
+    /// row matched).
+    pub data_version: u64,
+}
+
 /// What one SQL statement produced.
 #[derive(Debug, Clone)]
 pub enum SqlOutcome {
@@ -205,13 +284,64 @@ pub enum SqlOutcome {
     /// reports the row count, the delta fill and whether the append
     /// tripped a compaction.
     Inserted(IngestReceipt),
-    /// A `BEGIN READ ONLY` opened a read-only transaction: the session
-    /// captured one snapshot and every statement until `COMMIT` reads
-    /// at it.
+    /// A `DELETE` tombstoned rows.
+    Deleted(MutationReceipt),
+    /// An `UPDATE` overwrote rows.
+    Updated(MutationReceipt),
+    /// A write statement inside an open `BEGIN` transaction was
+    /// buffered; the count is the transaction's queued statements so
+    /// far. Nothing is visible or durable until `COMMIT`.
+    Queued(usize),
+    /// A `BEGIN` opened a transaction: read-only (the session captured
+    /// one snapshot and every statement until `COMMIT` reads at it) or
+    /// write (statements buffer until `COMMIT` installs them
+    /// atomically).
     TransactionBegun,
-    /// A `COMMIT` closed the open read-only transaction and released
-    /// its snapshot.
+    /// A `COMMIT` closed the open transaction — released a read-only
+    /// transaction's snapshot, or installed a write transaction's
+    /// buffered statements in one atomic step.
     TransactionCommitted,
+    /// A `ROLLBACK` discarded the open transaction.
+    TransactionRolledBack,
+    /// A `CREATE SNAPSHOT` froze the current state under a durable
+    /// name.
+    SnapshotCreated,
+}
+
+/// One write statement buffered inside an open `BEGIN` transaction.
+/// `INSERT`s are validated and staged immediately; `DELETE`/`UPDATE`
+/// predicates are kept symbolic and resolved to physical rows at
+/// `COMMIT`, against the then-committed state.
+enum Pending {
+    Insert(CatOp),
+    Delete {
+        table: String,
+        filter: Option<(String, Predicate)>,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, u32)>,
+        filter: Option<(String, Predicate)>,
+    },
+}
+
+/// The session's transaction state.
+enum TxnState {
+    /// No open transaction: every statement autocommits.
+    None,
+    /// `BEGIN READ ONLY`: all reads at this pinned snapshot.
+    Read(Snapshot),
+    /// `BEGIN`: writes buffer here until `COMMIT`; reads see the
+    /// committed state (the transaction's own writes are not visible
+    /// to it before commit).
+    Write(Vec<Pending>),
+}
+
+/// A durable session's write-ahead log: the open writer plus the log's
+/// path (checkpoints rewrite the file in place).
+struct Durability {
+    log: PathBuf,
+    writer: WalWriter,
 }
 
 /// One session over a [`SharedCatalogue`]: planning goes through the
@@ -223,11 +353,19 @@ pub enum SqlOutcome {
 /// the session to one snapshot until `COMMIT`; and
 /// [`Database::run_sql_at`] reads at an explicit snapshot the caller
 /// holds — all three are the same read path.
+///
+/// A database opened with [`Database::open`] is additionally
+/// **durable**: every write is recorded in a write-ahead log in the
+/// database directory before the call returns, and reopening the path
+/// replays the log back to exactly the committed pre-crash state (see
+/// [`crate::wal`]). Durability is owned by the opening session — write
+/// through it, not through extra [`SharedCatalogue::connect`] handles,
+/// which would bypass the log.
 pub struct Database {
     catalogue: SharedCatalogue,
     session: Session,
-    /// The open `BEGIN READ ONLY` transaction's snapshot, if any.
-    txn: Option<Snapshot>,
+    txn: TxnState,
+    durability: Option<Durability>,
 }
 
 impl fmt::Debug for Database {
@@ -235,7 +373,8 @@ impl fmt::Debug for Database {
         f.debug_struct("Database")
             .field("tables", &self.table_names())
             .field("session", &self.session)
-            .field("in_transaction", &self.txn.is_some())
+            .field("in_transaction", &self.in_transaction())
+            .field("durable", &self.durability.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -265,8 +404,68 @@ impl Database {
         Self {
             catalogue,
             session,
-            txn: None,
+            txn: TxnState::None,
+            durability: None,
         }
+    }
+
+    /// Opens (or creates) a **durable** database at `path`: a directory
+    /// holding one write-ahead log. Every write through the returned
+    /// session — registration, `INSERT`/`DELETE`/`UPDATE`, transaction
+    /// commits, `CREATE SNAPSHOT` — is logged before the call returns;
+    /// reopening the same path replays the log and reconstructs the
+    /// committed state exactly (uncommitted transactions roll back by
+    /// omission). A torn log tail — the signature of a crash mid-append
+    /// — is truncated to the last valid record; real corruption
+    /// (mid-log checksum failure, out-of-order LSNs) is a typed
+    /// [`SqlError::Wal`].
+    ///
+    /// ```
+    /// let dir = vagg_db::TempDir::new("open-doc");
+    /// let mut db = vagg_db::Database::open(dir.path())?;
+    /// db.register(vagg_db::Table::new("r").with_column("g", vec![1, 2, 1]));
+    /// db.run_sql("INSERT INTO r (g) VALUES (2)")?;
+    /// drop(db); // crash stand-in
+    /// let mut db = vagg_db::Database::open(dir.path())?;
+    /// assert_eq!(db.table("r").unwrap().rows(), 4);
+    /// # Ok::<(), vagg_db::SqlError>(())
+    /// ```
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, SqlError> {
+        Self::open_with(path.as_ref(), &BTreeSet::new())
+    }
+
+    /// [`Database::open`] with extra transaction ids to treat as
+    /// committed during replay — the sharded coordinator's cross-shard
+    /// commit set, which lives in a separate log.
+    pub(crate) fn open_with(dir: &Path, extra_committed: &BTreeSet<u64>) -> Result<Self, SqlError> {
+        std::fs::create_dir_all(dir).map_err(|e| WalError::Io(e.to_string()))?;
+        let log = dir.join("wal.log");
+        let mut db = Database::new();
+        let writer = if log.exists() {
+            let contents = wal::read_log(&log)?;
+            if let Some(valid_len) = contents.torn {
+                wal::truncate(&log, valid_len)?;
+            }
+            // Compaction stays off during replay: every compaction that
+            // happened live rewrote the log into image records, so no
+            // surviving record should re-trip one.
+            db.catalogue
+                .set_compaction_policy(CompactionPolicy::never());
+            recovery::replay(&db.catalogue, &contents.records, extra_committed)?;
+            db.catalogue
+                .set_compaction_policy(CompactionPolicy::default());
+            WalWriter::append_to(&log, contents.next_lsn)?
+        } else {
+            WalWriter::create(&log)?
+        };
+        db.durability = Some(Durability { log, writer });
+        Ok(db)
+    }
+
+    /// Whether this session owns a write-ahead log (was opened with
+    /// [`Database::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
     }
 
     /// The catalogue this session plans through. Clone the handle to
@@ -281,8 +480,37 @@ impl Database {
     /// invalidates every cached plan for the table — see
     /// [`SharedCatalogue::register`]. Visible to every session sharing
     /// this catalogue.
+    ///
+    /// On a durable database the registration is recorded in the
+    /// write-ahead log before this returns. The signature cannot carry
+    /// a WAL error, so a log-write failure here panics — losing a
+    /// registration silently would corrupt every later replay.
     pub fn register(&mut self, table: Table) -> Option<Table> {
-        self.catalogue.register(table)
+        let old = self.register_buffered(table, AUTOCOMMIT);
+        self.flush_wal()
+            .expect("write-ahead log append failed during register");
+        old
+    }
+
+    /// Registers and buffers the log record under `txn` without
+    /// flushing — the sharded coordinator tags all shards' records with
+    /// one global transaction id and commits them together.
+    pub(crate) fn register_buffered(&mut self, table: Table, txn: u64) -> Option<Table> {
+        let name = table.name().to_string();
+        let old = self.catalogue.register(table);
+        if self.durability.is_some() {
+            let (schema_version, data_version) =
+                self.catalogue.versions(&name).expect("just registered");
+            let content = self.catalogue.table(&name).expect("just registered");
+            self.log_record(&WalRecord::Register {
+                txn,
+                table: name,
+                schema_version,
+                data_version,
+                columns: columns_of(&content),
+            });
+        }
+        old
     }
 
     /// Looks up a registered table (a cheap clone: column data is
@@ -328,9 +556,35 @@ impl Database {
     /// # Errors
     ///
     /// [`SqlError::UnknownTable`] for unregistered tables and
-    /// [`SqlError::Ingest`] for batches that do not fit the schema.
+    /// [`SqlError::Ingest`] for batches that do not fit the schema. On
+    /// a durable database the batch is logged (and the log flushed)
+    /// before this returns; if the append tripped a compaction the log
+    /// is checkpointed instead — rewritten as one image per table.
     pub fn append_rows(&mut self, table: &str, batch: RowBatch) -> Result<IngestReceipt, SqlError> {
-        self.catalogue.append(table, batch)
+        let columns: Vec<(String, Vec<u32>)> = if self.durability.is_some() {
+            batch
+                .columns()
+                .map(|(n, v)| (n.to_string(), v.to_vec()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let receipt = self.catalogue.append(table, batch)?;
+        if self.durability.is_some() {
+            if receipt.compacted {
+                // The delta (this batch included) was folded into the
+                // base: the checkpoint images capture it, and the old
+                // per-batch records are dead weight — rewrite the log.
+                self.write_checkpoint()?;
+            } else {
+                self.log_autocommit(&WalRecord::Batch {
+                    txn: AUTOCOMMIT,
+                    table: table.to_string(),
+                    columns,
+                })?;
+            }
+        }
+        Ok(receipt)
     }
 
     /// The live, incrementally maintained statistics of a registered
@@ -376,42 +630,92 @@ impl Database {
         self.catalogue.snapshot_stats()
     }
 
-    /// Whether a `BEGIN READ ONLY` transaction is open on this session.
+    /// Whether a transaction (`BEGIN` or `BEGIN READ ONLY`) is open on
+    /// this session.
     pub fn in_transaction(&self) -> bool {
-        self.txn.is_some()
+        !matches!(self.txn, TxnState::None)
     }
 
     /// The open read-only transaction's snapshot, for the prepared
     /// statement path to join.
     pub(crate) fn txn_snapshot(&self) -> Option<&Snapshot> {
-        self.txn.as_ref()
+        match &self.txn {
+            TxnState::Read(snap) => Some(snap),
+            _ => None,
+        }
     }
 
-    /// Plans one SELECT/EXPLAIN query — **the** read path: at the open
-    /// transaction's snapshot if one is pinned, else at a
-    /// snapshot-of-now.
+    /// Plans a time-travel read: a named version or an explicit data
+    /// version, bypassing the shared plan cache (frozen states must
+    /// never serve live queries from the cache, or vice versa).
+    fn plan_as_of(
+        &self,
+        table: &str,
+        as_of: &AsOf,
+        query: &AggregateQuery,
+    ) -> Result<QueryPlan, SqlError> {
+        match as_of {
+            AsOf::DataVersion(n) => {
+                let frozen = self.catalogue.table_at_version(table, *n)?;
+                self.catalogue
+                    .plan_frozen(&frozen, query, *n, format!("data_version@{n}"))
+            }
+            AsOf::Name(name) => {
+                let (version, frozen) = self.catalogue.named_table(name, table)?;
+                self.catalogue
+                    .plan_frozen(&frozen, query, version, format!("{name}@{version}"))
+            }
+        }
+    }
+
+    /// Plans one SELECT/EXPLAIN query — **the** read path. `AS OF`
+    /// names an explicit state and wins outright; otherwise the read
+    /// happens at the open read-only transaction's snapshot if one is
+    /// pinned, else at a snapshot-of-now (a write transaction's own
+    /// buffered statements are not visible to it before `COMMIT`).
     fn plan_read(&self, q: &SqlQuery) -> Result<QueryPlan, SqlError> {
+        if let Some(as_of) = &q.as_of {
+            return self.plan_as_of(&q.table, as_of, &q.query);
+        }
         match &self.txn {
-            Some(snap) => self.catalogue.plan_query_at(snap, &q.table, &q.query),
+            TxnState::Read(snap) => self.catalogue.plan_query_at(snap, &q.table, &q.query),
             // `plan_query` captures (and releases) a snapshot-of-now
             // internally — the same path, same pins, same cache.
-            None => self.catalogue.plan_query(&q.table, &q.query),
+            _ => self.catalogue.plan_query(&q.table, &q.query),
         }
     }
 
     /// Parses and runs one SQL statement: `SELECT` executes on the
     /// session and returns rows, `EXPLAIN SELECT` returns the typed
     /// plan without executing, `INSERT` appends rows through the
-    /// write path, and `BEGIN READ ONLY` / `COMMIT` bracket a
-    /// read-only transaction. Planning is served from the shared
+    /// write path, `DELETE` / `UPDATE` tombstone / overwrite matching
+    /// rows, `CREATE SNAPSHOT` freezes the current state under a
+    /// durable name (readable later with `AS OF <name>`), and
+    /// `BEGIN [READ ONLY]` / `COMMIT` / `ROLLBACK` bracket
+    /// transactions. Planning is served from the shared
     /// [`crate::PlanCache`] when the query's shape was seen before.
     ///
     /// Every read happens at a [`Snapshot`]: a bare statement captures
     /// a snapshot-of-now; between `BEGIN READ ONLY` and `COMMIT` all
     /// statements read at the transaction's pinned snapshot, so a
     /// multi-statement report sees one consistent database however
-    /// much concurrent ingest lands in between (`INSERT` inside the
-    /// transaction is rejected with [`SqlError::ReadOnly`]).
+    /// much concurrent ingest lands in between (writes inside the
+    /// transaction are rejected with [`SqlError::ReadOnly`]).
+    ///
+    /// Between a bare `BEGIN` and `COMMIT`, write statements buffer
+    /// ([`SqlOutcome::Queued`]) and install atomically at `COMMIT`:
+    /// other sessions see all of the transaction or none of it, and on
+    /// a durable database the commit record makes it all-or-nothing
+    /// across a crash too. Reads inside a write transaction see the
+    /// committed state — the transaction's own buffered writes are not
+    /// visible to it before `COMMIT`, and `DELETE` / `UPDATE`
+    /// predicates are resolved at `COMMIT` time. `ROLLBACK` discards
+    /// the buffer.
+    ///
+    /// `SELECT ... FROM t AS OF <name>` / `AS OF data_version N` reads
+    /// a named or numbered frozen version regardless of transaction
+    /// state — time travel names an explicit state, so it bypasses the
+    /// snapshot machinery (and the plan cache).
     ///
     /// ```
     /// use vagg_db::{Database, SqlOutcome, Table};
@@ -447,27 +751,325 @@ impl Database {
             }
             Statement::Explain(q) => Ok(SqlOutcome::Plan(Box::new(self.plan_read(&q)?))),
             Statement::Insert(ins) => {
-                if self.txn.is_some() {
-                    return Err(SqlError::ReadOnly);
-                }
                 let batch =
                     RowBatch::from_rows(&ins.columns, &ins.rows).map_err(SqlError::Ingest)?;
-                Ok(SqlOutcome::Inserted(
-                    self.catalogue.append(&ins.table, batch)?,
-                ))
+                match &mut self.txn {
+                    TxnState::Read(_) => Err(SqlError::ReadOnly),
+                    TxnState::Write(_) => {
+                        // Validate against the schema now (typed errors
+                        // at the statement, not at COMMIT), then stage.
+                        let table = self
+                            .catalogue
+                            .table(&ins.table)
+                            .ok_or_else(|| SqlError::UnknownTable(ins.table.clone()))?;
+                        batch
+                            .validate(&table.column_names())
+                            .map_err(SqlError::Ingest)?;
+                        self.queue(Pending::Insert(CatOp::Append {
+                            table: ins.table,
+                            batch,
+                        }))
+                    }
+                    TxnState::None => {
+                        Ok(SqlOutcome::Inserted(self.append_rows(&ins.table, batch)?))
+                    }
+                }
             }
-            Statement::Begin => {
-                if self.txn.is_some() {
+            Statement::Delete(del) => match &mut self.txn {
+                TxnState::Read(_) => Err(SqlError::ReadOnly),
+                TxnState::Write(_) => {
+                    self.check_table(&del.table)?;
+                    self.queue(Pending::Delete {
+                        table: del.table,
+                        filter: del.filter,
+                    })
+                }
+                TxnState::None => self.autocommit_delete(&del.table, del.filter.as_ref()),
+            },
+            Statement::Update(upd) => match &mut self.txn {
+                TxnState::Read(_) => Err(SqlError::ReadOnly),
+                TxnState::Write(_) => {
+                    self.check_table(&upd.table)?;
+                    self.queue(Pending::Update {
+                        table: upd.table,
+                        sets: upd.sets,
+                        filter: upd.filter,
+                    })
+                }
+                TxnState::None => self.autocommit_update(&upd.table, upd.sets, upd.filter.as_ref()),
+            },
+            Statement::CreateSnapshot(name) => match &self.txn {
+                // A read-only transaction cannot write; a write
+                // transaction's CREATE SNAPSHOT applies immediately to
+                // the *committed* state — consistent with its reads.
+                TxnState::Read(_) => Err(SqlError::ReadOnly),
+                _ => {
+                    self.catalogue.create_named(&name)?;
+                    self.log_autocommit(&WalRecord::CreateSnapshot { name })?;
+                    Ok(SqlOutcome::SnapshotCreated)
+                }
+            },
+            Statement::Begin { read_only } => {
+                if self.in_transaction() {
                     return Err(SqlError::NestedTransaction);
                 }
-                self.txn = Some(self.catalogue.snapshot());
+                self.txn = if read_only {
+                    TxnState::Read(self.catalogue.snapshot())
+                } else {
+                    TxnState::Write(Vec::new())
+                };
                 Ok(SqlOutcome::TransactionBegun)
             }
-            Statement::Commit => {
-                self.txn.take().ok_or(SqlError::NoOpenTransaction)?;
-                Ok(SqlOutcome::TransactionCommitted)
-            }
+            Statement::Commit => match std::mem::replace(&mut self.txn, TxnState::None) {
+                TxnState::None => Err(SqlError::NoOpenTransaction),
+                TxnState::Read(_) => Ok(SqlOutcome::TransactionCommitted),
+                TxnState::Write(pending) => self.commit_write_txn(pending),
+            },
+            Statement::Rollback => match std::mem::replace(&mut self.txn, TxnState::None) {
+                TxnState::None => Err(SqlError::NoOpenTransaction),
+                _ => Ok(SqlOutcome::TransactionRolledBack),
+            },
         }
+    }
+
+    /// `table` must be registered — queue-time validation for write
+    /// transactions, so a typo errors at the statement, not at COMMIT.
+    fn check_table(&self, table: &str) -> Result<(), SqlError> {
+        if self.catalogue.table(table).is_none() {
+            return Err(SqlError::UnknownTable(table.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Buffers one statement on the open write transaction.
+    fn queue(&mut self, pending: Pending) -> Result<SqlOutcome, SqlError> {
+        match &mut self.txn {
+            TxnState::Write(buffer) => {
+                buffer.push(pending);
+                Ok(SqlOutcome::Queued(buffer.len()))
+            }
+            _ => unreachable!("queue() is only called with an open write transaction"),
+        }
+    }
+
+    /// Autocommit `DELETE`: resolve the predicate to physical rows,
+    /// tombstone them, log, then let compaction drop them physically.
+    fn autocommit_delete(
+        &mut self,
+        table: &str,
+        filter: Option<&(String, Predicate)>,
+    ) -> Result<SqlOutcome, SqlError> {
+        let rows = self.catalogue.resolve_physical(table, filter)?;
+        let current = self
+            .catalogue
+            .data_version(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        if rows.is_empty() {
+            return Ok(SqlOutcome::Deleted(MutationReceipt {
+                rows: 0,
+                data_version: current,
+            }));
+        }
+        let count = rows.len();
+        let op = CatOp::Delete {
+            table: table.to_string(),
+            rows: rows.clone(),
+        };
+        let versions = self.catalogue.apply_ops(&[op])?;
+        let data_version = versions.get(table).copied().unwrap_or(current);
+        self.log_autocommit(&WalRecord::Delete {
+            txn: AUTOCOMMIT,
+            table: table.to_string(),
+            rows,
+        })?;
+        self.after_write(table)?;
+        Ok(SqlOutcome::Deleted(MutationReceipt {
+            rows: count,
+            data_version,
+        }))
+    }
+
+    /// Autocommit `UPDATE`: resolve, overwrite, log.
+    fn autocommit_update(
+        &mut self,
+        table: &str,
+        sets: Vec<(String, u32)>,
+        filter: Option<&(String, Predicate)>,
+    ) -> Result<SqlOutcome, SqlError> {
+        let rows = self.catalogue.resolve_physical(table, filter)?;
+        let current = self
+            .catalogue
+            .data_version(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        if rows.is_empty() {
+            // Still surface bad SET columns: an UPDATE naming a column
+            // that does not exist is an error even over zero rows.
+            let live = self.catalogue.table(table).expect("version implies table");
+            for (column, _) in &sets {
+                if live.column(column).is_none() {
+                    return Err(SqlError::Plan(PlanError::UnknownColumn(column.clone())));
+                }
+            }
+            return Ok(SqlOutcome::Updated(MutationReceipt {
+                rows: 0,
+                data_version: current,
+            }));
+        }
+        let count = rows.len();
+        let op = CatOp::Update {
+            table: table.to_string(),
+            rows: rows.clone(),
+            sets: sets.clone(),
+        };
+        let versions = self.catalogue.apply_ops(&[op])?;
+        let data_version = versions.get(table).copied().unwrap_or(current);
+        self.log_autocommit(&WalRecord::Update {
+            txn: AUTOCOMMIT,
+            table: table.to_string(),
+            rows,
+            sets,
+        })?;
+        self.after_write(table)?;
+        Ok(SqlOutcome::Updated(MutationReceipt {
+            rows: count,
+            data_version,
+        }))
+    }
+
+    /// Installs a write transaction's buffered statements in one atomic
+    /// step: resolve `DELETE`/`UPDATE` predicates against the committed
+    /// state, apply every operation under a single catalogue write
+    /// lock, then log all records plus the commit mark in one flush.
+    /// The transaction id is the commit record's prospective LSN —
+    /// unique, monotonic, and it survives restarts for free.
+    ///
+    /// The transaction is already closed when this runs: an error here
+    /// (a batch that no longer fits a re-registered schema, say) means
+    /// the transaction rolled back — nothing was applied or logged.
+    fn commit_write_txn(&mut self, pending: Vec<Pending>) -> Result<SqlOutcome, SqlError> {
+        if pending.is_empty() {
+            return Ok(SqlOutcome::TransactionCommitted);
+        }
+        let mut ops = Vec::with_capacity(pending.len());
+        for p in pending {
+            ops.push(match p {
+                Pending::Insert(op) => op,
+                Pending::Delete { table, filter } => {
+                    let rows = self.catalogue.resolve_physical(&table, filter.as_ref())?;
+                    CatOp::Delete { table, rows }
+                }
+                Pending::Update {
+                    table,
+                    sets,
+                    filter,
+                } => {
+                    let rows = self.catalogue.resolve_physical(&table, filter.as_ref())?;
+                    CatOp::Update { table, rows, sets }
+                }
+            });
+        }
+        self.catalogue.apply_ops(&ops)?;
+        if let Some(d) = self.durability.as_mut() {
+            let txn = d.writer.next_lsn();
+            for op in &ops {
+                d.writer.append(&record_of(op, txn));
+            }
+            d.writer.append(&WalRecord::Commit { txn });
+            d.writer.flush()?;
+        }
+        let touched: BTreeSet<String> = ops.iter().map(|op| op.table().to_string()).collect();
+        for table in &touched {
+            self.after_write(table)?;
+        }
+        Ok(SqlOutcome::TransactionCommitted)
+    }
+
+    /// Post-write housekeeping: a threshold compaction if the table's
+    /// delta (batches plus tombstones) crossed the policy line, and —
+    /// since compaction rewrites history the log's records describe —
+    /// a checkpoint when it ran.
+    fn after_write(&mut self, table: &str) -> Result<(), SqlError> {
+        if self.catalogue.maybe_compact(table) {
+            self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Appends `record` and flushes — the autocommit durability point.
+    /// A no-op on non-durable databases.
+    fn log_autocommit(&mut self, record: &WalRecord) -> Result<(), SqlError> {
+        if let Some(d) = self.durability.as_mut() {
+            d.writer.append(record);
+            d.writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the write-ahead log as a checkpoint: one register image
+    /// per table (delta folded in, exact version counters) plus one
+    /// image per named snapshot. Replaying the rewritten log
+    /// reconstructs the current committed state directly; every record
+    /// the old log accumulated is gone, and the LSN chain continues
+    /// where it left off. A no-op on non-durable databases.
+    ///
+    /// Compactions checkpoint automatically; call this to bound the
+    /// log's size (and replay time) on demand.
+    pub fn checkpoint(&mut self) -> Result<(), SqlError> {
+        self.write_checkpoint()
+    }
+
+    fn write_checkpoint(&mut self) -> Result<(), SqlError> {
+        let Some(d) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        let mut records = Vec::new();
+        for (name, schema_version, data_version, table) in self.catalogue.checkpoint_images() {
+            records.push(WalRecord::Register {
+                txn: AUTOCOMMIT,
+                table: name,
+                schema_version,
+                data_version,
+                columns: columns_of(&table),
+            });
+        }
+        for (name, tables) in self.catalogue.named_images() {
+            let tables = tables
+                .iter()
+                .map(|(t, (v, content))| (t.clone(), *v, columns_of(content)))
+                .collect();
+            records.push(WalRecord::SnapshotImage { name, tables });
+        }
+        let first_lsn = d.writer.next_lsn();
+        d.writer = wal::rewrite(&d.log, &records, first_lsn)?;
+        Ok(())
+    }
+
+    // -- sharded durability hooks -------------------------------------
+    // The sharded coordinator tags multi-shard operations with a global
+    // transaction id, buffers the records on every touched shard's log,
+    // flushes them all, and only then writes its own commit record —
+    // shard records without a vouching coordinator commit are ignored
+    // on replay, which makes cross-shard writes atomic across a crash.
+
+    /// Buffers one record on this shard's log without flushing.
+    pub(crate) fn log_record(&mut self, record: &WalRecord) {
+        if let Some(d) = self.durability.as_mut() {
+            d.writer.append(record);
+        }
+    }
+
+    /// Flushes this shard's log — the per-shard half of a cross-shard
+    /// commit.
+    pub(crate) fn flush_wal(&mut self) -> Result<(), SqlError> {
+        if let Some(d) = self.durability.as_mut() {
+            d.writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// [`Database::after_write`] for the sharded write paths.
+    pub(crate) fn compact_and_checkpoint(&mut self, table: &str) -> Result<(), SqlError> {
+        self.after_write(table)
     }
 
     /// Parses and runs one `SELECT` / `EXPLAIN SELECT` **at an explicit
@@ -510,14 +1112,27 @@ impl Database {
     pub fn run_sql_at(&mut self, snap: &Snapshot, sql: &str) -> Result<SqlOutcome, SqlError> {
         match parse_statement(sql)? {
             Statement::Select(q) => {
-                let plan = self.catalogue.plan_query_at(snap, &q.table, &q.query)?;
+                let plan = self.plan_read_at(snap, &q)?;
                 Ok(SqlOutcome::Rows(self.session.run(&plan)))
             }
-            Statement::Explain(q) => Ok(SqlOutcome::Plan(Box::new(
-                self.catalogue.plan_query_at(snap, &q.table, &q.query)?,
-            ))),
-            Statement::Insert(_) => Err(SqlError::ReadOnly),
-            Statement::Begin | Statement::Commit => Err(SqlError::TransactionStatement),
+            Statement::Explain(q) => Ok(SqlOutcome::Plan(Box::new(self.plan_read_at(snap, &q)?))),
+            Statement::Insert(_)
+            | Statement::Delete(_)
+            | Statement::Update(_)
+            | Statement::CreateSnapshot(_) => Err(SqlError::ReadOnly),
+            Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
+                Err(SqlError::TransactionStatement)
+            }
+        }
+    }
+
+    /// The snapshot read path's planner: `AS OF` names an explicit
+    /// frozen state and wins over the snapshot, as in
+    /// [`Database::run_sql`].
+    fn plan_read_at(&self, snap: &Snapshot, q: &SqlQuery) -> Result<QueryPlan, SqlError> {
+        match &q.as_of {
+            Some(as_of) => self.plan_as_of(&q.table, as_of, &q.query),
+            None => self.catalogue.plan_query_at(snap, &q.table, &q.query),
         }
     }
 
@@ -571,7 +1186,12 @@ impl Database {
             }
             Statement::Explain(_) => Err(SqlError::ExplainStatement),
             Statement::Insert(_) => Err(SqlError::InsertStatement),
-            Statement::Begin | Statement::Commit => Err(SqlError::TransactionStatement),
+            Statement::Delete(_) | Statement::Update(_) | Statement::CreateSnapshot(_) => {
+                Err(SqlError::MutationStatement)
+            }
+            Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
+                Err(SqlError::TransactionStatement)
+            }
         }
     }
 
@@ -586,7 +1206,12 @@ impl Database {
         let q = match parse_statement(sql)? {
             Statement::Select(q) | Statement::Explain(q) => q,
             Statement::Insert(_) => return Err(SqlError::InsertStatement),
-            Statement::Begin | Statement::Commit => return Err(SqlError::TransactionStatement),
+            Statement::Delete(_) | Statement::Update(_) | Statement::CreateSnapshot(_) => {
+                return Err(SqlError::MutationStatement)
+            }
+            Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
+                return Err(SqlError::TransactionStatement)
+            }
         };
         self.plan_read(&q)
     }
@@ -596,6 +1221,47 @@ impl Database {
     pub(crate) fn run_plan(&mut self, plan: &QueryPlan) -> QueryOutput {
         self.session.run(plan)
     }
+}
+
+/// The WAL record describing one catalogue operation, tagged with the
+/// owning transaction id (shared with the sharded coordinator).
+pub(crate) fn record_of(op: &CatOp, txn: u64) -> WalRecord {
+    match op {
+        CatOp::Append { table, batch } => WalRecord::Batch {
+            txn,
+            table: table.clone(),
+            columns: batch
+                .columns()
+                .map(|(n, v)| (n.to_string(), v.to_vec()))
+                .collect(),
+        },
+        CatOp::Delete { table, rows } => WalRecord::Delete {
+            txn,
+            table: table.clone(),
+            rows: rows.clone(),
+        },
+        CatOp::Update { table, rows, sets } => WalRecord::Update {
+            txn,
+            table: table.clone(),
+            rows: rows.clone(),
+            sets: sets.clone(),
+        },
+    }
+}
+
+/// A table's full column content, owned — the payload of a register or
+/// snapshot image record.
+fn columns_of(table: &Table) -> Vec<(String, Vec<u32>)> {
+    table
+        .column_names()
+        .iter()
+        .map(|n| {
+            (
+                n.to_string(),
+                table.column(n).expect("listed column exists").to_vec(),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -907,6 +1573,352 @@ mod tests {
             .unwrap_err();
         assert_eq!(e, SqlError::ForeignSnapshot);
         assert!(e.to_string().contains("catalogue"));
+    }
+
+    fn rows_of(db: &mut Database, sql: &str) -> Vec<crate::engine::Row> {
+        db.execute_sql(sql).unwrap().rows
+    }
+
+    #[test]
+    fn delete_tombstones_matching_rows() {
+        let mut db = db();
+        let receipt = match db.run_sql("DELETE FROM r WHERE g <> 0").unwrap() {
+            SqlOutcome::Deleted(r) => r,
+            other => panic!("DELETE reports a receipt: {other:?}"),
+        };
+        assert_eq!(receipt.rows, 6);
+        assert_eq!(receipt.data_version, 2);
+        let out = rows_of(&mut db, "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g");
+        assert_eq!(out.len(), 1, "only the g=0 rows survive");
+        assert_eq!(out[0].group, 0);
+        assert_eq!(out[0].values, vec![2.0, 5.0]);
+        // Statistics were re-seeded from the surviving rows.
+        assert_eq!(db.table_stats("r").unwrap().rows(), 2);
+        // A no-match DELETE mutates nothing, version included.
+        let receipt = match db.run_sql("DELETE FROM r WHERE g > 100").unwrap() {
+            SqlOutcome::Deleted(r) => r,
+            other => panic!("DELETE reports a receipt: {other:?}"),
+        };
+        assert_eq!(receipt.rows, 0);
+        assert_eq!(receipt.data_version, 2);
+        assert_eq!(db.data_version("r"), Some(2));
+    }
+
+    #[test]
+    fn update_overwrites_matching_rows() {
+        let mut db = db();
+        let receipt = match db.run_sql("UPDATE r SET v = 100 WHERE g > 3").unwrap() {
+            SqlOutcome::Updated(r) => r,
+            other => panic!("UPDATE reports a receipt: {other:?}"),
+        };
+        assert_eq!(receipt.rows, 2, "g=5 and g=4");
+        assert_eq!(receipt.data_version, 2);
+        let out = rows_of(&mut db, "SELECT g, SUM(v) FROM r GROUP BY g");
+        let sum_of = |g: u32| out.iter().find(|r| r.group == g).unwrap().values[0];
+        assert_eq!(sum_of(5), 100.0);
+        assert_eq!(sum_of(4), 100.0);
+        assert_eq!(sum_of(3), 7.0, "unmatched rows untouched");
+        // Unknown SET columns are typed errors, matched rows or not.
+        for sql in [
+            "UPDATE r SET nope = 1 WHERE g > 3",
+            "UPDATE r SET nope = 1 WHERE g > 100",
+        ] {
+            assert_eq!(
+                db.run_sql(sql).unwrap_err(),
+                SqlError::Plan(PlanError::UnknownColumn("nope".into()))
+            );
+        }
+    }
+
+    #[test]
+    fn mutations_are_rejected_by_row_and_plan_apis() {
+        let mut db = db();
+        assert_eq!(
+            db.execute_sql("DELETE FROM r WHERE g <> 0").unwrap_err(),
+            SqlError::MutationStatement
+        );
+        assert_eq!(
+            db.explain_sql("UPDATE r SET v = 1").unwrap_err(),
+            SqlError::MutationStatement
+        );
+        let snap = db.snapshot();
+        assert_eq!(
+            db.run_sql_at(&snap, "DELETE FROM r").unwrap_err(),
+            SqlError::ReadOnly
+        );
+        assert_eq!(db.table("r").unwrap().rows(), 8, "nothing mutated");
+    }
+
+    #[test]
+    fn write_transactions_buffer_and_commit_atomically() {
+        let mut db = db();
+        let mut other = db.catalogue().connect();
+        let count = "SELECT g, COUNT(*) FROM r GROUP BY g";
+
+        assert!(matches!(
+            db.run_sql("BEGIN").unwrap(),
+            SqlOutcome::TransactionBegun
+        ));
+        assert!(db.in_transaction());
+        assert!(matches!(
+            db.run_sql("INSERT INTO r (g, v) VALUES (9, 9)").unwrap(),
+            SqlOutcome::Queued(1)
+        ));
+        assert!(matches!(
+            db.run_sql("DELETE FROM r WHERE g <> 0").unwrap(),
+            SqlOutcome::Queued(2)
+        ));
+        // The transaction's own reads see the committed state: its
+        // buffered insert and delete are not visible to it.
+        assert_eq!(rows_of(&mut db, count).len(), 6);
+        assert_eq!(rows_of(&mut other, count).len(), 6);
+        assert_eq!(db.data_version("r"), Some(1));
+
+        assert!(matches!(
+            db.run_sql("COMMIT").unwrap(),
+            SqlOutcome::TransactionCommitted
+        ));
+        assert!(!db.in_transaction());
+        // Both statements installed in one step: the g=0 survivors
+        // plus the appended (9, 9) — and the DELETE's predicate was
+        // resolved against the pre-transaction state, so it never
+        // tombstones the transaction's own insert.
+        let out = rows_of(&mut other, count);
+        assert_eq!(out.len(), 2);
+        assert_eq!(db.data_version("r"), Some(3), "one bump per operation");
+    }
+
+    #[test]
+    fn rollback_discards_the_buffered_transaction() {
+        let mut db = db();
+        db.run_sql("BEGIN").unwrap();
+        db.run_sql("INSERT INTO r (g, v) VALUES (9, 9)").unwrap();
+        assert!(matches!(
+            db.run_sql("ROLLBACK").unwrap(),
+            SqlOutcome::TransactionRolledBack
+        ));
+        assert!(!db.in_transaction());
+        assert_eq!(db.table("r").unwrap().rows(), 8);
+        assert_eq!(db.data_version("r"), Some(1));
+        // ROLLBACK also closes a read-only transaction, and without an
+        // open transaction it is a typed error.
+        db.run_sql("BEGIN READ ONLY").unwrap();
+        db.run_sql("ROLLBACK").unwrap();
+        assert_eq!(
+            db.run_sql("ROLLBACK").unwrap_err(),
+            SqlError::NoOpenTransaction
+        );
+    }
+
+    #[test]
+    fn queued_statements_validate_eagerly() {
+        let mut db = db();
+        db.run_sql("BEGIN").unwrap();
+        assert_eq!(
+            db.run_sql("INSERT INTO nope (g) VALUES (1)").unwrap_err(),
+            SqlError::UnknownTable("nope".into())
+        );
+        assert!(matches!(
+            db.run_sql("INSERT INTO r (g, w) VALUES (1, 2)")
+                .unwrap_err(),
+            SqlError::Ingest(_)
+        ));
+        assert_eq!(
+            db.run_sql("DELETE FROM nope").unwrap_err(),
+            SqlError::UnknownTable("nope".into())
+        );
+        // The failed statements were not queued; the good one is first.
+        assert!(matches!(
+            db.run_sql("INSERT INTO r (g, v) VALUES (1, 1)").unwrap(),
+            SqlOutcome::Queued(1)
+        ));
+        db.run_sql("COMMIT").unwrap();
+        assert_eq!(db.table("r").unwrap().rows(), 9);
+    }
+
+    #[test]
+    fn create_snapshot_and_time_travel_reads() {
+        let mut db = db();
+        assert!(matches!(
+            db.run_sql("CREATE SNAPSHOT before").unwrap(),
+            SqlOutcome::SnapshotCreated
+        ));
+        db.run_sql("INSERT INTO r (g, v) VALUES (9, 9)").unwrap();
+
+        let live = rows_of(&mut db, "SELECT g, COUNT(*) FROM r GROUP BY g");
+        assert_eq!(live.len(), 7);
+        let named = rows_of(&mut db, "SELECT g, COUNT(*) FROM r AS OF before GROUP BY g");
+        assert_eq!(named.len(), 6, "the named version predates the insert");
+        let versioned = rows_of(
+            &mut db,
+            "SELECT g, COUNT(*) FROM r AS OF data_version 1 GROUP BY g",
+        );
+        assert_eq!(versioned.len(), 6);
+
+        // EXPLAIN renders the frozen label alongside the version.
+        let plan = db
+            .explain_sql("EXPLAIN SELECT g, COUNT(*) FROM r AS OF before GROUP BY g")
+            .unwrap();
+        assert!(plan.explain().contains("data_version=1"));
+        assert!(plan.explain().contains("as_of=before@1"));
+
+        // Typed errors: duplicate names, unknown names, dead versions.
+        assert_eq!(
+            db.run_sql("CREATE SNAPSHOT before").unwrap_err(),
+            SqlError::SnapshotExists("before".into())
+        );
+        assert_eq!(
+            db.execute_sql("SELECT g, COUNT(*) FROM r AS OF nope GROUP BY g")
+                .unwrap_err(),
+            SqlError::UnknownSnapshot("nope".into())
+        );
+        assert_eq!(
+            db.execute_sql("SELECT g, COUNT(*) FROM r AS OF data_version 99 GROUP BY g")
+                .unwrap_err(),
+            SqlError::VersionUnavailable {
+                table: "r".into(),
+                version: 99
+            }
+        );
+    }
+
+    #[test]
+    fn named_versions_survive_compaction_where_raw_versions_die() {
+        let mut db = db();
+        db.catalogue()
+            .set_compaction_policy(CompactionPolicy::every(2));
+        db.run_sql("CREATE SNAPSHOT keeper").unwrap();
+        // Two appends: the second trips the every-2 policy and folds
+        // the delta — retiring data_version 1's delta generation.
+        db.run_sql("INSERT INTO r (g, v) VALUES (9, 9)").unwrap();
+        db.run_sql("INSERT INTO r (g, v) VALUES (9, 9)").unwrap();
+        assert_eq!(
+            db.execute_sql("SELECT g, COUNT(*) FROM r AS OF data_version 1 GROUP BY g")
+                .unwrap_err(),
+            SqlError::VersionUnavailable {
+                table: "r".into(),
+                version: 1
+            }
+        );
+        let kept = rows_of(&mut db, "SELECT g, COUNT(*) FROM r AS OF keeper GROUP BY g");
+        assert_eq!(kept.len(), 6, "the name outlives the compaction");
+    }
+
+    #[test]
+    fn durable_open_reopen_reconstructs_state() {
+        let dir = crate::tempdir::TempDir::new("db-reopen");
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g";
+        let (before, version, stats_rows) = {
+            let mut db = Database::open(dir.path()).unwrap();
+            assert!(db.is_durable());
+            db.register(
+                Table::new("r")
+                    .with_column("g", vec![1, 3, 3, 0, 0, 5, 2, 4])
+                    .with_column("v", vec![0, 5, 2, 4, 1, 3, 3, 0]),
+            );
+            db.run_sql("INSERT INTO r (g, v) VALUES (9, 10), (9, 20)")
+                .unwrap();
+            db.run_sql("CREATE SNAPSHOT mid").unwrap();
+            db.run_sql("DELETE FROM r WHERE g > 4").unwrap();
+            db.run_sql("UPDATE r SET v = 7 WHERE g <> 0").unwrap();
+            (
+                rows_of(&mut db, sql),
+                db.data_version("r"),
+                db.table_stats("r").unwrap().rows(),
+            )
+        }; // drop = crash stand-in (no clean shutdown hook exists)
+        let mut db = Database::open(dir.path()).unwrap();
+        assert_eq!(rows_of(&mut db, sql), before, "bit-identical answers");
+        assert_eq!(db.data_version("r"), version);
+        assert_eq!(db.table_stats("r").unwrap().rows(), stats_rows);
+        // The named version replays too.
+        let mid = rows_of(&mut db, "SELECT g, COUNT(*) FROM r AS OF mid GROUP BY g");
+        assert_eq!(mid.len(), 7, "six seed groups plus g=9");
+        // And the reopened database keeps logging: another write, then
+        // a third open still agrees.
+        db.run_sql("INSERT INTO r (g, v) VALUES (2, 2)").unwrap();
+        let after = rows_of(&mut db, sql);
+        drop(db);
+        let mut db = Database::open(dir.path()).unwrap();
+        assert_eq!(rows_of(&mut db, sql), after);
+    }
+
+    #[test]
+    fn committed_transactions_survive_reopen_uncommitted_do_not() {
+        let dir = crate::tempdir::TempDir::new("db-txn-reopen");
+        {
+            let mut db = Database::open(dir.path()).unwrap();
+            db.register(
+                Table::new("r")
+                    .with_column("g", vec![1, 2, 1])
+                    .with_column("v", vec![10, 20, 30]),
+            );
+            db.run_sql("BEGIN").unwrap();
+            db.run_sql("INSERT INTO r (g, v) VALUES (9, 9)").unwrap();
+            db.run_sql("COMMIT").unwrap();
+            // A second transaction stays open at the "crash".
+            db.run_sql("BEGIN").unwrap();
+            db.run_sql("INSERT INTO r (g, v) VALUES (8, 8)").unwrap();
+        }
+        let db = Database::open(dir.path()).unwrap();
+        let t = db.table("r").unwrap();
+        assert_eq!(t.rows(), 4, "committed insert yes, open transaction no");
+        assert!(t.column("g").unwrap().contains(&9));
+        assert!(!t.column("g").unwrap().contains(&8));
+    }
+
+    #[test]
+    fn compaction_checkpoints_and_replay_stays_exact() {
+        let dir = crate::tempdir::TempDir::new("db-checkpoint");
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g";
+        let before = {
+            let mut db = Database::open(dir.path()).unwrap();
+            db.register(
+                Table::new("r")
+                    .with_column("g", vec![1, 2, 1])
+                    .with_column("v", vec![10, 20, 30]),
+            );
+            db.catalogue()
+                .set_compaction_policy(CompactionPolicy::every(3));
+            for i in 0..5 {
+                db.run_sql(&format!("INSERT INTO r (g, v) VALUES ({}, {i})", i % 3))
+                    .unwrap();
+            }
+            rows_of(&mut db, sql)
+        };
+        let log = std::fs::metadata(dir.path().join("wal.log")).unwrap().len();
+        let mut db = Database::open(dir.path()).unwrap();
+        assert_eq!(rows_of(&mut db, sql), before);
+        // An explicit checkpoint bounds the log and preserves state.
+        db.checkpoint().unwrap();
+        assert!(
+            std::fs::metadata(dir.path().join("wal.log")).unwrap().len()
+                <= log + 2 * (crate::wal::FRAME as u64 + 64),
+            "checkpoint keeps the log near one image per table"
+        );
+        drop(db);
+        let mut db = Database::open(dir.path()).unwrap();
+        assert_eq!(rows_of(&mut db, sql), before);
+    }
+
+    #[test]
+    fn torn_log_tail_recovers_to_the_last_commit() {
+        let dir = crate::tempdir::TempDir::new("db-torn");
+        {
+            let mut db = Database::open(dir.path()).unwrap();
+            db.register(Table::new("r").with_column("g", vec![1, 2, 1]));
+            db.run_sql("INSERT INTO r (g) VALUES (3)").unwrap();
+        }
+        // A crash mid-append leaves a half-written frame.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.path().join("wal.log"))
+            .unwrap();
+        f.write_all(&[42, 0, 0, 0, 7, 7]).unwrap();
+        drop(f);
+        let db = Database::open(dir.path()).unwrap();
+        assert_eq!(db.table("r").unwrap().rows(), 4, "torn tail truncated");
     }
 
     #[test]

@@ -28,22 +28,67 @@ use crate::ingest::RowBatch;
 use crate::table::Table;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// The write-optimised layer of one registered table: append-only
-/// columnar batches over the same column set as the base table.
+/// A stable point-in-time cut of one [`DeltaStore`]: how many appended
+/// rows, tombstones and overwrites were visible at a mutation boundary.
 ///
-/// Because the delta only ever *grows* between compactions, any row
-/// count observed at a batch boundary is a stable **prefix view**: a
-/// [`crate::Snapshot`] pins `(epoch, rows-at-capture)` and later reads
-/// exactly those rows back as a prefix of each column, however
-/// many batches have landed since. The `epoch` bumps whenever the
-/// rows are discarded (compaction, re-registration), so a pinned
-/// prefix can always tell the store it captured from its successor.
+/// All three logs are append-only between compactions, so a captured
+/// triple stays a valid **prefix view** however many later mutations
+/// land — the generalisation of the single "prefix row count" pins
+/// used before DELETE/UPDATE existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct DeltaCut {
+    /// Appended delta rows visible at the cut.
+    pub rows: usize,
+    /// Tombstoned (deleted) physical rows visible at the cut.
+    pub tombstones: usize,
+    /// Overwrite (UPDATE) entries visible at the cut.
+    pub overwrites: usize,
+}
+
+impl DeltaCut {
+    /// True when the cut pins nothing from the delta — the base table
+    /// alone reproduces the view.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.rows == 0 && self.tombstones == 0 && self.overwrites == 0
+    }
+}
+
+/// One UPDATE cell parked in the delta: `column[row] = value`, where
+/// `row` is a *physical* row id into the base ++ delta concatenation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Overwrite {
+    /// The updated column.
+    pub column: String,
+    /// Physical row id (position in base ++ delta, before tombstone
+    /// filtering).
+    pub row: u32,
+    /// The new cell value.
+    pub value: u32,
+}
+
+/// The write-optimised layer of one registered table: append-only
+/// columnar batches over the same column set as the base table, plus
+/// two more append-only logs — **tombstones** (physical row ids DELETEd
+/// out of the view) and **overwrites** (UPDATEd cells). Readers apply
+/// overwrites then filter tombstones at view materialisation; a
+/// compaction folds all three into a new base and drops them
+/// physically.
+///
+/// Because every log only ever *grows* between compactions, any
+/// `DeltaCut` observed at a mutation boundary is a stable **prefix
+/// view**: a [`crate::Snapshot`] pins `(epoch, cut)` and later reads
+/// exactly that state back, however many mutations have landed since.
+/// The `epoch` bumps whenever the logs are discarded (compaction,
+/// re-registration), so a pinned prefix can always tell the store it
+/// captured from its successor.
 #[derive(Debug, Clone, Default)]
 pub struct DeltaStore {
     columns: BTreeMap<String, Vec<u32>>,
     batches: usize,
     rows: usize,
     epoch: u64,
+    tombstones: Vec<u32>,
+    overwrites: Vec<Overwrite>,
 }
 
 impl DeltaStore {
@@ -58,12 +103,39 @@ impl DeltaStore {
             batches: 0,
             rows: 0,
             epoch: 0,
+            tombstones: Vec::new(),
+            overwrites: Vec::new(),
         }
     }
 
     /// Rows currently parked in the delta (not yet compacted).
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// Tombstoned (DELETEd) physical rows awaiting compaction.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Overwrite (UPDATEd) cells awaiting compaction.
+    pub fn overwrite_count(&self) -> usize {
+        self.overwrites.len()
+    }
+
+    /// Everything parked in the delta — appended rows, tombstones and
+    /// overwrites — the pressure the compaction policy weighs.
+    pub(crate) fn load(&self) -> usize {
+        self.rows + self.tombstones.len() + self.overwrites.len()
+    }
+
+    /// The current stable cut (see [`DeltaCut`]).
+    pub(crate) fn cut(&self) -> DeltaCut {
+        DeltaCut {
+            rows: self.rows,
+            tombstones: self.tombstones.len(),
+            overwrites: self.overwrites.len(),
+        }
     }
 
     /// Batches appended since the last compaction.
@@ -96,19 +168,33 @@ impl DeltaStore {
         &self.column(name)[..rows]
     }
 
-    /// A frozen copy of the first `rows` delta rows (same epoch) — the
-    /// bounded extract a pinned reader takes under the registry lock,
-    /// so the O(base) view merge can run outside every lock.
-    pub(crate) fn clone_prefix(&self, rows: usize) -> DeltaStore {
+    /// The first `n` tombstoned physical row ids — a pinned cut's view
+    /// of the append-only tombstone log.
+    pub(crate) fn tombstone_prefix(&self, n: usize) -> &[u32] {
+        &self.tombstones[..n]
+    }
+
+    /// The first `n` overwrite entries — a pinned cut's view of the
+    /// append-only overwrite log.
+    pub(crate) fn overwrite_prefix(&self, n: usize) -> &[Overwrite] {
+        &self.overwrites[..n]
+    }
+
+    /// A frozen copy of the delta state visible at `cut` (same epoch) —
+    /// the bounded extract a pinned reader takes under the registry
+    /// lock, so the O(base) view merge can run outside every lock.
+    pub(crate) fn clone_prefix(&self, cut: DeltaCut) -> DeltaStore {
         DeltaStore {
             columns: self
                 .columns
                 .keys()
-                .map(|n| (n.clone(), self.prefix_column(n, rows).to_vec()))
+                .map(|n| (n.clone(), self.prefix_column(n, cut.rows).to_vec()))
                 .collect(),
             batches: self.batches,
-            rows,
+            rows: cut.rows,
             epoch: self.epoch,
+            tombstones: self.tombstone_prefix(cut.tombstones).to_vec(),
+            overwrites: self.overwrite_prefix(cut.overwrites).to_vec(),
         }
     }
 
@@ -125,6 +211,22 @@ impl DeltaStore {
         self.rows += batch.rows();
     }
 
+    /// Parks DELETEd physical rows in the tombstone log. The caller
+    /// resolves visible rows to physical ids first (and never tombstones
+    /// a row twice — resolution only sees live rows).
+    pub(crate) fn tombstone_rows(&mut self, rows: &[u32]) {
+        self.tombstones.extend_from_slice(rows);
+    }
+
+    /// Parks one UPDATEd cell in the overwrite log.
+    pub(crate) fn overwrite(&mut self, column: &str, row: u32, value: u32) {
+        self.overwrites.push(Overwrite {
+            column: column.to_string(),
+            row,
+            value,
+        });
+    }
+
     /// Empties the delta (after compaction merged it into the base),
     /// opening the next epoch.
     pub(crate) fn clear(&mut self) {
@@ -134,18 +236,22 @@ impl DeltaStore {
         self.batches = 0;
         self.rows = 0;
         self.epoch += 1;
+        self.tombstones.clear();
+        self.overwrites.clear();
     }
 
-    /// Moves the parked rows out into a frozen store (same contents,
+    /// Moves the parked state out into a frozen store (same contents,
     /// same epoch) and opens the next epoch in place — the deferred-GC
     /// half of compaction: live snapshots still pinning this epoch's
-    /// prefix keep reading the frozen store until the last pin drops.
+    /// cut keep reading the frozen store until the last pin drops.
     pub(crate) fn retire(&mut self) -> DeltaStore {
         let retired = DeltaStore {
             columns: std::mem::take(&mut self.columns),
             batches: self.batches,
             rows: self.rows,
             epoch: self.epoch,
+            tombstones: std::mem::take(&mut self.tombstones),
+            overwrites: std::mem::take(&mut self.overwrites),
         };
         self.columns = retired
             .columns
@@ -157,6 +263,45 @@ impl DeltaStore {
         self.epoch += 1;
         retired
     }
+}
+
+/// Materialises the view a [`DeltaCut`] pins: base rows ++ the delta's
+/// first `cut.rows` appended rows, with the first `cut.overwrites`
+/// UPDATE cells applied and the first `cut.tombstones` DELETEd rows
+/// filtered out. This is the one merge routine every reader shares —
+/// the live merged view (`cut == delta.cut()`), pinned snapshot views,
+/// and compaction (which installs the result as the new base, dropping
+/// tombstones and overwrites physically).
+///
+/// Column sortedness is re-detected by [`Table::with_column`], so a
+/// delete or overwrite that restores (or breaks) sorted order is
+/// reflected in the merged table's metadata.
+pub(crate) fn materialise(base: &Table, delta: &DeltaStore, cut: DeltaCut) -> Table {
+    let total = base.rows() + cut.rows;
+    // Overwrites first (they address physical rows), tombstones second.
+    let mut keep = vec![true; total];
+    for &row in delta.tombstone_prefix(cut.tombstones) {
+        keep[row as usize] = false;
+    }
+    let deletes = keep.iter().filter(|&&k| !k).count();
+    let mut out = Table::new(base.name());
+    for name in base.column_names() {
+        let mut data = Vec::with_capacity(total - deletes);
+        data.extend_from_slice(base.column(name).expect("listed column exists"));
+        data.extend_from_slice(delta.prefix_column(name, cut.rows));
+        for ow in delta.overwrite_prefix(cut.overwrites) {
+            if ow.column == name {
+                data[ow.row as usize] = ow.value;
+            }
+        }
+        if deletes > 0 {
+            let mut live = Vec::with_capacity(total - deletes);
+            live.extend(data.iter().zip(&keep).filter_map(|(&x, &k)| k.then_some(x)));
+            data = live;
+        }
+        out = out.with_column(name, data);
+    }
+    out
 }
 
 /// Incrementally maintained statistics for one column.
@@ -424,6 +569,64 @@ mod tests {
         let prefix = d.rows();
         d.append(&RowBatch::new().with_column("g", vec![3, 4, 5]));
         assert_eq!(d.prefix_column("g", prefix), &[1, 2], "stable prefix");
+    }
+
+    #[test]
+    fn materialise_applies_overwrites_then_filters_tombstones() {
+        let base = Table::new("r")
+            .with_column("g", vec![1, 2, 3])
+            .with_column("v", vec![10, 20, 30]);
+        let mut d = DeltaStore::for_table(&base);
+        d.append(&batch(vec![4, 5], vec![40, 50]));
+        // Overwrite a base cell and a delta cell, then delete row 1.
+        d.overwrite("v", 0, 11);
+        d.overwrite("v", 4, 55);
+        d.tombstone_rows(&[1]);
+        let t = materialise(&base, &d, d.cut());
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.column("g"), Some(&[1u32, 3, 4, 5][..]));
+        assert_eq!(t.column("v"), Some(&[11u32, 30, 40, 55][..]));
+        // An overwritten-then-deleted row leaves no trace.
+        d.overwrite("g", 2, 99);
+        d.tombstone_rows(&[2]);
+        let t = materialise(&base, &d, d.cut());
+        assert_eq!(t.column("g"), Some(&[1u32, 4, 5][..]));
+    }
+
+    #[test]
+    fn delta_cuts_pin_tombstone_and_overwrite_prefixes() {
+        let base = Table::new("r")
+            .with_column("g", vec![7, 8])
+            .with_column("v", vec![1, 2]);
+        let mut d = DeltaStore::for_table(&base);
+        d.append(&batch(vec![9], vec![3]));
+        d.tombstone_rows(&[0]);
+        let cut = d.cut();
+        assert_eq!(
+            cut,
+            DeltaCut {
+                rows: 1,
+                tombstones: 1,
+                overwrites: 0
+            }
+        );
+        assert!(!cut.is_empty());
+        // Later mutations leave the pinned view untouched.
+        d.overwrite("v", 1, 99);
+        d.tombstone_rows(&[2]);
+        let at_cut = materialise(&base, &d, cut);
+        assert_eq!(at_cut.column("g"), Some(&[8u32, 9][..]));
+        assert_eq!(at_cut.column("v"), Some(&[2u32, 3][..]));
+        // The frozen clone reproduces the cut bit for bit.
+        let frozen = d.clone_prefix(cut);
+        let from_frozen = materialise(&base, &frozen, cut);
+        assert_eq!(from_frozen.column("g"), at_cut.column("g"));
+        assert_eq!(from_frozen.column("v"), at_cut.column("v"));
+        // The live head sees everything.
+        let live = materialise(&base, &d, d.cut());
+        assert_eq!(live.column("g"), Some(&[8u32][..]));
+        assert_eq!(live.column("v"), Some(&[99u32][..]));
+        assert_eq!(d.load(), 1 + 2 + 1);
     }
 
     #[test]

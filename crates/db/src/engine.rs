@@ -286,6 +286,7 @@ impl Engine {
             // Engine-direct plans have no catalogue, hence no data
             // version; the catalogue stamps it on its plans.
             data_version: None,
+            as_of: None,
             group,
             rest,
             value,

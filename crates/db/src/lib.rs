@@ -50,7 +50,17 @@
 //!   statistics), SQL `BEGIN READ ONLY` / `COMMIT` bracket a session
 //!   onto one snapshot, and compaction defers delta retirement while
 //!   pins are live (epoch/refcount GC, observable via
-//!   [`SnapshotStats`]).
+//!   [`SnapshotStats`]);
+//! * durability — [`Database::open`] / [`ShardedDatabase::open`] put
+//!   the engine on disk behind a checksummed, LSN-stamped write-ahead
+//!   log ([`wal`]) replayed on reopen to the exact committed state;
+//!   write transactions (`BEGIN` … `COMMIT`/`ROLLBACK`) become durable
+//!   atomically under one commit record, `DELETE`/`UPDATE` tombstone
+//!   and overwrite rows in the delta (physically dropped at
+//!   compaction, which doubles as the WAL checkpoint), and
+//!   `CREATE SNAPSHOT name` / `AS OF name` / `AS OF data_version N`
+//!   give named, crash-surviving time travel — torn log tails are
+//!   truncated, real corruption surfaces as typed [`WalError`]s.
 //!
 //! ## Snapshot reads under ingest
 //!
@@ -167,15 +177,18 @@ pub mod keydict;
 pub mod plan;
 pub mod prepared;
 pub mod query;
+mod recovery;
 pub mod session;
 pub mod shard;
 pub mod snapshot;
 pub mod sql;
 pub mod table;
+pub mod tempdir;
+pub mod wal;
 
 pub use cache::{CacheStats, PlanCache, QueryShape};
 pub use catalogue::SharedCatalogue;
-pub use database::{Database, SqlError, SqlOutcome};
+pub use database::{Database, MutationReceipt, SqlError, SqlOutcome};
 pub use delta::{ColumnStats, DeltaStore, TableStats};
 pub use engine::{CardinalityEstimation, Engine, ExecutionReport, QueryOutput, Row};
 pub use executor::{Executor, ExecutorConfig, ExecutorStats};
@@ -191,7 +204,9 @@ pub use shard::{
 };
 pub use snapshot::{Snapshot, SnapshotStats};
 pub use sql::{
-    parse, parse_statement, parse_template, InsertStatement, ParamSlot, ParseSqlError, SqlQuery,
-    SqlTemplate, Statement,
+    parse, parse_statement, parse_template, AsOf, DeleteStatement, InsertStatement, ParamSlot,
+    ParseSqlError, SqlQuery, SqlTemplate, Statement, UpdateStatement,
 };
 pub use table::{ColumnMeta, ParseCsvError, Table};
+pub use tempdir::TempDir;
+pub use wal::WalError;

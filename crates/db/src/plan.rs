@@ -257,6 +257,12 @@ pub struct QueryPlan {
     /// versions). Rendered by [`QueryPlan::explain`] so a stale plan
     /// is debuggable from its output alone.
     pub(crate) data_version: Option<u64>,
+    /// Time-travel provenance (`name@version`, `snapshot@version` or
+    /// `data_version@N`) when the plan was made at an explicit
+    /// snapshot, a named version or an `AS OF` clause — `None` for
+    /// live-of-now plans. Rendered by [`QueryPlan::explain`]; never
+    /// present on shared-plan-cache entries.
+    pub(crate) as_of: Option<String>,
     /// Column snapshots (shared with the table, not copied): the primary
     /// grouping column, further grouping columns, the value column, and
     /// the WHERE column.
@@ -293,6 +299,13 @@ impl QueryPlan {
     /// by [`crate::Engine::plan`] outside any catalogue.
     pub fn data_version(&self) -> Option<u64> {
         self.data_version
+    }
+
+    /// The time-travel provenance of an `AS OF` / explicit-snapshot
+    /// plan (`name@version`, `snapshot@version`, `data_version@N`), or
+    /// `None` for a live plan.
+    pub fn as_of(&self) -> Option<&str> {
+        self.as_of.as_deref()
     }
 
     /// Input rows the plan will stage.
@@ -430,6 +443,9 @@ impl QueryPlan {
             // snapshot cut) the plan was produced against, so a
             // stale-plan investigation needs no counters.
             let _ = write!(out, " data_version={v}");
+        }
+        if let Some(label) = &self.as_of {
+            let _ = write!(out, " as_of={label}");
         }
         for (i, step) in self.steps.iter().enumerate() {
             let _ = write!(out, "\n  {}. {step}", i + 1);

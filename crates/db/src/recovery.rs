@@ -1,0 +1,165 @@
+//! Crash recovery: replaying a validated write-ahead log into an empty
+//! [`SharedCatalogue`].
+//!
+//! Replay mirrors the live write paths exactly — autocommit batches go
+//! through [`SharedCatalogue::append`] (incremental statistics), every
+//! DELETE/UPDATE and every committed transaction goes through
+//! [`SharedCatalogue::apply_ops`] — so version counters and statistics
+//! come out identical to the pre-crash state, not merely equivalent.
+//!
+//! Two passes:
+//!
+//! 1. Collect the **committed set**: transaction ids with a commit
+//!    record in this log, plus any ids the caller vouches for (the
+//!    sharded coordinator's commit records live in a separate log).
+//! 2. Apply records in LSN order. Records of uncommitted transactions
+//!    are skipped — an open transaction at crash time rolls back by
+//!    omission. Records of one committed transaction form a contiguous
+//!    run (the writer holds `&mut self` across a transaction), applied
+//!    as a single atomic [`SharedCatalogue::apply_ops`] batch at the
+//!    run's log position.
+//!
+//! The caller ([`crate::Database::open`]) disables compaction for the
+//! duration: every compaction that happened live rewrote the log, so
+//! no surviving record should re-trip one during replay.
+
+use crate::catalogue::{CatOp, NamedTables, SharedCatalogue};
+use crate::database::SqlError;
+use crate::ingest::RowBatch;
+use crate::table::Table;
+use crate::wal::WalRecord;
+use std::collections::BTreeSet;
+
+/// Rebuilds `columns` into a [`Table`] named `name`.
+fn table_from(name: &str, columns: &[(String, Vec<u32>)]) -> Table {
+    let mut t = Table::new(name);
+    for (column, values) in columns {
+        t = t.with_column(column, values.clone());
+    }
+    t
+}
+
+/// Rebuilds `columns` into a [`RowBatch`].
+fn batch_from(columns: &[(String, Vec<u32>)]) -> RowBatch {
+    let mut b = RowBatch::new();
+    for (column, values) in columns {
+        b = b.with_column(column, values.clone());
+    }
+    b
+}
+
+/// The transaction ids this log commits: autocommit (0), every id with
+/// a [`WalRecord::Commit`] record, and the caller-supplied extras (the
+/// sharded coordinator's cross-shard commit set).
+pub(crate) fn committed_set(
+    records: &[(u64, WalRecord)],
+    extra_committed: &BTreeSet<u64>,
+) -> BTreeSet<u64> {
+    let mut committed: BTreeSet<u64> = extra_committed.clone();
+    committed.insert(crate::wal::AUTOCOMMIT);
+    for (_, record) in records {
+        if let WalRecord::Commit { txn } = record {
+            committed.insert(*txn);
+        }
+    }
+    committed
+}
+
+/// Replays a validated log into `catalogue` (normally empty — a
+/// freshly opened database). See the [module docs](self) for the
+/// ordering and atomicity rules.
+pub(crate) fn replay(
+    catalogue: &SharedCatalogue,
+    records: &[(u64, WalRecord)],
+    extra_committed: &BTreeSet<u64>,
+) -> Result<(), SqlError> {
+    let committed = committed_set(records, extra_committed);
+    // Ops of the committed transaction run currently being collected;
+    // flushed through one `apply_ops` when the run ends.
+    let mut run: Vec<CatOp> = Vec::new();
+    let mut run_txn = crate::wal::AUTOCOMMIT;
+    macro_rules! flush_run {
+        () => {
+            if !run.is_empty() {
+                catalogue.apply_ops(&run)?;
+                run.clear();
+            }
+        };
+    }
+    for (_, record) in records {
+        let txn = record.txn();
+        if txn != run_txn {
+            flush_run!();
+            run_txn = txn;
+        }
+        if !committed.contains(&txn) {
+            continue; // Uncommitted at crash time: rolled back by omission.
+        }
+        match record {
+            WalRecord::Commit { .. } => {}
+            WalRecord::CreateSnapshot { name } => {
+                flush_run!();
+                catalogue.create_named(name)?;
+            }
+            WalRecord::SnapshotImage { name, tables } => {
+                flush_run!();
+                let mut frozen = NamedTables::new();
+                for (table, data_version, columns) in tables {
+                    frozen.insert(table.clone(), (*data_version, table_from(table, columns)));
+                }
+                catalogue.install_named(name.clone(), frozen);
+            }
+            WalRecord::Register {
+                table,
+                schema_version,
+                data_version,
+                columns,
+                ..
+            } => {
+                // Registration is not a CatOp: apply the pending run
+                // first so in-transaction ordering is preserved.
+                flush_run!();
+                catalogue.register_at(table_from(table, columns), *schema_version, *data_version);
+            }
+            WalRecord::Batch { table, columns, .. } => {
+                if txn == crate::wal::AUTOCOMMIT {
+                    // The live autocommit INSERT path: incremental
+                    // statistics via `observe`, same as when logged.
+                    catalogue.append(table, batch_from(columns))?;
+                } else {
+                    run.push(CatOp::Append {
+                        table: table.clone(),
+                        batch: batch_from(columns),
+                    });
+                }
+            }
+            WalRecord::Delete { table, rows, .. } => {
+                let op = CatOp::Delete {
+                    table: table.clone(),
+                    rows: rows.clone(),
+                };
+                if txn == crate::wal::AUTOCOMMIT {
+                    catalogue.apply_ops(&[op])?;
+                } else {
+                    run.push(op);
+                }
+            }
+            WalRecord::Update {
+                table, rows, sets, ..
+            } => {
+                let op = CatOp::Update {
+                    table: table.clone(),
+                    rows: rows.clone(),
+                    sets: sets.clone(),
+                };
+                if txn == crate::wal::AUTOCOMMIT {
+                    catalogue.apply_ops(&[op])?;
+                } else {
+                    run.push(op);
+                }
+            }
+        }
+    }
+    flush_run!();
+    Ok(())
+}

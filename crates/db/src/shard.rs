@@ -50,20 +50,26 @@
 //! and [`ShardedDatabase::table_stats`] mirror the single-session
 //! accessors per shard and merged.
 
-use crate::database::{Database, SqlError};
+use crate::catalogue::CatOp;
+use crate::database::{Database, MutationReceipt, SqlError};
 use crate::delta::TableStats;
 use crate::engine::{Engine, ExecutionReport, QueryOutput, Row};
 use crate::executor::{Executor, ExecutorConfig, ExecutorStats, Morsel, MorselOutcome};
+use crate::filter::Predicate;
 use crate::ingest::{CompactionPolicy, RowBatch};
 use crate::keydict::{permute, KeyDictionary};
 use crate::plan::{PlanError, QueryPlan};
 use crate::prepared::PreparedStatement;
 use crate::query::{AggregateQuery, Having, OrderBy, OrderKey};
+use crate::recovery;
 use crate::session::agg_column;
 use crate::session::assemble_rows;
 use crate::snapshot::{Snapshot, SnapshotStats};
 use crate::sql::{parse_statement, parse_template, Statement};
 use crate::table::Table;
+use crate::wal::{self, WalError, WalRecord, WalWriter};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use vagg_core::{AggResult, PartialAggregate};
 use vagg_sim::SimConfig;
@@ -81,6 +87,37 @@ pub struct ShardedDatabase {
     /// The machine configuration the workers' sessions run (the
     /// shards' engine configuration).
     sim: SimConfig,
+    /// The cross-shard commit log ([`ShardedDatabase::open`] only).
+    coordinator: Option<Coordinator>,
+}
+
+/// The coordinator's own write-ahead log: nothing but
+/// [`WalRecord::Commit`] records, one per multi-shard operation. A
+/// shard-log record tagged with a global transaction id is ignored on
+/// replay unless this log committed the id — which makes cross-shard
+/// writes atomic across a crash (see [`ShardedDatabase::open`]).
+#[derive(Debug)]
+struct Coordinator {
+    log: PathBuf,
+    writer: WalWriter,
+}
+
+impl Coordinator {
+    /// A fresh, unique, nonzero global transaction id. The commit
+    /// record's prospective LSN serves: every commit consumes exactly
+    /// one LSN, so ids never repeat — even across restarts.
+    fn next_gtid(&self) -> u64 {
+        self.writer.next_lsn()
+    }
+
+    /// Durably commits `gtid` — the single point that makes a
+    /// multi-shard operation's records (already flushed on every
+    /// touched shard) count during recovery.
+    fn commit(&mut self, gtid: u64) -> Result<(), SqlError> {
+        self.writer.append(&WalRecord::Commit { txn: gtid });
+        self.writer.flush()?;
+        Ok(())
+    }
 }
 
 /// What one sharded append did (see [`ShardedDatabase::append_rows`]).
@@ -254,7 +291,90 @@ impl ShardedDatabase {
             next_shard: 0,
             executor: Executor::new(resolve(config, shards), sim.clone()),
             sim,
+            coordinator: None,
         }
+    }
+
+    /// Opens (or creates) a **durable** sharded database at `path`: one
+    /// subdirectory (and write-ahead log) per shard plus the
+    /// coordinator's own commit log. Single-shard writes (routed
+    /// appends) log on their shard alone; multi-shard writes
+    /// (registration, `DELETE`/`UPDATE` via
+    /// [`ShardedDatabase::mutate_sql`]) are tagged with a global
+    /// transaction id on every touched shard and only count after the
+    /// coordinator's commit record lands — a crash between two shards'
+    /// flushes rolls the whole operation back on reopen, never half of
+    /// it.
+    ///
+    /// `shards` applies when creating; an existing database reopens
+    /// with the shard count it was created with (the argument is
+    /// ignored then — partitions on disk are authoritative).
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::Wal`] for unreadable or corrupt logs (a torn tail on
+    /// any log is truncated, not an error), and any replay error a
+    /// damaged record sequence produces.
+    pub fn open(path: impl AsRef<Path>, shards: usize) -> Result<Self, SqlError> {
+        let dir = path.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| WalError::Io(e.to_string()))?;
+        let shards = {
+            let existing = (0..)
+                .take_while(|i| dir.join(format!("shard-{i}")).is_dir())
+                .count();
+            if existing > 0 {
+                existing
+            } else {
+                shards.max(1)
+            }
+        };
+        let log = dir.join("coordinator.log");
+        let (committed, writer) = if log.exists() {
+            let contents = wal::read_log(&log)?;
+            if let Some(valid_len) = contents.torn {
+                // A torn commit record is an uncommitted cross-shard
+                // operation: truncating it rolls the operation back on
+                // every shard.
+                wal::truncate(&log, valid_len)?;
+            }
+            let committed = recovery::committed_set(&contents.records, &BTreeSet::new());
+            (committed, WalWriter::append_to(&log, contents.next_lsn)?)
+        } else {
+            (BTreeSet::new(), WalWriter::create(&log)?)
+        };
+        let shard_dbs = (0..shards)
+            .map(|i| Database::open_with(&dir.join(format!("shard-{i}")), &committed))
+            .collect::<Result<Vec<_>, _>>()?;
+        let sim = shard_dbs[0].catalogue().engine().config().clone();
+        Ok(Self {
+            shards: shard_dbs,
+            next_shard: 0,
+            executor: Executor::new(resolve(ExecutorConfig::default(), shards), sim.clone()),
+            sim,
+            coordinator: Some(Coordinator { log, writer }),
+        })
+    }
+
+    /// Whether this database owns write-ahead logs (was opened with
+    /// [`ShardedDatabase::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.coordinator.is_some()
+    }
+
+    /// Checkpoints every shard's log (see [`Database::checkpoint`]) and
+    /// then truncates the coordinator's commit log — the shard images
+    /// are all autocommit records now, so no global transaction id
+    /// needs vouching for. A no-op on non-durable databases.
+    pub fn checkpoint(&mut self) -> Result<(), SqlError> {
+        if self.coordinator.is_none() {
+            return Ok(());
+        }
+        for shard in &mut self.shards {
+            shard.checkpoint()?;
+        }
+        let coord = self.coordinator.as_mut().expect("checked above");
+        coord.writer = wal::rewrite(&coord.log, &[], coord.writer.next_lsn())?;
+        Ok(())
     }
 
     /// Replaces the worker pool with a freshly spawned one of the given
@@ -370,20 +490,28 @@ impl ShardedDatabase {
     /// contiguous chunks — shard `i` owns rows
     /// `[i·⌈n/N⌉, (i+1)·⌈n/N⌉)`. Chunks keep their columns' relative
     /// order, so a sorted column stays sorted within every shard.
+    ///
+    /// On a durable database the registration is one atomic cross-shard
+    /// write: every shard's log record carries one global transaction
+    /// id, committed by the coordinator only after all shards flushed —
+    /// a crash mid-registration rolls the whole table back on reopen.
     pub fn register(&mut self, table: Table) {
         let n = table.rows();
         let shard_count = self.shards.len();
         let chunk = n.div_ceil(shard_count).max(1);
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            let lo = (i * chunk).min(n);
-            let hi = ((i + 1) * chunk).min(n);
-            let mut part = Table::new(table.name());
-            for col in table.column_names() {
-                let data = table.column(col).expect("listed column exists");
-                part = part.with_column(col, data[lo..hi].to_vec());
-            }
-            shard.register(part);
-        }
+        let parts = (0..shard_count)
+            .map(|i| {
+                let lo = (i * chunk).min(n);
+                let hi = ((i + 1) * chunk).min(n);
+                let mut part = Table::new(table.name());
+                for col in table.column_names() {
+                    let data = table.column(col).expect("listed column exists");
+                    part = part.with_column(col, data[lo..hi].to_vec());
+                }
+                part
+            })
+            .collect();
+        self.register_parts(parts);
     }
 
     /// Registers a table with caller-chosen partitions: `parts[i]`
@@ -410,8 +538,32 @@ impl ShardedDatabase {
             parts.iter().all(|p| p.name() == name),
             "partitions of one logical table share its name"
         );
+        self.register_parts(parts);
+    }
+
+    /// The shared tail of both register paths: install one partition
+    /// per shard, all records tagged with one global transaction id,
+    /// flushed everywhere before the coordinator commits. WAL failures
+    /// panic — the register signatures predate durability and cannot
+    /// carry the error, and losing a registration silently would
+    /// corrupt every later replay.
+    fn register_parts(&mut self, parts: Vec<Table>) {
+        let gtid = self
+            .coordinator
+            .as_ref()
+            .map_or(crate::wal::AUTOCOMMIT, Coordinator::next_gtid);
         for (shard, part) in self.shards.iter_mut().zip(parts) {
-            shard.register(part);
+            shard.register_buffered(part, gtid);
+        }
+        for shard in &mut self.shards {
+            shard
+                .flush_wal()
+                .expect("write-ahead log append failed during register");
+        }
+        if let Some(coord) = self.coordinator.as_mut() {
+            coord
+                .commit(gtid)
+                .expect("coordinator commit failed during register");
         }
     }
 
@@ -465,7 +617,12 @@ impl ShardedDatabase {
         let mut per_shard = vec![0usize; shard_count];
         let mut compactions = 0;
         if n > 0 {
-            let receipt = self.shards[chosen].catalogue().append(table, batch)?;
+            // Through the shard's `Database` write path, not its bare
+            // catalogue: a durable shard logs the batch (or checkpoints
+            // on compaction) before reporting the receipt. A routed
+            // append touches one shard only, so its own autocommit
+            // record is already atomic — no coordinator involvement.
+            let receipt = self.shards[chosen].append_rows(table, batch)?;
             per_shard[chosen] = n;
             if receipt.compacted {
                 compactions += 1;
@@ -502,8 +659,127 @@ impl ShardedDatabase {
                 expected: "INSERT",
                 found: "EXPLAIN".into(),
             })),
-            Statement::Begin | Statement::Commit => Err(SqlError::TransactionStatement),
+            Statement::Delete(_) | Statement::Update(_) => Err(SqlError::MutationStatement),
+            Statement::CreateSnapshot(_) => Err(SqlError::ShardedTimeTravel),
+            Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
+                Err(SqlError::TransactionStatement)
+            }
         }
+    }
+
+    /// Parses and runs one `DELETE` or `UPDATE` across every shard:
+    /// each shard resolves the predicate against its own partition,
+    /// tombstones / overwrites its matches, and on a durable database
+    /// all shards' records are tagged with one global transaction id
+    /// and committed by the coordinator after every shard's log flushed
+    /// — the mutation is atomic across a crash, all shards or none.
+    ///
+    /// The receipt's `rows` is the total across shards and
+    /// `data_version` the merged version (see
+    /// [`ShardedDatabase::data_version`]).
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, [`SqlError::UnknownTable`], and
+    /// [`SqlError::Plan`] for an `UPDATE ... SET` naming an unknown
+    /// column — all surfaced before any shard is mutated.
+    pub fn mutate_sql(&mut self, sql: &str) -> Result<MutationReceipt, SqlError> {
+        match parse_statement(sql)? {
+            Statement::Delete(del) => self.mutate_shards(&del.table, None, del.filter.as_ref()),
+            Statement::Update(upd) => {
+                self.mutate_shards(&upd.table, Some(&upd.sets), upd.filter.as_ref())
+            }
+            Statement::Insert(_) => Err(SqlError::InsertStatement),
+            Statement::Select(_) | Statement::Explain(_) => {
+                Err(SqlError::Parse(crate::sql::ParseSqlError::Expected {
+                    expected: "DELETE or UPDATE",
+                    found: "SELECT".into(),
+                }))
+            }
+            Statement::CreateSnapshot(_) => Err(SqlError::ShardedTimeTravel),
+            Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
+                Err(SqlError::TransactionStatement)
+            }
+        }
+    }
+
+    /// The cross-shard mutation engine behind
+    /// [`ShardedDatabase::mutate_sql`]: `sets == None` deletes,
+    /// `Some(sets)` updates. Resolution runs on every shard before any
+    /// shard is mutated, so validation errors leave nothing
+    /// half-applied; the in-memory applies then run shard by shard
+    /// under the coordinator's `&mut self` (no reader can interleave a
+    /// write), and durability is one gtid-tagged commit.
+    fn mutate_shards(
+        &mut self,
+        table: &str,
+        sets: Option<&Vec<(String, u32)>>,
+        filter: Option<&(String, Predicate)>,
+    ) -> Result<MutationReceipt, SqlError> {
+        // Phase 1: resolve and validate everywhere, mutating nothing.
+        let mut ops: Vec<Option<CatOp>> = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let cat = shard.catalogue();
+            if let Some(sets) = sets {
+                let schema = cat
+                    .schema(table)
+                    .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+                for (column, _) in sets {
+                    if !schema.contains(column) {
+                        return Err(SqlError::Plan(PlanError::UnknownColumn(column.clone())));
+                    }
+                }
+            }
+            let rows = cat.resolve_physical(table, filter)?;
+            ops.push(if rows.is_empty() {
+                None
+            } else {
+                Some(match sets {
+                    None => CatOp::Delete {
+                        table: table.to_string(),
+                        rows,
+                    },
+                    Some(sets) => CatOp::Update {
+                        table: table.to_string(),
+                        rows,
+                        sets: sets.clone(),
+                    },
+                })
+            });
+        }
+        // Phase 2: apply and log, one gtid across every touched shard.
+        let gtid = self
+            .coordinator
+            .as_ref()
+            .map_or(crate::wal::AUTOCOMMIT, Coordinator::next_gtid);
+        let mut total = 0usize;
+        for (shard, op) in self.shards.iter_mut().zip(&ops) {
+            let Some(op) = op else { continue };
+            total += match op {
+                CatOp::Delete { rows, .. } | CatOp::Update { rows, .. } => rows.len(),
+                CatOp::Append { .. } => unreachable!("mutations are deletes or updates"),
+            };
+            shard.catalogue().apply_ops(std::slice::from_ref(op))?;
+            shard.log_record(&crate::database::record_of(op, gtid));
+        }
+        if total > 0 {
+            for shard in &mut self.shards {
+                shard.flush_wal()?;
+            }
+            if let Some(coord) = self.coordinator.as_mut() {
+                coord.commit(gtid)?;
+            }
+            for shard in &mut self.shards {
+                shard.compact_and_checkpoint(table)?;
+            }
+        }
+        let data_version = self
+            .data_version(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        Ok(MutationReceipt {
+            rows: total,
+            data_version,
+        })
     }
 
     /// Parses and runs one `SELECT` across every shard, merging the
@@ -522,10 +798,19 @@ impl ShardedDatabase {
     /// [`PlanError::CompositeKeyOverflow`] a single session reports.
     pub fn run_sql(&mut self, sql: &str) -> Result<ShardedOutput, SqlError> {
         match parse_statement(sql)? {
-            Statement::Select(q) => self.run_query(&q.table, &q.query),
+            Statement::Select(q) => {
+                if q.as_of.is_some() {
+                    return Err(SqlError::ShardedTimeTravel);
+                }
+                self.run_query(&q.table, &q.query)
+            }
             Statement::Explain(_) => Err(SqlError::ExplainStatement),
             Statement::Insert(_) => Err(SqlError::InsertStatement),
-            Statement::Begin | Statement::Commit => Err(SqlError::TransactionStatement),
+            Statement::Delete(_) | Statement::Update(_) => Err(SqlError::MutationStatement),
+            Statement::CreateSnapshot(_) => Err(SqlError::ShardedTimeTravel),
+            Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
+                Err(SqlError::TransactionStatement)
+            }
         }
     }
 
@@ -549,10 +834,20 @@ impl ShardedDatabase {
         sql: &str,
     ) -> Result<ShardedOutput, SqlError> {
         match parse_statement(sql)? {
-            Statement::Select(q) => self.run_query_at(snap, &q.table, &q.query),
+            Statement::Select(q) => {
+                if q.as_of.is_some() {
+                    return Err(SqlError::ShardedTimeTravel);
+                }
+                self.run_query_at(snap, &q.table, &q.query)
+            }
             Statement::Explain(_) => Err(SqlError::ExplainStatement),
-            Statement::Insert(_) => Err(SqlError::ReadOnly),
-            Statement::Begin | Statement::Commit => Err(SqlError::TransactionStatement),
+            Statement::Insert(_) | Statement::Delete(_) | Statement::Update(_) => {
+                Err(SqlError::ReadOnly)
+            }
+            Statement::CreateSnapshot(_) => Err(SqlError::ShardedTimeTravel),
+            Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
+                Err(SqlError::TransactionStatement)
+            }
         }
     }
 
@@ -566,8 +861,15 @@ impl ShardedDatabase {
         let q = match parse_statement(sql)? {
             Statement::Select(q) | Statement::Explain(q) => q,
             Statement::Insert(_) => return Err(SqlError::InsertStatement),
-            Statement::Begin | Statement::Commit => return Err(SqlError::TransactionStatement),
+            Statement::Delete(_) | Statement::Update(_) => return Err(SqlError::MutationStatement),
+            Statement::CreateSnapshot(_) => return Err(SqlError::ShardedTimeTravel),
+            Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
+                return Err(SqlError::TransactionStatement)
+            }
         };
+        if q.as_of.is_some() {
+            return Err(SqlError::ShardedTimeTravel);
+        }
         let shard = self
             .first_populated_shard(&q.table)?
             .ok_or(SqlError::Plan(PlanError::EmptyTable))?;
@@ -1026,6 +1328,7 @@ fn host_order_by(ob: &OrderBy, base: &mut AggResult, mm: &mut Option<(Vec<u32>, 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SqlOutcome;
 
     fn events(n: usize) -> Table {
         Table::new("events")
@@ -1714,6 +2017,137 @@ mod tests {
         assert_eq!(
             e,
             SqlError::Plan(PlanError::UnsupportedAvgPredicate { clause: "HAVING" })
+        );
+    }
+
+    #[test]
+    fn sharded_mutations_match_a_single_session() {
+        let delete = "DELETE FROM events WHERE v > 80";
+        let update = "UPDATE events SET v = 5 WHERE g <> 3";
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g";
+        let single = {
+            let mut db = Database::new();
+            db.register(events(400));
+            let deleted = match db.run_sql(delete).unwrap() {
+                SqlOutcome::Deleted(r) => r.rows,
+                other => panic!("DELETE reports a receipt: {other:?}"),
+            };
+            let updated = match db.run_sql(update).unwrap() {
+                SqlOutcome::Updated(r) => r.rows,
+                other => panic!("UPDATE reports a receipt: {other:?}"),
+            };
+            (deleted, updated, db.execute_sql(sql).unwrap().rows)
+        };
+        let mut sharded = ShardedDatabase::new(4);
+        sharded.register(events(400));
+        let deleted = sharded.mutate_sql(delete).unwrap();
+        assert_eq!(deleted.rows, single.0, "same rows tombstoned in total");
+        let updated = sharded.mutate_sql(update).unwrap();
+        assert_eq!(updated.rows, single.1);
+        assert_eq!(sharded.run_sql(sql).unwrap().rows, single.2);
+    }
+
+    #[test]
+    fn sharded_mutate_sql_rejects_non_mutations_and_bad_columns() {
+        let mut sharded = ShardedDatabase::new(2);
+        sharded.register(events(50));
+        assert!(matches!(
+            sharded.mutate_sql("SELECT g, COUNT(*) FROM events GROUP BY g"),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(
+            sharded.mutate_sql("INSERT INTO events (g, v) VALUES (1, 2)"),
+            Err(SqlError::InsertStatement)
+        ));
+        assert_eq!(
+            sharded
+                .mutate_sql("UPDATE events SET nope = 1 WHERE g > 3")
+                .unwrap_err(),
+            SqlError::Plan(PlanError::UnknownColumn("nope".into()))
+        );
+        // The failed validation applied nothing on any shard.
+        assert_eq!(sharded.data_version("events"), Some(1));
+    }
+
+    #[test]
+    fn sharded_time_travel_is_rejected_with_a_typed_error() {
+        let mut sharded = ShardedDatabase::new(2);
+        sharded.register(events(50));
+        let as_of = "SELECT g, COUNT(*) FROM events AS OF x GROUP BY g";
+        assert_eq!(
+            sharded.run_sql(as_of).unwrap_err(),
+            SqlError::ShardedTimeTravel
+        );
+        assert_eq!(
+            sharded
+                .explain_sql(&format!("EXPLAIN {as_of}"))
+                .unwrap_err(),
+            SqlError::ShardedTimeTravel
+        );
+        assert_eq!(
+            sharded.mutate_sql("CREATE SNAPSHOT x").unwrap_err(),
+            SqlError::ShardedTimeTravel
+        );
+        let snap = sharded.snapshot();
+        assert_eq!(
+            sharded.run_sql_at(&snap, as_of).unwrap_err(),
+            SqlError::ShardedTimeTravel
+        );
+    }
+
+    #[test]
+    fn durable_sharded_open_reopen_round_trip() {
+        let dir = crate::tempdir::TempDir::new("shard-reopen");
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g";
+        let before = {
+            let mut db = ShardedDatabase::open(dir.path(), 3).unwrap();
+            assert!(db.is_durable());
+            db.register(events(200));
+            db.insert_sql("INSERT INTO events (g, v) VALUES (50, 1), (50, 2)")
+                .unwrap();
+            db.mutate_sql("DELETE FROM events WHERE v > 90").unwrap();
+            db.mutate_sql("UPDATE events SET v = 9 WHERE g > 20")
+                .unwrap();
+            (db.run_sql(sql).unwrap().rows, db.data_versions("events"))
+        };
+        // Reopen asks for 8 shards, but the 3 partitions on disk win.
+        let mut db = ShardedDatabase::open(dir.path(), 8).unwrap();
+        assert_eq!(db.shard_count(), 3);
+        assert_eq!(db.run_sql(sql).unwrap().rows, before.0);
+        assert_eq!(db.data_versions("events"), before.1);
+        // The reopened database keeps logging.
+        db.insert_sql("INSERT INTO events (g, v) VALUES (51, 3)")
+            .unwrap();
+        let after = db.run_sql(sql).unwrap().rows;
+        drop(db);
+        let mut db = ShardedDatabase::open(dir.path(), 3).unwrap();
+        assert_eq!(db.run_sql(sql).unwrap().rows, after);
+    }
+
+    #[test]
+    fn cross_shard_mutation_without_coordinator_commit_rolls_back() {
+        let dir = crate::tempdir::TempDir::new("shard-torn");
+        let sql = "SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g";
+        let coord = dir.path().join("coordinator.log");
+        let (before, registered_len) = {
+            let mut db = ShardedDatabase::open(dir.path(), 2).unwrap();
+            db.set_compaction_policy(CompactionPolicy::never());
+            db.register(events(100));
+            let keep = db.run_sql(sql).unwrap().rows;
+            let len = std::fs::metadata(&coord).unwrap().len();
+            db.mutate_sql("DELETE FROM events WHERE v > 50").unwrap();
+            (keep, len)
+        };
+        // Erase the delete's coordinator commit record: the crash
+        // happened after the shard logs flushed but before the global
+        // commit. (The register's earlier commit record stays.)
+        assert!(std::fs::metadata(&coord).unwrap().len() > registered_len);
+        crate::wal::truncate(&coord, registered_len).unwrap();
+        let mut db = ShardedDatabase::open(dir.path(), 2).unwrap();
+        assert_eq!(
+            db.run_sql(sql).unwrap().rows,
+            before,
+            "the delete rolls back on every shard at once"
         );
     }
 }

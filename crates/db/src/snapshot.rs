@@ -53,7 +53,7 @@
 //! ```
 
 use crate::catalogue::SharedCatalogue;
-use crate::delta::{DeltaStore, TableStats};
+use crate::delta::{DeltaCut, DeltaStore, TableStats};
 use crate::table::Table;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -73,9 +73,9 @@ pub(crate) struct TableCut {
     /// The immutable base at capture time (`Arc`-shared columns — this
     /// handle is what keeps a replaced base readable).
     pub(crate) base: Table,
-    /// Delta rows visible to this cut (a stable prefix of the
-    /// append-only delta at `epoch`).
-    pub(crate) delta_prefix: usize,
+    /// Delta state visible to this cut (a stable prefix of the
+    /// append-only row/tombstone/overwrite logs at `epoch`).
+    pub(crate) delta_cut: DeltaCut,
     /// The live statistics at capture time — what plans made at this
     /// snapshot feed the §V-D policy.
     pub(crate) stats: TableStats,
@@ -85,15 +85,15 @@ pub(crate) struct TableCut {
 }
 
 impl TableCut {
-    /// Delta rows this cut will actually read from the shared store:
-    /// zero when the cut carries its own materialised clean view (the
+    /// Delta state this cut will actually read from the shared store:
+    /// empty when the cut carries its own materialised clean view (the
     /// snapshot then never touches the delta, so compaction needs no
-    /// deferral on its account), else the pinned prefix.
-    fn pin_prefix(&self) -> usize {
+    /// deferral on its account), else the pinned cut.
+    fn pin_cut(&self) -> DeltaCut {
         if self.clean_view.is_some() {
-            0
+            DeltaCut::default()
         } else {
-            self.delta_prefix
+            self.delta_cut
         }
     }
 }
@@ -103,7 +103,7 @@ impl TableCut {
 #[derive(Debug, Clone, Copy)]
 struct PinSlot {
     count: usize,
-    prefix: usize,
+    cut: DeltaCut,
 }
 
 /// The catalogue-side pin registry: which delta epochs live snapshots
@@ -136,14 +136,19 @@ impl PinRegistry {
                 .entry(cut.data_version)
                 .or_insert(PinSlot {
                     count: 0,
-                    prefix: cut.pin_prefix(),
+                    cut: cut.pin_cut(),
                 });
             slot.count += 1;
-            // Cuts at one data version always agree on the rows, but a
-            // clean-view cut pins prefix 0 (it never reads the delta)
-            // while a view-less one pins the real prefix — keep the
-            // stronger requirement for the shared slot.
-            slot.prefix = slot.prefix.max(cut.pin_prefix());
+            // Cuts at one data version always agree on the logs, but a
+            // clean-view cut pins an empty cut (it never reads the
+            // delta) while a view-less one pins the real prefixes —
+            // keep the stronger requirement for the shared slot.
+            let pin = cut.pin_cut();
+            slot.cut = DeltaCut {
+                rows: slot.cut.rows.max(pin.rows),
+                tombstones: slot.cut.tombstones.max(pin.tombstones),
+                overwrites: slot.cut.overwrites.max(pin.overwrites),
+            };
         }
     }
 
@@ -178,7 +183,7 @@ impl PinRegistry {
     pub(crate) fn needs_delta(&self, key: &(String, u64, u64)) -> bool {
         self.pins
             .get(key)
-            .is_some_and(|slots| slots.values().any(|s| s.prefix > 0))
+            .is_some_and(|slots| slots.values().any(|s| !s.cut.is_empty()))
     }
 
     /// Parks a discarded-but-pinned delta in the side store (a deferred
@@ -324,7 +329,7 @@ impl Snapshot {
     /// Delta rows pinned by this snapshot (rows that were parked in the
     /// table's delta store at capture time).
     pub fn delta_rows(&self, table: &str) -> Option<usize> {
-        self.cuts.get(table).map(|c| c.delta_prefix)
+        self.cuts.get(table).map(|c| c.delta_cut.rows)
     }
 
     /// The table statistics at capture time — the numbers plans made at
@@ -343,7 +348,7 @@ impl Snapshot {
         }
         let view = match &cut.clean_view {
             Some(v) => v.clone(),
-            None if cut.delta_prefix == 0 => cut.base.clone(),
+            None if cut.delta_cut.is_empty() => cut.base.clone(),
             None => self.catalogue.materialise_cut(table, cut),
         };
         self.views

@@ -25,22 +25,31 @@
 //!
 //! ```text
 //! INSERT INTO <table> (<col> [, <col>...]) VALUES (<num>, ...) [, (...)]*
+//! DELETE FROM <table> [WHERE <column> <cmp> <number>]
+//! UPDATE <table> SET <col> = <num> [, <col> = <num>...] [WHERE ...]
 //! ```
 //!
-//! parsed by [`parse_statement`] into [`Statement::Insert`] and executed
-//! through [`crate::SharedCatalogue::append`]. Tuple arity, duplicate
-//! columns and out-of-range values are parse-time errors.
+//! parsed by [`parse_statement`] and executed through the catalogue's
+//! write paths (tombstones and overwrites in the delta — see
+//! [`crate::delta`]). Tuple arity, duplicate columns and out-of-range
+//! values are parse-time errors. `=` is accepted only in `SET`
+//! assignments; as a *comparison* it stays unsupported (the ISA gap).
 //!
-//! The snapshot API adds the read-only transaction brackets
+//! Transactions bracket writes or pin reads:
 //!
 //! ```text
-//! BEGIN READ ONLY
-//! COMMIT
+//! BEGIN [TRANSACTION]     -- write transaction: buffered, atomic at COMMIT
+//! BEGIN READ ONLY         -- repeatable reads at one snapshot
+//! COMMIT | ROLLBACK
 //! ```
 //!
-//! mapping a session onto one [`crate::Snapshot`] for repeatable reads
-//! (see [`crate::Database::run_sql`]); only read-only transactions
-//! exist, so a bare `BEGIN` is rejected with guidance.
+//! and time travel reads older states:
+//!
+//! ```text
+//! CREATE SNAPSHOT <name>              -- durable named version
+//! SELECT ... FROM <table> AS OF <name>
+//! SELECT ... FROM <table> AS OF data_version <N>
+//! ```
 //!
 //! ```
 //! use vagg_db::sql::parse;
@@ -63,11 +72,25 @@ pub struct SqlQuery {
     pub table: String,
     /// The structured query the engine executes.
     pub query: AggregateQuery,
+    /// Time travel: `None` reads the current state, `Some` reads a
+    /// named or per-version historical state.
+    pub as_of: Option<AsOf>,
 }
 
-/// One parsed statement: a `SELECT` to execute, an `EXPLAIN SELECT`
-/// to plan without executing, an `INSERT` feeding the write path, or
-/// the read-only transaction brackets `BEGIN READ ONLY` / `COMMIT`.
+/// The `AS OF` clause: which historical state a `SELECT` reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsOf {
+    /// `AS OF <name>` — a named version created by `CREATE SNAPSHOT`.
+    Name(String),
+    /// `AS OF data_version <N>` — the table's state at data version
+    /// `N` (available while the delta generation that produced it
+    /// stands; compaction folds old versions away).
+    DataVersion(u64),
+}
+
+/// One parsed statement: a `SELECT` / `EXPLAIN SELECT`, a write
+/// (`INSERT`, `DELETE`, `UPDATE`), a transaction bracket (`BEGIN`
+/// [`READ ONLY`], `COMMIT`, `ROLLBACK`), or `CREATE SNAPSHOT`.
 #[derive(Debug, Clone)]
 pub enum Statement {
     /// Execute the query and return rows.
@@ -77,13 +100,54 @@ pub enum Statement {
     /// Append rows through the write path
     /// (see [`crate::SharedCatalogue::append`]).
     Insert(InsertStatement),
-    /// `BEGIN READ ONLY`: open a read-only transaction — the session
-    /// captures one [`crate::Snapshot`] and every statement until
-    /// `COMMIT` reads at it (see [`crate::Database::run_sql`]).
-    Begin,
-    /// `COMMIT`: close the open read-only transaction, releasing its
-    /// snapshot.
+    /// Tombstone matching rows (see [`crate::delta`]).
+    Delete(DeleteStatement),
+    /// Overwrite columns of matching rows.
+    Update(UpdateStatement),
+    /// `BEGIN [TRANSACTION]` (a write transaction: statements buffer
+    /// until `COMMIT` installs them atomically) or `BEGIN READ ONLY`
+    /// (the session captures one [`crate::Snapshot`] and every
+    /// statement until `COMMIT` reads at it).
+    Begin {
+        /// `true` for `BEGIN READ ONLY`.
+        read_only: bool,
+    },
+    /// `COMMIT`: close the open transaction — install a write
+    /// transaction's buffered statements, or release a read-only
+    /// transaction's snapshot.
     Commit,
+    /// `ROLLBACK`: discard the open transaction.
+    Rollback,
+    /// `CREATE SNAPSHOT name`: freeze the current state under a name
+    /// that survives compaction and restart (time travel anchor).
+    CreateSnapshot(
+        /// The version's name.
+        String,
+    ),
+}
+
+/// A parsed `DELETE FROM t [WHERE col cmp num]` statement. The rows the
+/// predicate matches are tombstoned in the table's delta — filtered
+/// from every later read, physically dropped at compaction.
+#[derive(Debug, Clone)]
+pub struct DeleteStatement {
+    /// The target table name.
+    pub table: String,
+    /// The WHERE predicate; `None` deletes every row.
+    pub filter: Option<(String, Predicate)>,
+}
+
+/// A parsed `UPDATE t SET col = num [, ...] [WHERE col cmp num]`
+/// statement. Matching rows get overwrite entries in the table's
+/// delta, folded in at read and at compaction.
+#[derive(Debug, Clone)]
+pub struct UpdateStatement {
+    /// The target table name.
+    pub table: String,
+    /// The `(column, new value)` assignments, in SQL order.
+    pub sets: Vec<(String, u32)>,
+    /// The WHERE predicate; `None` updates every row.
+    pub filter: Option<(String, Predicate)>,
 }
 
 /// A parsed `INSERT INTO t (cols...) VALUES (...), ...` statement.
@@ -172,7 +236,7 @@ pub enum ParseSqlError {
         /// Values the tuple carries.
         got: usize,
     },
-    /// An `INSERT` column list naming one column twice.
+    /// An `INSERT` or `UPDATE SET` column list naming one column twice.
     InsertDuplicateColumn(
         /// The repeated column.
         String,
@@ -259,7 +323,7 @@ impl fmt::Display for ParseSqlError {
                  names {expected}"
             ),
             ParseSqlError::InsertDuplicateColumn(c) => {
-                write!(f, "INSERT column list names {c:?} twice")
+                write!(f, "column list names {c:?} twice")
             }
             ParseSqlError::InsertValueTooLarge { tuple, value } => write!(
                 f,
@@ -291,6 +355,7 @@ enum Token {
     NotEqual,
     Greater,
     Less,
+    Equals,
     Semicolon,
     Question,
 }
@@ -307,6 +372,7 @@ impl Token {
             Token::NotEqual => "<>".into(),
             Token::Greater => ">".into(),
             Token::Less => "<".into(),
+            Token::Equals => "=".into(),
             Token::Semicolon => ";".into(),
             Token::Question => "?".into(),
         }
@@ -377,7 +443,12 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseSqlError> {
                     _ => return Err(ParseSqlError::UnexpectedChar('!')),
                 }
             }
-            '=' => return Err(ParseSqlError::UnsupportedComparison(c.to_string())),
+            // `=` lexes (UPDATE ... SET needs it); as a *comparison*
+            // the parser rejects it with the ISA-gap guidance.
+            '=' => {
+                chars.next();
+                out.push(Token::Equals);
+            }
             '0'..='9' => {
                 let mut digits = String::new();
                 while let Some(&d) = chars.peek() {
@@ -535,8 +606,12 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
         Statement::Select(q) => return Ok(q),
         Statement::Explain(_) => "EXPLAIN",
         Statement::Insert(_) => "INSERT",
-        Statement::Begin => "BEGIN",
+        Statement::Delete(_) => "DELETE",
+        Statement::Update(_) => "UPDATE",
+        Statement::Begin { .. } => "BEGIN",
         Statement::Commit => "COMMIT",
+        Statement::Rollback => "ROLLBACK",
+        Statement::CreateSnapshot(_) => "CREATE",
     };
     Err(ParseSqlError::Expected {
         expected: "SELECT",
@@ -545,8 +620,9 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
 }
 
 /// Parses one statement: `SELECT ...`, `EXPLAIN SELECT ...`,
-/// `INSERT INTO t (cols...) VALUES (...), ...`, `BEGIN READ ONLY` or
-/// `COMMIT`.
+/// `INSERT INTO t (cols...) VALUES (...), ...`, `DELETE FROM t ...`,
+/// `UPDATE t SET ...`, `CREATE SNAPSHOT name`, `BEGIN`
+/// (`[TRANSACTION]` / `READ ONLY`), `COMMIT` or `ROLLBACK`.
 ///
 /// # Errors
 ///
@@ -564,14 +640,34 @@ pub fn parse_statement(sql: &str) -> Result<Statement, ParseSqlError> {
         p.pos += 1;
         return parse_insert(&mut p).map(Statement::Insert);
     }
+    if p.peek_is_keyword("DELETE") {
+        p.pos += 1;
+        return parse_delete(&mut p).map(Statement::Delete);
+    }
+    if p.peek_is_keyword("UPDATE") {
+        p.pos += 1;
+        return parse_update(&mut p).map(Statement::Update);
+    }
+    if p.peek_is_keyword("CREATE") {
+        p.pos += 1;
+        p.keyword("SNAPSHOT")?;
+        let name = p.ident("the snapshot name")?;
+        parse_statement_end(&mut p)?;
+        return Ok(Statement::CreateSnapshot(name));
+    }
     if p.peek_is_keyword("BEGIN") {
         p.pos += 1;
-        return parse_begin(&mut p).map(|()| Statement::Begin);
+        return parse_begin(&mut p);
     }
     if p.peek_is_keyword("COMMIT") {
         p.pos += 1;
         parse_statement_end(&mut p)?;
         return Ok(Statement::Commit);
+    }
+    if p.peek_is_keyword("ROLLBACK") {
+        p.pos += 1;
+        parse_statement_end(&mut p)?;
+        return Ok(Statement::Rollback);
     }
     let explain = p.peek_is_keyword("EXPLAIN");
     if explain {
@@ -585,26 +681,99 @@ pub fn parse_statement(sql: &str) -> Result<Statement, ParseSqlError> {
     })
 }
 
-// `READ ONLY [;]` — the leading BEGIN keyword was already consumed.
-// Only read-only transactions exist: the snapshot API has no write
-// transactions, so a bare `BEGIN` is rejected with guidance.
-fn parse_begin(p: &mut Parser) -> Result<(), ParseSqlError> {
-    const EXPECTED: &str = "READ ONLY (only read-only transactions are supported)";
-    let read = p.ident(EXPECTED)?;
-    if !read.eq_ignore_ascii_case("READ") {
-        return Err(ParseSqlError::Expected {
-            expected: EXPECTED,
-            found: read,
-        });
+// `[TRANSACTION | READ ONLY] [;]` — the leading BEGIN keyword was
+// already consumed. A bare `BEGIN` (or `BEGIN TRANSACTION`) opens a
+// write transaction; `BEGIN READ ONLY` opens a snapshot-pinned
+// read-only transaction.
+fn parse_begin(p: &mut Parser) -> Result<Statement, ParseSqlError> {
+    const EXPECTED: &str = "TRANSACTION, READ ONLY, or the end of the statement";
+    if p.peek_is_keyword("TRANSACTION") {
+        p.pos += 1;
+        parse_statement_end(p)?;
+        return Ok(Statement::Begin { read_only: false });
     }
-    let only = p.ident(EXPECTED)?;
-    if !only.eq_ignore_ascii_case("ONLY") {
-        return Err(ParseSqlError::Expected {
-            expected: EXPECTED,
-            found: only,
-        });
+    if p.peek_is_keyword("READ") {
+        p.pos += 1;
+        let only = p.ident("ONLY (after READ)")?;
+        if !only.eq_ignore_ascii_case("ONLY") {
+            return Err(ParseSqlError::Expected {
+                expected: "ONLY (after READ)",
+                found: only,
+            });
+        }
+        parse_statement_end(p)?;
+        return Ok(Statement::Begin { read_only: true });
     }
-    parse_statement_end(p)
+    if let Some(t) = p.peek() {
+        if t != &Token::Semicolon {
+            return Err(ParseSqlError::Expected {
+                expected: EXPECTED,
+                found: t.describe(),
+            });
+        }
+    }
+    parse_statement_end(p)?;
+    Ok(Statement::Begin { read_only: false })
+}
+
+// `FROM t [WHERE col cmp num] [;]` — the leading DELETE keyword was
+// already consumed.
+fn parse_delete(p: &mut Parser) -> Result<DeleteStatement, ParseSqlError> {
+    p.keyword("FROM")?;
+    let table = p.ident("the table name")?;
+    let filter = parse_where(p)?;
+    parse_statement_end(p)?;
+    Ok(DeleteStatement { table, filter })
+}
+
+// `t SET col = num [, col = num]* [WHERE col cmp num] [;]` — the
+// leading UPDATE keyword was already consumed.
+fn parse_update(p: &mut Parser) -> Result<UpdateStatement, ParseSqlError> {
+    let table = p.ident("the table name")?;
+    p.keyword("SET")?;
+    let mut sets: Vec<(String, u32)> = Vec::new();
+    loop {
+        let column = p.ident("a column name")?;
+        p.expect(Token::Equals, "=")?;
+        let value = match p.next("a value")? {
+            Token::Number(n) => {
+                u32::try_from(n).map_err(|_| ParseSqlError::ConstantTooLarge { value: n })?
+            }
+            other => {
+                return Err(ParseSqlError::Expected {
+                    expected: "a value",
+                    found: other.describe(),
+                })
+            }
+        };
+        if sets.iter().any(|(c, _)| c == &column) {
+            return Err(ParseSqlError::InsertDuplicateColumn(column));
+        }
+        sets.push((column, value));
+        if p.peek() == Some(&Token::Comma) {
+            p.pos += 1;
+        } else {
+            break;
+        }
+    }
+    let filter = parse_where(p)?;
+    parse_statement_end(p)?;
+    Ok(UpdateStatement {
+        table,
+        sets,
+        filter,
+    })
+}
+
+// Optional `WHERE <col> <cmp> <num>` — shared by SELECT, DELETE and
+// UPDATE.
+fn parse_where(p: &mut Parser) -> Result<Option<(String, Predicate)>, ParseSqlError> {
+    if !p.peek_is_keyword("WHERE") {
+        return Ok(None);
+    }
+    p.pos += 1;
+    let col = p.ident("the filtered column")?;
+    Ok(Some((col, parse_predicate(p, ParamSlot::FilterConstant)?)))
 }
 
 // Optional trailing semicolon, then end of input.
@@ -725,6 +894,14 @@ pub fn parse_template(sql: &str) -> Result<SqlTemplate, ParseSqlError> {
         });
     }
     let q = parse_select(&mut p)?;
+    if q.as_of.is_some() {
+        // A prepared plan is rebound against the *live* table;
+        // freezing it at a historical state would defeat both.
+        return Err(ParseSqlError::Expected {
+            expected: "a statement without AS OF (time travel cannot be prepared)",
+            found: "AS OF".into(),
+        });
+    }
     Ok(SqlTemplate {
         table: q.table,
         query: q.query,
@@ -777,13 +954,29 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
     p.keyword("FROM")?;
     let table = p.ident("the table name")?;
 
-    // Optional WHERE <col> <cmp> <num>.
-    let mut filter: Option<(String, Predicate)> = None;
-    if p.peek_is_keyword("WHERE") {
+    // Optional `AS OF <name | data_version N>` time travel.
+    let mut as_of: Option<AsOf> = None;
+    if p.peek_is_keyword("AS") {
         p.pos += 1;
-        let col = p.ident("the filtered column")?;
-        filter = Some((col, parse_predicate(p, ParamSlot::FilterConstant)?));
+        p.keyword("OF")?;
+        let name = p.ident("a snapshot name or data_version")?;
+        as_of = Some(if name.eq_ignore_ascii_case("data_version") {
+            match p.next("a version number")? {
+                Token::Number(n) => AsOf::DataVersion(n),
+                other => {
+                    return Err(ParseSqlError::Expected {
+                        expected: "a version number",
+                        found: other.describe(),
+                    })
+                }
+            }
+        } else {
+            AsOf::Name(name)
+        });
     }
+
+    // Optional WHERE <col> <cmp> <num>.
+    let filter = parse_where(p)?;
 
     p.keyword("GROUP")?;
     p.keyword("BY")?;
@@ -909,6 +1102,7 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
     let value = value_col.unwrap_or_else(|| group_col.clone());
     Ok(SqlQuery {
         table,
+        as_of,
         query: AggregateQuery {
             group_by: group_col,
             group_by_rest: group_rest,
@@ -931,6 +1125,9 @@ const PLACEHOLDER_SENTINEL: u32 = 1;
 // `maximum`). In template mode a `?` constant is recorded under `slot`.
 fn parse_predicate(p: &mut Parser, slot: ParamSlot) -> Result<Predicate, ParseSqlError> {
     let op = p.next("a comparison operator")?;
+    if op == Token::Equals {
+        return Err(ParseSqlError::UnsupportedComparison("=".into()));
+    }
     let k = match p.next("a comparison constant")? {
         Token::Number(k) => {
             u32::try_from(k).map_err(|_| ParseSqlError::ConstantTooLarge { value: k })?
@@ -1308,11 +1505,11 @@ mod tests {
     fn parses_transaction_brackets() {
         assert!(matches!(
             parse_statement("BEGIN READ ONLY").unwrap(),
-            Statement::Begin
+            Statement::Begin { read_only: true }
         ));
         assert!(matches!(
             parse_statement("begin read only;").unwrap(),
-            Statement::Begin
+            Statement::Begin { read_only: true }
         ));
         assert!(matches!(
             parse_statement("COMMIT").unwrap(),
@@ -1322,17 +1519,32 @@ mod tests {
             parse_statement("commit;").unwrap(),
             Statement::Commit
         ));
+        assert!(matches!(
+            parse_statement("ROLLBACK").unwrap(),
+            Statement::Rollback
+        ));
+        assert!(matches!(
+            parse_statement("rollback;").unwrap(),
+            Statement::Rollback
+        ));
     }
 
     #[test]
-    fn bare_begin_is_rejected_with_guidance() {
-        for sql in ["BEGIN", "BEGIN TRANSACTION", "BEGIN READ WRITE"] {
-            let e = parse_statement(sql).unwrap_err();
+    fn bare_begin_opens_a_write_transaction() {
+        for sql in ["BEGIN", "BEGIN;", "BEGIN TRANSACTION", "begin transaction;"] {
             assert!(
-                e.to_string().contains("read-only"),
-                "{sql}: {e} should point at READ ONLY"
+                matches!(
+                    parse_statement(sql).unwrap(),
+                    Statement::Begin { read_only: false }
+                ),
+                "{sql} should open a write transaction"
             );
         }
+        // Unknown qualifiers still get guidance.
+        let e = parse_statement("BEGIN READ WRITE").unwrap_err();
+        assert!(e.to_string().contains("ONLY"), "{e}");
+        let e = parse_statement("BEGIN SOMETHING").unwrap_err();
+        assert!(e.to_string().contains("TRANSACTION"), "{e}");
         assert_eq!(
             parse_statement("BEGIN READ ONLY extra").unwrap_err(),
             ParseSqlError::TrailingInput("extra".into())
@@ -1341,6 +1553,115 @@ mod tests {
             parse_statement("COMMIT extra").unwrap_err(),
             ParseSqlError::TrailingInput("extra".into())
         );
+        assert_eq!(
+            parse_statement("ROLLBACK extra").unwrap_err(),
+            ParseSqlError::TrailingInput("extra".into())
+        );
+    }
+
+    #[test]
+    fn parses_delete_statements() {
+        match parse_statement("DELETE FROM r WHERE g > 3;").unwrap() {
+            Statement::Delete(d) => {
+                assert_eq!(d.table, "r");
+                assert_eq!(d.filter, Some(("g".into(), Predicate::GreaterThan(3))));
+            }
+            other => panic!("expected DELETE, parsed {other:?}"),
+        }
+        match parse_statement("delete from r").unwrap() {
+            Statement::Delete(d) => {
+                assert_eq!(d.table, "r");
+                assert_eq!(d.filter, None, "no WHERE deletes every row");
+            }
+            other => panic!("expected DELETE, parsed {other:?}"),
+        }
+        assert_eq!(
+            parse_statement("DELETE FROM r WHERE g > 3 extra").unwrap_err(),
+            ParseSqlError::TrailingInput("extra".into())
+        );
+    }
+
+    #[test]
+    fn parses_update_statements() {
+        match parse_statement("UPDATE r SET v = 9, w = 1 WHERE g <> 0;").unwrap() {
+            Statement::Update(u) => {
+                assert_eq!(u.table, "r");
+                assert_eq!(u.sets, vec![("v".into(), 9), ("w".into(), 1)]);
+                assert_eq!(u.filter, Some(("g".into(), Predicate::NonZero)));
+            }
+            other => panic!("expected UPDATE, parsed {other:?}"),
+        }
+        match parse_statement("update r set v = 5").unwrap() {
+            Statement::Update(u) => {
+                assert_eq!(u.sets, vec![("v".into(), 5)]);
+                assert_eq!(u.filter, None, "no WHERE updates every row");
+            }
+            other => panic!("expected UPDATE, parsed {other:?}"),
+        }
+        // Typed errors: duplicate SET column, oversized value, missing `=`.
+        assert_eq!(
+            parse_statement("UPDATE r SET v = 1, v = 2").unwrap_err(),
+            ParseSqlError::InsertDuplicateColumn("v".into())
+        );
+        assert_eq!(
+            parse_statement("UPDATE r SET v = 4294967296").unwrap_err(),
+            ParseSqlError::ConstantTooLarge {
+                value: 4_294_967_296
+            }
+        );
+        assert!(matches!(
+            parse_statement("UPDATE r SET v 5").unwrap_err(),
+            ParseSqlError::Expected { expected: "=", .. }
+        ));
+    }
+
+    #[test]
+    fn parses_create_snapshot() {
+        match parse_statement("CREATE SNAPSHOT before_load;").unwrap() {
+            Statement::CreateSnapshot(name) => assert_eq!(name, "before_load"),
+            other => panic!("expected CREATE SNAPSHOT, parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("CREATE TABLE t").unwrap_err(),
+            ParseSqlError::Expected {
+                expected: "SNAPSHOT",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_as_of_clauses() {
+        let q = parse("SELECT g, SUM(v) FROM r AS OF before_load GROUP BY g").unwrap();
+        assert_eq!(q.as_of, Some(AsOf::Name("before_load".into())));
+        let q =
+            parse("SELECT g, SUM(v) FROM r AS OF data_version 3 WHERE v > 1 GROUP BY g").unwrap();
+        assert_eq!(q.as_of, Some(AsOf::DataVersion(3)));
+        assert!(q.query.filter.is_some(), "WHERE still parses after AS OF");
+        let q = parse("SELECT g, SUM(v) FROM r GROUP BY g").unwrap();
+        assert_eq!(q.as_of, None);
+        // `AS OF data_version` needs the number.
+        assert!(matches!(
+            parse("SELECT g, SUM(v) FROM r AS OF data_version GROUP BY g").unwrap_err(),
+            ParseSqlError::Expected {
+                expected: "a version number",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn templates_reject_as_of() {
+        let e = parse_template("SELECT g, SUM(v) FROM r AS OF x GROUP BY g").unwrap_err();
+        assert!(e.to_string().contains("prepared"), "{e}");
+    }
+
+    #[test]
+    fn equality_in_update_where_is_still_rejected() {
+        let e = parse_statement("UPDATE r SET v = 1 WHERE g = 2").unwrap_err();
+        assert!(matches!(e, ParseSqlError::UnsupportedComparison(_)));
+        let e = parse_statement("DELETE FROM r WHERE g = 2").unwrap_err();
+        assert!(matches!(e, ParseSqlError::UnsupportedComparison(_)));
     }
 
     #[test]

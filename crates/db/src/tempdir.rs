@@ -1,0 +1,48 @@
+//! A tiny scratch-directory helper for tests, examples, and benches.
+//!
+//! The container has no `tempfile` crate, and the deterministic test
+//! harness bans wall-clock and RNG calls, so uniqueness comes from the
+//! process id plus a process-wide counter.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::{env, fs, process};
+
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+/// A uniquely named directory under the system temp root, removed
+/// (best-effort) on drop.
+///
+/// ```
+/// let dir = vagg_db::TempDir::new("doc");
+/// std::fs::write(dir.path().join("x"), b"hi").unwrap();
+/// ```
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `$TMPDIR/vagg-<label>-<pid>-<n>`; panics if the
+    /// directory cannot be created (tests want the loud failure).
+    pub fn new(label: &str) -> Self {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = env::temp_dir().join(format!("vagg-{label}-{}-{n}", process::id()));
+        // A stale directory from a killed run with the same pid is
+        // possible; clear it so every TempDir starts empty.
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}

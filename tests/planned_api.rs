@@ -89,6 +89,49 @@ fn explain_golden_presorted_minmax() {
 }
 
 #[test]
+fn explain_golden_as_of_renders_frozen_provenance() {
+    let mut db = Database::new();
+    db.register(people());
+    db.run_sql("CREATE SNAPSHOT launch").unwrap();
+    db.run_sql("INSERT INTO r (g, v) VALUES (9, 9)").unwrap();
+
+    // A named version: the frozen label rides next to data_version.
+    let plan = db
+        .explain_sql("EXPLAIN SELECT g, COUNT(*), SUM(v) FROM r AS OF launch GROUP BY g")
+        .unwrap();
+    assert_eq!(plan.as_of(), Some("launch@1"));
+    assert_eq!(
+        plan.explain(),
+        "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g\n\
+         \x20 rows=8 presorted=false algorithm=monotable cardinality≈6 \
+         data_version=1 as_of=launch@1\n\
+         \x20 1. CardinalityScan[exact](cardinality≈6)\n\
+         \x20 2. Aggregate[mono]"
+    );
+
+    // A raw version pin renders as data_version@N.
+    let plan = db
+        .explain_sql("EXPLAIN SELECT g, COUNT(*), SUM(v) FROM r AS OF data_version 2 GROUP BY g")
+        .unwrap();
+    assert_eq!(plan.as_of(), Some("data_version@2"));
+    assert_eq!(
+        plan.explain(),
+        "SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g\n\
+         \x20 rows=9 presorted=false algorithm=monotable cardinality≈10 \
+         data_version=2 as_of=data_version@2\n\
+         \x20 1. CardinalityScan[exact](cardinality≈10)\n\
+         \x20 2. Aggregate[mono]"
+    );
+
+    // The live plan carries no provenance label.
+    let plan = db
+        .explain_sql("EXPLAIN SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")
+        .unwrap();
+    assert_eq!(plan.as_of(), None);
+    assert!(!plan.explain().contains("as_of="));
+}
+
+#[test]
 fn plan_steps_are_typed_and_inspectable() {
     let q = AggregateQuery::paper("g", "v")
         .with_filter("v", Predicate::GreaterThan(0))
