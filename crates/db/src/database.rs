@@ -37,7 +37,8 @@ use crate::delta::TableStats;
 use crate::engine::{Engine, QueryOutput};
 use crate::filter::Predicate;
 use crate::ingest::{CompactionPolicy, IngestError, IngestReceipt, RowBatch};
-use crate::plan::{PlanError, QueryPlan};
+use crate::join::{join_local, plan_join, JoinPlan, PreparedJoin};
+use crate::plan::{PlanError, PlanStep, QueryPlan};
 use crate::prepared::PreparedStatement;
 use crate::query::AggregateQuery;
 use crate::recovery;
@@ -129,6 +130,12 @@ pub enum SqlError {
     /// cross-shard state. Capture a [`crate::ShardedSnapshot`] for
     /// consistent cross-shard reads instead.
     ShardedTimeTravel,
+    /// A statement/API mismatch around two-table joins: a `JOIN`
+    /// statement was passed to a single-table API
+    /// ([`Database::explain_sql`], [`Database::prepare`]), or a
+    /// single-table statement to a join API
+    /// ([`Database::explain_join_sql`], [`Database::prepare_join`]).
+    JoinStatement,
     /// The write-ahead log could not be written or replayed (the typed
     /// [`WalError`] carries the reason — torn tail, checksum mismatch,
     /// out-of-order LSN, I/O failure).
@@ -213,6 +220,13 @@ impl fmt::Display for SqlError {
                  database cannot freeze an atomic cross-shard state — \
                  capture a ShardedSnapshot for consistent reads"
             ),
+            SqlError::JoinStatement => write!(
+                f,
+                "two-table JOIN statements go through the join APIs \
+                 (run_sql executes, explain_join_sql explains, \
+                 prepare_join prepares); single-table statements through \
+                 explain_sql / prepare"
+            ),
             SqlError::Wal(e) => write!(f, "write-ahead log error: {e}"),
             SqlError::UnknownSnapshot(name) => {
                 write!(f, "unknown snapshot {name:?}")
@@ -280,6 +294,9 @@ pub enum SqlOutcome {
     /// An `EXPLAIN SELECT` planned without executing (boxed: a plan
     /// carries column snapshots and is much larger than a row batch).
     Plan(Box<QueryPlan>),
+    /// An `EXPLAIN` of a two-table `JOIN` statement: the adaptive
+    /// build-side and exchange-strategy decision, without executing.
+    JoinPlan(Box<JoinPlan>),
     /// An `INSERT` appended rows through the write path; the receipt
     /// reports the row count, the delta fill and whether the append
     /// tripped a compaction.
@@ -685,6 +702,137 @@ impl Database {
         }
     }
 
+    /// Plans a two-table join at one snapshot cut: both sides'
+    /// content, statistics and data versions come from the same
+    /// consistent view, so the join never mixes a pre-ingest left with
+    /// a post-ingest right.
+    fn plan_join_at_snapshot(
+        &self,
+        snap: &Snapshot,
+        q: &SqlQuery,
+    ) -> Result<(JoinPlan, Table, Table), SqlError> {
+        let join = q.join.as_ref().expect("caller verified a join clause");
+        let fetch = |name: &str| -> Result<(Table, TableStats, u64), SqlError> {
+            match (
+                snap.table(name),
+                snap.table_stats(name),
+                snap.data_version(name),
+            ) {
+                (Some(t), Some(s), Some(v)) => Ok((t, s, v)),
+                _ => Err(SqlError::UnknownTable(name.to_string())),
+            }
+        };
+        let (lt, ls, lv) = fetch(&q.table)?;
+        let (rt, rs, rv) = fetch(&join.table)?;
+        let plan = plan_join(
+            &q.query, join, &q.table, &lt, &ls, lv, &rt, &rs, rv, 1, None,
+        )?;
+        Ok((plan, lt, rt))
+    }
+
+    /// Plans a two-table join — the join twin of
+    /// [`Database::plan_read`]. `AS OF` names an explicit frozen state
+    /// for **both** tables and wins outright; otherwise the join reads
+    /// at the open read-only transaction's snapshot if one is pinned,
+    /// else at a snapshot-of-now covering the whole catalogue (one
+    /// atomic cut for both tables).
+    fn plan_join_read(&self, q: &SqlQuery) -> Result<(JoinPlan, Table, Table), SqlError> {
+        let join = q.join.as_ref().expect("caller verified a join clause");
+        if let Some(as_of) = &q.as_of {
+            let (lt, lv, rt, rv, label) = match as_of {
+                AsOf::DataVersion(n) => {
+                    let lt = self.catalogue.table_at_version(&q.table, *n)?;
+                    let rt = self.catalogue.table_at_version(&join.table, *n)?;
+                    (lt, *n, rt, *n, format!("data_version@{n}"))
+                }
+                AsOf::Name(name) => {
+                    let (lv, lt) = self.catalogue.named_table(name, &q.table)?;
+                    let (rv, rt) = self.catalogue.named_table(name, &join.table)?;
+                    (lt, lv, rt, rv, name.clone())
+                }
+            };
+            let (ls, rs) = (TableStats::seed(&lt), TableStats::seed(&rt));
+            let plan = plan_join(
+                &q.query,
+                join,
+                &q.table,
+                &lt,
+                &ls,
+                lv,
+                &rt,
+                &rs,
+                rv,
+                1,
+                Some(label),
+            )?;
+            return Ok((plan, lt, rt));
+        }
+        let owned;
+        let snap = match self.txn_snapshot() {
+            Some(snap) => snap,
+            None => {
+                owned = self.catalogue.snapshot();
+                &owned
+            }
+        };
+        self.plan_join_at_snapshot(snap, q)
+    }
+
+    /// The snapshot join planner: `AS OF` wins over the snapshot,
+    /// matching [`Database::plan_read_at`].
+    fn plan_join_read_at(
+        &self,
+        snap: &Snapshot,
+        q: &SqlQuery,
+    ) -> Result<(JoinPlan, Table, Table), SqlError> {
+        if q.as_of.is_some() {
+            return self.plan_join_read(q);
+        }
+        if !snap.catalogue().is_same(&self.catalogue) {
+            return Err(SqlError::ForeignSnapshot);
+        }
+        self.plan_join_at_snapshot(snap, q)
+    }
+
+    /// Plans and executes a two-table join: hash build over the
+    /// smaller side, probe, then the ordinary aggregation tail over
+    /// the derived rows (see [`crate::join`]).
+    fn run_join(&mut self, q: &SqlQuery) -> Result<QueryOutput, SqlError> {
+        let (plan, lt, rt) = self.plan_join_read(q)?;
+        let derived = join_local(&plan, &lt, &rt);
+        self.run_join_tail(plan.steps(), plan.query(), &derived)
+    }
+
+    /// Runs the aggregation tail of a join over its derived table and
+    /// splices the join steps in front of the report's plan steps. An
+    /// empty derived table (no key matched) short-circuits to zero
+    /// rows — the single-table engine would reject planning it.
+    pub(crate) fn run_join_tail(
+        &mut self,
+        steps: &[PlanStep],
+        agg: &AggregateQuery,
+        derived: &Table,
+    ) -> Result<QueryOutput, SqlError> {
+        if derived.rows() == 0 {
+            return Ok(QueryOutput {
+                rows: Vec::new(),
+                report: crate::engine::ExecutionReport {
+                    algorithm: None,
+                    rows_aggregated: 0,
+                    cycles: 0,
+                    cpt: 0.0,
+                    steps: steps.to_vec(),
+                },
+            });
+        }
+        let plan = self.catalogue.engine().plan(derived, agg)?;
+        let mut out = self.session.run(&plan);
+        let mut all = steps.to_vec();
+        all.append(&mut out.report.steps);
+        out.report.steps = all;
+        Ok(out)
+    }
+
     /// Parses and runs one SQL statement: `SELECT` executes on the
     /// session and returns rows, `EXPLAIN SELECT` returns the typed
     /// plan without executing, `INSERT` appends rows through the
@@ -746,10 +894,18 @@ impl Database {
     pub fn run_sql(&mut self, sql: &str) -> Result<SqlOutcome, SqlError> {
         match parse_statement(sql)? {
             Statement::Select(q) => {
+                if q.join.is_some() {
+                    return Ok(SqlOutcome::Rows(self.run_join(&q)?));
+                }
                 let plan = self.plan_read(&q)?;
                 Ok(SqlOutcome::Rows(self.session.run(&plan)))
             }
-            Statement::Explain(q) => Ok(SqlOutcome::Plan(Box::new(self.plan_read(&q)?))),
+            Statement::Explain(q) => {
+                if q.join.is_some() {
+                    return Ok(SqlOutcome::JoinPlan(Box::new(self.plan_join_read(&q)?.0)));
+                }
+                Ok(SqlOutcome::Plan(Box::new(self.plan_read(&q)?)))
+            }
             Statement::Insert(ins) => {
                 let batch =
                     RowBatch::from_rows(&ins.columns, &ins.rows).map_err(SqlError::Ingest)?;
@@ -1112,10 +1268,26 @@ impl Database {
     pub fn run_sql_at(&mut self, snap: &Snapshot, sql: &str) -> Result<SqlOutcome, SqlError> {
         match parse_statement(sql)? {
             Statement::Select(q) => {
+                if q.join.is_some() {
+                    let (plan, lt, rt) = self.plan_join_read_at(snap, &q)?;
+                    let derived = join_local(&plan, &lt, &rt);
+                    return Ok(SqlOutcome::Rows(self.run_join_tail(
+                        plan.steps(),
+                        plan.query(),
+                        &derived,
+                    )?));
+                }
                 let plan = self.plan_read_at(snap, &q)?;
                 Ok(SqlOutcome::Rows(self.session.run(&plan)))
             }
-            Statement::Explain(q) => Ok(SqlOutcome::Plan(Box::new(self.plan_read_at(snap, &q)?))),
+            Statement::Explain(q) => {
+                if q.join.is_some() {
+                    return Ok(SqlOutcome::JoinPlan(Box::new(
+                        self.plan_join_read_at(snap, &q)?.0,
+                    )));
+                }
+                Ok(SqlOutcome::Plan(Box::new(self.plan_read_at(snap, &q)?)))
+            }
             Statement::Insert(_)
             | Statement::Delete(_)
             | Statement::Update(_)
@@ -1181,6 +1353,9 @@ impl Database {
     pub fn execute_sql(&mut self, sql: &str) -> Result<QueryOutput, SqlError> {
         match parse_statement(sql)? {
             Statement::Select(q) => {
+                if q.join.is_some() {
+                    return self.run_join(&q);
+                }
                 let plan = self.plan_read(&q)?;
                 Ok(self.session.run(&plan))
             }
@@ -1213,7 +1388,74 @@ impl Database {
                 return Err(SqlError::TransactionStatement)
             }
         };
+        if q.join.is_some() {
+            return Err(SqlError::JoinStatement);
+        }
         self.plan_read(&q)
+    }
+
+    /// Plans a two-table `JOIN` statement without executing it,
+    /// returning the typed [`JoinPlan`] — the adaptive build-side and
+    /// strategy decision, renderable with [`JoinPlan::explain`].
+    /// Accepts either a bare `SELECT` or an `EXPLAIN SELECT`.
+    ///
+    /// ```
+    /// use vagg_db::{Database, Table};
+    ///
+    /// let mut db = Database::new();
+    /// db.register(
+    ///     Table::new("orders")
+    ///         .with_column("o_id", vec![1, 2, 3])
+    ///         .with_column("status", vec![0, 1, 0]),
+    /// );
+    /// db.register(
+    ///     Table::new("lineitem")
+    ///         .with_column("order_id", vec![1, 1, 2, 3, 3, 3])
+    ///         .with_column("price", vec![10, 20, 30, 40, 50, 60]),
+    /// );
+    /// let plan = db.explain_join_sql(
+    ///     "SELECT status, COUNT(*), SUM(price) FROM lineitem \
+    ///      JOIN orders ON lineitem.order_id = orders.o_id \
+    ///      GROUP BY status",
+    /// )?;
+    /// assert_eq!(plan.build_table(), "orders"); // the smaller side
+    /// println!("{}", plan.explain());
+    /// # Ok::<(), vagg_db::SqlError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::explain_sql`], plus [`SqlError::JoinStatement`]
+    /// when the statement has no `JOIN` clause.
+    pub fn explain_join_sql(&self, sql: &str) -> Result<JoinPlan, SqlError> {
+        let q = match parse_statement(sql)? {
+            Statement::Select(q) | Statement::Explain(q) => q,
+            Statement::Insert(_) => return Err(SqlError::InsertStatement),
+            Statement::Delete(_) | Statement::Update(_) | Statement::CreateSnapshot(_) => {
+                return Err(SqlError::MutationStatement)
+            }
+            Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
+                return Err(SqlError::TransactionStatement)
+            }
+        };
+        if q.join.is_none() {
+            return Err(SqlError::JoinStatement);
+        }
+        Ok(self.plan_join_read(&q)?.0)
+    }
+
+    /// Parses a two-table `JOIN` statement with `?` placeholders into
+    /// a reusable [`PreparedJoin`]: the join is planned eagerly (so
+    /// unknown tables and unresolvable columns fail here) and the
+    /// built+probed derived table is cached across executions while
+    /// both tables' versions stand still — see [`PreparedJoin`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::prepare`], plus [`SqlError::JoinStatement`] when
+    /// the statement has no `JOIN` clause.
+    pub fn prepare_join(&self, sql: &str) -> Result<PreparedJoin, SqlError> {
+        PreparedJoin::prepare(&self.catalogue, sql)
     }
 
     /// Executes an already-built plan on this session (the prepared

@@ -30,6 +30,7 @@
 //! associative and commutative), so stealing never changes results —
 //! only the makespan. [`ExecutorStats`] exposes the steal traffic.
 
+use crate::join::{JoinMorsel, JoinOutcome};
 use crate::keydict::KeyDictionary;
 use crate::plan::QueryPlan;
 use crate::session::{PartialRun, Session};
@@ -100,6 +101,43 @@ pub(crate) struct MorselOutcome {
     pub(crate) run: PartialRun,
 }
 
+/// Any unit of work the pool schedules: an aggregation morsel (a row
+/// range of one shard's plan) or a join morsel (a build or probe row
+/// range — see [`crate::join`]). Both are seeded, stolen and drained
+/// identically; only the per-morsel execution differs.
+pub(crate) enum Task {
+    /// An aggregation morsel run on the worker's [`Session`].
+    Agg(Morsel),
+    /// A join build/probe morsel (no session needed).
+    Join(JoinMorsel),
+}
+
+impl Task {
+    fn shard(&self) -> usize {
+        match self {
+            Task::Agg(m) => m.shard,
+            Task::Join(m) => m.shard,
+        }
+    }
+}
+
+/// What one [`Task`] produced.
+pub(crate) enum TaskOutcome {
+    /// An aggregation morsel's partial.
+    Agg(MorselOutcome),
+    /// A join morsel's matched pairs.
+    Join(JoinOutcome),
+}
+
+impl TaskOutcome {
+    fn stolen(&self) -> bool {
+        match self {
+            TaskOutcome::Agg(o) => o.stolen,
+            TaskOutcome::Join(o) => o.stolen,
+        }
+    }
+}
+
 /// Schedules measured morsel costs onto `workers` *virtual* workers —
 /// the deterministic simulated-time counterpart of the pool's host-time
 /// scheduling. Host threads race real wall time, and one morsel's wall
@@ -159,9 +197,9 @@ pub(crate) fn virtual_schedule(
 /// One in-flight query: per-worker deques, a completion counter, and
 /// the query's shared key dictionary when the grouping is composite.
 struct Job {
-    deques: Vec<Mutex<VecDeque<Morsel>>>,
+    deques: Vec<Mutex<VecDeque<Task>>>,
     remaining: AtomicUsize,
-    results: Mutex<Vec<MorselOutcome>>,
+    results: Mutex<Vec<TaskOutcome>>,
     dict: Option<Arc<KeyDictionary>>,
     steal: bool,
     /// Set when a morsel panicked on its worker; the coordinator
@@ -262,11 +300,38 @@ impl Executor {
         morsels: Vec<Morsel>,
         dict: Option<Arc<KeyDictionary>>,
     ) -> Vec<MorselOutcome> {
-        if morsels.is_empty() {
+        self.submit(morsels.into_iter().map(Task::Agg).collect(), dict)
+            .into_iter()
+            .map(|o| match o {
+                TaskOutcome::Agg(o) => o,
+                TaskOutcome::Join(_) => unreachable!("aggregation tasks yield Agg outcomes"),
+            })
+            .collect()
+    }
+
+    /// Runs one join phase's morsels (all build, or all probe) to
+    /// completion on the pool — the same seeding, stealing and parking
+    /// as [`Executor::execute`]. The two phases are two submissions:
+    /// the coordinator freezes the build indexes at the barrier in
+    /// between, so probe morsels always see a complete build side.
+    pub(crate) fn execute_join(&self, morsels: Vec<JoinMorsel>) -> Vec<JoinOutcome> {
+        self.submit(morsels.into_iter().map(Task::Join).collect(), None)
+            .into_iter()
+            .map(|o| match o {
+                TaskOutcome::Join(o) => o,
+                TaskOutcome::Agg(_) => unreachable!("join tasks yield Join outcomes"),
+            })
+            .collect()
+    }
+
+    /// The shared submission path: seeds the tasks, wakes the pool,
+    /// parks until the last task completes, re-raises worker panics.
+    fn submit(&self, tasks: Vec<Task>, dict: Option<Arc<KeyDictionary>>) -> Vec<TaskOutcome> {
+        if tasks.is_empty() {
             return Vec::new();
         }
         let workers = self.handles.len();
-        let total = morsels.len();
+        let total = tasks.len();
         let job = Arc::new(Job {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             remaining: AtomicUsize::new(total),
@@ -278,12 +343,12 @@ impl Executor {
         // Seed locality-first: shard i's morsels land on worker i mod W
         // in row order (LIFO pop serves the newest range, FIFO steal
         // takes the oldest).
-        for morsel in morsels {
-            let home = morsel.shard % workers;
+        for task in tasks {
+            let home = task.shard() % workers;
             job.deques[home]
                 .lock()
                 .expect("morsel deque lock")
-                .push_back(morsel);
+                .push_back(task);
         }
         {
             let mut st = self.shared.state.lock().expect("executor state lock");
@@ -306,7 +371,7 @@ impl Executor {
         let mut stats = self.stats.lock().expect("executor stats lock");
         stats.queries += 1;
         stats.morsels += outcomes.len() as u64;
-        stats.steals += outcomes.iter().filter(|o| o.stolen).count() as u64;
+        stats.steals += outcomes.iter().filter(|o| o.stolen()).count() as u64;
         outcomes
     }
 }
@@ -328,7 +393,7 @@ impl Drop for Executor {
 /// stealing on — FIFO off the first non-empty victim, scanning from its
 /// right neighbour so steal pressure spreads instead of piling onto
 /// worker 0.
-fn claim(job: &Job, id: usize) -> Option<(Morsel, bool)> {
+fn claim(job: &Job, id: usize) -> Option<(Task, bool)> {
     if let Some(m) = job.deques[id].lock().expect("morsel deque lock").pop_back() {
         return Some((m, false));
     }
@@ -371,35 +436,36 @@ fn worker_loop(id: usize, shared: &Shared, sim: SimConfig) {
                 st = shared.work.wait(st).expect("executor state lock");
             }
         };
-        while let Some((morsel, stolen)) = claim(&job, id) {
-            // A panic inside a morsel (the session or the dictionary)
-            // must not strand the coordinator on the done condvar: the
-            // morsel is still counted as finished, the job is flagged
-            // failed, and the coordinator re-raises the panic — while
-            // this worker survives to serve later queries.
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let mut run = session.run_partial_range(&morsel.plan, morsel.lo, morsel.hi);
-                if let Some(dict) = &job.dict {
-                    // Composite grouping: trade the locally fused keys
-                    // for shared dense ids so partials merge across
-                    // shards and morsels (see crate::keydict).
-                    run.partial =
-                        dict.remap(run.partial, crate::session::rest_of(&run.key_domains));
-                }
-                run
-            }));
-            match outcome {
-                Ok(run) => job
-                    .results
-                    .lock()
-                    .expect("results lock")
-                    .push(MorselOutcome {
+        while let Some((task, stolen)) = claim(&job, id) {
+            // A panic inside a morsel (the session, the dictionary, or
+            // a join sink) must not strand the coordinator on the done
+            // condvar: the morsel is still counted as finished, the job
+            // is flagged failed, and the coordinator re-raises the
+            // panic — while this worker survives to serve later
+            // queries.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &task {
+                Task::Agg(morsel) => {
+                    let mut run = session.run_partial_range(&morsel.plan, morsel.lo, morsel.hi);
+                    if let Some(dict) = &job.dict {
+                        // Composite grouping: trade the locally fused
+                        // keys for shared dense ids so partials merge
+                        // across shards and morsels (see
+                        // crate::keydict).
+                        run.partial =
+                            dict.remap(run.partial, crate::session::rest_of(&run.key_domains));
+                    }
+                    TaskOutcome::Agg(MorselOutcome {
                         shard: morsel.shard,
                         lo: morsel.lo,
                         worker: id,
                         stolen,
                         run,
-                    }),
+                    })
+                }
+                Task::Join(morsel) => TaskOutcome::Join(morsel.run(stolen)),
+            }));
+            match outcome {
+                Ok(done) => job.results.lock().expect("results lock").push(done),
                 Err(_) => job.failed.store(true, Ordering::Release),
             }
             if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {

@@ -70,6 +70,15 @@ impl KeyDictionary {
         id
     }
 
+    /// The dense id of an already-interned tuple, without interning:
+    /// `None` means the tuple was never seen. This is the probe-side
+    /// primitive of the hash join — probe rows look keys up against the
+    /// build side's interned tuples and drop on a miss.
+    pub fn lookup(&self, tuple: &[u32]) -> Option<u64> {
+        let inner = self.inner.lock().expect("key dictionary lock");
+        inner.ids.get(tuple).copied()
+    }
+
     /// The tuple behind a dense id, or `None` for ids never handed out.
     pub fn resolve(&self, id: u64) -> Option<Vec<u32>> {
         let inner = self.inner.lock().expect("key dictionary lock");

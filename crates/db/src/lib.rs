@@ -173,6 +173,7 @@ pub mod engine;
 pub mod executor;
 pub mod filter;
 pub mod ingest;
+pub mod join;
 pub mod keydict;
 pub mod plan;
 pub mod prepared;
@@ -194,6 +195,7 @@ pub use engine::{CardinalityEstimation, Engine, ExecutionReport, QueryOutput, Ro
 pub use executor::{Executor, ExecutorConfig, ExecutorStats};
 pub use filter::{reference_filter, vector_filter, Predicate};
 pub use ingest::{CompactionPolicy, IngestError, IngestReceipt, RowBatch};
+pub use join::{JoinPlan, JoinStrategy, PreparedJoin};
 pub use keydict::KeyDictionary;
 pub use plan::{PlanError, PlanStep, QueryPlan, ScanMode};
 pub use prepared::PreparedStatement;
@@ -204,8 +206,8 @@ pub use shard::{
 };
 pub use snapshot::{Snapshot, SnapshotStats};
 pub use sql::{
-    parse, parse_statement, parse_template, AsOf, DeleteStatement, InsertStatement, ParamSlot,
-    ParseSqlError, SqlQuery, SqlTemplate, Statement, UpdateStatement,
+    parse, parse_statement, parse_template, AsOf, DeleteStatement, InsertStatement, JoinClause,
+    ParamSlot, ParseSqlError, SqlQuery, SqlTemplate, Statement, UpdateStatement,
 };
 pub use table::{ColumnMeta, ParseCsvError, Table};
 pub use tempdir::TempDir;

@@ -44,6 +44,9 @@ pub enum PlanError {
         /// The offending clause (`"HAVING"` or `"ORDER BY"`).
         clause: &'static str,
     },
+    /// A bare column reference in a join query names a column both
+    /// joined tables have; qualify it (`table.column`).
+    AmbiguousColumn(String),
     /// A prepared statement was executed with the wrong number of
     /// parameters.
     BindArity {
@@ -79,6 +82,11 @@ impl fmt::Display for PlanError {
                 f,
                 "{clause} on AVG is unsupported: AVG is computed on \
                  readback, not materialised as a machine column"
+            ),
+            PlanError::AmbiguousColumn(name) => write!(
+                f,
+                "column {name:?} exists on both joined tables; qualify it \
+                 as table.column"
             ),
             PlanError::BindArity { expected, got } => write!(
                 f,
@@ -191,6 +199,29 @@ pub enum PlanStep {
         /// Row budget.
         usize,
     ),
+    /// Hash-join build phase: the chosen build side's key tuples are
+    /// interned through a [`crate::KeyDictionary`] into dense-id
+    /// buckets (cooperatively, when run on the morsel executor).
+    JoinBuild {
+        /// The build-side table.
+        table: String,
+        /// The build side's join key columns, in ON order.
+        keys: Vec<String>,
+        /// Build-side input rows.
+        rows: usize,
+        /// The planner's KMV distinct estimate of the build key.
+        distinct: u64,
+    },
+    /// Hash-join probe phase: probe-side morsels stream through the
+    /// built dictionary, emitting matched row pairs.
+    JoinProbe {
+        /// The probe-side table.
+        table: String,
+        /// The probe side's join key columns, in ON order.
+        keys: Vec<String>,
+        /// Probe-side input rows.
+        rows: usize,
+    },
 }
 
 impl fmt::Display for PlanStep {
@@ -232,6 +263,21 @@ impl fmt::Display for PlanStep {
                 )
             }
             PlanStep::Limit(rows) => write!(f, "Limit({rows})"),
+            PlanStep::JoinBuild {
+                table,
+                keys,
+                rows,
+                distinct,
+            } => {
+                write!(
+                    f,
+                    "JoinBuild({table}[{}] rows={rows} distinct≈{distinct})",
+                    keys.join("×")
+                )
+            }
+            PlanStep::JoinProbe { table, keys, rows } => {
+                write!(f, "JoinProbe({table}[{}] rows={rows})", keys.join("×"))
+            }
         }
     }
 }

@@ -65,6 +65,9 @@ impl PreparedStatement {
     /// [`crate::Database::prepare`] calls).
     pub(crate) fn prepare(catalogue: &SharedCatalogue, sql: &str) -> Result<Self, SqlError> {
         let template = Arc::new(parse_template(sql)?);
+        if template.join.is_some() {
+            return Err(SqlError::JoinStatement);
+        }
         let mut stmt = Self {
             template,
             cached: None,
@@ -161,39 +164,7 @@ impl PreparedStatement {
     /// [`PlanError::BindType`] when a comparison constant does not fit
     /// `u32` (column values are 32-bit).
     pub fn bind(&self, params: &[u64]) -> Result<AggregateQuery, PlanError> {
-        if params.len() != self.template.slots.len() {
-            return Err(PlanError::BindArity {
-                expected: self.template.slots.len(),
-                got: params.len(),
-            });
-        }
-        let mut query = self.template.query.clone();
-        for (index, (&slot, &value)) in self.template.slots.iter().zip(params).enumerate() {
-            let constant =
-                |value: u64| u32::try_from(value).map_err(|_| PlanError::BindType { index, value });
-            match slot {
-                ParamSlot::FilterConstant => {
-                    let k = constant(value)?;
-                    let (_, pred) = query.filter.as_mut().expect("template has a WHERE slot");
-                    *pred = pred.with_constant(k);
-                }
-                ParamSlot::HavingConstant => {
-                    let k = constant(value)?;
-                    let having = query.having.as_mut().expect("template has a HAVING slot");
-                    having.pred = having.pred.with_constant(k);
-                }
-                ParamSlot::Limit => {
-                    let k =
-                        usize::try_from(value).map_err(|_| PlanError::BindType { index, value })?;
-                    query
-                        .order_by
-                        .as_mut()
-                        .expect("template has a LIMIT slot")
-                        .limit = Some(k);
-                }
-            }
-        }
-        Ok(query)
+        bind_slots(&self.template, params)
     }
 
     /// Binds `params` and executes on `db`'s session, reusing the plan
@@ -324,6 +295,47 @@ impl PreparedStatement {
         });
         Ok(plan)
     }
+}
+
+/// Binds `params` into a template's `?` slots, yielding the concrete
+/// query one execution runs — the shared bind half of
+/// [`PreparedStatement`] and [`crate::join::PreparedJoin`].
+pub(crate) fn bind_slots(
+    template: &SqlTemplate,
+    params: &[u64],
+) -> Result<AggregateQuery, PlanError> {
+    if params.len() != template.slots.len() {
+        return Err(PlanError::BindArity {
+            expected: template.slots.len(),
+            got: params.len(),
+        });
+    }
+    let mut query = template.query.clone();
+    for (index, (&slot, &value)) in template.slots.iter().zip(params).enumerate() {
+        let constant =
+            |value: u64| u32::try_from(value).map_err(|_| PlanError::BindType { index, value });
+        match slot {
+            ParamSlot::FilterConstant => {
+                let k = constant(value)?;
+                let (_, pred) = query.filter.as_mut().expect("template has a WHERE slot");
+                *pred = pred.with_constant(k);
+            }
+            ParamSlot::HavingConstant => {
+                let k = constant(value)?;
+                let having = query.having.as_mut().expect("template has a HAVING slot");
+                having.pred = having.pred.with_constant(k);
+            }
+            ParamSlot::Limit => {
+                let k = usize::try_from(value).map_err(|_| PlanError::BindType { index, value })?;
+                query
+                    .order_by
+                    .as_mut()
+                    .expect("template has a LIMIT slot")
+                    .limit = Some(k);
+            }
+        }
+    }
+    Ok(query)
 }
 
 #[cfg(test)]

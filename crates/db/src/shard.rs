@@ -57,6 +57,10 @@ use crate::engine::{Engine, ExecutionReport, QueryOutput, Row};
 use crate::executor::{Executor, ExecutorConfig, ExecutorStats, Morsel, MorselOutcome};
 use crate::filter::Predicate;
 use crate::ingest::{CompactionPolicy, RowBatch};
+use crate::join::{
+    derived_table, plan_join, side_columns, ColumnSet, JoinBuildSink, JoinIndex, JoinMorsel,
+    JoinPlan, JoinStrategy, JoinWork,
+};
 use crate::keydict::{permute, KeyDictionary};
 use crate::plan::{PlanError, QueryPlan};
 use crate::prepared::PreparedStatement;
@@ -65,6 +69,7 @@ use crate::recovery;
 use crate::session::agg_column;
 use crate::session::assemble_rows;
 use crate::snapshot::{Snapshot, SnapshotStats};
+use crate::sql::SqlQuery;
 use crate::sql::{parse_statement, parse_template, Statement};
 use crate::table::Table;
 use crate::wal::{self, WalError, WalRecord, WalWriter};
@@ -802,6 +807,12 @@ impl ShardedDatabase {
                 if q.as_of.is_some() {
                     return Err(SqlError::ShardedTimeTravel);
                 }
+                if q.join.is_some() {
+                    // An atomic cross-shard cut: both join sides read
+                    // the same moment on every shard.
+                    let cut = self.snapshot();
+                    return self.run_join_cut(&cut, &q);
+                }
                 self.run_query(&q.table, &q.query)
             }
             Statement::Explain(_) => Err(SqlError::ExplainStatement),
@@ -838,6 +849,15 @@ impl ShardedDatabase {
                 if q.as_of.is_some() {
                     return Err(SqlError::ShardedTimeTravel);
                 }
+                if q.join.is_some() {
+                    self.check_snapshot(snap)?;
+                    for (shard, cut) in self.shards.iter().zip(snap.shards.iter()) {
+                        if !cut.catalogue().is_same(shard.catalogue()) {
+                            return Err(SqlError::ForeignSnapshot);
+                        }
+                    }
+                    return self.run_join_cut(snap, &q);
+                }
                 self.run_query_at(snap, &q.table, &q.query)
             }
             Statement::Explain(_) => Err(SqlError::ExplainStatement),
@@ -870,12 +890,47 @@ impl ShardedDatabase {
         if q.as_of.is_some() {
             return Err(SqlError::ShardedTimeTravel);
         }
+        if q.join.is_some() {
+            return Err(SqlError::JoinStatement);
+        }
         let shard = self
             .first_populated_shard(&q.table)?
             .ok_or(SqlError::Plan(PlanError::EmptyTable))?;
         self.shards[shard]
             .catalogue()
             .plan_query(&q.table, &q.query)
+    }
+
+    /// Plans a two-table `JOIN` statement against an atomic cross-shard
+    /// cut without executing it: the [`JoinPlan`] carries the §V-D
+    /// build-side choice and the sharded exchange strategy
+    /// ([`JoinStrategy::Broadcast`] or [`JoinStrategy::Partition`])
+    /// picked from the merged [`TableStats`] of both sides. Accepts a
+    /// bare `SELECT` or an `EXPLAIN SELECT`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedDatabase::explain_sql`], plus
+    /// [`SqlError::JoinStatement`] when the statement has no `JOIN`
+    /// clause.
+    pub fn explain_join_sql(&self, sql: &str) -> Result<JoinPlan, SqlError> {
+        let q = match parse_statement(sql)? {
+            Statement::Select(q) | Statement::Explain(q) => q,
+            Statement::Insert(_) => return Err(SqlError::InsertStatement),
+            Statement::Delete(_) | Statement::Update(_) => return Err(SqlError::MutationStatement),
+            Statement::CreateSnapshot(_) => return Err(SqlError::ShardedTimeTravel),
+            Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
+                return Err(SqlError::TransactionStatement)
+            }
+        };
+        if q.as_of.is_some() {
+            return Err(SqlError::ShardedTimeTravel);
+        }
+        if q.join.is_none() {
+            return Err(SqlError::JoinStatement);
+        }
+        let cut = self.snapshot();
+        self.plan_join_cut(&cut, &q)
     }
 
     /// Prepares a statement once against every shard; execute it with
@@ -889,6 +944,9 @@ impl ShardedDatabase {
     /// non-empty shard).
     pub fn prepare(&self, sql: &str) -> Result<ShardedStatement, SqlError> {
         let template = Arc::new(parse_template(sql)?);
+        if template.join.is_some() {
+            return Err(SqlError::JoinStatement);
+        }
         // Validate eagerly where there are rows to plan against (an
         // empty shard cannot plan until a re-register populates it).
         if let Some(i) = self.first_populated_shard(&template.table)? {
@@ -1093,6 +1151,189 @@ impl ShardedDatabase {
             return Err(SqlError::Plan(PlanError::EmptyTable));
         }
         self.execute_plans(query, plans)
+    }
+
+    /// Plans a two-table join at a cross-shard cut: schemas from any
+    /// shard's partition (all shards share the schema), statistics and
+    /// data versions **merged** across the cut — so the §V-D build-side
+    /// choice and the broadcast/partition decision see the whole
+    /// table, not one partition.
+    fn plan_join_cut(&self, cut: &ShardedSnapshot, q: &SqlQuery) -> Result<JoinPlan, SqlError> {
+        let join = q.join.as_ref().expect("caller verified a join clause");
+        let fetch = |name: &str| -> Result<(Table, TableStats, u64), SqlError> {
+            let missing = || SqlError::UnknownTable(name.to_string());
+            let schema = cut
+                .shards
+                .iter()
+                .find_map(|s| s.table(name))
+                .ok_or_else(missing)?;
+            let stats = cut.table_stats(name).ok_or_else(missing)?;
+            let version = cut.data_version(name).ok_or_else(missing)?;
+            Ok((schema, stats, version))
+        };
+        let (lt, ls, lv) = fetch(&q.table)?;
+        let (rt, rs, rv) = fetch(&join.table)?;
+        Ok(plan_join(
+            &q.query,
+            join,
+            &q.table,
+            &lt,
+            &ls,
+            lv,
+            &rt,
+            &rs,
+            rv,
+            self.shards.len(),
+            None,
+        )?)
+    }
+
+    /// Executes a two-table join at a cross-shard cut — the sharded
+    /// exchange (see [`crate::join`]):
+    ///
+    /// 1. **Build**, cooperatively: the build side's partitions are
+    ///    concatenated into one global row id space and split into
+    ///    morsels on the executor; every worker interns key tuples into
+    ///    the shared sink(s) — one global sink under
+    ///    [`JoinStrategy::Broadcast`], one sink per shard keyed by a
+    ///    hash of the join key under [`JoinStrategy::Partition`].
+    /// 2. **Probe**, streamed: after the coordinator freezes the
+    ///    indexes (the phase barrier), each shard's probe partition is
+    ///    morselized and streamed through them; partitioned probes
+    ///    route each row to the one index its key hashes to.
+    /// 3. **Aggregate**: the matched pairs gather per-shard derived
+    ///    tables, and the ordinary sharded aggregation pipeline
+    ///    ([`ShardedDatabase::run_sql`]'s morsel + merge + coordinator
+    ///    tail) runs over them unchanged.
+    fn run_join_cut(
+        &mut self,
+        cut: &ShardedSnapshot,
+        q: &SqlQuery,
+    ) -> Result<ShardedOutput, SqlError> {
+        let plan = self.plan_join_cut(cut, q)?;
+        let parts = |name: &str| -> Result<Vec<Table>, SqlError> {
+            cut.shards
+                .iter()
+                .map(|s| {
+                    s.table(name)
+                        .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+                })
+                .collect()
+        };
+        let (lparts, rparts) = (parts(plan.left_table())?, parts(plan.right_table())?);
+        let (bparts, pparts) = if plan.build_right() {
+            (rparts, lparts)
+        } else {
+            (lparts, rparts)
+        };
+        let (bkeys, pkeys) = (plan.build_keys(), plan.probe_keys());
+        let build = ColumnSet::concat(&bparts, &side_columns(&plan, true));
+        let morsel_rows = self.executor.config().morsel_rows.max(1);
+
+        // Build phase: one sink broadcasts, N sinks partition by key
+        // hash. Build morsels carry a spreading tag so they seed
+        // across the whole pool.
+        let nparts = match plan.strategy() {
+            JoinStrategy::Partition => self.shards.len(),
+            JoinStrategy::Local | JoinStrategy::Broadcast => 1,
+        };
+        let sinks: Arc<Vec<JoinBuildSink>> =
+            Arc::new((0..nparts).map(|_| JoinBuildSink::new()).collect());
+        let build_keys: Arc<Vec<Arc<[u32]>>> = Arc::new(build.keys(&bkeys));
+        let build_rows = build_keys.first().map_or(0, |k| k.len());
+        let mut morsels = Vec::new();
+        let (mut lo, mut tag) = (0, 0);
+        while lo < build_rows {
+            let hi = (lo + morsel_rows).min(build_rows);
+            morsels.push(JoinMorsel {
+                shard: tag,
+                keys: Arc::clone(&build_keys),
+                lo,
+                hi,
+                work: JoinWork::Build {
+                    sinks: Arc::clone(&sinks),
+                },
+            });
+            tag += 1;
+            lo = hi;
+        }
+        self.executor.execute_join(morsels);
+
+        // Phase barrier: freeze the sinks into deterministic indexes,
+        // then stream each shard's probe partition through them.
+        let indexes: Arc<Vec<JoinIndex>> =
+            Arc::new(sinks.iter().map(JoinBuildSink::freeze).collect());
+        let probe_sets: Vec<ColumnSet> = pparts
+            .iter()
+            .map(|t| ColumnSet::from_table(t, &side_columns(&plan, false)))
+            .collect();
+        let mut probes = Vec::new();
+        for (shard, set) in probe_sets.iter().enumerate() {
+            let keys: Arc<Vec<Arc<[u32]>>> = Arc::new(set.keys(&pkeys));
+            let rows = pparts[shard].rows();
+            let mut lo = 0;
+            while lo < rows {
+                let hi = (lo + morsel_rows).min(rows);
+                probes.push(JoinMorsel {
+                    shard,
+                    keys: Arc::clone(&keys),
+                    lo,
+                    hi,
+                    work: JoinWork::Probe {
+                        indexes: Arc::clone(&indexes),
+                    },
+                });
+                lo = hi;
+            }
+        }
+        let mut outcomes = self.executor.execute_join(probes);
+        // Morsels complete in racy order; pair order must not.
+        outcomes.sort_by_key(|o| (o.shard, o.lo));
+
+        // Gather per-shard derived tables and run the ordinary sharded
+        // aggregation pipeline over them.
+        let derived: Vec<Table> = (0..self.shards.len())
+            .map(|s| {
+                let pairs: Vec<(u32, u32)> = outcomes
+                    .iter()
+                    .filter(|o| o.shard == s)
+                    .flat_map(|o| o.pairs.iter().copied())
+                    .collect();
+                derived_table(&plan, &pairs, &probe_sets[s], &build)
+            })
+            .collect();
+        let engine = self.shards[0].catalogue().engine();
+        let plans: Vec<Option<QueryPlan>> = derived
+            .iter()
+            .map(|t| {
+                if t.rows() == 0 {
+                    Ok(None)
+                } else {
+                    engine.plan(t, plan.query()).map(Some)
+                }
+            })
+            .collect::<Result<_, PlanError>>()?;
+        if plans.iter().all(Option::is_none) {
+            // No key matched anywhere: zero rows, not a planning error.
+            return Ok(ShardedOutput {
+                rows: Vec::new(),
+                report: ExecutionReport {
+                    algorithm: None,
+                    rows_aggregated: 0,
+                    cycles: 0,
+                    cpt: 0.0,
+                    steps: plan.steps().to_vec(),
+                },
+                shard_reports: Vec::new(),
+                worker_loads: vec![0; self.executor.worker_count()],
+                steals: 0,
+            });
+        }
+        let mut out = self.execute_plans(plan.query(), plans)?;
+        let mut steps = plan.steps().to_vec();
+        steps.append(&mut out.report.steps);
+        out.report.steps = steps;
+        Ok(out)
     }
 
     /// Phase 2 + 3: split every shard's plan into morsels, run them on

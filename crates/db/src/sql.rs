@@ -19,7 +19,21 @@
 //! `AVG(col)` and `<cmp>` is `<>` / `!=` (native in the ISA's comparison
 //! class, Table III) or `>` / `<` (composed with the arithmetic class's
 //! `maximum` — see [`crate::filter`]). `=`, `<=` and `>=` remain
-//! unsupported: they would need a mask-complement instruction.
+//! unsupported as *comparisons*: they would need a mask-complement
+//! instruction.
+//!
+//! The `FROM` clause optionally names an inner equi-join:
+//!
+//! ```text
+//! FROM <a> [INNER] JOIN <b> ON a.k = b.k [AND a.k2 = b.k2 ...]
+//! ```
+//!
+//! Join keys must be table-qualified; `=` is accepted *only* in `ON`
+//! (keys are equi-compared on the host hash table, not through the
+//! vector ISA). With a join, every column reference elsewhere in the
+//! statement may be qualified (`a.col`), and must be when the bare name
+//! exists on both sides. See [`crate::JoinPlan`] for planning and
+//! execution.
 //!
 //! The write path adds
 //!
@@ -68,13 +82,32 @@ use std::fmt;
 /// A parsed statement: the target table plus the structured query.
 #[derive(Debug, Clone)]
 pub struct SqlQuery {
-    /// The `FROM` table name.
+    /// The `FROM` table name (the probe-side *candidate* when a
+    /// [`JoinClause`] is present — the planner picks the actual build
+    /// side from statistics).
     pub table: String,
-    /// The structured query the engine executes.
+    /// The structured query the engine executes. With a join, column
+    /// references may be table-qualified (`t.col`) and are resolved
+    /// against the joined pair at plan time.
     pub query: AggregateQuery,
     /// Time travel: `None` reads the current state, `Some` reads a
     /// named or per-version historical state.
     pub as_of: Option<AsOf>,
+    /// An equi-join: `FROM a JOIN b ON a.k = b.k [AND ...]`. `None`
+    /// for the single-table query family.
+    pub join: Option<JoinClause>,
+}
+
+/// The `JOIN ... ON` clause of an equi-join `SELECT`: the second table
+/// and the equi-key pairs, normalised to `(FROM-side column,
+/// JOIN-side column)` regardless of how the SQL ordered each equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    /// The joined (right-hand) table name.
+    pub table: String,
+    /// The equi-key column pairs: `(column of the FROM table, column
+    /// of the joined table)`, in SQL order.
+    pub on: Vec<(String, String)>,
 }
 
 /// The `AS OF` clause: which historical state a `SELECT` reads.
@@ -190,6 +223,9 @@ pub struct SqlTemplate {
     /// The placeholders in SQL order (empty for a fully literal
     /// statement, which is a valid zero-parameter template).
     pub slots: Vec<ParamSlot>,
+    /// The equi-join clause, when the template is a two-table
+    /// statement (consumed by [`crate::Database::prepare_join`]).
+    pub join: Option<JoinClause>,
 }
 
 /// Why a statement failed to parse.
@@ -349,6 +385,7 @@ enum Token {
     Ident(String),
     Number(u64),
     Comma,
+    Dot,
     LParen,
     RParen,
     Star,
@@ -366,6 +403,7 @@ impl Token {
             Token::Ident(s) => s.clone(),
             Token::Number(n) => n.to_string(),
             Token::Comma => ",".into(),
+            Token::Dot => ".".into(),
             Token::LParen => "(".into(),
             Token::RParen => ")".into(),
             Token::Star => "*".into(),
@@ -390,6 +428,10 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseSqlError> {
             ',' => {
                 chars.next();
                 out.push(Token::Comma);
+            }
+            '.' => {
+                chars.next();
+                out.push(Token::Dot);
             }
             '(' => {
                 chars.next();
@@ -547,6 +589,26 @@ impl Parser {
         matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
     }
 
+    /// A column reference: a bare `col` or a table-qualified `t.col`
+    /// (joins qualify columns; against a single table a qualified name
+    /// simply fails column resolution at plan time).
+    fn column(&mut self, expected: &'static str) -> Result<String, ParseSqlError> {
+        let first = self.ident(expected)?;
+        self.maybe_qualify(first)
+    }
+
+    /// Extends an already-consumed identifier with a `.col` suffix when
+    /// one follows.
+    fn maybe_qualify(&mut self, first: String) -> Result<String, ParseSqlError> {
+        if self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let col = self.ident("a column name after `.`")?;
+            Ok(format!("{first}.{col}"))
+        } else {
+            Ok(first)
+        }
+    }
+
     /// Records a `?` placeholder, or rejects it outside a template.
     fn record_slot(&mut self, slot: ParamSlot) -> Result<(), ParseSqlError> {
         match &mut self.slots {
@@ -573,7 +635,7 @@ fn parse_aggregate(p: &mut Parser, name: &str) -> Result<(AggFn, Option<String>)
     p.expect(Token::LParen, "(")?;
     let col = match p.next("aggregate argument")? {
         Token::Star if fun == AggFn::Count => None,
-        Token::Ident(c) if fun != AggFn::Count => Some(c),
+        Token::Ident(c) if fun != AggFn::Count => Some(p.maybe_qualify(c)?),
         Token::Star => {
             return Err(ParseSqlError::Expected {
                 expected: "a column name (only COUNT takes *)",
@@ -772,7 +834,7 @@ fn parse_where(p: &mut Parser) -> Result<Option<(String, Predicate)>, ParseSqlEr
         return Ok(None);
     }
     p.pos += 1;
-    let col = p.ident("the filtered column")?;
+    let col = p.column("the filtered column")?;
     Ok(Some((col, parse_predicate(p, ParamSlot::FilterConstant)?)))
 }
 
@@ -906,14 +968,25 @@ pub fn parse_template(sql: &str) -> Result<SqlTemplate, ParseSqlError> {
         table: q.table,
         query: q.query,
         slots: p.slots.expect("template parser keeps its slot list"),
+        join: q.join,
     })
+}
+
+// One `t.col` reference of an ON clause — join keys must be
+// table-qualified so each equality attributes unambiguously.
+fn parse_on_ref(p: &mut Parser) -> Result<(String, String), ParseSqlError> {
+    let table = p.ident("a table-qualified join key (t.col)")?;
+    p.expect(Token::Dot, "`.` (join keys are table-qualified)")?;
+    let col = p.ident("a column name after `.`")?;
+    Ok((table, col))
 }
 
 fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
     p.keyword("SELECT")?;
-    // Grouping columns: plain identifiers before the first aggregate
-    // call (aggregates are recognised by their parenthesis).
-    let group_col = p.ident("the grouping column")?;
+    // Grouping columns: plain (possibly table-qualified) identifiers
+    // before the first aggregate call (aggregates are recognised by
+    // their parenthesis).
+    let group_col = p.column("the grouping column")?;
     p.expect(Token::Comma, ",")?;
     let mut group_rest: Vec<String> = Vec::new();
 
@@ -923,7 +996,7 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
     loop {
         let name = p.ident("a grouping column or aggregate function")?;
         if aggregates.is_empty() && p.peek() != Some(&Token::LParen) {
-            group_rest.push(name);
+            group_rest.push(p.maybe_qualify(name)?);
             p.expect(Token::Comma, ",")?;
             continue;
         }
@@ -954,6 +1027,49 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
     p.keyword("FROM")?;
     let table = p.ident("the table name")?;
 
+    // Optional `[INNER] JOIN b ON a.k = b.k [AND ...]` equi-join.
+    let mut join: Option<JoinClause> = None;
+    if p.peek_is_keyword("INNER") || p.peek_is_keyword("JOIN") {
+        if p.peek_is_keyword("INNER") {
+            p.pos += 1;
+        }
+        p.keyword("JOIN")?;
+        let right = p.ident("the joined table name")?;
+        if right == table {
+            return Err(ParseSqlError::Expected {
+                expected: "a second table (self-joins are not supported)",
+                found: right,
+            });
+        }
+        p.keyword("ON")?;
+        let mut on: Vec<(String, String)> = Vec::new();
+        loop {
+            let (lt, lc) = parse_on_ref(p)?;
+            // `=` is accepted *here only*: join keys are equi-compared
+            // on the host hash table, not through the vector ISA's
+            // comparison class (where `=` stays unsupported).
+            p.expect(Token::Equals, "= (join keys are equi-compared)")?;
+            let (rt, rc) = parse_on_ref(p)?;
+            let pair = if lt == table && rt == right {
+                (lc, rc)
+            } else if lt == right && rt == table {
+                (rc, lc)
+            } else {
+                return Err(ParseSqlError::Expected {
+                    expected: "ON columns qualified by the two joined tables",
+                    found: format!("{lt}.{lc} = {rt}.{rc}"),
+                });
+            };
+            on.push(pair);
+            if p.peek_is_keyword("AND") {
+                p.pos += 1;
+            } else {
+                break;
+            }
+        }
+        join = Some(JoinClause { table: right, on });
+    }
+
     // Optional `AS OF <name | data_version N>` time travel.
     let mut as_of: Option<AsOf> = None;
     if p.peek_is_keyword("AS") {
@@ -980,10 +1096,10 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
 
     p.keyword("GROUP")?;
     p.keyword("BY")?;
-    let mut grouped_cols = vec![p.ident("the GROUP BY column")?];
+    let mut grouped_cols = vec![p.column("the GROUP BY column")?];
     while p.peek() == Some(&Token::Comma) {
         p.pos += 1;
-        grouped_cols.push(p.ident("a GROUP BY column")?);
+        grouped_cols.push(p.column("a GROUP BY column")?);
     }
     let mut selected_cols = vec![group_col.clone()];
     selected_cols.extend(group_rest.iter().cloned());
@@ -1023,7 +1139,18 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
         p.pos += 1;
         p.keyword("BY")?;
         let name = p.ident("an ORDER BY key")?;
-        let key = if p.peek() == Some(&Token::LParen) {
+        let key = if p.peek() == Some(&Token::Dot) {
+            // A qualified name is never an aggregate call.
+            let name = p.maybe_qualify(name)?;
+            if name == group_col {
+                OrderKey::Group
+            } else {
+                return Err(ParseSqlError::Expected {
+                    expected: "the grouping column or an aggregate",
+                    found: name,
+                });
+            }
+        } else if p.peek() == Some(&Token::LParen) {
             let (fun, col) = parse_aggregate(p, &name)?;
             if let (Some(prev), Some(col)) = (&value_col, &col) {
                 if prev != col {
@@ -1103,6 +1230,7 @@ fn parse_select(p: &mut Parser) -> Result<SqlQuery, ParseSqlError> {
     Ok(SqlQuery {
         table,
         as_of,
+        join,
         query: AggregateQuery {
             group_by: group_col,
             group_by_rest: group_rest,

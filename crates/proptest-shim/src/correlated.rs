@@ -1,0 +1,274 @@
+//! A two-table correlated-key strategy for join property tests.
+//!
+//! Join differentials need two tables whose key columns share a domain:
+//! sampling each side's keys independently and uniformly makes matches
+//! vanishingly rare (or forces `prop_assume!` rejection loops), so this
+//! module draws both sides from one explicit pool of distinct key
+//! tuples. The fraction of the pool reachable from *both* sides
+//! ([`JoinConfig::overlap_pct`]) and the fraction of rows concentrated
+//! on a small hot subset ([`JoinConfig::skew_pct`]) are tunables, and
+//! every sample is produced directly — no rejection sampling anywhere.
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+
+/// Tunables for [`join_tables`].
+#[derive(Debug, Clone)]
+pub struct JoinConfig {
+    /// Number of key columns per table (composite join keys when > 1).
+    pub key_columns: usize,
+    /// Number of distinct key tuples in the shared pool.
+    pub domain: usize,
+    /// Percentage (0..=100) of the pool reachable from **both** sides;
+    /// the rest is split into left-only and right-only keys, so 0 means
+    /// the tables never match and 100 means every key can match.
+    pub overlap_pct: u32,
+    /// Percentage (0..=100) of each side's rows drawn from a small hot
+    /// subset of its pool instead of uniformly — 0 is uniform, high
+    /// values model the heavy-hitter distributions that stress
+    /// broadcast-vs-partition choices.
+    pub skew_pct: u32,
+    /// Inclusive row-count range for the left table.
+    pub left_rows: (usize, usize),
+    /// Inclusive row-count range for the right table.
+    pub right_rows: (usize, usize),
+    /// Exclusive upper bound for the generated value columns.
+    pub value_bound: u32,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        Self {
+            key_columns: 1,
+            domain: 16,
+            overlap_pct: 60,
+            skew_pct: 25,
+            left_rows: (1, 48),
+            right_rows: (1, 48),
+            value_bound: 1_000,
+        }
+    }
+}
+
+/// One generated table side: column-major key columns plus one value
+/// column of the same length.
+#[derive(Debug, Clone)]
+pub struct SideData {
+    /// Key columns, column-major (`keys[c][row]`).
+    pub keys: Vec<Vec<u32>>,
+    /// The value column.
+    pub vals: Vec<u32>,
+}
+
+impl SideData {
+    /// Number of rows in this side.
+    pub fn rows(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The key tuple of one row.
+    pub fn key_tuple(&self, row: usize) -> Vec<u32> {
+        self.keys.iter().map(|c| c[row]).collect()
+    }
+}
+
+/// The sampled pair of correlated tables.
+#[derive(Debug, Clone)]
+pub struct TablePair {
+    /// Number of key columns in each side.
+    pub key_columns: usize,
+    /// The left table's data.
+    pub left: SideData,
+    /// The right table's data.
+    pub right: SideData,
+}
+
+/// The strategy returned by [`join_tables`].
+#[derive(Debug, Clone)]
+pub struct JoinTables {
+    cfg: JoinConfig,
+}
+
+/// A pair of tables whose keys come from one shared pool, per `cfg`.
+pub fn join_tables(cfg: JoinConfig) -> JoinTables {
+    assert!(cfg.key_columns >= 1, "join keys need at least one column");
+    assert!(cfg.domain >= 1, "the key pool cannot be empty");
+    assert!(cfg.overlap_pct <= 100 && cfg.skew_pct <= 100);
+    assert!(cfg.left_rows.0 <= cfg.left_rows.1, "empty left row range");
+    assert!(
+        cfg.right_rows.0 <= cfg.right_rows.1,
+        "empty right row range"
+    );
+    assert!(cfg.value_bound >= 1, "value bound must be positive");
+    JoinTables { cfg }
+}
+
+/// `domain` distinct key tuples: the first component is a shuffled
+/// contiguous window (distinct by construction — no rejection), the
+/// remaining components are free random values. Components stay small
+/// (`< SPREAD + domain`): grouping engines commonly size tables by the
+/// key domain, so huge key values would make generated queries
+/// needlessly expensive without adding coverage.
+fn distinct_pool(rng: &mut Rng, domain: usize, key_columns: usize) -> Vec<Vec<u32>> {
+    const SPREAD: u64 = 240;
+    let offset = rng.next_below(SPREAD) as u32;
+    let mut first: Vec<u32> = (0..domain as u32).map(|i| offset.wrapping_add(i)).collect();
+    for i in (1..first.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        first.swap(i, j);
+    }
+    first
+        .into_iter()
+        .map(|head| {
+            let mut tuple = Vec::with_capacity(key_columns);
+            tuple.push(head);
+            for _ in 1..key_columns {
+                tuple.push(rng.next_below(SPREAD) as u32);
+            }
+            tuple
+        })
+        .collect()
+}
+
+/// Splits the pool into the tuples one side may use: the shared prefix
+/// plus that side's exclusive slice of the remainder. Degenerate
+/// configs (a side left with nothing) fall back to the whole pool so
+/// the side can still produce rows.
+fn side_pool(pool: &[Vec<u32>], shared: usize, left: bool) -> Vec<&[u32]> {
+    let rest = &pool[shared..];
+    let cut = rest.len().div_ceil(2);
+    let own = if left { &rest[..cut] } else { &rest[cut..] };
+    let picks: Vec<&[u32]> = pool[..shared]
+        .iter()
+        .chain(own.iter())
+        .map(Vec::as_slice)
+        .collect();
+    if picks.is_empty() {
+        pool.iter().map(Vec::as_slice).collect()
+    } else {
+        picks
+    }
+}
+
+/// Fills one side: each row keys from `picks` (hot subset with
+/// probability `skew_pct`%) and carries a bounded random value.
+fn sample_side(rng: &mut Rng, picks: &[&[u32]], rows: usize, cfg: &JoinConfig) -> SideData {
+    let hot = picks.len().div_ceil(8);
+    let mut keys = vec![Vec::with_capacity(rows); cfg.key_columns];
+    let mut vals = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let from_hot = rng.next_below(100) < cfg.skew_pct as u64;
+        let bound = if from_hot { hot } else { picks.len() };
+        let tuple = picks[rng.next_below(bound as u64) as usize];
+        for (column, part) in keys.iter_mut().zip(tuple) {
+            column.push(*part);
+        }
+        vals.push(rng.next_below(cfg.value_bound as u64) as u32);
+    }
+    SideData { keys, vals }
+}
+
+impl Strategy for JoinTables {
+    type Value = TablePair;
+
+    fn sample(&self, rng: &mut Rng) -> TablePair {
+        let cfg = &self.cfg;
+        let pool = distinct_pool(rng, cfg.domain, cfg.key_columns);
+        let shared = cfg.domain * cfg.overlap_pct as usize / 100;
+        let left_picks = side_pool(&pool, shared, true);
+        let right_picks = side_pool(&pool, shared, false);
+        let rows = |rng: &mut Rng, (lo, hi): (usize, usize)| {
+            lo + rng.next_below((hi - lo) as u64 + 1) as usize
+        };
+        let left_rows = rows(rng, cfg.left_rows);
+        let right_rows = rows(rng, cfg.right_rows);
+        TablePair {
+            key_columns: cfg.key_columns,
+            left: sample_side(rng, &left_picks, left_rows, cfg),
+            right: sample_side(rng, &right_picks, right_rows, cfg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn tuples(side: &SideData) -> BTreeSet<Vec<u32>> {
+        (0..side.rows()).map(|r| side.key_tuple(r)).collect()
+    }
+
+    #[test]
+    fn pool_tuples_are_distinct() {
+        let mut rng = Rng::seeded_from("pool_tuples_are_distinct");
+        for columns in 1..=3 {
+            let pool = distinct_pool(&mut rng, 64, columns);
+            let unique: BTreeSet<_> = pool.iter().cloned().collect();
+            assert_eq!(unique.len(), 64);
+            assert!(pool.iter().all(|t| t.len() == columns));
+        }
+    }
+
+    #[test]
+    fn zero_overlap_never_matches() {
+        let cfg = JoinConfig {
+            overlap_pct: 0,
+            domain: 12,
+            left_rows: (8, 32),
+            right_rows: (8, 32),
+            ..JoinConfig::default()
+        };
+        let strat = join_tables(cfg);
+        let mut rng = Rng::seeded_from("zero_overlap_never_matches");
+        for _ in 0..32 {
+            let pair = strat.sample(&mut rng);
+            let shared: Vec<_> = tuples(&pair.left)
+                .intersection(&tuples(&pair.right))
+                .cloned()
+                .collect();
+            assert!(shared.is_empty(), "disjoint pools matched: {shared:?}");
+        }
+    }
+
+    #[test]
+    fn full_overlap_produces_matches() {
+        let cfg = JoinConfig {
+            overlap_pct: 100,
+            domain: 4,
+            left_rows: (24, 24),
+            right_rows: (24, 24),
+            ..JoinConfig::default()
+        };
+        let strat = join_tables(cfg);
+        let mut rng = Rng::seeded_from("full_overlap_produces_matches");
+        for _ in 0..32 {
+            let pair = strat.sample(&mut rng);
+            let matched = tuples(&pair.left)
+                .intersection(&tuples(&pair.right))
+                .count();
+            assert!(matched > 0, "24 rows over 4 shared keys must collide");
+        }
+    }
+
+    #[test]
+    fn composite_keys_and_row_ranges_are_honoured() {
+        let cfg = JoinConfig {
+            key_columns: 2,
+            left_rows: (3, 7),
+            right_rows: (1, 5),
+            ..JoinConfig::default()
+        };
+        let strat = join_tables(cfg);
+        let mut rng = Rng::seeded_from("composite_keys_and_row_ranges");
+        for _ in 0..64 {
+            let pair = strat.sample(&mut rng);
+            assert_eq!(pair.key_columns, 2);
+            assert_eq!(pair.left.keys.len(), 2);
+            assert!((3..=7).contains(&pair.left.rows()));
+            assert!((1..=5).contains(&pair.right.rows()));
+            assert_eq!(pair.left.keys[0].len(), pair.left.vals.len());
+            assert_eq!(pair.left.keys[1].len(), pair.left.vals.len());
+        }
+    }
+}

@@ -6,6 +6,9 @@
 //! `prop_map` / `prop_flat_map`, [`Just`], `any::<T>()`, integer-range
 //! strategies, tuples, [`collection::vec`], [`option::of`],
 //! [`sample::select`], [`prop_oneof!`], and the `prop_assert*` macros.
+//! On top of the stock surface, [`correlated`] adds a two-table
+//! correlated-key strategy for join differentials (shared key domain
+//! with controllable overlap and skew, no rejection sampling).
 //!
 //! Differences from real proptest, by design:
 //!
@@ -17,6 +20,7 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod correlated;
 pub mod option;
 pub mod prelude;
 pub mod sample;

@@ -2,6 +2,7 @@
 
 pub use crate as prop;
 pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::correlated::{join_tables, JoinConfig, JoinTables, SideData, TablePair};
 pub use crate::strategy::{BoxedStrategy, Just, LazyJust, Strategy, Union};
 pub use crate::test_runner::{ProptestConfig, TestCaseError};
 pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

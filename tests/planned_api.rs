@@ -3,8 +3,8 @@
 //! public facade.
 
 use vagg::db::{
-    AggFn, AggregateQuery, Database, Engine, OrderKey, PlanError, PlanStep, Predicate, Session,
-    SqlError, SqlOutcome, Table,
+    AggFn, AggregateQuery, Database, Engine, JoinStrategy, OrderKey, PlanError, PlanStep,
+    Predicate, Session, ShardedDatabase, SqlError, SqlOutcome, Table,
 };
 
 fn people() -> Table {
@@ -129,6 +129,135 @@ fn explain_golden_as_of_renders_frozen_provenance() {
         .unwrap();
     assert_eq!(plan.as_of(), None);
     assert!(!plan.explain().contains("as_of="));
+}
+
+fn returns() -> Table {
+    Table::new("returns")
+        .with_column("region", vec![0, 0, 1, 2, 2, 1, 0, 3])
+        .with_column("penalty", vec![5, 7, 2, 1, 9, 4, 3, 8])
+}
+
+#[test]
+fn explain_golden_join_build_side_and_versions() {
+    let mut db = Database::new();
+    db.register(orders());
+    db.register(returns());
+    // Drift the right table so the two pinned versions differ.
+    db.run_sql("INSERT INTO orders (region, quarter, amount, status) VALUES (3, 2, 70, 1)")
+        .unwrap();
+
+    let plan = db
+        .explain_join_sql(
+            "EXPLAIN SELECT returns.region, COUNT(*), SUM(penalty) \
+             FROM returns JOIN orders ON returns.region = orders.region \
+             GROUP BY returns.region",
+        )
+        .unwrap();
+    assert_eq!(plan.build_table(), "orders");
+    assert_eq!(plan.probe_table(), "returns");
+    assert_eq!(plan.strategy(), JoinStrategy::Local);
+    assert_eq!(plan.left_data_version(), 1);
+    assert_eq!(plan.right_data_version(), 2);
+    assert_eq!(
+        plan.explain(),
+        "SELECT returns.region, COUNT(*), SUM(penalty) FROM returns \
+         JOIN orders ON returns.region = orders.region GROUP BY returns.region\n\
+         \x20 join=hash build=orders probe=returns strategy=local \
+         build_rows=7 probe_rows=8 build_distinct≈4 build_sorted=false\n\
+         \x20 left=returns data_version=1 right=orders data_version=2\n\
+         \x20 1. JoinBuild(orders[region] rows=7 distinct≈4)\n\
+         \x20 2. JoinProbe(returns[region] rows=8)"
+    );
+}
+
+#[test]
+fn explain_golden_join_broadcast_on_shards() {
+    let mut db = ShardedDatabase::new(4);
+    db.register(orders());
+    db.register(returns());
+    let plan = db
+        .explain_join_sql(
+            "EXPLAIN SELECT returns.region, COUNT(*), SUM(penalty) \
+             FROM returns JOIN orders ON returns.region = orders.region \
+             GROUP BY returns.region",
+        )
+        .unwrap();
+    assert_eq!(plan.strategy(), JoinStrategy::Broadcast);
+    assert_eq!(
+        plan.explain(),
+        "SELECT returns.region, COUNT(*), SUM(penalty) FROM returns \
+         JOIN orders ON returns.region = orders.region GROUP BY returns.region\n\
+         \x20 join=hash build=orders probe=returns strategy=broadcast \
+         build_rows=6 probe_rows=8 build_distinct≈3 build_sorted=false\n\
+         \x20 left=returns data_version=1 right=orders data_version=1\n\
+         \x20 1. JoinBuild(orders[region] rows=6 distinct≈3)\n\
+         \x20 2. JoinProbe(returns[region] rows=8)"
+    );
+}
+
+#[test]
+fn explain_golden_join_partitions_a_large_build_side() {
+    let mut db = ShardedDatabase::new(4);
+    db.register(
+        Table::new("fact")
+            .with_column("k", (0..1200u32).map(|i| i % 8).collect())
+            .with_column("v", (0..1200u32).map(|i| i % 10).collect()),
+    );
+    db.register(Table::new("dims").with_column("k", (0..1100u32).map(|i| i % 8).collect()));
+    let plan = db
+        .explain_join_sql(
+            "EXPLAIN SELECT fact.k, COUNT(*), SUM(v) \
+             FROM fact JOIN dims ON fact.k = dims.k GROUP BY fact.k",
+        )
+        .unwrap();
+    assert_eq!(plan.build_table(), "dims");
+    assert_eq!(plan.strategy(), JoinStrategy::Partition);
+    assert_eq!(
+        plan.explain(),
+        "SELECT fact.k, COUNT(*), SUM(v) FROM fact \
+         JOIN dims ON fact.k = dims.k GROUP BY fact.k\n\
+         \x20 join=hash build=dims probe=fact strategy=partition \
+         build_rows=1100 probe_rows=1200 build_distinct≈8 build_sorted=false\n\
+         \x20 left=fact data_version=1 right=dims data_version=1\n\
+         \x20 1. JoinBuild(dims[k] rows=1100 distinct≈8)\n\
+         \x20 2. JoinProbe(fact[k] rows=1200)"
+    );
+}
+
+#[test]
+fn explain_golden_join_as_of_renders_the_pinned_cut() {
+    let mut db = Database::new();
+    db.register(orders());
+    db.register(returns());
+    db.run_sql("CREATE SNAPSHOT cut").unwrap();
+    db.run_sql("INSERT INTO returns (region, penalty) VALUES (3, 6)")
+        .unwrap();
+
+    let plan = db
+        .explain_join_sql(
+            "EXPLAIN SELECT returns.region, COUNT(*), SUM(penalty) \
+             FROM returns JOIN orders ON returns.region = orders.region \
+             AS OF cut GROUP BY returns.region",
+        )
+        .unwrap();
+    // The plan pins both tables at the named cut: the insert after the
+    // snapshot is invisible.
+    assert_eq!(plan.as_of(), Some("cut"));
+    assert_eq!(plan.probe_rows(), 8);
+    assert_eq!(plan.left_data_version(), 1);
+    assert!(plan.explain().contains(" as_of=cut"));
+
+    // The single-table EXPLAIN entry points refuse joins with a typed
+    // error pointing at the join APIs.
+    assert_eq!(
+        db.explain_sql(
+            "EXPLAIN SELECT returns.region, COUNT(*), SUM(penalty) \
+             FROM returns JOIN orders ON returns.region = orders.region \
+             GROUP BY returns.region",
+        )
+        .unwrap_err(),
+        SqlError::JoinStatement
+    );
 }
 
 #[test]
