@@ -1,0 +1,218 @@
+//! Observability bench: what `EXPLAIN ANALYZE` tracing and the metrics
+//! registry cost.
+//!
+//! Three measurements —
+//!
+//! * `trace-overhead/single`: the same full-pipeline query untraced vs
+//!   under `EXPLAIN ANALYZE` on one session (the zero-cost-when-off
+//!   claim, and the when-on overhead — target under 5%);
+//! * `trace-overhead/sharded`: ditto on the 4-shard morsel executor,
+//!   where tracing additionally clones per-morsel spans back to the
+//!   coordinator;
+//! * `metrics-snapshot`: one [`Database::metrics`] /
+//!   [`ShardedDatabase::metrics`] call — the registry snapshot plus the
+//!   folded plan-cache/snapshot/WAL/executor stats.
+//!
+//! Besides the usual stdout lines, the bench writes a machine-readable
+//! summary to `BENCH_obs.json` at the repository root so future PRs can
+//! track the tracing tax.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use vagg_datagen::rng::Xoshiro256StarStar;
+use vagg_datagen::zipf::Zipf;
+use vagg_db::{Database, Engine, ExecutorConfig, ShardedDatabase, SqlOutcome, Table};
+
+const SHARDS: usize = 4;
+const ROWS: usize = 8_192;
+const SQL: &str = "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM events \
+                   WHERE v > 100 GROUP BY g";
+
+fn zipf_table(rows: usize, domain: u64) -> Table {
+    let zipf = Zipf::new(domain, 1.0);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x0B5);
+    Table::new("events")
+        .with_column(
+            "g",
+            (0..rows).map(|_| zipf.sample(&mut rng) as u32).collect(),
+        )
+        .with_column(
+            "v",
+            (0..rows).map(|_| rng.next_below(1000) as u32).collect(),
+        )
+}
+
+/// Mean wall milliseconds per call (one warm-up, then `iters` timed).
+fn wall_ms(iters: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+struct Summary {
+    single_off_ms: f64,
+    single_on_ms: f64,
+    sharded_off_ms: f64,
+    sharded_on_ms: f64,
+    snapshot_us: f64,
+    sharded_snapshot_us: f64,
+}
+
+fn write_summary(s: &Summary) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    let overhead = |on: f64, off: f64| (on / off - 1.0) * 100.0;
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"generated_by\": \"cargo bench -p vagg-bench --bench obs\",\n  \
+         \"rows\": {ROWS},\n  \"shards\": {SHARDS},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"trace_overhead\": {{\n    \
+         \"single\": {{\"untraced_ms\": {:.4}, \"traced_ms\": {:.4}, \
+         \"overhead_pct\": {:.2}}},\n    \
+         \"sharded\": {{\"untraced_ms\": {:.4}, \"traced_ms\": {:.4}, \
+         \"overhead_pct\": {:.2}}}\n  }},",
+        s.single_off_ms,
+        s.single_on_ms,
+        overhead(s.single_on_ms, s.single_off_ms),
+        s.sharded_off_ms,
+        s.sharded_on_ms,
+        overhead(s.sharded_on_ms, s.sharded_off_ms),
+    );
+    let _ = writeln!(
+        out,
+        "  \"metrics_snapshot\": {{\n    \"single_us\": {:.3},\n    \
+         \"sharded_us\": {:.3}\n  }}\n}}",
+        s.snapshot_us, s.sharded_snapshot_us
+    );
+    std::fs::write(path, out).expect("write BENCH_obs.json");
+    println!("  wrote {path}");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+
+    let traced_sql = format!("EXPLAIN ANALYZE {SQL}");
+
+    // Single session, tracing off vs on. Same database for both so the
+    // machine's cache-model state is equally warm.
+    let (single_off_ms, single_on_ms) = {
+        let mut db = Database::new();
+        db.register(zipf_table(ROWS, 512));
+        g.bench_function("trace-overhead/single-off", |b| {
+            b.iter(|| match db.run_sql(SQL).unwrap() {
+                SqlOutcome::Rows(out) => black_box(out.rows.len()),
+                other => unreachable!("rows: {other:?}"),
+            })
+        });
+        g.bench_function("trace-overhead/single-on", |b| {
+            b.iter(|| match db.run_sql(&traced_sql).unwrap() {
+                SqlOutcome::Analyzed(a) => black_box(a.trace.steps.len()),
+                other => unreachable!("analyzed: {other:?}"),
+            })
+        });
+        let off = wall_ms(40, || match db.run_sql(SQL).unwrap() {
+            SqlOutcome::Rows(out) => {
+                black_box(out.rows.len());
+            }
+            other => unreachable!("rows: {other:?}"),
+        });
+        let on = wall_ms(40, || match db.run_sql(&traced_sql).unwrap() {
+            SqlOutcome::Analyzed(a) => {
+                black_box(a.trace.steps.len());
+            }
+            other => unreachable!("analyzed: {other:?}"),
+        });
+        (off, on)
+    };
+    println!(
+        "  single: untraced {single_off_ms:.4} ms, traced {single_on_ms:.4} ms \
+         ({:+.2}%)",
+        (single_on_ms / single_off_ms - 1.0) * 100.0
+    );
+
+    // Sharded: per-morsel spans ride back through the outcome channel.
+    let (sharded_off_ms, sharded_on_ms) = {
+        let mut db = ShardedDatabase::with_executor(
+            Engine::new(),
+            SHARDS,
+            ExecutorConfig {
+                workers: SHARDS,
+                morsel_rows: 512,
+                steal: true,
+            },
+        );
+        db.register(zipf_table(ROWS, 512));
+        g.bench_function("trace-overhead/sharded-off", |b| {
+            b.iter(|| black_box(db.run_sql(SQL).unwrap().rows.len()))
+        });
+        g.bench_function("trace-overhead/sharded-on", |b| {
+            b.iter(|| black_box(db.run_sql(&traced_sql).unwrap().rows.len()))
+        });
+        let off = wall_ms(40, || {
+            black_box(db.run_sql(SQL).unwrap().rows.len());
+        });
+        let on = wall_ms(40, || {
+            black_box(db.run_sql(&traced_sql).unwrap().rows.len());
+        });
+        (off, on)
+    };
+    println!(
+        "  sharded: untraced {sharded_off_ms:.4} ms, traced {sharded_on_ms:.4} ms \
+         ({:+.2}%)",
+        (sharded_on_ms / sharded_off_ms - 1.0) * 100.0
+    );
+
+    // Metrics snapshot cost: counters + histogram + slow ring + folded
+    // subsystem stats, rendered structures included.
+    let (snapshot_us, sharded_snapshot_us) = {
+        let mut db = Database::new();
+        db.register(zipf_table(ROWS, 512));
+        for _ in 0..50 {
+            db.run_sql(SQL).unwrap();
+        }
+        g.bench_function("metrics-snapshot/single", |b| {
+            b.iter(|| black_box(db.metrics().counters().count()))
+        });
+        let single = wall_ms(200, || {
+            black_box(db.metrics().counters().count());
+        }) * 1e3;
+
+        let mut sh = ShardedDatabase::new(SHARDS);
+        sh.register(zipf_table(ROWS, 512));
+        for _ in 0..50 {
+            sh.run_sql(SQL).unwrap();
+        }
+        g.bench_function("metrics-snapshot/sharded", |b| {
+            b.iter(|| black_box(sh.metrics().counters().count()))
+        });
+        let sharded = wall_ms(200, || {
+            black_box(sh.metrics().counters().count());
+        }) * 1e3;
+        (single, sharded)
+    };
+    println!("  metrics snapshot: single {snapshot_us:.3} µs, sharded {sharded_snapshot_us:.3} µs");
+
+    g.finish();
+    write_summary(&Summary {
+        single_off_ms,
+        single_on_ms,
+        sharded_off_ms,
+        sharded_on_ms,
+        snapshot_us,
+        sharded_snapshot_us,
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

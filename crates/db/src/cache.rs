@@ -118,6 +118,19 @@ pub struct CacheStats {
     pub rebases: u64,
 }
 
+impl CacheStats {
+    /// Folds these counters into a [`crate::MetricsSnapshot`] under
+    /// `plan_cache_*` names — the plan cache's contribution to the
+    /// unified registry view.
+    pub(crate) fn export_into(&self, snap: &mut crate::metrics::MetricsSnapshot) {
+        snap.add("plan_cache_hits", self.hits);
+        snap.add("plan_cache_misses", self.misses);
+        snap.add("plan_cache_evictions", self.evictions);
+        snap.add("plan_cache_invalidations", self.invalidations);
+        snap.add("plan_cache_rebases", self.rebases);
+    }
+}
+
 /// What [`PlanCache::lookup`] found for a shape at a data version.
 #[derive(Debug, Clone)]
 pub enum Lookup {

@@ -39,6 +39,7 @@ use crate::delta::{materialise, DeltaCut, DeltaStore, TableStats};
 use crate::engine::Engine;
 use crate::filter::Predicate;
 use crate::ingest::{CompactionPolicy, IngestReceipt, RowBatch};
+use crate::metrics::MetricsRegistry;
 use crate::plan::PlanError;
 use crate::plan::{QueryPlan, ScanMode};
 use crate::query::AggregateQuery;
@@ -170,6 +171,9 @@ struct Inner {
     pins: Mutex<PinRegistry>,
     named: RwLock<BTreeMap<String, NamedTables>>,
     engine: Engine,
+    /// The unified counter sink every session, ingest and recovery
+    /// path of this catalogue reports to (see [`crate::metrics`]).
+    metrics: MetricsRegistry,
 }
 
 /// An opaque hold on one catalogue's registry read lock (see
@@ -241,6 +245,7 @@ impl SharedCatalogue {
                 pins: Mutex::new(PinRegistry::default()),
                 named: RwLock::new(BTreeMap::new()),
                 engine,
+                metrics: MetricsRegistry::new(),
             }),
         }
     }
@@ -259,6 +264,13 @@ impl SharedCatalogue {
     /// The planning engine every session of this catalogue shares.
     pub fn engine(&self) -> &Engine {
         &self.inner.engine
+    }
+
+    /// The catalogue-owned [`MetricsRegistry`] — the sink the engine's
+    /// counters report to. [`crate::Database::metrics`] folds its
+    /// snapshot with the point-in-time subsystem stats.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 
     /// Whether two handles point at the *same* catalogue (same tables,
@@ -420,6 +432,7 @@ impl SharedCatalogue {
                 receipt.delta_rows = 0;
             }
         }
+        self.inner.metrics.record_ingest(receipt.rows as u64);
         Ok(receipt)
     }
 
@@ -493,6 +506,7 @@ impl SharedCatalogue {
         } else {
             r.delta.clear();
         }
+        self.inner.metrics.record_compaction();
         true
     }
 

@@ -37,7 +37,8 @@ use crate::delta::TableStats;
 use crate::engine::{Engine, QueryOutput};
 use crate::filter::Predicate;
 use crate::ingest::{CompactionPolicy, IngestError, IngestReceipt, RowBatch};
-use crate::join::{join_local, plan_join, JoinPlan, PreparedJoin};
+use crate::join::{join_local_traced, plan_join, JoinPlan, LocalJoinObs, PreparedJoin};
+use crate::metrics::{MetricsSnapshot, SlowQuery};
 use crate::plan::{PlanError, PlanStep, QueryPlan};
 use crate::prepared::PreparedStatement;
 use crate::query::AggregateQuery;
@@ -46,6 +47,7 @@ use crate::session::Session;
 use crate::snapshot::{Snapshot, SnapshotStats};
 use crate::sql::{parse_statement, AsOf, ParseSqlError, SqlQuery, Statement};
 use crate::table::Table;
+use crate::trace::{AnalyzedQuery, QueryTrace};
 use crate::wal::{self, WalError, WalRecord, WalWriter, AUTOCOMMIT};
 use std::collections::BTreeSet;
 use std::error::Error;
@@ -286,6 +288,43 @@ pub struct MutationReceipt {
     pub data_version: u64,
 }
 
+/// What [`Database::explain_sql`] planned: a single-table aggregate
+/// plan, or — when the statement has a `JOIN` clause — the typed join
+/// plan with its adaptive build-side and exchange-strategy decision.
+#[derive(Debug, Clone)]
+pub enum ExplainOutput {
+    /// A single-table aggregate [`QueryPlan`].
+    Plan(Box<QueryPlan>),
+    /// A two-table [`JoinPlan`].
+    Join(Box<JoinPlan>),
+}
+
+impl ExplainOutput {
+    /// The rendered plan, whichever kind it is.
+    pub fn explain(&self) -> String {
+        match self {
+            ExplainOutput::Plan(p) => p.explain(),
+            ExplainOutput::Join(j) => j.explain(),
+        }
+    }
+
+    /// The single-table plan, if the statement had no `JOIN` clause.
+    pub fn plan(&self) -> Option<&QueryPlan> {
+        match self {
+            ExplainOutput::Plan(p) => Some(p),
+            ExplainOutput::Join(_) => None,
+        }
+    }
+
+    /// The join plan, if the statement had a `JOIN` clause.
+    pub fn join(&self) -> Option<&JoinPlan> {
+        match self {
+            ExplainOutput::Plan(_) => None,
+            ExplainOutput::Join(j) => Some(j),
+        }
+    }
+}
+
 /// What one SQL statement produced.
 #[derive(Debug, Clone)]
 pub enum SqlOutcome {
@@ -297,6 +336,10 @@ pub enum SqlOutcome {
     /// An `EXPLAIN` of a two-table `JOIN` statement: the adaptive
     /// build-side and exchange-strategy decision, without executing.
     JoinPlan(Box<JoinPlan>),
+    /// An `EXPLAIN ANALYZE` executed with tracing on: the rows —
+    /// bit-identical to the untraced `SELECT` — plus the
+    /// estimated-vs-actual execution trace (see [`AnalyzedQuery`]).
+    Analyzed(Box<AnalyzedQuery>),
     /// An `INSERT` appended rows through the write path; the receipt
     /// reports the row count, the delta fill and whether the append
     /// tripped a compaction.
@@ -469,6 +512,9 @@ impl Database {
             db.catalogue
                 .set_compaction_policy(CompactionPolicy::never());
             recovery::replay(&db.catalogue, &contents.records, extra_committed)?;
+            db.catalogue
+                .metrics()
+                .record_replay(contents.records.len() as u64);
             db.catalogue
                 .set_compaction_policy(CompactionPolicy::default());
             WalWriter::append_to(&log, contents.next_lsn)?
@@ -798,9 +844,26 @@ impl Database {
     /// smaller side, probe, then the ordinary aggregation tail over
     /// the derived rows (see [`crate::join`]).
     fn run_join(&mut self, q: &SqlQuery) -> Result<QueryOutput, SqlError> {
-        let (plan, lt, rt) = self.plan_join_read(q)?;
-        let derived = join_local(&plan, &lt, &rt);
-        self.run_join_tail(plan.steps(), plan.query(), &derived)
+        self.run_join_with(q, None, None)
+    }
+
+    /// [`Database::run_join`] with an optional pinned snapshot (the
+    /// `run_sql_at` path) and optional tracing (`EXPLAIN ANALYZE`).
+    fn run_join_with(
+        &mut self,
+        q: &SqlQuery,
+        snap: Option<&Snapshot>,
+        mut trace: Option<&mut QueryTrace>,
+    ) -> Result<QueryOutput, SqlError> {
+        let (plan, lt, rt) = match snap {
+            Some(snap) => self.plan_join_read_at(snap, q)?,
+            None => self.plan_join_read(q)?,
+        };
+        let (derived, obs) = join_local_traced(&plan, &lt, &rt);
+        if let Some(t) = trace.as_deref_mut() {
+            record_join_obs(t, &plan, &obs);
+        }
+        self.run_join_tail_with(plan.steps(), plan.query(), &derived, trace)
     }
 
     /// Runs the aggregation tail of a join over its derived table and
@@ -812,6 +875,19 @@ impl Database {
         steps: &[PlanStep],
         agg: &AggregateQuery,
         derived: &Table,
+    ) -> Result<QueryOutput, SqlError> {
+        self.run_join_tail_with(steps, agg, derived, None)
+    }
+
+    /// [`Database::run_join_tail`] with optional tracing: the derived
+    /// table's aggregate plan folds its estimates and per-step actuals
+    /// into the trace after the join's host steps.
+    fn run_join_tail_with(
+        &mut self,
+        steps: &[PlanStep],
+        agg: &AggregateQuery,
+        derived: &Table,
+        trace: Option<&mut QueryTrace>,
     ) -> Result<QueryOutput, SqlError> {
         if derived.rows() == 0 {
             return Ok(QueryOutput {
@@ -826,16 +902,69 @@ impl Database {
             });
         }
         let plan = self.catalogue.engine().plan(derived, agg)?;
-        let mut out = self.session.run(&plan);
+        let mut out = match trace {
+            Some(t) => {
+                t.estimate_plan(&plan);
+                let (out, step_traces) = self.session.run_traced(&plan);
+                t.record_steps(&step_traces);
+                out
+            }
+            None => self.session.run(&plan),
+        };
         let mut all = steps.to_vec();
         all.append(&mut out.report.steps);
         out.report.steps = all;
         Ok(out)
     }
 
+    /// The `EXPLAIN ANALYZE` body: executes the statement exactly as
+    /// the plain `SELECT` arm would — same planner, same session, same
+    /// snapshot rules — while folding a [`QueryTrace`] of per-step
+    /// estimated-vs-actual rows and simulated cycles. Tracing only
+    /// reads the cycle counter and host-side lengths, so the returned
+    /// rows are bit-identical to the untraced statement.
+    fn analyze(
+        &mut self,
+        q: &SqlQuery,
+        sql: &str,
+        snap: Option<&Snapshot>,
+    ) -> Result<AnalyzedQuery, SqlError> {
+        let mut trace = QueryTrace::new(sql.trim().to_string());
+        let output = if q.join.is_some() {
+            self.run_join_with(q, snap, Some(&mut trace))?
+        } else {
+            let plan = match snap {
+                Some(snap) => self.plan_read_at(snap, q)?,
+                None => self.plan_read(q)?,
+            };
+            trace.estimate_plan(&plan);
+            let (out, step_traces) = self.session.run_traced(&plan);
+            trace.record_steps(&step_traces);
+            out
+        };
+        trace.cycles = output.report.cycles;
+        trace.rows = output.rows.len() as u64;
+        self.note_query(sql, &output);
+        self.catalogue.metrics().record_traced_query();
+        Ok(AnalyzedQuery { output, trace })
+    }
+
+    /// Folds one finished query into the catalogue's metrics registry
+    /// (counters, cycle histogram, slow-query ring).
+    fn note_query(&self, sql: &str, out: &QueryOutput) {
+        self.catalogue.metrics().record_query(
+            sql.trim(),
+            out.report.cycles,
+            out.rows.len() as u64,
+            out.report.steps.len(),
+        );
+    }
+
     /// Parses and runs one SQL statement: `SELECT` executes on the
     /// session and returns rows, `EXPLAIN SELECT` returns the typed
-    /// plan without executing, `INSERT` appends rows through the
+    /// plan without executing, `EXPLAIN ANALYZE SELECT` executes with
+    /// tracing on and returns [`SqlOutcome::Analyzed`] (the rows plus
+    /// the per-step span tree), `INSERT` appends rows through the
     /// write path, `DELETE` / `UPDATE` tombstone / overwrite matching
     /// rows, `CREATE SNAPSHOT` freezes the current state under a
     /// durable name (readable later with `AS OF <name>`), and
@@ -895,10 +1024,17 @@ impl Database {
         match parse_statement(sql)? {
             Statement::Select(q) => {
                 if q.join.is_some() {
-                    return Ok(SqlOutcome::Rows(self.run_join(&q)?));
+                    let out = self.run_join(&q)?;
+                    self.note_query(sql, &out);
+                    return Ok(SqlOutcome::Rows(out));
                 }
                 let plan = self.plan_read(&q)?;
-                Ok(SqlOutcome::Rows(self.session.run(&plan)))
+                let out = self.session.run(&plan);
+                self.note_query(sql, &out);
+                Ok(SqlOutcome::Rows(out))
+            }
+            Statement::ExplainAnalyze(q) => {
+                Ok(SqlOutcome::Analyzed(Box::new(self.analyze(&q, sql, None)?)))
             }
             Statement::Explain(q) => {
                 if q.join.is_some() {
@@ -1196,7 +1332,12 @@ impl Database {
             records.push(WalRecord::SnapshotImage { name, tables });
         }
         let first_lsn = d.writer.next_lsn();
+        let prior = d.writer.stats();
         d.writer = wal::rewrite(&d.log, &records, first_lsn)?;
+        // Keep `metrics()`'s wal_* counters cumulative across the
+        // checkpoint: the replacement writer starts at zero, but the
+        // session's append activity didn't.
+        d.writer.carry_stats(prior);
         Ok(())
     }
 
@@ -1270,16 +1411,21 @@ impl Database {
             Statement::Select(q) => {
                 if q.join.is_some() {
                     let (plan, lt, rt) = self.plan_join_read_at(snap, &q)?;
-                    let derived = join_local(&plan, &lt, &rt);
-                    return Ok(SqlOutcome::Rows(self.run_join_tail(
-                        plan.steps(),
-                        plan.query(),
-                        &derived,
-                    )?));
+                    let (derived, _obs) = join_local_traced(&plan, &lt, &rt);
+                    let out = self.run_join_tail(plan.steps(), plan.query(), &derived)?;
+                    self.note_query(sql, &out);
+                    return Ok(SqlOutcome::Rows(out));
                 }
                 let plan = self.plan_read_at(snap, &q)?;
-                Ok(SqlOutcome::Rows(self.session.run(&plan)))
+                let out = self.session.run(&plan);
+                self.note_query(sql, &out);
+                Ok(SqlOutcome::Rows(out))
             }
+            Statement::ExplainAnalyze(q) => Ok(SqlOutcome::Analyzed(Box::new(self.analyze(
+                &q,
+                sql,
+                Some(snap),
+            )?))),
             Statement::Explain(q) => {
                 if q.join.is_some() {
                     return Ok(SqlOutcome::JoinPlan(Box::new(
@@ -1354,12 +1500,16 @@ impl Database {
         match parse_statement(sql)? {
             Statement::Select(q) => {
                 if q.join.is_some() {
-                    return self.run_join(&q);
+                    let out = self.run_join(&q)?;
+                    self.note_query(sql, &out);
+                    return Ok(out);
                 }
                 let plan = self.plan_read(&q)?;
-                Ok(self.session.run(&plan))
+                let out = self.session.run(&plan);
+                self.note_query(sql, &out);
+                Ok(out)
             }
-            Statement::Explain(_) => Err(SqlError::ExplainStatement),
+            Statement::Explain(_) | Statement::ExplainAnalyze(_) => Err(SqlError::ExplainStatement),
             Statement::Insert(_) => Err(SqlError::InsertStatement),
             Statement::Delete(_) | Statement::Update(_) | Statement::CreateSnapshot(_) => {
                 Err(SqlError::MutationStatement)
@@ -1370,16 +1520,19 @@ impl Database {
         }
     }
 
-    /// Plans one statement without executing it. Accepts either a bare
-    /// `SELECT` or an `EXPLAIN SELECT`.
+    /// Plans one statement without executing it. Accepts a bare
+    /// `SELECT`, an `EXPLAIN SELECT` or an `EXPLAIN ANALYZE SELECT`
+    /// (planned only — use [`Database::run_sql`] to execute the trace).
+    /// A statement with a `JOIN` clause routes through the join planner
+    /// and returns [`ExplainOutput::Join`].
     ///
     /// # Errors
     ///
     /// As [`Database::run_sql`], plus [`SqlError::InsertStatement`] for
     /// `INSERT` (ingest has no plan).
-    pub fn explain_sql(&self, sql: &str) -> Result<QueryPlan, SqlError> {
+    pub fn explain_sql(&self, sql: &str) -> Result<ExplainOutput, SqlError> {
         let q = match parse_statement(sql)? {
-            Statement::Select(q) | Statement::Explain(q) => q,
+            Statement::Select(q) | Statement::Explain(q) | Statement::ExplainAnalyze(q) => q,
             Statement::Insert(_) => return Err(SqlError::InsertStatement),
             Statement::Delete(_) | Statement::Update(_) | Statement::CreateSnapshot(_) => {
                 return Err(SqlError::MutationStatement)
@@ -1389,9 +1542,9 @@ impl Database {
             }
         };
         if q.join.is_some() {
-            return Err(SqlError::JoinStatement);
+            return Ok(ExplainOutput::Join(Box::new(self.plan_join_read(&q)?.0)));
         }
-        self.plan_read(&q)
+        Ok(ExplainOutput::Plan(Box::new(self.plan_read(&q)?)))
     }
 
     /// Plans a two-table `JOIN` statement without executing it,
@@ -1429,7 +1582,7 @@ impl Database {
     /// when the statement has no `JOIN` clause.
     pub fn explain_join_sql(&self, sql: &str) -> Result<JoinPlan, SqlError> {
         let q = match parse_statement(sql)? {
-            Statement::Select(q) | Statement::Explain(q) => q,
+            Statement::Select(q) | Statement::Explain(q) | Statement::ExplainAnalyze(q) => q,
             Statement::Insert(_) => return Err(SqlError::InsertStatement),
             Statement::Delete(_) | Statement::Update(_) | Statement::CreateSnapshot(_) => {
                 return Err(SqlError::MutationStatement)
@@ -1461,8 +1614,98 @@ impl Database {
     /// Executes an already-built plan on this session (the prepared
     /// statement path).
     pub(crate) fn run_plan(&mut self, plan: &QueryPlan) -> QueryOutput {
-        self.session.run(plan)
+        let out = self.session.run(plan);
+        self.note_query(&plan.sql(), &out);
+        out
     }
+
+    /// [`Database::run_plan`] with tracing on — the prepared
+    /// statement's `EXPLAIN ANALYZE` path
+    /// ([`PreparedStatement::analyze`]).
+    pub(crate) fn run_plan_traced(&mut self, plan: &QueryPlan) -> AnalyzedQuery {
+        let mut trace = QueryTrace::new(plan.sql());
+        trace.estimate_plan(plan);
+        let (output, step_traces) = self.session.run_traced(plan);
+        trace.record_steps(&step_traces);
+        trace.cycles = output.report.cycles;
+        trace.rows = output.rows.len() as u64;
+        self.note_query(&plan.sql(), &output);
+        self.catalogue.metrics().record_traced_query();
+        AnalyzedQuery { output, trace }
+    }
+
+    /// One metrics snapshot across every subsystem this database
+    /// touches: the catalogue registry's counters (queries, ingest,
+    /// compactions, WAL replays, the query cycle histogram, the
+    /// slow-query ring) plus the plan cache's, the snapshot
+    /// subsystem's, and — on a durable database — the WAL writer's.
+    /// Export it with [`MetricsSnapshot::to_text`] /
+    /// [`MetricsSnapshot::to_json`].
+    ///
+    /// ```
+    /// use vagg_db::{Database, Table};
+    ///
+    /// let mut db = Database::new();
+    /// db.register(Table::new("r").with_column("g", vec![1, 2, 1]));
+    /// db.run_sql("SELECT g, COUNT(*) FROM r GROUP BY g")?;
+    /// let snap = db.metrics();
+    /// assert_eq!(snap.get("queries"), Some(1));
+    /// assert!(snap.to_text().contains("vagg_queries 1"));
+    /// # Ok::<(), vagg_db::SqlError>(())
+    /// ```
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.catalogue.metrics().snapshot();
+        self.plan_cache_stats().export_into(&mut snap);
+        self.snapshot_stats().export_into(&mut snap);
+        if let Some(d) = &self.durability {
+            let stats = d.writer.stats();
+            snap.add("wal_appends", stats.appends);
+            snap.add("wal_flushes", stats.flushes);
+            snap.add("wal_bytes", stats.bytes);
+        }
+        snap
+    }
+
+    /// The worst queries on record, sorted worst-first — a bounded ring
+    /// shared by every session of this catalogue (see
+    /// [`Database::set_slow_query_threshold`]).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.catalogue.metrics().slow_queries()
+    }
+
+    /// Only queries costing at least `cycles` simulated cycles enter
+    /// the slow-query ring. The default threshold of 0 records every
+    /// query (the ring keeps the worst regardless).
+    pub fn set_slow_query_threshold(&self, cycles: u64) {
+        self.catalogue.metrics().set_slow_query_threshold(cycles);
+    }
+}
+
+/// Folds a local join's host-side observations into a trace: the
+/// build/probe steps' observed rows recorded under the plan's rendered
+/// step names, plus the key-dictionary counters and the freeze-barrier
+/// wall time. Host-side work carries no simulated cycles.
+fn record_join_obs(t: &mut QueryTrace, plan: &JoinPlan, obs: &LocalJoinObs) {
+    for step in plan.steps() {
+        match step {
+            PlanStep::JoinBuild { .. } => t.record_host_step(
+                step.to_string(),
+                step.estimated_rows(),
+                obs.build_rows as u64,
+                obs.entries as u64,
+            ),
+            PlanStep::JoinProbe { .. } => t.record_host_step(
+                step.to_string(),
+                step.estimated_rows(),
+                obs.probe_rows as u64,
+                obs.pairs as u64,
+            ),
+            _ => {}
+        }
+    }
+    t.dict_entries += obs.entries as u64;
+    t.dict_hits += obs.dict_hits;
+    t.freeze_ns = Some(t.freeze_ns.unwrap_or(0) + obs.freeze_ns);
 }
 
 /// The WAL record describing one catalogue operation, tagged with the
@@ -1577,9 +1820,10 @@ mod tests {
 
     #[test]
     fn explain_sql_accepts_bare_selects() {
-        let plan = db()
+        let out = db()
             .explain_sql("SELECT g, SUM(v) FROM r GROUP BY g")
             .unwrap();
+        let plan = out.plan().expect("non-join SELECT yields a query plan");
         assert_eq!(plan.table(), "r");
         assert_eq!(plan.rows(), 8);
     }

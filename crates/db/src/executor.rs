@@ -34,6 +34,7 @@ use crate::join::{JoinMorsel, JoinOutcome};
 use crate::keydict::KeyDictionary;
 use crate::plan::QueryPlan;
 use crate::session::{PartialRun, Session};
+use crate::trace::MorselTrace;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -86,6 +87,11 @@ pub(crate) struct Morsel {
     pub(crate) plan: Arc<QueryPlan>,
     pub(crate) lo: usize,
     pub(crate) hi: usize,
+    /// Record a [`MorselTrace`] while running (`EXPLAIN ANALYZE`).
+    /// Traced morsels produce bit-identical partials — tracing only
+    /// reads the session's cycle counter (see
+    /// [`Session::run_partial_range_traced`]).
+    pub(crate) traced: bool,
 }
 
 /// What one morsel produced, tagged with where it ran.
@@ -99,6 +105,8 @@ pub(crate) struct MorselOutcome {
     pub(crate) worker: usize,
     pub(crate) stolen: bool,
     pub(crate) run: PartialRun,
+    /// The span recorded when the morsel was traced.
+    pub(crate) trace: Option<MorselTrace>,
 }
 
 /// Any unit of work the pool schedules: an aggregation morsel (a row
@@ -123,8 +131,9 @@ impl Task {
 
 /// What one [`Task`] produced.
 pub(crate) enum TaskOutcome {
-    /// An aggregation morsel's partial.
-    Agg(MorselOutcome),
+    /// An aggregation morsel's partial (boxed: the partial's measured
+    /// domains and optional trace dwarf a join outcome).
+    Agg(Box<MorselOutcome>),
     /// A join morsel's matched pairs.
     Join(JoinOutcome),
 }
@@ -138,6 +147,19 @@ impl TaskOutcome {
     }
 }
 
+/// The result of [`virtual_schedule`]: deterministic per-worker
+/// simulated loads and steal traffic.
+pub(crate) struct VirtualSchedule {
+    /// Per-worker simulated cycles; the max is the query's makespan.
+    pub(crate) loads: Vec<u64>,
+    /// Per-worker morsel counts.
+    pub(crate) morsels: Vec<u64>,
+    /// Per-worker counts of morsels taken from another deque.
+    pub(crate) stolen: Vec<u64>,
+    /// Total steals across the schedule.
+    pub(crate) steals: u64,
+}
+
 /// Schedules measured morsel costs onto `workers` *virtual* workers —
 /// the deterministic simulated-time counterpart of the pool's host-time
 /// scheduling. Host threads race real wall time, and one morsel's wall
@@ -148,13 +170,13 @@ impl TaskOutcome {
 /// the least-loaded worker always acts next, drains its own deque
 /// front-to-back, and — with stealing on — an idle worker takes the
 /// *tail* morsel of the most-backlogged victim. Returns per-worker
-/// simulated loads (their max is the query's makespan) and the number
-/// of steals the schedule needed.
+/// simulated loads (their max is the query's makespan), per-worker
+/// morsel/steal counts, and the number of steals the schedule needed.
 pub(crate) fn virtual_schedule(
     outcomes: &[MorselOutcome],
     workers: usize,
     steal: bool,
-) -> (Vec<u64>, u64) {
+) -> VirtualSchedule {
     let mut order: Vec<&MorselOutcome> = outcomes.iter().collect();
     order.sort_by_key(|o| (o.shard, o.lo));
     let mut deques: Vec<VecDeque<u64>> = vec![VecDeque::new(); workers];
@@ -164,16 +186,21 @@ pub(crate) fn virtual_schedule(
         deques[home].push_back(o.run.report.cycles);
         backlog[home] += o.run.report.cycles;
     }
-    let mut loads = vec![0u64; workers];
+    let mut sched = VirtualSchedule {
+        loads: vec![0u64; workers],
+        morsels: vec![0u64; workers],
+        stolen: vec![0u64; workers],
+        steals: 0,
+    };
     let mut live = vec![true; workers];
-    let mut steals = 0u64;
     while let Some(w) = (0..workers)
         .filter(|&w| live[w])
-        .min_by_key(|&w| (loads[w], w))
+        .min_by_key(|&w| (sched.loads[w], w))
     {
         if let Some(cycles) = deques[w].pop_front() {
             backlog[w] -= cycles;
-            loads[w] += cycles;
+            sched.loads[w] += cycles;
+            sched.morsels[w] += 1;
         } else if steal {
             let victim = (0..workers)
                 .filter(|&v| !deques[v].is_empty())
@@ -182,8 +209,10 @@ pub(crate) fn virtual_schedule(
                 Some(v) => {
                     let cycles = deques[v].pop_back().expect("victim deque is non-empty");
                     backlog[v] -= cycles;
-                    loads[w] += cycles;
-                    steals += 1;
+                    sched.loads[w] += cycles;
+                    sched.morsels[w] += 1;
+                    sched.stolen[w] += 1;
+                    sched.steals += 1;
                 }
                 None => live[w] = false,
             }
@@ -191,7 +220,7 @@ pub(crate) fn virtual_schedule(
             live[w] = false;
         }
     }
-    (loads, steals)
+    sched
 }
 
 /// One in-flight query: per-worker deques, a completion counter, and
@@ -205,6 +234,9 @@ struct Job {
     /// Set when a morsel panicked on its worker; the coordinator
     /// re-raises instead of merging a silently incomplete answer.
     failed: AtomicBool,
+    /// When the job was seeded — traced morsels report their deque
+    /// wait as the host time from here to their claim.
+    submitted: std::time::Instant,
 }
 
 struct State {
@@ -303,7 +335,7 @@ impl Executor {
         self.submit(morsels.into_iter().map(Task::Agg).collect(), dict)
             .into_iter()
             .map(|o| match o {
-                TaskOutcome::Agg(o) => o,
+                TaskOutcome::Agg(o) => *o,
                 TaskOutcome::Join(_) => unreachable!("aggregation tasks yield Agg outcomes"),
             })
             .collect()
@@ -339,6 +371,7 @@ impl Executor {
             dict,
             steal: self.config.steal,
             failed: AtomicBool::new(false),
+            submitted: std::time::Instant::now(),
         });
         // Seed locality-first: shard i's morsels land on worker i mod W
         // in row order (LIFO pop serves the newest range, FIFO steal
@@ -445,7 +478,19 @@ fn worker_loop(id: usize, shared: &Shared, sim: SimConfig) {
             // queries.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &task {
                 Task::Agg(morsel) => {
-                    let mut run = session.run_partial_range(&morsel.plan, morsel.lo, morsel.hi);
+                    let queue_wait_ns = morsel
+                        .traced
+                        .then(|| job.submitted.elapsed().as_nanos() as u64);
+                    let (mut run, steps) = if morsel.traced {
+                        let (run, steps) =
+                            session.run_partial_range_traced(&morsel.plan, morsel.lo, morsel.hi);
+                        (run, Some(steps))
+                    } else {
+                        (
+                            session.run_partial_range(&morsel.plan, morsel.lo, morsel.hi),
+                            None,
+                        )
+                    };
                     if let Some(dict) = &job.dict {
                         // Composite grouping: trade the locally fused
                         // keys for shared dense ids so partials merge
@@ -454,13 +499,25 @@ fn worker_loop(id: usize, shared: &Shared, sim: SimConfig) {
                         run.partial =
                             dict.remap(run.partial, crate::session::rest_of(&run.key_domains));
                     }
-                    TaskOutcome::Agg(MorselOutcome {
+                    let trace = steps.map(|steps| MorselTrace {
+                        shard: morsel.shard,
+                        lo: morsel.lo,
+                        hi: morsel.hi,
+                        home_worker: morsel.shard % job.deques.len(),
+                        worker: id,
+                        stolen,
+                        queue_wait_ns: queue_wait_ns.unwrap_or(0),
+                        cycles: run.report.cycles,
+                        steps,
+                    });
+                    TaskOutcome::Agg(Box::new(MorselOutcome {
                         shard: morsel.shard,
                         lo: morsel.lo,
                         worker: id,
                         stolen,
                         run,
-                    })
+                        trace,
+                    }))
                 }
                 Task::Join(morsel) => TaskOutcome::Join(morsel.run(stolen)),
             }));
@@ -508,6 +565,7 @@ mod tests {
                 plan: Arc::clone(plan),
                 lo,
                 hi,
+                traced: false,
             });
             lo = hi;
         }

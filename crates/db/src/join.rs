@@ -511,6 +511,19 @@ pub(crate) struct JoinIndex {
     buckets: Vec<Vec<u32>>,
 }
 
+impl JoinIndex {
+    /// Distinct build key tuples interned into this partition.
+    pub(crate) fn entries(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Intern calls answered by an existing entry (duplicate build
+    /// keys).
+    pub(crate) fn dict_hits(&self) -> u64 {
+        self.dict.hits()
+    }
+}
+
 /// Interns build rows `lo..hi` of `keys` into `sinks` — one sink
 /// broadcasts, several partition by [`route`] of the key tuple.
 pub(crate) fn build_range(sinks: &[JoinBuildSink], keys: &[Arc<[u32]>], lo: usize, hi: usize) {
@@ -659,6 +672,36 @@ pub(crate) fn derived_table(
 /// single-session [`JoinStrategy::Local`] path): build, probe, gather
 /// the derived table.
 pub(crate) fn join_local(plan: &JoinPlan, left: &Table, right: &Table) -> Table {
+    join_local_traced(plan, left, right).0
+}
+
+/// Host-side observations of one local join execution, recorded for
+/// `EXPLAIN ANALYZE`. The join runs entirely on the host (no simulated
+/// machine work), so recording them cannot perturb any result.
+pub(crate) struct LocalJoinObs {
+    /// Build-side input rows interned.
+    pub(crate) build_rows: usize,
+    /// Distinct key tuples the build dictionary holds.
+    pub(crate) entries: usize,
+    /// Intern calls answered by an existing entry.
+    pub(crate) dict_hits: u64,
+    /// Probe-side input rows streamed.
+    pub(crate) probe_rows: usize,
+    /// Matched `(probe, build)` pairs emitted.
+    pub(crate) pairs: usize,
+    /// Host nanoseconds spent freezing the build index (the barrier
+    /// between the phases). Wall-clock; diagnostic only.
+    pub(crate) freeze_ns: u64,
+}
+
+/// [`join_local`] plus the [`LocalJoinObs`] the run produced. The
+/// untraced path calls this too and drops the observations — they are
+/// a handful of host-side reads, not measurable work.
+pub(crate) fn join_local_traced(
+    plan: &JoinPlan,
+    left: &Table,
+    right: &Table,
+) -> (Table, LocalJoinObs) {
     let (build_t, probe_t) = if plan.build_right {
         (right, left)
     } else {
@@ -668,9 +711,19 @@ pub(crate) fn join_local(plan: &JoinPlan, left: &Table, right: &Table) -> Table 
     let probe = ColumnSet::from_table(probe_t, &side_columns(plan, false));
     let sinks = [JoinBuildSink::new()];
     build_range(&sinks, &build.keys(&plan.build_keys()), 0, build_t.rows());
+    let freeze_start = std::time::Instant::now();
     let indexes = [sinks[0].freeze()];
+    let freeze_ns = freeze_start.elapsed().as_nanos() as u64;
     let pairs = probe_range(&indexes, &probe.keys(&plan.probe_keys()), 0, probe_t.rows());
-    derived_table(plan, &pairs, &probe, &build)
+    let obs = LocalJoinObs {
+        build_rows: build_t.rows(),
+        entries: indexes[0].entries(),
+        dict_hits: indexes[0].dict_hits(),
+        probe_rows: probe_t.rows(),
+        pairs: pairs.len(),
+        freeze_ns,
+    };
+    (derived_table(plan, &pairs, &probe, &build), obs)
 }
 
 /// What a join morsel does: cooperatively intern a build row range, or

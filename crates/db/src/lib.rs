@@ -60,7 +60,14 @@
 //!   compaction, which doubles as the WAL checkpoint), and
 //!   `CREATE SNAPSHOT name` / `AS OF name` / `AS OF data_version N`
 //!   give named, crash-surviving time travel — torn log tails are
-//!   truncated, real corruption surfaces as typed [`WalError`]s.
+//!   truncated, real corruption surfaces as typed [`WalError`]s;
+//! * observability — `EXPLAIN ANALYZE SELECT ...` executes with a
+//!   [`QueryTrace`] span tree threaded through the engine (per-step
+//!   rows and simulated cycles, per-morsel worker/steal/queue-wait
+//!   spans, bit-identical rows to the untraced run), and every
+//!   catalogue owns a [`MetricsRegistry`] snapshotted by
+//!   [`Database::metrics`] — query/ingest/cache/WAL/executor counters,
+//!   a cycle histogram and a bounded [slow-query ring](SlowQuery).
 //!
 //! ## Snapshot reads under ingest
 //!
@@ -175,6 +182,7 @@ pub mod filter;
 pub mod ingest;
 pub mod join;
 pub mod keydict;
+pub mod metrics;
 pub mod plan;
 pub mod prepared;
 pub mod query;
@@ -185,11 +193,12 @@ pub mod snapshot;
 pub mod sql;
 pub mod table;
 pub mod tempdir;
+pub mod trace;
 pub mod wal;
 
 pub use cache::{CacheStats, PlanCache, QueryShape};
 pub use catalogue::SharedCatalogue;
-pub use database::{Database, MutationReceipt, SqlError, SqlOutcome};
+pub use database::{Database, ExplainOutput, MutationReceipt, SqlError, SqlOutcome};
 pub use delta::{ColumnStats, DeltaStore, TableStats};
 pub use engine::{CardinalityEstimation, Engine, ExecutionReport, QueryOutput, Row};
 pub use executor::{Executor, ExecutorConfig, ExecutorStats};
@@ -197,6 +206,7 @@ pub use filter::{reference_filter, vector_filter, Predicate};
 pub use ingest::{CompactionPolicy, IngestError, IngestReceipt, RowBatch};
 pub use join::{JoinPlan, JoinStrategy, PreparedJoin};
 pub use keydict::KeyDictionary;
+pub use metrics::{MetricsRegistry, MetricsSnapshot, SlowQuery};
 pub use plan::{PlanError, PlanStep, QueryPlan, ScanMode};
 pub use prepared::PreparedStatement;
 pub use query::{AggFn, AggregateQuery, Having, OrderBy, OrderKey};
@@ -211,4 +221,5 @@ pub use sql::{
 };
 pub use table::{ColumnMeta, ParseCsvError, Table};
 pub use tempdir::TempDir;
+pub use trace::{AnalyzedQuery, MorselTrace, QueryTrace, StepRollup, StepTrace, WorkerRollup};
 pub use wal::WalError;

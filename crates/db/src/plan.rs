@@ -282,6 +282,24 @@ impl fmt::Display for PlanStep {
     }
 }
 
+impl PlanStep {
+    /// The planner's estimate of this step's output rows, where the
+    /// step itself carries one: the `LIMIT` budget, the join build
+    /// side's KMV distinct estimate, the join probe side's input rows.
+    /// `None` for steps whose estimate lives on the plan (aggregate
+    /// cardinality) or that the planner does not estimate at all
+    /// (WHERE/HAVING selectivity). `EXPLAIN ANALYZE` renders these
+    /// against the observed actuals (see [`crate::StepRollup`]).
+    pub fn estimated_rows(&self) -> Option<u64> {
+        match self {
+            PlanStep::Limit(rows) => Some(*rows as u64),
+            PlanStep::JoinBuild { distinct, .. } => Some(*distinct),
+            PlanStep::JoinProbe { rows, .. } => Some(*rows as u64),
+            _ => None,
+        }
+    }
+}
+
 /// A planned query: the typed steps, the resolved algorithm decision,
 /// and shared (`Arc`) snapshots of the columns the session will stage.
 ///

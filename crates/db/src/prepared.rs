@@ -211,6 +211,26 @@ impl PreparedStatement {
         Ok(db.run_plan(&plan))
     }
 
+    /// Binds `params` and executes with tracing on — the prepared
+    /// twin of `EXPLAIN ANALYZE`: the returned
+    /// [`crate::AnalyzedQuery`] carries rows bit-identical to
+    /// [`PreparedStatement::execute`] plus the per-step
+    /// estimated-vs-actual trace. Counts as an execution for
+    /// [`PreparedStatement::executions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedStatement::execute`].
+    pub fn analyze(
+        &mut self,
+        db: &mut Database,
+        params: &[u64],
+    ) -> Result<crate::AnalyzedQuery, SqlError> {
+        let plan = self.bound_plan_at(db.catalogue(), db.txn_snapshot(), params)?;
+        self.executions += 1;
+        Ok(db.run_plan_traced(&plan))
+    }
+
     /// Binds `params` and returns the executable plan without running
     /// it — the shared half of [`PreparedStatement::execute`] and the
     /// sharded execution path.

@@ -12,6 +12,7 @@ use crate::engine::{ExecutionReport, QueryOutput, Row};
 use crate::filter::vector_filter;
 use crate::plan::{PlanStep, QueryPlan, ScanMode};
 use crate::query::{AggFn, AggregateQuery, OrderKey};
+use crate::trace::StepTrace;
 use vagg_core::input::vector_max_scan;
 use vagg_core::{minmax_aggregate, PartialAggregate, StagedInput};
 use vagg_sim::{Machine, SimConfig};
@@ -127,8 +128,29 @@ impl Session {
     /// Execution is infallible: every error condition is typed and
     /// rejected at plan time by [`crate::Engine::plan`].
     pub fn run(&mut self, plan: &QueryPlan) -> QueryOutput {
+        self.run_with(plan, None)
+    }
+
+    /// Executes a plan exactly like [`Session::run`] while recording a
+    /// [`StepTrace`] per executed step (rows in/out and the simulated
+    /// cycle delta of each phase).
+    ///
+    /// Tracing only *reads* the cycle counter and host-side lengths, so
+    /// the returned output is bit-identical to the untraced run — the
+    /// property `EXPLAIN ANALYZE` relies on.
+    pub fn run_traced(&mut self, plan: &QueryPlan) -> (QueryOutput, Vec<StepTrace>) {
+        let mut steps = Vec::new();
+        let out = self.run_with(plan, Some(&mut steps));
+        (out, steps)
+    }
+
+    fn run_with(
+        &mut self,
+        plan: &QueryPlan,
+        mut trace: Option<&mut Vec<StepTrace>>,
+    ) -> QueryOutput {
         let start_cycles = self.machine.cycles();
-        let d = self.run_distributive(plan, 0, plan.rows);
+        let d = self.run_distributive(plan, 0, plan.rows, trace.as_deref_mut());
         let n = plan.rows;
         if d.skipped {
             let cycles = self.machine.cycles() - start_cycles;
@@ -149,13 +171,48 @@ impl Session {
         // HAVING: vectorised selection over the output table, compacting
         // every output column behind the aggregate's mask.
         if let Some(h) = &plan.query.having {
+            let (before, c0) = (base.len(), m.cycles());
             (base, mm) = apply_having(m, h, base, mm);
+            if let Some(t) = trace.as_deref_mut() {
+                if let Some(step) = find_step(plan, |s| matches!(s, PlanStep::VectorHaving { .. }))
+                {
+                    t.push(StepTrace {
+                        step,
+                        rows_in: before as u64,
+                        rows_out: base.len() as u64,
+                        cycles: m.cycles() - c0,
+                    });
+                }
+            }
         }
 
         // ORDER BY: stable vectorised radix sort of the output rows by
         // the requested key (complement key for DESC), then LIMIT.
         if let Some(ob) = &plan.query.order_by {
+            let (before, c0) = (base.len(), m.cycles());
             (base, mm) = apply_order_by(m, ob, base, mm);
+            if let Some(t) = trace {
+                let cycles = m.cycles() - c0;
+                if let Some(step) = find_step(plan, |s| matches!(s, PlanStep::VectorOrderBy { .. }))
+                {
+                    // The sort permutes without dropping rows; LIMIT
+                    // truncates afterwards (and costs no cycles).
+                    t.push(StepTrace {
+                        step,
+                        rows_in: before as u64,
+                        rows_out: before as u64,
+                        cycles,
+                    });
+                }
+                if let Some(step) = find_step(plan, |s| matches!(s, PlanStep::Limit(_))) {
+                    t.push(StepTrace {
+                        step,
+                        rows_in: before as u64,
+                        rows_out: base.len() as u64,
+                        cycles: 0,
+                    });
+                }
+            }
         }
 
         let rows = assemble_rows(
@@ -208,13 +265,41 @@ impl Session {
     ///
     /// If `lo..hi` is not a sub-range of `0..plan.rows()`.
     pub fn run_partial_range(&mut self, plan: &QueryPlan, lo: usize, hi: usize) -> PartialRun {
+        self.run_partial_range_with(plan, lo, hi, None)
+    }
+
+    /// [`Session::run_partial_range`] with per-step tracing — the morsel
+    /// entry point of `EXPLAIN ANALYZE`. Same bit-identity guarantee as
+    /// [`Session::run_traced`].
+    ///
+    /// # Panics
+    ///
+    /// If `lo..hi` is not a sub-range of `0..plan.rows()`.
+    pub fn run_partial_range_traced(
+        &mut self,
+        plan: &QueryPlan,
+        lo: usize,
+        hi: usize,
+    ) -> (PartialRun, Vec<StepTrace>) {
+        let mut steps = Vec::new();
+        let run = self.run_partial_range_with(plan, lo, hi, Some(&mut steps));
+        (run, steps)
+    }
+
+    fn run_partial_range_with(
+        &mut self,
+        plan: &QueryPlan,
+        lo: usize,
+        hi: usize,
+        trace: Option<&mut Vec<StepTrace>>,
+    ) -> PartialRun {
         assert!(
             lo <= hi && hi <= plan.rows,
             "morsel {lo}..{hi} escapes the plan's {} rows",
             plan.rows
         );
         let start_cycles = self.machine.cycles();
-        let d = self.run_distributive(plan, lo, hi);
+        let d = self.run_distributive(plan, lo, hi, trace);
         let cycles = self.machine.cycles() - start_cycles;
         let steps = if d.skipped {
             skipped_steps(plan)
@@ -237,7 +322,20 @@ impl Session {
     // stage → fuse → filter → metadata scan → aggregate: the slice of
     // execution whose outputs merge across disjoint row partitions
     // (and, within a partition, across disjoint `lo..hi` morsels).
-    fn run_distributive(&mut self, plan: &QueryPlan, lo: usize, hi: usize) -> Distributive {
+    //
+    // With `trace` set, each phase's observed rows and cycle delta are
+    // recorded. Recording only reads the cycle counter and host lengths
+    // — it issues no machine work — so traced and untraced runs are
+    // bit-identical; the per-step cycles sum to the phase-exact total
+    // (staging is billed to the filter when one runs, to the
+    // cardinality scan otherwise).
+    fn run_distributive(
+        &mut self,
+        plan: &QueryPlan,
+        lo: usize,
+        hi: usize,
+        mut trace: Option<&mut Vec<StepTrace>>,
+    ) -> Distributive {
         self.queries += 1;
         // Queries own no machine-resident state between runs (results are
         // read back to the host), so reclaim the simulated address space
@@ -248,6 +346,14 @@ impl Session {
         let m = &mut self.machine;
         let n = hi - lo;
         if n == 0 {
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(StepTrace {
+                    step: PlanStep::AggregateSkipped,
+                    rows_in: 0,
+                    rows_out: 0,
+                    cycles: 0,
+                });
+            }
             return Distributive {
                 base: vagg_core::AggResult {
                     groups: Vec::new(),
@@ -268,17 +374,29 @@ impl Session {
         let (g_fused, key_domains): (Option<Vec<u32>>, Vec<u32>) = if plan.rest.is_empty() {
             (None, Vec::new())
         } else {
+            let c0 = m.cycles();
             let mut cols: Vec<&[u32]> = vec![&plan.group[lo..hi]];
             for col in &plan.rest {
                 cols.push(&col[lo..hi]);
             }
             let (fused, domains) = fuse_group_columns(m, &cols);
+            if let Some(t) = trace.as_deref_mut() {
+                if let Some(step) = find_step(plan, |s| matches!(s, PlanStep::FuseKeys { .. })) {
+                    t.push(StepTrace {
+                        step,
+                        rows_in: n as u64,
+                        rows_out: n as u64,
+                        cycles: m.cycles() - c0,
+                    });
+                }
+            }
             (Some(fused), domains)
         };
         let g: &[u32] = g_fused.as_deref().unwrap_or(&plan.group[lo..hi]);
         let v: &[u32] = &plan.value[lo..hi];
 
         // WHERE: vectorised selection into fresh compacted columns.
+        let stage0 = m.cycles();
         let (input, rows_aggregated) = if let Some((_, pred)) = &plan.query.filter {
             let w: &[u32] = &plan
                 .filter_col
@@ -291,6 +409,24 @@ impl Session {
             let vd = m.space_mut().alloc(4 * n as u64, 64);
             let kept = vector_filter(m, ws, n, *pred, &[(gs, gd), (vs, vd)]);
             if kept == 0 {
+                if let Some(t) = trace.as_deref_mut() {
+                    if let Some(step) =
+                        find_step(plan, |s| matches!(s, PlanStep::VectorFilter { .. }))
+                    {
+                        t.push(StepTrace {
+                            step,
+                            rows_in: n as u64,
+                            rows_out: 0,
+                            cycles: m.cycles() - stage0,
+                        });
+                    }
+                    t.push(StepTrace {
+                        step: PlanStep::AggregateSkipped,
+                        rows_in: 0,
+                        rows_out: 0,
+                        cycles: 0,
+                    });
+                }
                 // Nothing survived: no aggregation algorithm runs at
                 // all, and the partial is empty (of the right family).
                 return Distributive {
@@ -315,9 +451,27 @@ impl Session {
                 n: kept,
                 presorted: plan.presorted,
             };
+            if let Some(t) = trace.as_deref_mut() {
+                if let Some(step) = find_step(plan, |s| matches!(s, PlanStep::VectorFilter { .. }))
+                {
+                    t.push(StepTrace {
+                        step,
+                        rows_in: n as u64,
+                        rows_out: kept as u64,
+                        cycles: m.cycles() - stage0,
+                    });
+                }
+            }
             (staged, kept)
         } else {
             (StagedInput::stage_raw(m, g, v, plan.presorted), n)
+        };
+        // Staging is billed to the filter when one ran (nothing on the
+        // machine separates them), to the cardinality scan otherwise.
+        let scan0 = if plan.query.filter.is_some() {
+            m.cycles()
+        } else {
+            stage0
         };
 
         // The charged planning scan (§III-A): the session replays the
@@ -334,6 +488,17 @@ impl Session {
                 let _ = vagg_core::sampling::sampled_max_scan(m, &input, stride);
             }
         }
+        let agg0 = m.cycles();
+        if let Some(t) = trace.as_deref_mut() {
+            if let Some(step) = find_step(plan, |s| matches!(s, PlanStep::CardinalityScan { .. })) {
+                t.push(StepTrace {
+                    step,
+                    rows_in: rows_aggregated as u64,
+                    rows_out: rows_aggregated as u64,
+                    cycles: agg0 - scan0,
+                });
+            }
+        }
 
         // Aggregate.
         let (base, mm) = if plan.query.needs_minmax() {
@@ -343,6 +508,18 @@ impl Session {
             let (result, _) = plan.algorithm.execute(m, &input);
             (result, None)
         };
+        if let Some(t) = trace {
+            if let Some(step) = find_step(plan, |s| {
+                matches!(s, PlanStep::Aggregate(_) | PlanStep::MinMaxKernel)
+            }) {
+                t.push(StepTrace {
+                    step,
+                    rows_in: rows_aggregated as u64,
+                    rows_out: base.len() as u64,
+                    cycles: m.cycles() - agg0,
+                });
+            }
+        }
 
         Distributive {
             base,
@@ -375,6 +552,12 @@ fn skipped_steps(plan: &QueryPlan) -> Vec<PlanStep> {
         .collect();
     steps.push(PlanStep::AggregateSkipped);
     steps
+}
+
+// The cloned plan step matching `pred`, for trace records. Planned
+// steps are unique per kind, so the first match is the step.
+fn find_step(plan: &QueryPlan, pred: impl Fn(&PlanStep) -> bool) -> Option<PlanStep> {
+    plan.steps.iter().find(|s| pred(s)).cloned()
 }
 
 // The distributive prefix of the planned steps: everything up to and

@@ -51,6 +51,7 @@
 //! accessors per shard and merged.
 
 use crate::catalogue::CatOp;
+use crate::database::ExplainOutput;
 use crate::database::{Database, MutationReceipt, SqlError};
 use crate::delta::TableStats;
 use crate::engine::{Engine, ExecutionReport, QueryOutput, Row};
@@ -62,7 +63,8 @@ use crate::join::{
     JoinPlan, JoinStrategy, JoinWork,
 };
 use crate::keydict::{permute, KeyDictionary};
-use crate::plan::{PlanError, QueryPlan};
+use crate::metrics::{MetricsSnapshot, SlowQuery};
+use crate::plan::{PlanError, PlanStep, QueryPlan};
 use crate::prepared::PreparedStatement;
 use crate::query::{AggregateQuery, Having, OrderBy, OrderKey};
 use crate::recovery;
@@ -72,6 +74,7 @@ use crate::snapshot::{Snapshot, SnapshotStats};
 use crate::sql::SqlQuery;
 use crate::sql::{parse_statement, parse_template, Statement};
 use crate::table::Table;
+use crate::trace::{QueryTrace, WorkerRollup};
 use crate::wal::{self, WalError, WalRecord, WalWriter};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -168,6 +171,10 @@ pub struct ShardedOutput {
     /// worker — zero when stealing is disabled
     /// ([`ExecutorConfig::steal`]).
     pub steals: u64,
+    /// The execution trace, present when the statement was an
+    /// `EXPLAIN ANALYZE` (boxed: traces carry per-morsel spans and are
+    /// much larger than the merged rows).
+    pub trace: Option<Box<QueryTrace>>,
 }
 
 /// An atomic cross-shard point-in-time cut of a [`ShardedDatabase`]:
@@ -400,6 +407,41 @@ impl ShardedDatabase {
     /// since the current pool was built.
     pub fn executor_stats(&self) -> ExecutorStats {
         self.executor.stats()
+    }
+
+    /// One metrics snapshot for the whole sharded database: every
+    /// shard's [`Database::metrics`] summed (counters and the query
+    /// cycle histogram; the worst slow queries kept), plus the shared
+    /// worker pool's counters as `executor_queries` / `executor_morsels`
+    /// / `executor_steals`.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for shard in &self.shards {
+            snap.merge(shard.metrics());
+        }
+        let stats = self.executor.stats();
+        snap.add("executor_queries", stats.queries);
+        snap.add("executor_morsels", stats.morsels);
+        snap.add("executor_steals", stats.steals);
+        snap
+    }
+
+    /// The worst coordinator queries on record, sorted worst-first (the
+    /// coordinator records into shard 0's registry; see
+    /// [`Database::slow_queries`]).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shards
+            .first()
+            .map(Database::slow_queries)
+            .unwrap_or_default()
+    }
+
+    /// Only coordinator queries costing at least `cycles` enter the
+    /// slow-query ring (see [`Database::set_slow_query_threshold`]).
+    pub fn set_slow_query_threshold(&self, cycles: u64) {
+        if let Some(shard) = self.shards.first() {
+            shard.set_slow_query_threshold(cycles);
+        }
     }
 
     /// Sets every shard's delta-compaction policy (each shard compacts
@@ -660,10 +702,12 @@ impl ShardedDatabase {
                 expected: "INSERT",
                 found: "SELECT".into(),
             })),
-            Statement::Explain(_) => Err(SqlError::Parse(crate::sql::ParseSqlError::Expected {
-                expected: "INSERT",
-                found: "EXPLAIN".into(),
-            })),
+            Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
+                Err(SqlError::Parse(crate::sql::ParseSqlError::Expected {
+                    expected: "INSERT",
+                    found: "EXPLAIN".into(),
+                }))
+            }
             Statement::Delete(_) | Statement::Update(_) => Err(SqlError::MutationStatement),
             Statement::CreateSnapshot(_) => Err(SqlError::ShardedTimeTravel),
             Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
@@ -695,7 +739,7 @@ impl ShardedDatabase {
                 self.mutate_shards(&upd.table, Some(&upd.sets), upd.filter.as_ref())
             }
             Statement::Insert(_) => Err(SqlError::InsertStatement),
-            Statement::Select(_) | Statement::Explain(_) => {
+            Statement::Select(_) | Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
                 Err(SqlError::Parse(crate::sql::ParseSqlError::Expected {
                     expected: "DELETE or UPDATE",
                     found: "SELECT".into(),
@@ -788,9 +832,11 @@ impl ShardedDatabase {
     }
 
     /// Parses and runs one `SELECT` across every shard, merging the
-    /// partial aggregates (see the [module docs](self)). `EXPLAIN` is
-    /// rejected — use [`ShardedDatabase::explain_sql`] for the typed
-    /// per-shard plan — and so is `INSERT` (use
+    /// partial aggregates (see the [module docs](self)).
+    /// `EXPLAIN ANALYZE SELECT …` executes with per-morsel tracing on
+    /// and returns the span tree in [`ShardedOutput::trace`]. Bare
+    /// `EXPLAIN` is rejected — use [`ShardedDatabase::explain_sql`]
+    /// for the typed per-shard plan — and so is `INSERT` (use
     /// [`ShardedDatabase::insert_sql`], which routes rows to shards).
     ///
     /// # Errors
@@ -807,13 +853,31 @@ impl ShardedDatabase {
                 if q.as_of.is_some() {
                     return Err(SqlError::ShardedTimeTravel);
                 }
-                if q.join.is_some() {
+                let out = if q.join.is_some() {
                     // An atomic cross-shard cut: both join sides read
                     // the same moment on every shard.
                     let cut = self.snapshot();
-                    return self.run_join_cut(&cut, &q);
+                    self.run_join_cut(&cut, &q, None)?
+                } else {
+                    self.run_query(&q.table, &q.query, None)?
+                };
+                self.note_query(sql, &out);
+                Ok(out)
+            }
+            Statement::ExplainAnalyze(q) => {
+                if q.as_of.is_some() {
+                    return Err(SqlError::ShardedTimeTravel);
                 }
-                self.run_query(&q.table, &q.query)
+                let mut trace = QueryTrace::new(sql.trim().to_string());
+                let mut out = if q.join.is_some() {
+                    let cut = self.snapshot();
+                    self.run_join_cut(&cut, &q, Some(&mut trace))?
+                } else {
+                    self.run_query(&q.table, &q.query, Some(&mut trace))?
+                };
+                out.trace = Some(Box::new(trace));
+                self.note_query(sql, &out);
+                Ok(out)
             }
             Statement::Explain(_) => Err(SqlError::ExplainStatement),
             Statement::Insert(_) => Err(SqlError::InsertStatement),
@@ -822,6 +886,25 @@ impl ShardedDatabase {
             Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
                 Err(SqlError::TransactionStatement)
             }
+        }
+    }
+
+    /// Folds one finished query into the coordinator's metrics registry
+    /// (shard 0's catalogue owns the sharded registry; see
+    /// [`ShardedDatabase::metrics`]).
+    fn note_query(&self, sql: &str, out: &ShardedOutput) {
+        let Some(shard) = self.shards.first() else {
+            return;
+        };
+        let metrics = shard.catalogue().metrics();
+        metrics.record_query(
+            sql.trim(),
+            out.report.cycles,
+            out.rows.len() as u64,
+            out.report.steps.len(),
+        );
+        if out.trace.is_some() {
+            metrics.record_traced_query();
         }
     }
 
@@ -846,19 +929,16 @@ impl ShardedDatabase {
     ) -> Result<ShardedOutput, SqlError> {
         match parse_statement(sql)? {
             Statement::Select(q) => {
-                if q.as_of.is_some() {
-                    return Err(SqlError::ShardedTimeTravel);
-                }
-                if q.join.is_some() {
-                    self.check_snapshot(snap)?;
-                    for (shard, cut) in self.shards.iter().zip(snap.shards.iter()) {
-                        if !cut.catalogue().is_same(shard.catalogue()) {
-                            return Err(SqlError::ForeignSnapshot);
-                        }
-                    }
-                    return self.run_join_cut(snap, &q);
-                }
-                self.run_query_at(snap, &q.table, &q.query)
+                let out = self.run_stmt_at(snap, &q, None)?;
+                self.note_query(sql, &out);
+                Ok(out)
+            }
+            Statement::ExplainAnalyze(q) => {
+                let mut trace = QueryTrace::new(sql.trim().to_string());
+                let mut out = self.run_stmt_at(snap, &q, Some(&mut trace))?;
+                out.trace = Some(Box::new(trace));
+                self.note_query(sql, &out);
+                Ok(out)
             }
             Statement::Explain(_) => Err(SqlError::ExplainStatement),
             Statement::Insert(_) | Statement::Delete(_) | Statement::Update(_) => {
@@ -871,15 +951,42 @@ impl ShardedDatabase {
         }
     }
 
+    /// The `SELECT`-at-snapshot body shared by the plain and
+    /// `EXPLAIN ANALYZE` arms of [`ShardedDatabase::run_sql_at`].
+    fn run_stmt_at(
+        &mut self,
+        snap: &ShardedSnapshot,
+        q: &SqlQuery,
+        trace: Option<&mut QueryTrace>,
+    ) -> Result<ShardedOutput, SqlError> {
+        if q.as_of.is_some() {
+            return Err(SqlError::ShardedTimeTravel);
+        }
+        if q.join.is_some() {
+            self.check_snapshot(snap)?;
+            for (shard, cut) in self.shards.iter().zip(snap.shards.iter()) {
+                if !cut.catalogue().is_same(shard.catalogue()) {
+                    return Err(SqlError::ForeignSnapshot);
+                }
+            }
+            return self.run_join_cut(snap, q, trace);
+        }
+        self.run_query_at(snap, &q.table, &q.query, trace)
+    }
+
     /// Plans a statement against the first non-empty shard's partition
     /// (every shard plans the same shape; estimates are per-partition).
+    /// A statement with a `JOIN` clause routes through the join planner
+    /// and returns [`ExplainOutput::Join`] — the typed [`JoinPlan`] at
+    /// an atomic cross-shard cut, as [`ShardedDatabase::explain_join_sql`]
+    /// produces.
     ///
     /// # Errors
     ///
     /// As [`Database::explain_sql`].
-    pub fn explain_sql(&self, sql: &str) -> Result<QueryPlan, SqlError> {
+    pub fn explain_sql(&self, sql: &str) -> Result<ExplainOutput, SqlError> {
         let q = match parse_statement(sql)? {
-            Statement::Select(q) | Statement::Explain(q) => q,
+            Statement::Select(q) | Statement::Explain(q) | Statement::ExplainAnalyze(q) => q,
             Statement::Insert(_) => return Err(SqlError::InsertStatement),
             Statement::Delete(_) | Statement::Update(_) => return Err(SqlError::MutationStatement),
             Statement::CreateSnapshot(_) => return Err(SqlError::ShardedTimeTravel),
@@ -891,14 +998,17 @@ impl ShardedDatabase {
             return Err(SqlError::ShardedTimeTravel);
         }
         if q.join.is_some() {
-            return Err(SqlError::JoinStatement);
+            let cut = self.snapshot();
+            return Ok(ExplainOutput::Join(Box::new(self.plan_join_cut(&cut, &q)?)));
         }
         let shard = self
             .first_populated_shard(&q.table)?
             .ok_or(SqlError::Plan(PlanError::EmptyTable))?;
-        self.shards[shard]
-            .catalogue()
-            .plan_query(&q.table, &q.query)
+        Ok(ExplainOutput::Plan(Box::new(
+            self.shards[shard]
+                .catalogue()
+                .plan_query(&q.table, &q.query)?,
+        )))
     }
 
     /// Plans a two-table `JOIN` statement against an atomic cross-shard
@@ -915,7 +1025,7 @@ impl ShardedDatabase {
     /// clause.
     pub fn explain_join_sql(&self, sql: &str) -> Result<JoinPlan, SqlError> {
         let q = match parse_statement(sql)? {
-            Statement::Select(q) | Statement::Explain(q) => q,
+            Statement::Select(q) | Statement::Explain(q) | Statement::ExplainAnalyze(q) => q,
             Statement::Insert(_) => return Err(SqlError::InsertStatement),
             Statement::Delete(_) | Statement::Update(_) => return Err(SqlError::MutationStatement),
             Statement::CreateSnapshot(_) => return Err(SqlError::ShardedTimeTravel),
@@ -1004,7 +1114,7 @@ impl ShardedDatabase {
             return Err(SqlError::Plan(PlanError::EmptyTable));
         }
         let query = query.expect("a populated shard bound the query");
-        let out = self.execute_plans(&query, plans)?;
+        let out = self.execute_plans(&query, plans, None)?;
         stmt.executions += 1;
         Ok(out)
     }
@@ -1056,7 +1166,7 @@ impl ShardedDatabase {
             return Err(SqlError::Plan(PlanError::EmptyTable));
         }
         let query = query.expect("a populated shard bound the query");
-        let out = self.execute_plans(&query, plans)?;
+        let out = self.execute_plans(&query, plans, None)?;
         stmt.executions += 1;
         Ok(out)
     }
@@ -1099,6 +1209,7 @@ impl ShardedDatabase {
         &mut self,
         table: &str,
         query: &AggregateQuery,
+        trace: Option<&mut QueryTrace>,
     ) -> Result<ShardedOutput, SqlError> {
         // Plan every populated shard up front so errors surface before
         // any morsel runs.
@@ -1114,7 +1225,7 @@ impl ShardedDatabase {
         if plans.iter().all(Option::is_none) {
             return Err(SqlError::Plan(PlanError::EmptyTable));
         }
-        self.execute_plans(query, plans)
+        self.execute_plans(query, plans, trace)
     }
 
     /// [`ShardedDatabase::run_query`] at a pinned cross-shard cut:
@@ -1125,6 +1236,7 @@ impl ShardedDatabase {
         snap: &ShardedSnapshot,
         table: &str,
         query: &AggregateQuery,
+        trace: Option<&mut QueryTrace>,
     ) -> Result<ShardedOutput, SqlError> {
         self.check_snapshot(snap)?;
         // Unknown-table / all-empty detection runs against the *cut*:
@@ -1150,7 +1262,7 @@ impl ShardedDatabase {
         if plans.iter().all(Option::is_none) {
             return Err(SqlError::Plan(PlanError::EmptyTable));
         }
-        self.execute_plans(query, plans)
+        self.execute_plans(query, plans, trace)
     }
 
     /// Plans a two-table join at a cross-shard cut: schemas from any
@@ -1209,6 +1321,7 @@ impl ShardedDatabase {
         &mut self,
         cut: &ShardedSnapshot,
         q: &SqlQuery,
+        mut trace: Option<&mut QueryTrace>,
     ) -> Result<ShardedOutput, SqlError> {
         let plan = self.plan_join_cut(cut, q)?;
         let parts = |name: &str| -> Result<Vec<Table>, SqlError> {
@@ -1261,8 +1374,10 @@ impl ShardedDatabase {
 
         // Phase barrier: freeze the sinks into deterministic indexes,
         // then stream each shard's probe partition through them.
+        let freeze0 = std::time::Instant::now();
         let indexes: Arc<Vec<JoinIndex>> =
             Arc::new(sinks.iter().map(JoinBuildSink::freeze).collect());
+        let freeze_ns = freeze0.elapsed().as_nanos() as u64;
         let probe_sets: Vec<ColumnSet> = pparts
             .iter()
             .map(|t| ColumnSet::from_table(t, &side_columns(&plan, false)))
@@ -1289,6 +1404,36 @@ impl ShardedDatabase {
         let mut outcomes = self.executor.execute_join(probes);
         // Morsels complete in racy order; pair order must not.
         outcomes.sort_by_key(|o| (o.shard, o.lo));
+
+        if let Some(t) = trace.as_deref_mut() {
+            // The join phases are host-side shared-state work (interning
+            // into the sinks, probing the frozen indexes): no simulated
+            // cycles, observed rows only.
+            let entries: u64 = indexes.iter().map(|i| i.entries() as u64).sum();
+            let hits: u64 = indexes.iter().map(JoinIndex::dict_hits).sum();
+            let probe_rows: u64 = pparts.iter().map(|p| p.rows() as u64).sum();
+            let pairs: u64 = outcomes.iter().map(|o| o.pairs.len() as u64).sum();
+            for step in plan.steps() {
+                match step {
+                    PlanStep::JoinBuild { .. } => t.record_host_step(
+                        step.to_string(),
+                        step.estimated_rows(),
+                        build_rows as u64,
+                        entries,
+                    ),
+                    PlanStep::JoinProbe { .. } => t.record_host_step(
+                        step.to_string(),
+                        step.estimated_rows(),
+                        probe_rows,
+                        pairs,
+                    ),
+                    _ => {}
+                }
+            }
+            t.dict_entries += entries;
+            t.dict_hits += hits;
+            t.freeze_ns = Some(t.freeze_ns.unwrap_or(0) + freeze_ns);
+        }
 
         // Gather per-shard derived tables and run the ordinary sharded
         // aggregation pipeline over them.
@@ -1327,9 +1472,10 @@ impl ShardedDatabase {
                 shard_reports: Vec::new(),
                 worker_loads: vec![0; self.executor.worker_count()],
                 steals: 0,
+                trace: None,
             });
         }
-        let mut out = self.execute_plans(plan.query(), plans)?;
+        let mut out = self.execute_plans(plan.query(), plans, trace)?;
         let mut steps = plan.steps().to_vec();
         steps.append(&mut out.report.steps);
         out.report.steps = steps;
@@ -1343,6 +1489,7 @@ impl ShardedDatabase {
         &mut self,
         query: &AggregateQuery,
         plans: Vec<Option<QueryPlan>>,
+        mut trace: Option<&mut QueryTrace>,
     ) -> Result<ShardedOutput, SqlError> {
         // Composite grouping gets a query-scoped shared dictionary the
         // workers intern their key tuples into (see crate::keydict).
@@ -1350,6 +1497,14 @@ impl ShardedDatabase {
         let morsel_rows = self.executor.config().morsel_rows.max(1);
         let plans: Vec<Option<Arc<QueryPlan>>> =
             plans.into_iter().map(|p| p.map(Arc::new)).collect();
+        if let Some(t) = trace.as_deref_mut() {
+            // Establish the rollup order and sum each step's estimate
+            // across the shard plans (shards may pick different
+            // algorithms; their steps roll up separately by rendering).
+            for plan in plans.iter().flatten() {
+                t.estimate_plan(plan);
+            }
+        }
         let mut morsels = Vec::new();
         for (shard, plan) in plans.iter().enumerate() {
             let Some(plan) = plan else { continue };
@@ -1361,6 +1516,7 @@ impl ShardedDatabase {
                     plan: Arc::clone(plan),
                     lo,
                     hi,
+                    traced: trace.is_some(),
                 });
                 lo = hi;
             }
@@ -1372,12 +1528,41 @@ impl ShardedDatabase {
         // wall time, which says nothing about simulated cycles — see
         // `virtual_schedule`); the busiest worker's total is the
         // parallel makespan.
-        let (worker_loads, steals) = crate::executor::virtual_schedule(
+        let sched = crate::executor::virtual_schedule(
             &outcomes,
             self.executor.worker_count(),
             self.executor.config().steal,
         );
 
+        if let Some(t) = trace.as_deref_mut() {
+            let mut spans: Vec<_> = outcomes.iter().filter_map(|o| o.trace.clone()).collect();
+            // Completion order is racy; the trace keeps (shard, lo).
+            spans.sort_by_key(|s| (s.shard, s.lo));
+            for span in &spans {
+                t.record_steps(&span.steps);
+                t.queue_wait_ns += span.queue_wait_ns;
+            }
+            t.morsels.extend(spans);
+            t.workers = (0..sched.loads.len())
+                .map(|w| WorkerRollup {
+                    worker: w,
+                    cycles: sched.loads[w],
+                    morsels: sched.morsels[w],
+                    steals: sched.stolen[w],
+                })
+                .collect();
+            t.steals = sched.steals;
+            if let Some(dict) = &dict {
+                t.dict_entries += dict.len() as u64;
+                t.dict_hits += dict.hits();
+            }
+        }
+        let (worker_loads, steals) = (sched.loads, sched.steals);
+
+        let partial_groups: u64 = outcomes
+            .iter()
+            .map(|o| o.run.partial.base.groups.len() as u64)
+            .sum();
         let merged = PartialAggregate::merge_all(outcomes.iter().map(|o| o.run.partial.clone()))
             .unwrap_or_else(|| PartialAggregate::empty(query.needs_minmax()));
         // Composite grouping: the merged partial is keyed by dense
@@ -1387,11 +1572,55 @@ impl ShardedDatabase {
             None => (merged, Vec::new()),
         };
         let (mut base, mut mm) = (merged.base, merged.minmax);
+        // The coordinator tail's host steps slot into the trace between
+        // the distributive steps and the finalisers, mirroring when
+        // they actually ran.
+        let finaliser = plans.iter().flatten().find_map(|p| {
+            p.steps()
+                .iter()
+                .find(|s| {
+                    matches!(
+                        s,
+                        PlanStep::VectorHaving { .. }
+                            | PlanStep::VectorOrderBy { .. }
+                            | PlanStep::Limit(_)
+                    )
+                })
+                .map(ToString::to_string)
+        });
+        if let Some(t) = trace.as_deref_mut() {
+            t.record_host_step_before(
+                finaliser.as_deref(),
+                "MergePartials".to_string(),
+                None,
+                partial_groups,
+                base.groups.len() as u64,
+            );
+        }
         if let Some(h) = &query.having {
+            let before = base.groups.len() as u64;
             host_having(h, &mut base, &mut mm);
+            if let Some(t) = trace.as_deref_mut() {
+                if let Some(step) =
+                    find_plan_step(&plans, |s| matches!(s, PlanStep::VectorHaving { .. }))
+                {
+                    t.record_host_step(step, None, before, base.groups.len() as u64);
+                }
+            }
         }
         if let Some(ob) = &query.order_by {
+            let before = base.groups.len() as u64;
             host_order_by(ob, &mut base, &mut mm);
+            if let Some(t) = trace.as_deref_mut() {
+                if let Some(step) =
+                    find_plan_step(&plans, |s| matches!(s, PlanStep::VectorOrderBy { .. }))
+                {
+                    t.record_host_step(step, None, before, before);
+                }
+                if let Some(step) = find_plan_step(&plans, |s| matches!(s, PlanStep::Limit(_))) {
+                    t.record_host_step(step, None, before, base.groups.len() as u64);
+                }
+            }
         }
         let rows = assemble_rows(
             query,
@@ -1447,14 +1676,32 @@ impl ShardedDatabase {
             },
             steps: aggregated.map(|r| r.steps.clone()).unwrap_or_default(),
         };
+        if let Some(t) = trace {
+            t.cycles = report.cycles;
+            t.rows = rows.len() as u64;
+        }
         Ok(ShardedOutput {
             rows,
             report,
             shard_reports,
             worker_loads,
             steals,
+            trace: None,
         })
     }
+}
+
+/// The rendered form of the first plan step matching `pred` across the
+/// shard plans — the rollup key the coordinator's host-side finalisers
+/// record their actuals under (the shards all plan the same tail).
+fn find_plan_step(
+    plans: &[Option<Arc<QueryPlan>>],
+    pred: impl Fn(&PlanStep) -> bool,
+) -> Option<String> {
+    plans
+        .iter()
+        .flatten()
+        .find_map(|p| p.steps().iter().find(|s| pred(s)).map(ToString::to_string))
 }
 
 /// Resolves a merged, dense-id-keyed composite partial back to
@@ -1904,9 +2151,10 @@ mod tests {
             .run_sql("EXPLAIN SELECT g, SUM(v) FROM events GROUP BY g")
             .unwrap_err();
         assert_eq!(e, SqlError::ExplainStatement);
-        let plan = sharded
+        let out = sharded
             .explain_sql("SELECT g, SUM(v) FROM events GROUP BY g")
             .unwrap();
+        let plan = out.plan().expect("non-join SELECT yields a query plan");
         assert_eq!(plan.rows(), 50, "plans one shard's partition");
     }
 

@@ -252,6 +252,19 @@ pub struct SnapshotStats {
 }
 
 impl SnapshotStats {
+    /// Folds these counters into a [`crate::MetricsSnapshot`] under
+    /// `snapshot_*` names — the MVCC subsystem's contribution to the
+    /// unified registry view. The `oldest_pinned_version` gauge is
+    /// omitted: it is not a sum-mergeable counter.
+    pub(crate) fn export_into(&self, snap: &mut crate::metrics::MetricsSnapshot) {
+        snap.add("snapshots_live", self.live_snapshots);
+        snap.add("snapshot_pins_live", self.live_pins);
+        snap.add("snapshots_taken", self.snapshots_taken);
+        snap.add("snapshot_deferred_gcs", self.deferred_gcs);
+        snap.add("snapshot_reclaimed_gcs", self.reclaimed_gcs);
+        snap.add("snapshot_retired_deltas", self.retired_deltas as u64);
+    }
+
     /// Folds another catalogue's counters into this one (the sharded
     /// observability view: one registry per shard).
     pub(crate) fn absorb(&mut self, other: &SnapshotStats) {

@@ -130,6 +130,9 @@ pub enum Statement {
     Select(SqlQuery),
     /// Plan the query and return the typed [`crate::QueryPlan`].
     Explain(SqlQuery),
+    /// Execute the query with tracing on and return the rows plus a
+    /// per-step/per-morsel [`crate::QueryTrace`].
+    ExplainAnalyze(SqlQuery),
     /// Append rows through the write path
     /// (see [`crate::SharedCatalogue::append`]).
     Insert(InsertStatement),
@@ -667,6 +670,7 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
     let found = match parse_statement(sql)? {
         Statement::Select(q) => return Ok(q),
         Statement::Explain(_) => "EXPLAIN",
+        Statement::ExplainAnalyze(_) => "EXPLAIN",
         Statement::Insert(_) => "INSERT",
         Statement::Delete(_) => "DELETE",
         Statement::Update(_) => "UPDATE",
@@ -681,7 +685,7 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseSqlError> {
     })
 }
 
-/// Parses one statement: `SELECT ...`, `EXPLAIN SELECT ...`,
+/// Parses one statement: `SELECT ...`, `EXPLAIN [ANALYZE] SELECT ...`,
 /// `INSERT INTO t (cols...) VALUES (...), ...`, `DELETE FROM t ...`,
 /// `UPDATE t SET ...`, `CREATE SNAPSHOT name`, `BEGIN`
 /// (`[TRANSACTION]` / `READ ONLY`), `COMMIT` or `ROLLBACK`.
@@ -735,8 +739,14 @@ pub fn parse_statement(sql: &str) -> Result<Statement, ParseSqlError> {
     if explain {
         p.pos += 1;
     }
+    let analyze = explain && p.peek_is_keyword("ANALYZE");
+    if analyze {
+        p.pos += 1;
+    }
     let query = parse_select(&mut p)?;
-    Ok(if explain {
+    Ok(if analyze {
+        Statement::ExplainAnalyze(query)
+    } else if explain {
         Statement::Explain(query)
     } else {
         Statement::Select(query)
@@ -1534,6 +1544,25 @@ mod tests {
             parse_statement("SELECT g, SUM(v) FROM r GROUP BY g").unwrap(),
             Statement::Select(_)
         ));
+    }
+
+    #[test]
+    fn parses_explain_analyze_statements() {
+        let s = parse_statement("EXPLAIN ANALYZE SELECT g, SUM(v) FROM r GROUP BY g").unwrap();
+        match s {
+            Statement::ExplainAnalyze(q) => {
+                assert_eq!(q.table, "r");
+                assert_eq!(q.query.group_by, "g");
+            }
+            other => panic!("expected EXPLAIN ANALYZE, parsed {other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("explain analyze select g, sum(v) from r group by g").unwrap(),
+            Statement::ExplainAnalyze(_)
+        ));
+        // ANALYZE only means something directly after EXPLAIN; elsewhere
+        // it is an ordinary identifier (here: an unknown table's name).
+        assert!(parse_statement("SELECT g, SUM(v) FROM analyze GROUP BY g").is_ok());
     }
 
     #[test]

@@ -440,6 +440,20 @@ pub(crate) struct WalWriter {
     file: File,
     buffer: Vec<u8>,
     next_lsn: u64,
+    stats: WalWriterStats,
+}
+
+/// Lifetime counters of one [`WalWriter`], folded into
+/// [`crate::Database::metrics`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WalWriterStats {
+    /// Records framed into the buffer.
+    pub(crate) appends: u64,
+    /// Flushes that pushed buffered bytes to the OS (the durability
+    /// points; empty-buffer flushes are not counted).
+    pub(crate) flushes: u64,
+    /// Framed bytes written (header + payload).
+    pub(crate) bytes: u64,
 }
 
 impl WalWriter {
@@ -462,6 +476,7 @@ impl WalWriter {
             file,
             buffer: Vec::new(),
             next_lsn: first_lsn,
+            stats: WalWriterStats::default(),
         })
     }
 
@@ -476,6 +491,7 @@ impl WalWriter {
             file,
             buffer: Vec::new(),
             next_lsn,
+            stats: WalWriterStats::default(),
         })
     }
 
@@ -485,6 +501,8 @@ impl WalWriter {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         let payload = encode(record);
+        self.stats.appends += 1;
+        self.stats.bytes += 20 + payload.len() as u64;
         put_u32(&mut self.buffer, payload.len() as u32);
         put_u64(&mut self.buffer, checksum(lsn, &payload));
         put_u64(&mut self.buffer, lsn);
@@ -499,6 +517,7 @@ impl WalWriter {
             self.file.write_all(&self.buffer).map_err(WalError::io)?;
             self.file.flush().map_err(WalError::io)?;
             self.buffer.clear();
+            self.stats.flushes += 1;
         }
         Ok(())
     }
@@ -506,6 +525,19 @@ impl WalWriter {
     /// The LSN the next appended record will carry.
     pub(crate) fn next_lsn(&self) -> u64 {
         self.next_lsn
+    }
+
+    /// Lifetime append/flush/byte counters of this writer.
+    pub(crate) fn stats(&self) -> WalWriterStats {
+        self.stats
+    }
+
+    /// Seeds the counters from a predecessor writer so
+    /// [`WalWriter::stats`] stays cumulative across a checkpoint
+    /// rewrite (the checkpoint's own image records are not counted —
+    /// they re-state writes already counted when first appended).
+    pub(crate) fn carry_stats(&mut self, prior: WalWriterStats) {
+        self.stats = prior;
     }
 }
 

@@ -96,9 +96,10 @@ fn explain_golden_as_of_renders_frozen_provenance() {
     db.run_sql("INSERT INTO r (g, v) VALUES (9, 9)").unwrap();
 
     // A named version: the frozen label rides next to data_version.
-    let plan = db
+    let out = db
         .explain_sql("EXPLAIN SELECT g, COUNT(*), SUM(v) FROM r AS OF launch GROUP BY g")
         .unwrap();
+    let plan = out.plan().expect("non-join SELECT yields a query plan");
     assert_eq!(plan.as_of(), Some("launch@1"));
     assert_eq!(
         plan.explain(),
@@ -110,9 +111,10 @@ fn explain_golden_as_of_renders_frozen_provenance() {
     );
 
     // A raw version pin renders as data_version@N.
-    let plan = db
+    let out = db
         .explain_sql("EXPLAIN SELECT g, COUNT(*), SUM(v) FROM r AS OF data_version 2 GROUP BY g")
         .unwrap();
+    let plan = out.plan().expect("non-join SELECT yields a query plan");
     assert_eq!(plan.as_of(), Some("data_version@2"));
     assert_eq!(
         plan.explain(),
@@ -124,9 +126,10 @@ fn explain_golden_as_of_renders_frozen_provenance() {
     );
 
     // The live plan carries no provenance label.
-    let plan = db
+    let out = db
         .explain_sql("EXPLAIN SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g")
         .unwrap();
+    let plan = out.plan().expect("non-join SELECT yields a query plan");
     assert_eq!(plan.as_of(), None);
     assert!(!plan.explain().contains("as_of="));
 }
@@ -247,17 +250,179 @@ fn explain_golden_join_as_of_renders_the_pinned_cut() {
     assert_eq!(plan.left_data_version(), 1);
     assert!(plan.explain().contains(" as_of=cut"));
 
-    // The single-table EXPLAIN entry points refuse joins with a typed
-    // error pointing at the join APIs.
-    assert_eq!(
-        db.explain_sql(
+    // explain_sql routes join statements through the join planner and
+    // returns the join plan — no more JoinStatement refusal.
+    let out = db
+        .explain_sql(
             "EXPLAIN SELECT returns.region, COUNT(*), SUM(penalty) \
              FROM returns JOIN orders ON returns.region = orders.region \
              GROUP BY returns.region",
         )
-        .unwrap_err(),
-        SqlError::JoinStatement
+        .unwrap();
+    let join = out.join().expect("join SELECT yields a join plan");
+    assert_eq!(join.build_table(), "orders");
+    assert_eq!(join.probe_table(), "returns");
+    assert!(out.explain().contains("join=hash"));
+}
+
+/// Normalizes an `EXPLAIN ANALYZE` rendering for golden comparison:
+/// wall-clock diagnostics (`*_ns`) and simulated cycle totals are
+/// replaced with `_` so the golden pins only the stable fields — the
+/// step order, estimates, and observed row counts.
+fn normalize_analyze(text: &str) -> String {
+    text.lines()
+        .map(|line| {
+            line.split(' ')
+                .map(|token| {
+                    for key in ["cycles=", "queue_wait_ns=", "freeze_barrier_ns="] {
+                        if let Some(rest) = token.strip_prefix(key) {
+                            if !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()) {
+                                return format!("{key}_");
+                            }
+                        }
+                    }
+                    token.to_string()
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn analyzed(db: &mut Database, sql: &str) -> vagg::db::AnalyzedQuery {
+    match db.run_sql(sql).unwrap() {
+        SqlOutcome::Analyzed(a) => *a,
+        other => panic!("EXPLAIN ANALYZE returns a trace: {other:?}"),
+    }
+}
+
+#[test]
+fn explain_analyze_golden_full_tail() {
+    let mut db = Database::new();
+    db.register(orders());
+    let a = analyzed(
+        &mut db,
+        "EXPLAIN ANALYZE SELECT region, quarter, COUNT(*), SUM(amount) \
+         FROM orders WHERE status <> 0 GROUP BY region, quarter \
+         HAVING COUNT(*) > 0 ORDER BY SUM(amount) DESC LIMIT 3",
     );
+    assert_eq!(a.output.rows.len(), 3);
+    assert_eq!(
+        normalize_analyze(&a.explain()),
+        "EXPLAIN ANALYZE SELECT region, quarter, COUNT(*), SUM(amount) \
+         FROM orders WHERE status <> 0 GROUP BY region, quarter \
+         HAVING COUNT(*) > 0 ORDER BY SUM(amount) DESC LIMIT 3\n\
+         \x20 rows=3 cycles=_ morsels=0 steals=0 queue_wait_ns=_\n\
+         \x20 1. FuseKeys(region×quarter) est≈6 rows=6→6 cycles=_ morsels=1\n\
+         \x20 2. VectorFilter(status <> 0) est≈6 rows=6→4 cycles=_ morsels=1\n\
+         \x20 3. CardinalityScan[exact](cardinality≈12) est≈? rows=4→4 cycles=_ morsels=1\n\
+         \x20 4. Aggregate[mono] est≈12 rows=4→4 cycles=_ morsels=1\n\
+         \x20 5. VectorHaving(COUNT(*) > 0) est≈? rows=4→4 cycles=_ morsels=1\n\
+         \x20 6. VectorOrderBy[radix](SUM(amount) DESC) est≈? rows=4→4 cycles=_ morsels=1\n\
+         \x20 7. Limit(3) est≈3 rows=4→3 cycles=_ morsels=1"
+    );
+}
+
+#[test]
+fn explain_analyze_golden_sharded_morsels() {
+    let mut db = ShardedDatabase::new(4);
+    db.register(
+        Table::new("events")
+            .with_column("g", (0..400u32).map(|i| i % 7).collect())
+            .with_column("v", (0..400u32).map(|i| i % 10).collect()),
+    );
+    let out = db
+        .run_sql("EXPLAIN ANALYZE SELECT g, COUNT(*), SUM(v) FROM events GROUP BY g")
+        .unwrap();
+    let t = out.trace.as_deref().expect("EXPLAIN ANALYZE traces");
+    let text = normalize_analyze(&t.explain());
+    // Stable structure: 4 shards × 100 rows = one morsel each, the
+    // distributive steps roll up across all 4, and the coordinator's
+    // merge folds 28 partial groups down to 7.
+    assert!(text.contains("rows=7 cycles=_ morsels=4 steals="), "{text}");
+    assert!(
+        text.contains(
+            "1. CardinalityScan[exact](cardinality≈7) est≈? rows=400→400 cycles=_ morsels=4"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains("2. Aggregate[mono] est≈28 rows=400→28 cycles=_ morsels=4"),
+        "{text}"
+    );
+    assert!(
+        text.contains("3. MergePartials est≈? rows=28→7 cycles=_ morsels=1"),
+        "{text}"
+    );
+    assert!(text.contains("workers: 0:"), "{text}");
+    // Every morsel span is attributed and internally consistent.
+    assert_eq!(t.morsels.len(), 4);
+    assert!(t.morsels.iter().all(|m| m.hi - m.lo == 100));
+}
+
+#[test]
+fn explain_analyze_golden_join() {
+    let mut db = Database::new();
+    db.register(orders());
+    db.register(returns());
+    let a = analyzed(
+        &mut db,
+        "EXPLAIN ANALYZE SELECT returns.region, COUNT(*), SUM(penalty) \
+         FROM returns JOIN orders ON returns.region = orders.region \
+         GROUP BY returns.region",
+    );
+    let text = normalize_analyze(&a.explain());
+    // The join trace records build/probe actuals (6 build rows → 3
+    // dictionary entries, 8 probe rows → 15 matched pairs) and the
+    // freeze-barrier diagnostic.
+    assert!(text.contains("dictionary: entries=3 hits="), "{text}");
+    assert!(text.contains("freeze_barrier_ns=_"), "{text}");
+    assert!(
+        text.contains(
+            "1. JoinBuild(orders[region] rows=6 distinct≈3) est≈3 rows=6→3 cycles=_ morsels=1"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains("2. JoinProbe(returns[region] rows=8) est≈8 rows=8→15 cycles=_ morsels=1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("4. Aggregate[mono] est≈3 rows=15→3"),
+        "{text}"
+    );
+}
+
+#[test]
+fn explain_analyze_as_of_and_prepared() {
+    let mut db = Database::new();
+    db.register(people());
+    db.run_sql("CREATE SNAPSHOT launch").unwrap();
+    db.run_sql("INSERT INTO r (g, v) VALUES (9, 9)").unwrap();
+
+    // AS OF: the traced execution sees the pinned cut, not the insert.
+    let a = analyzed(
+        &mut db,
+        "EXPLAIN ANALYZE SELECT g, COUNT(*), SUM(v) FROM r AS OF launch GROUP BY g",
+    );
+    assert_eq!(a.output.rows.len(), 6, "the snapshot misses group 9");
+    assert!(
+        normalize_analyze(&a.explain()).contains("rows=8→8"),
+        "8-row cut"
+    );
+
+    // Prepared: `analyze` is `execute` plus the trace.
+    let mut stmt = db
+        .prepare("SELECT g, COUNT(*), SUM(v) FROM r WHERE v > ? GROUP BY g")
+        .unwrap();
+    let plain = stmt.execute(&mut db, &[2]).unwrap();
+    let traced = stmt.analyze(&mut db, &[2]).unwrap();
+    assert_eq!(traced.output.rows, plain.rows);
+    let text = normalize_analyze(&traced.explain());
+    assert!(text.contains("VectorFilter(v > 2)"), "{text}");
+    assert!(text.contains("est≈"), "{text}");
+    assert_eq!(stmt.executions(), 2);
 }
 
 #[test]

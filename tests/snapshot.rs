@@ -91,7 +91,8 @@ fn prepared_statement_at_an_old_snapshot_survives_drift_and_compaction() {
     fresh.register(snap.table("events").unwrap());
     let oracle = fresh.execute_sql(sql).unwrap();
     assert_eq!(at.rows, oracle.rows);
-    let oracle_plan = fresh.explain_sql(sql).unwrap();
+    let oracle_out = fresh.explain_sql(sql).unwrap();
+    let oracle_plan = oracle_out.plan().unwrap();
     assert_eq!(stmt.plan().unwrap().algorithm(), oracle_plan.algorithm());
     assert_eq!(
         stmt.plan().unwrap().cardinality_estimate(),
@@ -131,12 +132,12 @@ fn run_sql_is_a_snapshot_of_now_wrapper() {
     // EXPLAIN (the satellite): the plan records the data version it
     // was produced against, live and pinned.
     let plan = db.explain_sql(SQL).unwrap();
-    assert_eq!(plan.data_version(), Some(1));
+    assert_eq!(plan.plan().unwrap().data_version(), Some(1));
     assert!(plan.explain().contains("data_version=1"));
     db.run_sql("INSERT INTO events (g, v) VALUES (1, 2)")
         .unwrap();
     let drifted = db.explain_sql(SQL).unwrap();
-    assert_eq!(drifted.data_version(), Some(2));
+    assert_eq!(drifted.plan().unwrap().data_version(), Some(2));
     assert!(drifted.explain().contains("data_version=2"));
     let pinned = match db.run_sql_at(&snap, &format!("EXPLAIN {SQL}")).unwrap() {
         SqlOutcome::Plan(p) => p,
