@@ -1,0 +1,201 @@
+//! Serving-layer bench: what the TCP front end costs and how it
+//! behaves at the edges.
+//!
+//! Three measurements —
+//!
+//! * `throughput/N-clients` for N ∈ {1, 8, 64}: queries per second
+//!   through the full stack (framing, admission, per-connection
+//!   session, engine, reply) with N concurrent blocking clients
+//!   sharing one server. The engine's executor is the same either
+//!   way; what scales is the serving layer's ability to multiplex
+//!   sessions.
+//! * `overload/reject-latency`: how fast a saturated server says
+//!   `Overloaded` — the point of a bounded admission queue is that
+//!   rejection is cheap and immediate, so clients can back off
+//!   instead of timing out.
+//! * `wire-tax/roundtrip-vs-library`: the same query on a direct
+//!   library session vs over loopback TCP, isolating the serving tax
+//!   (framing + syscalls + admission) from engine time.
+//!
+//! Besides the usual stdout lines, the bench writes a machine-readable
+//! summary to `BENCH_server.json` at the repository root so future PRs
+//! can track serving throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use vagg_db::{SharedCatalogue, SqlOutcome, Table};
+use vagg_server::{serve, Client, ErrorCode, ServerConfig, ServerHandle};
+
+const ROWS: usize = 8_192;
+const SQL: &str = "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM events \
+                   WHERE v > 100 GROUP BY g";
+/// Queries each client runs per throughput measurement.
+const PER_CLIENT: usize = 10;
+
+fn catalogue() -> SharedCatalogue {
+    let catalogue = SharedCatalogue::new();
+    catalogue.register(
+        Table::new("events")
+            .with_column("g", (0..ROWS).map(|i| ((i * 7919) % 512) as u32).collect())
+            .with_column("v", (0..ROWS).map(|i| ((i * 31) % 1000) as u32).collect()),
+    );
+    catalogue
+}
+
+fn fresh_server(max_inflight: usize, max_queue: usize) -> ServerHandle {
+    serve(
+        catalogue(),
+        ServerConfig {
+            max_inflight,
+            max_queue,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback")
+}
+
+/// Runs `clients` concurrent connections, `PER_CLIENT` queries each,
+/// and returns aggregate queries/second.
+fn throughput(handle: &ServerHandle, clients: usize) -> f64 {
+    let addr = handle.addr();
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..PER_CLIENT {
+                    let rows = client.query(SQL).expect("wire query");
+                    assert!(!rows.is_empty());
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    (clients * PER_CLIENT) as f64 / start.elapsed().as_secs_f64()
+}
+
+struct Summary {
+    qps_1: f64,
+    qps_8: f64,
+    qps_64: f64,
+    reject_us: f64,
+    library_ms: f64,
+    wire_ms: f64,
+}
+
+fn write_summary(s: &Summary) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"generated_by\": \"cargo bench -p vagg-bench --bench server\",\n  \
+         \"rows\": {ROWS},\n  \"queries_per_client\": {PER_CLIENT},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"throughput_qps\": {{\"clients_1\": {:.1}, \"clients_8\": {:.1}, \
+         \"clients_64\": {:.1}}},",
+        s.qps_1, s.qps_8, s.qps_64
+    );
+    let _ = writeln!(out, "  \"overload_reject_latency_us\": {:.2},", s.reject_us);
+    let _ = writeln!(
+        out,
+        "  \"wire_tax\": {{\"library_ms\": {:.4}, \"wire_ms\": {:.4}, \
+         \"tax_pct\": {:.2}}}\n}}",
+        s.library_ms,
+        s.wire_ms,
+        (s.wire_ms / s.library_ms - 1.0) * 100.0
+    );
+    std::fs::write(path, out).expect("write BENCH_server.json");
+    println!("  wrote {path}");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+
+    // Throughput vs client count, one long-lived server per shape.
+    let mut qps = [0.0f64; 3];
+    for (slot, clients) in [(0usize, 1usize), (1, 8), (2, 64)] {
+        let handle = fresh_server(8, 128);
+        // Warm the engine (first query pays plan + staging).
+        throughput(&handle, 1);
+        g.bench_function(format!("throughput/{clients}-clients"), |b| {
+            b.iter(|| throughput(&handle, clients))
+        });
+        qps[slot] = throughput(&handle, clients);
+        println!("  {clients:>2} clients: {:.0} queries/s", qps[slot]);
+        handle.shutdown();
+    }
+
+    // Overload rejection latency: a zero-capacity gate makes every
+    // query an admission rejection, so the measurement is pure
+    // reject-path (frame in, typed error out).
+    let reject_us = {
+        let handle = fresh_server(0, 0);
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        g.bench_function("overload/reject-latency", |b| {
+            b.iter(|| {
+                let err = client.query(SQL).expect_err("must reject");
+                assert_eq!(err.code(), Some(ErrorCode::Overloaded));
+            })
+        });
+        let start = Instant::now();
+        let n = 200;
+        for _ in 0..n {
+            let _ = client.query(SQL).expect_err("must reject");
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
+        handle.shutdown();
+        us
+    };
+
+    // The wire tax: identical query, library session vs loopback TCP.
+    let (library_ms, wire_ms) = {
+        let catalogue = catalogue();
+        let mut db = catalogue.connect();
+        let warm = |db: &mut vagg_db::Database| match db.run_sql(SQL).unwrap() {
+            SqlOutcome::Rows(out) => out.rows.len(),
+            other => unreachable!("rows: {other:?}"),
+        };
+        warm(&mut db);
+        let start = Instant::now();
+        let n = 100;
+        for _ in 0..n {
+            warm(&mut db);
+        }
+        let library_ms = start.elapsed().as_secs_f64() * 1e3 / n as f64;
+
+        let handle = serve(catalogue, ServerConfig::default()).expect("bind");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        client.query(SQL).expect("warm");
+        let start = Instant::now();
+        for _ in 0..n {
+            client.query(SQL).expect("wire query");
+        }
+        let wire_ms = start.elapsed().as_secs_f64() * 1e3 / n as f64;
+        g.bench_function("wire-tax/roundtrip", |b| {
+            b.iter(|| client.query(SQL).expect("wire query").len())
+        });
+        handle.shutdown();
+        (library_ms, wire_ms)
+    };
+
+    g.finish();
+    write_summary(&Summary {
+        qps_1: qps[0],
+        qps_8: qps[1],
+        qps_64: qps[2],
+        reject_us,
+        library_ms,
+        wire_ms,
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

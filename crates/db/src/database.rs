@@ -32,18 +32,21 @@
 //! ```
 
 use crate::cache::CacheStats;
+use crate::cancel::{CancelCause, CancelToken};
 use crate::catalogue::{CatOp, SharedCatalogue};
 use crate::delta::TableStats;
-use crate::engine::{Engine, QueryOutput};
+use crate::engine::{Engine, ExecutionReport, QueryOutput};
 use crate::filter::Predicate;
 use crate::ingest::{CompactionPolicy, IngestError, IngestReceipt, RowBatch};
 use crate::join::{join_local_traced, plan_join, JoinPlan, LocalJoinObs, PreparedJoin};
+use crate::keydict::KeyDictionary;
 use crate::metrics::{MetricsSnapshot, SlowQuery};
 use crate::plan::{PlanError, PlanStep, QueryPlan};
 use crate::prepared::PreparedStatement;
 use crate::query::AggregateQuery;
 use crate::recovery;
-use crate::session::Session;
+use crate::session::{assemble_rows, rest_of, PartialRun, Session};
+use crate::shard::{global_domains, globalize_with_domains, host_having, host_order_by};
 use crate::snapshot::{Snapshot, SnapshotStats};
 use crate::sql::{parse_statement, AsOf, ParseSqlError, SqlQuery, Statement};
 use crate::table::Table;
@@ -157,6 +160,12 @@ pub enum SqlError {
         /// The unavailable data version.
         version: u64,
     },
+    /// The query's [`crate::CancelToken`] tripped at a morsel boundary
+    /// before the answer was complete — the [`CancelCause`] says
+    /// whether it was an explicit cancel, a wall-clock timeout, or an
+    /// exhausted morsel budget. Any partial work was discarded; the
+    /// catalogue is untouched.
+    Cancelled(CancelCause),
 }
 
 impl fmt::Display for SqlError {
@@ -244,6 +253,7 @@ impl fmt::Display for SqlError {
                  reconstructible (compacted away); CREATE SNAPSHOT keeps \
                  a version durable"
             ),
+            SqlError::Cancelled(cause) => write!(f, "query cancelled: {cause}"),
         }
     }
 }
@@ -1122,6 +1132,136 @@ impl Database {
                 _ => Ok(SqlOutcome::TransactionRolledBack),
             },
         }
+    }
+
+    /// [`Database::run_sql`] under a [`CancelToken`] — the
+    /// single-session cancellation surface (see [`crate::cancel`]).
+    /// A plain `SELECT` is morselized: its plan runs in morsel-sized
+    /// row ranges with the token checked before each one, the range
+    /// partials merge exactly like the sharded executor's (bit-identical
+    /// rows), and a tripped token surfaces
+    /// [`SqlError::Cancelled`] within one morsel's work instead of
+    /// running the query to completion. Joins and write statements
+    /// check the token at statement boundaries only (their kernels are
+    /// host-side and short); cancelled queries are counted in
+    /// [`Database::metrics`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::run_sql`], plus [`SqlError::Cancelled`] carrying
+    /// the [`CancelCause`].
+    pub fn run_sql_cancellable(
+        &mut self,
+        sql: &str,
+        token: &CancelToken,
+    ) -> Result<SqlOutcome, SqlError> {
+        let out = self.run_sql_governed(sql, token);
+        if matches!(out, Err(SqlError::Cancelled(_))) {
+            self.catalogue.metrics().record_cancelled();
+        }
+        out
+    }
+
+    fn run_sql_governed(&mut self, sql: &str, token: &CancelToken) -> Result<SqlOutcome, SqlError> {
+        if let Some(cause) = token.cause() {
+            return Err(SqlError::Cancelled(cause));
+        }
+        match parse_statement(sql)? {
+            Statement::Select(q) if q.join.is_none() => {
+                let plan = self.plan_read(&q)?;
+                let out = self.run_plan_cancellable(&plan, token)?;
+                self.note_query(sql, &out);
+                Ok(SqlOutcome::Rows(out))
+            }
+            // Joins and every other statement run whole (their kernels
+            // are host-side; no morsel boundary to check at), with a
+            // trailing check so a trip during the run is still typed.
+            _ => {
+                let out = self.run_sql(sql)?;
+                match token.cause() {
+                    Some(cause) => Err(SqlError::Cancelled(cause)),
+                    None => Ok(out),
+                }
+            }
+        }
+    }
+
+    /// Runs one `SELECT` plan in morsel-sized row ranges with `token`
+    /// checked before each range — the single-session counterpart of
+    /// the executor's morsel-pop check. The range partials merge to the
+    /// whole answer at any split (see [`Session::run_partial_range`]),
+    /// and the coordinator tail (composite-key globalisation, `HAVING`,
+    /// `ORDER BY`/`LIMIT`, row assembly) is shared with the sharded
+    /// path — so the rows are bit-identical to [`Session::run`].
+    fn run_plan_cancellable(
+        &mut self,
+        plan: &QueryPlan,
+        token: &CancelToken,
+    ) -> Result<QueryOutput, SqlError> {
+        // Composite grouping interns key tuples into a query-scoped
+        // dictionary, exactly like the executor's workers do.
+        let dict = (!plan.query().group_by_rest.is_empty()).then(KeyDictionary::new);
+        let n = plan.rows();
+        let morsel_rows = crate::executor::ExecutorConfig::default()
+            .morsel_rows
+            .max(1);
+        let mut runs: Vec<PartialRun> = Vec::new();
+        let mut lo = 0;
+        while lo < n {
+            if let Err(cause) = token.admit_morsel() {
+                return Err(SqlError::Cancelled(cause));
+            }
+            let hi = (lo + morsel_rows).min(n);
+            let mut run = self.session.run_partial_range(plan, lo, hi);
+            if let Some(dict) = &dict {
+                run.partial = dict.remap(run.partial, rest_of(&run.key_domains));
+            }
+            runs.push(run);
+            lo = hi;
+        }
+        let query = plan.query();
+        let merged = vagg_core::PartialAggregate::merge_all(runs.iter().map(|r| r.partial.clone()))
+            .unwrap_or_else(|| vagg_core::PartialAggregate::empty(query.needs_minmax()));
+        let (merged, rest_domains) = match &dict {
+            Some(dict) => {
+                let domains = global_domains(runs.iter().map(|r| &r.key_domains));
+                globalize_with_domains(merged, dict, domains)?
+            }
+            None => {
+                let domains = global_domains(runs.iter().map(|r| &r.key_domains));
+                let rest = domains.get(1..).unwrap_or(&[]).to_vec();
+                (merged, rest)
+            }
+        };
+        let (mut base, mut mm) = (merged.base, merged.minmax);
+        if let Some(h) = &query.having {
+            host_having(h, &mut base, &mut mm);
+        }
+        if let Some(ob) = &query.order_by {
+            host_order_by(ob, &mut base, &mut mm);
+        }
+        let rows = assemble_rows(
+            query,
+            &base,
+            mm.as_ref().map(|(a, b)| (&a[..], &b[..])),
+            &rest_domains,
+        );
+        let cycles: u64 = runs.iter().map(|r| r.report.cycles).sum();
+        let rows_aggregated: usize = runs.iter().map(|r| r.report.rows_aggregated).sum();
+        Ok(QueryOutput {
+            rows,
+            report: ExecutionReport {
+                algorithm: runs.iter().find_map(|r| r.report.algorithm),
+                rows_aggregated,
+                cycles,
+                cpt: if n == 0 {
+                    0.0
+                } else {
+                    cycles as f64 / n as f64
+                },
+                steps: plan.steps().to_vec(),
+            },
+        })
     }
 
     /// `table` must be registered — queue-time validation for write
@@ -2427,5 +2567,82 @@ mod tests {
         let stats = db.plan_cache_stats();
         assert_eq!(stats.hits, 0, "the stale plan never served");
         assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn cancellable_select_matches_the_plain_path_bit_for_bit() {
+        let mut db = Database::new();
+        let n = 10_000;
+        db.register(
+            Table::new("t")
+                .with_column("a", (0..n).map(|i| (i % 13) as u32).collect())
+                .with_column("b", (0..n).map(|i| (i % 5) as u32).collect())
+                .with_column("v", (0..n).map(|i| (i % 97) as u32).collect()),
+        );
+        // Plain, composite GROUP BY, HAVING, ORDER BY + LIMIT: the
+        // morselized path must reproduce every tail shape.
+        for sql in [
+            "SELECT a, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM t GROUP BY a",
+            "SELECT a, b, COUNT(*), SUM(v) FROM t GROUP BY a, b",
+            "SELECT a, SUM(v) FROM t WHERE v > 40 GROUP BY a HAVING SUM(v) > 1000",
+            "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY COUNT(*) DESC LIMIT 4",
+        ] {
+            let plain = match db.run_sql(sql).unwrap() {
+                SqlOutcome::Rows(out) => out,
+                other => unreachable!("SELECT returns rows: {other:?}"),
+            };
+            let token = CancelToken::new();
+            let governed = match db.run_sql_cancellable(sql, &token).unwrap() {
+                SqlOutcome::Rows(out) => out,
+                other => unreachable!("SELECT returns rows: {other:?}"),
+            };
+            assert_eq!(governed.rows, plain.rows, "{sql}");
+            assert!(token.morsels() > 0, "the token saw morsel boundaries");
+        }
+    }
+
+    #[test]
+    fn a_tripped_token_surfaces_cancelled_and_is_counted() {
+        let mut db = db();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = db
+            .run_sql_cancellable("SELECT g, COUNT(*) FROM r GROUP BY g", &token)
+            .unwrap_err();
+        assert_eq!(err, SqlError::Cancelled(CancelCause::Requested));
+        assert_eq!(db.metrics().get("queries_cancelled"), Some(1));
+    }
+
+    #[test]
+    fn a_morsel_budget_kills_a_query_mid_flight() {
+        let mut db = Database::new();
+        db.register(Table::new("big").with_column("g", (0..50_000u32).map(|i| i % 7).collect()));
+        // 50k rows at 2048-row morsels is ~25 boundaries; a budget of 2
+        // trips partway through.
+        let token = CancelToken::with_morsel_budget(2);
+        let err = db
+            .run_sql_cancellable("SELECT g, COUNT(*) FROM big GROUP BY g", &token)
+            .unwrap_err();
+        assert_eq!(err, SqlError::Cancelled(CancelCause::OverBudget));
+        // The session stays usable afterwards.
+        let ok = db
+            .execute_sql("SELECT g, COUNT(*) FROM big GROUP BY g")
+            .unwrap();
+        assert_eq!(ok.rows.len(), 7);
+    }
+
+    #[test]
+    fn non_select_statements_check_the_token_coarsely() {
+        let mut db = db();
+        let token = CancelToken::new();
+        let out = db
+            .run_sql_cancellable("INSERT INTO r (g, v) VALUES (9, 9)", &token)
+            .unwrap();
+        assert!(matches!(out, SqlOutcome::Inserted(_)));
+        token.cancel();
+        let err = db
+            .run_sql_cancellable("INSERT INTO r (g, v) VALUES (9, 9)", &token)
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Cancelled(_)));
     }
 }

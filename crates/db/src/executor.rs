@@ -30,6 +30,7 @@
 //! associative and commutative), so stealing never changes results —
 //! only the makespan. [`ExecutorStats`] exposes the steal traffic.
 
+use crate::cancel::CancelToken;
 use crate::join::{JoinMorsel, JoinOutcome};
 use crate::keydict::KeyDictionary;
 use crate::plan::QueryPlan;
@@ -37,7 +38,7 @@ use crate::session::{PartialRun, Session};
 use crate::trace::MorselTrace;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use vagg_sim::SimConfig;
@@ -70,7 +71,9 @@ impl Default for ExecutorConfig {
     }
 }
 
-/// Lifetime counters of one [`Executor`] (cumulative across queries).
+/// Lifetime counters of one [`Executor`] (cumulative across queries),
+/// plus two point-in-time gauges — [`ExecutorStats::queued`] and
+/// [`ExecutorStats::inflight`] — sampled when the stats were taken.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecutorStats {
     /// Queries submitted to the pool.
@@ -79,6 +82,29 @@ pub struct ExecutorStats {
     pub morsels: u64,
     /// Morsels a worker stole from another worker's deque.
     pub steals: u64,
+    /// Morsels popped but *not* executed because the query's
+    /// [`CancelToken`] had tripped (cumulative).
+    pub cancelled_morsels: u64,
+    /// Tasks seeded on the deques but not yet claimed, at sampling
+    /// time.
+    queued: u64,
+    /// Tasks claimed and currently executing on a worker, at sampling
+    /// time.
+    inflight: u64,
+}
+
+impl ExecutorStats {
+    /// Queue-depth gauge: tasks seeded on the per-worker deques that no
+    /// worker has claimed yet, at the moment the stats were sampled.
+    pub fn queued(&self) -> u64 {
+        self.queued
+    }
+
+    /// Inflight gauge: tasks a worker had claimed and was executing at
+    /// the moment the stats were sampled.
+    pub fn inflight(&self) -> u64 {
+        self.inflight
+    }
 }
 
 /// One stealable unit of work: a row range of one shard's plan.
@@ -231,6 +257,11 @@ struct Job {
     results: Mutex<Vec<TaskOutcome>>,
     dict: Option<Arc<KeyDictionary>>,
     steal: bool,
+    /// The query's cancellation token: checked at every morsel pop —
+    /// once tripped, popped tasks are drained *without executing*, so
+    /// the workers come free within one morsel's latency while the
+    /// coordinator still gets its completion wakeup.
+    cancel: Option<CancelToken>,
     /// Set when a morsel panicked on its worker; the coordinator
     /// re-raises instead of merging a silently incomplete answer.
     failed: AtomicBool,
@@ -253,6 +284,13 @@ struct Shared {
     work: Condvar,
     /// The coordinator parks here while a query is in flight.
     done: Condvar,
+    /// Queue-depth gauge: tasks seeded but not yet claimed.
+    queued: AtomicU64,
+    /// Inflight gauge: tasks claimed and currently executing.
+    inflight: AtomicU64,
+    /// Cumulative count of morsels drained unexecuted after their
+    /// query's token tripped.
+    cancelled_morsels: AtomicU64,
 }
 
 /// A persistent pool of morsel workers (see the [module docs](self)).
@@ -290,6 +328,9 @@ impl Executor {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            queued: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            cancelled_morsels: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|id| {
@@ -319,9 +360,14 @@ impl Executor {
         self.config
     }
 
-    /// Cumulative counters since the pool was built.
+    /// Cumulative counters since the pool was built, with the
+    /// queue-depth and inflight gauges sampled now.
     pub fn stats(&self) -> ExecutorStats {
-        *self.stats.lock().expect("executor stats lock")
+        let mut stats = *self.stats.lock().expect("executor stats lock");
+        stats.queued = self.shared.queued.load(Ordering::Relaxed);
+        stats.inflight = self.shared.inflight.load(Ordering::Relaxed);
+        stats.cancelled_morsels = self.shared.cancelled_morsels.load(Ordering::Relaxed);
+        stats
     }
 
     /// Runs one query's morsels to completion on the pool and returns
@@ -331,8 +377,9 @@ impl Executor {
         &self,
         morsels: Vec<Morsel>,
         dict: Option<Arc<KeyDictionary>>,
+        cancel: Option<&CancelToken>,
     ) -> Vec<MorselOutcome> {
-        self.submit(morsels.into_iter().map(Task::Agg).collect(), dict)
+        self.submit(morsels.into_iter().map(Task::Agg).collect(), dict, cancel)
             .into_iter()
             .map(|o| match o {
                 TaskOutcome::Agg(o) => *o,
@@ -346,8 +393,12 @@ impl Executor {
     /// as [`Executor::execute`]. The two phases are two submissions:
     /// the coordinator freezes the build indexes at the barrier in
     /// between, so probe morsels always see a complete build side.
-    pub(crate) fn execute_join(&self, morsels: Vec<JoinMorsel>) -> Vec<JoinOutcome> {
-        self.submit(morsels.into_iter().map(Task::Join).collect(), None)
+    pub(crate) fn execute_join(
+        &self,
+        morsels: Vec<JoinMorsel>,
+        cancel: Option<&CancelToken>,
+    ) -> Vec<JoinOutcome> {
+        self.submit(morsels.into_iter().map(Task::Join).collect(), None, cancel)
             .into_iter()
             .map(|o| match o {
                 TaskOutcome::Join(o) => o,
@@ -358,7 +409,17 @@ impl Executor {
 
     /// The shared submission path: seeds the tasks, wakes the pool,
     /// parks until the last task completes, re-raises worker panics.
-    fn submit(&self, tasks: Vec<Task>, dict: Option<Arc<KeyDictionary>>) -> Vec<TaskOutcome> {
+    /// With a `cancel` token, every morsel pop checks it first: a
+    /// tripped token drains the remaining tasks unexecuted (see
+    /// [`crate::CancelToken`]) — the caller is responsible for turning
+    /// the tripped token into a typed error instead of merging the
+    /// incomplete outcome set.
+    fn submit(
+        &self,
+        tasks: Vec<Task>,
+        dict: Option<Arc<KeyDictionary>>,
+        cancel: Option<&CancelToken>,
+    ) -> Vec<TaskOutcome> {
         if tasks.is_empty() {
             return Vec::new();
         }
@@ -370,9 +431,13 @@ impl Executor {
             results: Mutex::new(Vec::with_capacity(total)),
             dict,
             steal: self.config.steal,
+            cancel: cancel.cloned(),
             failed: AtomicBool::new(false),
             submitted: std::time::Instant::now(),
         });
+        self.shared
+            .queued
+            .fetch_add(total as u64, Ordering::Relaxed);
         // Seed locality-first: shard i's morsels land on worker i mod W
         // in row order (LIFO pop serves the newest range, FIFO steal
         // takes the oldest).
@@ -470,6 +535,20 @@ fn worker_loop(id: usize, shared: &Shared, sim: SimConfig) {
             }
         };
         while let Some((task, stolen)) = claim(&job, id) {
+            shared.queued.fetch_sub(1, Ordering::Relaxed);
+            // The morsel-pop cancellation point: a tripped token means
+            // this task is drained unexecuted — counted as finished (so
+            // the coordinator still gets its last-morsel wakeup) but
+            // contributing no outcome, freeing the worker within one
+            // morsel's latency.
+            if let Some(cancel) = &job.cancel {
+                if cancel.admit_morsel().is_err() {
+                    shared.cancelled_morsels.fetch_add(1, Ordering::Relaxed);
+                    finish_task(&job, shared);
+                    continue;
+                }
+            }
+            shared.inflight.fetch_add(1, Ordering::Relaxed);
             // A panic inside a morsel (the session, the dictionary, or
             // a join sink) must not strand the coordinator on the done
             // condvar: the morsel is still counted as finished, the job
@@ -525,14 +604,19 @@ fn worker_loop(id: usize, shared: &Shared, sim: SimConfig) {
                 Ok(done) => job.results.lock().expect("results lock").push(done),
                 Err(_) => job.failed.store(true, Ordering::Release),
             }
-            if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                // Last morsel of the query: clear the slot and wake the
-                // coordinator.
-                let mut st = shared.state.lock().expect("executor state lock");
-                st.job = None;
-                shared.done.notify_all();
-            }
+            shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            finish_task(&job, shared);
         }
+    }
+}
+
+/// Counts one task as finished; the last one clears the job slot and
+/// wakes the coordinator.
+fn finish_task(job: &Job, shared: &Shared) {
+    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let mut st = shared.state.lock().expect("executor state lock");
+        st.job = None;
+        shared.done.notify_all();
     }
 }
 
@@ -589,7 +673,7 @@ mod tests {
             SimConfig::paper(),
         );
         for round in 0..3 {
-            let outcomes = exec.execute(morselize(0, &p, 64), None);
+            let outcomes = exec.execute(morselize(0, &p, 64), None, None);
             assert_eq!(outcomes.len(), 8, "round {round}");
             assert_eq!(merged_rows(&outcomes), whole.partial);
         }
@@ -611,7 +695,7 @@ mod tests {
         );
         // Everything seeded on worker 0 (shard 0); worker 1 must not
         // touch it.
-        let outcomes = exec.execute(morselize(0, &p, 50), None);
+        let outcomes = exec.execute(morselize(0, &p, 50), None, None);
         assert_eq!(outcomes.len(), 8);
         assert!(outcomes.iter().all(|o| o.worker == 0 && !o.stolen));
         assert_eq!(exec.stats().steals, 0);
@@ -629,7 +713,7 @@ mod tests {
             SimConfig::paper(),
         );
         // One hot shard, three idle workers: stealing must engage.
-        let outcomes = exec.execute(morselize(0, &p, 100), None);
+        let outcomes = exec.execute(morselize(0, &p, 100), None, None);
         assert_eq!(outcomes.len(), 40);
         let stolen = outcomes.iter().filter(|o| o.stolen).count();
         assert!(stolen > 0, "idle workers stole from the hot shard");
@@ -643,7 +727,69 @@ mod tests {
     #[test]
     fn empty_submission_is_a_no_op() {
         let exec = Executor::new(ExecutorConfig::default(), SimConfig::paper());
-        assert!(exec.execute(Vec::new(), None).is_empty());
+        assert!(exec.execute(Vec::new(), None, None).is_empty());
         assert_eq!(exec.stats().queries, 0);
+    }
+
+    #[test]
+    fn a_tripped_token_drains_every_morsel_unexecuted() {
+        let p = plan(800);
+        let exec = Executor::new(
+            ExecutorConfig {
+                workers: 2,
+                morsel_rows: 100,
+                steal: true,
+            },
+            SimConfig::paper(),
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        let outcomes = exec.execute(morselize(0, &p, 100), None, Some(&token));
+        assert!(outcomes.is_empty(), "no morsel ran after the trip");
+        let stats = exec.stats();
+        assert_eq!(stats.cancelled_morsels, 8);
+        assert_eq!(stats.queued(), 0, "the deques drained fully");
+        assert_eq!(stats.inflight(), 0);
+    }
+
+    #[test]
+    fn the_pool_survives_a_cancelled_query() {
+        let p = plan(500);
+        let exec = Executor::new(
+            ExecutorConfig {
+                workers: 3,
+                morsel_rows: 64,
+                steal: true,
+            },
+            SimConfig::paper(),
+        );
+        let token = CancelToken::with_morsel_budget(0);
+        let drained = exec.execute(morselize(0, &p, 64), None, Some(&token));
+        assert!(drained.is_empty());
+        // The next (uncancelled) query on the same pool is whole.
+        let outcomes = exec.execute(morselize(0, &p, 64), None, None);
+        assert_eq!(outcomes.len(), 8);
+        assert_eq!(
+            merged_rows(&outcomes),
+            Session::new().run_partial(&p).partial
+        );
+    }
+
+    #[test]
+    fn a_live_token_lets_every_morsel_through() {
+        let p = plan(500);
+        let exec = Executor::new(
+            ExecutorConfig {
+                workers: 2,
+                morsel_rows: 64,
+                steal: true,
+            },
+            SimConfig::paper(),
+        );
+        let token = CancelToken::new();
+        let outcomes = exec.execute(morselize(0, &p, 64), None, Some(&token));
+        assert_eq!(outcomes.len(), 8);
+        assert_eq!(token.morsels(), 8, "every pop was counted on the token");
+        assert_eq!(exec.stats().cancelled_morsels, 0);
     }
 }

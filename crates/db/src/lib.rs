@@ -173,6 +173,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cancel;
 pub mod catalogue;
 pub mod database;
 pub mod delta;
@@ -197,6 +198,7 @@ pub mod trace;
 pub mod wal;
 
 pub use cache::{CacheStats, PlanCache, QueryShape};
+pub use cancel::{CancelCause, CancelToken};
 pub use catalogue::SharedCatalogue;
 pub use database::{Database, ExplainOutput, MutationReceipt, SqlError, SqlOutcome};
 pub use delta::{ColumnStats, DeltaStore, TableStats};

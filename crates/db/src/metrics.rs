@@ -71,6 +71,7 @@ pub struct MetricsRegistry {
     queries: AtomicU64,
     query_rows: AtomicU64,
     query_cycles: AtomicU64,
+    queries_cancelled: AtomicU64,
     traced_queries: AtomicU64,
     ingest_batches: AtomicU64,
     ingest_rows: AtomicU64,
@@ -121,6 +122,13 @@ impl MetricsRegistry {
         self.traced_queries.fetch_add(1, Relaxed);
     }
 
+    /// Records one query that surfaced
+    /// [`SqlError::Cancelled`](crate::SqlError::Cancelled) — explicit
+    /// cancel, timeout, or morsel-budget trip alike.
+    pub(crate) fn record_cancelled(&self) {
+        self.queries_cancelled.fetch_add(1, Relaxed);
+    }
+
     /// Records one ingested batch.
     pub(crate) fn record_ingest(&self, rows: u64) {
         self.ingest_batches.fetch_add(1, Relaxed);
@@ -168,6 +176,7 @@ impl MetricsRegistry {
         snap.add("queries", self.queries.load(Relaxed));
         snap.add("query_rows", self.query_rows.load(Relaxed));
         snap.add("query_cycles", self.query_cycles.load(Relaxed));
+        snap.add("queries_cancelled", self.queries_cancelled.load(Relaxed));
         snap.add("traced_queries", self.traced_queries.load(Relaxed));
         snap.add("ingest_batches", self.ingest_batches.load(Relaxed));
         snap.add("ingest_rows", self.ingest_rows.load(Relaxed));
@@ -191,8 +200,10 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Adds `value` to the named counter (creating it at zero).
-    pub(crate) fn add(&mut self, name: &str, value: u64) {
+    /// Adds `value` to the named counter (creating it at zero) — how
+    /// the owning database (and the serving layer on top of it) folds
+    /// subsystem stats into one exposition.
+    pub fn add(&mut self, name: &str, value: u64) {
         *self.counters.entry(name.to_string()).or_insert(0) += value;
     }
 
@@ -209,6 +220,32 @@ impl MetricsSnapshot {
     /// The log₂ query-cycle histogram (see [`CYCLE_HISTOGRAM_BUCKETS`]).
     pub fn cycle_histogram(&self) -> &[u64] {
         &self.cycle_histogram
+    }
+
+    /// The quantile `q` (in `0.0..=1.0`) of the query-cycle
+    /// distribution, resolved to its histogram bucket's upper bound —
+    /// the same `le` bound [`MetricsSnapshot::to_text`] renders, so
+    /// p50/p99 read off this are consistent with the exposition. The
+    /// overflow bucket reports `u64::MAX`. `None` when no query has
+    /// been recorded.
+    pub fn cycle_quantile(&self, q: f64) -> Option<u64> {
+        let total: u64 = self.cycle_histogram.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (b, &v) in self.cycle_histogram.iter().enumerate() {
+            cumulative += v;
+            if cumulative >= rank {
+                return Some(if b + 1 == self.cycle_histogram.len() {
+                    u64::MAX
+                } else {
+                    1u64 << b
+                });
+            }
+        }
+        None
     }
 
     /// The retained worst queries, most expensive first.
@@ -234,8 +271,12 @@ impl MetricsSnapshot {
     }
 
     /// Prometheus-style text exposition: one `vagg_<name> <value>` line
-    /// per counter, then the cycle histogram as cumulative `_bucket`
-    /// lines.
+    /// per counter, the cycle histogram as cumulative `_bucket` lines,
+    /// then the slow-query ring as `vagg_slow_query_cycles` lines whose
+    /// `sql` label is sanitised (escaped quotes/backslashes/newlines,
+    /// control characters stripped, long text truncated on a character
+    /// boundary) — so the exposition stays parseable whatever SQL text
+    /// a client sent.
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -251,6 +292,14 @@ impl MetricsSnapshot {
                 (1u64 << b).to_string()
             };
             let _ = writeln!(out, "vagg_query_cycles_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        for q in &self.slow {
+            let _ = writeln!(
+                out,
+                "vagg_slow_query_cycles{{sql=\"{}\"}} {}",
+                escape_label(&truncate_chars(&q.sql, SLOW_SQL_MAX_CHARS)),
+                q.cycles
+            );
         }
         out
     }
@@ -275,7 +324,7 @@ impl MetricsSnapshot {
             let _ = write!(
                 out,
                 "{sep}\n    {{\"sql\": \"{}\", \"cycles\": {}, \"rows\": {}, \"steps\": {}}}",
-                escape_json(&q.sql),
+                escape_json(&truncate_chars(&q.sql, SLOW_SQL_MAX_CHARS)),
                 q.cycles,
                 q.rows,
                 q.steps
@@ -289,6 +338,23 @@ impl MetricsSnapshot {
     }
 }
 
+/// The longest SQL text retained in an exposition line. Truncation
+/// walks characters, never bytes, so a multi-byte character is kept or
+/// dropped whole — the output is always valid UTF-8.
+const SLOW_SQL_MAX_CHARS: usize = 160;
+
+/// The first `max` characters of `s`, with a `…` marker when anything
+/// was dropped. Character-based, so the cut never splits a multi-byte
+/// sequence.
+fn truncate_chars(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        return s.to_string();
+    }
+    let mut out: String = s.chars().take(max).collect();
+    out.push('…');
+    out
+}
+
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -297,6 +363,24 @@ fn escape_json(s: &str) -> String {
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus label-value escaping: backslash, double quote and
+/// newline get backslash escapes (the three the text format defines);
+/// any other control character is replaced by a space so no line or
+/// quote structure can be forged through the label.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push(' '),
             c => out.push(c),
         }
     }
@@ -381,5 +465,63 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"queries\": 1"));
         assert!(json.contains("SELECT \\\"x\\\""));
+    }
+
+    #[test]
+    fn hostile_query_text_cannot_break_the_expositions() {
+        let r = MetricsRegistry::new();
+        // Quotes, backslashes, newlines, control chars and a long
+        // multi-byte tail, all at once.
+        let hostile = format!(
+            "SELECT \"g\\h\"\nFROM r\r\x07 -- {}",
+            "é".repeat(SLOW_SQL_MAX_CHARS)
+        );
+        r.record_query(&hostile, 42, 1, 3);
+        let text = r.snapshot().to_text();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("vagg_slow_query_cycles"))
+            .expect("slow query rendered");
+        // One line (the newline was escaped), balanced quotes, control
+        // chars gone, truncated with a marker.
+        assert!(line.contains("\\n"), "newline escaped: {line}");
+        assert!(line.contains("\\\""), "quote escaped: {line}");
+        assert!(!line.contains('\x07'), "control char stripped");
+        assert!(line.contains('…'), "long text truncated");
+        assert!(line.ends_with(" 42"));
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\\u0007"), "control char JSON-escaped");
+        assert!(!json.contains('\x07'));
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let s = "é".repeat(200);
+        let t = truncate_chars(&s, 160);
+        assert_eq!(t.chars().count(), 161); // 160 kept + marker
+        assert!(t.ends_with('…'));
+        assert_eq!(truncate_chars("short", 160), "short");
+    }
+
+    #[test]
+    fn cancelled_queries_are_counted() {
+        let r = MetricsRegistry::new();
+        r.record_cancelled();
+        r.record_cancelled();
+        assert_eq!(r.snapshot().get("queries_cancelled"), Some(2));
+    }
+
+    #[test]
+    fn quantiles_read_off_the_histogram() {
+        let r = MetricsRegistry::new();
+        assert_eq!(r.snapshot().cycle_quantile(0.5), None);
+        for _ in 0..99 {
+            r.record_query("q", 100, 1, 1); // bucket 7: [64, 128)
+        }
+        r.record_query("q", 1_000_000, 1, 1); // bucket 20
+        let snap = r.snapshot();
+        assert_eq!(snap.cycle_quantile(0.5), Some(128));
+        assert_eq!(snap.cycle_quantile(0.99), Some(128));
+        assert_eq!(snap.cycle_quantile(1.0), Some(1 << 20));
     }
 }

@@ -50,6 +50,7 @@
 //! and [`ShardedDatabase::table_stats`] mirror the single-session
 //! accessors per shard and merged.
 
+use crate::cancel::CancelToken;
 use crate::catalogue::CatOp;
 use crate::database::ExplainOutput;
 use crate::database::{Database, MutationReceipt, SqlError};
@@ -423,6 +424,9 @@ impl ShardedDatabase {
         snap.add("executor_queries", stats.queries);
         snap.add("executor_morsels", stats.morsels);
         snap.add("executor_steals", stats.steals);
+        snap.add("executor_cancelled_morsels", stats.cancelled_morsels);
+        snap.add("executor_queued", stats.queued());
+        snap.add("executor_inflight", stats.inflight());
         snap
     }
 
@@ -848,7 +852,34 @@ impl ShardedDatabase {
     /// exceeding the 32-bit key space is rejected, with the same typed
     /// [`PlanError::CompositeKeyOverflow`] a single session reports.
     pub fn run_sql(&mut self, sql: &str) -> Result<ShardedOutput, SqlError> {
-        match parse_statement(sql)? {
+        self.run_sql_governed(sql, None)
+    }
+
+    /// [`ShardedDatabase::run_sql`] under a [`CancelToken`]: the
+    /// executor checks the token at every morsel pop, so tripping it —
+    /// from any thread holding a clone — surfaces a typed
+    /// [`SqlError::Cancelled`] within one morsel's latency and frees
+    /// the pool for the next query. The token's optional deadline and
+    /// morsel budget trip the same way; cancelled queries are counted
+    /// in [`ShardedDatabase::metrics`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedDatabase::run_sql`], plus [`SqlError::Cancelled`].
+    pub fn run_sql_cancellable(
+        &mut self,
+        sql: &str,
+        token: &CancelToken,
+    ) -> Result<ShardedOutput, SqlError> {
+        self.run_sql_governed(sql, Some(token))
+    }
+
+    fn run_sql_governed(
+        &mut self,
+        sql: &str,
+        cancel: Option<&CancelToken>,
+    ) -> Result<ShardedOutput, SqlError> {
+        let run = |db: &mut Self| match parse_statement(sql)? {
             Statement::Select(q) => {
                 if q.as_of.is_some() {
                     return Err(SqlError::ShardedTimeTravel);
@@ -856,12 +887,12 @@ impl ShardedDatabase {
                 let out = if q.join.is_some() {
                     // An atomic cross-shard cut: both join sides read
                     // the same moment on every shard.
-                    let cut = self.snapshot();
-                    self.run_join_cut(&cut, &q, None)?
+                    let cut = db.snapshot();
+                    db.run_join_cut(&cut, &q, None, cancel)?
                 } else {
-                    self.run_query(&q.table, &q.query, None)?
+                    db.run_query(&q.table, &q.query, None, cancel)?
                 };
-                self.note_query(sql, &out);
+                db.note_query(sql, &out);
                 Ok(out)
             }
             Statement::ExplainAnalyze(q) => {
@@ -870,13 +901,13 @@ impl ShardedDatabase {
                 }
                 let mut trace = QueryTrace::new(sql.trim().to_string());
                 let mut out = if q.join.is_some() {
-                    let cut = self.snapshot();
-                    self.run_join_cut(&cut, &q, Some(&mut trace))?
+                    let cut = db.snapshot();
+                    db.run_join_cut(&cut, &q, Some(&mut trace), cancel)?
                 } else {
-                    self.run_query(&q.table, &q.query, Some(&mut trace))?
+                    db.run_query(&q.table, &q.query, Some(&mut trace), cancel)?
                 };
                 out.trace = Some(Box::new(trace));
-                self.note_query(sql, &out);
+                db.note_query(sql, &out);
                 Ok(out)
             }
             Statement::Explain(_) => Err(SqlError::ExplainStatement),
@@ -886,7 +917,14 @@ impl ShardedDatabase {
             Statement::Begin { .. } | Statement::Commit | Statement::Rollback => {
                 Err(SqlError::TransactionStatement)
             }
+        };
+        let out = run(self);
+        if matches!(out, Err(SqlError::Cancelled(_))) {
+            if let Some(shard) = self.shards.first() {
+                shard.catalogue().metrics().record_cancelled();
+            }
         }
+        out
     }
 
     /// Folds one finished query into the coordinator's metrics registry
@@ -969,7 +1007,7 @@ impl ShardedDatabase {
                     return Err(SqlError::ForeignSnapshot);
                 }
             }
-            return self.run_join_cut(snap, q, trace);
+            return self.run_join_cut(snap, q, trace, None);
         }
         self.run_query_at(snap, &q.table, &q.query, trace)
     }
@@ -1114,7 +1152,7 @@ impl ShardedDatabase {
             return Err(SqlError::Plan(PlanError::EmptyTable));
         }
         let query = query.expect("a populated shard bound the query");
-        let out = self.execute_plans(&query, plans, None)?;
+        let out = self.execute_plans(&query, plans, None, None)?;
         stmt.executions += 1;
         Ok(out)
     }
@@ -1166,7 +1204,7 @@ impl ShardedDatabase {
             return Err(SqlError::Plan(PlanError::EmptyTable));
         }
         let query = query.expect("a populated shard bound the query");
-        let out = self.execute_plans(&query, plans, None)?;
+        let out = self.execute_plans(&query, plans, None, None)?;
         stmt.executions += 1;
         Ok(out)
     }
@@ -1210,6 +1248,7 @@ impl ShardedDatabase {
         table: &str,
         query: &AggregateQuery,
         trace: Option<&mut QueryTrace>,
+        cancel: Option<&CancelToken>,
     ) -> Result<ShardedOutput, SqlError> {
         // Plan every populated shard up front so errors surface before
         // any morsel runs.
@@ -1225,7 +1264,7 @@ impl ShardedDatabase {
         if plans.iter().all(Option::is_none) {
             return Err(SqlError::Plan(PlanError::EmptyTable));
         }
-        self.execute_plans(query, plans, trace)
+        self.execute_plans(query, plans, trace, cancel)
     }
 
     /// [`ShardedDatabase::run_query`] at a pinned cross-shard cut:
@@ -1262,7 +1301,7 @@ impl ShardedDatabase {
         if plans.iter().all(Option::is_none) {
             return Err(SqlError::Plan(PlanError::EmptyTable));
         }
-        self.execute_plans(query, plans, trace)
+        self.execute_plans(query, plans, trace, None)
     }
 
     /// Plans a two-table join at a cross-shard cut: schemas from any
@@ -1322,6 +1361,7 @@ impl ShardedDatabase {
         cut: &ShardedSnapshot,
         q: &SqlQuery,
         mut trace: Option<&mut QueryTrace>,
+        cancel: Option<&CancelToken>,
     ) -> Result<ShardedOutput, SqlError> {
         let plan = self.plan_join_cut(cut, q)?;
         let parts = |name: &str| -> Result<Vec<Table>, SqlError> {
@@ -1370,7 +1410,8 @@ impl ShardedDatabase {
             tag += 1;
             lo = hi;
         }
-        self.executor.execute_join(morsels);
+        self.executor.execute_join(morsels, cancel);
+        check_cancel(cancel)?;
 
         // Phase barrier: freeze the sinks into deterministic indexes,
         // then stream each shard's probe partition through them.
@@ -1401,7 +1442,8 @@ impl ShardedDatabase {
                 lo = hi;
             }
         }
-        let mut outcomes = self.executor.execute_join(probes);
+        let mut outcomes = self.executor.execute_join(probes, cancel);
+        check_cancel(cancel)?;
         // Morsels complete in racy order; pair order must not.
         outcomes.sort_by_key(|o| (o.shard, o.lo));
 
@@ -1475,7 +1517,7 @@ impl ShardedDatabase {
                 trace: None,
             });
         }
-        let mut out = self.execute_plans(plan.query(), plans, trace)?;
+        let mut out = self.execute_plans(plan.query(), plans, trace, cancel)?;
         let mut steps = plan.steps().to_vec();
         steps.append(&mut out.report.steps);
         out.report.steps = steps;
@@ -1490,6 +1532,7 @@ impl ShardedDatabase {
         query: &AggregateQuery,
         plans: Vec<Option<QueryPlan>>,
         mut trace: Option<&mut QueryTrace>,
+        cancel: Option<&CancelToken>,
     ) -> Result<ShardedOutput, SqlError> {
         // Composite grouping gets a query-scoped shared dictionary the
         // workers intern their key tuples into (see crate::keydict).
@@ -1521,7 +1564,10 @@ impl ShardedDatabase {
                 lo = hi;
             }
         }
-        let outcomes = self.executor.execute(morsels, dict.clone());
+        let outcomes = self.executor.execute(morsels, dict.clone(), cancel);
+        // A tripped token means the outcome set is incomplete: surface
+        // the typed error instead of merging a partial answer.
+        check_cancel(cancel)?;
 
         // Worker accounting: the measured morsel costs are scheduled
         // onto W virtual workers deterministically (host threads race
@@ -1691,6 +1737,16 @@ impl ShardedDatabase {
     }
 }
 
+/// Surfaces a tripped [`CancelToken`] as the typed
+/// [`SqlError::Cancelled`] — called right after each executor
+/// submission returns, before any partial outcome is merged.
+fn check_cancel(cancel: Option<&CancelToken>) -> Result<(), SqlError> {
+    match cancel.and_then(CancelToken::cause) {
+        Some(cause) => Err(SqlError::Cancelled(cause)),
+        None => Ok(()),
+    }
+}
+
 /// The rendered form of the first plan step matching `pred` across the
 /// shard plans — the rollup key the coordinator's host-side finalisers
 /// record their actuals under (the shards all plan the same tail).
@@ -1723,16 +1779,35 @@ fn globalize(
     dict: &KeyDictionary,
     outcomes: &[MorselOutcome],
 ) -> Result<(PartialAggregate, Vec<u32>), SqlError> {
+    let domains = global_domains(outcomes.iter().map(|o| &o.run.key_domains));
+    globalize_with_domains(merged, dict, domains)
+}
+
+/// Elementwise max of the morsels' measured key domains — the domain
+/// of each key column over the whole partitioned input, exactly what a
+/// single session would measure.
+pub(crate) fn global_domains<'a>(runs: impl Iterator<Item = &'a Vec<u32>>) -> Vec<u32> {
     let mut domains: Vec<u32> = Vec::new();
-    for o in outcomes {
+    for key_domains in runs {
         if domains.is_empty() {
-            domains = o.run.key_domains.clone();
+            domains = key_domains.clone();
         } else {
-            for (d, &x) in domains.iter_mut().zip(&o.run.key_domains) {
+            for (d, &x) in domains.iter_mut().zip(key_domains) {
                 *d = (*d).max(x);
             }
         }
     }
+    domains
+}
+
+/// The [`globalize`] body on pre-computed global domains — shared with
+/// the single-session cancellable morsel loop
+/// ([`Database::run_sql_cancellable`]).
+pub(crate) fn globalize_with_domains(
+    merged: PartialAggregate,
+    dict: &KeyDictionary,
+    domains: Vec<u32>,
+) -> Result<(PartialAggregate, Vec<u32>), SqlError> {
     let total: u128 = domains.iter().map(|&d| d as u128).product();
     if total > u32::MAX as u128 + 1 {
         return Err(SqlError::Plan(PlanError::CompositeKeyOverflow {
@@ -1772,8 +1847,9 @@ impl From<ShardedOutput> for QueryOutput {
 
 // Coordinator-side HAVING over the merged (small) output table: the
 // same semantics as the shards' vectorised kernel, applied host-side
-// because the merged table lives on the coordinator host.
-fn host_having(h: &Having, base: &mut AggResult, mm: &mut Option<(Vec<u32>, Vec<u32>)>) {
+// because the merged table lives on the coordinator host. Shared with
+// the single-session cancellable morsel loop.
+pub(crate) fn host_having(h: &Having, base: &mut AggResult, mm: &mut Option<(Vec<u32>, Vec<u32>)>) {
     let pred_col = agg_column(h.agg, base, mm).to_vec();
     let keep: Vec<bool> = pred_col.iter().map(|&x| h.pred.matches(x)).collect();
     let filter = |col: &mut Vec<u32>| {
@@ -1791,7 +1867,11 @@ fn host_having(h: &Having, base: &mut AggResult, mm: &mut Option<(Vec<u32>, Vec<
 
 // Coordinator-side ORDER BY + LIMIT: a stable sort on the same key the
 // shards' radix kernel would use (complement for DESC), then truncate.
-fn host_order_by(ob: &OrderBy, base: &mut AggResult, mm: &mut Option<(Vec<u32>, Vec<u32>)>) {
+pub(crate) fn host_order_by(
+    ob: &OrderBy,
+    base: &mut AggResult,
+    mm: &mut Option<(Vec<u32>, Vec<u32>)>,
+) {
     let n = base.len();
     let keys: Vec<u32> = match ob.key {
         OrderKey::Group => base.groups.clone(),

@@ -1,0 +1,115 @@
+//! `vagg-serve` — stand up a vagg server on a TCP port.
+//!
+//! ```text
+//! vagg-serve [--addr HOST:PORT] [--max-inflight N] [--max-queue N]
+//!            [--timeout-ms MS] [--morsel-budget N] [--demo-rows N]
+//! ```
+//!
+//! With `--demo-rows N` the server seeds two tables before listening:
+//! `events(g, v, k)` with N rows and `dims(g, w)` with the matching
+//! key domain — enough to try every statement in the protocol
+//! (aggregates, joins, prepared statements, transactions) from a
+//! fresh checkout:
+//!
+//! ```text
+//! $ vagg-serve --addr 127.0.0.1:4711 --demo-rows 100000
+//! ```
+
+use std::process::exit;
+use std::time::Duration;
+
+use vagg_db::{SharedCatalogue, Table};
+use vagg_server::{serve, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vagg-serve [--addr HOST:PORT] [--max-inflight N] [--max-queue N]\n\
+         \x20                 [--timeout-ms MS] [--morsel-budget N] [--demo-rows N]"
+    );
+    exit(2)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("{flag} needs a value");
+        usage()
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("{flag}: cannot parse {value:?}");
+            usage()
+        }
+    }
+}
+
+/// The demo data: `events` rows spread over 31 groups with two value
+/// columns, and a `dims` side table keyed by the same group domain so
+/// joins have something to probe.
+fn seed_demo(catalogue: &SharedCatalogue, rows: usize) {
+    catalogue.register(
+        Table::new("events")
+            .with_column("g", (0..rows).map(|i| ((i * 7919) % 31) as u32).collect())
+            .with_column("v", (0..rows).map(|i| ((i * 31) % 100) as u32).collect())
+            .with_column("k", (0..rows).map(|i| ((i * 13) % 977) as u32).collect()),
+    );
+    catalogue.register(
+        Table::new("dims")
+            .with_column("g", (0..31).collect())
+            .with_column("w", (0..31).map(|i| (i * i) as u32).collect()),
+    );
+    eprintln!("seeded events({rows} rows: g, v, k) and dims(31 rows: g, w)");
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:4711".into(),
+        ..ServerConfig::default()
+    };
+    let mut demo_rows = 0usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => config.addr = parse(&flag, args.next()),
+            "--max-inflight" => config.max_inflight = parse(&flag, args.next()),
+            "--max-queue" => config.max_queue = parse(&flag, args.next()),
+            "--timeout-ms" => {
+                config.query_timeout = Some(Duration::from_millis(parse(&flag, args.next())))
+            }
+            "--morsel-budget" => config.morsel_budget = Some(parse(&flag, args.next())),
+            "--demo-rows" => demo_rows = parse(&flag, args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let catalogue = SharedCatalogue::new();
+    if demo_rows > 0 {
+        seed_demo(&catalogue, demo_rows);
+    }
+
+    let handle = match serve(catalogue, config.clone()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", config.addr);
+            exit(1)
+        }
+    };
+    eprintln!(
+        "vagg-serve listening on {} (max {} in flight, queue {})",
+        handle.addr(),
+        config.max_inflight,
+        config.max_queue
+    );
+
+    // Serve until killed. The accept and connection threads do all the
+    // work; this thread just keeps the handle (and so the server)
+    // alive.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,52 @@
+//! vagg-server: a TCP serving front end over the vagg engine.
+//!
+//! The engine crates answer "how fast can a vector machine aggregate
+//! a column?"; this crate answers "what does it take to *serve* that
+//! engine?". It adds no query smarts — it is deliberately a policy
+//! layer between sockets and [`vagg_db::SharedCatalogue`]:
+//!
+//! - a small length-prefixed framed **protocol** ([`protocol`]) with
+//!   typed error codes, so clients distinguish a plan error from an
+//!   overload rejection from a cancellation without parsing prose;
+//! - a thread-per-connection **server** ([`server`]) where each
+//!   connection owns a [`vagg_db::Database`] session (its own
+//!   transactions and prepared statements) over the one shared
+//!   column store;
+//! - **admission control**: a bounded gate caps concurrent queries
+//!   and the wait queue; overflow is an immediate, typed
+//!   [`ErrorCode::Overloaded`] instead of unbounded queueing;
+//! - **cancellation**: every query registers a
+//!   [`vagg_db::CancelToken`] under a client-chosen id, server-wide,
+//!   so any connection can cancel it; the engine observes the token
+//!   at morsel boundaries. Optional per-query wall-clock and morsel
+//!   budgets ride the same token;
+//! - **live metrics**: the engine's metrics registry plus serving
+//!   counters (QPS, p50/p99 query cycles, queue depth,
+//!   rejected/cancelled counts) as a Prometheus text exposition over
+//!   the wire;
+//! - a blocking reference [`Client`] used by the tests, benches and
+//!   examples.
+//!
+//! ```no_run
+//! use vagg_server::{serve, Client, Reply, ServerConfig};
+//!
+//! let catalogue = vagg_db::SharedCatalogue::new();
+//! // ... register tables ...
+//! let handle = serve(catalogue, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let rows = client.query("SELECT g, COUNT(*) FROM r GROUP BY g").unwrap();
+//! # let _ = rows;
+//! client.goodbye().unwrap();
+//! handle.shutdown(); // drains in-flight queries, joins every thread
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, Reply};
+pub use protocol::{ErrorCode, FrameError, Request, Response, WireRow, PROTOCOL_VERSION};
+pub use server::{serve, ServerConfig, ServerHandle, ServingStats};
