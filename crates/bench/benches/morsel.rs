@@ -1,7 +1,8 @@
 //! Morsel-driven executor bench: what the persistent pool, work
-//! stealing and the shared key dictionary buy on the sharded path.
+//! stealing, zone-map pruning and the forced-domain composite merge
+//! buy on the sharded path.
 //!
-//! Three workloads —
+//! Four workloads —
 //!
 //! * `small-query`: the same small cached query on one long-lived pool
 //!   (`pooled`) vs a pool rebuilt before every query
@@ -10,8 +11,12 @@
 //! * `skew`: a Zipf-keyed table partitioned uniformly vs with one hot
 //!   shard, stealing on vs off — wall time per query plus the
 //!   *simulated* makespan (busiest virtual worker) each schedule pays;
-//! * `composite`: `GROUP BY a, b` on four shards (merged through the
-//!   shared key dictionary) vs a single session.
+//! * `selective`: clustered-value `WHERE` scans at 0.1% / 1% / 10% /
+//!   100% selectivity with zone-map morsel pruning on vs off — the
+//!   payoff grows as the predicate excludes more zones;
+//! * `composite`: `GROUP BY a, b` on four shards (plan-time global key
+//!   domains forced into every morsel, partials merged directly) vs a
+//!   single session.
 //!
 //! Besides the usual stdout lines, the bench writes a machine-readable
 //! summary to `BENCH_shard.json` at the repository root so future PRs
@@ -29,6 +34,7 @@ const SHARDS: usize = 4;
 const SMALL_ROWS: usize = 1024;
 const SKEW_ROWS: usize = 12_288;
 const COMPOSITE_ROWS: usize = 8_192;
+const SELECTIVE_ROWS: usize = 262_144;
 
 fn zipf_table(rows: usize, domain: u64) -> Table {
     let zipf = Zipf::new(domain, 1.0);
@@ -65,6 +71,7 @@ fn executor(steal: bool) -> ExecutorConfig {
         workers: SHARDS,
         morsel_rows: 512,
         steal,
+        ..ExecutorConfig::default()
     }
 }
 
@@ -86,6 +93,8 @@ struct Summary {
     zipf_steals: u64,
     steal_ms: f64,
     no_steal_ms: f64,
+    /// Per selectivity tier: `(label, pruned_ms, unpruned_ms, morsels_pruned)`.
+    selective: Vec<(&'static str, f64, f64, u64)>,
     composite_single_ms: f64,
     composite_sharded_ms: f64,
 }
@@ -123,6 +132,20 @@ fn write_summary(s: &Summary) {
         s.steal_ms,
         s.no_steal_ms,
     );
+    let _ = writeln!(out, "  \"selective_where\": {{\n    \"rows\": {SELECTIVE_ROWS},");
+    for (i, (label, pruned_ms, unpruned_ms, morsels_pruned)) in s.selective.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{label}\": {{\"pruned_ms\": {:.4}, \"unpruned_ms\": {:.4}, \
+             \"speedup\": {:.2}, \"morsels_pruned\": {}}}{}",
+            pruned_ms,
+            unpruned_ms,
+            unpruned_ms / pruned_ms.max(1e-9),
+            morsels_pruned,
+            if i + 1 == s.selective.len() { "" } else { "," },
+        );
+    }
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(
         out,
         "  \"composite_group_by\": {{\n    \"rows\": {COMPOSITE_ROWS},\n    \
@@ -162,14 +185,14 @@ fn bench(c: &mut Criterion) {
         db.register(zipf_table(SMALL_ROWS, 64));
         g.bench_function("small-query/spawn-per-query", |b| {
             b.iter(|| {
-                db.set_executor_config(executor(true));
+                db.set_executor_config(executor(true)).unwrap();
                 black_box(db.run_sql(small_sql).unwrap().rows.len())
             })
         });
         let mut db = ShardedDatabase::with_executor(Engine::new(), SHARDS, executor(true));
         db.register(zipf_table(SMALL_ROWS, 64));
         wall_ms(50, || {
-            db.set_executor_config(executor(true));
+            db.set_executor_config(executor(true)).unwrap();
             black_box(db.run_sql(small_sql).unwrap().rows.len());
         })
     };
@@ -217,8 +240,75 @@ fn bench(c: &mut Criterion) {
         zipf_steal.steals,
     );
 
-    // Composite GROUP BY: the key dictionary lets four shards carry
-    // what used to be a single-session-only query shape.
+    // Selective WHERE on clustered values: `v` climbs with the row
+    // index, so `v > t` excludes a contiguous prefix of zones — the
+    // shape zone-map pruning exists for. Each tier keeps roughly the
+    // named fraction of rows; 100% is the pruning-can't-help control.
+    let clustered = {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xC1A5);
+        Table::new("events")
+            .with_column(
+                "g",
+                (0..SELECTIVE_ROWS)
+                    .map(|_| rng.next_below(64) as u32)
+                    .collect(),
+            )
+            .with_column(
+                "v",
+                (0..SELECTIVE_ROWS)
+                    .map(|i| i as u32 * 4 + rng.next_below(4) as u32)
+                    .collect(),
+            )
+    };
+    let vmax = SELECTIVE_ROWS as u64 * 4;
+    let tiers: [(&str, u64); 4] = [
+        ("0.1%", vmax - vmax / 1000),
+        ("1%", vmax - vmax / 100),
+        ("10%", vmax - vmax / 10),
+        ("100%", 0),
+    ];
+    let mut selective = Vec::new();
+    for (label, threshold) in tiers {
+        let sql = format!("SELECT g, COUNT(*), SUM(v) FROM events WHERE v > {threshold} GROUP BY g");
+        let mut tier = [0.0f64; 2];
+        let mut morsels_pruned = 0;
+        for (slot, prune) in [(0, true), (1, false)] {
+            let mut db = ShardedDatabase::with_executor(
+                Engine::new(),
+                SHARDS,
+                ExecutorConfig {
+                    workers: SHARDS,
+                    prune,
+                    ..ExecutorConfig::default()
+                },
+            );
+            db.register(clustered.clone());
+            db.run_sql(&sql).unwrap(); // warm the pool
+            let mode = if prune { "pruned" } else { "unpruned" };
+            g.bench_function(format!("selective/{label}-{mode}"), |b| {
+                b.iter(|| black_box(db.run_sql(&sql).unwrap().rows.len()))
+            });
+            tier[slot] = wall_ms(20, || {
+                black_box(db.run_sql(&sql).unwrap().rows.len());
+            });
+            if prune {
+                morsels_pruned = db.metrics().get("executor_morsels_pruned").unwrap_or(0);
+            }
+        }
+        println!(
+            "  selective {label}: pruned={:.4}ms unpruned={:.4}ms ({:.1}x, {} morsels pruned)",
+            tier[0],
+            tier[1],
+            tier[1] / tier[0].max(1e-9),
+            morsels_pruned,
+        );
+        selective.push((label, tier[0], tier[1], morsels_pruned));
+    }
+
+    // Composite GROUP BY: plan-time global key domains are forced into
+    // every morsel's fusion, so shard partials merge directly — the
+    // shape used to need a per-query key dictionary and lost to a
+    // single session.
     let composite_sql = "SELECT a, b, COUNT(*), SUM(v) FROM t GROUP BY a, b";
     let two_key = {
         let mut rng = Xoshiro256StarStar::seed_from_u64(42);
@@ -254,13 +344,20 @@ fn bench(c: &mut Criterion) {
             black_box(db.execute_sql(composite_sql).unwrap().rows.len());
         })
     };
+    // Default morsel size (one morsel per 2048-row shard): the forced
+    // fusion spares each morsel the per-column max scans the single
+    // session pays, and there is no dictionary to remap through.
+    let composite_config = ExecutorConfig {
+        workers: SHARDS,
+        ..ExecutorConfig::default()
+    };
     let composite_sharded_ms = {
-        let mut db = ShardedDatabase::with_executor(Engine::new(), SHARDS, executor(true));
+        let mut db = ShardedDatabase::with_executor(Engine::new(), SHARDS, composite_config);
         db.register(two_key.clone());
         g.bench_function("composite/sharded", |b| {
             b.iter(|| black_box(db.run_sql(composite_sql).unwrap().rows.len()))
         });
-        let mut db = ShardedDatabase::with_executor(Engine::new(), SHARDS, executor(true));
+        let mut db = ShardedDatabase::with_executor(Engine::new(), SHARDS, composite_config);
         db.register(two_key.clone());
         wall_ms(10, || {
             black_box(db.run_sql(composite_sql).unwrap().rows.len());
@@ -275,6 +372,7 @@ fn bench(c: &mut Criterion) {
         zipf_steals: zipf_steal.steals,
         steal_ms,
         no_steal_ms,
+        selective,
         composite_single_ms,
         composite_sharded_ms,
     });

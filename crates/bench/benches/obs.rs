@@ -150,6 +150,7 @@ fn bench(c: &mut Criterion) {
                 workers: SHARDS,
                 morsel_rows: 512,
                 steal: true,
+                ..ExecutorConfig::default()
             },
         );
         db.register(zipf_table(ROWS, 512));

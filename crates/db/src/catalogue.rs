@@ -1140,6 +1140,7 @@ impl SharedCatalogue {
         }
         let mut plan = self.inner.engine.plan(view.table, query)?;
         plan.data_version = Some(view.data_version);
+        stamp_zones(&mut plan, view.stats);
         // Re-check the versions under the locks before caching: a plan
         // made at an old snapshot — or against a table a concurrent
         // re-register/append has moved past our cut — must not park a
@@ -1176,6 +1177,7 @@ impl SharedCatalogue {
         // exactly what either scan mode would measure.
         let mut plan = cached.rebase_onto(view.table, presorted, scan_mode, col.cardinality())?;
         plan.data_version = Some(view.data_version);
+        stamp_zones(&mut plan, view.stats);
         Some(plan)
     }
 
@@ -1194,6 +1196,26 @@ impl SharedCatalogue {
             AdaptiveMode::Realistic,
         ) == plan.algorithm()
     }
+}
+
+/// Stamps a freshly planned (or rebased) query with the view's zone
+/// maps: the zone count for `EXPLAIN`, and the WHERE column's
+/// `(lo, hi, min, max)` ranges for morsel pruning. Zones are positions
+/// in the statistics' view; a plan whose row count disagrees (frozen
+/// content drifted past the stats — defensive, should not happen on
+/// catalogue paths) gets none, which only disables pruning.
+fn stamp_zones(plan: &mut QueryPlan, stats: &TableStats) {
+    if stats.rows() != plan.rows() {
+        return;
+    }
+    let zones = stats.zone_maps();
+    plan.zone_maps = zones.zones();
+    plan.zones = plan
+        .query()
+        .filter
+        .as_ref()
+        .and_then(|(col, _)| zones.column_zones(col))
+        .map(Arc::from);
 }
 
 #[cfg(test)]
@@ -1368,17 +1390,25 @@ mod tests {
         fresh_cat.register(cat.table("r").unwrap());
         let fresh = fresh_cat.plan_query("r", &q).unwrap();
         // Identical plans; the explain output differs only in the
-        // recorded provenance (data version 2 after the append vs 1 on
-        // the fresh registration).
+        // recorded provenance — data version 2 after the append vs 1
+        // on the fresh registration, and zone granularity (the append
+        // kept its own zone, the fresh registration re-seeded one).
         assert_eq!(rebased.steps(), fresh.steps());
         assert_eq!(rebased.algorithm(), fresh.algorithm());
         assert_eq!(
             (rebased.data_version(), fresh.data_version()),
             (Some(2), Some(1))
         );
+        assert_eq!((rebased.zone_maps(), fresh.zone_maps()), (2, 1));
         assert_eq!(
-            rebased.explain().replace(" data_version=2", ""),
-            fresh.explain().replace(" data_version=1", "")
+            rebased
+                .explain()
+                .replace(" data_version=2", "")
+                .replace(" zone_maps=2", ""),
+            fresh
+                .explain()
+                .replace(" data_version=1", "")
+                .replace(" zone_maps=1", "")
         );
         assert_eq!(rebased.cardinality_estimate(), fresh.cardinality_estimate());
         // The rebased plan executes over the merged rows.

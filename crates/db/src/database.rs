@@ -39,14 +39,13 @@ use crate::engine::{Engine, ExecutionReport, QueryOutput};
 use crate::filter::Predicate;
 use crate::ingest::{CompactionPolicy, IngestError, IngestReceipt, RowBatch};
 use crate::join::{join_local_traced, plan_join, JoinPlan, LocalJoinObs, PreparedJoin};
-use crate::keydict::KeyDictionary;
 use crate::metrics::{MetricsSnapshot, SlowQuery};
 use crate::plan::{PlanError, PlanStep, QueryPlan};
 use crate::prepared::PreparedStatement;
 use crate::query::AggregateQuery;
 use crate::recovery;
-use crate::session::{assemble_rows, rest_of, PartialRun, Session};
-use crate::shard::{global_domains, globalize_with_domains, host_having, host_order_by};
+use crate::session::{assemble_rows, PartialRun, Session};
+use crate::shard::{host_having, host_order_by};
 use crate::snapshot::{Snapshot, SnapshotStats};
 use crate::sql::{parse_statement, AsOf, ParseSqlError, SqlQuery, Statement};
 use crate::table::Table;
@@ -1190,48 +1189,57 @@ impl Database {
     /// checked before each range — the single-session counterpart of
     /// the executor's morsel-pop check. The range partials merge to the
     /// whole answer at any split (see [`Session::run_partial_range`]),
-    /// and the coordinator tail (composite-key globalisation, `HAVING`,
-    /// `ORDER BY`/`LIMIT`, row assembly) is shared with the sharded
-    /// path — so the rows are bit-identical to [`Session::run`].
+    /// and the coordinator tail (`HAVING`, `ORDER BY`/`LIMIT`, row
+    /// assembly) is shared with the sharded path — so the rows are
+    /// bit-identical to [`Session::run`].
+    ///
+    /// Composite grouping forces the plan's own exact key domains into
+    /// every range's fusion (the single-plan case of the sharded
+    /// coordinator's fast path): all partials share one fused key
+    /// space, merge directly, and skip the per-range max scans. Ranges
+    /// whose zone maps prove the WHERE predicate matches nothing are
+    /// pruned before running, counted in [`Database::metrics`].
     fn run_plan_cancellable(
         &mut self,
         plan: &QueryPlan,
         token: &CancelToken,
     ) -> Result<QueryOutput, SqlError> {
-        // Composite grouping interns key tuples into a query-scoped
-        // dictionary, exactly like the executor's workers do.
-        let dict = (!plan.query().group_by_rest.is_empty()).then(KeyDictionary::new);
         let n = plan.rows();
         let morsel_rows = crate::executor::ExecutorConfig::default()
             .morsel_rows
             .max(1);
+        let forced: Option<&[u64]> =
+            (!plan.query().group_by_rest.is_empty()).then(|| plan.key_domains());
         let mut runs: Vec<PartialRun> = Vec::new();
+        let (mut pruned_morsels, mut pruned_rows) = (0u64, 0u64);
         let mut lo = 0;
         while lo < n {
             if let Err(cause) = token.admit_morsel() {
                 return Err(SqlError::Cancelled(cause));
             }
             let hi = (lo + morsel_rows).min(n);
-            let mut run = self.session.run_partial_range(plan, lo, hi);
-            if let Some(dict) = &dict {
-                run.partial = dict.remap(run.partial, rest_of(&run.key_domains));
+            if plan.prunes_range(lo, hi) {
+                pruned_morsels += 1;
+                pruned_rows += (hi - lo) as u64;
+            } else {
+                runs.push(match forced {
+                    Some(d) => self.session.run_partial_range_forced(plan, lo, hi, d),
+                    None => self.session.run_partial_range(plan, lo, hi),
+                });
             }
-            runs.push(run);
             lo = hi;
+        }
+        if pruned_morsels > 0 {
+            self.catalogue
+                .metrics()
+                .record_pruned(pruned_morsels, pruned_rows);
         }
         let query = plan.query();
         let merged = vagg_core::PartialAggregate::merge_all(runs.iter().map(|r| r.partial.clone()))
             .unwrap_or_else(|| vagg_core::PartialAggregate::empty(query.needs_minmax()));
-        let (merged, rest_domains) = match &dict {
-            Some(dict) => {
-                let domains = global_domains(runs.iter().map(|r| &r.key_domains));
-                globalize_with_domains(merged, dict, domains)?
-            }
-            None => {
-                let domains = global_domains(runs.iter().map(|r| &r.key_domains));
-                let rest = domains.get(1..).unwrap_or(&[]).to_vec();
-                (merged, rest)
-            }
+        let rest_domains: Vec<u32> = match forced {
+            Some(d) => d[1..].iter().map(|&d| d as u32).collect(),
+            None => Vec::new(),
         };
         let (mut base, mut mm) = (merged.base, merged.minmax);
         if let Some(h) = &query.having {
@@ -2646,3 +2654,4 @@ mod tests {
         assert!(matches!(err, SqlError::Cancelled(_)));
     }
 }
+

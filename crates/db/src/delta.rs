@@ -375,14 +375,134 @@ impl ColumnStats {
     }
 }
 
+/// Row range a zone-map chunk is seeded over: the default morsel size,
+/// so one seeded zone answers for roughly one morsel.
+const ZONE_ROWS: usize = 2048;
+
+/// When incremental batches push the zone count past this, adjacent
+/// zones merge pairwise (coarser bounds, half the entries) — pruning
+/// stays conservative, memory stays bounded.
+const MAX_ZONES: usize = 4096;
+
+/// Per-range min/max column summaries ("zone maps"): the table's rows
+/// split into ordered ranges — one per seeded chunk of the base, one
+/// per appended batch — with each column's `(min, max)` kept per range.
+///
+/// The bounds are conservative for **any subrange**: a morsel that
+/// overlaps a zone can only contain values inside that zone's
+/// `[min, max]`, so a WHERE predicate no value in the covering zones'
+/// bounds can satisfy provably matches nothing in the morsel. Ranges
+/// are positions in the table's *merged read view*; the catalogue
+/// re-seeds statistics (zones included) whenever a DELETE/UPDATE or
+/// compaction shifts view positions, so the alignment invariant is
+/// `ranges` partitioning `[0, rows)` of whatever view the stats
+/// describe.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ZoneMaps {
+    /// Row ranges `[lo, hi)`, in order, partitioning `[0, rows)`.
+    ranges: Vec<(usize, usize)>,
+    /// Per column, one `(min, max)` per range (parallel to `ranges`).
+    columns: BTreeMap<String, Vec<(u32, u32)>>,
+}
+
+impl ZoneMaps {
+    /// Zones scanned from a full table in [`ZONE_ROWS`]-sized chunks.
+    fn seed(table: &Table) -> Self {
+        let mut zones = Self {
+            ranges: Vec::new(),
+            columns: table
+                .column_names()
+                .into_iter()
+                .map(|n| (n.to_string(), Vec::new()))
+                .collect(),
+        };
+        let n = table.rows();
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + ZONE_ROWS).min(n);
+            zones.ranges.push((lo, hi));
+            for (name, bounds) in zones.columns.iter_mut() {
+                let col = table.column(name).expect("listed column exists");
+                bounds.push(minmax(&col[lo..hi]));
+            }
+            lo = hi;
+        }
+        zones
+    }
+
+    /// Appends one zone covering a validated batch.
+    fn observe(&mut self, batch: &RowBatch, lo: usize) {
+        if batch.rows() == 0 {
+            return;
+        }
+        self.ranges.push((lo, lo + batch.rows()));
+        for (name, values) in batch.columns() {
+            self.columns
+                .get_mut(name)
+                .expect("batch validated against the schema")
+                .push(minmax(values));
+        }
+        if self.ranges.len() > MAX_ZONES {
+            self.coarsen();
+        }
+    }
+
+    /// Merges adjacent zones pairwise: half the entries, bounds still
+    /// conservative.
+    fn coarsen(&mut self) {
+        let merged_ranges: Vec<(usize, usize)> = self
+            .ranges
+            .chunks(2)
+            .map(|c| (c[0].0, c.last().expect("non-empty chunk").1))
+            .collect();
+        for bounds in self.columns.values_mut() {
+            *bounds = bounds
+                .chunks(2)
+                .map(|c| {
+                    c.iter()
+                        .fold((u32::MAX, 0u32), |(lo, hi), &(mn, mx)| (lo.min(mn), hi.max(mx)))
+                })
+                .collect();
+        }
+        self.ranges = merged_ranges;
+    }
+
+    /// How many zones the table currently keeps (0 = no zone maps).
+    pub fn zones(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// One column's zones as `(lo, hi, min, max)` row-range bounds —
+    /// what the planner pins onto a plan for its WHERE column.
+    pub(crate) fn column_zones(&self, name: &str) -> Option<Vec<(usize, usize, u32, u32)>> {
+        let bounds = self.columns.get(name)?;
+        Some(
+            self.ranges
+                .iter()
+                .zip(bounds.iter())
+                .map(|(&(lo, hi), &(mn, mx))| (lo, hi, mn, mx))
+                .collect(),
+        )
+    }
+}
+
+/// `(min, max)` of a non-empty slice.
+fn minmax(values: &[u32]) -> (u32, u32) {
+    values.iter().fold((u32::MAX, 0u32), |(lo, hi), &x| {
+        (lo.min(x), hi.max(x))
+    })
+}
+
 /// Live, incrementally maintained statistics for one registered table:
-/// the row count and one [`ColumnStats`] per column. Seeded from the
-/// base table at registration, updated per appended batch, re-seeded
-/// from the merged table on compaction.
+/// the row count, one [`ColumnStats`] per column, and per-range
+/// [`ZoneMaps`]. Seeded from the base table at registration, updated
+/// per appended batch, re-seeded from the merged table on compaction
+/// and on DELETE/UPDATE (which shift view positions).
 #[derive(Debug, Clone)]
 pub struct TableStats {
     rows: usize,
     columns: BTreeMap<String, ColumnStats>,
+    zones: ZoneMaps,
 }
 
 impl TableStats {
@@ -396,6 +516,7 @@ impl TableStats {
                 .into_iter()
                 .map(|n| (n.to_string(), ColumnStats::empty()))
                 .collect(),
+            zones: ZoneMaps::seed(table),
         };
         for (name, col) in stats.columns.iter_mut() {
             col.observe(table.column(name).expect("listed column exists"));
@@ -406,6 +527,7 @@ impl TableStats {
 
     /// Folds one validated batch into the statistics.
     pub(crate) fn observe(&mut self, batch: &RowBatch) {
+        self.zones.observe(batch, self.rows);
         for (name, values) in batch.columns() {
             self.columns
                 .get_mut(name)
@@ -413,6 +535,11 @@ impl TableStats {
                 .observe(values);
         }
         self.rows += batch.rows();
+    }
+
+    /// The table's per-range zone maps (see [`ZoneMaps`]).
+    pub fn zone_maps(&self) -> &ZoneMaps {
+        &self.zones
     }
 
     /// Total rows (base + delta).
@@ -442,6 +569,10 @@ impl TableStats {
     pub fn merged(parts: &[TableStats]) -> Option<TableStats> {
         let (first, rest) = parts.split_first()?;
         let mut out = first.clone();
+        // Zone ranges are positions in *one* partition's view; a
+        // cross-partition merge has no meaningful row order, so the
+        // observability view carries none.
+        out.zones = ZoneMaps::default();
         for part in rest {
             if part.column_names() != out.column_names() {
                 return None;

@@ -291,6 +291,11 @@ impl Engine {
             rest,
             value,
             filter_col,
+            domains: domains.into(),
+            // Zone maps come from catalogue statistics; the catalogue
+            // stamps them after planning.
+            zones: None,
+            zone_maps: 0,
         })
     }
 

@@ -32,7 +32,6 @@
 
 use crate::cancel::CancelToken;
 use crate::join::{JoinMorsel, JoinOutcome};
-use crate::keydict::KeyDictionary;
 use crate::plan::QueryPlan;
 use crate::session::{PartialRun, Session};
 use crate::trace::MorselTrace;
@@ -44,21 +43,40 @@ use std::thread::JoinHandle;
 use vagg_sim::SimConfig;
 
 /// How an [`Executor`] is shaped. The default — as many workers as
-/// shards, 2048-row morsels, stealing on — is what
-/// [`crate::ShardedDatabase::new`] builds.
+/// shards, 2048-row morsels, stealing on, zone-map pruning on,
+/// adaptive sizing off — is what [`crate::ShardedDatabase::new`]
+/// builds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutorConfig {
-    /// Worker threads in the pool. `0` means "match the shard count"
-    /// (resolved by [`crate::ShardedDatabase`]).
+    /// Worker threads in the pool. `0` means "match the shard count" —
+    /// a sentinel [`crate::ShardedDatabase`] resolves before the pool
+    /// is built; handing it straight to [`Executor::try_new`] is
+    /// rejected with [`ExecutorError::ZeroWorkers`].
     pub workers: usize,
     /// Rows per morsel: the stealable unit of work. Smaller morsels
     /// steal finer (better skew absorption) at more scheduling
-    /// overhead.
+    /// overhead. `0` is rejected with
+    /// [`ExecutorError::ZeroMorselRows`] — it would make the
+    /// coordinator's morsel split loop spin forever.
     pub morsel_rows: usize,
     /// Whether idle workers steal from other workers' deques. Off, the
     /// pool degrades to static shard-to-worker assignment — kept as a
     /// switch so the bench can measure exactly what stealing buys.
     pub steal: bool,
+    /// Whether coordinators consult [`Executor::morsel_rows_hint`] —
+    /// a sizing hint retuned after every query from the observed
+    /// per-morsel cost spread (high variance → smaller morsels so
+    /// stealing can rebalance; flat costs → larger morsels to shed
+    /// scheduling overhead). Off by default so morsel boundaries stay
+    /// reproducible run-to-run.
+    pub adaptive: bool,
+    /// Whether coordinators prune morsels whose zone maps prove the
+    /// WHERE predicate can match no row (see
+    /// [`crate::QueryPlan::zone_maps`]). Pruning is result-invariant —
+    /// a pruned morsel is exactly one the filter would have emptied —
+    /// so this switch exists for the bench to measure what pruning
+    /// buys, not for correctness.
+    pub prune: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -67,9 +85,38 @@ impl Default for ExecutorConfig {
             workers: 0,
             morsel_rows: 2048,
             steal: true,
+            adaptive: false,
+            prune: true,
         }
     }
 }
+
+/// Why an [`ExecutorConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorError {
+    /// `workers == 0` reached the pool unresolved. The sentinel means
+    /// "match the shard count" and only [`crate::ShardedDatabase`]
+    /// knows that count; a pool cannot be built from it.
+    ZeroWorkers,
+    /// `morsel_rows == 0`: no rows per morsel means the morsel split
+    /// never advances.
+    ZeroMorselRows,
+}
+
+impl fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutorError::ZeroWorkers => {
+                write!(f, "executor config rejected: workers must be at least 1")
+            }
+            ExecutorError::ZeroMorselRows => {
+                write!(f, "executor config rejected: morsel_rows must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
 
 /// Lifetime counters of one [`Executor`] (cumulative across queries),
 /// plus two point-in-time gauges — [`ExecutorStats::queued`] and
@@ -85,6 +132,16 @@ pub struct ExecutorStats {
     /// Morsels popped but *not* executed because the query's
     /// [`CancelToken`] had tripped (cumulative).
     pub cancelled_morsels: u64,
+    /// Morsels never dispatched: their zone maps proved the WHERE
+    /// predicate matches no row in the range (see
+    /// [`Executor::note_pruned`]).
+    pub morsels_pruned: u64,
+    /// Rows those pruned morsels covered.
+    pub rows_pruned: u64,
+    /// Times the affinity placement re-homed a shard to a different
+    /// worker than its previous query used (load imbalance outweighed
+    /// stickiness).
+    pub affinity_moves: u64,
     /// Tasks seeded on the deques but not yet claimed, at sampling
     /// time.
     queued: u64,
@@ -113,6 +170,13 @@ pub(crate) struct Morsel {
     pub(crate) plan: Arc<QueryPlan>,
     pub(crate) lo: usize,
     pub(crate) hi: usize,
+    /// Composite key domains forced onto the fusion (the coordinator's
+    /// global per-column domains). `Some` puts every morsel of every
+    /// shard in one shared fused key space — partials merge directly,
+    /// no dictionary remap — and skips the per-column max scans (see
+    /// [`Session::run_partial_range_forced`]). `None` measures domains
+    /// locally, as a standalone session would.
+    pub(crate) domains: Option<Arc<[u64]>>,
     /// Record a [`MorselTrace`] while running (`EXPLAIN ANALYZE`).
     /// Traced morsels produce bit-identical partials — tracing only
     /// reads the session's cycle counter (see
@@ -129,6 +193,9 @@ pub(crate) struct MorselOutcome {
     /// goes through [`virtual_schedule`] instead.
     #[allow(dead_code)]
     pub(crate) worker: usize,
+    /// The worker the affinity placement seeded this morsel on —
+    /// [`virtual_schedule`] replays from here.
+    pub(crate) home: usize,
     pub(crate) stolen: bool,
     pub(crate) run: PartialRun,
     /// The span recorded when the morsel was traced.
@@ -151,6 +218,14 @@ impl Task {
         match self {
             Task::Agg(m) => m.shard,
             Task::Join(m) => m.shard,
+        }
+    }
+
+    /// Rows the task covers — the affinity placement's load weight.
+    fn rows(&self) -> u64 {
+        match self {
+            Task::Agg(m) => (m.hi - m.lo) as u64,
+            Task::Join(m) => (m.hi - m.lo) as u64,
         }
     }
 }
@@ -192,8 +267,9 @@ pub(crate) struct VirtualSchedule {
 /// cost is microseconds while its *simulated* cost is thousands of
 /// cycles — so the host assignment says nothing about what W parallel
 /// machines would have done. This greedy schedule does: morsels sit on
-/// their home worker's deque (shard *i* → worker *i mod W*, row order),
-/// the least-loaded worker always acts next, drains its own deque
+/// their home worker's deque (the affinity placement's assignment,
+/// recorded on each outcome, row order within a shard), the
+/// least-loaded worker always acts next, drains its own deque
 /// front-to-back, and — with stealing on — an idle worker takes the
 /// *tail* morsel of the most-backlogged victim. Returns per-worker
 /// simulated loads (their max is the query's makespan), per-worker
@@ -208,7 +284,7 @@ pub(crate) fn virtual_schedule(
     let mut deques: Vec<VecDeque<u64>> = vec![VecDeque::new(); workers];
     let mut backlog: Vec<u64> = vec![0; workers];
     for o in &order {
-        let home = o.shard % workers;
+        let home = o.home.min(workers - 1);
         deques[home].push_back(o.run.report.cycles);
         backlog[home] += o.run.report.cycles;
     }
@@ -250,12 +326,14 @@ pub(crate) fn virtual_schedule(
 }
 
 /// One in-flight query: per-worker deques, a completion counter, and
-/// the query's shared key dictionary when the grouping is composite.
+/// the shard→worker placement the submission chose.
 struct Job {
     deques: Vec<Mutex<VecDeque<Task>>>,
     remaining: AtomicUsize,
     results: Mutex<Vec<TaskOutcome>>,
-    dict: Option<Arc<KeyDictionary>>,
+    /// Home worker per shard id (the affinity placement), so outcomes
+    /// and traces report where a morsel was seeded, not `shard mod W`.
+    homes: Vec<usize>,
     steal: bool,
     /// The query's cancellation token: checked at every morsel pop —
     /// once tripped, popped tasks are drained *without executing*, so
@@ -291,6 +369,13 @@ struct Shared {
     /// Cumulative count of morsels drained unexecuted after their
     /// query's token tripped.
     cancelled_morsels: AtomicU64,
+    /// Cumulative zone-map pruning counters (reported by coordinators
+    /// via [`Executor::note_pruned`] — pruned morsels never reach the
+    /// deques).
+    morsels_pruned: AtomicU64,
+    rows_pruned: AtomicU64,
+    /// Cumulative count of shards the affinity placement re-homed.
+    affinity_moves: AtomicU64,
 }
 
 /// A persistent pool of morsel workers (see the [module docs](self)).
@@ -301,6 +386,15 @@ pub struct Executor {
     handles: Vec<JoinHandle<()>>,
     config: ExecutorConfig,
     stats: Mutex<ExecutorStats>,
+    /// Sticky shard→worker map fed into the per-query affinity
+    /// placement (`usize::MAX` = never placed). Stickiness keeps a
+    /// shard's morsels on the worker whose session caches are warm
+    /// with that shard's ranges; the placement overrides it only when
+    /// load balance demands (counted as an affinity move).
+    affinity: Mutex<Vec<usize>>,
+    /// Adaptive morsel sizing hint, retuned after every aggregation
+    /// query from the observed per-morsel cost spread.
+    morsel_hint: AtomicUsize,
 }
 
 impl fmt::Debug for Executor {
@@ -314,12 +408,28 @@ impl fmt::Debug for Executor {
 }
 
 impl Executor {
-    /// Spawns a pool of `config.workers.max(1)` persistent workers,
-    /// each owning a [`Session`] on `sim` (the shards' machine
-    /// configuration, so morsel cycle accounting matches the sessions
-    /// it replaced).
+    /// [`Executor::try_new`], panicking on a rejected configuration.
+    /// Callers that resolved the config themselves (the
+    /// [`crate::ShardedDatabase`] constructor) use this; anything
+    /// accepting user-supplied configs wants the typed error instead.
     pub fn new(config: ExecutorConfig, sim: SimConfig) -> Self {
-        let workers = config.workers.max(1);
+        Self::try_new(config, sim).expect("executor config accepted")
+    }
+
+    /// Spawns a pool of `config.workers` persistent workers, each
+    /// owning a [`Session`] on `sim` (the shards' machine
+    /// configuration, so morsel cycle accounting matches the sessions
+    /// it replaced). Rejects `workers == 0` (the unresolved "match
+    /// shard count" sentinel) and `morsel_rows == 0` with a typed
+    /// [`ExecutorError`].
+    pub fn try_new(config: ExecutorConfig, sim: SimConfig) -> Result<Self, ExecutorError> {
+        if config.workers == 0 {
+            return Err(ExecutorError::ZeroWorkers);
+        }
+        if config.morsel_rows == 0 {
+            return Err(ExecutorError::ZeroMorselRows);
+        }
+        let workers = config.workers;
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 job: None,
@@ -331,6 +441,9 @@ impl Executor {
             queued: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             cancelled_morsels: AtomicU64::new(0),
+            morsels_pruned: AtomicU64::new(0),
+            rows_pruned: AtomicU64::new(0),
+            affinity_moves: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|id| {
@@ -342,12 +455,14 @@ impl Executor {
                     .expect("spawn morsel worker")
             })
             .collect();
-        Self {
+        Ok(Self {
             shared,
             handles,
-            config: ExecutorConfig { workers, ..config },
+            config,
             stats: Mutex::new(ExecutorStats::default()),
-        }
+            affinity: Mutex::new(Vec::new()),
+            morsel_hint: AtomicUsize::new(config.morsel_rows),
+        })
     }
 
     /// Worker threads in the pool.
@@ -367,7 +482,96 @@ impl Executor {
         stats.queued = self.shared.queued.load(Ordering::Relaxed);
         stats.inflight = self.shared.inflight.load(Ordering::Relaxed);
         stats.cancelled_morsels = self.shared.cancelled_morsels.load(Ordering::Relaxed);
+        stats.morsels_pruned = self.shared.morsels_pruned.load(Ordering::Relaxed);
+        stats.rows_pruned = self.shared.rows_pruned.load(Ordering::Relaxed);
+        stats.affinity_moves = self.shared.affinity_moves.load(Ordering::Relaxed);
         stats
+    }
+
+    /// Records morsels a coordinator pruned by zone map before
+    /// submission (they never reach the deques, so the pool can't
+    /// count them itself).
+    pub(crate) fn note_pruned(&self, morsels: u64, rows: u64) {
+        self.shared.morsels_pruned.fetch_add(morsels, Ordering::Relaxed);
+        self.shared.rows_pruned.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Rows per morsel a coordinator should split with right now: the
+    /// configured size, or — with [`ExecutorConfig::adaptive`] on —
+    /// the pool's retuned hint. The hint shrinks (half, floored at
+    /// `max(256, configured/8)`) when the last query's per-morsel
+    /// costs were skewed (max > 2× mean: finer morsels give stealing
+    /// something to rebalance) and grows (double, capped at
+    /// `configured × 8`) when costs were flat (max < 1.25× mean:
+    /// scheduling overhead dominates).
+    pub fn morsel_rows_hint(&self) -> usize {
+        if self.config.adaptive {
+            self.morsel_hint.load(Ordering::Relaxed)
+        } else {
+            self.config.morsel_rows
+        }
+    }
+
+    /// Retunes the adaptive sizing hint from one query's observed
+    /// per-morsel simulated costs.
+    fn retune_morsels(&self, outcomes: &[MorselOutcome]) {
+        if !self.config.adaptive || outcomes.len() < 2 {
+            return;
+        }
+        let costs: Vec<u64> = outcomes.iter().map(|o| o.run.report.cycles).collect();
+        let max = *costs.iter().max().expect("at least two outcomes");
+        let mean = costs.iter().sum::<u64>() / costs.len() as u64;
+        let hint = self.morsel_hint.load(Ordering::Relaxed);
+        let floor = (self.config.morsel_rows / 8).max(256).min(self.config.morsel_rows);
+        let ceil = self.config.morsel_rows.saturating_mul(8);
+        let next = if max > mean.saturating_mul(2) {
+            (hint / 2).max(floor)
+        } else if max.saturating_mul(4) < mean.saturating_mul(5) {
+            (hint.saturating_mul(2)).min(ceil)
+        } else {
+            hint
+        };
+        self.morsel_hint.store(next, Ordering::Relaxed);
+    }
+
+    /// Places each shard on a worker for one submission: shards are
+    /// taken heaviest-first (total rows) and each goes to the
+    /// least-loaded worker, preferring the worker it used last time
+    /// when loads tie — so placement is sticky under stable load
+    /// (warm session caches) and rebalances under skew, with stealing
+    /// left as the escape valve for what the weights mispredict.
+    /// Returns `homes[shard] = worker` and counts re-homings.
+    fn place(&self, tasks: &[Task], workers: usize) -> Vec<usize> {
+        let shards = tasks.iter().map(Task::shard).max().map_or(0, |s| s + 1);
+        let mut weight = vec![0u64; shards];
+        for task in tasks {
+            weight[task.shard()] += task.rows().max(1);
+        }
+        let mut order: Vec<usize> = (0..shards).filter(|&s| weight[s] > 0).collect();
+        order.sort_by_key(|&s| (std::cmp::Reverse(weight[s]), s));
+        let mut sticky = self.affinity.lock().expect("affinity lock");
+        if sticky.len() < shards {
+            sticky.resize(shards, usize::MAX);
+        }
+        let mut homes = vec![0usize; shards];
+        let mut load = vec![0u64; workers];
+        let mut moves = 0u64;
+        for s in order {
+            let prev = sticky[s];
+            let w = (0..workers)
+                .min_by_key(|&w| (load[w], (w != prev) as u8, w))
+                .expect("at least one worker");
+            if prev != usize::MAX && prev != w {
+                moves += 1;
+            }
+            sticky[s] = w;
+            homes[s] = w;
+            load[w] += weight[s];
+        }
+        if moves > 0 {
+            self.shared.affinity_moves.fetch_add(moves, Ordering::Relaxed);
+        }
+        homes
     }
 
     /// Runs one query's morsels to completion on the pool and returns
@@ -376,16 +580,18 @@ impl Executor {
     pub(crate) fn execute(
         &self,
         morsels: Vec<Morsel>,
-        dict: Option<Arc<KeyDictionary>>,
         cancel: Option<&CancelToken>,
     ) -> Vec<MorselOutcome> {
-        self.submit(morsels.into_iter().map(Task::Agg).collect(), dict, cancel)
+        let outcomes: Vec<MorselOutcome> = self
+            .submit(morsels.into_iter().map(Task::Agg).collect(), cancel)
             .into_iter()
             .map(|o| match o {
                 TaskOutcome::Agg(o) => *o,
                 TaskOutcome::Join(_) => unreachable!("aggregation tasks yield Agg outcomes"),
             })
-            .collect()
+            .collect();
+        self.retune_morsels(&outcomes);
+        outcomes
     }
 
     /// Runs one join phase's morsels (all build, or all probe) to
@@ -398,7 +604,7 @@ impl Executor {
         morsels: Vec<JoinMorsel>,
         cancel: Option<&CancelToken>,
     ) -> Vec<JoinOutcome> {
-        self.submit(morsels.into_iter().map(Task::Join).collect(), None, cancel)
+        self.submit(morsels.into_iter().map(Task::Join).collect(), cancel)
             .into_iter()
             .map(|o| match o {
                 TaskOutcome::Join(o) => o,
@@ -414,22 +620,18 @@ impl Executor {
     /// [`crate::CancelToken`]) — the caller is responsible for turning
     /// the tripped token into a typed error instead of merging the
     /// incomplete outcome set.
-    fn submit(
-        &self,
-        tasks: Vec<Task>,
-        dict: Option<Arc<KeyDictionary>>,
-        cancel: Option<&CancelToken>,
-    ) -> Vec<TaskOutcome> {
+    fn submit(&self, tasks: Vec<Task>, cancel: Option<&CancelToken>) -> Vec<TaskOutcome> {
         if tasks.is_empty() {
             return Vec::new();
         }
         let workers = self.handles.len();
         let total = tasks.len();
+        let homes = self.place(&tasks, workers);
         let job = Arc::new(Job {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             remaining: AtomicUsize::new(total),
             results: Mutex::new(Vec::with_capacity(total)),
-            dict,
+            homes: homes.clone(),
             steal: self.config.steal,
             cancel: cancel.cloned(),
             failed: AtomicBool::new(false),
@@ -438,11 +640,11 @@ impl Executor {
         self.shared
             .queued
             .fetch_add(total as u64, Ordering::Relaxed);
-        // Seed locality-first: shard i's morsels land on worker i mod W
-        // in row order (LIFO pop serves the newest range, FIFO steal
-        // takes the oldest).
+        // Seed locality-first: a shard's morsels land on its placed
+        // home worker in row order (LIFO pop serves the newest range,
+        // FIFO steal takes the oldest).
         for task in tasks {
-            let home = task.shard() % workers;
+            let home = homes[task.shard()];
             job.deques[home]
                 .lock()
                 .expect("morsel deque lock")
@@ -560,29 +762,40 @@ fn worker_loop(id: usize, shared: &Shared, sim: SimConfig) {
                     let queue_wait_ns = morsel
                         .traced
                         .then(|| job.submitted.elapsed().as_nanos() as u64);
-                    let (mut run, steps) = if morsel.traced {
-                        let (run, steps) =
-                            session.run_partial_range_traced(&morsel.plan, morsel.lo, morsel.hi);
-                        (run, Some(steps))
-                    } else {
-                        (
+                    // Composite grouping rides the forced-domain fast
+                    // path: the coordinator's global domains put every
+                    // morsel in one shared fused key space, so partials
+                    // merge directly — no per-morsel max scans, no
+                    // dictionary remap.
+                    let (run, steps) = match (&morsel.domains, morsel.traced) {
+                        (Some(d), true) => {
+                            let (run, steps) = session.run_partial_range_forced_traced(
+                                &morsel.plan,
+                                morsel.lo,
+                                morsel.hi,
+                                d,
+                            );
+                            (run, Some(steps))
+                        }
+                        (Some(d), false) => (
+                            session.run_partial_range_forced(&morsel.plan, morsel.lo, morsel.hi, d),
+                            None,
+                        ),
+                        (None, true) => {
+                            let (run, steps) =
+                                session.run_partial_range_traced(&morsel.plan, morsel.lo, morsel.hi);
+                            (run, Some(steps))
+                        }
+                        (None, false) => (
                             session.run_partial_range(&morsel.plan, morsel.lo, morsel.hi),
                             None,
-                        )
+                        ),
                     };
-                    if let Some(dict) = &job.dict {
-                        // Composite grouping: trade the locally fused
-                        // keys for shared dense ids so partials merge
-                        // across shards and morsels (see
-                        // crate::keydict).
-                        run.partial =
-                            dict.remap(run.partial, crate::session::rest_of(&run.key_domains));
-                    }
                     let trace = steps.map(|steps| MorselTrace {
                         shard: morsel.shard,
                         lo: morsel.lo,
                         hi: morsel.hi,
-                        home_worker: morsel.shard % job.deques.len(),
+                        home_worker: job.homes[morsel.shard],
                         worker: id,
                         stolen,
                         queue_wait_ns: queue_wait_ns.unwrap_or(0),
@@ -593,6 +806,7 @@ fn worker_loop(id: usize, shared: &Shared, sim: SimConfig) {
                         shard: morsel.shard,
                         lo: morsel.lo,
                         worker: id,
+                        home: job.homes[morsel.shard],
                         stolen,
                         run,
                         trace,
@@ -649,6 +863,7 @@ mod tests {
                 plan: Arc::clone(plan),
                 lo,
                 hi,
+                domains: None,
                 traced: false,
             });
             lo = hi;
@@ -661,6 +876,32 @@ mod tests {
     }
 
     #[test]
+    fn zero_sized_configs_are_rejected_with_typed_errors() {
+        let err = Executor::try_new(
+            ExecutorConfig {
+                workers: 0,
+                ..ExecutorConfig::default()
+            },
+            SimConfig::paper(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecutorError::ZeroWorkers);
+        assert!(err.to_string().contains("workers"));
+
+        let err = Executor::try_new(
+            ExecutorConfig {
+                workers: 1,
+                morsel_rows: 0,
+                ..ExecutorConfig::default()
+            },
+            SimConfig::paper(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecutorError::ZeroMorselRows);
+        assert!(err.to_string().contains("morsel"));
+    }
+
+    #[test]
     fn pooled_morsels_reproduce_the_whole_answer() {
         let p = plan(500);
         let whole = Session::new().run_partial(&p);
@@ -668,12 +909,12 @@ mod tests {
             ExecutorConfig {
                 workers: 3,
                 morsel_rows: 64,
-                steal: true,
+                ..ExecutorConfig::default()
             },
             SimConfig::paper(),
         );
         for round in 0..3 {
-            let outcomes = exec.execute(morselize(0, &p, 64), None, None);
+            let outcomes = exec.execute(morselize(0, &p, 64), None);
             assert_eq!(outcomes.len(), 8, "round {round}");
             assert_eq!(merged_rows(&outcomes), whole.partial);
         }
@@ -690,12 +931,13 @@ mod tests {
                 workers: 2,
                 morsel_rows: 50,
                 steal: false,
+                ..ExecutorConfig::default()
             },
             SimConfig::paper(),
         );
         // Everything seeded on worker 0 (shard 0); worker 1 must not
         // touch it.
-        let outcomes = exec.execute(morselize(0, &p, 50), None, None);
+        let outcomes = exec.execute(morselize(0, &p, 50), None);
         assert_eq!(outcomes.len(), 8);
         assert!(outcomes.iter().all(|o| o.worker == 0 && !o.stolen));
         assert_eq!(exec.stats().steals, 0);
@@ -708,12 +950,12 @@ mod tests {
             ExecutorConfig {
                 workers: 4,
                 morsel_rows: 100,
-                steal: true,
+                ..ExecutorConfig::default()
             },
             SimConfig::paper(),
         );
         // One hot shard, three idle workers: stealing must engage.
-        let outcomes = exec.execute(morselize(0, &p, 100), None, None);
+        let outcomes = exec.execute(morselize(0, &p, 100), None);
         assert_eq!(outcomes.len(), 40);
         let stolen = outcomes.iter().filter(|o| o.stolen).count();
         assert!(stolen > 0, "idle workers stole from the hot shard");
@@ -726,8 +968,14 @@ mod tests {
 
     #[test]
     fn empty_submission_is_a_no_op() {
-        let exec = Executor::new(ExecutorConfig::default(), SimConfig::paper());
-        assert!(exec.execute(Vec::new(), None, None).is_empty());
+        let exec = Executor::new(
+            ExecutorConfig {
+                workers: 1,
+                ..ExecutorConfig::default()
+            },
+            SimConfig::paper(),
+        );
+        assert!(exec.execute(Vec::new(), None).is_empty());
         assert_eq!(exec.stats().queries, 0);
     }
 
@@ -738,13 +986,13 @@ mod tests {
             ExecutorConfig {
                 workers: 2,
                 morsel_rows: 100,
-                steal: true,
+                ..ExecutorConfig::default()
             },
             SimConfig::paper(),
         );
         let token = CancelToken::new();
         token.cancel();
-        let outcomes = exec.execute(morselize(0, &p, 100), None, Some(&token));
+        let outcomes = exec.execute(morselize(0, &p, 100), Some(&token));
         assert!(outcomes.is_empty(), "no morsel ran after the trip");
         let stats = exec.stats();
         assert_eq!(stats.cancelled_morsels, 8);
@@ -759,15 +1007,15 @@ mod tests {
             ExecutorConfig {
                 workers: 3,
                 morsel_rows: 64,
-                steal: true,
+                ..ExecutorConfig::default()
             },
             SimConfig::paper(),
         );
         let token = CancelToken::with_morsel_budget(0);
-        let drained = exec.execute(morselize(0, &p, 64), None, Some(&token));
+        let drained = exec.execute(morselize(0, &p, 64), Some(&token));
         assert!(drained.is_empty());
         // The next (uncancelled) query on the same pool is whole.
-        let outcomes = exec.execute(morselize(0, &p, 64), None, None);
+        let outcomes = exec.execute(morselize(0, &p, 64), None);
         assert_eq!(outcomes.len(), 8);
         assert_eq!(
             merged_rows(&outcomes),
@@ -782,12 +1030,12 @@ mod tests {
             ExecutorConfig {
                 workers: 2,
                 morsel_rows: 64,
-                steal: true,
+                ..ExecutorConfig::default()
             },
             SimConfig::paper(),
         );
         let token = CancelToken::new();
-        let outcomes = exec.execute(morselize(0, &p, 64), None, Some(&token));
+        let outcomes = exec.execute(morselize(0, &p, 64), Some(&token));
         assert_eq!(outcomes.len(), 8);
         assert_eq!(token.morsels(), 8, "every pop was counted on the token");
         assert_eq!(exec.stats().cancelled_morsels, 0);

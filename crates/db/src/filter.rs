@@ -65,6 +65,21 @@ impl Predicate {
         }
     }
 
+    /// Whether **no** value in `[min, max]` can satisfy the predicate —
+    /// the zone-map pruning decision. Conservative by construction:
+    /// `true` only when the whole closed range provably fails, so a
+    /// morsel whose zone bounds are excluded can be skipped without
+    /// changing the result.
+    pub fn excludes_range(self, min: u32, max: u32) -> bool {
+        match self {
+            // Only a constant range can fail `!=` everywhere.
+            Predicate::NotEqual(k) => min == max && min == k,
+            Predicate::NonZero => min == 0 && max == 0,
+            Predicate::GreaterThan(t) => max <= t,
+            Predicate::LessThan(t) => min >= t,
+        }
+    }
+
     /// SQL spelling of the comparison, e.g. `<> 3`.
     pub fn sql(self) -> String {
         match self {

@@ -1,22 +1,21 @@
-//! A shared dictionary interning composite `GROUP BY` key tuples.
+//! A shared dictionary interning key tuples to dense ids.
 //!
-//! Composite grouping fuses the key columns into one `u32` per row with
-//! a mixed-radix encoding whose radices are the columns' *measured* key
-//! domains (see `fuse_group_columns` in [`crate::session`]). Domains are
-//! measured from the input a session stages, so two shards — or two
-//! morsels of one shard — fuse the *same* tuple to *different* keys:
-//! their partials are not mergeable as-is. That is exactly why the
-//! sharded path used to reject composite `GROUP BY` outright.
+//! The [`KeyDictionary`] is an append-only, shared interning of key
+//! *tuples* to dense `u64` ids, built cooperatively by every worker of
+//! one query. Today it is the hash side of the equi-join: build
+//! morsels intern their key tuples ([`KeyDictionary::intern`]), probe
+//! morsels look theirs up without interning
+//! ([`KeyDictionary::lookup`]), and matched ids resolve back to tuples
+//! on the coordinator ([`KeyDictionary::resolve`]).
 //!
-//! The [`KeyDictionary`] closes the gap: an append-only, shared
-//! interning of key *tuples* to dense `u64` ids, built cooperatively by
-//! every worker during the partial phase. Each worker decomposes its
-//! locally fused keys back into tuples (exact — decomposition inverts
-//! fusion for the domains the worker measured), interns the tuples, and
-//! re-keys its partial by dense id. Dense ids are globally consistent
-//! by construction, so per-shard/per-morsel partials merge with the
-//! ordinary [`PartialAggregate`] merge-join, and the coordinator
-//! resolves ids back to tuples once, on the (small) merged output.
+//! It used to serve a second master: sharded composite `GROUP BY`,
+//! where every morsel fused its key columns with *locally measured*
+//! radices and re-keyed its partial through the dictionary so partials
+//! became mergeable. That path is gone — the coordinator now forces
+//! the plan-time global key domains into every morsel's fusion (see
+//! `fuse_group_columns` in [`crate::session`]), so composite partials
+//! land in one shared fused key space and merge directly, with no
+//! interning at all.
 //!
 //! ```
 //! use vagg_db::KeyDictionary;
@@ -32,7 +31,6 @@
 
 use std::collections::HashMap;
 use std::sync::Mutex;
-use vagg_core::{AggResult, PartialAggregate};
 
 /// Append-only interning of composite `GROUP BY` key tuples to dense
 /// ids, shared across the workers of one query (see the
@@ -96,79 +94,15 @@ impl KeyDictionary {
     }
 
     /// Intern calls served by an already-present entry — the measure of
-    /// how much key overlap the partials had.
+    /// how much key overlap the workers' tuples had.
     pub fn hits(&self) -> u64 {
         self.inner.lock().expect("key dictionary lock").hits
-    }
-
-    /// Re-keys one worker's partial from its locally fused composite
-    /// keys onto shared dense ids: every group key is decomposed with
-    /// the worker's measured `rest_domains` (exact inversion of its own
-    /// fusion), the tuple interned, and the partial's columns re-sorted
-    /// by dense id so the ordinary merge-join applies. One lock
-    /// acquisition covers the whole batch.
-    pub(crate) fn remap(
-        &self,
-        partial: PartialAggregate,
-        rest_domains: &[u32],
-    ) -> PartialAggregate {
-        let n = partial.len();
-        if n == 0 {
-            return partial;
-        }
-        let mut order: Vec<(u32, usize)> = {
-            let mut inner = self.inner.lock().expect("key dictionary lock");
-            partial
-                .base
-                .groups
-                .iter()
-                .enumerate()
-                .map(|(i, &key)| {
-                    let tuple = crate::session::decompose_key(key, rest_domains);
-                    let id = match inner.ids.get(&tuple) {
-                        Some(&id) => {
-                            inner.hits += 1;
-                            id
-                        }
-                        None => {
-                            let id = inner.tuples.len() as u64;
-                            inner.tuples.push(tuple.clone());
-                            inner.ids.insert(tuple, id);
-                            id
-                        }
-                    };
-                    let id = u32::try_from(id).expect("dense ids fit the 32-bit key space");
-                    (id, i)
-                })
-                .collect()
-        };
-        order.sort_unstable_by_key(|&(id, _)| id);
-        permute(partial, &order)
-    }
-}
-
-/// Rebuilds a partial with `order`'s keys, its columns permuted by
-/// `order`'s source indices — shared by the worker-side dense-id remap
-/// and the coordinator-side resolution back to fused keys.
-pub(crate) fn permute(partial: PartialAggregate, order: &[(u32, usize)]) -> PartialAggregate {
-    let pick = |col: &[u32]| order.iter().map(|&(_, i)| col[i]).collect::<Vec<u32>>();
-    PartialAggregate {
-        base: AggResult {
-            groups: order.iter().map(|&(id, _)| id).collect(),
-            counts: pick(&partial.base.counts),
-            sums: pick(&partial.base.sums),
-        },
-        minmax: partial
-            .minmax
-            .as_ref()
-            .map(|(mins, maxs)| (pick(mins), pick(maxs))),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vagg_core::reference;
 
     #[test]
     fn interning_is_append_only_and_dense() {
@@ -186,50 +120,11 @@ mod tests {
     }
 
     #[test]
-    fn remap_makes_differently_fused_partials_mergeable() {
-        // Two "shards" over tuples (a, b): the same logical groups,
-        // fused with different local domains.
-        //   shard 0 sees b in 0..3 (domain 3): key = a*3 + b
-        //   shard 1 sees b in 0..5 (domain 5): key = a*5 + b
+    fn lookup_never_interns() {
         let dict = KeyDictionary::new();
-        // Keys 5 = 1·3+2 → (1,2) and 1 = 0·3+1 → (0,1) under domain 3.
-        let left = PartialAggregate::new(reference(&[5, 1], &[10, 20]), None);
-        // Keys 7 = 1·5+2 → (1,2) and 4 = 0·5+4 → (0,4) under domain 5.
-        let right = PartialAggregate::new(reference(&[7, 4], &[5, 7]), None);
-        let left = dict.remap(left, &[3]);
-        let right = dict.remap(right, &[5]);
-        let merged = left.merge(right);
-        // Three distinct tuples: (1,2) appears on both sides and merged.
-        assert_eq!(dict.len(), 3);
-        assert_eq!(merged.len(), 3);
-        let tuples: Vec<Vec<u32>> = merged
-            .base
-            .groups
-            .iter()
-            .map(|&id| dict.resolve(id as u64).unwrap())
-            .collect();
-        let i = tuples.iter().position(|t| t == &vec![1, 2]).unwrap();
-        assert_eq!(merged.base.sums[i], 15, "both shards' (1,2) rows merged");
-        assert!(tuples.contains(&vec![0, 1]) && tuples.contains(&vec![0, 4]));
-    }
-
-    #[test]
-    fn remap_keeps_minmax_columns_aligned() {
-        let partial = PartialAggregate::new(
-            AggResult {
-                groups: vec![2, 5],
-                counts: vec![1, 2],
-                sums: vec![10, 20],
-            },
-            Some((vec![10, 8], vec![10, 12])),
-        );
-        let dict = KeyDictionary::new();
-        // Pre-intern in reverse so the remap must reorder by dense id.
-        dict.intern(&[5]);
-        dict.intern(&[2]);
-        let out = dict.remap(partial, &[]);
-        assert_eq!(out.base.groups, vec![0, 1]);
-        assert_eq!(out.base.sums, vec![20, 10]);
-        assert_eq!(out.minmax, Some((vec![8, 10], vec![12, 10])));
+        let a = dict.intern(&[1, 7]);
+        assert_eq!(dict.lookup(&[1, 7]), Some(a));
+        assert_eq!(dict.lookup(&[9, 9]), None);
+        assert_eq!(dict.len(), 1, "the miss was not interned");
     }
 }

@@ -203,7 +203,7 @@ pub use catalogue::SharedCatalogue;
 pub use database::{Database, ExplainOutput, MutationReceipt, SqlError, SqlOutcome};
 pub use delta::{ColumnStats, DeltaStore, TableStats};
 pub use engine::{CardinalityEstimation, Engine, ExecutionReport, QueryOutput, Row};
-pub use executor::{Executor, ExecutorConfig, ExecutorStats};
+pub use executor::{Executor, ExecutorConfig, ExecutorError, ExecutorStats};
 pub use filter::{reference_filter, vector_filter, Predicate};
 pub use ingest::{CompactionPolicy, IngestError, IngestReceipt, RowBatch};
 pub use join::{JoinPlan, JoinStrategy, PreparedJoin};

@@ -77,6 +77,8 @@ pub struct MetricsRegistry {
     ingest_rows: AtomicU64,
     compactions: AtomicU64,
     wal_replayed_records: AtomicU64,
+    morsels_pruned: AtomicU64,
+    rows_pruned: AtomicU64,
     cycle_histogram: [AtomicU64; CYCLE_HISTOGRAM_BUCKETS],
     slow: Mutex<SlowLog>,
 }
@@ -140,6 +142,14 @@ impl MetricsRegistry {
         self.compactions.fetch_add(1, Relaxed);
     }
 
+    /// Records morsels (and the rows they covered) a query skipped
+    /// because their zone maps proved the WHERE predicate matches no
+    /// row in their range.
+    pub(crate) fn record_pruned(&self, morsels: u64, rows: u64) {
+        self.morsels_pruned.fetch_add(morsels, Relaxed);
+        self.rows_pruned.fetch_add(rows, Relaxed);
+    }
+
     /// Records WAL records replayed during crash recovery.
     pub(crate) fn record_replay(&self, records: u64) {
         self.wal_replayed_records.fetch_add(records, Relaxed);
@@ -181,6 +191,8 @@ impl MetricsRegistry {
         snap.add("ingest_batches", self.ingest_batches.load(Relaxed));
         snap.add("ingest_rows", self.ingest_rows.load(Relaxed));
         snap.add("compactions", self.compactions.load(Relaxed));
+        snap.add("morsels_pruned", self.morsels_pruned.load(Relaxed));
+        snap.add("rows_pruned", self.rows_pruned.load(Relaxed));
         snap.add(
             "wal_replayed_records",
             self.wal_replayed_records.load(Relaxed),

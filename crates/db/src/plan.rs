@@ -334,6 +334,23 @@ pub struct QueryPlan {
     pub(crate) rest: Vec<Arc<[u32]>>,
     pub(crate) value: Arc<[u32]>,
     pub(crate) filter_col: Option<Arc<[u32]>>,
+    /// Composite GROUP BY per-column key domains (primary first),
+    /// exactly as the overflow check computed them — empty for
+    /// single-column plans. Coordinators force the elementwise maximum
+    /// of these across shard plans into every morsel's key fusion, so
+    /// partials land in one shared key space and merge directly (no
+    /// dictionary remap).
+    pub(crate) domains: Arc<[u64]>,
+    /// The WHERE column's zone maps as `(lo, hi, min, max)` row ranges
+    /// aligned with this plan's staged view — stamped by the catalogue
+    /// from [`crate::TableStats`], `None` for engine-direct or frozen
+    /// plans. Morsel generators prune ranges the predicate provably
+    /// fails (see [`crate::Predicate::excludes_range`]).
+    pub(crate) zones: Option<Arc<[(usize, usize, u32, u32)]>>,
+    /// How many zone maps the planned table kept at plan time (0 = no
+    /// zone maps, e.g. engine-direct plans); rendered by
+    /// [`QueryPlan::explain`].
+    pub(crate) zone_maps: usize,
 }
 
 impl QueryPlan {
@@ -390,6 +407,59 @@ impl QueryPlan {
     /// The `FROM` table name.
     pub fn table(&self) -> &str {
         &self.table
+    }
+
+    /// How many zone maps the planned table kept at plan time (0 for
+    /// plans made outside a catalogue, or frozen time-travel views).
+    pub fn zone_maps(&self) -> usize {
+        self.zone_maps
+    }
+
+    /// The composite grouping columns' exact key domains (`max + 1`,
+    /// primary first), computed host-side at plan time for the
+    /// overflow check; empty for single-column grouping. The sharded
+    /// coordinator maxes these across shard plans to force one global
+    /// fused key space onto every morsel.
+    pub(crate) fn key_domains(&self) -> &[u64] {
+        &self.domains
+    }
+
+    /// The WHERE column's zone ranges, when the plan carries both a
+    /// filter and stamped zone maps.
+    pub(crate) fn filter_zones(&self) -> Option<&[(usize, usize, u32, u32)]> {
+        match (&self.zones, &self.query.filter) {
+            (Some(z), Some(_)) => Some(z),
+            _ => None,
+        }
+    }
+
+    /// Whether the morsel `[lo, hi)` of this plan's staged view
+    /// provably fails the WHERE predicate — every zone overlapping the
+    /// range excludes it — and can be skipped without running. `false`
+    /// whenever the plan has no filter, no zones, or the zones do not
+    /// fully cover the range (conservative: never prune on partial
+    /// information).
+    pub(crate) fn prunes_range(&self, lo: usize, hi: usize) -> bool {
+        let Some((_, pred)) = &self.query.filter else {
+            return false;
+        };
+        let Some(zones) = self.filter_zones() else {
+            return false;
+        };
+        let mut covered = lo;
+        for &(zlo, zhi, min, max) in zones {
+            if zhi <= covered || zlo >= hi {
+                continue;
+            }
+            if zlo > covered || !pred.excludes_range(min, max) {
+                return false;
+            }
+            covered = zhi;
+            if covered >= hi {
+                return true;
+            }
+        }
+        false
     }
 
     /// Rebinds this plan to a query of the same *shape* that differs
@@ -463,6 +533,10 @@ impl QueryPlan {
         plan.presorted = presorted;
         plan.scan_mode = scan_mode;
         plan.cardinality = cardinality;
+        // The old view's zone ranges say nothing about the new view;
+        // the catalogue restamps them from the live statistics.
+        plan.zones = None;
+        plan.zone_maps = 0;
         for step in &mut plan.steps {
             if let PlanStep::CardinalityScan { mode, estimate } = step {
                 *mode = scan_mode;
@@ -507,6 +581,9 @@ impl QueryPlan {
             // snapshot cut) the plan was produced against, so a
             // stale-plan investigation needs no counters.
             let _ = write!(out, " data_version={v}");
+        }
+        if self.zone_maps > 0 {
+            let _ = write!(out, " zone_maps={}", self.zone_maps);
         }
         if let Some(label) = &self.as_of {
             let _ = write!(out, " as_of={label}");

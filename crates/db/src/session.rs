@@ -150,7 +150,7 @@ impl Session {
         mut trace: Option<&mut Vec<StepTrace>>,
     ) -> QueryOutput {
         let start_cycles = self.machine.cycles();
-        let d = self.run_distributive(plan, 0, plan.rows, trace.as_deref_mut());
+        let d = self.run_distributive(plan, 0, plan.rows, trace.as_deref_mut(), None);
         let n = plan.rows;
         if d.skipped {
             let cycles = self.machine.cycles() - start_cycles;
@@ -265,7 +265,47 @@ impl Session {
     ///
     /// If `lo..hi` is not a sub-range of `0..plan.rows()`.
     pub fn run_partial_range(&mut self, plan: &QueryPlan, lo: usize, hi: usize) -> PartialRun {
-        self.run_partial_range_with(plan, lo, hi, None)
+        self.run_partial_range_with(plan, lo, hi, None, None)
+    }
+
+    /// [`Session::run_partial_range`] with the composite key domains
+    /// *forced* instead of measured — the sharded coordinator's fast
+    /// path. The caller supplies the global per-column domains (the
+    /// elementwise maximum of every shard plan's statistics, primary
+    /// first); fusion multiplies by these fixed radices and skips the
+    /// per-column max scans, so every morsel of every shard keys its
+    /// partial in one shared fused space and partials merge directly —
+    /// no dictionary remap. Forcing the exact whole-input domains
+    /// reproduces the keys a single session would measure over the same
+    /// rows, so results stay bit-identical (fusion is positional:
+    /// `key = ((g₀·d₁ + g₁)·d₂ + g₂)…` for any consistent dᵢ that
+    /// bound every value).
+    ///
+    /// # Panics
+    ///
+    /// If `lo..hi` escapes the plan, or `domains` does not match the
+    /// plan's grouping column count.
+    pub fn run_partial_range_forced(
+        &mut self,
+        plan: &QueryPlan,
+        lo: usize,
+        hi: usize,
+        domains: &[u64],
+    ) -> PartialRun {
+        self.run_partial_range_with(plan, lo, hi, None, Some(domains))
+    }
+
+    /// [`Session::run_partial_range_forced`] with per-step tracing.
+    pub fn run_partial_range_forced_traced(
+        &mut self,
+        plan: &QueryPlan,
+        lo: usize,
+        hi: usize,
+        domains: &[u64],
+    ) -> (PartialRun, Vec<StepTrace>) {
+        let mut steps = Vec::new();
+        let run = self.run_partial_range_with(plan, lo, hi, Some(&mut steps), Some(domains));
+        (run, steps)
     }
 
     /// [`Session::run_partial_range`] with per-step tracing — the morsel
@@ -282,7 +322,7 @@ impl Session {
         hi: usize,
     ) -> (PartialRun, Vec<StepTrace>) {
         let mut steps = Vec::new();
-        let run = self.run_partial_range_with(plan, lo, hi, Some(&mut steps));
+        let run = self.run_partial_range_with(plan, lo, hi, Some(&mut steps), None);
         (run, steps)
     }
 
@@ -292,6 +332,7 @@ impl Session {
         lo: usize,
         hi: usize,
         trace: Option<&mut Vec<StepTrace>>,
+        forced: Option<&[u64]>,
     ) -> PartialRun {
         assert!(
             lo <= hi && hi <= plan.rows,
@@ -299,7 +340,7 @@ impl Session {
             plan.rows
         );
         let start_cycles = self.machine.cycles();
-        let d = self.run_distributive(plan, lo, hi, trace);
+        let d = self.run_distributive(plan, lo, hi, trace, forced);
         let cycles = self.machine.cycles() - start_cycles;
         let steps = if d.skipped {
             skipped_steps(plan)
@@ -335,6 +376,7 @@ impl Session {
         lo: usize,
         hi: usize,
         mut trace: Option<&mut Vec<StepTrace>>,
+        forced: Option<&[u64]>,
     ) -> Distributive {
         self.queries += 1;
         // Queries own no machine-resident state between runs (results are
@@ -379,7 +421,7 @@ impl Session {
             for col in &plan.rest {
                 cols.push(&col[lo..hi]);
             }
-            let (fused, domains) = fuse_group_columns(m, &cols);
+            let (fused, domains) = fuse_group_columns(m, &cols, forced);
             if let Some(t) = trace.as_deref_mut() {
                 if let Some(step) = find_step(plan, |s| matches!(s, PlanStep::FuseKeys { .. })) {
                     t.push(StepTrace {
@@ -685,11 +727,19 @@ fn apply_order_by(
 // Fuses the grouping columns into one key per row on the machine:
 // key = ((g₀·d₁ + g₁)·d₂ + g₂)… where dᵢ is column i's key domain
 // (maxᵢ + 1, measured by the vectorised max scan — a planning step
-// charged to the query like the §III-A metadata scan). Returns the
-// fused host column and every column's measured domain (primary
+// charged to the query like the §III-A metadata scan). When `forced`
+// is supplied the max scans are skipped entirely and the given
+// domains are used verbatim — the sharded coordinator's fast path,
+// which reuses the exact whole-table domains the planner already
+// computed so every shard fuses into the same global key space.
+// Returns the fused host column and every column's domain (primary
 // first). Domain overflow was already rejected at plan time from the
 // same statistics.
-fn fuse_group_columns(m: &mut Machine, cols: &[&[u32]]) -> (Vec<u32>, Vec<u32>) {
+fn fuse_group_columns(
+    m: &mut Machine,
+    cols: &[&[u32]],
+    forced: Option<&[u64]>,
+) -> (Vec<u32>, Vec<u32>) {
     use vagg_isa::{BinOp, Vreg};
     const VK: Vreg = Vreg(12); // running fused keys
     const VN: Vreg = Vreg(13); // next column's keys
@@ -697,23 +747,29 @@ fn fuse_group_columns(m: &mut Machine, cols: &[&[u32]]) -> (Vec<u32>, Vec<u32>) 
     let n = cols[0].len();
     debug_assert!(cols.iter().all(|c| c.len() == n), "table columns agree");
 
-    // Stage the columns and measure each domain with the machine's
-    // vectorised max scan.
+    // Stage the columns; measure each domain with the machine's
+    // vectorised max scan unless plan-time statistics already supply
+    // them.
     let mut staged = Vec::with_capacity(cols.len());
     let mut domains: Vec<u64> = Vec::with_capacity(cols.len());
-    for col in cols {
+    for (i, col) in cols.iter().enumerate() {
         let addr = m.space_mut().alloc_slice_u32(col);
-        let input = StagedInput {
-            g: addr,
-            v: addr,
-            aux_g: addr,
-            aux_v: addr,
-            n,
-            presorted: false,
-        };
-        let (maxk, _tok) = vector_max_scan(m, &input);
         staged.push(addr);
-        domains.push(maxk as u64 + 1);
+        match forced {
+            Some(d) => domains.push(d[i]),
+            None => {
+                let input = StagedInput {
+                    g: addr,
+                    v: addr,
+                    aux_g: addr,
+                    aux_v: addr,
+                    n,
+                    presorted: false,
+                };
+                let (maxk, _tok) = vector_max_scan(m, &input);
+                domains.push(maxk as u64 + 1);
+            }
+        }
     }
     debug_assert!(
         domains.iter().map(|&d| d as u128).product::<u128>() <= u32::MAX as u128 + 1,

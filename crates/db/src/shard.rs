@@ -56,14 +56,13 @@ use crate::database::ExplainOutput;
 use crate::database::{Database, MutationReceipt, SqlError};
 use crate::delta::TableStats;
 use crate::engine::{Engine, ExecutionReport, QueryOutput, Row};
-use crate::executor::{Executor, ExecutorConfig, ExecutorStats, Morsel, MorselOutcome};
+use crate::executor::{Executor, ExecutorConfig, ExecutorError, ExecutorStats, Morsel, MorselOutcome};
 use crate::filter::Predicate;
 use crate::ingest::{CompactionPolicy, RowBatch};
 use crate::join::{
     derived_table, plan_join, side_columns, ColumnSet, JoinBuildSink, JoinIndex, JoinMorsel,
     JoinPlan, JoinStrategy, JoinWork,
 };
-use crate::keydict::{permute, KeyDictionary};
 use crate::metrics::{MetricsSnapshot, SlowQuery};
 use crate::plan::{PlanError, PlanStep, QueryPlan};
 use crate::prepared::PreparedStatement;
@@ -395,8 +394,15 @@ impl ShardedDatabase {
     /// is joined; its cumulative [`ExecutorStats`] are discarded. This
     /// is also how the bench measures what pooling buys: rebuilding
     /// per query reproduces the old spawn-threads-per-query regime.
-    pub fn set_executor_config(&mut self, config: ExecutorConfig) {
-        self.executor = Executor::new(resolve(config, self.shards.len()), self.sim.clone());
+    ///
+    /// # Errors
+    ///
+    /// [`ExecutorError::ZeroMorselRows`] for `morsel_rows == 0` (the
+    /// old pool is left in place). `workers == 0` is the "one worker
+    /// per shard" sentinel here, resolved before the pool is built.
+    pub fn set_executor_config(&mut self, config: ExecutorConfig) -> Result<(), ExecutorError> {
+        self.executor = Executor::try_new(resolve(config, self.shards.len()), self.sim.clone())?;
+        Ok(())
     }
 
     /// The executor's resolved configuration.
@@ -425,6 +431,9 @@ impl ShardedDatabase {
         snap.add("executor_morsels", stats.morsels);
         snap.add("executor_steals", stats.steals);
         snap.add("executor_cancelled_morsels", stats.cancelled_morsels);
+        snap.add("executor_morsels_pruned", stats.morsels_pruned);
+        snap.add("executor_rows_pruned", stats.rows_pruned);
+        snap.add("executor_affinity_moves", stats.affinity_moves);
         snap.add("executor_queued", stats.queued());
         snap.add("executor_inflight", stats.inflight());
         snap
@@ -1534,12 +1543,41 @@ impl ShardedDatabase {
         mut trace: Option<&mut QueryTrace>,
         cancel: Option<&CancelToken>,
     ) -> Result<ShardedOutput, SqlError> {
-        // Composite grouping gets a query-scoped shared dictionary the
-        // workers intern their key tuples into (see crate::keydict).
-        let dict = (!query.group_by_rest.is_empty()).then(|| Arc::new(KeyDictionary::new()));
-        let morsel_rows = self.executor.config().morsel_rows.max(1);
+        let morsel_rows = self.executor.morsel_rows_hint().max(1);
+        let prune = self.executor.config().prune;
         let plans: Vec<Option<Arc<QueryPlan>>> =
             plans.into_iter().map(|p| p.map(Arc::new)).collect();
+        // Composite grouping rides the forced-domain fast path: every
+        // shard plan already carries its partition's exact per-column
+        // key domains (the planner computed them for the overflow
+        // check), and their elementwise max is the domain over the
+        // whole partitioned input — exactly what a single session
+        // would measure. Forcing those domains into every morsel's
+        // fusion puts all partials in one shared fused key space, so
+        // they merge directly: no per-morsel max scans, no dictionary,
+        // no re-keying. The *global* product must be re-vetted here —
+        // each shard's plan only checked its own partition.
+        let forced: Option<Arc<[u64]>> = if query.group_by_rest.is_empty() {
+            None
+        } else {
+            let mut domains: Vec<u64> = Vec::new();
+            for plan in plans.iter().flatten() {
+                if domains.is_empty() {
+                    domains = plan.key_domains().to_vec();
+                } else {
+                    for (d, &x) in domains.iter_mut().zip(plan.key_domains()) {
+                        *d = (*d).max(x);
+                    }
+                }
+            }
+            let total: u128 = domains.iter().map(|&d| d as u128).product();
+            if total > u32::MAX as u128 + 1 {
+                return Err(SqlError::Plan(PlanError::CompositeKeyOverflow {
+                    domain: total.min(u64::MAX as u128) as u64,
+                }));
+            }
+            Some(domains.into())
+        };
         if let Some(t) = trace.as_deref_mut() {
             // Establish the rollup order and sum each step's estimate
             // across the shard plans (shards may pick different
@@ -1549,22 +1587,41 @@ impl ShardedDatabase {
             }
         }
         let mut morsels = Vec::new();
+        let (mut pruned_morsels, mut pruned_rows) = (0u64, 0u64);
         for (shard, plan) in plans.iter().enumerate() {
             let Some(plan) = plan else { continue };
             let mut lo = 0;
             while lo < plan.rows() {
                 let hi = (lo + morsel_rows).min(plan.rows());
-                morsels.push(Morsel {
-                    shard,
-                    plan: Arc::clone(plan),
-                    lo,
-                    hi,
-                    traced: trace.is_some(),
-                });
+                // Zone-map pruning: a morsel whose zones prove the
+                // WHERE predicate matches nothing contributes exactly
+                // what a filter-emptied morsel would — an empty
+                // partial — so it is dropped before dispatch.
+                if prune && plan.prunes_range(lo, hi) {
+                    pruned_morsels += 1;
+                    pruned_rows += (hi - lo) as u64;
+                } else {
+                    morsels.push(Morsel {
+                        shard,
+                        plan: Arc::clone(plan),
+                        lo,
+                        hi,
+                        domains: forced.clone(),
+                        traced: trace.is_some(),
+                    });
+                }
                 lo = hi;
             }
         }
-        let outcomes = self.executor.execute(morsels, dict.clone(), cancel);
+        if pruned_morsels > 0 {
+            self.executor.note_pruned(pruned_morsels, pruned_rows);
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.morsels_dispatched += morsels.len() as u64;
+            t.morsels_pruned += pruned_morsels;
+            t.rows_pruned += pruned_rows;
+        }
+        let outcomes = self.executor.execute(morsels, cancel);
         // A tripped token means the outcome set is incomplete: surface
         // the typed error instead of merging a partial answer.
         check_cancel(cancel)?;
@@ -1598,10 +1655,6 @@ impl ShardedDatabase {
                 })
                 .collect();
             t.steals = sched.steals;
-            if let Some(dict) = &dict {
-                t.dict_entries += dict.len() as u64;
-                t.dict_hits += dict.hits();
-            }
         }
         let (worker_loads, steals) = (sched.loads, sched.steals);
 
@@ -1611,12 +1664,13 @@ impl ShardedDatabase {
             .sum();
         let merged = PartialAggregate::merge_all(outcomes.iter().map(|o| o.run.partial.clone()))
             .unwrap_or_else(|| PartialAggregate::empty(query.needs_minmax()));
-        // Composite grouping: the merged partial is keyed by dense
-        // dictionary ids — resolve them back to globally fused keys.
-        let (merged, rest_domains) = match &dict {
-            Some(dict) => globalize(merged, dict, &outcomes)?,
-            None => (merged, Vec::new()),
-        };
+        // With forced domains every partial is keyed in the same
+        // global fused space and the merge-join above already produced
+        // the single-session answer, sorted by fused key — only the
+        // decomposition radices remain to recover the column parts.
+        let rest_domains: Vec<u32> = forced
+            .as_ref()
+            .map_or_else(Vec::new, |d| d[1..].iter().map(|&d| d as u32).collect());
         let (mut base, mut mm) = (merged.base, merged.minmax);
         // The coordinator tail's host steps slot into the trace between
         // the distributive steps and the finalisers, mirroring when
@@ -1760,81 +1814,6 @@ fn find_plan_step(
         .find_map(|p| p.steps().iter().find(|s| pred(s)).map(ToString::to_string))
 }
 
-/// Resolves a merged, dense-id-keyed composite partial back to
-/// *globally* fused keys: every column's domain is the elementwise max
-/// of the morsels' measured domains (= the max over the whole
-/// partitioned input, exactly what a single session would measure), so
-/// re-fusing each dictionary tuple with those domains reproduces the
-/// single-session key — `Row.group` and the output order match a
-/// single session bit for bit. Returns the re-keyed partial and the
-/// decomposition domains for readback.
-///
-/// # Errors
-///
-/// [`PlanError::CompositeKeyOverflow`] when the *global* fused-key
-/// domain exceeds the 32-bit key space — each shard's plan only vetted
-/// its own partition's domains.
-fn globalize(
-    merged: PartialAggregate,
-    dict: &KeyDictionary,
-    outcomes: &[MorselOutcome],
-) -> Result<(PartialAggregate, Vec<u32>), SqlError> {
-    let domains = global_domains(outcomes.iter().map(|o| &o.run.key_domains));
-    globalize_with_domains(merged, dict, domains)
-}
-
-/// Elementwise max of the morsels' measured key domains — the domain
-/// of each key column over the whole partitioned input, exactly what a
-/// single session would measure.
-pub(crate) fn global_domains<'a>(runs: impl Iterator<Item = &'a Vec<u32>>) -> Vec<u32> {
-    let mut domains: Vec<u32> = Vec::new();
-    for key_domains in runs {
-        if domains.is_empty() {
-            domains = key_domains.clone();
-        } else {
-            for (d, &x) in domains.iter_mut().zip(key_domains) {
-                *d = (*d).max(x);
-            }
-        }
-    }
-    domains
-}
-
-/// The [`globalize`] body on pre-computed global domains — shared with
-/// the single-session cancellable morsel loop
-/// ([`Database::run_sql_cancellable`]).
-pub(crate) fn globalize_with_domains(
-    merged: PartialAggregate,
-    dict: &KeyDictionary,
-    domains: Vec<u32>,
-) -> Result<(PartialAggregate, Vec<u32>), SqlError> {
-    let total: u128 = domains.iter().map(|&d| d as u128).product();
-    if total > u32::MAX as u128 + 1 {
-        return Err(SqlError::Plan(PlanError::CompositeKeyOverflow {
-            domain: total.min(u64::MAX as u128) as u64,
-        }));
-    }
-    let mut order: Vec<(u32, usize)> = merged
-        .base
-        .groups
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| {
-            let tuple = dict
-                .resolve(id as u64)
-                .expect("merged ids came from this query's dictionary");
-            let mut key = tuple[0] as u64;
-            for (&part, &d) in tuple[1..].iter().zip(&domains[1..]) {
-                key = key * d as u64 + part as u64;
-            }
-            (key as u32, i)
-        })
-        .collect();
-    order.sort_unstable_by_key(|&(key, _)| key);
-    let rest = domains.get(1..).unwrap_or(&[]).to_vec();
-    Ok((permute(merged, &order), rest))
-}
-
 /// Convenience: the merged output in [`QueryOutput`] form.
 impl From<ShardedOutput> for QueryOutput {
     fn from(out: ShardedOutput) -> Self {
@@ -1972,11 +1951,14 @@ mod tests {
         assert!(stats.morsels >= 6, "at least one morsel per shard");
         // Rebuilding the pool resets its counters (the spawn-per-query
         // regime the bench measures).
-        sharded.set_executor_config(ExecutorConfig {
-            workers: 3,
-            morsel_rows: 64,
-            steal: false,
-        });
+        sharded
+            .set_executor_config(ExecutorConfig {
+                workers: 3,
+                morsel_rows: 64,
+                steal: false,
+                ..ExecutorConfig::default()
+            })
+            .unwrap();
         assert_eq!(sharded.executor_stats(), ExecutorStats::default());
         let out = sharded
             .run_sql("SELECT g, SUM(v) FROM events GROUP BY g")
@@ -1984,6 +1966,16 @@ mod tests {
         assert_eq!(out.worker_loads.len(), 3);
         assert_eq!(out.steals, 0, "stealing disabled");
         assert_eq!(sharded.executor_stats().queries, 1);
+        // Degenerate sizes are rejected with typed errors; the pool
+        // (and its counters) survives the refused reconfiguration.
+        let err = sharded
+            .set_executor_config(ExecutorConfig {
+                morsel_rows: 0,
+                ..ExecutorConfig::default()
+            })
+            .unwrap_err();
+        assert_eq!(err, crate::executor::ExecutorError::ZeroMorselRows);
+        assert_eq!(sharded.executor_stats().queries, 1, "pool untouched");
     }
 
     #[test]
@@ -2014,6 +2006,7 @@ mod tests {
                     workers: 4,
                     morsel_rows: 32,
                     steal,
+                    ..ExecutorConfig::default()
                 },
             );
             sharded.register_partitioned(skewed_parts(1200));

@@ -113,6 +113,15 @@ pub struct QueryTrace {
     pub workers: Vec<WorkerRollup>,
     /// Steals in the deterministic virtual schedule.
     pub steals: u64,
+    /// Morsels actually handed to the executor (after zone-map
+    /// pruning).
+    pub morsels_dispatched: u64,
+    /// Morsels skipped before dispatch because their zone maps proved
+    /// the WHERE predicate matches no row in their range.
+    pub morsels_pruned: u64,
+    /// Rows those pruned morsels covered — rows the query never
+    /// touched.
+    pub rows_pruned: u64,
     /// Entries interned into the query-scoped [`crate::KeyDictionary`]
     /// (composite GROUP BY re-keying, join build side); 0 when unused.
     pub dict_entries: u64,
@@ -140,6 +149,9 @@ impl QueryTrace {
             morsels: Vec::new(),
             workers: Vec::new(),
             steals: 0,
+            morsels_dispatched: 0,
+            morsels_pruned: 0,
+            rows_pruned: 0,
             dict_entries: 0,
             dict_hits: 0,
             freeze_ns: None,
@@ -266,6 +278,13 @@ impl QueryTrace {
             self.steals,
             self.queue_wait_ns
         );
+        if self.morsels_dispatched > 0 || self.morsels_pruned > 0 {
+            let _ = write!(
+                out,
+                "\n  morsels: dispatched={} pruned={} rows_pruned={}",
+                self.morsels_dispatched, self.morsels_pruned, self.rows_pruned
+            );
+        }
         if self.dict_entries > 0 || self.dict_hits > 0 {
             let _ = write!(
                 out,

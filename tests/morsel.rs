@@ -185,6 +185,7 @@ fn zipf_skewed_partitions_steal_without_changing_results() {
                 workers: 4,
                 morsel_rows: 64,
                 steal,
+                ..ExecutorConfig::default()
             },
         );
         sharded.register_partitioned(split_at(&table, &[76, 12, 6, 6]));

@@ -58,7 +58,8 @@ fn explain_golden_full_tail_via_sql() {
         "SELECT region, quarter, COUNT(*), SUM(amount) FROM orders \
          WHERE status <> 0 GROUP BY region, quarter \
          HAVING COUNT(*) > 1 ORDER BY SUM(amount) DESC LIMIT 3\n\
-         \x20 rows=6 presorted=false algorithm=monotable cardinality≈12 data_version=1\n\
+         \x20 rows=6 presorted=false algorithm=monotable cardinality≈12 data_version=1 \
+         zone_maps=1\n\
          \x20 1. FuseKeys(region×quarter)\n\
          \x20 2. VectorFilter(status <> 0)\n\
          \x20 3. CardinalityScan[exact](cardinality≈12)\n\
@@ -356,6 +357,12 @@ fn explain_analyze_golden_sharded_morsels() {
         "{text}"
     );
     assert!(text.contains("workers: 0:"), "{text}");
+    // The dispatch rollup: all 4 morsels ran, none were zone-pruned
+    // (the query has no WHERE to prune against).
+    assert!(
+        text.contains("morsels: dispatched=4 pruned=0 rows_pruned=0"),
+        "{text}"
+    );
     // Every morsel span is attributed and internally consistent.
     assert_eq!(t.morsels.len(), 4);
     assert!(t.morsels.iter().all(|m| m.hi - m.lo == 100));

@@ -320,6 +320,8 @@ fn metrics_expose_qps_quantiles_and_queue_depth() {
         "vagg_query_cycles_p50 ",
         "vagg_query_cycles_p99 ",
         "queries_total",
+        "morsels_pruned",
+        "rows_pruned",
     ] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }
